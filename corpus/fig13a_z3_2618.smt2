@@ -1,0 +1,12 @@
+; Fig. 13a — soundness bug in Z3 (issue #2618): Z3 returned sat on this
+; unsatisfiable QF_S formula. Reduced from the same seed as fig13b.
+(set-logic QF_S)
+(declare-fun a () String)
+(declare-fun b () String)
+(declare-fun c () String)
+(assert
+  (and
+    (str.in.re c (re.* (str.to.re "aa")))
+    (= 0 (str.to.int (str.replace a b (str.at a (str.len a)))))))
+(assert (= a (str.++ b c)))
+(check-sat)

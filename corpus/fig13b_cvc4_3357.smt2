@@ -1,0 +1,20 @@
+; Fig. 13b — soundness bug in CVC4 (issue #3357): sat on this unsatisfiable
+; QF_S formula. Root cause: a missed corner case in the str.to.int
+; reduction for the empty string. Labeled "major".
+(set-logic QF_S)
+(declare-const a String)
+(declare-const b String)
+(declare-const c String)
+(declare-const d String)
+(declare-const e String)
+(declare-const f String)
+(assert (or
+  (and (= c (str.++ e d))
+       (str.in.re e (re.* (str.to.re "aaa")))
+       (> 0 (str.to.int d))
+       (= 1 (str.len e))
+       (= 2 (str.len c)))
+  (and (str.in.re f (re.* (str.to.re "aa")))
+       (= 0 (str.to.int (str.replace (str.replace a b "") "a" ""))))))
+(assert (= a (str.++ (str.++ b "a") f)))
+(check-sat)

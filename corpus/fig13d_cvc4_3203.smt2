@@ -1,0 +1,21 @@
+; Fig. 13d — soundness bug in CVC4 (issue #3203): sat on this unsatisfiable
+; QF_SLIA formula due to an unsound formula simplification. Labeled "major";
+; the simplification strategy was rewritten to fix it.
+(set-logic QF_SLIA)
+(declare-fun a () String)
+(declare-fun b () String)
+(declare-fun d () String)
+(declare-fun e () String)
+(declare-fun f () Int)
+(declare-fun g () String)
+(declare-fun h () String)
+(assert (or
+  (not (= (str.replace "B" (str.at "A" f) "") "B"))
+  (not (= (str.replace "B" (str.replace "B" g "") "")
+          (str.at (str.replace (str.replace a d "") "C" "")
+                  (str.indexof "B"
+                               (str.replace (str.replace a d "") "C" "")
+                               0))))))
+(assert (= a (str.++ (str.++ d "C") g)))
+(assert (= b (str.++ e g)))
+(check-sat)

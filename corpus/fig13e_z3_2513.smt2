@@ -1,0 +1,16 @@
+; Fig. 13e — soundness bug in Z3 (issue #2513): sat on this unsatisfiable
+; QF_S formula. Fixing it took 28 files, 486 additions, 144 deletions;
+; the trigger was an incorrect suffixof/prefixof implementation.
+(set-logic QF_S)
+(declare-fun a () String)
+(declare-fun b () String)
+(declare-fun c () String)
+(declare-fun d () String)
+(assert (= a (str.++ b d)))
+(assert (or
+  (and
+    (= (str.indexof (str.substr a 0 (str.len b)) "=" 0) 0)
+    (= (str.indexof b "=" 0) 1))
+  (not (= (str.suffixof "A" d)
+          (str.suffixof "A" (str.replace c c d))))))
+(check-sat)

@@ -1,0 +1,23 @@
+; Fig. 13f — crash bug in Z3 (issue #2449): this NRA formula triggered a
+; segmentation fault ("Failed to verify: m_util.is_numeral(rhs, _k)");
+; root cause was the rewriting strategy for <= and >=.
+(set-logic NRA)
+(declare-fun a () Real)
+(declare-fun b () Real)
+(declare-fun c () Real)
+(declare-fun d () Real)
+(declare-fun i () Real)
+(declare-fun e () Real)
+(declare-fun ep () Real)
+(declare-fun f () Real)
+(declare-fun j () Real)
+(declare-fun g () Real)
+(assert (or
+  (not (exists ((h Real))
+    (=> (and (= 0.0 (/ b j)) (< 0.0 e))
+        (=> (= 0.0 i)
+            (= (= (<= 0.0 h) (<= h ep)) (= 1.0 2.0))))))
+  (not (exists ((h Real))
+    (=> (<= 0.0 (/ a h)) (= 0 (/ c e)))))))
+(assert (= ep (/ d f)))
+(check-sat)

@@ -1,0 +1,15 @@
+; Fig. 3 — the SAT-fused formula that triggered a soundness bug in CVC4
+; (issue #3413): CVC4 incorrectly reported unsat. Satisfiable by
+; construction (Proposition 1); fixed promptly as a regression.
+(set-logic QF_NIA)
+(declare-fun v () Bool)
+(declare-fun w () Bool)
+(declare-fun x () Int)
+(declare-fun y () Int)
+(declare-fun z () Int)
+(assert (= (div z y) (- 1)))
+(assert (= w (= x (- 1))))
+(assert w)
+(assert (= v (not (= y (- 1)))))
+(assert (ite v false (= (div z x) (- 1))))
+(check-sat)

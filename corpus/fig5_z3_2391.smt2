@@ -1,0 +1,17 @@
+; Fig. 5 — the UNSAT-fused formula (from the Fig. 4 seeds) that triggered a
+; soundness bug in Z3 (issue #2391): Z3 reported sat. Unsatisfiable by
+; construction (Proposition 2). Not triggerable by either seed alone nor by
+; their plain disjunction — variable fusion is essential (RQ4).
+(set-logic QF_NRA)
+(declare-fun v () Real)
+(declare-fun w () Real)
+(declare-fun x () Real)
+(declare-fun y () Real)
+(declare-fun z () Real)
+(assert (or
+  (not (= (+ (+ 1.0 (/ z y)) 6.0) (+ 7.0 x)))
+  (and (< (/ z x) v) (>= w v) (< (/ w v) 0) (> (/ z x) 0))))
+(assert (= z (* x y)))
+(assert (= x (/ z y)))
+(assert (= y (/ z x)))
+(check-sat)

@@ -1,0 +1,780 @@
+//! Arbitrary-precision signed integers.
+//!
+//! [`BigInt`] is a sign-magnitude integer with a little-endian `u32` limb
+//! magnitude. It provides exactly the operations the SMT substrate needs:
+//! ring arithmetic, ordering, Euclidean division/remainder (the SMT-LIB
+//! `div`/`mod` semantics), floor/truncating division, gcd, parity, and
+//! decimal conversion.
+//!
+//! # Examples
+//!
+//! ```
+//! use yinyang_arith::BigInt;
+//!
+//! let a = BigInt::from(-7);
+//! let b = BigInt::from(2);
+//! // SMT-LIB Euclidean semantics: remainder is always non-negative.
+//! assert_eq!(a.div_euclid_big(&b), BigInt::from(-4));
+//! assert_eq!(a.rem_euclid_big(&b), BigInt::from(1));
+//! ```
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// Sign of a [`BigInt`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Sign {
+    /// Strictly negative.
+    Minus,
+    /// Zero.
+    Zero,
+    /// Strictly positive.
+    Plus,
+}
+
+/// An arbitrary-precision signed integer.
+///
+/// The representation is canonical: zero has an empty limb vector and
+/// `Sign::Zero`; non-zero values never have a trailing zero limb.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    /// Little-endian magnitude; empty iff the value is zero.
+    mag: Vec<u32>,
+}
+
+/// Error returned when parsing a [`BigInt`] or
+/// [`BigRational`](crate::BigRational) from a malformed string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigIntError {
+    kind: &'static str,
+}
+
+impl fmt::Display for ParseBigIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid integer literal: {}", self.kind)
+    }
+}
+
+impl std::error::Error for ParseBigIntError {}
+
+impl ParseBigIntError {
+    pub(crate) fn new(kind: &'static str) -> Self {
+        ParseBigIntError { kind }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Magnitude (unsigned) helpers. All operate on little-endian u32 slices with
+// no trailing zeros expected on input; outputs are trimmed.
+// ---------------------------------------------------------------------------
+
+fn trim(mag: &mut Vec<u32>) {
+    while mag.last() == Some(&0) {
+        mag.pop();
+    }
+}
+
+fn mag_cmp(a: &[u32], b: &[u32]) -> Ordering {
+    if a.len() != b.len() {
+        return a.len().cmp(&b.len());
+    }
+    for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+        match x.cmp(y) {
+            Ordering::Equal => {}
+            other => return other,
+        }
+    }
+    Ordering::Equal
+}
+
+fn mag_add(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry = 0u64;
+    for i in 0..long.len() {
+        let s = long[i] as u64 + *short.get(i).unwrap_or(&0) as u64 + carry;
+        out.push(s as u32);
+        carry = s >> 32;
+    }
+    if carry != 0 {
+        out.push(carry as u32);
+    }
+    out
+}
+
+/// Computes `a - b`; requires `a >= b`.
+fn mag_sub(a: &[u32], b: &[u32]) -> Vec<u32> {
+    debug_assert!(mag_cmp(a, b) != Ordering::Less);
+    let mut out = Vec::with_capacity(a.len());
+    let mut borrow = 0i64;
+    for i in 0..a.len() {
+        let d = a[i] as i64 - *b.get(i).unwrap_or(&0) as i64 - borrow;
+        if d < 0 {
+            out.push((d + (1i64 << 32)) as u32);
+            borrow = 1;
+        } else {
+            out.push(d as u32);
+            borrow = 0;
+        }
+    }
+    debug_assert_eq!(borrow, 0);
+    trim(&mut out);
+    out
+}
+
+fn mag_mul(a: &[u32], b: &[u32]) -> Vec<u32> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u32; a.len() + b.len()];
+    for (i, &x) in a.iter().enumerate() {
+        if x == 0 {
+            continue;
+        }
+        let mut carry = 0u64;
+        for (j, &y) in b.iter().enumerate() {
+            let t = out[i + j] as u64 + x as u64 * y as u64 + carry;
+            out[i + j] = t as u32;
+            carry = t >> 32;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let t = out[k] as u64 + carry;
+            out[k] = t as u32;
+            carry = t >> 32;
+            k += 1;
+        }
+    }
+    trim(&mut out);
+    out
+}
+
+fn mag_bit(a: &[u32], bit: usize) -> bool {
+    let limb = bit / 32;
+    limb < a.len() && (a[limb] >> (bit % 32)) & 1 == 1
+}
+
+fn mag_bits(a: &[u32]) -> usize {
+    match a.last() {
+        None => 0,
+        Some(&top) => (a.len() - 1) * 32 + (32 - top.leading_zeros() as usize),
+    }
+}
+
+fn mag_shl1_add_bit(acc: &mut Vec<u32>, bit: bool) {
+    let mut carry = bit as u32;
+    for limb in acc.iter_mut() {
+        let t = ((*limb as u64) << 1) | carry as u64;
+        *limb = t as u32;
+        carry = (t >> 32) as u32;
+    }
+    if carry != 0 {
+        acc.push(carry);
+    }
+}
+
+/// Binary long division: returns `(quotient, remainder)` of `a / b`.
+///
+/// `b` must be non-zero. O(bits(a) * len(b)) — fine for the limb counts this
+/// workspace produces (coefficients stay small after rational normalization).
+fn mag_divrem(a: &[u32], b: &[u32]) -> (Vec<u32>, Vec<u32>) {
+    assert!(!b.is_empty(), "division by zero magnitude");
+    if mag_cmp(a, b) == Ordering::Less {
+        return (Vec::new(), a.to_vec());
+    }
+    // Fast path: single-limb divisor.
+    if b.len() == 1 {
+        let d = b[0] as u64;
+        let mut q = vec![0u32; a.len()];
+        let mut rem = 0u64;
+        for i in (0..a.len()).rev() {
+            let cur = (rem << 32) | a[i] as u64;
+            q[i] = (cur / d) as u32;
+            rem = cur % d;
+        }
+        trim(&mut q);
+        let mut r = vec![rem as u32];
+        trim(&mut r);
+        return (q, r);
+    }
+    let nbits = mag_bits(a);
+    let mut quot = vec![0u32; a.len()];
+    let mut rem: Vec<u32> = Vec::with_capacity(b.len() + 1);
+    for bit in (0..nbits).rev() {
+        mag_shl1_add_bit(&mut rem, mag_bit(a, bit));
+        if mag_cmp(&rem, b) != Ordering::Less {
+            rem = mag_sub(&rem, b);
+            quot[bit / 32] |= 1 << (bit % 32);
+        }
+    }
+    trim(&mut quot);
+    trim(&mut rem);
+    (quot, rem)
+}
+
+// ---------------------------------------------------------------------------
+// BigInt proper
+// ---------------------------------------------------------------------------
+
+impl BigInt {
+    /// The integer `0`.
+    pub fn zero() -> Self {
+        BigInt { sign: Sign::Zero, mag: Vec::new() }
+    }
+
+    /// The integer `1`.
+    pub fn one() -> Self {
+        BigInt::from(1)
+    }
+
+    /// Returns `true` iff this integer is zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// Returns `true` iff this integer is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Plus
+    }
+
+    /// Returns `true` iff this integer is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Minus
+    }
+
+    /// Returns `true` iff this integer is even.
+    pub fn is_even(&self) -> bool {
+        self.mag.first().map_or(true, |l| l % 2 == 0)
+    }
+
+    /// Sign as `-1`, `0`, or `1`.
+    pub fn signum(&self) -> i32 {
+        match self.sign {
+            Sign::Minus => -1,
+            Sign::Zero => 0,
+            Sign::Plus => 1,
+        }
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> BigInt {
+        BigInt {
+            sign: if self.sign == Sign::Zero { Sign::Zero } else { Sign::Plus },
+            mag: self.mag.clone(),
+        }
+    }
+
+    fn from_mag(sign: Sign, mag: Vec<u32>) -> BigInt {
+        if mag.is_empty() {
+            BigInt::zero()
+        } else {
+            BigInt { sign, mag }
+        }
+    }
+
+    /// Truncating division and remainder (`quot` rounds toward zero), as a
+    /// pair. The remainder has the sign of `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    pub fn div_rem(&self, other: &BigInt) -> (BigInt, BigInt) {
+        assert!(!other.is_zero(), "BigInt division by zero");
+        if self.is_zero() {
+            return (BigInt::zero(), BigInt::zero());
+        }
+        let (q, r) = mag_divrem(&self.mag, &other.mag);
+        let q_sign = if self.sign == other.sign { Sign::Plus } else { Sign::Minus };
+        (BigInt::from_mag(q_sign, q), BigInt::from_mag(self.sign, r))
+    }
+
+    /// Euclidean division: the unique `q` with `self = q*other + r` and
+    /// `0 <= r < |other|`. This is SMT-LIB's `div`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    pub fn div_euclid_big(&self, other: &BigInt) -> BigInt {
+        let (q, r) = self.div_rem(other);
+        if r.is_negative() {
+            if other.is_positive() {
+                q - BigInt::one()
+            } else {
+                q + BigInt::one()
+            }
+        } else {
+            q
+        }
+    }
+
+    /// Euclidean remainder: always in `[0, |other|)`. This is SMT-LIB's `mod`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    pub fn rem_euclid_big(&self, other: &BigInt) -> BigInt {
+        let (_, r) = self.div_rem(other);
+        if r.is_negative() {
+            r + other.abs()
+        } else {
+            r
+        }
+    }
+
+    /// Floor division (`q` rounds toward negative infinity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    pub fn div_floor_big(&self, other: &BigInt) -> BigInt {
+        let (q, r) = self.div_rem(other);
+        if !r.is_zero() && (r.is_negative() != other.is_negative()) {
+            q - BigInt::one()
+        } else {
+            q
+        }
+    }
+
+    /// Greatest common divisor; always non-negative, `gcd(0, 0) = 0`.
+    pub fn gcd(&self, other: &BigInt) -> BigInt {
+        let mut a = self.abs();
+        let mut b = other.abs();
+        while !b.is_zero() {
+            let r = a.rem_euclid_big(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Raises `self` to a small non-negative power.
+    pub fn pow(&self, mut exp: u32) -> BigInt {
+        let mut base = self.clone();
+        let mut acc = BigInt::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            base = &base * &base;
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Converts to `i64` if the value fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        if self.mag.len() > 2 {
+            return None;
+        }
+        let mut v: u64 = 0;
+        for (i, &limb) in self.mag.iter().enumerate() {
+            v |= (limb as u64) << (32 * i);
+        }
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Plus => i64::try_from(v).ok(),
+            Sign::Minus => {
+                if v <= i64::MAX as u64 + 1 {
+                    Some((v as i64).wrapping_neg())
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Approximate `f64` value (exact when the magnitude fits in 53 bits).
+    pub fn to_f64(&self) -> f64 {
+        let mut v = 0.0f64;
+        for &limb in self.mag.iter().rev() {
+            v = v * 4294967296.0 + limb as f64;
+        }
+        if self.sign == Sign::Minus {
+            -v
+        } else {
+            v
+        }
+    }
+}
+
+impl Default for BigInt {
+    fn default() -> Self {
+        BigInt::zero()
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        if v == 0 {
+            return BigInt::zero();
+        }
+        let sign = if v < 0 { Sign::Minus } else { Sign::Plus };
+        let m = v.unsigned_abs();
+        let mut mag = vec![m as u32, (m >> 32) as u32];
+        trim(&mut mag);
+        BigInt { sign, mag }
+    }
+}
+
+impl From<i32> for BigInt {
+    fn from(v: i32) -> Self {
+        BigInt::from(v as i64)
+    }
+}
+
+impl From<u64> for BigInt {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            return BigInt::zero();
+        }
+        let mut mag = vec![v as u32, (v >> 32) as u32];
+        trim(&mut mag);
+        BigInt { sign: Sign::Plus, mag }
+    }
+}
+
+impl From<i128> for BigInt {
+    fn from(v: i128) -> Self {
+        if v == 0 {
+            return BigInt::zero();
+        }
+        let sign = if v < 0 { Sign::Minus } else { Sign::Plus };
+        let m = v.unsigned_abs();
+        let mut mag = vec![m as u32, (m >> 32) as u32, (m >> 64) as u32, (m >> 96) as u32];
+        trim(&mut mag);
+        BigInt { sign, mag }
+    }
+}
+
+impl FromStr for BigInt {
+    type Err = ParseBigIntError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (neg, digits) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s.strip_prefix('+').unwrap_or(s)),
+        };
+        if digits.is_empty() {
+            return Err(ParseBigIntError::new("empty"));
+        }
+        let mut mag: Vec<u32> = Vec::new();
+        for ch in digits.chars() {
+            let d = ch.to_digit(10).ok_or(ParseBigIntError::new("non-digit"))?;
+            // mag = mag * 10 + d
+            let mut carry = d as u64;
+            for limb in mag.iter_mut() {
+                let t = *limb as u64 * 10 + carry;
+                *limb = t as u32;
+                carry = t >> 32;
+            }
+            if carry != 0 {
+                mag.push(carry as u32);
+            }
+        }
+        trim(&mut mag);
+        if mag.is_empty() {
+            Ok(BigInt::zero())
+        } else {
+            Ok(BigInt { sign: if neg { Sign::Minus } else { Sign::Plus }, mag })
+        }
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        // Repeated division by 1e9 to extract decimal chunks.
+        let mut mag = self.mag.clone();
+        let mut chunks: Vec<u32> = Vec::new();
+        while !mag.is_empty() {
+            let mut rem = 0u64;
+            for i in (0..mag.len()).rev() {
+                let cur = (rem << 32) | mag[i] as u64;
+                mag[i] = (cur / 1_000_000_000) as u32;
+                rem = cur % 1_000_000_000;
+            }
+            trim(&mut mag);
+            chunks.push(rem as u32);
+        }
+        if self.sign == Sign::Minus {
+            f.write_str("-")?;
+        }
+        let mut it = chunks.iter().rev();
+        write!(f, "{}", it.next().unwrap())?;
+        for c in it {
+            write!(f, "{c:09}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let rank = |s: Sign| match s {
+            Sign::Minus => 0,
+            Sign::Zero => 1,
+            Sign::Plus => 2,
+        };
+        match rank(self.sign).cmp(&rank(other.sign)) {
+            Ordering::Equal => {}
+            other_ord => return other_ord,
+        }
+        match self.sign {
+            Sign::Zero => Ordering::Equal,
+            Sign::Plus => mag_cmp(&self.mag, &other.mag),
+            Sign::Minus => mag_cmp(&other.mag, &self.mag),
+        }
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(mut self) -> BigInt {
+        self.sign = match self.sign {
+            Sign::Minus => Sign::Plus,
+            Sign::Zero => Sign::Zero,
+            Sign::Plus => Sign::Minus,
+        };
+        self
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        -self.clone()
+    }
+}
+
+impl Add for &BigInt {
+    type Output = BigInt;
+    fn add(self, other: &BigInt) -> BigInt {
+        match (self.sign, other.sign) {
+            (Sign::Zero, _) => other.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => BigInt::from_mag(a, mag_add(&self.mag, &other.mag)),
+            _ => match mag_cmp(&self.mag, &other.mag) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => {
+                    BigInt::from_mag(self.sign, mag_sub(&self.mag, &other.mag))
+                }
+                Ordering::Less => {
+                    BigInt::from_mag(other.sign, mag_sub(&other.mag, &self.mag))
+                }
+            },
+        }
+    }
+}
+
+impl Sub for &BigInt {
+    type Output = BigInt;
+    fn sub(self, other: &BigInt) -> BigInt {
+        self + &(-other)
+    }
+}
+
+impl Mul for &BigInt {
+    type Output = BigInt;
+    fn mul(self, other: &BigInt) -> BigInt {
+        if self.is_zero() || other.is_zero() {
+            return BigInt::zero();
+        }
+        let sign = if self.sign == other.sign { Sign::Plus } else { Sign::Minus };
+        BigInt::from_mag(sign, mag_mul(&self.mag, &other.mag))
+    }
+}
+
+macro_rules! forward_owned_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait for BigInt {
+            type Output = BigInt;
+            fn $method(self, other: BigInt) -> BigInt {
+                (&self).$method(&other)
+            }
+        }
+        impl $trait<&BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, other: &BigInt) -> BigInt {
+                (&self).$method(other)
+            }
+        }
+        impl $trait<BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, other: BigInt) -> BigInt {
+                self.$method(&other)
+            }
+        }
+    };
+}
+
+forward_owned_binop!(Add, add);
+forward_owned_binop!(Sub, sub);
+forward_owned_binop!(Mul, mul);
+
+impl AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, other: &BigInt) {
+        *self = &*self + other;
+    }
+}
+
+impl SubAssign<&BigInt> for BigInt {
+    fn sub_assign(&mut self, other: &BigInt) {
+        *self = &*self - other;
+    }
+}
+
+impl MulAssign<&BigInt> for BigInt {
+    fn mul_assign(&mut self, other: &BigInt) {
+        *self = &*self * other;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bi(v: i64) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn zero_is_canonical() {
+        assert!(bi(0).is_zero());
+        assert_eq!(bi(5) - bi(5), BigInt::zero());
+        assert_eq!(BigInt::zero().to_string(), "0");
+        assert_eq!(-BigInt::zero(), BigInt::zero());
+    }
+
+    #[test]
+    fn small_arithmetic_matches_i64() {
+        let cases = [-100i64, -31, -7, -1, 0, 1, 2, 9, 63, 99, 1 << 40];
+        for &a in &cases {
+            for &b in &cases {
+                assert_eq!(bi(a) + bi(b), bi(a + b), "{a} + {b}");
+                assert_eq!(bi(a) - bi(b), bi(a - b), "{a} - {b}");
+                assert_eq!(
+                    BigInt::from(a as i128) * BigInt::from(b as i128),
+                    BigInt::from(a as i128 * b as i128),
+                    "{a} * {b}"
+                );
+                assert_eq!(bi(a).cmp(&bi(b)), a.cmp(&b));
+                if b != 0 {
+                    let (q, r) = bi(a).div_rem(&bi(b));
+                    assert_eq!(q, bi(a / b), "{a} / {b}");
+                    assert_eq!(r, bi(a % b), "{a} % {b}");
+                    assert_eq!(bi(a).div_euclid_big(&bi(b)), bi(a.div_euclid(b)));
+                    assert_eq!(bi(a).rem_euclid_big(&bi(b)), bi(a.rem_euclid(b)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn large_multiplication_crosses_limbs() {
+        let a: BigInt = "123456789012345678901234567890".parse().unwrap();
+        let b: BigInt = "987654321098765432109876543210".parse().unwrap();
+        let p = &a * &b;
+        assert_eq!(
+            p.to_string(),
+            "121932631137021795226185032733622923332237463801111263526900"
+        );
+        let (q, r) = p.div_rem(&a);
+        assert_eq!(q, b);
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for s in ["0", "1", "-1", "4294967296", "-18446744073709551616", "999999999999999999999"] {
+            let v: BigInt = s.parse().unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<BigInt>().is_err());
+        assert!("-".parse::<BigInt>().is_err());
+        assert!("12a".parse::<BigInt>().is_err());
+    }
+
+    #[test]
+    fn parse_accepts_leading_zeros_and_plus() {
+        assert_eq!("0007".parse::<BigInt>().unwrap(), bi(7));
+        assert_eq!("+7".parse::<BigInt>().unwrap(), bi(7));
+        assert_eq!("-000".parse::<BigInt>().unwrap(), BigInt::zero());
+    }
+
+    #[test]
+    fn gcd_properties() {
+        assert_eq!(bi(12).gcd(&bi(18)), bi(6));
+        assert_eq!(bi(-12).gcd(&bi(18)), bi(6));
+        assert_eq!(bi(0).gcd(&bi(5)), bi(5));
+        assert_eq!(bi(0).gcd(&bi(0)), bi(0));
+        assert_eq!(bi(17).gcd(&bi(13)), bi(1));
+    }
+
+    #[test]
+    fn pow_small() {
+        assert_eq!(bi(2).pow(10), bi(1024));
+        assert_eq!(bi(-3).pow(3), bi(-27));
+        assert_eq!(bi(7).pow(0), bi(1));
+        assert_eq!(bi(10).pow(30).to_string(), format!("1{}", "0".repeat(30)));
+    }
+
+    #[test]
+    fn to_i64_bounds() {
+        assert_eq!(bi(i64::MAX).to_i64(), Some(i64::MAX));
+        assert_eq!(bi(i64::MIN).to_i64(), Some(i64::MIN));
+        let big = bi(i64::MAX) + bi(1);
+        assert_eq!(big.to_i64(), None);
+        assert_eq!((-big).to_i64(), Some(i64::MIN));
+        assert_eq!((bi(i64::MIN) - bi(1)).to_i64(), None);
+    }
+
+    #[test]
+    fn to_f64_reasonable() {
+        assert_eq!(bi(0).to_f64(), 0.0);
+        assert_eq!(bi(-5).to_f64(), -5.0);
+        assert_eq!(bi(1 << 52).to_f64(), (1u64 << 52) as f64);
+    }
+
+    #[test]
+    fn parity() {
+        assert!(bi(0).is_even());
+        assert!(bi(2).is_even());
+        assert!(!bi(3).is_even());
+        assert!(bi(-4).is_even());
+    }
+
+    #[test]
+    fn div_floor_semantics() {
+        assert_eq!(bi(7).div_floor_big(&bi(2)), bi(3));
+        assert_eq!(bi(-7).div_floor_big(&bi(2)), bi(-4));
+        assert_eq!(bi(7).div_floor_big(&bi(-2)), bi(-4));
+        assert_eq!(bi(-7).div_floor_big(&bi(-2)), bi(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = bi(1).div_rem(&bi(0));
+    }
+}

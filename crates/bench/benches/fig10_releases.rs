@@ -1,0 +1,20 @@
+//! Fig. 10 — found soundness bugs re-tested against each release version.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use yinyang_bench::bench_config;
+use yinyang_campaign::experiments::{fig10, fig8_campaign};
+
+fn bench(c: &mut Criterion) {
+    // Crash bugs in the solvers under test panic by design; the harness
+    // catches them — keep the default hook from spamming the bench log.
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = fig8_campaign(&bench_config());
+    println!("{}", fig10(&result));
+    let mut group = c.benchmark_group("fig10_release_replay");
+    group.sample_size(10);
+    group.bench_function("replay", |b| b.iter(|| std::hint::black_box(fig10(&result))));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

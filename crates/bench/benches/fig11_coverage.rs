@@ -1,0 +1,18 @@
+//! Fig. 11 — the RQ3 coverage table (Benchmark vs YinYang per benchmark,
+//! oracle, and l/f/b metric).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use yinyang_campaign::experiments::fig11;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig11(800, 6, 0xC0FE));
+    let mut group = c.benchmark_group("fig11_coverage");
+    group.sample_size(10);
+    group.bench_function("coverage_run", |b| {
+        b.iter(|| std::hint::black_box(fig11(1600, 2, 0xC0FE)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Fig. 12 — Benchmark vs ConcatFuzz vs YinYang average coverage (RQ4's
+//! coverage comparison).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use yinyang_campaign::experiments::fig12;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig12(800, 6, 0xC0FE));
+    let mut group = c.benchmark_group("fig12_ablation");
+    group.sample_size(10);
+    group.bench_function("three_arm_run", |b| {
+        b.iter(|| std::hint::black_box(fig12(1600, 2, 0xC0FE)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Fig. 7 — the seed benchmark inventory: prints the table and benchmarks
+//! seed-pool generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use yinyang_seedgen::profile::{fig7_profile, generate_row};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", yinyang_campaign::experiments::fig7(400));
+    let mut group = c.benchmark_group("fig7_seed_generation");
+    group.sample_size(10);
+    for row in fig7_profile().into_iter().take(3) {
+        group.bench_function(row.name, |b| {
+            b.iter(|| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+                std::hint::black_box(generate_row(&mut rng, &row, 800))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Fig. 9 — the historical soundness-bug survey plus RQ2's found fractions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use yinyang_bench::bench_config;
+use yinyang_campaign::experiments::{fig8_campaign, fig9};
+
+fn bench(c: &mut Criterion) {
+    // Crash bugs in the solvers under test panic by design; the harness
+    // catches them — keep the default hook from spamming the bench log.
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = fig8_campaign(&bench_config());
+    println!("{}", fig9(&result));
+    let mut group = c.benchmark_group("fig9_history");
+    group.sample_size(10);
+    group.bench_function("survey_render", |b| {
+        b.iter(|| std::hint::black_box(fig9(&result)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! RQ4 — can ConcatFuzz (concatenation without fusion) retrigger the bugs
+//! YinYang found? The paper reports 5/50.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use yinyang_bench::bench_config;
+use yinyang_campaign::experiments::{fig8_campaign, rq4};
+
+fn bench(c: &mut Criterion) {
+    // Crash bugs in the solvers under test panic by design; the harness
+    // catches them — keep the default hook from spamming the bench log.
+    std::panic::set_hook(Box::new(|_| {}));
+    let config = bench_config();
+    let result = fig8_campaign(&config);
+    println!("{}", rq4(&result, &config));
+    let mut group = c.benchmark_group("rq4_retrigger");
+    group.sample_size(10);
+    group.bench_function("retrigger_check", |b| {
+        b.iter(|| std::hint::black_box(rq4(&result, &config)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

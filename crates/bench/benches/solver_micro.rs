@@ -1,0 +1,73 @@
+//! Microbenchmarks of the solver substrates: SAT core, simplex, regex
+//! derivatives, and the end-to-end reference solver on the paper's φ4.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::BTreeSet;
+use yinyang_solver::sat::{Lit, SatSolver};
+use yinyang_solver::simplex::{solve_linear, Cmp, LinConstraint, LinExpr};
+use yinyang_solver::SmtSolver;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_micro");
+
+    group.bench_function("sat_pigeonhole_4x3", |b| {
+        b.iter(|| {
+            let mut s = SatSolver::new();
+            let vars: Vec<_> = (0..12).map(|_| s.new_var()).collect();
+            for p in 0..4 {
+                s.add_clause((0..3).map(|h| Lit::pos(vars[p * 3 + h])).collect());
+            }
+            for h in 0..3 {
+                for p1 in 0..4 {
+                    for p2 in (p1 + 1)..4 {
+                        s.add_clause(vec![
+                            Lit::neg(vars[p1 * 3 + h]),
+                            Lit::neg(vars[p2 * 3 + h]),
+                        ]);
+                    }
+                }
+            }
+            std::hint::black_box(s.solve(100_000))
+        })
+    });
+
+    group.bench_function("simplex_10_constraints", |b| {
+        b.iter(|| {
+            let mut cs = Vec::new();
+            for i in 0..10i64 {
+                let mut e = LinExpr::var((i % 3) as usize);
+                e.add_term(((i + 1) % 3) as usize, &yinyang_arith::BigRational::from(i + 1));
+                e.constant = yinyang_arith::BigRational::from(-i);
+                cs.push(LinConstraint { expr: e, cmp: Cmp::Le });
+            }
+            std::hint::black_box(solve_linear(3, &cs, &BTreeSet::new()))
+        })
+    });
+
+    group.bench_function("regex_derivative_match", |b| {
+        use std::rc::Rc;
+        use yinyang_smtlib::Regex;
+        let re = Regex::Star(Rc::new(Regex::Union(vec![
+            Rc::new(Regex::Lit("ab".into())),
+            Rc::new(Regex::Lit("ba".into())),
+        ])));
+        b.iter(|| std::hint::black_box(re.matches("abbaabbaabba")))
+    });
+
+    group.bench_function("solve_paper_phi4", |b| {
+        let solver = SmtSolver::new();
+        b.iter(|| {
+            std::hint::black_box(
+                solver.solve_str(
+                    "(declare-fun y () Real)(declare-fun w () Real)(declare-fun v () Real)
+                     (assert (and (< y v) (>= w v) (< (/ w v) 0) (> y 0)))(check-sat)",
+                ),
+            )
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

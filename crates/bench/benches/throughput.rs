@@ -1,0 +1,37 @@
+//! Section 4.2 — test-generation throughput (the paper's Python tool
+//! reports 41.5 fused tests/second single-threaded).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use yinyang_core::{Fuser, Oracle};
+use yinyang_seedgen::SeedGenerator;
+use yinyang_smtlib::Logic;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", yinyang_campaign::experiments::throughput(1.0));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let generator = SeedGenerator::new(Logic::QfNra);
+    let seeds: Vec<_> = (0..10).map(|_| generator.generate_sat(&mut rng)).collect();
+    let fuser = Fuser::new();
+    let mut group = c.benchmark_group("throughput");
+    group.bench_function("fuse_one_pair", |b| {
+        b.iter(|| {
+            let f = fuser
+                .fuse(&mut rng, Oracle::Sat, &seeds[0].script, &seeds[1].script)
+                .expect("fusible");
+            std::hint::black_box(f)
+        })
+    });
+    group.bench_function("fuse_and_print", |b| {
+        b.iter(|| {
+            let f = fuser
+                .fuse(&mut rng, Oracle::Sat, &seeds[2].script, &seeds[3].script)
+                .expect("fusible");
+            std::hint::black_box(f.script.to_string())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Shared helpers for the per-figure benchmark harness.
+//!
+//! Every paper table/figure has a bench target in `benches/` that (a)
+//! regenerates the artifact and prints it, and (b) benchmarks the pipeline
+//! that produces it with criterion.
+
+use yinyang_campaign::config::CampaignConfig;
+
+/// The campaign configuration benches use: small but representative.
+pub fn bench_config() -> CampaignConfig {
+    CampaignConfig { scale: 800, iterations: 6, rounds: 2, rng_seed: 0xBEEF, threads: 1 }
+}

@@ -1,0 +1,239 @@
+//! The fuzzing campaign: Algorithm 1 in rounds against a fault-injected
+//! persona, with the paper's fix-and-retest methodology.
+//!
+//! Every round fuses random seed pairs from the Fig. 7 benchmark pools,
+//! runs the persona, and records discrepancies. Between rounds, confirmed
+//! bugs with landed fixes are deactivated ("Once the developers have fixed
+//! a bug, we validate the fixed version ... then started a new testing
+//! round"), so later rounds surface the bugs that were shadowed before.
+
+use crate::config::{
+    fast_solver_config, Behavior, CampaignConfig, CampaignOutcome, RawFinding,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use yinyang_core::{concat_fuzz, run_catching, Fuser, Oracle, SolverAnswer};
+use yinyang_faults::{BugClass, BugStatus, FaultySolver, SolverId};
+use yinyang_seedgen::profile::{fig7_profile, generate_row};
+use yinyang_seedgen::Seed;
+
+/// Runs a full multi-round campaign against one persona's trunk.
+pub fn run_campaign(config: &CampaignConfig, solver_id: SolverId) -> CampaignOutcome {
+    let mut outcome = CampaignOutcome::default();
+    let mut fixed: BTreeSet<u32> = BTreeSet::new();
+    for round in 0..config.rounds {
+        let round_outcome = if config.threads > 1 {
+            run_round_parallel(config, solver_id, round, &fixed)
+        } else {
+            run_round(config, solver_id, round, &fixed, config.rng_seed)
+        };
+        // Fix-and-retest: deactivate fixed confirmed bugs for later rounds.
+        for f in &round_outcome.findings {
+            if let Some(id) = f.bug_id {
+                let bug = yinyang_faults::registry()
+                    .into_iter()
+                    .find(|b| b.id == id)
+                    .expect("triaged ids come from the registry");
+                if matches!(bug.status, BugStatus::Confirmed { fixed: true }) {
+                    fixed.insert(id);
+                }
+            }
+        }
+        outcome.findings.extend(round_outcome.findings);
+        outcome.stats.tests += round_outcome.stats.tests;
+        outcome.stats.unknowns += round_outcome.stats.unknowns;
+        outcome.stats.fusion_failures += round_outcome.stats.fusion_failures;
+    }
+    outcome
+}
+
+/// The paper's multi-threaded mode: split each round's iterations across
+/// worker threads with independent RNG streams and merge the findings.
+fn run_round_parallel(
+    config: &CampaignConfig,
+    solver_id: SolverId,
+    round: usize,
+    fixed: &BTreeSet<u32>,
+) -> CampaignOutcome {
+    let per_thread = CampaignConfig {
+        iterations: config.iterations.div_ceil(config.threads),
+        ..config.clone()
+    };
+    let mut merged = CampaignOutcome::default();
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..config.threads {
+            let cfg = per_thread.clone();
+            let fixed = fixed.clone();
+            handles.push(scope.spawn(move |_| {
+                run_round(&cfg, solver_id, round, &fixed, cfg.rng_seed ^ (t as u64) << 32)
+            }));
+        }
+        for h in handles {
+            let o = h.join().expect("campaign worker panicked");
+            merged.findings.extend(o.findings);
+            merged.stats.tests += o.stats.tests;
+            merged.stats.unknowns += o.stats.unknowns;
+            merged.stats.fusion_failures += o.stats.fusion_failures;
+        }
+    })
+    .expect("crossbeam scope");
+    merged
+}
+
+/// One single-threaded round over all Fig. 7 benchmarks.
+fn run_round(
+    config: &CampaignConfig,
+    solver_id: SolverId,
+    round: usize,
+    fixed: &BTreeSet<u32>,
+    rng_seed: u64,
+) -> CampaignOutcome {
+    let mut rng = StdRng::seed_from_u64(rng_seed ^ (round as u64).wrapping_mul(0x9E37_79B9));
+    let mut solver = FaultySolver::trunk(solver_id);
+    solver.set_base_config(fast_solver_config());
+    for &id in fixed {
+        solver.apply_fix(id);
+    }
+    let fuser = Fuser::new();
+    let mut outcome = CampaignOutcome::default();
+    for row in fig7_profile() {
+        let seeds = generate_row(&mut rng, &row, config.scale);
+        let sat_pool: Vec<&Seed> =
+            seeds.iter().filter(|s| s.oracle == Oracle::Sat).collect();
+        let unsat_pool: Vec<&Seed> =
+            seeds.iter().filter(|s| s.oracle == Oracle::Unsat).collect();
+        for (oracle, pool) in [(Oracle::Sat, &sat_pool), (Oracle::Unsat, &unsat_pool)] {
+            if pool.len() < 1 {
+                continue;
+            }
+            for _ in 0..config.iterations {
+                let s1 = pool[rng.random_range(0..pool.len())];
+                let s2 = pool[rng.random_range(0..pool.len())];
+                let fused = match fuser.fuse(&mut rng, oracle, &s1.script, &s2.script) {
+                    Ok(f) => f,
+                    Err(_) => {
+                        outcome.stats.fusion_failures += 1;
+                        continue;
+                    }
+                };
+                outcome.stats.tests += 1;
+                let answer = run_catching(&solver, &fused.script);
+                let behavior = match &answer {
+                    SolverAnswer::Crash(msg) => {
+                        Some(Behavior::Crash { message: msg.clone() })
+                    }
+                    SolverAnswer::Unknown => {
+                        outcome.stats.unknowns += 1;
+                        // Performance/unknown-class bugs: spurious unknowns
+                        // with an identifiable trigger.
+                        match solver.triggered_bug(&fused.script) {
+                            Some(b)
+                                if matches!(
+                                    b.class,
+                                    BugClass::Performance | BugClass::Unknown
+                                ) =>
+                            {
+                                Some(Behavior::SpuriousUnknown)
+                            }
+                            _ => None,
+                        }
+                    }
+                    SolverAnswer::Sat | SolverAnswer::Unsat => {
+                        let agrees = matches!(
+                            (oracle, &answer),
+                            (Oracle::Sat, SolverAnswer::Sat)
+                                | (Oracle::Unsat, SolverAnswer::Unsat)
+                        );
+                        if agrees {
+                            None
+                        } else {
+                            Some(Behavior::Incorrect {
+                                got: answer.as_str().to_owned(),
+                                expected: oracle.to_string(),
+                            })
+                        }
+                    }
+                };
+                if let Some(behavior) = behavior {
+                    let bug_id = solver.triggered_bug(&fused.script).map(|b| b.id);
+                    outcome.findings.push(RawFinding {
+                        solver: yinyang_core::SolverUnderTest::name(&solver),
+                        bug_id,
+                        behavior,
+                        logic: fused
+                            .script
+                            .logic()
+                            .unwrap_or("ALL")
+                            .to_owned(),
+                        benchmark: row.name.to_owned(),
+                        round,
+                        script: fused.script.to_string(),
+                        seeds: (s1.script.to_string(), s2.script.to_string()),
+                        oracle: oracle.to_string(),
+                    });
+                }
+            }
+        }
+    }
+    outcome
+}
+
+/// Runs the ConcatFuzz ablation over the same pools (RQ4's comparison arm):
+/// returns findings produced by plain concatenation.
+pub fn run_concatfuzz_round(
+    config: &CampaignConfig,
+    solver_id: SolverId,
+) -> CampaignOutcome {
+    let mut rng = StdRng::seed_from_u64(config.rng_seed ^ 0xC0CAF);
+    let mut solver = FaultySolver::trunk(solver_id);
+    solver.set_base_config(fast_solver_config());
+    let mut outcome = CampaignOutcome::default();
+    for row in fig7_profile() {
+        let seeds = generate_row(&mut rng, &row, config.scale);
+        let sat_pool: Vec<&Seed> =
+            seeds.iter().filter(|s| s.oracle == Oracle::Sat).collect();
+        let unsat_pool: Vec<&Seed> =
+            seeds.iter().filter(|s| s.oracle == Oracle::Unsat).collect();
+        for (oracle, pool) in [(Oracle::Sat, &sat_pool), (Oracle::Unsat, &unsat_pool)] {
+            if pool.is_empty() {
+                continue;
+            }
+            for _ in 0..config.iterations {
+                let s1 = pool[rng.random_range(0..pool.len())];
+                let s2 = pool[rng.random_range(0..pool.len())];
+                let script = concat_fuzz(oracle, &s1.script, &s2.script);
+                outcome.stats.tests += 1;
+                let answer = run_catching(&solver, &script);
+                let wrong = match (&answer, oracle) {
+                    (SolverAnswer::Crash(_), _) => true,
+                    (SolverAnswer::Sat, Oracle::Unsat) => true,
+                    (SolverAnswer::Unsat, Oracle::Sat) => true,
+                    _ => false,
+                };
+                if wrong {
+                    let bug_id = solver.triggered_bug(&script).map(|b| b.id);
+                    outcome.findings.push(RawFinding {
+                        solver: yinyang_core::SolverUnderTest::name(&solver),
+                        bug_id,
+                        behavior: match answer {
+                            SolverAnswer::Crash(message) => Behavior::Crash { message },
+                            a => Behavior::Incorrect {
+                                got: a.as_str().to_owned(),
+                                expected: oracle.to_string(),
+                            },
+                        },
+                        logic: script.logic().unwrap_or("ALL").to_owned(),
+                        benchmark: row.name.to_owned(),
+                        round: 0,
+                        script: script.to_string(),
+                        seeds: (s1.script.to_string(), s2.script.to_string()),
+                        oracle: oracle.to_string(),
+                    });
+                }
+            }
+        }
+    }
+    outcome
+}

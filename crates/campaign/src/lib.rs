@@ -1,0 +1,24 @@
+//! Campaign orchestration and the experiment harness that regenerates
+//! every table and figure of the paper's evaluation (Section 4).
+//!
+//! * [`campaign`] — Algorithm 1 in fix-and-retest rounds against the
+//!   fault-injected personas, with the paper's multi-threaded mode;
+//! * [`triage`](mod@triage) — findings → Fig. 8a/8b/8c tables;
+//! * [`experiments`] — one entry point per figure: [`experiments::fig7`]
+//!   through [`experiments::fig12`], [`experiments::rq4`],
+//!   [`experiments::throughput`], and the
+//!   [`experiments::false_positive_check`] soundness guarantee.
+//!
+//! The `yinyang` binary in this crate exposes all of it on the command
+//! line (`yinyang exp all`).
+
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod config;
+pub mod experiments;
+pub mod triage;
+
+pub use campaign::{run_campaign, run_concatfuzz_round};
+pub use config::{Behavior, CampaignConfig, CampaignOutcome, RawFinding};
+pub use triage::{triage, Triage};

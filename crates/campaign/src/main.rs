@@ -1,0 +1,203 @@
+//! The `yinyang` command-line tool.
+//!
+//! ```text
+//! yinyang exp <fig7|fig8|fig9|fig10|fig11|fig12|rq4|throughput|fp|all> [options]
+//! yinyang fuzz [options]               # raw fuzzing campaign, prints findings
+//! yinyang solve <file.smt2>            # run the reference solver on a script
+//! yinyang fuse <sat|unsat> <a> <b>     # fuse two seed files, print the result
+//!
+//! options: --scale N --iterations N --rounds N --seed N --threads N --json
+//! ```
+
+use std::process::ExitCode;
+use yinyang_campaign::config::CampaignConfig;
+use yinyang_campaign::experiments;
+use yinyang_core::{Fuser, Oracle};
+use yinyang_solver::SmtSolver;
+
+fn main() -> ExitCode {
+    // Crash bugs in the solvers under test panic by design and are caught
+    // by the harness; keep the default hook from spamming stderr. Set
+    // YINYANG_PANIC_TRACE=1 to restore backtraces while debugging.
+    if std::env::var_os("YINYANG_PANIC_TRACE").is_none() {
+        std::panic::set_hook(Box::new(|_| {}));
+    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = CampaignConfig::default();
+    let mut json = false;
+    let mut positional: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                config.scale = parse_num(&args, &mut i);
+            }
+            "--iterations" => {
+                config.iterations = parse_num(&args, &mut i);
+            }
+            "--rounds" => {
+                config.rounds = parse_num(&args, &mut i);
+            }
+            "--seed" => {
+                config.rng_seed = parse_num(&args, &mut i) as u64;
+            }
+            "--threads" => {
+                config.threads = parse_num(&args, &mut i);
+            }
+            "--json" => json = true,
+            other => positional.push(other.to_owned()),
+        }
+        i += 1;
+    }
+    match positional.first().map(String::as_str) {
+        Some("exp") => run_exp(positional.get(1).map(String::as_str), &config, json),
+        Some("fuzz") => {
+            let result = experiments::fig8_campaign(&config);
+            if json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&result).expect("serializable")
+                );
+            } else {
+                println!("{}", experiments::render_fig8(&result));
+                for f in result.zirkon.findings.iter().chain(&result.corvus.findings) {
+                    println!(
+                        "[{}] bug {:?} on {} ({}): {:?}",
+                        f.solver, f.bug_id, f.benchmark, f.logic, f.behavior
+                    );
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Some("solve") => {
+            let Some(path) = positional.get(1) else {
+                eprintln!("usage: yinyang solve <file.smt2>");
+                return ExitCode::FAILURE;
+            };
+            let Ok(text) = std::fs::read_to_string(path) else {
+                eprintln!("cannot read {path}");
+                return ExitCode::FAILURE;
+            };
+            match SmtSolver::new().solve_str(&text) {
+                Ok(out) => {
+                    println!("{}", out.result);
+                    if let Some(m) = out.model {
+                        println!("{}", m.to_smtlib());
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("parse error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("fuse") => {
+            let (Some(oracle), Some(a), Some(b)) =
+                (positional.get(1), positional.get(2), positional.get(3))
+            else {
+                eprintln!("usage: yinyang fuse <sat|unsat> <a.smt2> <b.smt2>");
+                return ExitCode::FAILURE;
+            };
+            let oracle = if oracle == "sat" { Oracle::Sat } else { Oracle::Unsat };
+            let read = |p: &str| std::fs::read_to_string(p).ok();
+            let (Some(ta), Some(tb)) = (read(a), read(b)) else {
+                eprintln!("cannot read input files");
+                return ExitCode::FAILURE;
+            };
+            let (Ok(sa), Ok(sb)) =
+                (yinyang_smtlib::parse_script(&ta), yinyang_smtlib::parse_script(&tb))
+            else {
+                eprintln!("parse error in seed files");
+                return ExitCode::FAILURE;
+            };
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(config.rng_seed);
+            match Fuser::new().fuse(&mut rng, oracle, &sa, &sb) {
+                Ok(fused) => {
+                    println!("; oracle: {}", fused.oracle);
+                    print!("{}", fused.script);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("fusion failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => {
+            eprintln!(
+                "usage: yinyang <exp|fuzz|solve|fuse> ... \
+                 (experiments: fig7 fig8 fig9 fig10 fig11 fig12 rq4 throughput fp all)"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_num(args: &[String], i: &mut usize) -> usize {
+    *i += 1;
+    args.get(*i)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("expected a number after {}", args[*i - 1]))
+}
+
+fn run_exp(which: Option<&str>, config: &CampaignConfig, json: bool) -> ExitCode {
+    let coverage_tests = config.iterations;
+    match which {
+        Some("fig7") => print!("{}", experiments::fig7(config.scale)),
+        Some("fig8") => {
+            let r = experiments::fig8_campaign(config);
+            if json {
+                println!("{}", serde_json::to_string_pretty(&r.triage).expect("json"));
+            } else {
+                print!("{}", experiments::render_fig8(&r));
+            }
+        }
+        Some("fig9") => {
+            let r = experiments::fig8_campaign(config);
+            print!("{}", experiments::fig9(&r));
+        }
+        Some("fig10") => {
+            let r = experiments::fig8_campaign(config);
+            print!("{}", experiments::fig10(&r));
+        }
+        Some("fig11") => {
+            print!("{}", experiments::fig11(config.scale, coverage_tests, config.rng_seed))
+        }
+        Some("fig12") => {
+            print!("{}", experiments::fig12(config.scale, coverage_tests, config.rng_seed))
+        }
+        Some("rq4") => {
+            let r = experiments::fig8_campaign(config);
+            print!("{}", experiments::rq4(&r, config));
+        }
+        Some("throughput") => print!("{}", experiments::throughput(2.0)),
+        Some("fp") => print!("{}", experiments::false_positive_check(10, config.rng_seed)),
+        Some("all") | None => {
+            print!("{}", experiments::fig7(config.scale));
+            println!();
+            let r = experiments::fig8_campaign(config);
+            print!("{}", experiments::render_fig8(&r));
+            println!();
+            print!("{}", experiments::fig9(&r));
+            println!();
+            print!("{}", experiments::fig10(&r));
+            println!();
+            print!("{}", experiments::fig11(config.scale, coverage_tests, config.rng_seed));
+            println!();
+            print!("{}", experiments::fig12(config.scale, coverage_tests, config.rng_seed));
+            println!();
+            print!("{}", experiments::rq4(&r, config));
+            println!();
+            print!("{}", experiments::throughput(2.0));
+            println!();
+            print!("{}", experiments::false_positive_check(6, config.rng_seed));
+        }
+        Some(other) => {
+            eprintln!("unknown experiment: {other}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

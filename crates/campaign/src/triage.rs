@@ -1,0 +1,246 @@
+//! Triage: turning raw findings into the paper's Fig. 8 tables.
+//!
+//! Each finding maps (via its fired trigger) to a registry bug. The first
+//! report of a bug counts as *reported*; findings for an already-reported
+//! bug in a later round count as *duplicates* (re-filed issues). Confirmed /
+//! fixed / won't-fix statuses come from the registry metadata.
+
+use crate::config::{solver_of, Behavior, RawFinding};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use yinyang_faults::{registry, BugClass, BugStatus, InjectedBug, SolverId};
+
+/// The Fig. 8a status table for one persona.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatusCounts {
+    /// Total reports filed (unique bugs + duplicates).
+    pub reported: usize,
+    /// Reports confirmed as real bugs.
+    pub confirmed: usize,
+    /// Confirmed bugs with landed fixes.
+    pub fixed: usize,
+    /// Re-filed reports of already-known bugs.
+    pub duplicate: usize,
+    /// Reports closed as working-as-intended.
+    pub wont_fix: usize,
+}
+
+/// Full triage result.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Triage {
+    /// Fig. 8a per persona (keyed by persona name).
+    pub status: BTreeMap<String, StatusCounts>,
+    /// Fig. 8b: confirmed bug classes per persona.
+    pub classes: BTreeMap<String, BTreeMap<String, usize>>,
+    /// Fig. 8c: confirmed bug logics per persona.
+    pub logics: BTreeMap<String, BTreeMap<String, usize>>,
+    /// The distinct bug ids found, per persona.
+    pub found_bugs: BTreeMap<String, BTreeSet<u32>>,
+}
+
+/// Runs triage over findings from any number of campaigns.
+pub fn triage(findings: &[RawFinding]) -> Triage {
+    let reg: BTreeMap<u32, InjectedBug> =
+        registry().into_iter().map(|b| (b.id, b)).collect();
+    let mut out = Triage::default();
+    // First report round per bug.
+    let mut first_round: BTreeMap<u32, usize> = BTreeMap::new();
+    // (bug, round) pairs already filed — repeats within a round are not
+    // re-filed (the tester notices the duplicate locally).
+    let mut filed: BTreeSet<(u32, usize)> = BTreeSet::new();
+    for f in findings {
+        let Some(id) = f.bug_id else { continue };
+        let Some(bug) = reg.get(&id) else { continue };
+        let Some(solver) = solver_of(f) else { continue };
+        let key = solver.name().to_owned();
+        let status = out.status.entry(key.clone()).or_default();
+        let newly_filed = filed.insert((id, f.round));
+        if !newly_filed {
+            continue;
+        }
+        match first_round.get(&id) {
+            None => {
+                first_round.insert(id, f.round);
+                status.reported += 1;
+                out.found_bugs.entry(key.clone()).or_default().insert(id);
+                match bug.status {
+                    BugStatus::Confirmed { fixed } => {
+                        status.confirmed += 1;
+                        if fixed {
+                            status.fixed += 1;
+                        }
+                        *out.classes
+                            .entry(key.clone())
+                            .or_default()
+                            .entry(bug.class.name().to_owned())
+                            .or_default() += 1;
+                        *out.logics
+                            .entry(key.clone())
+                            .or_default()
+                            .entry(bug.logic.name().to_owned())
+                            .or_default() += 1;
+                    }
+                    BugStatus::WontFix => status.wont_fix += 1,
+                    BugStatus::Pending => {}
+                }
+            }
+            Some(_) => {
+                status.reported += 1;
+                status.duplicate += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Distinct confirmed soundness bugs found for a persona, with one
+/// representative finding each (for RQ4 and Fig. 10).
+pub fn soundness_representatives<'a>(
+    findings: &'a [RawFinding],
+    solver: SolverId,
+) -> Vec<(u32, &'a RawFinding)> {
+    let reg: BTreeMap<u32, InjectedBug> =
+        registry().into_iter().map(|b| (b.id, b)).collect();
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::new();
+    for f in findings {
+        if solver_of(f) != Some(solver) {
+            continue;
+        }
+        let Some(id) = f.bug_id else { continue };
+        let Some(bug) = reg.get(&id) else { continue };
+        if bug.class == BugClass::Soundness
+            && matches!(bug.status, BugStatus::Confirmed { .. })
+            && matches!(f.behavior, Behavior::Incorrect { .. })
+            && seen.insert(id)
+        {
+            out.push((id, f));
+        }
+    }
+    out
+}
+
+/// One representative finding per distinct bug (all classes) — the RQ4
+/// "50 reported bugs" pool.
+pub fn representatives<'a>(findings: &'a [RawFinding]) -> Vec<(u32, &'a RawFinding)> {
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::new();
+    for f in findings {
+        let Some(id) = f.bug_id else { continue };
+        if seen.insert(id) {
+            out.push((id, f));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(bug_id: u32, round: usize, solver: &str) -> RawFinding {
+        RawFinding {
+            solver: solver.to_owned(),
+            bug_id: Some(bug_id),
+            behavior: Behavior::Incorrect { got: "sat".into(), expected: "unsat".into() },
+            logic: "NRA".into(),
+            benchmark: "NRA".into(),
+            round,
+            script: String::new(),
+            seeds: (String::new(), String::new()),
+            oracle: "unsat".into(),
+        }
+    }
+
+    #[test]
+    fn first_report_counts_once() {
+        // Bug 1 found three times in round 0: one report, no duplicates.
+        let fs = vec![
+            finding(1, 0, "zirkon-trunk"),
+            finding(1, 0, "zirkon-trunk"),
+            finding(1, 0, "zirkon-trunk"),
+        ];
+        let t = triage(&fs);
+        let s = &t.status["zirkon"];
+        assert_eq!(s.reported, 1);
+        assert_eq!(s.duplicate, 0);
+        assert_eq!(s.confirmed, 1);
+    }
+
+    #[test]
+    fn later_round_refile_is_duplicate() {
+        let fs = vec![finding(1, 0, "zirkon-trunk"), finding(1, 1, "zirkon-trunk")];
+        let t = triage(&fs);
+        let s = &t.status["zirkon"];
+        assert_eq!(s.reported, 2);
+        assert_eq!(s.duplicate, 1);
+        assert_eq!(s.confirmed, 1, "duplicates do not re-confirm");
+    }
+
+    #[test]
+    fn classes_and_logics_follow_registry() {
+        // Bug 1 in the registry is z-nra-s1: Zirkon / Soundness / NRA.
+        let t = triage(&[finding(1, 0, "zirkon-trunk")]);
+        assert_eq!(t.classes["zirkon"]["Soundness"], 1);
+        assert_eq!(t.logics["zirkon"]["NRA"], 1);
+    }
+
+    #[test]
+    fn unknown_bug_ids_are_skipped() {
+        let mut f = finding(1, 0, "zirkon-trunk");
+        f.bug_id = None;
+        let t = triage(&[f]);
+        assert!(t.status.is_empty());
+    }
+
+    #[test]
+    fn wontfix_and_pending_statuses() {
+        // z-wf1 and z-pend1 ids from the registry.
+        let reg = registry();
+        let wf = reg.iter().find(|b| b.name == "z-wf1").unwrap().id;
+        let pend = reg.iter().find(|b| b.name == "z-pend1").unwrap().id;
+        let t = triage(&[finding(wf, 0, "zirkon-trunk"), finding(pend, 0, "zirkon-trunk")]);
+        let s = &t.status["zirkon"];
+        assert_eq!(s.reported, 2);
+        assert_eq!(s.confirmed, 0, "wont-fix and pending are not confirmed");
+        assert_eq!(s.wont_fix, 1);
+        assert_eq!(s.fixed, 0);
+    }
+
+    #[test]
+    fn representatives_dedupe_by_bug() {
+        let fs = vec![
+            finding(1, 0, "zirkon-trunk"),
+            finding(1, 1, "zirkon-trunk"),
+            finding(2, 0, "zirkon-trunk"),
+        ];
+        let reps = representatives(&fs);
+        assert_eq!(reps.len(), 2);
+        assert_eq!(reps[0].0, 1);
+        assert_eq!(reps[1].0, 2);
+    }
+
+    #[test]
+    fn soundness_representatives_filter_class_and_solver() {
+        let reg = registry();
+        let crash_bug = reg
+            .iter()
+            .find(|b| b.solver == SolverId::Zirkon && b.class == BugClass::Crash)
+            .unwrap()
+            .id;
+        let sound_bug = reg
+            .iter()
+            .find(|b| b.solver == SolverId::Zirkon && b.class == BugClass::Soundness)
+            .unwrap()
+            .id;
+        let fs = vec![
+            finding(crash_bug, 0, "zirkon-trunk"),
+            finding(sound_bug, 0, "zirkon-trunk"),
+            finding(sound_bug, 0, "corvus-trunk"), // wrong persona string
+        ];
+        let reps = soundness_representatives(&fs, SolverId::Zirkon);
+        assert_eq!(reps.len(), 1);
+        assert_eq!(reps[0].0, sound_bug);
+    }
+}
+

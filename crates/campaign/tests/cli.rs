@@ -1,0 +1,96 @@
+//! End-to-end tests of the `yinyang` binary: the CLI surface the paper's
+//! tool exposes (testing campaigns, solving, fusing).
+
+use std::process::Command;
+
+fn yinyang() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_yinyang"))
+}
+
+#[test]
+fn exp_fig7_prints_inventory() {
+    let out = yinyang().args(["exp", "fig7"]).output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("QF_SLIA"));
+    assert!(text.contains("75097"));
+}
+
+#[test]
+fn solve_reads_a_script() {
+    let dir = std::env::temp_dir().join("yinyang-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("sat.smt2");
+    std::fs::write(
+        &path,
+        "(declare-fun x () Int) (assert (> x 41)) (assert (< x 43)) (check-sat)",
+    )
+    .unwrap();
+    let out = yinyang().args(["solve", path.to_str().unwrap()]).output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("sat"), "{text}");
+    assert!(text.contains("(define-fun x () Int 42)"), "{text}");
+}
+
+#[test]
+fn solve_rejects_garbage() {
+    let dir = std::env::temp_dir().join("yinyang-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.smt2");
+    std::fs::write(&path, "(this is not smtlib").unwrap();
+    let out = yinyang().args(["solve", path.to_str().unwrap()]).output().expect("spawn");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn fuse_produces_a_parseable_script() {
+    let dir = std::env::temp_dir().join("yinyang-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let a = dir.join("a.smt2");
+    let b = dir.join("b.smt2");
+    std::fs::write(&a, "(set-logic QF_LIA) (declare-fun x () Int) (assert (> x 0))").unwrap();
+    std::fs::write(&b, "(set-logic QF_LIA) (declare-fun y () Int) (assert (< y 0))").unwrap();
+    let out = yinyang()
+        .args(["fuse", "sat", a.to_str().unwrap(), b.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("; oracle: sat"));
+    let body: String = text
+        .lines()
+        .filter(|l| !l.starts_with(';'))
+        .collect::<Vec<_>>()
+        .join("\n");
+    yinyang_smtlib::parse_script(&body).expect("fused output parses");
+}
+
+#[test]
+fn unknown_subcommand_fails() {
+    let out = yinyang().args(["frobnicate"]).output().expect("spawn");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn exp_fp_reports_no_false_positives() {
+    let out = yinyang()
+        .args(["exp", "fp", "--seed", "3"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("No false positives"), "{text}");
+}
+
+#[test]
+fn exp_fig8_json_is_valid() {
+    let out = yinyang()
+        .args(["exp", "fig8", "--iterations", "2", "--rounds", "1", "--json"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let v: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("valid JSON triage");
+    assert!(v.get("status").is_some());
+}

@@ -1,0 +1,646 @@
+//! Semantic Fusion — the paper's core technique (Section 3).
+//!
+//! [`Fuser::fuse`] implements Algorithm 2: given two equisatisfiable seed
+//! scripts, it renames their variables apart, picks random variable triplets
+//! `(z, x, y)`, substitutes a random subset of occurrences by inversion
+//! terms (`φ[rx(y,z)/x]_R`), and combines:
+//!
+//! * **SAT fusion** (Proposition 1): conjunction of the two rewritten
+//!   formulas — satisfiable by the model `M = M1 ∪ M2 ∪ {z ↦ f(x,y)}`;
+//! * **UNSAT fusion** (Proposition 2): disjunction plus the fusion
+//!   constraints `z = f(x,y)`, `x = rx(y,z)`, `y = ry(x,z)`;
+//! * **mixed fusion** (Section 3.2's remark) for seed pairs of differing
+//!   satisfiability.
+
+use crate::functions::{random_fusion_function, FusionFunction};
+use rand::Rng;
+use std::collections::BTreeSet;
+use std::fmt;
+use yinyang_smtlib::subst::{fresh_name, substitute_occurrences};
+use yinyang_smtlib::{Command, Logic, Script, Sort, Symbol, Term};
+
+/// Ground-truth satisfiability of seeds and fused formulas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Oracle {
+    /// Satisfiable.
+    Sat,
+    /// Unsatisfiable.
+    Unsat,
+}
+
+impl fmt::Display for Oracle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Oracle::Sat => "sat",
+            Oracle::Unsat => "unsat",
+        })
+    }
+}
+
+/// Configuration of the fusion engine.
+#[derive(Debug, Clone)]
+pub struct FusionConfig {
+    /// Probability that each individual free occurrence of a fused variable
+    /// is replaced by its inversion term (the random `R` in `[e/x]_R`).
+    pub substitution_prob: f64,
+    /// Maximum number of `(z, x, y)` triplets per fusion.
+    pub max_triplets: usize,
+    /// Restrict SAT fusion to division-free fusion functions. The
+    /// multiplicative rows of Fig. 6 rely on the SMT-LIB treatment of
+    /// division by zero as a free symbol; setting this keeps SAT fusion
+    /// unconditionally model-preserving (used by the property tests).
+    pub division_free_sat: bool,
+}
+
+impl Default for FusionConfig {
+    fn default() -> Self {
+        FusionConfig { substitution_prob: 0.5, max_triplets: 2, division_free_sat: false }
+    }
+}
+
+/// Why a fusion attempt failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FusionError {
+    /// The seeds share no sort with fusible variables.
+    NoFusablePair,
+}
+
+impl fmt::Display for FusionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FusionError::NoFusablePair => {
+                f.write_str("seed formulas have no fusible variable pair of a common sort")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FusionError {}
+
+/// One `(z, x, y)` fusion triplet as applied.
+#[derive(Debug, Clone)]
+pub struct Triplet {
+    /// The fresh variable.
+    pub z: Symbol,
+    /// The fused variable from the first (renamed) seed.
+    pub x: Symbol,
+    /// The fused variable from the second (renamed) seed.
+    pub y: Symbol,
+    /// The sort of all three.
+    pub sort: Sort,
+    /// The fusion/inversion function family used.
+    pub function: FusionFunction,
+    /// How many occurrences of `x` were replaced.
+    pub replaced_x: usize,
+    /// How many occurrences of `y` were replaced.
+    pub replaced_y: usize,
+}
+
+/// The result of one fusion.
+#[derive(Debug, Clone)]
+pub struct Fused {
+    /// The fused SMT-LIB script (with `check-sat`).
+    pub script: Script,
+    /// Ground truth of the fused script.
+    pub oracle: Oracle,
+    /// The triplets used.
+    pub triplets: Vec<Triplet>,
+    /// The renamed first seed (variables suffixed), for diagnosis.
+    pub renamed_seed1: Script,
+    /// The renamed second seed.
+    pub renamed_seed2: Script,
+}
+
+/// The fusion engine (Algorithm 2 plus the mixed variants).
+#[derive(Debug, Clone, Default)]
+pub struct Fuser {
+    config: FusionConfig,
+}
+
+impl Fuser {
+    /// A fuser with the default configuration.
+    pub fn new() -> Self {
+        Fuser::default()
+    }
+
+    /// A fuser with an explicit configuration.
+    pub fn with_config(config: FusionConfig) -> Self {
+        Fuser { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FusionConfig {
+        &self.config
+    }
+
+    /// Fuses two seeds of equal satisfiability `oracle` (Algorithm 2).
+    ///
+    /// # Errors
+    ///
+    /// [`FusionError::NoFusablePair`] when the seeds share no fusible sort.
+    pub fn fuse(
+        &self,
+        rng: &mut impl Rng,
+        oracle: Oracle,
+        seed1: &Script,
+        seed2: &Script,
+    ) -> Result<Fused, FusionError> {
+        let s1 = seed1.rename_vars(|v| Symbol::new(format!("{v}_p1")));
+        let s2 = seed2.rename_vars(|v| Symbol::new(format!("{v}_p2")));
+        let (mut asserts1, mut asserts2) = (s1.asserts(), s2.asserts());
+        let decls1 = s1.declarations();
+        let decls2 = s2.declarations();
+
+        let mut avoid: BTreeSet<Symbol> = decls1.keys().cloned().collect();
+        avoid.extend(decls2.keys().cloned());
+
+        let triplets =
+            self.pick_triplets(rng, &s1, &s2, &mut avoid)?;
+
+        // Variable fusion: substitute random occurrences.
+        let mut applied: Vec<Triplet> = Vec::new();
+        for (x, y, z, sort, function) in triplets {
+            let zt = Term::var(z.clone());
+            let xt = Term::var(x.clone());
+            let yt = Term::var(y.clone());
+            let rx = function.rx_term(&xt, &yt, &zt);
+            let ry = function.ry_term(&xt, &yt, &zt);
+            let prob = self.config.substitution_prob;
+            let mut replaced_x = 0usize;
+            asserts1 = asserts1
+                .iter()
+                .map(|a| {
+                    substitute_occurrences(a, &x, &rx, &mut |_| {
+                        let hit = rng.random_bool(prob);
+                        replaced_x += usize::from(hit);
+                        hit
+                    })
+                })
+                .collect();
+            let mut replaced_y = 0usize;
+            asserts2 = asserts2
+                .iter()
+                .map(|a| {
+                    substitute_occurrences(a, &y, &ry, &mut |_| {
+                        let hit = rng.random_bool(prob);
+                        replaced_y += usize::from(hit);
+                        hit
+                    })
+                })
+                .collect();
+            applied.push(Triplet {
+                z,
+                x,
+                y,
+                sort,
+                function,
+                replaced_x,
+                replaced_y,
+            });
+        }
+
+        // Assemble the fused script.
+        let logic = fused_logic(seed1, seed2, &applied);
+        let mut script = Script::new();
+        script.push(Command::SetLogic(logic));
+        for (name, sort) in decls1.iter().chain(decls2.iter()) {
+            script.declare_var(name.clone(), *sort);
+        }
+        for t in &applied {
+            script.declare_var(t.z.clone(), t.sort);
+        }
+        match oracle {
+            Oracle::Sat => {
+                // Formula conjunction: merge the assert blocks.
+                for a in asserts1.iter().chain(asserts2.iter()) {
+                    script.assert_term(a.clone());
+                }
+            }
+            Oracle::Unsat => {
+                // Formula disjunction plus fusion constraints.
+                let disj = Term::or(vec![
+                    Term::and(asserts1.clone()),
+                    Term::and(asserts2.clone()),
+                ]);
+                script.assert_term(disj);
+                for t in &applied {
+                    push_fusion_constraints(&mut script, t);
+                }
+            }
+        }
+        script.push(Command::CheckSat);
+        Ok(Fused {
+            script,
+            oracle,
+            triplets: applied,
+            renamed_seed1: s1,
+            renamed_seed2: s2,
+        })
+    }
+
+    /// Mixed fusion (Section 3.2): `seed_sat` is satisfiable, `seed_unsat`
+    /// unsatisfiable; `want` selects the satisfiability of the output.
+    ///
+    /// # Errors
+    ///
+    /// [`FusionError::NoFusablePair`] when the seeds share no fusible sort.
+    pub fn fuse_mixed(
+        &self,
+        rng: &mut impl Rng,
+        seed_sat: &Script,
+        seed_unsat: &Script,
+        want: Oracle,
+    ) -> Result<Fused, FusionError> {
+        let s1 = seed_sat.rename_vars(|v| Symbol::new(format!("{v}_p1")));
+        let s2 = seed_unsat.rename_vars(|v| Symbol::new(format!("{v}_p2")));
+        let (mut asserts1, mut asserts2) = (s1.asserts(), s2.asserts());
+        let decls1 = s1.declarations();
+        let decls2 = s2.declarations();
+        let mut avoid: BTreeSet<Symbol> = decls1.keys().cloned().collect();
+        avoid.extend(decls2.keys().cloned());
+        let triplets = self.pick_triplets(rng, &s1, &s2, &mut avoid)?;
+
+        let mut applied: Vec<Triplet> = Vec::new();
+        for (x, y, z, sort, function) in triplets {
+            let zt = Term::var(z.clone());
+            let xt = Term::var(x.clone());
+            let yt = Term::var(y.clone());
+            let rx = function.rx_term(&xt, &yt, &zt);
+            let ry = function.ry_term(&xt, &yt, &zt);
+            let prob = self.config.substitution_prob;
+            let mut replaced_x = 0usize;
+            asserts1 = asserts1
+                .iter()
+                .map(|a| {
+                    substitute_occurrences(a, &x, &rx, &mut |_| {
+                        let hit = rng.random_bool(prob);
+                        replaced_x += usize::from(hit);
+                        hit
+                    })
+                })
+                .collect();
+            let mut replaced_y = 0usize;
+            asserts2 = asserts2
+                .iter()
+                .map(|a| {
+                    substitute_occurrences(a, &y, &ry, &mut |_| {
+                        let hit = rng.random_bool(prob);
+                        replaced_y += usize::from(hit);
+                        hit
+                    })
+                })
+                .collect();
+            applied.push(Triplet { z, x, y, sort, function, replaced_x, replaced_y });
+        }
+
+        let logic = fused_logic(seed_sat, seed_unsat, &applied);
+        let mut script = Script::new();
+        script.push(Command::SetLogic(logic));
+        for (name, sort) in decls1.iter().chain(decls2.iter()) {
+            script.declare_var(name.clone(), *sort);
+        }
+        for t in &applied {
+            script.declare_var(t.z.clone(), t.sort);
+        }
+        match want {
+            Oracle::Sat => {
+                // φ1' ∨ φ2' — satisfiable because φ1 is (choose y freely,
+                // set z = f(x, y)).
+                script.assert_term(Term::or(vec![
+                    Term::and(asserts1.clone()),
+                    Term::and(asserts2.clone()),
+                ]));
+            }
+            Oracle::Unsat => {
+                // φ1' ∧ φ2' ∧ constraints — the φ2 side is equivalent to
+                // the unsatisfiable seed.
+                for a in asserts1.iter().chain(asserts2.iter()) {
+                    script.assert_term(a.clone());
+                }
+                for t in &applied {
+                    push_fusion_constraints(&mut script, t);
+                }
+            }
+        }
+        script.push(Command::CheckSat);
+        Ok(Fused {
+            script,
+            oracle: want,
+            triplets: applied,
+            renamed_seed1: s1,
+            renamed_seed2: s2,
+        })
+    }
+
+    /// `random_map` from Algorithm 2: random variable pairs with fresh `z`s.
+    #[allow(clippy::type_complexity)]
+    fn pick_triplets(
+        &self,
+        rng: &mut impl Rng,
+        s1: &Script,
+        s2: &Script,
+        avoid: &mut BTreeSet<Symbol>,
+    ) -> Result<Vec<(Symbol, Symbol, Symbol, Sort, FusionFunction)>, FusionError> {
+        let used1 = s1.used_vars();
+        let used2 = s2.used_vars();
+        let mut by_sort: Vec<(Sort, Vec<Symbol>, Vec<Symbol>)> = Vec::new();
+        for sort in [Sort::Int, Sort::Real, Sort::String] {
+            let xs: Vec<Symbol> = used1
+                .iter()
+                .filter(|(_, s)| **s == sort)
+                .map(|(v, _)| v.clone())
+                .collect();
+            let ys: Vec<Symbol> = used2
+                .iter()
+                .filter(|(_, s)| **s == sort)
+                .map(|(v, _)| v.clone())
+                .collect();
+            if !xs.is_empty() && !ys.is_empty() {
+                by_sort.push((sort, xs, ys));
+            }
+        }
+        if by_sort.is_empty() {
+            return Err(FusionError::NoFusablePair);
+        }
+        let mut out = Vec::new();
+        let mut used_x: BTreeSet<Symbol> = BTreeSet::new();
+        let mut used_y: BTreeSet<Symbol> = BTreeSet::new();
+        for _ in 0..self.config.max_triplets {
+            let (sort, xs, ys) = &by_sort[rng.random_range(0..by_sort.len())];
+            let xs_free: Vec<&Symbol> = xs.iter().filter(|v| !used_x.contains(*v)).collect();
+            let ys_free: Vec<&Symbol> = ys.iter().filter(|v| !used_y.contains(*v)).collect();
+            if xs_free.is_empty() || ys_free.is_empty() {
+                continue;
+            }
+            let x = xs_free[rng.random_range(0..xs_free.len())].clone();
+            let y = ys_free[rng.random_range(0..ys_free.len())].clone();
+            let z = fresh_name("z", avoid);
+            avoid.insert(z.clone());
+            used_x.insert(x.clone());
+            used_y.insert(y.clone());
+            let mut function = random_fusion_function(rng, *sort)
+                .expect("fusible sorts have functions");
+            if self.config.division_free_sat {
+                // Re-draw until division-free (the additive rows always are).
+                for _ in 0..16 {
+                    if !function.has_division() {
+                        break;
+                    }
+                    function = random_fusion_function(rng, *sort)
+                        .expect("fusible sorts have functions");
+                }
+                if function.has_division() {
+                    continue;
+                }
+            }
+            out.push((x, y, z, *sort, function));
+        }
+        if out.is_empty() {
+            return Err(FusionError::NoFusablePair);
+        }
+        Ok(out)
+    }
+}
+
+/// Appends the fusion constraints for one triplet (UNSAT fusion step 4).
+fn push_fusion_constraints(script: &mut Script, t: &Triplet) {
+    let xt = Term::var(t.x.clone());
+    let yt = Term::var(t.y.clone());
+    let zt = Term::var(t.z.clone());
+    script.assert_term(Term::eq(zt.clone(), t.function.fusion_term(&xt, &yt)));
+    script.assert_term(Term::eq(xt.clone(), t.function.rx_term(&xt, &yt, &zt)));
+    script.assert_term(Term::eq(yt.clone(), t.function.ry_term(&xt, &yt, &zt)));
+}
+
+/// Logic of the fused formula: the join of the seed logics, bumped to the
+/// nonlinear variant when a multiplicative fusion function was used.
+fn fused_logic(seed1: &Script, seed2: &Script, triplets: &[Triplet]) -> String {
+    let l1 = seed1.logic().and_then(|l| l.parse::<Logic>().ok());
+    let l2 = seed2.logic().and_then(|l| l.parse::<Logic>().ok());
+    let multiplicative = triplets.iter().any(|t| t.function.has_division());
+    match (l1, l2) {
+        (Some(a), Some(b)) => {
+            let strings = a.has_strings() || b.has_strings();
+            if strings {
+                // QF_S joins with integer logics to QF_SLIA.
+                if a == Logic::QfS && b == Logic::QfS {
+                    return Logic::QfS.name().to_owned();
+                }
+                return Logic::QfSlia.name().to_owned();
+            }
+            let quantified = !a.is_quantifier_free() || !b.is_quantifier_free();
+            let real = a.is_real() || b.is_real();
+            let nonlinear = a.is_nonlinear() || b.is_nonlinear() || multiplicative;
+            let l = match (quantified, nonlinear, real) {
+                (false, false, false) => Logic::QfLia,
+                (false, false, true) => Logic::QfLra,
+                (false, true, false) => Logic::QfNia,
+                (false, true, true) => Logic::QfNra,
+                (true, false, false) => Logic::Lia,
+                (true, false, true) => Logic::Lra,
+                (true, true, false) => Logic::Nia,
+                (true, true, true) => Logic::Nra,
+            };
+            l.name().to_owned()
+        }
+        _ => "ALL".to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use yinyang_smtlib::{check_script, parse_script};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn phi1() -> Script {
+        parse_script(
+            "(set-logic QF_LIA)
+             (declare-fun x () Int) (declare-fun w () Bool)
+             (assert (= x (- 1))) (assert (= w (= x (- 1)))) (assert w)",
+        )
+        .unwrap()
+    }
+
+    fn phi2() -> Script {
+        parse_script(
+            "(set-logic QF_LIA)
+             (declare-fun y () Int) (declare-fun v () Bool)
+             (assert (= v (not (= y (- 1)))))
+             (assert (ite v false (= y (- 1))))",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sat_fusion_shape() {
+        let mut r = rng();
+        let fused = Fuser::new().fuse(&mut r, Oracle::Sat, &phi1(), &phi2()).unwrap();
+        assert_eq!(fused.oracle, Oracle::Sat);
+        // Disjoint renaming happened.
+        let decls = fused.script.declarations();
+        assert!(decls.contains_key(&Symbol::new("x_p1")));
+        assert!(decls.contains_key(&Symbol::new("y_p2")));
+        // z variable declared.
+        assert!(fused.triplets.iter().all(|t| decls.contains_key(&t.z)));
+        // Conjunction: all five asserts carried over.
+        assert_eq!(fused.script.asserts().len(), 5);
+        // Well-sorted output.
+        check_script(&fused.script).unwrap();
+    }
+
+    #[test]
+    fn unsat_fusion_has_constraints() {
+        let mut r = rng();
+        let s1 = parse_script(
+            "(set-logic QF_LRA) (declare-fun x () Real)
+             (assert (not (= (+ (+ 1.0 x) 6.0) (+ 7.0 x))))",
+        )
+        .unwrap();
+        let s2 = parse_script(
+            "(set-logic QF_LRA)
+             (declare-fun y () Real) (declare-fun w () Real) (declare-fun v () Real)
+             (assert (and (< y v) (>= w v) (< (/ w v) 0) (> y 0)))",
+        )
+        .unwrap();
+        let fused = Fuser::new().fuse(&mut r, Oracle::Unsat, &s1, &s2).unwrap();
+        assert_eq!(fused.oracle, Oracle::Unsat);
+        let asserts = fused.script.asserts();
+        // 1 disjunction + 3 constraints per triplet.
+        assert_eq!(asserts.len(), 1 + 3 * fused.triplets.len());
+        check_script(&fused.script).unwrap();
+        // The first assert is the disjunction.
+        assert!(asserts[0].to_string().starts_with("(or "));
+    }
+
+    #[test]
+    fn no_fusable_pair() {
+        let mut r = rng();
+        let bools = parse_script(
+            "(declare-fun p () Bool) (assert p)",
+        )
+        .unwrap();
+        let err = Fuser::new().fuse(&mut r, Oracle::Sat, &bools, &bools).unwrap_err();
+        assert_eq!(err, FusionError::NoFusablePair);
+    }
+
+    #[test]
+    fn sorts_are_respected() {
+        let mut r = rng();
+        let ints = parse_script("(declare-fun a () Int) (assert (> a 0))").unwrap();
+        let strings =
+            parse_script("(declare-fun s () String) (assert (= (str.len s) 1))").unwrap();
+        // Int-only and String-only seeds share no fusible sort.
+        let err = Fuser::new().fuse(&mut r, Oracle::Sat, &ints, &strings).unwrap_err();
+        assert_eq!(err, FusionError::NoFusablePair);
+    }
+
+    #[test]
+    fn substitution_prob_extremes() {
+        let mut r = rng();
+        // prob = 0: no occurrences replaced; formulas unchanged modulo rename.
+        let f0 = Fuser::with_config(FusionConfig {
+            substitution_prob: 0.0,
+            ..FusionConfig::default()
+        });
+        let fused = f0.fuse(&mut r, Oracle::Sat, &phi1(), &phi2()).unwrap();
+        assert!(fused.triplets.iter().all(|t| t.replaced_x == 0 && t.replaced_y == 0));
+        // prob = 1: every free occurrence replaced.
+        let f1 = Fuser::with_config(FusionConfig {
+            substitution_prob: 1.0,
+            max_triplets: 1,
+            ..FusionConfig::default()
+        });
+        let fused = f1.fuse(&mut r, Oracle::Sat, &phi1(), &phi2()).unwrap();
+        let t = &fused.triplets[0];
+        // φ1 has 2 occurrences of x, φ2 has 2 of y.
+        assert_eq!(t.replaced_x, 2);
+        assert_eq!(t.replaced_y, 2);
+        // No occurrence of the fused names outside inversion terms... the
+        // variables no longer appear bare in the asserts that mention them.
+        check_script(&fused.script).unwrap();
+    }
+
+    #[test]
+    fn string_fusion_well_sorted() {
+        let mut r = rng();
+        let s1 = parse_script(
+            "(set-logic QF_S) (declare-fun a () String)
+             (assert (str.prefixof \"ab\" a))",
+        )
+        .unwrap();
+        let s2 = parse_script(
+            "(set-logic QF_S) (declare-fun b () String)
+             (assert (= (str.len b) 2))",
+        )
+        .unwrap();
+        for _ in 0..10 {
+            let fused = Fuser::new().fuse(&mut r, Oracle::Sat, &s1, &s2).unwrap();
+            check_script(&fused.script).unwrap();
+        }
+    }
+
+    #[test]
+    fn mixed_fusion_sat_and_unsat() {
+        let mut r = rng();
+        let sat_seed = phi1();
+        let unsat_seed = parse_script(
+            "(set-logic QF_LIA) (declare-fun q () Int)
+             (assert (> q 0)) (assert (< q 0))",
+        )
+        .unwrap();
+        let f = Fuser::new();
+        let m_sat = f.fuse_mixed(&mut r, &sat_seed, &unsat_seed, Oracle::Sat).unwrap();
+        assert_eq!(m_sat.oracle, Oracle::Sat);
+        assert_eq!(m_sat.script.asserts().len(), 1, "disjunction only");
+        let m_unsat = f.fuse_mixed(&mut r, &sat_seed, &unsat_seed, Oracle::Unsat).unwrap();
+        assert_eq!(m_unsat.oracle, Oracle::Unsat);
+        assert!(m_unsat.script.asserts().len() > 1, "conjunction + constraints");
+        check_script(&m_sat.script).unwrap();
+        check_script(&m_unsat.script).unwrap();
+    }
+
+    #[test]
+    fn logic_bumps_to_nonlinear_with_multiplicative_fusion() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut saw_nonlinear = false;
+        let mut saw_linear = false;
+        for _ in 0..40 {
+            let fused = Fuser::new().fuse(&mut r, Oracle::Sat, &phi1(), &phi2()).unwrap();
+            match fused.script.logic() {
+                Some("QF_NIA") => saw_nonlinear = true,
+                Some("QF_LIA") => saw_linear = true,
+                other => panic!("unexpected logic {other:?}"),
+            }
+        }
+        assert!(saw_nonlinear && saw_linear, "both fusion families drawn");
+    }
+
+    #[test]
+    fn division_free_sat_mode() {
+        let mut r = rng();
+        let f = Fuser::with_config(FusionConfig {
+            division_free_sat: true,
+            max_triplets: 3,
+            ..FusionConfig::default()
+        });
+        for _ in 0..30 {
+            let fused = f.fuse(&mut r, Oracle::Sat, &phi1(), &phi2()).unwrap();
+            assert!(fused.triplets.iter().all(|t| !t.function.has_division()));
+        }
+    }
+
+    #[test]
+    fn fused_script_roundtrips_through_parser() {
+        let mut r = rng();
+        let fused = Fuser::new().fuse(&mut r, Oracle::Unsat, &phi1(), &phi2()).unwrap();
+        let text = fused.script.to_string();
+        let reparsed = parse_script(&text).unwrap();
+        assert_eq!(reparsed, fused.script);
+    }
+}

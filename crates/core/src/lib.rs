@@ -1,0 +1,47 @@
+//! Semantic Fusion — the core contribution of *Validating SMT Solvers via
+//! Semantic Fusion* (PLDI 2020), reimplemented as a Rust library.
+//!
+//! The technique fuses two equisatisfiable SMT formulas into a new formula
+//! that is equisatisfiable *by construction*, giving a test oracle without
+//! differential testing:
+//!
+//! 1. **Formula concatenation** — conjunction (sat) or disjunction (unsat);
+//! 2. **Variable fusion** — a fresh `z` related to seed variables `x`, `y`
+//!    through a fusion function `z = f(x, y)` ([`FusionFunction`], Fig. 6);
+//! 3. **Variable inversion** — random occurrences of `x`/`y` replaced by
+//!    inversion terms `rx(y, z)` / `ry(x, z)`.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use yinyang_core::{Fuser, Oracle};
+//! use yinyang_smtlib::parse_script;
+//!
+//! let phi1 = parse_script(
+//!     "(set-logic QF_LIA) (declare-fun x () Int) (assert (> x 0)) (assert (> x 1))",
+//! )?;
+//! let phi2 = parse_script(
+//!     "(set-logic QF_LIA) (declare-fun y () Int) (assert (< y 0)) (assert (< y 1))",
+//! )?;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let fused = Fuser::new().fuse(&mut rng, Oracle::Sat, &phi1, &phi2).unwrap();
+//! assert_eq!(fused.oracle, Oracle::Sat); // satisfiable by construction
+//! # Ok::<(), yinyang_smtlib::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod concat;
+mod functions;
+mod fusion;
+pub mod oracle;
+mod yinyang;
+
+pub use concat::concat_fuzz;
+pub use functions::{extended_functions, fig6_functions, random_fusion_function, FusionFunction};
+pub use fusion::{Fused, FusionConfig, FusionError, Fuser, Oracle, Triplet};
+pub use yinyang::{
+    run_catching, yinyang_loop, Finding, FindingKind, LoopOutcome, SolverAnswer,
+    SolverUnderTest,
+};

@@ -1,0 +1,113 @@
+//! Oracle machinery: Proposition 1's model construction and fused-formula
+//! validation helpers.
+
+use crate::fusion::{Fused, Oracle, Triplet};
+use yinyang_smtlib::{EvalError, Model, Term, Value, ZeroDivPolicy};
+
+/// Builds the Proposition 1 model for a SAT-fused formula:
+/// `M = M1 ∪ M2 ∪ {z ↦ f(M1(x), M2(y))}`.
+///
+/// `m1`/`m2` must be models of the *renamed* seeds (`fused.renamed_seed1`,
+/// `fused.renamed_seed2`).
+///
+/// # Errors
+///
+/// Fails when a fused variable is unassigned or the fusion function cannot
+/// be evaluated (e.g. division by zero in a pathological custom function).
+pub fn proposition1_model(fused: &Fused, m1: &Model, m2: &Model) -> Result<Model, EvalError> {
+    let mut m = Model::new();
+    m.extend(m1);
+    m.extend(m2);
+    for t in &fused.triplets {
+        let z_value = eval_fusion(t, &m)?;
+        m.set(t.z.clone(), z_value);
+    }
+    Ok(m)
+}
+
+fn eval_fusion(t: &Triplet, m: &Model) -> Result<Value, EvalError> {
+    let xt = Term::var(t.x.clone());
+    let yt = Term::var(t.y.clone());
+    m.eval(&t.function.fusion_term(&xt, &yt))
+}
+
+/// Checks that `model` satisfies every assertion of the fused script
+/// (division by zero under the fixed zero interpretation).
+///
+/// # Errors
+///
+/// Propagates evaluation errors (quantifiers, unbound variables).
+pub fn model_satisfies_fused(fused: &Fused, model: &Model) -> Result<bool, EvalError> {
+    for a in fused.script.asserts() {
+        match model.eval_with(&a, ZeroDivPolicy::Zero)? {
+            Value::Bool(true) => {}
+            _ => return Ok(false),
+        }
+    }
+    Ok(true)
+}
+
+/// Classifies a solver answer against the oracle.
+///
+/// Returns `Some(true)` for agreement, `Some(false)` for a soundness
+/// discrepancy, `None` when the answer is `unknown` (the paper ignores
+/// these or treats them as performance issues).
+pub fn agrees_with_oracle(oracle: Oracle, answer: &str) -> Option<bool> {
+    match (oracle, answer) {
+        (Oracle::Sat, "sat") | (Oracle::Unsat, "unsat") => Some(true),
+        (Oracle::Sat, "unsat") | (Oracle::Unsat, "sat") => Some(false),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fusion::{FusionConfig, Fuser};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use yinyang_arith::BigInt;
+    use yinyang_smtlib::{parse_script, Symbol};
+
+    #[test]
+    fn proposition1_model_satisfies_sat_fusion() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let s1 = parse_script(
+            "(set-logic QF_LIA) (declare-fun x () Int)
+             (assert (> x 0)) (assert (> x 1))",
+        )
+        .unwrap();
+        let s2 = parse_script(
+            "(set-logic QF_LIA) (declare-fun y () Int)
+             (assert (< y 0)) (assert (< y 1))",
+        )
+        .unwrap();
+        // Division-free mode: Proposition 1 holds unconditionally.
+        let fuser = Fuser::with_config(FusionConfig {
+            division_free_sat: true,
+            ..FusionConfig::default()
+        });
+        for _ in 0..50 {
+            let fused = fuser.fuse(&mut rng, Oracle::Sat, &s1, &s2).unwrap();
+            let mut m1 = Model::new();
+            m1.set(Symbol::new("x_p1"), Value::Int(BigInt::from(2)));
+            let mut m2 = Model::new();
+            m2.set(Symbol::new("y_p2"), Value::Int(BigInt::from(-1)));
+            let m = proposition1_model(&fused, &m1, &m2).unwrap();
+            assert!(
+                model_satisfies_fused(&fused, &m).unwrap(),
+                "Proposition 1 violated for\n{}",
+                fused.script
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_agreement() {
+        assert_eq!(agrees_with_oracle(Oracle::Sat, "sat"), Some(true));
+        assert_eq!(agrees_with_oracle(Oracle::Sat, "unsat"), Some(false));
+        assert_eq!(agrees_with_oracle(Oracle::Unsat, "sat"), Some(false));
+        assert_eq!(agrees_with_oracle(Oracle::Unsat, "unsat"), Some(true));
+        assert_eq!(agrees_with_oracle(Oracle::Sat, "unknown"), None);
+    }
+}

@@ -1,0 +1,265 @@
+//! Algorithm 1: the YinYang fuzzing loop.
+//!
+//! The loop draws random seed pairs, fuses them, feeds the fused formula to
+//! the solver under test, and classifies discrepancies into soundness bugs
+//! (`incorrects`) and crash bugs (`crashes`), exactly as in the paper's
+//! Algorithm 1.
+
+use crate::fusion::{Fused, FusionError, Fuser, Oracle};
+use rand::Rng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use yinyang_smtlib::Script;
+
+/// Answer of a solver under test, as observed by the harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolverAnswer {
+    /// `sat`.
+    Sat,
+    /// `unsat`.
+    Unsat,
+    /// `unknown` (ignored per the paper, or counted as performance issue).
+    Unknown,
+    /// The solver crashed (abnormal termination / internal error).
+    Crash(String),
+}
+
+impl SolverAnswer {
+    /// The textual form a solver binary would print.
+    pub fn as_str(&self) -> &str {
+        match self {
+            SolverAnswer::Sat => "sat",
+            SolverAnswer::Unsat => "unsat",
+            SolverAnswer::Unknown => "unknown",
+            SolverAnswer::Crash(_) => "crash",
+        }
+    }
+}
+
+/// A solver under test. The paper's YinYang accepts arbitrary solver
+/// binaries; this trait is the in-process equivalent.
+pub trait SolverUnderTest {
+    /// The solver's display name (e.g. `"zirkon-trunk"`).
+    fn name(&self) -> String;
+
+    /// Decides the script. Implementations may panic to model crash bugs —
+    /// the harness converts panics into [`SolverAnswer::Crash`].
+    fn check_sat(&self, script: &Script) -> SolverAnswer;
+}
+
+/// Runs a solver, converting panics into crash answers (the `S(φ) = crash`
+/// check of Algorithm 1).
+pub fn run_catching(solver: &dyn SolverUnderTest, script: &Script) -> SolverAnswer {
+    match catch_unwind(AssertUnwindSafe(|| solver.check_sat(script))) {
+        Ok(answer) => answer,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_owned());
+            SolverAnswer::Crash(msg)
+        }
+    }
+}
+
+/// A finding of the fuzzing loop.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// What went wrong.
+    pub kind: FindingKind,
+    /// The fused test case.
+    pub fused: Fused,
+    /// Indexes of the two ancestor seeds in the seed set.
+    pub seed_indices: (usize, usize),
+}
+
+/// Kinds of findings, mirroring the paper's bug classification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FindingKind {
+    /// The solver returned a result contradicting the construction oracle.
+    Incorrect {
+        /// What the solver said.
+        got: SolverAnswer,
+        /// What the oracle guarantees.
+        expected: Oracle,
+    },
+    /// The solver crashed.
+    Crash(String),
+}
+
+/// Statistics and findings of one campaign run (Algorithm 1's `incorrects`
+/// and `crashes`).
+#[derive(Debug, Default)]
+pub struct LoopOutcome {
+    /// Soundness discrepancies.
+    pub incorrects: Vec<Finding>,
+    /// Crashes.
+    pub crashes: Vec<Finding>,
+    /// Total fused tests executed.
+    pub tests: usize,
+    /// Fusion attempts that failed (no fusible pair).
+    pub fusion_failures: usize,
+    /// `unknown` answers observed.
+    pub unknowns: usize,
+}
+
+/// Runs Algorithm 1 for `iterations` rounds over `seeds` (all of
+/// satisfiability `oracle`) against `solver`.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty.
+pub fn yinyang_loop(
+    rng: &mut impl Rng,
+    oracle: Oracle,
+    solver: &dyn SolverUnderTest,
+    fuser: &Fuser,
+    seeds: &[Script],
+    iterations: usize,
+) -> LoopOutcome {
+    assert!(!seeds.is_empty(), "Algorithm 1 requires a non-empty seed set");
+    let mut out = LoopOutcome::default();
+    for _ in 0..iterations {
+        let i = rng.random_range(0..seeds.len());
+        let j = rng.random_range(0..seeds.len());
+        let fused = match fuser.fuse(rng, oracle, &seeds[i], &seeds[j]) {
+            Ok(f) => f,
+            Err(FusionError::NoFusablePair) => {
+                out.fusion_failures += 1;
+                continue;
+            }
+        };
+        out.tests += 1;
+        match run_catching(solver, &fused.script) {
+            SolverAnswer::Crash(msg) => out.crashes.push(Finding {
+                kind: FindingKind::Crash(msg),
+                fused,
+                seed_indices: (i, j),
+            }),
+            SolverAnswer::Unknown => out.unknowns += 1,
+            answer @ (SolverAnswer::Sat | SolverAnswer::Unsat) => {
+                let agrees = match (oracle, &answer) {
+                    (Oracle::Sat, SolverAnswer::Sat) => true,
+                    (Oracle::Unsat, SolverAnswer::Unsat) => true,
+                    _ => false,
+                };
+                if !agrees {
+                    out.incorrects.push(Finding {
+                        kind: FindingKind::Incorrect { got: answer, expected: oracle },
+                        fused,
+                        seed_indices: (i, j),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use yinyang_smtlib::parse_script;
+
+    /// A solver that always answers `sat`.
+    struct YesMan;
+    impl SolverUnderTest for YesMan {
+        fn name(&self) -> String {
+            "yes-man".into()
+        }
+        fn check_sat(&self, _script: &Script) -> SolverAnswer {
+            SolverAnswer::Sat
+        }
+    }
+
+    /// A solver that panics on formulas containing "div".
+    struct Crasher;
+    impl SolverUnderTest for Crasher {
+        fn name(&self) -> String {
+            "crasher".into()
+        }
+        fn check_sat(&self, script: &Script) -> SolverAnswer {
+            if script.to_string().contains("div") {
+                panic!("Failed to verify: m_util.is_numeral(rhs, _k)");
+            }
+            SolverAnswer::Unsat
+        }
+    }
+
+    fn seeds_sat() -> Vec<Script> {
+        vec![
+            parse_script(
+                "(set-logic QF_LIA) (declare-fun x () Int) (assert (> x 0)) (assert (> x 1))",
+            )
+            .unwrap(),
+            parse_script(
+                "(set-logic QF_LIA) (declare-fun y () Int) (assert (< y 0)) (assert (< y 1))",
+            )
+            .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn finds_soundness_bug_against_yesman_on_unsat() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let seeds = vec![
+            parse_script(
+                "(set-logic QF_LIA) (declare-fun a () Int) (assert (> a 0)) (assert (< a 0))",
+            )
+            .unwrap(),
+            parse_script(
+                "(set-logic QF_LIA) (declare-fun b () Int) (assert (= b 1)) (assert (= b 2))",
+            )
+            .unwrap(),
+        ];
+        let out = yinyang_loop(
+            &mut rng,
+            Oracle::Unsat,
+            &YesMan,
+            &Fuser::new(),
+            &seeds,
+            20,
+        );
+        assert_eq!(out.tests, 20);
+        assert_eq!(out.incorrects.len(), 20, "every unsat test contradicts YesMan");
+        assert!(out.crashes.is_empty());
+        for f in &out.incorrects {
+            assert_eq!(
+                f.kind,
+                FindingKind::Incorrect { got: SolverAnswer::Sat, expected: Oracle::Unsat }
+            );
+        }
+    }
+
+    #[test]
+    fn yesman_is_clean_on_sat_fusion() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let out =
+            yinyang_loop(&mut rng, Oracle::Sat, &YesMan, &Fuser::new(), &seeds_sat(), 20);
+        assert!(out.incorrects.is_empty());
+    }
+
+    #[test]
+    fn crashes_are_caught() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let out =
+            yinyang_loop(&mut rng, Oracle::Sat, &Crasher, &Fuser::new(), &seeds_sat(), 60);
+        assert!(!out.crashes.is_empty(), "int-mul fusions contain div");
+        for c in &out.crashes {
+            match &c.kind {
+                FindingKind::Crash(msg) => assert!(msg.contains("is_numeral")),
+                other => panic!("expected crash, got {other:?}"),
+            }
+        }
+        // Non-div tests answered unsat — incorrect against the sat oracle.
+        assert!(out.crashes.len() + out.incorrects.len() == out.tests);
+    }
+
+    #[test]
+    fn run_catching_passes_answers_through() {
+        let s = parse_script("(check-sat)").unwrap();
+        assert_eq!(run_catching(&YesMan, &s), SolverAnswer::Sat);
+    }
+}

@@ -1,0 +1,30 @@
+//! Fault-injected solver personas — the workspace's stand-in for the
+//! historical Z3/CVC4 bugs the paper found.
+//!
+//! The evaluation of the paper (RQ1/RQ2/RQ4, Figs. 8–10) measures how many
+//! *latent defects* Semantic Fusion surfaces. Offline we cannot fuzz the
+//! real Z3/CVC4 binaries, so this crate wraps the reference
+//! [`yinyang_solver::SmtSolver`] in two personas:
+//!
+//! * **Zirkon** — Z3-like: 37 confirmed injected bugs (24 soundness, 11
+//!   crash, 1 performance, 1 unknown-class) over NRA/NIA/QF_NRA/QF_S/QF_SLIA;
+//! * **Corvus** — CVC4-like: 8 confirmed injected bugs (5 soundness, 1
+//!   crash, 2 performance).
+//!
+//! Each bug has a realistic [`Trigger`] (a formula shape tied to a code
+//! path), an [`Action`] (wrong answer, panic, or spurious `unknown`), a
+//! logic attribution matching Fig. 8c, and a release history matching
+//! Fig. 10. [`history`] records the paper's tracker survey behind Fig. 9.
+
+#![warn(missing_docs)]
+
+pub mod history;
+mod registry;
+mod solver;
+mod trigger;
+
+pub use registry::{
+    bugs_of, registry, releases_of, Action, BugClass, BugStatus, InjectedBug, SolverId,
+};
+pub use solver::FaultySolver;
+pub use trigger::Trigger;

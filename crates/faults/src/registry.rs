@@ -1,0 +1,440 @@
+//! The injected-bug registry: 45 confirmed bugs (24+5 soundness, 11+1
+//! crash, 1+2 performance, 1 unknown-class) plus won't-fix and pending
+//! report entries, distributed over solvers and logics exactly as the
+//! paper's Fig. 8a/8b/8c tables report for Z3 and CVC4.
+//!
+//! The two solver personas are **Zirkon** (Z3-like: the larger, more
+//! aggressive rewriter with most of the bugs) and **Corvus** (CVC4-like:
+//! fewer but "major" bugs).
+
+use crate::trigger::Trigger;
+use yinyang_smtlib::Logic;
+
+/// Which solver persona a bug lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolverId {
+    /// The Z3-like persona.
+    Zirkon,
+    /// The CVC4-like persona.
+    Corvus,
+}
+
+impl SolverId {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverId::Zirkon => "zirkon",
+            SolverId::Corvus => "corvus",
+        }
+    }
+}
+
+/// Bug classes, as in Fig. 8b.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BugClass {
+    /// Incorrect sat/unsat result.
+    Soundness,
+    /// Abnormal termination.
+    Crash,
+    /// `unknown`/non-termination on simple inputs.
+    Performance,
+    /// Spurious `unknown` results (the paper's fourth category).
+    Unknown,
+}
+
+impl BugClass {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BugClass::Soundness => "Soundness",
+            BugClass::Crash => "Crash",
+            BugClass::Performance => "Performance",
+            BugClass::Unknown => "Unknown",
+        }
+    }
+}
+
+/// Tracker status of a bug (drives the Fig. 8a triage simulation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BugStatus {
+    /// Confirmed by the developers; `fixed` reflects whether a fix landed.
+    Confirmed {
+        /// Fix landed (41 of the 45 confirmed bugs).
+        fixed: bool,
+    },
+    /// Reported but judged working-as-intended.
+    WontFix,
+    /// Reported, no developer response yet.
+    Pending,
+}
+
+/// What the bug makes the solver do when its trigger fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Unsoundly conclude `sat` (e.g. a rewrite drops a conflict).
+    ForceSat,
+    /// Unsoundly conclude `unsat` (e.g. an over-eager simplification).
+    ForceUnsat,
+    /// Abort with an internal error.
+    Panic(&'static str),
+    /// Give up with `unknown`.
+    ReportUnknown,
+}
+
+/// One injected bug.
+#[derive(Debug, Clone)]
+pub struct InjectedBug {
+    /// Stable identifier (unique across both solvers).
+    pub id: u32,
+    /// Short slug, e.g. `"z-nra-s1"`.
+    pub name: &'static str,
+    /// Persona the bug lives in.
+    pub solver: SolverId,
+    /// Fig. 8b class.
+    pub class: BugClass,
+    /// Fig. 8c logic attribution. The bug only fires on scripts whose
+    /// `set-logic` equals this logic (modeling per-theory code paths).
+    pub logic: Logic,
+    /// Fig. 8a status.
+    pub status: BugStatus,
+    /// The activating shape.
+    pub trigger: Trigger,
+    /// Behavior when triggered.
+    pub action: Action,
+    /// Release names (besides `trunk`) the bug ships in — drives Fig. 10.
+    pub releases: &'static [&'static str],
+}
+
+impl InjectedBug {
+    /// Is this bug active in the given release (trunk always has it)?
+    pub fn in_release(&self, release: &str) -> bool {
+        release == "trunk" || self.releases.contains(&release)
+    }
+}
+
+use Trigger::*;
+
+fn all(parts: Vec<Trigger>) -> Trigger {
+    All(parts)
+}
+
+const Z_OLD: &[&str] =
+    &["4.5.0", "4.6.0", "4.7.1", "4.8.1", "4.8.3", "4.8.4", "4.8.5"];
+const Z_484: &[&str] = &["4.8.4", "4.8.5"];
+const Z_485: &[&str] = &["4.8.5"];
+const Z_REGRESSED: &[&str] = &["4.5.0"];
+const Z_TRUNK: &[&str] = &[];
+const C_OLD: &[&str] = &["1.5", "1.6", "1.7"];
+const C_17: &[&str] = &["1.7"];
+const C_REGRESSED: &[&str] = &["1.5"];
+const C_TRUNK: &[&str] = &[];
+
+/// The full registry. Order matters: within a persona the first matching
+/// bug defines behavior, so more specific triggers come first.
+pub fn registry() -> Vec<InjectedBug> {
+    use BugClass::*;
+    use SolverId::*;
+    let fixed = BugStatus::Confirmed { fixed: true };
+    let unfixed = BugStatus::Confirmed { fixed: false };
+    let mut bugs = Vec::new();
+    let mut id = 0u32;
+    let mut push = |name: &'static str,
+                    solver: SolverId,
+                    class: BugClass,
+                    logic: Logic,
+                    status: BugStatus,
+                    trigger: Trigger,
+                    action: Action,
+                    releases: &'static [&'static str]| {
+        id += 1;
+        bugs.push(InjectedBug { id, name, solver, class, logic, status, trigger, action, releases });
+    };
+
+    // ---- Zirkon (Z3-like): 24 soundness, 11 crash, 1 perf, 1 unknown ----
+    // NRA: 9 soundness, 5 crash, 1 unknown (15 confirmed).
+    push("z-nra-s1", Zirkon, Soundness, Logic::Nra, fixed,
+        all(vec![DivByVariable, NestedDivision]), Action::ForceSat, Z_OLD);
+    push("z-nra-s2", Zirkon, Soundness, Logic::Nra, fixed,
+        all(vec![DivByVariable, IteWithDivision]), Action::ForceSat, Z_OLD);
+    push("z-nra-s3", Zirkon, Soundness, Logic::Nra, fixed,
+        all(vec![VariableProduct, DivByVariable, EqVarDiv]), Action::ForceUnsat, Z_OLD);
+    push("z-nra-s4", Zirkon, Soundness, Logic::Nra, fixed,
+        all(vec![EqVarDiv, VariableProduct, LargeNegativeConstant(1)]),
+        Action::ForceSat, Z_OLD);
+    push("z-nra-s5", Zirkon, Soundness, Logic::Nra, fixed,
+        all(vec![VariableProduct, LargeNegativeConstant(3)]), Action::ForceUnsat, Z_OLD);
+    push("z-nra-s6", Zirkon, Soundness, Logic::Nra, fixed,
+        all(vec![NestedDivision, VariableProduct]), Action::ForceSat, Z_484);
+    push("z-nra-s7", Zirkon, Soundness, Logic::Nra, fixed,
+        all(vec![EqVarDiv, LargeNegativeConstant(2)]), Action::ForceUnsat, Z_484);
+    push("z-nra-s8", Zirkon, Soundness, Logic::Nra, fixed,
+        all(vec![DivByVariable, BigDisjunction(4)]), Action::ForceSat, Z_484);
+    push("z-nra-s9", Zirkon, Soundness, Logic::Nra, unfixed,
+        all(vec![DivByVariable, ManyAsserts(5)]), Action::ForceUnsat, Z_485);
+    push("z-nra-c1", Zirkon, Crash, Logic::Nra, fixed,
+        QuantifierWithCmp,
+        Action::Panic("Failed to verify: m_util.is_numeral(rhs, _k)"), Z_TRUNK);
+    push("z-nra-c2", Zirkon, Crash, Logic::Nra, fixed,
+        all(vec![NestedDivision, LargeNegativeConstant(2)]),
+        Action::Panic("ASSERTION VIOLATION: !m_todo.empty()"), Z_TRUNK);
+    push("z-nra-c3", Zirkon, Crash, Logic::Nra, fixed,
+        all(vec![IteWithDivision, VariableProduct]),
+        Action::Panic("segmentation fault in nlsat::explain"), Z_TRUNK);
+    push("z-nra-c4", Zirkon, Crash, Logic::Nra, fixed,
+        all(vec![EqVarDiv, BigDisjunction(6)]),
+        Action::Panic("UNREACHABLE executed at arith_rewriter.cpp"), Z_TRUNK);
+    push("z-nra-c5", Zirkon, Crash, Logic::Nra, fixed,
+        all(vec![VariableProduct, NestedDivision, ManyAsserts(4)]),
+        Action::Panic("index out of bounds in factor_rewriter"), Z_TRUNK);
+    push("z-nra-u1", Zirkon, Unknown, Logic::Nra, fixed,
+        all(vec![VariableProduct, ManyAsserts(6)]), Action::ReportUnknown, Z_TRUNK);
+    // NIA: 1 soundness, 1 crash.
+    push("z-nia-s1", Zirkon, Soundness, Logic::Nia, fixed,
+        all(vec![EqVarDiv, ManyAsserts(4)]), Action::ForceSat, Z_485);
+    push("z-nia-c1", Zirkon, Crash, Logic::Nia, fixed,
+        all(vec![DivByVariable, VariableProduct]),
+        Action::Panic("ASSERTION VIOLATION: m_rows[r].size() > 0"), Z_TRUNK);
+    // QF_NRA: 1 soundness, 1 crash.
+    push("z-qfnra-s1", Zirkon, Soundness, Logic::QfNra, fixed,
+        all(vec![NestedDivision, BigDisjunction(3)]), Action::ForceSat, Z_REGRESSED);
+    push("z-qfnra-c1", Zirkon, Crash, Logic::QfNra, fixed,
+        all(vec![DivByVariable, LargeNegativeConstant(4)]),
+        Action::Panic("segmentation fault (core dumped)"), Z_TRUNK);
+    // QF_S: 11 soundness, 3 crash, 1 performance.
+    push("z-qfs-s1", Zirkon, Soundness, Logic::QfS, fixed,
+        all(vec![AtOfLen, ToIntOfComposite]), Action::ForceSat, Z_TRUNK);
+    push("z-qfs-s2", Zirkon, Soundness, Logic::QfS, fixed,
+        all(vec![ReplaceChain, ReplaceWithEmpty]), Action::ForceSat, Z_REGRESSED);
+    push("z-qfs-s3", Zirkon, Soundness, Logic::QfS, fixed,
+        AffixWithReplace, Action::ForceSat, Z_REGRESSED);
+    push("z-qfs-s4", Zirkon, Soundness, Logic::QfS, fixed,
+        all(vec![SubstrOfLen, ConcatAndSubstr]), Action::ForceUnsat, Z_TRUNK);
+    push("z-qfs-s5", Zirkon, Soundness, Logic::QfS, fixed,
+        all(vec![RegexStarPlusArith, ToIntOfComposite]), Action::ForceSat, Z_TRUNK);
+    push("z-qfs-s6", Zirkon, Soundness, Logic::QfS, fixed,
+        all(vec![IndexOf, ReplaceWithEmpty]), Action::ForceUnsat, Z_TRUNK);
+    push("z-qfs-s7", Zirkon, Soundness, Logic::QfS, fixed,
+        all(vec![SubstrOfLen, ReplaceChain]), Action::ForceSat, Z_TRUNK);
+    push("z-qfs-s8", Zirkon, Soundness, Logic::QfS, fixed,
+        all(vec![AtOfLen, ConcatAndSubstr]), Action::ForceUnsat, Z_TRUNK);
+    push("z-qfs-s9", Zirkon, Soundness, Logic::QfS, unfixed,
+        all(vec![IndexOf, SubstrOfLen]), Action::ForceSat, Z_TRUNK);
+    push("z-qfs-s10", Zirkon, Soundness, Logic::QfS, fixed,
+        all(vec![RegexStarPlusArith, ReplaceWithEmpty]), Action::ForceUnsat, Z_TRUNK);
+    push("z-qfs-s11", Zirkon, Soundness, Logic::QfS, fixed,
+        all(vec![ToIntOfComposite, ReplaceWithEmpty]), Action::ForceSat, Z_TRUNK);
+    push("z-qfs-c1", Zirkon, Crash, Logic::QfS, fixed,
+        all(vec![ReplaceChain, IndexOf]),
+        Action::Panic("ASSERTION VIOLATION: offset >= 0 in seq_rewriter"), Z_TRUNK);
+    push("z-qfs-c2", Zirkon, Crash, Logic::QfS, fixed,
+        all(vec![AtOfLen, RegexStarPlusArith]),
+        Action::Panic("segmentation fault in z3str3::theory_str"), Z_TRUNK);
+    push("z-qfs-c3", Zirkon, Crash, Logic::QfS, fixed,
+        all(vec![SubstrOfLen, ManyAsserts(6)]),
+        Action::Panic("out of memory in re2automaton"), Z_TRUNK);
+    push("z-qfs-p1", Zirkon, Performance, Logic::QfS, fixed,
+        all(vec![RegexStarPlusArith, ConcatAndSubstr]), Action::ReportUnknown, Z_TRUNK);
+    // QF_SLIA: 2 soundness, 1 crash.
+    push("z-qfslia-s1", Zirkon, Soundness, Logic::QfSlia, fixed,
+        all(vec![StringIntMix, SubstrOfLen]), Action::ForceSat, Z_TRUNK);
+    push("z-qfslia-s2", Zirkon, Soundness, Logic::QfSlia, fixed,
+        all(vec![StringIntMix, IndexOf]), Action::ForceUnsat, Z_TRUNK);
+    push("z-qfslia-c1", Zirkon, Crash, Logic::QfSlia, fixed,
+        all(vec![StringIntMix, ReplaceChain]),
+        Action::Panic("unexpected sort mismatch in seq_axioms"), Z_TRUNK);
+    // Zirkon report-only entries (won't fix / pending).
+    push("z-wf1", Zirkon, Performance, Logic::Nra, BugStatus::WontFix,
+        BigDisjunction(10), Action::ReportUnknown, Z_TRUNK);
+    push("z-wf2", Zirkon, Performance, Logic::QfS, BugStatus::WontFix,
+        ManyAsserts(12), Action::ReportUnknown, Z_TRUNK);
+    push("z-pend1", Zirkon, Soundness, Logic::Nia, BugStatus::Pending,
+        all(vec![VariableProduct, LargeNegativeConstant(3)]), Action::ForceSat, Z_TRUNK);
+
+    // ---- Corvus (CVC4-like): 5 soundness, 1 crash, 2 performance ----
+    push("c-qfs-s1", Corvus, Soundness, Logic::QfS, fixed,
+        all(vec![ToIntOfComposite, ReplaceChain]), Action::ForceSat, C_OLD);
+    push("c-qfs-s2", Corvus, Soundness, Logic::QfS, fixed,
+        all(vec![SubstrOfLen, RegexStarPlusArith]), Action::ForceUnsat, C_17);
+    push("c-qfs-s3", Corvus, Soundness, Logic::QfS, unfixed,
+        all(vec![AtOfLen, IndexOf]), Action::ForceSat, C_TRUNK);
+    push("c-qfs-c1", Corvus, Crash, Logic::QfS, fixed,
+        all(vec![ReplaceWithEmpty, ConcatAndSubstr]),
+        Action::Panic("Unhandled case in TheoryStringsRewriter"), C_TRUNK);
+    push("c-qfslia-s1", Corvus, Soundness, Logic::QfSlia, fixed,
+        all(vec![StringIntMix, AtOfLen]), Action::ForceSat, C_REGRESSED);
+    push("c-nia-s1", Corvus, Soundness, Logic::Nia, unfixed,
+        all(vec![EqVarDiv, IteWithDivision]), Action::ForceUnsat, C_TRUNK);
+    push("c-nra-p1", Corvus, Performance, Logic::Nra, fixed,
+        all(vec![NestedDivision, VariableProduct, ManyAsserts(4)]),
+        Action::ReportUnknown, C_TRUNK);
+    push("c-qfnia-p1", Corvus, Performance, Logic::QfNia, fixed,
+        all(vec![DivByVariable, EqVarDiv]), Action::ReportUnknown, C_TRUNK);
+    // Corvus pending reports.
+    push("c-pend1", Corvus, Soundness, Logic::QfS, BugStatus::Pending,
+        all(vec![IndexOf, RegexStarPlusArith]), Action::ForceUnsat, C_TRUNK);
+    push("c-pend2", Corvus, Soundness, Logic::QfSlia, BugStatus::Pending,
+        all(vec![StringIntMix, ReplaceWithEmpty]), Action::ForceSat, C_TRUNK);
+    push("c-pend3", Corvus, Crash, Logic::QfNra, BugStatus::Pending,
+        all(vec![IteWithDivision, NestedDivision]),
+        Action::Panic("Assertion failure in nl_model"), C_TRUNK);
+    push("c-pend4", Corvus, Performance, Logic::QfLra, BugStatus::Pending,
+        all(vec![BigDisjunction(8), ManyAsserts(3)]), Action::ReportUnknown, C_TRUNK);
+
+    bugs
+}
+
+/// Bugs of one persona, in firing order.
+pub fn bugs_of(solver: SolverId) -> Vec<InjectedBug> {
+    registry().into_iter().filter(|b| b.solver == solver).collect()
+}
+
+/// Release names of a persona, oldest first, ending in `"trunk"`.
+pub fn releases_of(solver: SolverId) -> Vec<&'static str> {
+    match solver {
+        SolverId::Zirkon => {
+            vec!["4.5.0", "4.6.0", "4.7.1", "4.8.1", "4.8.3", "4.8.4", "4.8.5", "trunk"]
+        }
+        SolverId::Corvus => vec!["1.5", "1.6", "1.7", "trunk"],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn confirmed(solver: SolverId) -> Vec<InjectedBug> {
+        bugs_of(solver)
+            .into_iter()
+            .filter(|b| matches!(b.status, BugStatus::Confirmed { .. }))
+            .collect()
+    }
+
+    #[test]
+    fn totals_match_fig8a() {
+        // Confirmed: 37 + 8 = 45. Fixed: 41.
+        assert_eq!(confirmed(SolverId::Zirkon).len(), 37);
+        assert_eq!(confirmed(SolverId::Corvus).len(), 8);
+        let fixed = registry()
+            .iter()
+            .filter(|b| matches!(b.status, BugStatus::Confirmed { fixed: true }))
+            .count();
+        assert_eq!(fixed, 41);
+        // Won't fix: 2 (all Zirkon), pending: 1 + 4.
+        let wf = registry().iter().filter(|b| b.status == BugStatus::WontFix).count();
+        assert_eq!(wf, 2);
+        let pend_z = bugs_of(SolverId::Zirkon)
+            .iter()
+            .filter(|b| b.status == BugStatus::Pending)
+            .count();
+        let pend_c = bugs_of(SolverId::Corvus)
+            .iter()
+            .filter(|b| b.status == BugStatus::Pending)
+            .count();
+        assert_eq!((pend_z, pend_c), (1, 4));
+    }
+
+    #[test]
+    fn classes_match_fig8b() {
+        let count = |s, c| {
+            confirmed(s).iter().filter(|b| b.class == c).count()
+        };
+        assert_eq!(count(SolverId::Zirkon, BugClass::Soundness), 24);
+        assert_eq!(count(SolverId::Zirkon, BugClass::Crash), 11);
+        assert_eq!(count(SolverId::Zirkon, BugClass::Performance), 1);
+        assert_eq!(count(SolverId::Zirkon, BugClass::Unknown), 1);
+        assert_eq!(count(SolverId::Corvus, BugClass::Soundness), 5);
+        assert_eq!(count(SolverId::Corvus, BugClass::Crash), 1);
+        assert_eq!(count(SolverId::Corvus, BugClass::Performance), 2);
+        assert_eq!(count(SolverId::Corvus, BugClass::Unknown), 0);
+    }
+
+    #[test]
+    fn logics_match_fig8c() {
+        let mut z: BTreeMap<Logic, usize> = BTreeMap::new();
+        for b in confirmed(SolverId::Zirkon) {
+            *z.entry(b.logic).or_default() += 1;
+        }
+        assert_eq!(z.get(&Logic::Nia), Some(&2));
+        assert_eq!(z.get(&Logic::Nra), Some(&15));
+        assert_eq!(z.get(&Logic::QfNra), Some(&2));
+        assert_eq!(z.get(&Logic::QfS), Some(&15));
+        assert_eq!(z.get(&Logic::QfSlia), Some(&3));
+        let mut c: BTreeMap<Logic, usize> = BTreeMap::new();
+        for b in confirmed(SolverId::Corvus) {
+            *c.entry(b.logic).or_default() += 1;
+        }
+        assert_eq!(c.get(&Logic::Nia), Some(&1));
+        assert_eq!(c.get(&Logic::Nra), Some(&1));
+        assert_eq!(c.get(&Logic::QfNia), Some(&1));
+        assert_eq!(c.get(&Logic::QfS), Some(&4));
+        assert_eq!(c.get(&Logic::QfSlia), Some(&1));
+    }
+
+    #[test]
+    fn release_counts_match_fig10() {
+        // Found soundness bugs affecting each release: Z3-like
+        // [8,5,5,5,5,8,10,24], CVC4-like [2,1,2,5].
+        let soundness = |s: SolverId| -> Vec<InjectedBug> {
+            confirmed(s)
+                .into_iter()
+                .filter(|b| b.class == BugClass::Soundness)
+                .collect()
+        };
+        let z = soundness(SolverId::Zirkon);
+        let expect_z = [
+            ("4.5.0", 8),
+            ("4.6.0", 5),
+            ("4.7.1", 5),
+            ("4.8.1", 5),
+            ("4.8.3", 5),
+            ("4.8.4", 8),
+            ("4.8.5", 10),
+            ("trunk", 24),
+        ];
+        for (rel, n) in expect_z {
+            assert_eq!(
+                z.iter().filter(|b| b.in_release(rel)).count(),
+                n,
+                "zirkon {rel}"
+            );
+        }
+        let c = soundness(SolverId::Corvus);
+        for (rel, n) in [("1.5", 2), ("1.6", 1), ("1.7", 2), ("trunk", 5)] {
+            assert_eq!(
+                c.iter().filter(|b| b.in_release(rel)).count(),
+                n,
+                "corvus {rel}"
+            );
+        }
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let bugs = registry();
+        let mut ids: Vec<u32> = bugs.iter().map(|b| b.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), bugs.len());
+        assert_eq!(bugs.len(), 52, "45 confirmed + 2 wontfix + 5 pending");
+    }
+
+    #[test]
+    fn soundness_bugs_have_flip_actions() {
+        for b in registry() {
+            match b.class {
+                BugClass::Soundness => assert!(
+                    matches!(b.action, Action::ForceSat | Action::ForceUnsat),
+                    "{}",
+                    b.name
+                ),
+                BugClass::Crash => {
+                    assert!(matches!(b.action, Action::Panic(_)), "{}", b.name)
+                }
+                BugClass::Performance | BugClass::Unknown => {
+                    assert!(matches!(b.action, Action::ReportUnknown), "{}", b.name)
+                }
+            }
+        }
+    }
+}

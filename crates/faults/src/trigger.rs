@@ -1,0 +1,532 @@
+//! Trigger predicates: the formula shapes that activate injected bugs.
+//!
+//! Real solver bugs hide in specific code paths — a rewrite for `str.replace`
+//! of a `str.at`, the `div`-by-variable lowering, the lemma generation for
+//! products. Triggers model those paths as syntactic predicates over the
+//! input script. Fusion-made shapes (inversion terms, fusion constraints)
+//! dominate, reproducing RQ4's observation that plain concatenation rarely
+//! reaches them.
+
+use yinyang_smtlib::{Op, Script, Term, TermKind};
+
+/// A syntactic bug trigger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trigger {
+    /// `(div t v)` or `(/ t v)` with a variable divisor — the inversion
+    /// terms of multiplicative fusion.
+    DivByVariable,
+    /// A product of two or more distinct variables — fusion constraints
+    /// `z = x·y`.
+    VariableProduct,
+    /// `str.substr` whose offset or length is a `str.len` term — the string
+    /// inversion functions.
+    SubstrOfLen,
+    /// `str.replace` nested inside another `str.replace` — the
+    /// `x ++ c ++ y` inversion chain.
+    ReplaceChain,
+    /// `str.replace` whose replacement string is empty.
+    ReplaceWithEmpty,
+    /// `str.to_int` applied to a non-variable (composite) term —
+    /// Fig. 13a/13b's missed corner case.
+    ToIntOfComposite,
+    /// `str.in_re` of a starred regex together with an arithmetic atom.
+    RegexStarPlusArith,
+    /// `(str.at t i)` where `i` is itself a `str.len` term (Fig. 13a).
+    AtOfLen,
+    /// An `ite` whose condition mentions division (Fig. 13c).
+    IteWithDivision,
+    /// A comparison chain under a quantifier (Fig. 13f's crash path).
+    QuantifierWithCmp,
+    /// Division nested inside division — `(/ a (/ c e))` (Fig. 13c).
+    NestedDivision,
+    /// An equality between a variable and a `div`/`/` term — the fusion
+    /// constraint `x = rx(y, z)`.
+    EqVarDiv,
+    /// `str.++` and `str.substr` both present — SAT string fusion residue.
+    ConcatAndSubstr,
+    /// `str.indexof` anywhere.
+    IndexOf,
+    /// `str.prefixof`/`str.suffixof` together with `str.replace`
+    /// (Fig. 13e's incorrect prefixof/suffixof implementation).
+    AffixWithReplace,
+    /// `mod` by anything other than a positive literal.
+    OddMod,
+    /// Shallow: a disjunction with at least `n` direct conjuncts inside —
+    /// plain formula concatenation reaches this (the RQ4 5/50 fraction).
+    BigDisjunction(usize),
+    /// Shallow: at least `n` assertions in the script.
+    ManyAsserts(usize),
+    /// Negative integer or real literal below `-bound` appearing anywhere
+    /// (fusion constants can be drawn large).
+    LargeNegativeConstant(i64),
+    /// Both string and integer atoms present (QF_SLIA mixing paths).
+    StringIntMix,
+    /// Conjunction of triggers: all must match the script.
+    All(Vec<Trigger>),
+}
+
+impl Trigger {
+    /// Does the script contain this trigger's shape?
+    pub fn matches(&self, script: &Script) -> bool {
+        let asserts = script.asserts();
+        match self {
+            Trigger::All(parts) => parts.iter().all(|t| t.matches(script)),
+            Trigger::ManyAsserts(n) => asserts.len() >= *n,
+            Trigger::BigDisjunction(n) => asserts.iter().any(|a| {
+                contains(a, &|t| match t.kind() {
+                    TermKind::App(Op::Or, args) => {
+                        let conjuncts: usize = args
+                            .iter()
+                            .map(|d| match d.kind() {
+                                TermKind::App(Op::And, inner) => inner.len(),
+                                _ => 1,
+                            })
+                            .sum();
+                        conjuncts >= *n
+                    }
+                    _ => false,
+                })
+            }),
+            _ => asserts.iter().any(|a| self.matches_term(a)),
+        }
+    }
+
+    fn matches_term(&self, term: &Term) -> bool {
+        match self {
+            Trigger::DivByVariable => contains(term, &|t| match t.kind() {
+                TermKind::App(Op::IntDiv | Op::RealDiv, args) => {
+                    args[1..].iter().any(|d| matches!(d.kind(), TermKind::Var(_)))
+                }
+                _ => false,
+            }),
+            Trigger::VariableProduct => contains(term, &|t| match t.kind() {
+                TermKind::App(Op::Mul, args) => {
+                    let vars: Vec<_> = args
+                        .iter()
+                        .filter_map(|a| match a.kind() {
+                            TermKind::Var(v) => Some(v.clone()),
+                            _ => None,
+                        })
+                        .collect();
+                    vars.len() >= 2
+                }
+                _ => false,
+            }),
+            Trigger::SubstrOfLen => contains(term, &|t| match t.kind() {
+                TermKind::App(Op::StrSubstr, args) => args[1..]
+                    .iter()
+                    .any(|a| contains(a, &|s| matches!(s.kind(), TermKind::App(Op::StrLen, _)))),
+                _ => false,
+            }),
+            Trigger::ReplaceChain => contains(term, &|t| match t.kind() {
+                TermKind::App(Op::StrReplace, args) => args.iter().any(|a| {
+                    contains(a, &|s| matches!(s.kind(), TermKind::App(Op::StrReplace, _)))
+                }),
+                _ => false,
+            }),
+            Trigger::ReplaceWithEmpty => contains(term, &|t| match t.kind() {
+                TermKind::App(Op::StrReplace, args) => {
+                    matches!(args[2].kind(), TermKind::StringConst(s) if s.is_empty())
+                }
+                _ => false,
+            }),
+            Trigger::ToIntOfComposite => contains(term, &|t| match t.kind() {
+                TermKind::App(Op::StrToInt, args) => {
+                    !matches!(args[0].kind(), TermKind::Var(_) | TermKind::StringConst(_))
+                }
+                _ => false,
+            }),
+            Trigger::RegexStarPlusArith => {
+                let has_star = contains(term, &|t| {
+                    matches!(t.kind(), TermKind::App(Op::ReStar, _))
+                });
+                let has_arith = contains(term, &|t| {
+                    matches!(
+                        t.kind(),
+                        TermKind::App(Op::Le | Op::Lt | Op::Ge | Op::Gt | Op::StrToInt, _)
+                    )
+                });
+                has_star && has_arith
+            }
+            Trigger::AtOfLen => contains(term, &|t| match t.kind() {
+                TermKind::App(Op::StrAt, args) => {
+                    contains(&args[1], &|s| matches!(s.kind(), TermKind::App(Op::StrLen, _)))
+                }
+                _ => false,
+            }),
+            Trigger::IteWithDivision => contains(term, &|t| match t.kind() {
+                TermKind::App(Op::Ite, args) => contains(&args[0], &|s| {
+                    matches!(s.kind(), TermKind::App(Op::RealDiv | Op::IntDiv, _))
+                }),
+                _ => false,
+            }),
+            Trigger::QuantifierWithCmp => contains(term, &|t| match t.kind() {
+                TermKind::Quant(_, _, body) => contains(body, &|s| {
+                    matches!(s.kind(), TermKind::App(Op::Le | Op::Ge, _))
+                }),
+                _ => false,
+            }),
+            Trigger::NestedDivision => contains(term, &|t| match t.kind() {
+                TermKind::App(Op::RealDiv | Op::IntDiv, args) => args.iter().any(|a| {
+                    contains(a, &|s| {
+                        matches!(s.kind(), TermKind::App(Op::RealDiv | Op::IntDiv, _))
+                    })
+                }),
+                _ => false,
+            }),
+            Trigger::EqVarDiv => contains(term, &|t| match t.kind() {
+                TermKind::App(Op::Eq, args) if args.len() == 2 => {
+                    let var_side =
+                        args.iter().any(|a| matches!(a.kind(), TermKind::Var(_)));
+                    let div_side = args.iter().any(|a| {
+                        matches!(a.kind(), TermKind::App(Op::RealDiv | Op::IntDiv, _))
+                    });
+                    var_side && div_side
+                }
+                _ => false,
+            }),
+            Trigger::ConcatAndSubstr => {
+                contains(term, &|t| matches!(t.kind(), TermKind::App(Op::StrConcat, _)))
+                    && contains(term, &|t| {
+                        matches!(t.kind(), TermKind::App(Op::StrSubstr, _))
+                    })
+            }
+            Trigger::IndexOf => contains(term, &|t| {
+                matches!(t.kind(), TermKind::App(Op::StrIndexOf, _))
+            }),
+            Trigger::AffixWithReplace => {
+                let affix = contains(term, &|t| {
+                    matches!(t.kind(), TermKind::App(Op::StrPrefixOf | Op::StrSuffixOf, _))
+                });
+                let replace = contains(term, &|t| {
+                    matches!(t.kind(), TermKind::App(Op::StrReplace, _))
+                });
+                affix && replace
+            }
+            Trigger::OddMod => contains(term, &|t| match t.kind() {
+                TermKind::App(Op::Mod, args) => !matches!(
+                    args[1].kind(),
+                    TermKind::IntConst(v) if v.is_positive()
+                ),
+                _ => false,
+            }),
+            Trigger::LargeNegativeConstant(bound) => contains(term, &|t| match t.kind() {
+                TermKind::IntConst(v) => v < &yinyang_arith::BigInt::from(-*bound),
+                TermKind::RealConst(v) => {
+                    v < &yinyang_arith::BigRational::from(-*bound)
+                }
+                _ => false,
+            }),
+            Trigger::StringIntMix => {
+                let has_str = contains(term, &|t| {
+                    matches!(t.kind(), TermKind::App(Op::StrLen | Op::StrToInt, _))
+                });
+                let has_arith = contains(term, &|t| {
+                    matches!(t.kind(), TermKind::App(Op::Add | Op::Sub | Op::Mul, _))
+                });
+                has_str && has_arith
+            }
+            Trigger::BigDisjunction(_) | Trigger::ManyAsserts(_) | Trigger::All(_) => {
+                false
+            }
+        }
+    }
+}
+
+/// Does any subterm satisfy `pred`?
+fn contains(term: &Term, pred: &dyn Fn(&Term) -> bool) -> bool {
+    let mut p = |t: &Term| pred(t);
+    term.any_subterm(&mut p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yinyang_smtlib::parse_script;
+
+    fn script(src: &str) -> Script {
+        parse_script(src).unwrap()
+    }
+
+    #[test]
+    fn div_by_variable() {
+        let s = script("(declare-fun z () Int) (declare-fun y () Int) (assert (= (div z y) 1))");
+        assert!(Trigger::DivByVariable.matches(&s));
+        let c = script("(declare-fun z () Int) (assert (= (div z 2) 1))");
+        assert!(!Trigger::DivByVariable.matches(&c));
+    }
+
+    #[test]
+    fn variable_product() {
+        let s = script("(declare-fun x () Int) (declare-fun y () Int) (assert (= (* x y) 6))");
+        assert!(Trigger::VariableProduct.matches(&s));
+        let c = script("(declare-fun x () Int) (assert (= (* 2 x) 6))");
+        assert!(!Trigger::VariableProduct.matches(&c));
+    }
+
+    #[test]
+    fn substr_of_len() {
+        let s = script(
+            "(declare-fun z () String) (declare-fun x () String)
+             (assert (= x (str.substr z 0 (str.len x))))",
+        );
+        assert!(Trigger::SubstrOfLen.matches(&s));
+        assert!(Trigger::EqVarDiv.matches(&script(
+            "(declare-fun x () Int) (declare-fun z () Int) (declare-fun y () Int)
+             (assert (= x (div z y)))"
+        )));
+    }
+
+    #[test]
+    fn replace_chain_and_empty() {
+        let s = script(
+            r#"(declare-fun z () String) (declare-fun x () String)
+               (assert (= "" (str.replace (str.replace z x "") "c" "q")))"#,
+        );
+        assert!(Trigger::ReplaceChain.matches(&s));
+        assert!(Trigger::ReplaceWithEmpty.matches(&s));
+        let single = script(
+            r#"(declare-fun z () String) (assert (= "a" (str.replace z "b" "c")))"#,
+        );
+        assert!(!Trigger::ReplaceChain.matches(&single));
+        assert!(!Trigger::ReplaceWithEmpty.matches(&single));
+    }
+
+    #[test]
+    fn fig13a_shape_triggers() {
+        // The paper's Fig. 13a formula.
+        let s = script(
+            r#"(declare-fun a () String) (declare-fun b () String) (declare-fun c () String)
+               (assert (and (str.in_re c (re.* (str.to_re "aa")))
+                            (= 0 (str.to_int (str.replace a b (str.at a (str.len a)))))))
+               (assert (= a (str.++ b c)))"#,
+        );
+        assert!(Trigger::AtOfLen.matches(&s));
+        assert!(Trigger::ToIntOfComposite.matches(&s));
+        assert!(Trigger::RegexStarPlusArith.matches(&s));
+    }
+
+    #[test]
+    fn fig13c_shape_triggers() {
+        let s = script(
+            "(declare-fun a () Real) (declare-fun c () Real) (declare-fun e () Real)
+             (declare-fun d () Real) (declare-fun f () Real) (declare-fun b () Real)
+             (assert (and (> 0 (- d f))
+                          (= d (ite (>= (/ a c) f) (+ b f) f))
+                          (> 0 (/ a (/ c e)))))",
+        );
+        assert!(Trigger::IteWithDivision.matches(&s));
+        assert!(Trigger::NestedDivision.matches(&s));
+    }
+
+    #[test]
+    fn fig13f_quantifier_cmp() {
+        let s = script(
+            "(declare-fun a () Real) (declare-fun h2 () Real)
+             (assert (exists ((h Real)) (<= 0.0 (/ a h))))",
+        );
+        assert!(Trigger::QuantifierWithCmp.matches(&s));
+    }
+
+    #[test]
+    fn shallow_triggers_fire_on_concatenation_shapes() {
+        let s = script(
+            "(declare-fun a () Int) (declare-fun b () Int)
+             (assert (or (and (> a 0) (< a 0) (= a 1)) (and (> b 1) (< b 1) (= b 0))))",
+        );
+        assert!(Trigger::BigDisjunction(5).matches(&s));
+        assert!(!Trigger::BigDisjunction(9).matches(&s));
+        let many = script(
+            "(declare-fun a () Int)
+             (assert (> a 0)) (assert (> a 1)) (assert (> a 2))
+             (assert (> a 3)) (assert (> a 4)) (assert (> a 5))",
+        );
+        assert!(Trigger::ManyAsserts(6).matches(&many));
+        assert!(!Trigger::ManyAsserts(7).matches(&many));
+    }
+
+    #[test]
+    fn odd_mod() {
+        assert!(Trigger::OddMod.matches(&script(
+            "(declare-fun a () Int) (declare-fun b () Int) (assert (= (mod a b) 0))"
+        )));
+        assert!(Trigger::OddMod.matches(&script(
+            "(declare-fun a () Int) (assert (= (mod a (- 3)) 0))"
+        )));
+        assert!(!Trigger::OddMod.matches(&script(
+            "(declare-fun a () Int) (assert (= (mod a 3) 0))"
+        )));
+    }
+
+    #[test]
+    fn affix_with_replace_fig13e() {
+        let s = script(
+            r#"(declare-fun c () String) (declare-fun d () String)
+               (assert (not (= (str.suffixof "A" d)
+                               (str.suffixof "A" (str.replace c c d)))))"#,
+        );
+        assert!(Trigger::AffixWithReplace.matches(&s));
+    }
+
+    #[test]
+    fn all_combinator() {
+        let s = script(
+            "(declare-fun z () Int) (declare-fun y () Int)
+             (assert (= (div z y) (* z y)))",
+        );
+        assert!(Trigger::All(vec![Trigger::DivByVariable, Trigger::VariableProduct])
+            .matches(&s));
+        assert!(!Trigger::All(vec![Trigger::DivByVariable, Trigger::IndexOf]).matches(&s));
+    }
+
+    #[test]
+    fn large_negative_constant() {
+        assert!(Trigger::LargeNegativeConstant(4).matches(&script(
+            "(declare-fun a () Int) (assert (> a (- 7)))"
+        )));
+        assert!(!Trigger::LargeNegativeConstant(10).matches(&script(
+            "(declare-fun a () Int) (assert (> a (- 7)))"
+        )));
+    }
+
+    #[test]
+    fn every_trigger_variant_has_positive_and_negative_witness() {
+        // (trigger, positive witness, negative witness)
+        let neutral = "(declare-fun q () Int) (assert (= q 1))";
+        let cases: Vec<(Trigger, &str, &str)> = vec![
+            (
+                Trigger::SubstrOfLen,
+                r#"(declare-fun z () String) (declare-fun x () String)
+                   (assert (= x (str.substr z 0 (str.len x))))"#,
+                r#"(declare-fun z () String) (assert (= "a" (str.substr z 0 2)))"#,
+            ),
+            (
+                Trigger::ToIntOfComposite,
+                r#"(declare-fun a () String) (assert (= 0 (str.to_int (str.++ a "x"))))"#,
+                r#"(declare-fun a () String) (assert (= 0 (str.to_int a)))"#,
+            ),
+            (
+                Trigger::RegexStarPlusArith,
+                r#"(declare-fun c () String)
+                   (assert (and (str.in_re c (re.* (str.to_re "a"))) (> (str.len c) 1)))"#,
+                r#"(declare-fun c () String) (assert (str.in_re c (re.* (str.to_re "a"))))"#,
+            ),
+            (
+                Trigger::ConcatAndSubstr,
+                r#"(declare-fun a () String) (declare-fun b () String)
+                   (assert (= (str.++ a b) (str.substr a 0 1)))"#,
+                r#"(declare-fun a () String) (declare-fun b () String)
+                   (assert (= (str.++ a b) "xy"))"#,
+            ),
+            (
+                Trigger::IndexOf,
+                r#"(declare-fun a () String) (assert (= (str.indexof a "x" 0) 1))"#,
+                neutral,
+            ),
+            (
+                Trigger::NestedDivision,
+                "(declare-fun a () Real) (declare-fun c () Real) (declare-fun e () Real)
+                 (assert (> 0 (/ a (/ c e))))",
+                "(declare-fun a () Real) (declare-fun c () Real)
+                 (assert (> 0 (/ a c)))",
+            ),
+            (
+                Trigger::EqVarDiv,
+                "(declare-fun x () Int) (declare-fun z () Int) (declare-fun y () Int)
+                 (assert (= x (div z y)))",
+                "(declare-fun x () Int) (declare-fun z () Int) (declare-fun y () Int)
+                 (assert (= (+ x 1) (div z y)))",
+            ),
+            (
+                Trigger::IteWithDivision,
+                "(declare-fun a () Real) (declare-fun c () Real) (declare-fun d () Real)
+                 (assert (= d (ite (>= (/ a c) 0.0) 1.0 2.0)))",
+                "(declare-fun a () Real) (declare-fun d () Real)
+                 (assert (= d (ite (>= a 0.0) 1.0 2.0)))",
+            ),
+            (
+                Trigger::QuantifierWithCmp,
+                "(declare-fun a () Real) (assert (exists ((h Real)) (<= h a)))",
+                "(declare-fun a () Real) (assert (exists ((h Real)) (= h a)))",
+            ),
+            (
+                Trigger::StringIntMix,
+                r#"(declare-fun s () String) (declare-fun n () Int)
+                   (assert (= (+ (str.len s) 1) n))"#,
+                r#"(declare-fun s () String) (assert (= (str.len s) 2))"#,
+            ),
+            (
+                Trigger::VariableProduct,
+                "(declare-fun x () Int) (declare-fun y () Int) (assert (= (* x y) 1))",
+                "(declare-fun x () Int) (assert (= (* x 3) 1))",
+            ),
+            (
+                Trigger::DivByVariable,
+                "(declare-fun z () Int) (declare-fun y () Int) (assert (= (div z y) 1))",
+                "(declare-fun z () Int) (assert (= (div z 4) 1))",
+            ),
+            (
+                Trigger::ReplaceChain,
+                r#"(declare-fun z () String)
+                   (assert (= "" (str.replace (str.replace z "a" "b") "c" "d")))"#,
+                r#"(declare-fun z () String) (assert (= "" (str.replace z "a" "b")))"#,
+            ),
+            (
+                Trigger::ReplaceWithEmpty,
+                r#"(declare-fun z () String) (assert (= "" (str.replace z "a" "")))"#,
+                r#"(declare-fun z () String) (assert (= "" (str.replace z "a" "b")))"#,
+            ),
+            (
+                Trigger::AtOfLen,
+                r#"(declare-fun a () String) (assert (= "x" (str.at a (str.len a))))"#,
+                r#"(declare-fun a () String) (assert (= "x" (str.at a 0)))"#,
+            ),
+            (
+                Trigger::AffixWithReplace,
+                r#"(declare-fun c () String) (declare-fun d () String)
+                   (assert (= (str.suffixof "A" d) (str.suffixof "A" (str.replace c c d))))"#,
+                r#"(declare-fun d () String) (assert (str.suffixof "A" d))"#,
+            ),
+            (
+                Trigger::OddMod,
+                "(declare-fun a () Int) (declare-fun b () Int) (assert (= (mod a b) 0))",
+                "(declare-fun a () Int) (assert (= (mod a 5) 0))",
+            ),
+            (
+                Trigger::LargeNegativeConstant(4),
+                "(declare-fun a () Int) (assert (> a (- 9)))",
+                "(declare-fun a () Int) (assert (> a (- 2)))",
+            ),
+            (
+                Trigger::BigDisjunction(4),
+                "(declare-fun a () Int)
+                 (assert (or (and (> a 0) (< a 9)) (and (> a 10) (< a 20))))",
+                "(declare-fun a () Int) (assert (or (> a 0) (< a 9)))",
+            ),
+            (
+                Trigger::ManyAsserts(3),
+                "(declare-fun a () Int) (assert (> a 0)) (assert (> a 1)) (assert (> a 2))",
+                "(declare-fun a () Int) (assert (> a 0))",
+            ),
+            (
+                Trigger::All(vec![Trigger::IndexOf, Trigger::ReplaceWithEmpty]),
+                r#"(declare-fun a () String)
+                   (assert (= (str.indexof (str.replace a "x" "") "y" 0) 1))"#,
+                r#"(declare-fun a () String) (assert (= (str.indexof a "y" 0) 1))"#,
+            ),
+        ];
+        for (trigger, pos, neg) in cases {
+            let pos_script = script(pos);
+            let neg_script = script(neg);
+            assert!(
+                trigger.matches(&pos_script),
+                "{trigger:?} missed its positive witness"
+            );
+            assert!(
+                !trigger.matches(&neg_script),
+                "{trigger:?} fired on its negative witness"
+            );
+        }
+    }
+}
+

@@ -1,0 +1,365 @@
+//! Bug-triggering formula reduction — the workspace's C-Reduce substitute.
+//!
+//! The paper reduces bug-triggering fused formulas with C-Reduce plus a
+//! custom pretty printer ("flattens nestings of the same operator, removes
+//! additions and multiplications with neutral elements"). This crate
+//! reimplements that pipeline natively on SMT-LIB ASTs:
+//!
+//! 1. **assert-level ddmin** — remove whole assertions while the
+//!    interestingness predicate (e.g. "solver still answers `sat` on this
+//!    unsat-by-construction formula") keeps holding;
+//! 2. **term-level shrinking** — replace subterms by same-sorted children
+//!    or canonical constants;
+//! 3. **pretty printing** — the paper's flattening/neutral-element pass
+//!    (the solver's semantics-preserving simplifier);
+//! 4. **declaration cleanup** — drop unused variables.
+//!
+//! # Examples
+//!
+//! ```
+//! use yinyang_reduce::reduce;
+//! use yinyang_smtlib::parse_script;
+//!
+//! let script = parse_script(
+//!     "(declare-fun x () Int) (declare-fun y () Int)
+//!      (assert (> x 0)) (assert (< y 7)) (assert (< x 0)) (check-sat)",
+//! )?;
+//! // Keep shrinking while x's contradiction is still present.
+//! let reduced = reduce(&script, &mut |s| {
+//!     let text = s.to_string();
+//!     text.contains("(> x 0)") && text.contains("(< x 0)")
+//! });
+//! assert_eq!(reduced.asserts().len(), 2, "the y assert is gone");
+//! # Ok::<(), yinyang_smtlib::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+use yinyang_smtlib::{Command, Script, Sort, SortEnv, Term, TermKind};
+use yinyang_solver::simplify;
+
+/// Total candidate evaluations before the reducer settles.
+const BUDGET: usize = 2_000;
+
+/// Reduces `script` while `interesting` holds.
+///
+/// `interesting` must hold for the input script; the result is the smallest
+/// interesting script found within budget. The predicate is invoked on
+/// every candidate, so it should be reasonably cheap (or rely on solver
+/// timeouts).
+pub fn reduce(script: &Script, interesting: &mut dyn FnMut(&Script) -> bool) -> Script {
+    debug_assert!(interesting(script), "input must be interesting");
+    let mut budget = BUDGET;
+    let mut current = script.clone();
+    loop {
+        let mut progressed = false;
+        let after_ddmin = ddmin_asserts(&current, interesting, &mut budget);
+        if after_ddmin.asserts().len() < current.asserts().len() {
+            progressed = true;
+        }
+        current = after_ddmin;
+        let after_shrink = shrink_terms(&current, interesting, &mut budget);
+        if after_shrink != current {
+            progressed = true;
+        }
+        current = after_shrink;
+        if !progressed || budget == 0 {
+            break;
+        }
+    }
+    let pretty = pretty_print(&current);
+    if budget > 0 && interesting(&pretty) {
+        current = pretty;
+    }
+    drop_unused_declarations(&current)
+}
+
+/// Classic ddmin over the assertion list.
+fn ddmin_asserts(
+    script: &Script,
+    interesting: &mut dyn FnMut(&Script) -> bool,
+    budget: &mut usize,
+) -> Script {
+    let mut asserts = script.asserts();
+    let mut granularity = 2usize;
+    while asserts.len() >= 2 && *budget > 0 {
+        let chunk = (asserts.len() / granularity).max(1);
+        let mut removed_any = false;
+        let mut start = 0;
+        while start < asserts.len() && *budget > 0 {
+            let end = (start + chunk).min(asserts.len());
+            let mut candidate: Vec<Term> = Vec::new();
+            candidate.extend_from_slice(&asserts[..start]);
+            candidate.extend_from_slice(&asserts[end..]);
+            if candidate.is_empty() {
+                start = end;
+                continue;
+            }
+            let cand_script = rebuild(script, &candidate);
+            *budget -= 1;
+            if interesting(&cand_script) {
+                asserts = candidate;
+                removed_any = true;
+                // Keep the same start: the next chunk slid into place.
+            } else {
+                start = end;
+            }
+        }
+        if removed_any {
+            granularity = granularity.saturating_sub(1).max(2);
+        } else if granularity >= asserts.len() {
+            break;
+        } else {
+            granularity = (granularity * 2).min(asserts.len());
+        }
+    }
+    rebuild(script, &asserts)
+}
+
+/// Replaces the assert block while preserving everything else.
+fn rebuild(script: &Script, asserts: &[Term]) -> Script {
+    let mut out = Script::new();
+    let mut inserted = false;
+    for c in &script.commands {
+        match c {
+            Command::Assert(_) => {
+                if !inserted {
+                    for a in asserts {
+                        out.push(Command::Assert(a.clone()));
+                    }
+                    inserted = true;
+                }
+            }
+            other => out.push(other.clone()),
+        }
+    }
+    out
+}
+
+/// One pass of term-level shrinking over every assert.
+fn shrink_terms(
+    script: &Script,
+    interesting: &mut dyn FnMut(&Script) -> bool,
+    budget: &mut usize,
+) -> Script {
+    let env: SortEnv = script.declarations();
+    let mut asserts = script.asserts();
+    for i in 0..asserts.len() {
+        let mut changed = true;
+        while changed && *budget > 0 {
+            changed = false;
+            for candidate_term in shrink_candidates(&asserts[i], &env) {
+                if candidate_term == asserts[i] {
+                    continue;
+                }
+                let mut cand = asserts.clone();
+                cand[i] = candidate_term;
+                let cand_script = rebuild(script, &cand);
+                *budget = budget.saturating_sub(1);
+                if interesting(&cand_script) {
+                    asserts = cand;
+                    changed = true;
+                    break;
+                }
+                if *budget == 0 {
+                    break;
+                }
+            }
+        }
+    }
+    rebuild(script, &asserts)
+}
+
+/// Candidate replacements: for each subterm position, same-sorted children
+/// (hoisting) and canonical constants. Produces whole-assert rewrites,
+/// smallest-first heuristically.
+fn shrink_candidates(assert: &Term, env: &SortEnv) -> Vec<Term> {
+    let mut out = Vec::new();
+    // Hoist boolean children of the root first (cheap big wins).
+    collect_rewrites(assert, env, &mut |original, replacement| {
+        out.push((original.size(), replace_once(assert, original, replacement)));
+    });
+    out.sort_by_key(|(size, _)| std::cmp::Reverse(*size));
+    out.into_iter().map(|(_, t)| t).collect()
+}
+
+/// Calls `emit(subterm, replacement)` for every plausible shrink.
+fn collect_rewrites(
+    term: &Term,
+    env: &SortEnv,
+    emit: &mut impl FnMut(&Term, &Term),
+) {
+    if let Ok(sort) = yinyang_smtlib::sort_of(term, env) {
+        if term.size() > 1 {
+            // Canonical constants.
+            let canon = match sort {
+                Sort::Bool => vec![Term::tru(), Term::fals()],
+                Sort::Int => vec![Term::int(0), Term::int(1)],
+                Sort::Real => vec![Term::real_frac(0, 1), Term::real_frac(1, 1)],
+                Sort::String => vec![Term::str_lit("")],
+                Sort::RegLan => vec![],
+            };
+            for c in &canon {
+                emit(term, c);
+            }
+            // Same-sorted children (hoisting).
+            for child in term.children() {
+                if yinyang_smtlib::sort_of(&child, env) == Ok(sort) {
+                    emit(term, &child);
+                }
+            }
+        }
+    }
+    for child in term.children() {
+        collect_rewrites(&child, env, emit);
+    }
+}
+
+/// Replaces the first occurrence of `from` (structural) with `to`.
+fn replace_once(term: &Term, from: &Term, to: &Term) -> Term {
+    fn go(t: &Term, from: &Term, to: &Term, done: &mut bool) -> Term {
+        if *done {
+            return t.clone();
+        }
+        if t == from {
+            *done = true;
+            return to.clone();
+        }
+        match t.kind() {
+            TermKind::App(op, args) => {
+                let new_args: Vec<Term> =
+                    args.iter().map(|a| go(a, from, to, done)).collect();
+                Term::app(*op, new_args)
+            }
+            TermKind::Quant(q, b, body) => {
+                Term::quant(*q, b.clone(), go(body, from, to, done))
+            }
+            TermKind::Let(bindings, body) => {
+                let nb: Vec<_> = bindings
+                    .iter()
+                    .map(|(s, v)| (s.clone(), go(v, from, to, done)))
+                    .collect();
+                Term::let_in(nb, go(body, from, to, done))
+            }
+            _ => t.clone(),
+        }
+    }
+    let mut done = false;
+    go(term, from, to, &mut done)
+}
+
+/// The paper's pretty printer: flatten same-operator nests and drop neutral
+/// elements — implemented by the solver's semantics-preserving simplifier.
+pub fn pretty_print(script: &Script) -> Script {
+    let asserts: Vec<Term> = script.asserts().iter().map(simplify).collect();
+    rebuild(script, &asserts)
+}
+
+/// Drops declarations of variables no assert mentions.
+pub fn drop_unused_declarations(script: &Script) -> Script {
+    let mut used = std::collections::BTreeSet::new();
+    for a in script.asserts() {
+        used.extend(a.free_vars());
+    }
+    let mut out = Script::new();
+    for c in &script.commands {
+        match c {
+            Command::DeclareFun(name, args, _) if args.is_empty() && !used.contains(name) => {}
+            Command::DeclareConst(name, _) if !used.contains(name) => {}
+            other => out.push(other.clone()),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yinyang_smtlib::parse_script;
+
+    #[test]
+    fn ddmin_removes_irrelevant_asserts() {
+        let s = parse_script(
+            "(declare-fun a () Int) (declare-fun b () Int) (declare-fun c () Int)
+             (assert (> a 0)) (assert (> b 1)) (assert (> c 2))
+             (assert (< a 0)) (assert (< b 9)) (check-sat)",
+        )
+        .unwrap();
+        let reduced = reduce(&s, &mut |cand| {
+            let t = cand.to_string();
+            t.contains("(> a 0)") && t.contains("(< a 0)")
+        });
+        assert_eq!(reduced.asserts().len(), 2);
+        // b and c declarations dropped.
+        assert!(!reduced.to_string().contains("declare-fun b"));
+        assert!(!reduced.to_string().contains("declare-fun c"));
+    }
+
+    #[test]
+    fn term_shrinking_hoists_children() {
+        let s = parse_script(
+            "(declare-fun x () Int)
+             (assert (and (> (+ x 0 (* 1 17)) 5) (= x x))) (check-sat)",
+        )
+        .unwrap();
+        let reduced = reduce(&s, &mut |cand| cand.to_string().contains("17"));
+        // The formula must still contain 17 but should be much smaller.
+        let final_size: usize = reduced.asserts().iter().map(Term::size).sum();
+        let orig_size: usize = s.asserts().iter().map(Term::size).sum();
+        assert!(final_size < orig_size, "no shrinking happened");
+    }
+
+    #[test]
+    fn pretty_printer_flattens_and_drops_neutrals() {
+        let s = parse_script(
+            "(declare-fun x () Int)
+             (assert (> (+ (+ x 0) (* 1 x)) 0)) (check-sat)",
+        )
+        .unwrap();
+        let p = pretty_print(&s);
+        assert_eq!(p.asserts()[0].to_string(), "(> (+ x x) 0)");
+    }
+
+    #[test]
+    fn reduction_preserves_interestingness() {
+        let s = parse_script(
+            "(declare-fun z () Int) (declare-fun y () Int) (declare-fun q () Bool)
+             (assert (or q (= (div z y) 1))) (assert q) (check-sat)",
+        )
+        .unwrap();
+        let mut check = |cand: &Script| cand.to_string().contains("div");
+        let reduced = reduce(&s, &mut check);
+        assert!(check(&reduced));
+        assert!(reduced.asserts().len() <= 2);
+    }
+
+    #[test]
+    fn single_assert_is_kept() {
+        let s = parse_script(
+            "(declare-fun x () Int) (assert (> x 0)) (check-sat)",
+        )
+        .unwrap();
+        let reduced = reduce(&s, &mut |cand| !cand.asserts().is_empty());
+        assert_eq!(reduced.asserts().len(), 1);
+    }
+
+    #[test]
+    fn unused_declaration_cleanup() {
+        let s = parse_script(
+            "(declare-fun x () Int) (declare-fun dead () String)
+             (assert (> x 0)) (check-sat)",
+        )
+        .unwrap();
+        let cleaned = drop_unused_declarations(&s);
+        assert!(!cleaned.to_string().contains("dead"));
+        assert!(cleaned.to_string().contains("declare-fun x"));
+    }
+
+    #[test]
+    fn replace_once_only_touches_first() {
+        let t = yinyang_smtlib::parse_term("(+ x x)").unwrap();
+        let from = yinyang_smtlib::parse_term("x").unwrap();
+        let out = replace_once(&t, &from, &Term::int(0));
+        assert_eq!(out.to_string(), "(+ 0 x)");
+    }
+}

@@ -1,0 +1,112 @@
+//! Properties of the reducer: monotone shrinking, predicate preservation,
+//! and pretty-printer semantics preservation.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use yinyang_reduce::{drop_unused_declarations, pretty_print, reduce};
+use yinyang_seedgen::SeedGenerator;
+use yinyang_smtlib::{Logic, Model, Script, Term, Value, ZeroDivPolicy};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Reduction never grows the script, always keeps the predicate true,
+    /// and the result is well-sorted.
+    #[test]
+    fn reduce_shrinks_and_preserves(seed in 0u64..5_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let generator = SeedGenerator::new(Logic::QfLia);
+        let s = generator.generate_unsat(&mut rng).script;
+        // Predicate: the script still mentions a comparison operator.
+        let mut pred = |cand: &Script| {
+            let t = cand.to_string();
+            t.contains('<') || t.contains('>')
+        };
+        prop_assume!(pred(&s));
+        let reduced = reduce(&s, &mut pred);
+        prop_assert!(pred(&reduced));
+        prop_assert!(reduced.to_string().len() <= s.to_string().len());
+        prop_assert!(yinyang_smtlib::check_script(&reduced).is_ok());
+    }
+
+    /// The pretty printer is semantics-preserving: a model of the original
+    /// satisfies the pretty-printed script and vice versa.
+    #[test]
+    fn pretty_print_preserves_models(seed in 0u64..5_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let generator = SeedGenerator::new(Logic::QfLia);
+        let s = generator.generate_sat(&mut rng);
+        let pretty = pretty_print(&s.script);
+        let model: &Model = s.model.as_ref().expect("sat seed");
+        for (a, b) in s.script.asserts().iter().zip(pretty.asserts().iter()) {
+            let va = model.eval_with(a, ZeroDivPolicy::Zero);
+            let vb = model.eval_with(b, ZeroDivPolicy::Zero);
+            if let (Ok(Value::Bool(x)), Ok(Value::Bool(y))) = (va, vb) {
+                prop_assert_eq!(x, y, "pretty printing changed {} vs {}", a, b);
+            }
+        }
+    }
+
+    /// Dropping unused declarations never removes a used one.
+    #[test]
+    fn unused_declaration_cleanup_is_safe(seed in 0u64..5_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let generator = SeedGenerator::new(Logic::QfNra);
+        let mut s = generator.generate_sat(&mut rng).script;
+        s.declare_var("definitely_unused_xyz", yinyang_smtlib::Sort::Int);
+        let cleaned = drop_unused_declarations(&s);
+        prop_assert!(!cleaned.to_string().contains("definitely_unused_xyz"));
+        // Every free variable of the assertions is still declared.
+        let decls = cleaned.declarations();
+        for a in cleaned.asserts() {
+            for v in a.free_vars() {
+                prop_assert!(decls.contains_key(&v), "{v} lost its declaration");
+            }
+        }
+    }
+}
+
+/// Reduction is idempotent with respect to the assert count: reducing a
+/// reduced script removes nothing more (same predicate).
+#[test]
+fn reduction_reaches_a_fixpoint() {
+    let script = yinyang_smtlib::parse_script(
+        "(declare-fun a () Int) (declare-fun b () Int) (declare-fun c () Int)
+         (assert (> a 0)) (assert (< a 0)) (assert (> b 1)) (assert (> c 2))
+         (assert (= b c)) (check-sat)",
+    )
+    .unwrap();
+    let mut pred = |cand: &Script| {
+        let t = cand.to_string();
+        t.contains("(> a 0)") && t.contains("(< a 0)")
+    };
+    let once = reduce(&script, &mut pred);
+    let twice = reduce(&once, &mut pred);
+    assert_eq!(once.asserts().len(), twice.asserts().len());
+    assert_eq!(once.asserts().len(), 2);
+}
+
+/// Reduction works through the trait-object interface on a term predicate
+/// (the campaign wires solver-answer predicates the same way).
+#[test]
+fn reduce_with_term_level_predicate() {
+    let script = yinyang_smtlib::parse_script(
+        "(declare-fun z () Int) (declare-fun y () Int)
+         (assert (and (= (div z y) 1) (> y 0) (> z 0) (< z 100)))
+         (check-sat)",
+    )
+    .unwrap();
+    let reduced = reduce(&script, &mut |cand| {
+        cand.asserts().iter().any(|a| {
+            a.any_subterm(&mut |t| {
+                matches!(t.kind(), yinyang_smtlib::TermKind::App(yinyang_smtlib::Op::IntDiv, _))
+            })
+        })
+    });
+    // The div must survive; the irrelevant bounds should mostly go.
+    let text = reduced.to_string();
+    assert!(text.contains("div"));
+    assert!(reduced.asserts().iter().map(Term::size).sum::<usize>()
+        <= script.asserts().iter().map(Term::size).sum::<usize>());
+}

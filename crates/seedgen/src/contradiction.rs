@@ -1,0 +1,182 @@
+//! Contradiction cores for unsatisfiable seed generation.
+//!
+//! An unsatisfiable seed is built as *satisfiable padding* plus an injected
+//! contradiction core. Each core is unsatisfiable on its own (so the whole
+//! conjunction is too, regardless of the padding), and is drawn from the
+//! same shapes the paper's unsat benchmarks exhibit — including φ3's
+//! "equivalent-but-syntactically-different" pattern from Fig. 4.
+
+use crate::terms::{arith_term, string_term, GenCtx};
+use rand::Rng;
+use yinyang_smtlib::{Op, Sort, Term};
+
+/// Produces one unsatisfiable conjunction (as a list of assertions) over
+/// the context's variables.
+pub fn contradiction_core(rng: &mut impl Rng, ctx: &GenCtx) -> Vec<Term> {
+    if ctx.logic.has_strings() {
+        string_core(rng, ctx)
+    } else {
+        arith_core(rng, ctx)
+    }
+}
+
+fn arith_core(rng: &mut impl Rng, ctx: &GenCtx) -> Vec<Term> {
+    let t = arith_term(rng, ctx, 2);
+    match rng.random_range(0..5) {
+        0 => {
+            // t > c ∧ t < c.
+            let c = small_const(rng, ctx);
+            vec![Term::gt(t.clone(), c.clone()), Term::lt(t, c)]
+        }
+        1 => {
+            // t = c1 ∧ t = c2 with c1 ≠ c2.
+            let (c1, c2) = distinct_consts(rng, ctx);
+            vec![Term::eq(t.clone(), c1), Term::eq(t, c2)]
+        }
+        2 => {
+            // The φ3 pattern: ((c1 + t) + c2) ≠ ((c1 + c2) + t).
+            let (a, b) = (rng.random_range(1i64..=9), rng.random_range(1i64..=9));
+            let (ca, cb, cab) = if ctx.arith_sort() == Sort::Real {
+                (Term::real_frac(a, 1), Term::real_frac(b, 1), Term::real_frac(a + b, 1))
+            } else {
+                (Term::int(a), Term::int(b), Term::int(a + b))
+            };
+            vec![Term::not(Term::eq(
+                Term::add(vec![Term::add(vec![ca, t.clone()]), cb]),
+                Term::add(vec![cab, t]),
+            ))]
+        }
+        3 => {
+            // Cyclic ordering: t1 < t2 ∧ t2 < t1.
+            let t2 = arith_term(rng, ctx, 2);
+            vec![Term::lt(t.clone(), t2.clone()), Term::lt(t2, t)]
+        }
+        _ => {
+            // Strict self-comparison through a sum: t + c > t + c (flipped).
+            let c = small_const(rng, ctx);
+            let lhs = Term::add(vec![t.clone(), c.clone()]);
+            vec![Term::gt(lhs.clone(), lhs)]
+        }
+    }
+}
+
+fn string_core(rng: &mut impl Rng, ctx: &GenCtx) -> Vec<Term> {
+    let s = string_term(rng, ctx, 1);
+    match rng.random_range(0..5) {
+        0 => {
+            // Conflicting lengths.
+            let l1 = rng.random_range(0i64..4);
+            let l2 = l1 + rng.random_range(1i64..4);
+            vec![
+                Term::eq(Term::str_len(s.clone()), Term::int(l1)),
+                Term::eq(Term::str_len(s), Term::int(l2)),
+            ]
+        }
+        1 => {
+            // Membership in (cc)* with odd length (the Fig. 13a flavor).
+            let c = ["aa", "ab", "ba"][rng.random_range(0..3)];
+            let re = Term::app(
+                Op::ReStar,
+                vec![Term::app(Op::StrToRe, vec![Term::str_lit(c)])],
+            );
+            vec![
+                Term::app(Op::StrInRe, vec![s.clone(), re]),
+                Term::eq(
+                    Term::str_len(s),
+                    Term::int(2 * rng.random_range(0i64..3) + 1),
+                ),
+            ]
+        }
+        2 => {
+            // Distinct constants.
+            vec![
+                Term::eq(s.clone(), Term::str_lit("a")),
+                Term::eq(s, Term::str_lit("bb")),
+            ]
+        }
+        3 => {
+            // prefix longer than the string.
+            vec![
+                Term::app(
+                    Op::StrPrefixOf,
+                    vec![Term::str_lit("abc"), s.clone()],
+                ),
+                Term::lt(Term::str_len(s), Term::int(3)),
+            ]
+        }
+        _ => {
+            // to_int of a non-digit constant forced non-negative.
+            vec![
+                Term::eq(s.clone(), Term::str_lit("ab")),
+                Term::ge(Term::app(Op::StrToInt, vec![s]), Term::int(0)),
+            ]
+        }
+    }
+}
+
+fn small_const(rng: &mut impl Rng, ctx: &GenCtx) -> Term {
+    if ctx.arith_sort() == Sort::Real {
+        Term::real_frac(rng.random_range(-6i64..=6), rng.random_range(1i64..=3))
+    } else {
+        Term::int(rng.random_range(-6i64..=6))
+    }
+}
+
+fn distinct_consts(rng: &mut impl Rng, ctx: &GenCtx) -> (Term, Term) {
+    let a = rng.random_range(-6i64..=6);
+    let b = a + rng.random_range(1i64..=5);
+    if ctx.arith_sort() == Sort::Real {
+        (Term::real_frac(a, 1), Term::real_frac(b, 1))
+    } else {
+        (Term::int(a), Term::int(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::terms::Shape;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use yinyang_smtlib::{check_script, Logic, Script};
+
+    /// Every core must be well-sorted and (for the decidable arithmetic
+    /// cores) refutable by the reference solver.
+    #[test]
+    fn cores_are_well_sorted() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for logic in [Logic::QfLia, Logic::QfLra, Logic::QfNia, Logic::QfNra, Logic::QfS, Logic::QfSlia] {
+            for _ in 0..30 {
+                let ctx = GenCtx::sample(&mut rng, logic, &Shape::default());
+                let core = contradiction_core(&mut rng, &ctx);
+                assert!(!core.is_empty());
+                let script =
+                    Script::check_sat_script(logic.name(), ctx.declarations(), core.clone());
+                check_script(&script).unwrap_or_else(|e| {
+                    panic!("{logic}: ill-sorted core {core:?}: {e}")
+                });
+            }
+        }
+    }
+
+    /// No model can satisfy a contradiction core: spot-check by evaluating
+    /// under the context's own model — at least one core assert must be
+    /// false or unevaluable.
+    #[test]
+    fn cores_refute_their_own_model() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for logic in [Logic::QfLia, Logic::QfLra, Logic::QfS] {
+            for _ in 0..50 {
+                let ctx = GenCtx::sample(&mut rng, logic, &Shape::default());
+                let core = contradiction_core(&mut rng, &ctx);
+                let all_true = core.iter().all(|a| {
+                    matches!(
+                        ctx.model.eval_with(a, yinyang_smtlib::ZeroDivPolicy::Zero),
+                        Ok(yinyang_smtlib::Value::Bool(true))
+                    )
+                });
+                assert!(!all_true, "{logic}: core satisfied by a model: {core:?}");
+            }
+        }
+    }
+}

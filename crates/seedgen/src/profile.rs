@@ -1,0 +1,139 @@
+//! The Fig. 7 benchmark profile: which seed sets the campaign uses, with
+//! the paper's per-logic formula counts (scaled 1:100 for laptop budgets).
+
+use crate::{generate_pool, Seed, SeedGenerator};
+use rand::Rng;
+use yinyang_smtlib::Logic;
+
+/// One row of the Fig. 7 table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkRow {
+    /// Display name (`"QF_SLIA"`, `"StringFuzz"`, ...).
+    pub name: &'static str,
+    /// The underlying logic.
+    pub logic: Logic,
+    /// StringFuzz-flavored generation?
+    pub stringfuzz: bool,
+    /// Unsatisfiable seed count (paper scale).
+    pub unsat: usize,
+    /// Satisfiable seed count (paper scale).
+    pub sat: usize,
+}
+
+impl BenchmarkRow {
+    /// Total formula count at paper scale.
+    pub fn total(&self) -> usize {
+        self.sat + self.unsat
+    }
+}
+
+/// The paper's Fig. 7 inventory (paper-scale counts).
+pub fn fig7_profile() -> Vec<BenchmarkRow> {
+    vec![
+        BenchmarkRow { name: "LIA", logic: Logic::Lia, stringfuzz: false, unsat: 203, sat: 139 },
+        BenchmarkRow { name: "LRA", logic: Logic::Lra, stringfuzz: false, unsat: 1316, sat: 714 },
+        BenchmarkRow { name: "NRA", logic: Logic::Nra, stringfuzz: false, unsat: 3798, sat: 0 },
+        BenchmarkRow {
+            name: "QF_LIA",
+            logic: Logic::QfLia,
+            stringfuzz: false,
+            unsat: 1191,
+            sat: 1318,
+        },
+        BenchmarkRow {
+            name: "QF_LRA",
+            logic: Logic::QfLra,
+            stringfuzz: false,
+            unsat: 384,
+            sat: 522,
+        },
+        BenchmarkRow {
+            name: "QF_NRA",
+            logic: Logic::QfNra,
+            stringfuzz: false,
+            unsat: 4660,
+            sat: 4751,
+        },
+        BenchmarkRow {
+            name: "QF_SLIA",
+            logic: Logic::QfSlia,
+            stringfuzz: false,
+            unsat: 5492,
+            sat: 22657,
+        },
+        BenchmarkRow { name: "QF_S", logic: Logic::QfS, stringfuzz: false, unsat: 6390, sat: 12561 },
+        BenchmarkRow {
+            name: "StringFuzz",
+            logic: Logic::QfS,
+            stringfuzz: true,
+            unsat: 4903,
+            sat: 4098,
+        },
+    ]
+}
+
+/// Scales a paper count down by `scale` (minimum 1 unless the paper count
+/// is zero — NRA has no satisfiable seeds).
+pub fn scaled(count: usize, scale: usize) -> usize {
+    if count == 0 {
+        0
+    } else {
+        (count / scale).max(1)
+    }
+}
+
+/// Generates the seed pool for one benchmark row at `1:scale`.
+pub fn generate_row(rng: &mut impl Rng, row: &BenchmarkRow, scale: usize) -> Vec<Seed> {
+    let generator = if row.stringfuzz {
+        SeedGenerator::stringfuzz()
+    } else {
+        SeedGenerator::new(row.logic)
+    };
+    generate_pool(rng, &generator, scaled(row.sat, scale), scaled(row.unsat, scale))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use yinyang_core::Oracle;
+
+    #[test]
+    fn profile_matches_paper_totals() {
+        let rows = fig7_profile();
+        assert_eq!(rows.len(), 9);
+        let total: usize = rows.iter().map(BenchmarkRow::total).sum();
+        // 75,097 seed formulas: 46,760 sat + 28,337 unsat (Section 4.1).
+        assert_eq!(total, 75_097);
+        assert_eq!(rows.iter().map(|r| r.sat).sum::<usize>(), 46_760);
+        assert_eq!(rows.iter().map(|r| r.unsat).sum::<usize>(), 28_337);
+    }
+
+    #[test]
+    fn nra_has_no_sat_seeds() {
+        let rows = fig7_profile();
+        let nra = rows.iter().find(|r| r.name == "NRA").unwrap();
+        assert_eq!(nra.sat, 0);
+        assert_eq!(scaled(nra.sat, 100), 0);
+    }
+
+    #[test]
+    fn scaling_rounds_up_to_one() {
+        assert_eq!(scaled(139, 100), 1);
+        assert_eq!(scaled(22657, 100), 226);
+        assert_eq!(scaled(0, 100), 0);
+    }
+
+    #[test]
+    fn generate_row_respects_counts() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let rows = fig7_profile();
+        let lia = rows.iter().find(|r| r.name == "LIA").unwrap();
+        let seeds = generate_row(&mut rng, lia, 100);
+        let sat = seeds.iter().filter(|s| s.oracle == Oracle::Sat).count();
+        let unsat = seeds.iter().filter(|s| s.oracle == Oracle::Unsat).count();
+        assert_eq!(sat, scaled(lia.sat, 100));
+        assert_eq!(unsat, scaled(lia.unsat, 100));
+    }
+}

@@ -1,0 +1,515 @@
+//! Random term builders, parameterized by logic and guided by a model.
+//!
+//! The generators are *model-first*: a random model is fixed up front and
+//! every generated assertion is oriented (possibly negated) so that it
+//! evaluates to `true` under that model — giving satisfiability by
+//! construction, the property the paper gets from pre-classified SMT-LIB
+//! benchmarks.
+
+use rand::Rng;
+use std::rc::Rc;
+use yinyang_arith::{BigInt, BigRational};
+use yinyang_smtlib::{Logic, Model, Op, Sort, Symbol, Term, Value};
+
+/// Shape parameters for generated formulas.
+#[derive(Debug, Clone)]
+pub struct Shape {
+    /// Number of variables of the primary sort.
+    pub num_vars: usize,
+    /// Number of assertions.
+    pub num_asserts: usize,
+    /// Maximum term depth.
+    pub max_depth: usize,
+    /// Probability of boolean helper variables appearing.
+    pub bool_var_prob: f64,
+}
+
+impl Default for Shape {
+    fn default() -> Self {
+        Shape { num_vars: 3, num_asserts: 4, max_depth: 3, bool_var_prob: 0.5 }
+    }
+}
+
+/// A generation context: the fixed model plus variable inventory.
+pub struct GenCtx {
+    /// Target logic.
+    pub logic: Logic,
+    /// The model every assertion must satisfy.
+    pub model: Model,
+    /// Arithmetic variables (Int or Real per logic).
+    pub arith_vars: Vec<Symbol>,
+    /// String variables (string logics only).
+    pub string_vars: Vec<Symbol>,
+    /// Boolean variables.
+    pub bool_vars: Vec<Symbol>,
+}
+
+impl GenCtx {
+    /// Samples a fresh context: variables with random values.
+    pub fn sample(rng: &mut impl Rng, logic: Logic, shape: &Shape) -> GenCtx {
+        let mut model = Model::new();
+        let mut arith_vars = Vec::new();
+        let mut string_vars = Vec::new();
+        let mut bool_vars = Vec::new();
+        let arith_sort = if logic.is_real() { Sort::Real } else { Sort::Int };
+        if logic.has_strings() {
+            for i in 0..shape.num_vars {
+                let v = Symbol::new(format!("s{i}"));
+                model.set(v.clone(), Value::Str(random_string(rng)));
+                string_vars.push(v);
+            }
+            if logic == Logic::QfSlia {
+                for i in 0..2 {
+                    let v = Symbol::new(format!("n{i}"));
+                    model.set(v.clone(), Value::Int(BigInt::from(rng.random_range(-6i64..=9))));
+                    arith_vars.push(v);
+                }
+            }
+        } else {
+            for i in 0..shape.num_vars {
+                let v = Symbol::new(format!("v{i}"));
+                let value = if arith_sort == Sort::Real {
+                    Value::Real(BigRational::new(
+                        rng.random_range(-12i64..=12).into(),
+                        rng.random_range(1i64..=4).into(),
+                    ))
+                } else {
+                    Value::Int(BigInt::from(rng.random_range(-9i64..=9)))
+                };
+                model.set(v.clone(), value);
+                arith_vars.push(v);
+            }
+        }
+        if rng.random_bool(shape.bool_var_prob) {
+            for i in 0..2 {
+                let v = Symbol::new(format!("p{i}"));
+                model.set(v.clone(), Value::Bool(rng.random_bool(0.5)));
+                bool_vars.push(v);
+            }
+        }
+        GenCtx { logic, model, arith_vars, string_vars, bool_vars }
+    }
+
+    /// The sort of arithmetic terms in this logic.
+    pub fn arith_sort(&self) -> Sort {
+        if self.logic.is_real() {
+            Sort::Real
+        } else {
+            Sort::Int
+        }
+    }
+
+    /// Declarations for the sampled variables.
+    pub fn declarations(&self) -> Vec<(Symbol, Sort)> {
+        let mut out = Vec::new();
+        for v in &self.arith_vars {
+            out.push((v.clone(), self.arith_sort_of(v)));
+        }
+        for v in &self.string_vars {
+            out.push((v.clone(), Sort::String));
+        }
+        for v in &self.bool_vars {
+            out.push((v.clone(), Sort::Bool));
+        }
+        out
+    }
+
+    fn arith_sort_of(&self, _v: &Symbol) -> Sort {
+        if self.logic.has_strings() {
+            Sort::Int // QF_SLIA integer side
+        } else {
+            self.arith_sort()
+        }
+    }
+}
+
+fn random_string(rng: &mut impl Rng) -> String {
+    let alphabet = ['a', 'b', 'c', '0', '1'];
+    let len = rng.random_range(0..=4);
+    (0..len).map(|_| alphabet[rng.random_range(0..alphabet.len())]).collect()
+}
+
+/// A random arithmetic term of the context's sort.
+pub fn arith_term(rng: &mut impl Rng, ctx: &GenCtx, depth: usize) -> Term {
+    let leaf = depth == 0 || rng.random_bool(0.35);
+    if leaf {
+        if !ctx.arith_vars.is_empty() && rng.random_bool(0.7) {
+            let v = &ctx.arith_vars[rng.random_range(0..ctx.arith_vars.len())];
+            return Term::var(v.clone());
+        }
+        return arith_const(rng, ctx);
+    }
+    let nonlinear = ctx.logic.is_nonlinear();
+    let choice = rng.random_range(0..if nonlinear { 6 } else { 4 });
+    match choice {
+        0 => Term::add(vec![
+            arith_term(rng, ctx, depth - 1),
+            arith_term(rng, ctx, depth - 1),
+        ]),
+        1 => Term::sub(arith_term(rng, ctx, depth - 1), arith_term(rng, ctx, depth - 1)),
+        2 => Term::neg(arith_term(rng, ctx, depth - 1)),
+        3 => {
+            // Linear multiplication: constant coefficient.
+            Term::mul(vec![arith_const(rng, ctx), arith_term(rng, ctx, depth - 1)])
+        }
+        4 => Term::mul(vec![
+            arith_term(rng, ctx, depth - 1),
+            arith_term(rng, ctx, depth - 1),
+        ]),
+        _ => {
+            // Division: real `/` or integer `div`/`mod`.
+            let a = arith_term(rng, ctx, depth - 1);
+            let b = arith_term(rng, ctx, depth - 1);
+            if ctx.arith_sort() == Sort::Real {
+                Term::real_div(a, b)
+            } else if rng.random_bool(0.5) {
+                Term::int_div(a, b)
+            } else {
+                Term::imod(a, b)
+            }
+        }
+    }
+}
+
+fn arith_const(rng: &mut impl Rng, ctx: &GenCtx) -> Term {
+    if ctx.arith_sort() == Sort::Real {
+        Term::real(BigRational::new(
+            rng.random_range(-9i64..=9).into(),
+            rng.random_range(1i64..=4).into(),
+        ))
+    } else {
+        Term::int(rng.random_range(-9i64..=9))
+    }
+}
+
+/// A random string term.
+pub fn string_term(rng: &mut impl Rng, ctx: &GenCtx, depth: usize) -> Term {
+    let leaf = depth == 0 || rng.random_bool(0.4);
+    if leaf {
+        if !ctx.string_vars.is_empty() && rng.random_bool(0.7) {
+            let v = &ctx.string_vars[rng.random_range(0..ctx.string_vars.len())];
+            return Term::var(v.clone());
+        }
+        return Term::str_lit(random_string(rng));
+    }
+    match rng.random_range(0..5) {
+        0 => Term::str_concat(vec![
+            string_term(rng, ctx, depth - 1),
+            string_term(rng, ctx, depth - 1),
+        ]),
+        1 => Term::str_substr(
+            string_term(rng, ctx, depth - 1),
+            Term::int(rng.random_range(0..3)),
+            Term::int(rng.random_range(0..4)),
+        ),
+        2 => Term::str_replace(
+            string_term(rng, ctx, depth - 1),
+            string_term(rng, ctx, depth - 1),
+            string_term(rng, ctx, depth - 1),
+        ),
+        3 => Term::app(
+            Op::StrAt,
+            vec![string_term(rng, ctx, depth - 1), Term::int(rng.random_range(0..4))],
+        ),
+        _ => Term::app(Op::StrFromInt, vec![int_index_term(rng, ctx)]),
+    }
+}
+
+/// Small integer terms for string positions/lengths.
+fn int_index_term(rng: &mut impl Rng, ctx: &GenCtx) -> Term {
+    match rng.random_range(0..3) {
+        0 => Term::int(rng.random_range(0..5)),
+        1 if !ctx.string_vars.is_empty() => {
+            let v = &ctx.string_vars[rng.random_range(0..ctx.string_vars.len())];
+            Term::str_len(Term::var(v.clone()))
+        }
+        _ if !ctx.arith_vars.is_empty() => {
+            let v = &ctx.arith_vars[rng.random_range(0..ctx.arith_vars.len())];
+            Term::var(v.clone())
+        }
+        _ => Term::int(rng.random_range(0..5)),
+    }
+}
+
+/// A random regex over short literals (closed — no variables).
+pub fn regex_term(rng: &mut impl Rng, depth: usize) -> Term {
+    if depth == 0 || rng.random_bool(0.4) {
+        return Term::app(Op::StrToRe, vec![Term::str_lit(random_string(rng))]);
+    }
+    match rng.random_range(0..5) {
+        0 => Term::app(Op::ReStar, vec![regex_term(rng, depth - 1)]),
+        1 => Term::app(Op::RePlus, vec![regex_term(rng, depth - 1)]),
+        2 => Term::app(Op::ReOpt, vec![regex_term(rng, depth - 1)]),
+        3 => Term::app(
+            Op::ReUnion,
+            vec![regex_term(rng, depth - 1), regex_term(rng, depth - 1)],
+        ),
+        _ => Term::app(
+            Op::ReConcat,
+            vec![regex_term(rng, depth - 1), regex_term(rng, depth - 1)],
+        ),
+    }
+}
+
+/// A random boolean atom for the context's theory.
+pub fn atom(rng: &mut impl Rng, ctx: &GenCtx, depth: usize) -> Term {
+    if ctx.logic.has_strings() {
+        string_atom(rng, ctx, depth)
+    } else {
+        arith_atom(rng, ctx, depth)
+    }
+}
+
+fn arith_atom(rng: &mut impl Rng, ctx: &GenCtx, depth: usize) -> Term {
+    let a = arith_term(rng, ctx, depth);
+    let b = arith_term(rng, ctx, depth);
+    match rng.random_range(0..6) {
+        0 => Term::le(a, b),
+        1 => Term::lt(a, b),
+        2 => Term::ge(a, b),
+        3 => Term::gt(a, b),
+        4 => Term::eq(a, b),
+        _ => Term::distinct(a, b),
+    }
+}
+
+fn string_atom(rng: &mut impl Rng, ctx: &GenCtx, depth: usize) -> Term {
+    match rng.random_range(0..8) {
+        0 => Term::eq(string_term(rng, ctx, depth), string_term(rng, ctx, depth)),
+        1 => Term::app(
+            Op::StrPrefixOf,
+            vec![string_term(rng, ctx, depth - depth.min(1)), string_term(rng, ctx, depth)],
+        ),
+        2 => Term::app(
+            Op::StrSuffixOf,
+            vec![string_term(rng, ctx, depth - depth.min(1)), string_term(rng, ctx, depth)],
+        ),
+        3 => Term::app(
+            Op::StrContains,
+            vec![string_term(rng, ctx, depth), string_term(rng, ctx, depth - depth.min(1))],
+        ),
+        4 => Term::app(
+            Op::StrInRe,
+            vec![string_term(rng, ctx, depth), regex_term(rng, 2)],
+        ),
+        5 => {
+            // Length comparison.
+            let s = string_term(rng, ctx, depth);
+            let bound = int_index_term(rng, ctx);
+            let cmp = [Op::Le, Op::Lt, Op::Ge, Op::Gt, Op::Eq][rng.random_range(0..5)];
+            Term::app(cmp, vec![Term::str_len(s), bound])
+        }
+        6 => {
+            // str.to_int comparison.
+            let s = string_term(rng, ctx, depth);
+            Term::eq(Term::app(Op::StrToInt, vec![s]), int_index_term(rng, ctx))
+        }
+        _ => {
+            // indexof comparison.
+            let s = string_term(rng, ctx, depth);
+            let t = string_term(rng, ctx, depth - depth.min(1));
+            Term::ge(
+                Term::app(Op::StrIndexOf, vec![s, t, Term::int(0)]),
+                Term::int(rng.random_range(-1..2)),
+            )
+        }
+    }
+}
+
+/// A random boolean formula over atoms and boolean variables.
+pub fn bool_formula(rng: &mut impl Rng, ctx: &GenCtx, depth: usize) -> Term {
+    if depth == 0 || rng.random_bool(0.4) {
+        if !ctx.bool_vars.is_empty() && rng.random_bool(0.3) {
+            let v = &ctx.bool_vars[rng.random_range(0..ctx.bool_vars.len())];
+            return Term::var(v.clone());
+        }
+        return atom(rng, ctx, 2);
+    }
+    match rng.random_range(0..5) {
+        0 => Term::and(vec![
+            bool_formula(rng, ctx, depth - 1),
+            bool_formula(rng, ctx, depth - 1),
+        ]),
+        1 => Term::or(vec![
+            bool_formula(rng, ctx, depth - 1),
+            bool_formula(rng, ctx, depth - 1),
+        ]),
+        2 => Term::not(bool_formula(rng, ctx, depth - 1)),
+        3 => Term::implies(
+            bool_formula(rng, ctx, depth - 1),
+            bool_formula(rng, ctx, depth - 1),
+        ),
+        _ => Term::ite(
+            bool_formula(rng, ctx, depth - 1),
+            bool_formula(rng, ctx, depth - 1),
+            bool_formula(rng, ctx, depth - 1),
+        ),
+    }
+}
+
+/// Wraps an assertion in a truth-preserving, rewriter-removable quantifier
+/// (for the quantified logics LIA/LRA/NIA/NRA).
+pub fn quantifier_wrap(rng: &mut impl Rng, ctx: &GenCtx, body: Term) -> Term {
+    let h = Symbol::new(format!("h{}", rng.random_range(0..1000)));
+    let sort = ctx.arith_sort();
+    match rng.random_range(0..3) {
+        // Unused binder: ∀h. body.
+        0 => Term::forall(vec![(h, sort)], body),
+        // One-point existential: ∃h. h = t ∧ body.
+        1 => {
+            let t = arith_term(rng, ctx, 1);
+            Term::exists(
+                vec![(h.clone(), sort)],
+                Term::and(vec![Term::eq(Term::var(h), t), body]),
+            )
+        }
+        // One-point universal: ∀h. h = t ⇒ body.
+        _ => {
+            let t = arith_term(rng, ctx, 1);
+            Term::forall(
+                vec![(h.clone(), sort)],
+                Term::implies(Term::eq(Term::var(h), t), body),
+            )
+        }
+    }
+}
+
+/// StringFuzz-style term: deep concatenation chains over variables and
+/// literal fragments, mirroring the StringFuzz benchmark generators.
+pub fn stringfuzz_concat(rng: &mut impl Rng, ctx: &GenCtx) -> Term {
+    let len = rng.random_range(3..8);
+    let parts: Vec<Term> = (0..len)
+        .map(|_| {
+            if !ctx.string_vars.is_empty() && rng.random_bool(0.5) {
+                let v = &ctx.string_vars[rng.random_range(0..ctx.string_vars.len())];
+                Term::var(v.clone())
+            } else {
+                Term::str_lit(random_string(rng))
+            }
+        })
+        .collect();
+    Term::str_concat(parts)
+}
+
+/// Needed by the regex generator for `Rc` plumbing in tests.
+#[doc(hidden)]
+pub type RcRegex = Rc<yinyang_smtlib::Regex>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use yinyang_smtlib::{sort_of, SortEnv};
+
+    fn ctx(logic: Logic, seed: u64) -> (GenCtx, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = GenCtx::sample(&mut rng, logic, &Shape::default());
+        (c, rng)
+    }
+
+    fn env_of(ctx: &GenCtx) -> SortEnv {
+        ctx.declarations().into_iter().collect()
+    }
+
+    #[test]
+    fn arith_terms_are_well_sorted() {
+        for logic in [Logic::QfLia, Logic::QfLra, Logic::QfNia, Logic::QfNra] {
+            let (c, mut rng) = ctx(logic, 1);
+            let env = env_of(&c);
+            for _ in 0..50 {
+                let t = arith_term(&mut rng, &c, 3);
+                let s = sort_of(&t, &env).expect("well-sorted");
+                assert!(s.is_arith());
+            }
+        }
+    }
+
+    #[test]
+    fn atoms_are_boolean() {
+        for logic in [Logic::QfLia, Logic::QfNra, Logic::QfS, Logic::QfSlia] {
+            let (c, mut rng) = ctx(logic, 2);
+            let env = env_of(&c);
+            for _ in 0..50 {
+                let a = atom(&mut rng, &c, 2);
+                assert_eq!(sort_of(&a, &env).expect("well-sorted"), Sort::Bool, "{a}");
+            }
+        }
+    }
+
+    #[test]
+    fn bool_formulas_are_boolean() {
+        let (c, mut rng) = ctx(Logic::QfLia, 3);
+        let env = env_of(&c);
+        for _ in 0..50 {
+            let f = bool_formula(&mut rng, &c, 3);
+            assert_eq!(sort_of(&f, &env).unwrap(), Sort::Bool);
+        }
+    }
+
+    #[test]
+    fn linear_logics_have_no_variable_products() {
+        let (c, mut rng) = ctx(Logic::QfLia, 4);
+        for _ in 0..100 {
+            let t = arith_term(&mut rng, &c, 3);
+            let mut nonlinear = false;
+            let _ = t.any_subterm(&mut |s| {
+                if let yinyang_smtlib::TermKind::App(Op::Mul, args) = s.kind() {
+                    let non_const = args
+                        .iter()
+                        .filter(|a| {
+                            !matches!(
+                                a.kind(),
+                                yinyang_smtlib::TermKind::IntConst(_)
+                                    | yinyang_smtlib::TermKind::RealConst(_)
+                            )
+                        })
+                        .count();
+                    if non_const > 1 {
+                        nonlinear = true;
+                    }
+                }
+                nonlinear
+            });
+            assert!(!nonlinear, "linear logic produced {t}");
+        }
+    }
+
+    #[test]
+    fn quantifier_wraps_are_removable() {
+        // The solver's simplifier must reduce the wrapper away.
+        let (c, mut rng) = ctx(Logic::Lia, 5);
+        for _ in 0..30 {
+            let body = atom(&mut rng, &c, 1);
+            let wrapped = quantifier_wrap(&mut rng, &c, body.clone());
+            assert!(wrapped.has_quantifier() || wrapped == body);
+        }
+    }
+
+    #[test]
+    fn regex_terms_are_reglan() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let env = SortEnv::new();
+        for _ in 0..50 {
+            let r = regex_term(&mut rng, 3);
+            assert_eq!(sort_of(&r, &env).unwrap(), Sort::RegLan);
+        }
+    }
+
+    #[test]
+    fn stringfuzz_chains_are_deep() {
+        let (c, mut rng) = ctx(Logic::QfS, 7);
+        let t = stringfuzz_concat(&mut rng, &c);
+        assert!(t.size() >= 3);
+    }
+
+    #[test]
+    fn model_covers_all_declared_vars() {
+        for logic in Logic::ALL {
+            let (c, _) = ctx(logic, 8);
+            for (v, _) in c.declarations() {
+                assert!(c.model.get(&v).is_some(), "{logic}: {v} unassigned");
+            }
+        }
+    }
+}

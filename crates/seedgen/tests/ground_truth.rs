@@ -1,0 +1,90 @@
+//! Ground-truth validation of generated seeds against the reference
+//! solver: the solver must never contradict a seed's constructed
+//! satisfiability label. This is the property the paper obtains by
+//! pre-classifying SMT-LIB benchmarks with Z3 and cross-checking with
+//! CVC4 (Section 4.1).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use yinyang_core::Oracle;
+use yinyang_seedgen::{generate_pool, SeedGenerator};
+use yinyang_smtlib::Logic;
+use yinyang_solver::{SatResult, SmtSolver};
+
+#[test]
+fn solver_never_contradicts_seed_labels() {
+    let solver = SmtSolver::new();
+    let mut rng = StdRng::seed_from_u64(31337);
+    let mut decided = 0usize;
+    let mut total = 0usize;
+    for logic in Logic::ALL {
+        let generator = SeedGenerator::new(logic);
+        for seed in generate_pool(&mut rng, &generator, 6, 6) {
+            total += 1;
+            let out = solver.solve_script(&seed.script);
+            match (seed.oracle, out.result) {
+                (Oracle::Sat, SatResult::Unsat) => {
+                    panic!("solver refuted a sat seed ({logic}):\n{}", seed.script)
+                }
+                (Oracle::Unsat, SatResult::Sat) => {
+                    panic!("solver satisfied an unsat seed ({logic}):\n{}", seed.script)
+                }
+                (_, SatResult::Unknown) => {}
+                _ => decided += 1,
+            }
+        }
+    }
+    // The solver must decide a healthy fraction of its own seed diet —
+    // otherwise the campaign cannot detect flip-style soundness bugs.
+    assert!(
+        decided * 4 >= total,
+        "solver decided only {decided}/{total} seeds"
+    );
+}
+
+#[test]
+fn stringfuzz_seeds_also_check_out() {
+    let solver = SmtSolver::new();
+    let mut rng = StdRng::seed_from_u64(404);
+    let generator = SeedGenerator::stringfuzz();
+    for seed in generate_pool(&mut rng, &generator, 8, 8) {
+        let out = solver.solve_script(&seed.script);
+        match (seed.oracle, out.result) {
+            (Oracle::Sat, SatResult::Unsat) | (Oracle::Unsat, SatResult::Sat) => {
+                panic!("label contradiction:\n{}", seed.script)
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn unsat_cores_alone_are_refutable() {
+    // The contradiction cores must be refutable by the solver *on their
+    // own* for most draws — this is what makes unsat seeds useful.
+    use yinyang_seedgen::contradiction::contradiction_core;
+    use yinyang_seedgen::terms::{GenCtx, Shape};
+    use yinyang_smtlib::Script;
+    let solver = SmtSolver::new();
+    let mut rng = StdRng::seed_from_u64(2718);
+    let mut refuted = 0usize;
+    let mut total = 0usize;
+    for logic in [Logic::QfLia, Logic::QfLra, Logic::QfNia, Logic::QfNra] {
+        for _ in 0..15 {
+            let ctx = GenCtx::sample(&mut rng, logic, &Shape::default());
+            let core = contradiction_core(&mut rng, &ctx);
+            let script =
+                Script::check_sat_script(logic.name(), ctx.declarations(), core);
+            total += 1;
+            match solver.solve_script(&script).result {
+                SatResult::Unsat => refuted += 1,
+                SatResult::Sat => panic!("satisfiable contradiction core:\n{script}"),
+                SatResult::Unknown => {}
+            }
+        }
+    }
+    assert!(
+        refuted * 3 >= total * 2,
+        "solver refuted only {refuted}/{total} contradiction cores"
+    );
+}

@@ -1,0 +1,283 @@
+//! SMT-LIB 2 lexer.
+//!
+//! Produces the token stream the recursive-descent [`parser`](crate::parser)
+//! consumes: parentheses, symbols, keywords, numerals, decimals, and string
+//! literals. Comments (`;` to end of line) are skipped. Quoted symbols
+//! (`|...|`) are supported and unquoted.
+
+use std::fmt;
+
+/// A single SMT-LIB token with its byte offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character in the input.
+    pub offset: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// A simple or quoted symbol, e.g. `str.len`, `x!0`, `<=`.
+    Symbol(String),
+    /// A keyword, e.g. `:status`.
+    Keyword(String),
+    /// A non-negative integer numeral.
+    Numeral(String),
+    /// A decimal like `1.5`.
+    Decimal(String),
+    /// A string literal with escapes already resolved.
+    StringLit(String),
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::LParen => f.write_str("("),
+            TokenKind::RParen => f.write_str(")"),
+            TokenKind::Symbol(s) => write!(f, "{s}"),
+            TokenKind::Keyword(s) => write!(f, ":{s}"),
+            TokenKind::Numeral(s) | TokenKind::Decimal(s) => write!(f, "{s}"),
+            TokenKind::StringLit(s) => write!(f, "\"{s}\""),
+        }
+    }
+}
+
+/// Lexing error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset of the offending character.
+    pub offset: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn is_symbol_char(c: char) -> bool {
+    c.is_ascii_alphanumeric()
+        || matches!(
+            c,
+            '~' | '!' | '@' | '$' | '%' | '^' | '&' | '*' | '_' | '-' | '+' | '=' | '<' | '>'
+                | '.' | '?' | '/'
+        )
+}
+
+/// Tokenizes SMT-LIB source text.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unterminated strings/quoted symbols or
+/// characters outside the SMT-LIB lexical grammar.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ';' => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, offset: i });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, offset: i });
+                i += 1;
+            }
+            '"' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(LexError {
+                            message: "unterminated string literal".to_owned(),
+                            offset: start,
+                        });
+                    }
+                    if bytes[i] == '"' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == '"' {
+                            s.push('"');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(bytes[i]);
+                        i += 1;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::StringLit(s), offset: start });
+            }
+            '|' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                while i < bytes.len() && bytes[i] != '|' {
+                    s.push(bytes[i]);
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(LexError {
+                        message: "unterminated quoted symbol".to_owned(),
+                        offset: start,
+                    });
+                }
+                i += 1;
+                tokens.push(Token { kind: TokenKind::Symbol(s), offset: start });
+            }
+            ':' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                while i < bytes.len() && is_symbol_char(bytes[i]) {
+                    s.push(bytes[i]);
+                    i += 1;
+                }
+                if s.is_empty() {
+                    return Err(LexError { message: "empty keyword".to_owned(), offset: start });
+                }
+                tokens.push(Token { kind: TokenKind::Keyword(s), offset: start });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut s = String::new();
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    s.push(bytes[i]);
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == '.' {
+                    s.push('.');
+                    i += 1;
+                    if i >= bytes.len() || !bytes[i].is_ascii_digit() {
+                        return Err(LexError {
+                            message: "decimal requires digits after '.'".to_owned(),
+                            offset: i.min(bytes.len()),
+                        });
+                    }
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        s.push(bytes[i]);
+                        i += 1;
+                    }
+                    tokens.push(Token { kind: TokenKind::Decimal(s), offset: start });
+                } else {
+                    tokens.push(Token { kind: TokenKind::Numeral(s), offset: start });
+                }
+            }
+            c if is_symbol_char(c) => {
+                let start = i;
+                let mut s = String::new();
+                while i < bytes.len() && is_symbol_char(bytes[i]) {
+                    s.push(bytes[i]);
+                    i += 1;
+                }
+                tokens.push(Token { kind: TokenKind::Symbol(s), offset: start });
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character {other:?}"),
+                    offset: i,
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("(assert (= x 1))"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::Symbol("assert".into()),
+                TokenKind::LParen,
+                TokenKind::Symbol("=".into()),
+                TokenKind::Symbol("x".into()),
+                TokenKind::Numeral("1".into()),
+                TokenKind::RParen,
+                TokenKind::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(kinds("; phi1\nx ; trailing\ny"), vec![
+            TokenKind::Symbol("x".into()),
+            TokenKind::Symbol("y".into()),
+        ]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(kinds(r#""a""b""#), vec![TokenKind::StringLit("a\"b".into())]);
+        assert_eq!(kinds(r#""""#), vec![TokenKind::StringLit(String::new())]);
+    }
+
+    #[test]
+    fn decimals_and_numerals() {
+        assert_eq!(kinds("1.5 42 0.0"), vec![
+            TokenKind::Decimal("1.5".into()),
+            TokenKind::Numeral("42".into()),
+            TokenKind::Decimal("0.0".into()),
+        ]);
+    }
+
+    #[test]
+    fn operator_symbols() {
+        assert_eq!(kinds("<= >= str.++ re.*"), vec![
+            TokenKind::Symbol("<=".into()),
+            TokenKind::Symbol(">=".into()),
+            TokenKind::Symbol("str.++".into()),
+            TokenKind::Symbol("re.*".into()),
+        ]);
+    }
+
+    #[test]
+    fn keywords() {
+        assert_eq!(kinds(":status"), vec![TokenKind::Keyword("status".into())]);
+    }
+
+    #[test]
+    fn quoted_symbols() {
+        assert_eq!(kinds("|hello world|"), vec![TokenKind::Symbol("hello world".into())]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("\"abc").is_err());
+        assert!(tokenize("|abc").is_err());
+    }
+
+    #[test]
+    fn bad_decimal_errors() {
+        assert!(tokenize("(= x 1.)").is_err());
+    }
+}

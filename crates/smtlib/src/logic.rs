@@ -1,0 +1,135 @@
+//! SMT-LIB logic names used in the paper's evaluation.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The nine logics the paper's seed benchmarks cover (Fig. 7) plus the two
+/// quantified integer logics bugs were filed under (Fig. 8c).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum Logic {
+    Lia,
+    Lra,
+    Nia,
+    Nra,
+    QfLia,
+    QfLra,
+    QfNia,
+    QfNra,
+    QfS,
+    QfSlia,
+}
+
+impl Logic {
+    /// All logics, in Fig. 7 / Fig. 8c display order.
+    pub const ALL: [Logic; 10] = [
+        Logic::Lia,
+        Logic::Lra,
+        Logic::Nia,
+        Logic::Nra,
+        Logic::QfLia,
+        Logic::QfLra,
+        Logic::QfNia,
+        Logic::QfNra,
+        Logic::QfS,
+        Logic::QfSlia,
+    ];
+
+    /// The SMT-LIB name (e.g. `QF_SLIA`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Logic::Lia => "LIA",
+            Logic::Lra => "LRA",
+            Logic::Nia => "NIA",
+            Logic::Nra => "NRA",
+            Logic::QfLia => "QF_LIA",
+            Logic::QfLra => "QF_LRA",
+            Logic::QfNia => "QF_NIA",
+            Logic::QfNra => "QF_NRA",
+            Logic::QfS => "QF_S",
+            Logic::QfSlia => "QF_SLIA",
+        }
+    }
+
+    /// Quantifier-free?
+    pub fn is_quantifier_free(self) -> bool {
+        matches!(
+            self,
+            Logic::QfLia
+                | Logic::QfLra
+                | Logic::QfNia
+                | Logic::QfNra
+                | Logic::QfS
+                | Logic::QfSlia
+        )
+    }
+
+    /// Permits nonlinear arithmetic?
+    pub fn is_nonlinear(self) -> bool {
+        matches!(self, Logic::Nia | Logic::Nra | Logic::QfNia | Logic::QfNra)
+    }
+
+    /// Involves the string theory?
+    pub fn has_strings(self) -> bool {
+        matches!(self, Logic::QfS | Logic::QfSlia)
+    }
+
+    /// Uses `Real` as the arithmetic sort (`Int` otherwise).
+    pub fn is_real(self) -> bool {
+        matches!(self, Logic::Lra | Logic::Nra | Logic::QfLra | Logic::QfNra)
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error for unknown logic names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLogicError(pub String);
+
+impl fmt::Display for ParseLogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown logic: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseLogicError {}
+
+impl FromStr for Logic {
+    type Err = ParseLogicError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Logic::ALL
+            .iter()
+            .copied()
+            .find(|l| l.name() == s)
+            .ok_or_else(|| ParseLogicError(s.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for l in Logic::ALL {
+            assert_eq!(l.name().parse::<Logic>().unwrap(), l);
+        }
+        assert!("QF_BV".parse::<Logic>().is_err());
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Logic::QfNra.is_quantifier_free());
+        assert!(!Logic::Nra.is_quantifier_free());
+        assert!(Logic::Nra.is_nonlinear());
+        assert!(!Logic::QfLia.is_nonlinear());
+        assert!(Logic::QfSlia.has_strings());
+        assert!(Logic::QfLra.is_real());
+        assert!(!Logic::QfSlia.is_real());
+    }
+}

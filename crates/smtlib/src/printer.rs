@@ -1,0 +1,143 @@
+//! SMT-LIB concrete-syntax printing for terms.
+//!
+//! Printing is the inverse of parsing: `parse(print(t)) == t` (covered by
+//! property tests). Negative numerals print as `(- n)`, reals print as
+//! decimals when exact (`1.5`) and as `(/ p q)` otherwise, and string
+//! literals escape `"` by doubling per SMT-LIB 2.6.
+
+use crate::term::{Term, TermKind};
+use std::fmt;
+
+/// Escapes a string literal body per SMT-LIB (doubling `"`).
+pub fn escape_string(s: &str) -> String {
+    s.replace('"', "\"\"")
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind() {
+            TermKind::BoolConst(b) => f.write_str(if *b { "true" } else { "false" }),
+            TermKind::IntConst(v) => {
+                if v.is_negative() {
+                    write!(f, "(- {})", -v)
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            TermKind::RealConst(v) => match v.to_decimal_string() {
+                Some(d) => {
+                    if let Some(stripped) = d.strip_prefix('-') {
+                        write!(f, "(- {stripped})")
+                    } else {
+                        f.write_str(&d)
+                    }
+                }
+                None => {
+                    let num = v.numer();
+                    let den = v.denom();
+                    if num.is_negative() {
+                        write!(f, "(- (/ {}.0 {}.0))", -num, den)
+                    } else {
+                        write!(f, "(/ {num}.0 {den}.0)")
+                    }
+                }
+            },
+            TermKind::StringConst(s) => write!(f, "\"{}\"", escape_string(s)),
+            TermKind::Var(name) => write!(f, "{name}"),
+            TermKind::App(op, args) => {
+                if args.is_empty() {
+                    // Nullary regex constants print bare.
+                    return write!(f, "{op}");
+                }
+                write!(f, "({op}")?;
+                for a in args {
+                    write!(f, " {a}")?;
+                }
+                f.write_str(")")
+            }
+            TermKind::Quant(q, bindings, body) => {
+                write!(f, "({} (", q.name())?;
+                for (i, (name, sort)) in bindings.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" ")?;
+                    }
+                    write!(f, "({name} {sort})")?;
+                }
+                write!(f, ") {body})")
+            }
+            TermKind::Let(bindings, body) => {
+                f.write_str("(let (")?;
+                for (i, (name, t)) in bindings.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" ")?;
+                    }
+                    write!(f, "({name} {t})")?;
+                }
+                write!(f, ") {body})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sort::Sort;
+    use crate::symbol::Symbol;
+    use crate::term::{Op, Quantifier};
+
+    #[test]
+    fn negative_literals_use_unary_minus() {
+        assert_eq!(Term::int(-1).to_string(), "(- 1)");
+        assert_eq!(Term::int(7).to_string(), "7");
+        assert_eq!(Term::real_frac(-3, 2).to_string(), "(- 1.5)");
+    }
+
+    #[test]
+    fn non_decimal_reals_print_as_division() {
+        assert_eq!(Term::real_frac(1, 3).to_string(), "(/ 1.0 3.0)");
+        assert_eq!(Term::real_frac(-1, 3).to_string(), "(- (/ 1.0 3.0))");
+    }
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(Term::str_lit("a\"b").to_string(), "\"a\"\"b\"");
+        assert_eq!(Term::str_lit("").to_string(), "\"\"");
+    }
+
+    #[test]
+    fn applications_are_prefix() {
+        let t = Term::eq(
+            Term::var("x"),
+            Term::add(vec![Term::var("y"), Term::int(2)]),
+        );
+        assert_eq!(t.to_string(), "(= x (+ y 2))");
+    }
+
+    #[test]
+    fn nullary_regex_constants_print_bare() {
+        let t = Term::app(Op::ReAllChar, vec![]);
+        assert_eq!(t.to_string(), "re.allchar");
+        let star = Term::app(Op::ReStar, vec![Term::app(Op::StrToRe, vec![Term::str_lit("aa")])]);
+        assert_eq!(star.to_string(), "(re.* (str.to_re \"aa\"))");
+    }
+
+    #[test]
+    fn quantifier_printing() {
+        let t = Term::quant(
+            Quantifier::Exists,
+            vec![(Symbol::new("h"), Sort::Real)],
+            Term::le(Term::real_frac(0, 1), Term::var("h")),
+        );
+        assert_eq!(t.to_string(), "(exists ((h Real)) (<= 0.0 h))");
+    }
+
+    #[test]
+    fn let_printing() {
+        let t = Term::let_in(
+            vec![(Symbol::new("a"), Term::int(1))],
+            Term::add(vec![Term::var("a"), Term::var("a")]),
+        );
+        assert_eq!(t.to_string(), "(let ((a 1)) (+ a a))");
+    }
+}

@@ -1,0 +1,411 @@
+//! Regular-expression semantics for the `RegLan` theory.
+//!
+//! [`Regex`] is a semantic regex value (as opposed to a `RegLan`-sorted
+//! [`Term`](crate::Term), which is syntax). Matching uses Brzozowski
+//! derivatives, which handle intersection and complement-free SMT-LIB
+//! regexes exactly and without NFA construction.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::rc::Rc;
+
+/// A semantic regular expression over unicode code points.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Regex {
+    /// The empty language `re.none`.
+    None,
+    /// All strings `re.all`.
+    All,
+    /// Any single character `re.allchar`.
+    AllChar,
+    /// Exactly the given string (from `str.to_re`).
+    Lit(String),
+    /// Character range `re.range` (inclusive). Empty if `lo > hi`.
+    Range(char, char),
+    /// Concatenation.
+    Concat(Vec<Rc<Regex>>),
+    /// Union.
+    Union(Vec<Rc<Regex>>),
+    /// Intersection.
+    Inter(Vec<Rc<Regex>>),
+    /// Kleene star.
+    Star(Rc<Regex>),
+    /// One or more repetitions.
+    Plus(Rc<Regex>),
+    /// Zero or one.
+    Opt(Rc<Regex>),
+}
+
+impl Regex {
+    /// The regex matching exactly the empty string.
+    pub fn epsilon() -> Regex {
+        Regex::Lit(String::new())
+    }
+
+    /// Does the language contain the empty string?
+    pub fn nullable(&self) -> bool {
+        match self {
+            Regex::None => false,
+            Regex::All => true,
+            Regex::AllChar => false,
+            Regex::Lit(s) => s.is_empty(),
+            Regex::Range(..) => false,
+            Regex::Concat(parts) => parts.iter().all(|p| p.nullable()),
+            Regex::Union(parts) => parts.iter().any(|p| p.nullable()),
+            Regex::Inter(parts) => parts.iter().all(|p| p.nullable()),
+            Regex::Star(_) => true,
+            Regex::Plus(inner) => inner.nullable(),
+            Regex::Opt(_) => true,
+        }
+    }
+
+    /// Brzozowski derivative with respect to character `c`.
+    pub fn derivative(&self, c: char) -> Regex {
+        match self {
+            Regex::None => Regex::None,
+            Regex::All => Regex::All,
+            Regex::AllChar => Regex::epsilon(),
+            Regex::Lit(s) => match s.chars().next() {
+                Some(first) if first == c => Regex::Lit(s.chars().skip(1).collect()),
+                _ => Regex::None,
+            },
+            Regex::Range(lo, hi) => {
+                if *lo <= c && c <= *hi {
+                    Regex::epsilon()
+                } else {
+                    Regex::None
+                }
+            }
+            Regex::Concat(parts) => match parts.split_first() {
+                None => Regex::None,
+                Some((first, rest)) => {
+                    let mut tail: Vec<Rc<Regex>> = vec![Rc::new(first.derivative(c))];
+                    tail.extend(rest.iter().cloned());
+                    let d_first_then_rest = simplify_concat(tail);
+                    if first.nullable() {
+                        let rest_regex = simplify_concat(rest.to_vec());
+                        simplify_union(vec![
+                            Rc::new(d_first_then_rest),
+                            Rc::new(rest_regex.derivative(c)),
+                        ])
+                    } else {
+                        d_first_then_rest
+                    }
+                }
+            },
+            Regex::Union(parts) => {
+                simplify_union(parts.iter().map(|p| Rc::new(p.derivative(c))).collect())
+            }
+            Regex::Inter(parts) => {
+                simplify_inter(parts.iter().map(|p| Rc::new(p.derivative(c))).collect())
+            }
+            Regex::Star(inner) => simplify_concat(vec![
+                Rc::new(inner.derivative(c)),
+                Rc::new(Regex::Star(inner.clone())),
+            ]),
+            Regex::Plus(inner) => simplify_concat(vec![
+                Rc::new(inner.derivative(c)),
+                Rc::new(Regex::Star(inner.clone())),
+            ]),
+            Regex::Opt(inner) => inner.derivative(c),
+        }
+    }
+
+    /// Whether the string is in the language.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use yinyang_smtlib::Regex;
+    /// use std::rc::Rc;
+    ///
+    /// let aa_star = Regex::Star(Rc::new(Regex::Lit("aa".into())));
+    /// assert!(aa_star.matches(""));
+    /// assert!(aa_star.matches("aaaa"));
+    /// assert!(!aa_star.matches("aaa"));
+    /// ```
+    pub fn matches(&self, s: &str) -> bool {
+        let mut current = self.clone();
+        for c in s.chars() {
+            if current == Regex::None {
+                return false;
+            }
+            current = current.derivative(c);
+        }
+        current.nullable()
+    }
+
+    /// A finite set of characters that can start a match. `None` means
+    /// "any character" (the regex contains `re.all`/`re.allchar` at the
+    /// front). Used by the bounded string solver to focus enumeration.
+    pub fn first_chars(&self) -> Option<BTreeSet<char>> {
+        match self {
+            Regex::None => Some(BTreeSet::new()),
+            Regex::All | Regex::AllChar => None,
+            Regex::Lit(s) => Some(s.chars().take(1).collect()),
+            Regex::Range(lo, hi) => {
+                if lo > hi {
+                    return Some(BTreeSet::new());
+                }
+                let span = (*hi as u32).saturating_sub(*lo as u32);
+                if span > 64 {
+                    return None;
+                }
+                Some(((*lo as u32)..=(*hi as u32)).filter_map(char::from_u32).collect())
+            }
+            Regex::Concat(parts) => {
+                let mut out = BTreeSet::new();
+                for p in parts {
+                    match p.first_chars() {
+                        None => return None,
+                        Some(cs) => out.extend(cs),
+                    }
+                    if !p.nullable() {
+                        break;
+                    }
+                }
+                Some(out)
+            }
+            Regex::Union(parts) | Regex::Inter(parts) => {
+                let mut out = BTreeSet::new();
+                for p in parts {
+                    match p.first_chars() {
+                        None => return None,
+                        Some(cs) => out.extend(cs),
+                    }
+                }
+                Some(out)
+            }
+            Regex::Star(inner) | Regex::Plus(inner) | Regex::Opt(inner) => inner.first_chars(),
+        }
+    }
+
+    /// All characters mentioned anywhere in the regex (the relevant
+    /// alphabet for bounded enumeration). `None` when unbounded.
+    pub fn alphabet(&self) -> Option<BTreeSet<char>> {
+        match self {
+            Regex::None => Some(BTreeSet::new()),
+            Regex::All | Regex::AllChar => None,
+            Regex::Lit(s) => Some(s.chars().collect()),
+            Regex::Range(lo, hi) => {
+                if lo > hi {
+                    return Some(BTreeSet::new());
+                }
+                let span = (*hi as u32).saturating_sub(*lo as u32);
+                if span > 64 {
+                    return None;
+                }
+                Some(((*lo as u32)..=(*hi as u32)).filter_map(char::from_u32).collect())
+            }
+            Regex::Concat(parts) | Regex::Union(parts) | Regex::Inter(parts) => {
+                let mut out = BTreeSet::new();
+                for p in parts {
+                    out.extend(p.alphabet()?);
+                }
+                Some(out)
+            }
+            Regex::Star(inner) | Regex::Plus(inner) | Regex::Opt(inner) => inner.alphabet(),
+        }
+    }
+}
+
+fn simplify_concat(parts: Vec<Rc<Regex>>) -> Regex {
+    let mut out: Vec<Rc<Regex>> = Vec::new();
+    for p in parts {
+        match &*p {
+            Regex::None => return Regex::None,
+            Regex::Lit(s) if s.is_empty() => {}
+            Regex::Concat(inner) => out.extend(inner.iter().cloned()),
+            _ => out.push(p),
+        }
+    }
+    match out.len() {
+        0 => Regex::epsilon(),
+        1 => (*out[0]).clone(),
+        _ => Regex::Concat(out),
+    }
+}
+
+fn simplify_union(parts: Vec<Rc<Regex>>) -> Regex {
+    let mut out: Vec<Rc<Regex>> = Vec::new();
+    for p in parts {
+        match &*p {
+            Regex::None => {}
+            Regex::Union(inner) => out.extend(inner.iter().cloned()),
+            _ => {
+                if !out.contains(&p) {
+                    out.push(p);
+                }
+            }
+        }
+    }
+    match out.len() {
+        0 => Regex::None,
+        1 => (*out[0]).clone(),
+        _ => Regex::Union(out),
+    }
+}
+
+fn simplify_inter(parts: Vec<Rc<Regex>>) -> Regex {
+    let mut out: Vec<Rc<Regex>> = Vec::new();
+    for p in parts {
+        match &*p {
+            Regex::None => return Regex::None,
+            Regex::All => {}
+            Regex::Inter(inner) => out.extend(inner.iter().cloned()),
+            _ => {
+                if !out.contains(&p) {
+                    out.push(p);
+                }
+            }
+        }
+    }
+    match out.len() {
+        0 => Regex::All,
+        1 => (*out[0]).clone(),
+        _ => Regex::Inter(out),
+    }
+}
+
+impl fmt::Display for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Regex::None => f.write_str("re.none"),
+            Regex::All => f.write_str("re.all"),
+            Regex::AllChar => f.write_str("re.allchar"),
+            Regex::Lit(s) => write!(f, "(str.to_re \"{}\")", crate::printer::escape_string(s)),
+            Regex::Range(lo, hi) => write!(f, "(re.range \"{lo}\" \"{hi}\")"),
+            Regex::Concat(ps) => {
+                f.write_str("(re.++")?;
+                for p in ps {
+                    write!(f, " {p}")?;
+                }
+                f.write_str(")")
+            }
+            Regex::Union(ps) => {
+                f.write_str("(re.union")?;
+                for p in ps {
+                    write!(f, " {p}")?;
+                }
+                f.write_str(")")
+            }
+            Regex::Inter(ps) => {
+                f.write_str("(re.inter")?;
+                for p in ps {
+                    write!(f, " {p}")?;
+                }
+                f.write_str(")")
+            }
+            Regex::Star(p) => write!(f, "(re.* {p})"),
+            Regex::Plus(p) => write!(f, "(re.+ {p})"),
+            Regex::Opt(p) => write!(f, "(re.opt {p})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(s: &str) -> Rc<Regex> {
+        Rc::new(Regex::Lit(s.into()))
+    }
+
+    #[test]
+    fn literal_matching() {
+        let r = Regex::Lit("abc".into());
+        assert!(r.matches("abc"));
+        assert!(!r.matches("ab"));
+        assert!(!r.matches("abcd"));
+        assert!(Regex::epsilon().matches(""));
+        assert!(!Regex::epsilon().matches("x"));
+    }
+
+    #[test]
+    fn star_matching_matches_paper_example() {
+        // (re.* (str.to.re "aa")) from Fig. 13a: even runs of 'a' pairs.
+        let r = Regex::Star(lit("aa"));
+        assert!(r.matches(""));
+        assert!(r.matches("aa"));
+        assert!(r.matches("aaaa"));
+        assert!(!r.matches("a"));
+        assert!(!r.matches("aaa"));
+        assert!(!r.matches("ab"));
+    }
+
+    #[test]
+    fn union_and_inter() {
+        let u = Regex::Union(vec![lit("a"), lit("b")]);
+        assert!(u.matches("a") && u.matches("b") && !u.matches("c"));
+        let i = Regex::Inter(vec![
+            Rc::new(Regex::Star(lit("a"))),
+            Rc::new(Regex::Star(lit("aa"))),
+        ]);
+        assert!(i.matches("aaaa"));
+        assert!(!i.matches("aaa"));
+    }
+
+    #[test]
+    fn concat_with_nullable_head() {
+        let r = Regex::Concat(vec![Rc::new(Regex::Opt(lit("x"))), lit("y")]);
+        assert!(r.matches("xy"));
+        assert!(r.matches("y"));
+        assert!(!r.matches("x"));
+    }
+
+    #[test]
+    fn plus_requires_one() {
+        let r = Regex::Plus(lit("ab"));
+        assert!(!r.matches(""));
+        assert!(r.matches("ab"));
+        assert!(r.matches("abab"));
+        assert!(!r.matches("aba"));
+    }
+
+    #[test]
+    fn range() {
+        let r = Regex::Range('a', 'c');
+        assert!(r.matches("a") && r.matches("b") && r.matches("c"));
+        assert!(!r.matches("d") && !r.matches("") && !r.matches("ab"));
+        let empty = Regex::Range('c', 'a');
+        assert!(!empty.matches("b"));
+    }
+
+    #[test]
+    fn all_and_allchar() {
+        assert!(Regex::All.matches(""));
+        assert!(Regex::All.matches("anything"));
+        assert!(Regex::AllChar.matches("x"));
+        assert!(!Regex::AllChar.matches(""));
+        assert!(!Regex::AllChar.matches("xy"));
+    }
+
+    #[test]
+    fn none_matches_nothing() {
+        assert!(!Regex::None.matches(""));
+        assert!(!Regex::None.matches("a"));
+    }
+
+    #[test]
+    fn alphabet_collection() {
+        let r = Regex::Concat(vec![lit("ab"), Rc::new(Regex::Star(lit("c")))]);
+        let a = r.alphabet().unwrap();
+        assert_eq!(a.into_iter().collect::<String>(), "abc");
+        assert_eq!(Regex::All.alphabet(), None);
+    }
+
+    #[test]
+    fn first_chars() {
+        let r = Regex::Union(vec![lit("ab"), lit("cd")]);
+        let f = r.first_chars().unwrap();
+        assert_eq!(f.into_iter().collect::<String>(), "ac");
+    }
+
+    #[test]
+    fn deep_star_terminates() {
+        // Star-of-star used to blow up naive engines.
+        let r = Regex::Star(Rc::new(Regex::Star(lit("ab"))));
+        assert!(r.matches("abab"));
+        assert!(!r.matches("aba"));
+    }
+}

@@ -1,0 +1,321 @@
+//! SMT-LIB scripts: sequences of commands with declaration context.
+
+use crate::sort::Sort;
+use crate::symbol::Symbol;
+use crate::term::Term;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An SMT-LIB command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `(set-logic L)`.
+    SetLogic(String),
+    /// `(set-option :key value)` — stored verbatim.
+    SetOption(String, String),
+    /// `(set-info :key value)` — stored verbatim.
+    SetInfo(String, String),
+    /// `(declare-fun f (S...) S)`. Zero-argument functions are the paper's
+    /// "variables".
+    DeclareFun(Symbol, Vec<Sort>, Sort),
+    /// `(declare-const c S)`.
+    DeclareConst(Symbol, Sort),
+    /// `(define-fun f ((x S)...) S body)`.
+    DefineFun(Symbol, Vec<(Symbol, Sort)>, Sort, Term),
+    /// `(assert t)`.
+    Assert(Term),
+    /// `(check-sat)`.
+    CheckSat,
+    /// `(get-model)`.
+    GetModel,
+    /// `(exit)`.
+    Exit,
+}
+
+/// A whole SMT-LIB script.
+///
+/// # Examples
+///
+/// ```
+/// use yinyang_smtlib::{Script, Sort, Term};
+///
+/// let mut s = Script::new();
+/// s.declare_var("x", Sort::Int);
+/// s.assert_term(Term::gt(Term::var("x"), Term::int(0)));
+/// s.push(yinyang_smtlib::Command::CheckSat);
+/// assert!(s.to_string().contains("(declare-fun x () Int)"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Script {
+    /// The commands, in order.
+    pub commands: Vec<Command>,
+}
+
+impl Script {
+    /// An empty script.
+    pub fn new() -> Self {
+        Script::default()
+    }
+
+    /// Appends a command.
+    pub fn push(&mut self, cmd: Command) {
+        self.commands.push(cmd);
+    }
+
+    /// Declares a zero-ary function (a free variable in the paper's sense).
+    pub fn declare_var(&mut self, name: impl Into<Symbol>, sort: Sort) {
+        self.commands.push(Command::DeclareFun(name.into(), Vec::new(), sort));
+    }
+
+    /// Appends an assertion.
+    pub fn assert_term(&mut self, t: Term) {
+        self.commands.push(Command::Assert(t));
+    }
+
+    /// The declared logic, if any.
+    pub fn logic(&self) -> Option<&str> {
+        self.commands.iter().find_map(|c| match c {
+            Command::SetLogic(l) => Some(l.as_str()),
+            _ => None,
+        })
+    }
+
+    /// Sorts of all declared zero-ary functions and constants, in
+    /// declaration order (map iteration is by name).
+    pub fn declarations(&self) -> BTreeMap<Symbol, Sort> {
+        let mut out = BTreeMap::new();
+        for c in &self.commands {
+            match c {
+                Command::DeclareFun(name, args, sort) if args.is_empty() => {
+                    out.insert(name.clone(), *sort);
+                }
+                Command::DeclareConst(name, sort) => {
+                    out.insert(name.clone(), *sort);
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// The `define-fun` definitions, in order.
+    pub fn definitions(&self) -> Vec<(Symbol, Vec<(Symbol, Sort)>, Sort, Term)> {
+        self.commands
+            .iter()
+            .filter_map(|c| match c {
+                Command::DefineFun(name, params, sort, body) => {
+                    Some((name.clone(), params.clone(), *sort, body.clone()))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All asserted terms, in order.
+    pub fn asserts(&self) -> Vec<Term> {
+        self.commands
+            .iter()
+            .filter_map(|c| match c {
+                Command::Assert(t) => Some(t.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The conjunction of all assertions (`true` when there are none).
+    pub fn conjunction(&self) -> Term {
+        Term::and(self.asserts())
+    }
+
+    /// Replaces every assert with a single assertion of `t`, keeping
+    /// declarations and other commands in place.
+    pub fn with_single_assert(&self, t: Term) -> Script {
+        let mut out = Script::new();
+        let mut inserted = false;
+        for c in &self.commands {
+            match c {
+                Command::Assert(_) => {
+                    if !inserted {
+                        out.push(Command::Assert(t.clone()));
+                        inserted = true;
+                    }
+                }
+                other => out.push(other.clone()),
+            }
+        }
+        if !inserted {
+            out.push(Command::Assert(t));
+        }
+        out
+    }
+
+    /// Free variables actually used by the assertions, with their sorts.
+    pub fn used_vars(&self) -> BTreeMap<Symbol, Sort> {
+        let decls = self.declarations();
+        let mut out = BTreeMap::new();
+        for t in self.asserts() {
+            for v in t.free_vars() {
+                if let Some(sort) = decls.get(&v) {
+                    out.insert(v, *sort);
+                }
+            }
+        }
+        out
+    }
+
+    /// Builds a `(set-logic ..) declarations asserts (check-sat)` script.
+    pub fn check_sat_script(
+        logic: &str,
+        decls: impl IntoIterator<Item = (Symbol, Sort)>,
+        asserts: impl IntoIterator<Item = Term>,
+    ) -> Script {
+        let mut s = Script::new();
+        s.push(Command::SetLogic(logic.to_owned()));
+        for (name, sort) in decls {
+            s.declare_var(name, sort);
+        }
+        for t in asserts {
+            s.assert_term(t);
+        }
+        s.push(Command::CheckSat);
+        s
+    }
+
+    /// Renames every declared variable via `rename`, rewriting declarations,
+    /// assertions, and definition bodies. Used by fusion to make two scripts'
+    /// variable sets disjoint (Propositions 1 and 2 require it).
+    pub fn rename_vars(&self, mut rename: impl FnMut(&Symbol) -> Symbol) -> Script {
+        let decls = self.declarations();
+        let mapping: BTreeMap<Symbol, Symbol> =
+            decls.keys().map(|k| (k.clone(), rename(k))).collect();
+        let mut out = Script::new();
+        for c in &self.commands {
+            out.push(match c {
+                Command::DeclareFun(name, args, sort) if args.is_empty() => {
+                    Command::DeclareFun(mapping[name].clone(), Vec::new(), *sort)
+                }
+                Command::DeclareConst(name, sort) => {
+                    Command::DeclareConst(mapping[name].clone(), *sort)
+                }
+                Command::Assert(t) => {
+                    Command::Assert(crate::subst::rename_free_vars(t, &mapping))
+                }
+                Command::DefineFun(name, params, sort, body) => Command::DefineFun(
+                    name.clone(),
+                    params.clone(),
+                    *sort,
+                    crate::subst::rename_free_vars(body, &mapping),
+                ),
+                other => other.clone(),
+            });
+        }
+        out
+    }
+}
+
+impl fmt::Display for Script {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.commands {
+            writeln!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Command::SetLogic(l) => write!(f, "(set-logic {l})"),
+            Command::SetOption(k, v) => write!(f, "(set-option :{k} {v})"),
+            Command::SetInfo(k, v) => write!(f, "(set-info :{k} {v})"),
+            Command::DeclareFun(name, args, sort) => {
+                write!(f, "(declare-fun {name} (")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ") {sort})")
+            }
+            Command::DeclareConst(name, sort) => write!(f, "(declare-const {name} {sort})"),
+            Command::DefineFun(name, params, sort, body) => {
+                write!(f, "(define-fun {name} (")?;
+                for (i, (p, s)) in params.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" ")?;
+                    }
+                    write!(f, "({p} {s})")?;
+                }
+                write!(f, ") {sort} {body})")
+            }
+            Command::Assert(t) => write!(f, "(assert {t})"),
+            Command::CheckSat => f.write_str("(check-sat)"),
+            Command::GetModel => f.write_str("(get-model)"),
+            Command::Exit => f.write_str("(exit)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declarations_collects_vars() {
+        let mut s = Script::new();
+        s.declare_var("x", Sort::Int);
+        s.push(Command::DeclareConst(Symbol::new("y"), Sort::Real));
+        s.push(Command::DeclareFun(Symbol::new("f"), vec![Sort::Int], Sort::Int));
+        let d = s.declarations();
+        assert_eq!(d.len(), 2, "n-ary functions are not variables");
+        assert_eq!(d[&Symbol::new("x")], Sort::Int);
+        assert_eq!(d[&Symbol::new("y")], Sort::Real);
+    }
+
+    #[test]
+    fn conjunction_of_asserts() {
+        let mut s = Script::new();
+        s.declare_var("x", Sort::Int);
+        s.assert_term(Term::gt(Term::var("x"), Term::int(0)));
+        s.assert_term(Term::lt(Term::var("x"), Term::int(9)));
+        let c = s.conjunction();
+        assert_eq!(c.to_string(), "(and (> x 0) (< x 9))");
+    }
+
+    #[test]
+    fn rename_vars_rewrites_everything() {
+        let mut s = Script::new();
+        s.declare_var("x", Sort::Int);
+        s.assert_term(Term::gt(Term::var("x"), Term::int(0)));
+        let renamed = s.rename_vars(|sym| Symbol::new(format!("{sym}_2")));
+        assert!(renamed.to_string().contains("(declare-fun x_2 () Int)"));
+        assert!(renamed.to_string().contains("(assert (> x_2 0))"));
+        assert!(!renamed.to_string().contains("(> x 0)"));
+    }
+
+    #[test]
+    fn with_single_assert_replaces_all() {
+        let mut s = Script::check_sat_script(
+            "QF_LIA",
+            vec![(Symbol::new("x"), Sort::Int)],
+            vec![Term::gt(Term::var("x"), Term::int(0)), Term::lt(Term::var("x"), Term::int(5))],
+        );
+        s = s.with_single_assert(Term::tru());
+        assert_eq!(s.asserts().len(), 1);
+        assert_eq!(s.asserts()[0], Term::tru());
+    }
+
+    #[test]
+    fn display_matches_smtlib_syntax() {
+        let s = Script::check_sat_script(
+            "QF_LIA",
+            vec![(Symbol::new("x"), Sort::Int)],
+            vec![Term::eq(Term::var("x"), Term::int(-1))],
+        );
+        let text = s.to_string();
+        assert!(text.contains("(set-logic QF_LIA)"));
+        assert!(text.contains("(assert (= x (- 1)))"));
+        assert!(text.trim_end().ends_with("(check-sat)"));
+    }
+}

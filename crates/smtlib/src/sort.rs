@@ -1,0 +1,113 @@
+//! SMT-LIB sorts for the theories YinYang targets.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The sorts supported by this workspace: the paper targets the arithmetic
+/// (`Int`, `Real`) and unicode-string (`String`, plus `RegLan` regular
+/// languages) theories, with the `Bool` core.
+///
+/// # Examples
+///
+/// ```
+/// use yinyang_smtlib::Sort;
+///
+/// assert_eq!("Int".parse::<Sort>().unwrap(), Sort::Int);
+/// assert!(Sort::Real.is_arith());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sort {
+    /// Core booleans.
+    Bool,
+    /// Mathematical integers.
+    Int,
+    /// Mathematical reals.
+    Real,
+    /// Unicode strings.
+    String,
+    /// Regular languages over strings (the sort of regex terms).
+    RegLan,
+}
+
+impl Sort {
+    /// Returns `true` for the numeric sorts `Int` and `Real`.
+    pub fn is_arith(self) -> bool {
+        matches!(self, Sort::Int | Sort::Real)
+    }
+
+    /// Returns `true` for sorts whose variables can be fused by the Fig. 6
+    /// fusion-function table (Int, Real, String).
+    pub fn is_fusible(self) -> bool {
+        matches!(self, Sort::Int | Sort::Real | Sort::String)
+    }
+
+    /// The SMT-LIB name of the sort.
+    pub fn name(self) -> &'static str {
+        match self {
+            Sort::Bool => "Bool",
+            Sort::Int => "Int",
+            Sort::Real => "Real",
+            Sort::String => "String",
+            Sort::RegLan => "RegLan",
+        }
+    }
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown sort name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSortError(pub String);
+
+impl fmt::Display for ParseSortError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown sort: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseSortError {}
+
+impl FromStr for Sort {
+    type Err = ParseSortError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "Bool" => Ok(Sort::Bool),
+            "Int" => Ok(Sort::Int),
+            "Real" => Ok(Sort::Real),
+            "String" => Ok(Sort::String),
+            "RegLan" => Ok(Sort::RegLan),
+            other => Err(ParseSortError(other.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_names() {
+        for s in [Sort::Bool, Sort::Int, Sort::Real, Sort::String, Sort::RegLan] {
+            assert_eq!(s.name().parse::<Sort>().unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn unknown_sort_is_error() {
+        assert!("BitVec".parse::<Sort>().is_err());
+    }
+
+    #[test]
+    fn fusible_sorts_match_fig6() {
+        assert!(Sort::Int.is_fusible());
+        assert!(Sort::Real.is_fusible());
+        assert!(Sort::String.is_fusible());
+        assert!(!Sort::Bool.is_fusible());
+        assert!(!Sort::RegLan.is_fusible());
+    }
+}

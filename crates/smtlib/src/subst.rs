@@ -1,0 +1,303 @@
+//! Capture-avoiding substitution over terms.
+//!
+//! Semantic Fusion needs the paper's `φ[e/x]_R` operation: replace *some*
+//! free occurrences of `x` (chosen by a selector) with the term `e`.
+//! [`substitute_occurrences`] implements it; [`substitute_free`] replaces
+//! every free occurrence; [`rename_free_vars`] bulk-renames variables.
+//!
+//! All functions are capture-avoiding: binders that would capture a free
+//! variable of the replacement are alpha-renamed first.
+
+use crate::symbol::Symbol;
+use crate::term::{Term, TermKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Picks a name based on `base` that is not in `avoid`.
+pub fn fresh_name(base: &str, avoid: &BTreeSet<Symbol>) -> Symbol {
+    let candidate = Symbol::new(base);
+    if !avoid.contains(&candidate) {
+        return candidate;
+    }
+    for i in 0.. {
+        let candidate = Symbol::new(format!("{base}!{i}"));
+        if !avoid.contains(&candidate) {
+            return candidate;
+        }
+    }
+    unreachable!("unbounded fresh-name search")
+}
+
+/// Renames free variables according to `mapping` (variables not in the map
+/// are left alone). Binders shadow: bound occurrences are never renamed.
+pub fn rename_free_vars(term: &Term, mapping: &BTreeMap<Symbol, Symbol>) -> Term {
+    match term.kind() {
+        TermKind::Var(name) => match mapping.get(name) {
+            Some(new) => Term::var(new.clone()),
+            None => term.clone(),
+        },
+        TermKind::App(op, args) => {
+            Term::app(*op, args.iter().map(|a| rename_free_vars(a, mapping)).collect())
+        }
+        TermKind::Quant(q, bindings, body) => {
+            let mut inner = mapping.clone();
+            for (s, _) in bindings {
+                inner.remove(s);
+            }
+            Term::quant(*q, bindings.clone(), rename_free_vars(body, &inner))
+        }
+        TermKind::Let(bindings, body) => {
+            let new_bindings: Vec<_> = bindings
+                .iter()
+                .map(|(s, t)| (s.clone(), rename_free_vars(t, mapping)))
+                .collect();
+            let mut inner = mapping.clone();
+            for (s, _) in bindings {
+                inner.remove(s);
+            }
+            Term::let_in(new_bindings, rename_free_vars(body, &inner))
+        }
+        _ => term.clone(),
+    }
+}
+
+struct Substituter<'a> {
+    var: &'a Symbol,
+    replacement: &'a Term,
+    replacement_fv: BTreeSet<Symbol>,
+    /// Called with the 0-based index of each free occurrence; `true` means
+    /// replace it.
+    pick: &'a mut dyn FnMut(usize) -> bool,
+    next_index: usize,
+}
+
+impl Substituter<'_> {
+    fn walk(&mut self, term: &Term) -> Term {
+        match term.kind() {
+            TermKind::Var(name) if name == self.var => {
+                let idx = self.next_index;
+                self.next_index += 1;
+                if (self.pick)(idx) {
+                    self.replacement.clone()
+                } else {
+                    term.clone()
+                }
+            }
+            TermKind::Var(_) | TermKind::BoolConst(_) | TermKind::IntConst(_)
+            | TermKind::RealConst(_) | TermKind::StringConst(_) => term.clone(),
+            TermKind::App(op, args) => {
+                Term::app(*op, args.iter().map(|a| self.walk(a)).collect())
+            }
+            TermKind::Quant(q, bindings, body) => {
+                if bindings.iter().any(|(s, _)| s == self.var) {
+                    // `var` is shadowed: nothing to substitute below.
+                    return term.clone();
+                }
+                // Alpha-rename binders that would capture replacement vars.
+                let captured: Vec<Symbol> = bindings
+                    .iter()
+                    .map(|(s, _)| s.clone())
+                    .filter(|s| self.replacement_fv.contains(s))
+                    .collect();
+                if captured.is_empty() {
+                    Term::quant(*q, bindings.clone(), self.walk(body))
+                } else {
+                    let mut avoid: BTreeSet<Symbol> = body.free_vars();
+                    avoid.extend(self.replacement_fv.iter().cloned());
+                    avoid.extend(bindings.iter().map(|(s, _)| s.clone()));
+                    let mut mapping = BTreeMap::new();
+                    let mut new_bindings = Vec::with_capacity(bindings.len());
+                    for (s, sort) in bindings {
+                        if captured.contains(s) {
+                            let fresh = fresh_name(s.as_str(), &avoid);
+                            avoid.insert(fresh.clone());
+                            mapping.insert(s.clone(), fresh.clone());
+                            new_bindings.push((fresh, *sort));
+                        } else {
+                            new_bindings.push((s.clone(), *sort));
+                        }
+                    }
+                    let renamed_body = rename_free_vars(body, &mapping);
+                    Term::quant(*q, new_bindings, self.walk(&renamed_body))
+                }
+            }
+            TermKind::Let(bindings, body) => {
+                let new_bindings: Vec<_> =
+                    bindings.iter().map(|(s, t)| (s.clone(), self.walk(t))).collect();
+                let shadowed = bindings.iter().any(|(s, _)| s == self.var);
+                let captures =
+                    bindings.iter().any(|(s, _)| self.replacement_fv.contains(s));
+                if shadowed {
+                    Term::let_in(new_bindings, body.clone())
+                } else if captures {
+                    // Rename captured let-binders.
+                    let mut avoid: BTreeSet<Symbol> = body.free_vars();
+                    avoid.extend(self.replacement_fv.iter().cloned());
+                    avoid.extend(bindings.iter().map(|(s, _)| s.clone()));
+                    let mut mapping = BTreeMap::new();
+                    let renamed: Vec<_> = new_bindings
+                        .into_iter()
+                        .map(|(s, t)| {
+                            if self.replacement_fv.contains(&s) {
+                                let fresh = fresh_name(s.as_str(), &avoid);
+                                avoid.insert(fresh.clone());
+                                mapping.insert(s, fresh.clone());
+                                (fresh, t)
+                            } else {
+                                (s, t)
+                            }
+                        })
+                        .collect();
+                    let renamed_body = rename_free_vars(body, &mapping);
+                    Term::let_in(renamed, self.walk(&renamed_body))
+                } else {
+                    Term::let_in(new_bindings, self.walk(body))
+                }
+            }
+        }
+    }
+}
+
+/// Replaces the free occurrences of `var` selected by `pick` with
+/// `replacement`. `pick` receives the 0-based occurrence index in
+/// left-to-right term order — this is the paper's `φ[e/x]_R`.
+///
+/// # Examples
+///
+/// ```
+/// use yinyang_smtlib::{parse_term, subst::substitute_occurrences, Symbol};
+///
+/// let t = parse_term("(and (> x 0) (> x 1))")?;
+/// let r = parse_term("(- z y)")?;
+/// // Replace only the second occurrence, as in Fig. 1 of the paper.
+/// let fused = substitute_occurrences(&t, &Symbol::new("x"), &r, &mut |i| i == 1);
+/// assert_eq!(fused.to_string(), "(and (> x 0) (> (- z y) 1))");
+/// # Ok::<(), yinyang_smtlib::ParseError>(())
+/// ```
+pub fn substitute_occurrences(
+    term: &Term,
+    var: &Symbol,
+    replacement: &Term,
+    pick: &mut dyn FnMut(usize) -> bool,
+) -> Term {
+    let mut s = Substituter {
+        var,
+        replacement,
+        replacement_fv: replacement.free_vars(),
+        pick,
+        next_index: 0,
+    };
+    s.walk(term)
+}
+
+/// Replaces every free occurrence of `var` with `replacement`
+/// (the paper's `φ[e/x]`).
+pub fn substitute_free(term: &Term, var: &Symbol, replacement: &Term) -> Term {
+    substitute_occurrences(term, var, replacement, &mut |_| true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_term;
+    use crate::sort::Sort;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::new(s)
+    }
+
+    #[test]
+    fn substitute_all_occurrences() {
+        let t = parse_term("(+ x (* x x))").unwrap();
+        let r = parse_term("(- z y)").unwrap();
+        let out = substitute_free(&t, &sym("x"), &r);
+        assert_eq!(out.to_string(), "(+ (- z y) (* (- z y) (- z y)))");
+    }
+
+    #[test]
+    fn substitute_no_occurrences_is_identity() {
+        let t = parse_term("(+ x 1)").unwrap();
+        let out = substitute_occurrences(&t, &sym("x"), &Term::int(0), &mut |_| false);
+        assert_eq!(out, t);
+    }
+
+    #[test]
+    fn selective_substitution_indices_are_left_to_right() {
+        let t = parse_term("(and (= x 0) (= x 1) (= x 2))").unwrap();
+        let out = substitute_occurrences(&t, &sym("x"), &Term::var("q"), &mut |i| i % 2 == 0);
+        assert_eq!(out.to_string(), "(and (= q 0) (= x 1) (= q 2))");
+    }
+
+    #[test]
+    fn quantifier_shadowing_blocks_substitution() {
+        let t = parse_term("(and (> x 0) (exists ((x Int)) (> x 5)))").unwrap();
+        let out = substitute_free(&t, &sym("x"), &Term::int(9));
+        assert_eq!(out.to_string(), "(and (> 9 0) (exists ((x Int)) (> x 5)))");
+    }
+
+    #[test]
+    fn capture_is_avoided() {
+        // Substituting x := z under (exists ((z Int)) ...) must rename the binder.
+        let t = parse_term("(exists ((z Int)) (> x z))").unwrap();
+        let out = substitute_free(&t, &sym("x"), &Term::var("z"));
+        match out.kind() {
+            TermKind::Quant(_, bindings, body) => {
+                assert_ne!(bindings[0].0.as_str(), "z", "binder must be renamed");
+                let expected = format!("(> z {})", bindings[0].0);
+                assert_eq!(body.to_string(), expected);
+            }
+            other => panic!("expected quantifier, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn let_shadowing_blocks_substitution_in_body() {
+        let t = parse_term("(let ((x (+ x 1))) (> x 0))").unwrap();
+        // Outer x occurs once (inside the binding); body x is bound.
+        let out = substitute_free(&t, &sym("x"), &Term::int(5));
+        assert_eq!(out.to_string(), "(let ((x (+ 5 1))) (> x 0))");
+    }
+
+    #[test]
+    fn rename_free_vars_bulk() {
+        let t = parse_term("(and (> x y) (exists ((x Int)) (= x y)))").unwrap();
+        let mut m = BTreeMap::new();
+        m.insert(sym("x"), sym("a"));
+        m.insert(sym("y"), sym("b"));
+        let out = rename_free_vars(&t, &m);
+        assert_eq!(out.to_string(), "(and (> a b) (exists ((x Int)) (= x b)))");
+    }
+
+    #[test]
+    fn fresh_name_avoids_collisions() {
+        let mut avoid = BTreeSet::new();
+        avoid.insert(sym("z"));
+        avoid.insert(sym("z!0"));
+        let f = fresh_name("z", &avoid);
+        assert_eq!(f.as_str(), "z!1");
+    }
+
+    #[test]
+    fn count_vs_substitution_consistency() {
+        let t = parse_term("(and (= x 0) (or (= x 1) (= y x)))").unwrap();
+        let n = t.count_free_occurrences(&sym("x"));
+        let mut seen = 0usize;
+        let _ = substitute_occurrences(&t, &sym("x"), &Term::int(0), &mut |i| {
+            seen = seen.max(i + 1);
+            true
+        });
+        assert_eq!(n, seen);
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn quant_substitution_under_nonshadowing_binder() {
+        let t = parse_term("(forall ((h Int)) (> (+ x h) 0))").unwrap();
+        let out = substitute_free(&t, &sym("x"), &Term::int(2));
+        assert_eq!(out.to_string(), "(forall ((h Int)) (> (+ 2 h) 0))");
+        // Sanity: sort annotation preserved.
+        match out.kind() {
+            TermKind::Quant(_, bindings, _) => assert_eq!(bindings[0].1, Sort::Int),
+            _ => unreachable!(),
+        }
+    }
+}

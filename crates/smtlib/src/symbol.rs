@@ -1,0 +1,101 @@
+//! Interned-ish symbols for SMT-LIB identifiers.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::rc::Rc;
+
+/// An SMT-LIB symbol (variable, function, or sort name).
+///
+/// Symbols are reference-counted strings, so cloning one is cheap — terms
+/// and scripts clone symbols liberally during substitution and fusion.
+///
+/// # Examples
+///
+/// ```
+/// use yinyang_smtlib::Symbol;
+///
+/// let x = Symbol::new("x");
+/// assert_eq!(x.as_str(), "x");
+/// assert_eq!(x, Symbol::new("x"));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(Rc<str>);
+
+impl Symbol {
+    /// Creates a symbol from any string-ish value.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Symbol(Rc::from(name.as_ref()))
+    }
+
+    /// The symbol text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({})", self.0)
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::new(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Self {
+        Symbol::new(s)
+    }
+}
+
+impl Borrow<str> for Symbol {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Symbol {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn equality_and_hash() {
+        let a = Symbol::new("foo");
+        let b = Symbol::new("foo");
+        let c = Symbol::new("bar");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut set = HashSet::new();
+        set.insert(a.clone());
+        assert!(set.contains(&b));
+        assert!(set.contains("foo"));
+        assert!(!set.contains("bar"));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Symbol::new("x!0").to_string(), "x!0");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(Symbol::new("a") < Symbol::new("b"));
+        assert!(Symbol::new("a") < Symbol::new("aa"));
+    }
+}

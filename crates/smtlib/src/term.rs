@@ -1,0 +1,742 @@
+//! The SMT-LIB term AST.
+//!
+//! Terms are immutable reference-counted trees ([`Term`] wraps an
+//! `Rc<TermKind>`), so structural sharing makes substitution-heavy fusion
+//! workloads cheap. Constructors live on [`Term`]; n-ary applications
+//! debug-assert their arity.
+
+use crate::sort::Sort;
+use crate::symbol::Symbol;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::rc::Rc;
+use yinyang_arith::{BigInt, BigRational};
+
+/// Operators of the core, arithmetic, string, and regular-expression
+/// theories.
+///
+/// Canonical (printed) names follow SMT-LIB 2.6; the parser additionally
+/// accepts the legacy Z3 spellings used in the paper (`str.in.re`,
+/// `str.to.int`, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum Op {
+    // -- Core ---------------------------------------------------------------
+    Not,
+    Implies,
+    And,
+    Or,
+    Xor,
+    Eq,
+    Distinct,
+    Ite,
+    // -- Arithmetic ----------------------------------------------------------
+    /// Unary negation `(- t)`.
+    Neg,
+    Add,
+    /// N-ary left-associative subtraction `(- a b c)`.
+    Sub,
+    Mul,
+    /// Real division `(/ a b)`.
+    RealDiv,
+    /// Integer Euclidean division `(div a b)`.
+    IntDiv,
+    /// Integer Euclidean remainder `(mod a b)`.
+    Mod,
+    Abs,
+    Le,
+    Lt,
+    Ge,
+    Gt,
+    ToReal,
+    ToInt,
+    IsInt,
+    // -- Strings --------------------------------------------------------------
+    /// String concatenation `str.++`.
+    StrConcat,
+    StrLen,
+    /// Character at index: `(str.at s i)` — a string of length 0 or 1.
+    StrAt,
+    /// `(str.substr s off len)`.
+    StrSubstr,
+    StrPrefixOf,
+    StrSuffixOf,
+    StrContains,
+    /// `(str.indexof s t i)`.
+    StrIndexOf,
+    /// Replace first occurrence: `(str.replace s t r)`.
+    StrReplace,
+    StrReplaceAll,
+    /// Regular-expression membership `(str.in_re s R)`.
+    StrInRe,
+    /// Constant-string-to-regex injection `(str.to_re s)`.
+    StrToRe,
+    /// `(str.to_int s)` — −1 if `s` is not a digit string.
+    StrToInt,
+    /// `(str.from_int i)` — empty string for negative `i`.
+    StrFromInt,
+    // -- Regular expressions ---------------------------------------------------
+    ReNone,
+    ReAll,
+    ReAllChar,
+    ReConcat,
+    ReUnion,
+    ReInter,
+    ReStar,
+    RePlus,
+    ReOpt,
+    /// `(re.range "a" "z")`.
+    ReRange,
+}
+
+/// Arity constraint of an [`Op`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arity {
+    /// Exactly this many arguments.
+    Exact(usize),
+    /// At least this many arguments (variadic).
+    AtLeast(usize),
+}
+
+impl Arity {
+    /// Whether `n` arguments satisfy this arity.
+    pub fn admits(self, n: usize) -> bool {
+        match self {
+            Arity::Exact(k) => n == k,
+            Arity::AtLeast(k) => n >= k,
+        }
+    }
+}
+
+impl Op {
+    /// The canonical SMT-LIB 2.6 spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::Not => "not",
+            Op::Implies => "=>",
+            Op::And => "and",
+            Op::Or => "or",
+            Op::Xor => "xor",
+            Op::Eq => "=",
+            Op::Distinct => "distinct",
+            Op::Ite => "ite",
+            Op::Neg | Op::Sub => "-",
+            Op::Add => "+",
+            Op::Mul => "*",
+            Op::RealDiv => "/",
+            Op::IntDiv => "div",
+            Op::Mod => "mod",
+            Op::Abs => "abs",
+            Op::Le => "<=",
+            Op::Lt => "<",
+            Op::Ge => ">=",
+            Op::Gt => ">",
+            Op::ToReal => "to_real",
+            Op::ToInt => "to_int",
+            Op::IsInt => "is_int",
+            Op::StrConcat => "str.++",
+            Op::StrLen => "str.len",
+            Op::StrAt => "str.at",
+            Op::StrSubstr => "str.substr",
+            Op::StrPrefixOf => "str.prefixof",
+            Op::StrSuffixOf => "str.suffixof",
+            Op::StrContains => "str.contains",
+            Op::StrIndexOf => "str.indexof",
+            Op::StrReplace => "str.replace",
+            Op::StrReplaceAll => "str.replace_all",
+            Op::StrInRe => "str.in_re",
+            Op::StrToRe => "str.to_re",
+            Op::StrToInt => "str.to_int",
+            Op::StrFromInt => "str.from_int",
+            Op::ReNone => "re.none",
+            Op::ReAll => "re.all",
+            Op::ReAllChar => "re.allchar",
+            Op::ReConcat => "re.++",
+            Op::ReUnion => "re.union",
+            Op::ReInter => "re.inter",
+            Op::ReStar => "re.*",
+            Op::RePlus => "re.+",
+            Op::ReOpt => "re.opt",
+            Op::ReRange => "re.range",
+        }
+    }
+
+    /// The arity constraint of this operator.
+    pub fn arity(self) -> Arity {
+        use Arity::*;
+        match self {
+            Op::Not | Op::Neg | Op::Abs | Op::ToReal | Op::ToInt | Op::IsInt => Exact(1),
+            Op::StrLen | Op::StrToRe | Op::StrToInt | Op::StrFromInt => Exact(1),
+            Op::ReStar | Op::RePlus | Op::ReOpt => Exact(1),
+            Op::Implies => AtLeast(2),
+            Op::And | Op::Or | Op::Xor => AtLeast(2),
+            Op::Eq | Op::Distinct => AtLeast(2),
+            Op::Ite => Exact(3),
+            Op::Add | Op::Mul | Op::Sub => AtLeast(2),
+            Op::RealDiv | Op::IntDiv | Op::Mod => AtLeast(2),
+            Op::Le | Op::Lt | Op::Ge | Op::Gt => AtLeast(2),
+            Op::StrConcat => AtLeast(2),
+            Op::StrAt => Exact(2),
+            Op::StrSubstr => Exact(3),
+            Op::StrPrefixOf | Op::StrSuffixOf | Op::StrContains => Exact(2),
+            Op::StrIndexOf => Exact(3),
+            Op::StrReplace | Op::StrReplaceAll => Exact(3),
+            Op::StrInRe => Exact(2),
+            Op::ReNone | Op::ReAll | Op::ReAllChar => Exact(0),
+            Op::ReConcat | Op::ReUnion | Op::ReInter => AtLeast(2),
+            Op::ReRange => Exact(2),
+        }
+    }
+
+    /// `true` for the boolean-sorted predicates and connectives.
+    pub fn returns_bool(self) -> bool {
+        matches!(
+            self,
+            Op::Not
+                | Op::Implies
+                | Op::And
+                | Op::Or
+                | Op::Xor
+                | Op::Eq
+                | Op::Distinct
+                | Op::Le
+                | Op::Lt
+                | Op::Ge
+                | Op::Gt
+                | Op::IsInt
+                | Op::StrPrefixOf
+                | Op::StrSuffixOf
+                | Op::StrContains
+                | Op::StrInRe
+        )
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Quantifier kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Quantifier {
+    /// `forall`.
+    Forall,
+    /// `exists`.
+    Exists,
+}
+
+impl Quantifier {
+    /// SMT-LIB keyword.
+    pub fn name(self) -> &'static str {
+        match self {
+            Quantifier::Forall => "forall",
+            Quantifier::Exists => "exists",
+        }
+    }
+}
+
+/// The kinds of term nodes. Access via [`Term::kind`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TermKind {
+    /// `true` / `false`.
+    BoolConst(bool),
+    /// Integer numeral.
+    IntConst(BigInt),
+    /// Real decimal.
+    RealConst(BigRational),
+    /// String literal.
+    StringConst(String),
+    /// Free or bound variable occurrence.
+    Var(Symbol),
+    /// Operator application.
+    App(Op, Vec<Term>),
+    /// `forall`/`exists` binder.
+    Quant(Quantifier, Vec<(Symbol, Sort)>, Term),
+    /// `let` binder (parallel bindings, SMT-LIB semantics).
+    Let(Vec<(Symbol, Term)>, Term),
+}
+
+/// An immutable, cheaply-clonable SMT-LIB term.
+///
+/// # Examples
+///
+/// ```
+/// use yinyang_smtlib::Term;
+///
+/// let x = Term::var("x");
+/// let t = Term::gt(x, Term::int(0));
+/// assert_eq!(t.to_string(), "(> x 0)");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Term(Rc<TermKind>);
+
+impl Term {
+    /// Wraps a [`TermKind`].
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics when an application violates its operator's arity.
+    pub fn new(kind: TermKind) -> Self {
+        if let TermKind::App(op, args) = &kind {
+            debug_assert!(
+                op.arity().admits(args.len()),
+                "operator {op} applied to {} arguments",
+                args.len()
+            );
+        }
+        Term(Rc::new(kind))
+    }
+
+    /// The node this term points at.
+    pub fn kind(&self) -> &TermKind {
+        &self.0
+    }
+
+    /// Pointer equality — true structural sharing, not structural equality.
+    pub fn ptr_eq(&self, other: &Term) -> bool {
+        Rc::ptr_eq(&self.0, &other.0)
+    }
+
+    // -- constants -----------------------------------------------------------
+
+    /// The boolean constant `true`.
+    pub fn tru() -> Term {
+        Term::new(TermKind::BoolConst(true))
+    }
+
+    /// The boolean constant `false`.
+    pub fn fals() -> Term {
+        Term::new(TermKind::BoolConst(false))
+    }
+
+    /// A boolean constant.
+    pub fn bool(b: bool) -> Term {
+        Term::new(TermKind::BoolConst(b))
+    }
+
+    /// An integer constant from `i64`.
+    pub fn int(v: i64) -> Term {
+        Term::new(TermKind::IntConst(BigInt::from(v)))
+    }
+
+    /// An integer constant from a [`BigInt`].
+    pub fn int_big(v: BigInt) -> Term {
+        Term::new(TermKind::IntConst(v))
+    }
+
+    /// A real constant from a [`BigRational`].
+    pub fn real(v: BigRational) -> Term {
+        Term::new(TermKind::RealConst(v))
+    }
+
+    /// A real constant from an `i64` numerator/denominator pair.
+    pub fn real_frac(num: i64, den: i64) -> Term {
+        Term::new(TermKind::RealConst(BigRational::new(num.into(), den.into())))
+    }
+
+    /// A string literal.
+    pub fn str_lit(s: impl Into<String>) -> Term {
+        Term::new(TermKind::StringConst(s.into()))
+    }
+
+    /// A variable occurrence.
+    pub fn var(name: impl Into<Symbol>) -> Term {
+        Term::new(TermKind::Var(name.into()))
+    }
+
+    // -- applications ----------------------------------------------------------
+
+    /// Applies `op` to `args`.
+    pub fn app(op: Op, args: Vec<Term>) -> Term {
+        Term::new(TermKind::App(op, args))
+    }
+
+    /// Boolean negation.
+    pub fn not(t: Term) -> Term {
+        Term::app(Op::Not, vec![t])
+    }
+
+    /// N-ary conjunction; returns `true` for zero and the sole element for
+    /// one argument.
+    pub fn and(mut args: Vec<Term>) -> Term {
+        match args.len() {
+            0 => Term::tru(),
+            1 => args.pop().expect("len checked"),
+            _ => Term::app(Op::And, args),
+        }
+    }
+
+    /// N-ary disjunction; returns `false` for zero and the sole element for
+    /// one argument.
+    pub fn or(mut args: Vec<Term>) -> Term {
+        match args.len() {
+            0 => Term::fals(),
+            1 => args.pop().expect("len checked"),
+            _ => Term::app(Op::Or, args),
+        }
+    }
+
+    /// Implication.
+    pub fn implies(a: Term, b: Term) -> Term {
+        Term::app(Op::Implies, vec![a, b])
+    }
+
+    /// Binary equality.
+    pub fn eq(a: Term, b: Term) -> Term {
+        Term::app(Op::Eq, vec![a, b])
+    }
+
+    /// Binary distinctness.
+    pub fn distinct(a: Term, b: Term) -> Term {
+        Term::app(Op::Distinct, vec![a, b])
+    }
+
+    /// If-then-else.
+    pub fn ite(c: Term, t: Term, e: Term) -> Term {
+        Term::app(Op::Ite, vec![c, t, e])
+    }
+
+    /// N-ary addition.
+    pub fn add(args: Vec<Term>) -> Term {
+        Term::app(Op::Add, args)
+    }
+
+    /// Binary subtraction.
+    pub fn sub(a: Term, b: Term) -> Term {
+        Term::app(Op::Sub, vec![a, b])
+    }
+
+    /// Unary negation. Numeric literals fold (`(- 1)` and the literal `-1`
+    /// are the same term, matching the parser).
+    pub fn neg(t: Term) -> Term {
+        match t.kind() {
+            TermKind::IntConst(v) => Term::int_big(-v.clone()),
+            TermKind::RealConst(v) => Term::real(-v.clone()),
+            _ => Term::app(Op::Neg, vec![t]),
+        }
+    }
+
+    /// N-ary multiplication.
+    pub fn mul(args: Vec<Term>) -> Term {
+        Term::app(Op::Mul, args)
+    }
+
+    /// Real division. Constant operands with a non-zero divisor fold to a
+    /// real literal, mirroring the parser (division by zero never folds —
+    /// it is underspecified in SMT-LIB).
+    pub fn real_div(a: Term, b: Term) -> Term {
+        let rat = |t: &Term| match t.kind() {
+            TermKind::RealConst(v) => Some(v.clone()),
+            TermKind::IntConst(v) => Some(BigRational::from_int(v.clone())),
+            _ => None,
+        };
+        if let (Some(x), Some(y)) = (rat(&a), rat(&b)) {
+            if !y.is_zero() {
+                return Term::real(&x / &y);
+            }
+        }
+        Term::app(Op::RealDiv, vec![a, b])
+    }
+
+    /// Integer Euclidean division.
+    pub fn int_div(a: Term, b: Term) -> Term {
+        Term::app(Op::IntDiv, vec![a, b])
+    }
+
+    /// Integer Euclidean remainder.
+    pub fn imod(a: Term, b: Term) -> Term {
+        Term::app(Op::Mod, vec![a, b])
+    }
+
+    /// `<=`.
+    pub fn le(a: Term, b: Term) -> Term {
+        Term::app(Op::Le, vec![a, b])
+    }
+
+    /// `<`.
+    pub fn lt(a: Term, b: Term) -> Term {
+        Term::app(Op::Lt, vec![a, b])
+    }
+
+    /// `>=`.
+    pub fn ge(a: Term, b: Term) -> Term {
+        Term::app(Op::Ge, vec![a, b])
+    }
+
+    /// `>`.
+    pub fn gt(a: Term, b: Term) -> Term {
+        Term::app(Op::Gt, vec![a, b])
+    }
+
+    /// N-ary string concatenation.
+    pub fn str_concat(args: Vec<Term>) -> Term {
+        Term::app(Op::StrConcat, args)
+    }
+
+    /// String length.
+    pub fn str_len(s: Term) -> Term {
+        Term::app(Op::StrLen, vec![s])
+    }
+
+    /// Substring `(str.substr s off len)`.
+    pub fn str_substr(s: Term, off: Term, len: Term) -> Term {
+        Term::app(Op::StrSubstr, vec![s, off, len])
+    }
+
+    /// Replace first occurrence `(str.replace s t r)`.
+    pub fn str_replace(s: Term, t: Term, r: Term) -> Term {
+        Term::app(Op::StrReplace, vec![s, t, r])
+    }
+
+    /// Quantified formula. Returns `body` unchanged when `bindings` is empty.
+    pub fn quant(q: Quantifier, bindings: Vec<(Symbol, Sort)>, body: Term) -> Term {
+        if bindings.is_empty() {
+            body
+        } else {
+            Term::new(TermKind::Quant(q, bindings, body))
+        }
+    }
+
+    /// `forall` binder.
+    pub fn forall(bindings: Vec<(Symbol, Sort)>, body: Term) -> Term {
+        Term::quant(Quantifier::Forall, bindings, body)
+    }
+
+    /// `exists` binder.
+    pub fn exists(bindings: Vec<(Symbol, Sort)>, body: Term) -> Term {
+        Term::quant(Quantifier::Exists, bindings, body)
+    }
+
+    /// `let` binder. Returns `body` unchanged when `bindings` is empty.
+    pub fn let_in(bindings: Vec<(Symbol, Term)>, body: Term) -> Term {
+        if bindings.is_empty() {
+            body
+        } else {
+            Term::new(TermKind::Let(bindings, body))
+        }
+    }
+
+    // -- traversal -------------------------------------------------------------
+
+    /// Immediate subterms (excluding binder annotations).
+    pub fn children(&self) -> Vec<Term> {
+        match self.kind() {
+            TermKind::App(_, args) => args.clone(),
+            TermKind::Quant(_, _, body) => vec![body.clone()],
+            TermKind::Let(bindings, body) => {
+                let mut v: Vec<Term> = bindings.iter().map(|(_, t)| t.clone()).collect();
+                v.push(body.clone());
+                v
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Total number of nodes in the term tree.
+    pub fn size(&self) -> usize {
+        1 + self.children().iter().map(Term::size).sum::<usize>()
+    }
+
+    /// Depth of the term tree (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self.children().iter().map(Term::depth).max().unwrap_or(0)
+    }
+
+    /// Free variables of the term, respecting `let`/quantifier binding.
+    pub fn free_vars(&self) -> BTreeSet<Symbol> {
+        let mut out = BTreeSet::new();
+        self.collect_free_vars(&mut Vec::new(), &mut out);
+        out
+    }
+
+    fn collect_free_vars(&self, bound: &mut Vec<Symbol>, out: &mut BTreeSet<Symbol>) {
+        match self.kind() {
+            TermKind::Var(name) => {
+                if !bound.contains(name) {
+                    out.insert(name.clone());
+                }
+            }
+            TermKind::App(_, args) => {
+                for a in args {
+                    a.collect_free_vars(bound, out);
+                }
+            }
+            TermKind::Quant(_, bindings, body) => {
+                let n = bound.len();
+                bound.extend(bindings.iter().map(|(s, _)| s.clone()));
+                body.collect_free_vars(bound, out);
+                bound.truncate(n);
+            }
+            TermKind::Let(bindings, body) => {
+                for (_, t) in bindings {
+                    t.collect_free_vars(bound, out);
+                }
+                let n = bound.len();
+                bound.extend(bindings.iter().map(|(s, _)| s.clone()));
+                body.collect_free_vars(bound, out);
+                bound.truncate(n);
+            }
+            _ => {}
+        }
+    }
+
+    /// Counts free occurrences of `var` (occurrences under a binder that
+    /// shadows `var` are not counted).
+    pub fn count_free_occurrences(&self, var: &Symbol) -> usize {
+        match self.kind() {
+            TermKind::Var(name) => usize::from(name == var),
+            TermKind::App(_, args) => {
+                args.iter().map(|a| a.count_free_occurrences(var)).sum()
+            }
+            TermKind::Quant(_, bindings, body) => {
+                if bindings.iter().any(|(s, _)| s == var) {
+                    0
+                } else {
+                    body.count_free_occurrences(var)
+                }
+            }
+            TermKind::Let(bindings, body) => {
+                let in_bindings: usize =
+                    bindings.iter().map(|(_, t)| t.count_free_occurrences(var)).sum();
+                let shadowed = bindings.iter().any(|(s, _)| s == var);
+                in_bindings + if shadowed { 0 } else { body.count_free_occurrences(var) }
+            }
+            _ => 0,
+        }
+    }
+
+    /// Returns `true` if any subterm satisfies `pred`.
+    pub fn any_subterm(&self, pred: &mut impl FnMut(&Term) -> bool) -> bool {
+        if pred(self) {
+            return true;
+        }
+        match self.kind() {
+            TermKind::App(_, args) => args.iter().any(|a| a.any_subterm(pred)),
+            TermKind::Quant(_, _, body) => body.any_subterm(pred),
+            TermKind::Let(bindings, body) => {
+                bindings.iter().any(|(_, t)| t.any_subterm(pred)) || body.any_subterm(pred)
+            }
+            _ => false,
+        }
+    }
+
+    /// Counts subterms (including `self`) satisfying `pred`.
+    pub fn count_subterms(&self, pred: &mut impl FnMut(&Term) -> bool) -> usize {
+        let mut n = usize::from(pred(self));
+        match self.kind() {
+            TermKind::App(_, args) => {
+                for a in args {
+                    n += a.count_subterms(pred);
+                }
+            }
+            TermKind::Quant(_, _, body) => n += body.count_subterms(pred),
+            TermKind::Let(bindings, body) => {
+                for (_, t) in bindings {
+                    n += t.count_subterms(pred);
+                }
+                n += body.count_subterms(pred);
+            }
+            _ => {}
+        }
+        n
+    }
+
+    /// `true` iff the term contains a quantifier.
+    pub fn has_quantifier(&self) -> bool {
+        self.any_subterm(&mut |t| matches!(t.kind(), TermKind::Quant(..)))
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Term({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_build_expected_kinds() {
+        assert!(matches!(Term::tru().kind(), TermKind::BoolConst(true)));
+        assert!(matches!(Term::int(3).kind(), TermKind::IntConst(_)));
+        assert!(matches!(Term::var("x").kind(), TermKind::Var(_)));
+    }
+
+    #[test]
+    fn and_or_degenerate_cases() {
+        assert_eq!(Term::and(vec![]), Term::tru());
+        assert_eq!(Term::or(vec![]), Term::fals());
+        let x = Term::var("p");
+        assert_eq!(Term::and(vec![x.clone()]), x.clone());
+        assert_eq!(Term::or(vec![x.clone()]), x);
+    }
+
+    #[test]
+    fn free_vars_respect_quantifiers() {
+        // (forall ((x Int)) (> x y))
+        let body = Term::gt(Term::var("x"), Term::var("y"));
+        let q = Term::forall(vec![(Symbol::new("x"), Sort::Int)], body);
+        let fv = q.free_vars();
+        assert!(fv.contains(&Symbol::new("y")));
+        assert!(!fv.contains(&Symbol::new("x")));
+    }
+
+    #[test]
+    fn free_vars_respect_let() {
+        // (let ((x y)) (+ x z)): free = {y, z}
+        let t = Term::let_in(
+            vec![(Symbol::new("x"), Term::var("y"))],
+            Term::add(vec![Term::var("x"), Term::var("z")]),
+        );
+        let fv = t.free_vars();
+        assert_eq!(
+            fv.into_iter().map(|s| s.as_str().to_owned()).collect::<Vec<_>>(),
+            vec!["y", "z"]
+        );
+    }
+
+    #[test]
+    fn occurrence_counting() {
+        let x = Term::var("x");
+        let t = Term::add(vec![x.clone(), Term::mul(vec![x.clone(), x.clone()]), Term::var("y")]);
+        assert_eq!(t.count_free_occurrences(&Symbol::new("x")), 3);
+        assert_eq!(t.count_free_occurrences(&Symbol::new("y")), 1);
+        assert_eq!(t.count_free_occurrences(&Symbol::new("z")), 0);
+    }
+
+    #[test]
+    fn size_and_depth() {
+        let t = Term::gt(Term::add(vec![Term::var("x"), Term::int(1)]), Term::int(0));
+        assert_eq!(t.size(), 5);
+        assert_eq!(t.depth(), 3);
+    }
+
+    #[test]
+    fn shadowed_occurrences_not_counted() {
+        let x = Symbol::new("x");
+        let inner = Term::exists(vec![(x.clone(), Sort::Int)], Term::gt(Term::var("x"), Term::int(0)));
+        let t = Term::and(vec![Term::gt(Term::var("x"), Term::int(1)), inner]);
+        assert_eq!(t.count_free_occurrences(&x), 1);
+    }
+
+    #[test]
+    fn arity_checks() {
+        assert!(Op::Ite.arity().admits(3));
+        assert!(!Op::Ite.arity().admits(2));
+        assert!(Op::And.arity().admits(5));
+        assert!(!Op::And.arity().admits(1));
+        assert!(Op::ReNone.arity().admits(0));
+    }
+
+    #[test]
+    fn has_quantifier() {
+        let plain = Term::gt(Term::var("x"), Term::int(0));
+        assert!(!plain.has_quantifier());
+        let q = Term::forall(vec![(Symbol::new("x"), Sort::Int)], plain);
+        assert!(q.has_quantifier());
+    }
+}

@@ -1,0 +1,432 @@
+//! Sort inference and script well-formedness checking.
+//!
+//! Integer numerals are coercible to `Real` (SMT-LIB permits `(> y 0)` for
+//! real `y` via the standard's numeral overloading), so the checker works
+//! with a small lattice: `Int <: Real` at literal positions only.
+
+use crate::script::{Command, Script};
+use crate::sort::Sort;
+use crate::symbol::Symbol;
+use crate::term::{Op, Term, TermKind};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Sort-checking error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl TypeError {
+    fn new(message: impl Into<String>) -> Self {
+        TypeError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error: {}", self.message)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// A sort environment: variable name → sort.
+pub type SortEnv = BTreeMap<Symbol, Sort>;
+
+/// Is `actual` usable where `expected` is required (`Int` numerals coerce to
+/// `Real`)?
+fn coercible(actual: Sort, expected: Sort) -> bool {
+    actual == expected || (actual == Sort::Int && expected == Sort::Real)
+}
+
+/// Merges two numeric sorts: any `Real` makes the result `Real`.
+fn numeric_join(a: Sort, b: Sort) -> Result<Sort, TypeError> {
+    match (a, b) {
+        (Sort::Int, Sort::Int) => Ok(Sort::Int),
+        (Sort::Int | Sort::Real, Sort::Int | Sort::Real) => Ok(Sort::Real),
+        _ => Err(TypeError::new(format!("expected numeric sorts, got {a} and {b}"))),
+    }
+}
+
+struct Checker<'a> {
+    env: &'a SortEnv,
+    bound: Vec<(Symbol, Sort)>,
+}
+
+impl Checker<'_> {
+    fn lookup(&self, name: &Symbol) -> Result<Sort, TypeError> {
+        self.bound
+            .iter()
+            .rev()
+            .find(|(s, _)| s == name)
+            .map(|(_, sort)| *sort)
+            .or_else(|| self.env.get(name).copied())
+            .ok_or_else(|| TypeError::new(format!("undeclared variable {name}")))
+    }
+
+    fn sort_of(&mut self, term: &Term) -> Result<Sort, TypeError> {
+        match term.kind() {
+            TermKind::BoolConst(_) => Ok(Sort::Bool),
+            TermKind::IntConst(_) => Ok(Sort::Int),
+            TermKind::RealConst(_) => Ok(Sort::Real),
+            TermKind::StringConst(_) => Ok(Sort::String),
+            TermKind::Var(name) => self.lookup(name),
+            TermKind::Quant(_, bindings, body) => {
+                let n = self.bound.len();
+                self.bound.extend(bindings.iter().cloned());
+                let body_sort = self.sort_of(body);
+                self.bound.truncate(n);
+                match body_sort? {
+                    Sort::Bool => Ok(Sort::Bool),
+                    other => {
+                        Err(TypeError::new(format!("quantifier body has sort {other}")))
+                    }
+                }
+            }
+            TermKind::Let(bindings, body) => {
+                let mut sorts = Vec::with_capacity(bindings.len());
+                for (name, value) in bindings {
+                    sorts.push((name.clone(), self.sort_of(value)?));
+                }
+                let n = self.bound.len();
+                self.bound.extend(sorts);
+                let out = self.sort_of(body);
+                self.bound.truncate(n);
+                out
+            }
+            TermKind::App(op, args) => self.sort_of_app(*op, args),
+        }
+    }
+
+    fn expect(&mut self, term: &Term, expected: Sort) -> Result<(), TypeError> {
+        let actual = self.sort_of(term)?;
+        if coercible(actual, expected) {
+            Ok(())
+        } else {
+            Err(TypeError::new(format!("expected {expected}, got {actual} in {term}")))
+        }
+    }
+
+    fn sort_of_app(&mut self, op: Op, args: &[Term]) -> Result<Sort, TypeError> {
+        match op {
+            Op::Not | Op::And | Op::Or | Op::Xor | Op::Implies => {
+                for a in args {
+                    self.expect(a, Sort::Bool)?;
+                }
+                Ok(Sort::Bool)
+            }
+            Op::Eq | Op::Distinct => {
+                let mut join = self.sort_of(&args[0])?;
+                for a in &args[1..] {
+                    let s = self.sort_of(a)?;
+                    join = if join == s {
+                        join
+                    } else {
+                        numeric_join(join, s).map_err(|_| {
+                            TypeError::new(format!("{op} applied to {join} and {s}"))
+                        })?
+                    };
+                }
+                Ok(Sort::Bool)
+            }
+            Op::Ite => {
+                self.expect(&args[0], Sort::Bool)?;
+                let t = self.sort_of(&args[1])?;
+                let e = self.sort_of(&args[2])?;
+                if t == e {
+                    Ok(t)
+                } else {
+                    numeric_join(t, e)
+                        .map_err(|_| TypeError::new(format!("ite branches: {t} vs {e}")))
+                }
+            }
+            Op::Neg | Op::Abs => {
+                let s = self.sort_of(&args[0])?;
+                numeric_join(s, s)
+            }
+            Op::Add | Op::Sub | Op::Mul => {
+                let mut join = self.sort_of(&args[0])?;
+                for a in &args[1..] {
+                    join = numeric_join(join, self.sort_of(a)?)?;
+                }
+                Ok(join)
+            }
+            Op::RealDiv => {
+                for a in args {
+                    self.expect(a, Sort::Real)?;
+                }
+                Ok(Sort::Real)
+            }
+            Op::IntDiv | Op::Mod => {
+                for a in args {
+                    self.expect(a, Sort::Int)?;
+                }
+                Ok(Sort::Int)
+            }
+            Op::Le | Op::Lt | Op::Ge | Op::Gt => {
+                let mut join = self.sort_of(&args[0])?;
+                for a in &args[1..] {
+                    join = numeric_join(join, self.sort_of(a)?)?;
+                }
+                Ok(Sort::Bool)
+            }
+            Op::ToReal => {
+                self.expect(&args[0], Sort::Real)?;
+                Ok(Sort::Real)
+            }
+            Op::ToInt => {
+                self.expect(&args[0], Sort::Real)?;
+                Ok(Sort::Int)
+            }
+            Op::IsInt => {
+                self.expect(&args[0], Sort::Real)?;
+                Ok(Sort::Bool)
+            }
+            Op::StrConcat => {
+                for a in args {
+                    self.expect(a, Sort::String)?;
+                }
+                Ok(Sort::String)
+            }
+            Op::StrLen | Op::StrToInt => {
+                self.expect(&args[0], Sort::String)?;
+                Ok(Sort::Int)
+            }
+            Op::StrAt => {
+                self.expect(&args[0], Sort::String)?;
+                self.expect(&args[1], Sort::Int)?;
+                Ok(Sort::String)
+            }
+            Op::StrSubstr => {
+                self.expect(&args[0], Sort::String)?;
+                self.expect(&args[1], Sort::Int)?;
+                self.expect(&args[2], Sort::Int)?;
+                Ok(Sort::String)
+            }
+            Op::StrPrefixOf | Op::StrSuffixOf | Op::StrContains => {
+                self.expect(&args[0], Sort::String)?;
+                self.expect(&args[1], Sort::String)?;
+                Ok(Sort::Bool)
+            }
+            Op::StrIndexOf => {
+                self.expect(&args[0], Sort::String)?;
+                self.expect(&args[1], Sort::String)?;
+                self.expect(&args[2], Sort::Int)?;
+                Ok(Sort::Int)
+            }
+            Op::StrReplace | Op::StrReplaceAll => {
+                for a in args {
+                    self.expect(a, Sort::String)?;
+                }
+                Ok(Sort::String)
+            }
+            Op::StrInRe => {
+                self.expect(&args[0], Sort::String)?;
+                self.expect(&args[1], Sort::RegLan)?;
+                Ok(Sort::Bool)
+            }
+            Op::StrToRe => {
+                self.expect(&args[0], Sort::String)?;
+                Ok(Sort::RegLan)
+            }
+            Op::StrFromInt => {
+                self.expect(&args[0], Sort::Int)?;
+                Ok(Sort::String)
+            }
+            Op::ReNone | Op::ReAll | Op::ReAllChar => Ok(Sort::RegLan),
+            Op::ReConcat | Op::ReUnion | Op::ReInter => {
+                for a in args {
+                    self.expect(a, Sort::RegLan)?;
+                }
+                Ok(Sort::RegLan)
+            }
+            Op::ReStar | Op::RePlus | Op::ReOpt => {
+                self.expect(&args[0], Sort::RegLan)?;
+                Ok(Sort::RegLan)
+            }
+            Op::ReRange => {
+                self.expect(&args[0], Sort::String)?;
+                self.expect(&args[1], Sort::String)?;
+                Ok(Sort::RegLan)
+            }
+        }
+    }
+}
+
+/// Infers the sort of `term` in the given environment.
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] for undeclared variables or ill-sorted
+/// applications.
+///
+/// # Examples
+///
+/// ```
+/// use yinyang_smtlib::{parse_term, sort_of, Sort, SortEnv, Symbol};
+///
+/// let mut env = SortEnv::new();
+/// env.insert(Symbol::new("x"), Sort::Int);
+/// let t = parse_term("(+ x 1)")?;
+/// assert_eq!(sort_of(&t, &env)?, Sort::Int);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn sort_of(term: &Term, env: &SortEnv) -> Result<Sort, TypeError> {
+    Checker { env, bound: Vec::new() }.sort_of(term)
+}
+
+/// Checks a whole script: every assertion must be a well-sorted boolean over
+/// declared variables (after `define-fun` inlining is the caller's concern —
+/// defined functions are checked at their definition site).
+///
+/// # Errors
+///
+/// Returns the first [`TypeError`] encountered.
+pub fn check_script(script: &Script) -> Result<(), TypeError> {
+    let env = script.declarations();
+    for cmd in &script.commands {
+        match cmd {
+            Command::Assert(t) => {
+                let sort = sort_of(t, &env)?;
+                if sort != Sort::Bool {
+                    return Err(TypeError::new(format!(
+                        "assertion has sort {sort}: {t}"
+                    )));
+                }
+            }
+            Command::DefineFun(name, params, ret, body) => {
+                let mut inner = env.clone();
+                for (p, s) in params {
+                    inner.insert(p.clone(), *s);
+                }
+                let actual = sort_of(body, &inner)?;
+                if !coercible(actual, *ret) {
+                    return Err(TypeError::new(format!(
+                        "define-fun {name} declared {ret} but body has sort {actual}"
+                    )));
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_script, parse_term};
+
+    fn env(pairs: &[(&str, Sort)]) -> SortEnv {
+        pairs.iter().map(|(n, s)| (Symbol::new(*n), *s)).collect()
+    }
+
+    #[test]
+    fn literals() {
+        let e = SortEnv::new();
+        assert_eq!(sort_of(&parse_term("42").unwrap(), &e).unwrap(), Sort::Int);
+        assert_eq!(sort_of(&parse_term("1.5").unwrap(), &e).unwrap(), Sort::Real);
+        assert_eq!(sort_of(&parse_term("\"hi\"").unwrap(), &e).unwrap(), Sort::String);
+        assert_eq!(sort_of(&parse_term("true").unwrap(), &e).unwrap(), Sort::Bool);
+    }
+
+    #[test]
+    fn numeric_coercion() {
+        let e = env(&[("y", Sort::Real)]);
+        // Integer numeral in a Real comparison — legal.
+        assert_eq!(sort_of(&parse_term("(> y 0)").unwrap(), &e).unwrap(), Sort::Bool);
+        assert_eq!(sort_of(&parse_term("(+ y 1)").unwrap(), &e).unwrap(), Sort::Real);
+    }
+
+    #[test]
+    fn int_real_mixing_in_add_promotes() {
+        let e = env(&[("x", Sort::Int)]);
+        assert_eq!(sort_of(&parse_term("(+ x 1.5)").unwrap(), &e).unwrap(), Sort::Real);
+    }
+
+    #[test]
+    fn string_and_bool_do_not_mix_numerically() {
+        let e = env(&[("s", Sort::String)]);
+        assert!(sort_of(&parse_term("(+ s 1)").unwrap(), &e).is_err());
+        assert!(sort_of(&parse_term("(= s 1)").unwrap(), &e).is_err());
+        assert!(sort_of(&parse_term("(and s true)").unwrap(), &e).is_err());
+    }
+
+    #[test]
+    fn undeclared_variable() {
+        let e = SortEnv::new();
+        assert!(sort_of(&parse_term("(> q 0)").unwrap(), &e).is_err());
+    }
+
+    #[test]
+    fn quantifier_binds_sorts() {
+        let e = SortEnv::new();
+        let t = parse_term("(forall ((x Int)) (> x 0))").unwrap();
+        assert_eq!(sort_of(&t, &e).unwrap(), Sort::Bool);
+        let bad = parse_term("(forall ((x Int)) (+ x 1))").unwrap();
+        assert!(sort_of(&bad, &e).is_err());
+    }
+
+    #[test]
+    fn let_binds_sorts() {
+        let e = env(&[("x", Sort::Int)]);
+        let t = parse_term("(let ((a (+ x 1))) (> a 0))").unwrap();
+        assert_eq!(sort_of(&t, &e).unwrap(), Sort::Bool);
+    }
+
+    #[test]
+    fn string_ops() {
+        let e = env(&[("a", Sort::String), ("i", Sort::Int)]);
+        assert_eq!(
+            sort_of(&parse_term("(str.len (str.++ a a))").unwrap(), &e).unwrap(),
+            Sort::Int
+        );
+        assert_eq!(
+            sort_of(&parse_term("(str.in_re a (re.* (str.to_re \"x\")))").unwrap(), &e)
+                .unwrap(),
+            Sort::Bool
+        );
+        assert!(sort_of(&parse_term("(str.len i)").unwrap(), &e).is_err());
+    }
+
+    #[test]
+    fn check_script_accepts_paper_fig3() {
+        let src = r#"
+            (declare-fun v () Bool)
+            (declare-fun w () Bool)
+            (declare-fun x () Int)
+            (declare-fun y () Int)
+            (declare-fun z () Int)
+            (assert (= (div z y) (- 1)))
+            (assert (= w (= x (- 1)))) (assert w)
+            (assert (= v (not (= y (- 1)))))
+            (assert (ite v false (= (div z x) (- 1))))
+        "#;
+        let s = parse_script(src).unwrap();
+        check_script(&s).unwrap();
+    }
+
+    #[test]
+    fn check_script_rejects_non_bool_assert() {
+        let s = parse_script("(declare-fun x () Int) (assert (+ x 1))").unwrap();
+        assert!(check_script(&s).is_err());
+    }
+
+    #[test]
+    fn check_script_checks_define_fun() {
+        let ok = parse_script("(define-fun inc ((a Int)) Int (+ a 1))").unwrap();
+        check_script(&ok).unwrap();
+        let bad = parse_script("(define-fun inc ((a Int)) Bool (+ a 1))").unwrap();
+        assert!(check_script(&bad).is_err());
+    }
+
+    #[test]
+    fn real_div_requires_reals_modulo_coercion() {
+        let e = env(&[("x", Sort::Real)]);
+        assert_eq!(sort_of(&parse_term("(/ x 4)").unwrap(), &e).unwrap(), Sort::Real);
+        let es = env(&[("s", Sort::String)]);
+        assert!(sort_of(&parse_term("(/ s 4)").unwrap(), &es).is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! Robustness: the lexer/parser must never panic — any byte soup either
+//! parses or returns a structured error.
+
+use proptest::prelude::*;
+use yinyang_smtlib::{parse_script, parse_term, tokenize};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn tokenizer_never_panics(input in ".{0,200}") {
+        let _ = tokenize(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(input in ".{0,200}") {
+        let _ = parse_script(&input);
+        let _ = parse_term(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_sexpr_soup(
+        input in r#"[()a-z0-9:"|;.\-+*= ]{0,160}"#,
+    ) {
+        let _ = parse_script(&input);
+    }
+
+    #[test]
+    fn parse_of_printed_script_is_total(
+        names in proptest::collection::vec("[a-z][a-z0-9]{0,5}", 1..4),
+        vals in proptest::collection::vec(-100i64..100, 1..4),
+    ) {
+        // Scripts we print always reparse.
+        let mut script = yinyang_smtlib::Script::new();
+        for (n, v) in names.iter().zip(&vals) {
+            script.declare_var(n.as_str(), yinyang_smtlib::Sort::Int);
+            script.assert_term(yinyang_smtlib::Term::eq(
+                yinyang_smtlib::Term::var(n.as_str()),
+                yinyang_smtlib::Term::int(*v),
+            ));
+        }
+        let text = script.to_string();
+        prop_assert!(parse_script(&text).is_ok(), "failed to reparse: {text}");
+    }
+}
+
+#[test]
+fn deeply_nested_input_is_handled() {
+    // 300 levels of nesting: must error or parse without stack overflow.
+    let deep = format!("{}x{}", "(not ".repeat(300), ")".repeat(300));
+    let _ = parse_term(&deep);
+    let unbalanced = "(".repeat(500);
+    assert!(parse_script(&unbalanced).is_err());
+}
+
+#[test]
+fn pathological_strings() {
+    for s in [
+        "\"",
+        "\"\"\"",
+        "(assert \"",
+        "|",
+        "(assert (= x 1.))",
+        "(assert (= x .5))",
+        "(assert ())",
+        "(check-sat",
+        ")",
+    ] {
+        let _ = parse_script(s); // must not panic
+    }
+}

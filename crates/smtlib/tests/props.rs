@@ -1,0 +1,146 @@
+//! Property tests for the SMT-LIB front end: print∘parse is the identity
+//! on ASTs, substitution respects occurrence counts, and evaluation is
+//! deterministic.
+
+use proptest::prelude::*;
+use yinyang_smtlib::subst::{substitute_free, substitute_occurrences};
+use yinyang_smtlib::{parse_term, Model, Op, Symbol, Term, Value};
+use yinyang_arith::{BigInt, BigRational};
+
+/// A strategy for arbitrary well-formed *Int-sorted* terms over variables
+/// x, y and an arbitrary boolean structure above them.
+fn int_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        (-50i64..50).prop_map(Term::int),
+        Just(Term::var("x")),
+        Just(Term::var("y")),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Term::add(vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Term::sub(a, b)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Term::mul(vec![a, b])),
+            inner.clone().prop_map(Term::neg),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Term::imod(a, b)),
+        ]
+    })
+}
+
+fn bool_term() -> impl Strategy<Value = Term> {
+    let atom = prop_oneof![
+        (int_term(), int_term()).prop_map(|(a, b)| Term::le(a, b)),
+        (int_term(), int_term()).prop_map(|(a, b)| Term::lt(a, b)),
+        (int_term(), int_term()).prop_map(|(a, b)| Term::eq(a, b)),
+        Just(Term::tru()),
+        Just(Term::fals()),
+    ];
+    atom.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Term::and(vec![a, b])),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Term::or(vec![a, b])),
+            inner.clone().prop_map(Term::not),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, e)| Term::ite(c, t, e)),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn print_parse_roundtrip_int(t in int_term()) {
+        let text = t.to_string();
+        let parsed = parse_term(&text).unwrap_or_else(|e| panic!("{e}: {text}"));
+        prop_assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn print_parse_roundtrip_bool(t in bool_term()) {
+        let text = t.to_string();
+        let parsed = parse_term(&text).unwrap_or_else(|e| panic!("{e}: {text}"));
+        prop_assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn substitution_removes_all_occurrences(t in int_term()) {
+        let x = Symbol::new("x");
+        let out = substitute_free(&t, &x, &Term::int(7));
+        prop_assert_eq!(out.count_free_occurrences(&x), 0);
+    }
+
+    #[test]
+    fn partial_substitution_counts(t in int_term(), mask in any::<u64>()) {
+        let x = Symbol::new("x");
+        let n = t.count_free_occurrences(&x);
+        let mut replaced = 0usize;
+        let out = substitute_occurrences(&t, &x, &Term::int(3), &mut |i| {
+            let hit = (mask >> (i % 64)) & 1 == 1;
+            replaced += usize::from(hit);
+            hit
+        });
+        prop_assert_eq!(out.count_free_occurrences(&x), n - replaced);
+    }
+
+    #[test]
+    fn eval_deterministic_and_total_on_nonzero_mod(
+        t in int_term(), xv in -20i64..20, yv in 1i64..20,
+    ) {
+        let mut m = Model::new();
+        m.set("x", Value::Int(BigInt::from(xv)));
+        m.set("y", Value::Int(BigInt::from(yv)));
+        // mod by zero can occur (constants 0 in the term) — only require
+        // determinism, not success.
+        let a = m.eval(&t);
+        let b = m.eval(&t);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn eval_matches_i128_semantics(xv in -9i64..9, yv in -9i64..9, k in -9i64..9) {
+        // (+ (* x y) k) evaluated exactly.
+        let t = Term::add(vec![
+            Term::mul(vec![Term::var("x"), Term::var("y")]),
+            Term::int(k),
+        ]);
+        let mut m = Model::new();
+        m.set("x", Value::Int(BigInt::from(xv)));
+        m.set("y", Value::Int(BigInt::from(yv)));
+        prop_assert_eq!(
+            m.eval(&t).unwrap(),
+            Value::Int(BigInt::from(xv * yv + k))
+        );
+    }
+
+    #[test]
+    fn simplify_agnostic_printing(num in -30i64..30, den in 1i64..30) {
+        // Real constants always roundtrip regardless of denominator shape.
+        let t = Term::real(BigRational::new(num.into(), den.into()));
+        let parsed = parse_term(&t.to_string()).unwrap();
+        prop_assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn string_literals_roundtrip(s in "[a-z\"0-9 ]{0,12}") {
+        let t = Term::str_lit(s.clone());
+        let parsed = parse_term(&t.to_string()).unwrap();
+        prop_assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn flattened_ops_admit_any_arity(n in 2usize..6) {
+        let args: Vec<Term> = (0..n as i64).map(Term::int).collect();
+        for op in [Op::Add, Op::Mul, Op::And, Op::Or] {
+            let args = if matches!(op, Op::And | Op::Or) {
+                (0..n).map(|i| Term::bool(i % 2 == 0)).collect()
+            } else {
+                args.clone()
+            };
+            let t = Term::app(op, args);
+            let parsed = parse_term(&t.to_string()).unwrap();
+            prop_assert_eq!(parsed, t);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests for the derivative-based regex engine: agreement with a
+//! naive exponential reference matcher on random regexes and strings.
+
+use proptest::prelude::*;
+use std::rc::Rc;
+use yinyang_smtlib::Regex;
+
+/// Naive reference: does `re` match `s`? Exponential backtracking over
+/// split points — obviously correct, only usable on small inputs.
+fn reference_matches(re: &Regex, s: &[char]) -> bool {
+    match re {
+        Regex::None => false,
+        Regex::All => true,
+        Regex::AllChar => s.len() == 1,
+        Regex::Lit(lit) => {
+            let lit: Vec<char> = lit.chars().collect();
+            s == lit.as_slice()
+        }
+        Regex::Range(lo, hi) => s.len() == 1 && *lo <= s[0] && s[0] <= *hi,
+        Regex::Concat(parts) => match parts.split_first() {
+            None => s.is_empty(),
+            Some((first, rest)) => {
+                let rest_re = Regex::Concat(rest.to_vec());
+                (0..=s.len()).any(|k| {
+                    reference_matches(first, &s[..k])
+                        && reference_matches(&rest_re, &s[k..])
+                })
+            }
+        },
+        Regex::Union(parts) => parts.iter().any(|p| reference_matches(p, s)),
+        Regex::Inter(parts) => parts.iter().all(|p| reference_matches(p, s)),
+        Regex::Star(inner) => {
+            if s.is_empty() {
+                return true;
+            }
+            // Try a non-empty first chunk to guarantee progress.
+            (1..=s.len()).any(|k| {
+                reference_matches(inner, &s[..k]) && reference_matches(re, &s[k..])
+            })
+        }
+        Regex::Plus(inner) => {
+            if s.is_empty() {
+                // (ε-containing)+ matches the empty string.
+                return reference_matches(inner, s);
+            }
+            (1..=s.len()).any(|k| {
+                reference_matches(inner, &s[..k])
+                    && reference_matches(&Regex::Star(inner.clone()), &s[k..])
+            })
+        }
+        Regex::Opt(inner) => s.is_empty() || reference_matches(inner, s),
+    }
+}
+
+/// Strategy for small regexes over {a, b}.
+fn small_regex() -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        Just(Regex::None),
+        Just(Regex::AllChar),
+        "[ab]{0,2}".prop_map(Regex::Lit),
+        Just(Regex::Range('a', 'b')),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| {
+                Regex::Concat(vec![Rc::new(a), Rc::new(b)])
+            }),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| {
+                Regex::Union(vec![Rc::new(a), Rc::new(b)])
+            }),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| {
+                Regex::Inter(vec![Rc::new(a), Rc::new(b)])
+            }),
+            inner.clone().prop_map(|a| Regex::Star(Rc::new(a))),
+            inner.clone().prop_map(|a| Regex::Plus(Rc::new(a))),
+            inner.clone().prop_map(|a| Regex::Opt(Rc::new(a))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn derivatives_agree_with_reference(re in small_regex(), s in "[ab]{0,6}") {
+        let chars: Vec<char> = s.chars().collect();
+        prop_assert_eq!(
+            re.matches(&s),
+            reference_matches(&re, &chars),
+            "disagreement on {} vs {:?}",
+            s,
+            re
+        );
+    }
+
+    #[test]
+    fn nullable_iff_matches_empty(re in small_regex()) {
+        prop_assert_eq!(re.nullable(), re.matches(""));
+    }
+
+    #[test]
+    fn derivative_characterization(re in small_regex(), s in "[ab]{1,5}") {
+        // matches(c·w) == derivative(c).matches(w)
+        let mut chars = s.chars();
+        let c = chars.next().expect("non-empty");
+        let rest: String = chars.collect();
+        prop_assert_eq!(re.matches(&s), re.derivative(c).matches(&rest));
+    }
+
+    #[test]
+    fn first_chars_is_sound(re in small_regex(), s in "[ab]{1,5}") {
+        // If the regex matches s, then s's first char is in first_chars()
+        // (when that set is finite).
+        if re.matches(&s) {
+            if let Some(first) = re.first_chars() {
+                let c = s.chars().next().expect("non-empty");
+                prop_assert!(
+                    first.contains(&c),
+                    "{c} missing from first_chars of {re:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn alphabet_covers_matches(re in small_regex(), s in "[ab]{1,4}") {
+        // Every matched string only uses characters from alphabet() —
+        // except AllChar/All which report None.
+        if re.matches(&s) {
+            if let Some(alpha) = re.alphabet() {
+                for c in s.chars() {
+                    prop_assert!(alpha.contains(&c), "{c} outside alphabet of {re:?}");
+                }
+            }
+        }
+    }
+}

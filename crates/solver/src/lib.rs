@@ -1,0 +1,44 @@
+//! A from-scratch DPLL(T)-style SMT solver — the workspace's substitute for
+//! the Z3/CVC4 binaries the paper tests.
+//!
+//! Components:
+//!
+//! * [`rewrite`] — the simplifier (constant folding, flattening, neutral
+//!   elements, quantifier rules);
+//! * [`sat`] — a CDCL SAT solver for the boolean skeleton;
+//! * [`simplex`] — exact linear arithmetic with delta-rationals and
+//!   branch-and-bound;
+//! * [`linear`] — linearization with opaque nonlinear columns;
+//! * [`interval`] — interval arithmetic for nonlinear refutation;
+//! * `strings` — length abstraction + bounded search for the string theory;
+//! * [`theory`] — the combined conjunction checker;
+//! * [`smt`] — the lazy-SMT top level, [`SmtSolver`].
+//!
+//! The solver is instrumented with `yinyang-coverage` probes so the paper's
+//! coverage experiments (RQ3/RQ4) can be reproduced.
+//!
+//! # Examples
+//!
+//! ```
+//! use yinyang_solver::{SatResult, SmtSolver};
+//!
+//! let out = SmtSolver::new()
+//!     .solve_str("(declare-fun x () Int) (assert (< x 0)) (check-sat)")?;
+//! assert_eq!(out.result, SatResult::Sat);
+//! # Ok::<(), yinyang_smtlib::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod interval;
+pub mod linear;
+pub mod rewrite;
+pub mod sat;
+pub mod simplex;
+pub mod smt;
+mod strings;
+pub mod theory;
+
+pub use rewrite::simplify;
+pub use smt::{replace_term, SatResult, SmtSolver, SolveOutput, SolverConfig};
+pub use theory::{TheoryBudget, TheoryLit, TheoryVerdict};

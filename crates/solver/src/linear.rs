@@ -1,0 +1,377 @@
+//! Linearization of arithmetic terms into [`LinExpr`]s.
+//!
+//! Nonlinear subterms (variable products, divisions by non-constants,
+//! `str.len` of a variable, ...) are treated as *opaque atoms*: each distinct
+//! opaque term gets its own column in the simplex tableau, and the nonlinear
+//! checker reconciles their definitions afterwards (interval refutation or
+//! model search).
+
+use crate::simplex::{Cmp, LinConstraint, LinExpr};
+use std::collections::{BTreeSet, HashMap};
+use yinyang_arith::{BigInt, BigRational};
+use yinyang_smtlib::{sort_of, Op, Sort, SortEnv, Term, TermKind};
+
+/// Maps terms to simplex column indices.
+#[derive(Debug, Default)]
+pub struct TermIndex {
+    map: HashMap<Term, usize>,
+    terms: Vec<Term>,
+    int_vars: BTreeSet<usize>,
+    /// Opaque (nonlinear/uninterpreted-for-simplex) term columns.
+    opaque: BTreeSet<usize>,
+    /// Side constraints accumulated during linearization (e.g. the
+    /// `a = k·q + r ∧ 0 ≤ r < |k|` expansion of constant `div`/`mod`).
+    pub side_constraints: Vec<LinConstraint>,
+}
+
+impl TermIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        TermIndex::default()
+    }
+
+    /// The column for `term`, allocating one if needed. `is_int` marks the
+    /// column integral; `opaque` marks it nonlinear.
+    pub fn column(&mut self, term: &Term, is_int: bool, opaque: bool) -> usize {
+        if let Some(&i) = self.map.get(term) {
+            return i;
+        }
+        let i = self.terms.len();
+        self.map.insert(term.clone(), i);
+        self.terms.push(term.clone());
+        if is_int {
+            self.int_vars.insert(i);
+        }
+        if opaque {
+            self.opaque.insert(i);
+        }
+        i
+    }
+
+    /// Allocates an anonymous auxiliary column (for `div`/`mod` expansion).
+    pub fn fresh_aux(&mut self, is_int: bool) -> usize {
+        // Auxiliary columns use a synthetic key that cannot collide with a
+        // parsed term: a variable with an illegal name.
+        let t = Term::var(format!("!aux{}", self.terms.len()));
+        self.column(&t, is_int, false)
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// The integral columns.
+    pub fn int_vars(&self) -> &BTreeSet<usize> {
+        &self.int_vars
+    }
+
+    /// The opaque columns with their terms.
+    pub fn opaque_terms(&self) -> Vec<(usize, Term)> {
+        self.opaque.iter().map(|&i| (i, self.terms[i].clone())).collect()
+    }
+
+    /// The term of column `i`.
+    pub fn term_of(&self, i: usize) -> &Term {
+        &self.terms[i]
+    }
+
+    /// Looks up an existing column.
+    pub fn lookup(&self, term: &Term) -> Option<usize> {
+        self.map.get(term).copied()
+    }
+}
+
+/// Is this term's sort `Int` in the environment? Falls back to `false`
+/// (treat as real) when the sort cannot be computed.
+fn is_int_term(term: &Term, env: &SortEnv) -> bool {
+    sort_of(term, env).map(|s| s == Sort::Int) == Ok(true)
+}
+
+/// Linearizes an arithmetic term into a [`LinExpr`] over `idx` columns.
+///
+/// Any subterm the linear fragment cannot express becomes an opaque column.
+pub fn linearize(term: &Term, env: &SortEnv, idx: &mut TermIndex) -> LinExpr {
+    match term.kind() {
+        TermKind::IntConst(v) => LinExpr::constant(BigRational::from_int(v.clone())),
+        TermKind::RealConst(v) => LinExpr::constant(v.clone()),
+        TermKind::Var(_) => {
+            let is_int = is_int_term(term, env);
+            LinExpr::var(idx.column(term, is_int, false))
+        }
+        TermKind::App(op, args) => match op {
+            Op::Add => {
+                let mut out = LinExpr::zero();
+                for a in args {
+                    out.add_scaled(&linearize(a, env, idx), &BigRational::one());
+                }
+                out
+            }
+            Op::Sub => {
+                let mut out = linearize(&args[0], env, idx);
+                for a in &args[1..] {
+                    out.add_scaled(&linearize(a, env, idx), &-BigRational::one());
+                }
+                out
+            }
+            Op::Neg => {
+                let mut out = linearize(&args[0], env, idx);
+                out.scale(&-BigRational::one());
+                out
+            }
+            Op::ToReal => linearize(&args[0], env, idx),
+            Op::Mul => {
+                // Split into constant factor and non-constant factors.
+                let mut konst = BigRational::one();
+                let mut rest: Vec<&Term> = Vec::new();
+                for a in args {
+                    match a.kind() {
+                        TermKind::IntConst(v) => {
+                            konst = &konst * &BigRational::from_int(v.clone())
+                        }
+                        TermKind::RealConst(v) => konst = &konst * v,
+                        _ => rest.push(a),
+                    }
+                }
+                match rest.len() {
+                    0 => LinExpr::constant(konst),
+                    1 => {
+                        let mut e = linearize(rest[0], env, idx);
+                        e.scale(&konst);
+                        e
+                    }
+                    _ => {
+                        // A true nonlinear monomial: opaque.
+                        let is_int = is_int_term(term, env);
+                        let mut e = LinExpr::var(idx.column(term, is_int, true));
+                        e.scale(&konst);
+                        e
+                    }
+                }
+            }
+            Op::RealDiv => {
+                // (/ a k) with constant non-zero k is linear.
+                let all_const_divisors = args[1..].iter().all(|a| {
+                    matches!(a.kind(), TermKind::RealConst(v) if !v.is_zero())
+                        || matches!(a.kind(), TermKind::IntConst(v) if !v.is_zero())
+                });
+                if all_const_divisors {
+                    let mut e = linearize(&args[0], env, idx);
+                    for a in &args[1..] {
+                        let k = match a.kind() {
+                            TermKind::RealConst(v) => v.clone(),
+                            TermKind::IntConst(v) => BigRational::from_int(v.clone()),
+                            _ => unreachable!("checked constant"),
+                        };
+                        e.scale(&k.recip());
+                    }
+                    e
+                } else {
+                    LinExpr::var(idx.column(term, false, true))
+                }
+            }
+            Op::IntDiv | Op::Mod if args.len() == 2 => {
+                // Constant non-zero divisor: expand exactly.
+                if let TermKind::IntConst(k) = args[1].kind() {
+                    if !k.is_zero() {
+                        let a = linearize(&args[0], env, idx);
+                        let q = idx.fresh_aux(true);
+                        let r = idx.fresh_aux(true);
+                        // a = k·q + r
+                        let mut def = a;
+                        def.add_term(q, &-BigRational::from_int(k.clone()));
+                        def.add_term(r, &-BigRational::one());
+                        idx.side_constraints.push(LinConstraint { expr: def, cmp: Cmp::Eq });
+                        // 0 ≤ r ≤ |k| − 1
+                        idx.side_constraints.push(LinConstraint {
+                            expr: LinExpr::var(r),
+                            cmp: Cmp::Ge,
+                        });
+                        let mut ub = LinExpr::var(r);
+                        ub.constant = BigRational::from_int(&BigInt::one() - &k.abs());
+                        idx.side_constraints.push(LinConstraint { expr: ub, cmp: Cmp::Le });
+                        return if *op == Op::IntDiv {
+                            LinExpr::var(q)
+                        } else {
+                            LinExpr::var(r)
+                        };
+                    }
+                }
+                LinExpr::var(idx.column(term, true, true))
+            }
+            _ => {
+                // Everything else is opaque: abs, to_int, str.len, ite, ...
+                let is_int = is_int_term(term, env);
+                LinExpr::var(idx.column(term, is_int, true))
+            }
+        },
+        _ => {
+            let is_int = is_int_term(term, env);
+            LinExpr::var(idx.column(term, is_int, true))
+        }
+    }
+}
+
+/// Converts a comparison atom into a [`LinConstraint`]. Only binary
+/// comparisons are supported (chains are binarized during preprocessing).
+/// Returns `None` for non-arithmetic atoms.
+pub fn atom_to_constraint(
+    atom: &Term,
+    positive: bool,
+    env: &SortEnv,
+    idx: &mut TermIndex,
+) -> Option<LinConstraint> {
+    let TermKind::App(op, args) = atom.kind() else { return None };
+    if args.len() != 2 {
+        return None;
+    }
+    let cmp = match (op, positive) {
+        (Op::Le, true) => Cmp::Le,
+        (Op::Le, false) => Cmp::Gt,
+        (Op::Lt, true) => Cmp::Lt,
+        (Op::Lt, false) => Cmp::Ge,
+        (Op::Ge, true) => Cmp::Ge,
+        (Op::Ge, false) => Cmp::Lt,
+        (Op::Gt, true) => Cmp::Gt,
+        (Op::Gt, false) => Cmp::Le,
+        (Op::Eq, true) => {
+            // Only arithmetic equalities.
+            let s = sort_of(&args[0], env).ok()?;
+            if !s.is_arith() {
+                return None;
+            }
+            Cmp::Eq
+        }
+        (Op::Eq, false) => return None, // disequalities are split upstream
+        _ => return None,
+    };
+    let mut e = linearize(&args[0], env, idx);
+    e.add_scaled(&linearize(&args[1], env, idx), &-BigRational::one());
+    Some(LinConstraint { expr: e, cmp })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yinyang_smtlib::{parse_term, Symbol};
+
+    fn env(pairs: &[(&str, Sort)]) -> SortEnv {
+        pairs.iter().map(|(n, s)| (Symbol::new(*n), *s)).collect()
+    }
+
+    #[test]
+    fn linear_combination() {
+        let e = env(&[("x", Sort::Int), ("y", Sort::Int)]);
+        let mut idx = TermIndex::new();
+        let t = parse_term("(+ (* 2 x) (- y) 7)").unwrap();
+        let le = linearize(&t, &e, &mut idx);
+        assert_eq!(le.constant, BigRational::from(7));
+        assert_eq!(idx.num_columns(), 2);
+        assert!(idx.opaque_terms().is_empty());
+        assert_eq!(idx.int_vars().len(), 2);
+    }
+
+    #[test]
+    fn nonlinear_product_is_opaque() {
+        let e = env(&[("x", Sort::Int), ("y", Sort::Int)]);
+        let mut idx = TermIndex::new();
+        let t = parse_term("(+ (* x y) 1)").unwrap();
+        let le = linearize(&t, &e, &mut idx);
+        assert_eq!(le.coeffs.len(), 1);
+        assert_eq!(idx.opaque_terms().len(), 1);
+        assert_eq!(idx.opaque_terms()[0].1.to_string(), "(* x y)");
+    }
+
+    #[test]
+    fn constant_coefficient_product_is_linear() {
+        let e = env(&[("x", Sort::Real)]);
+        let mut idx = TermIndex::new();
+        let t = parse_term("(* 3.0 x 2.0)").unwrap();
+        let le = linearize(&t, &e, &mut idx);
+        assert!(idx.opaque_terms().is_empty());
+        let col = idx.lookup(&parse_term("x").unwrap()).unwrap();
+        assert_eq!(le.coeffs[&col], BigRational::from(6));
+    }
+
+    #[test]
+    fn division_by_constant_is_linear() {
+        let e = env(&[("x", Sort::Real)]);
+        let mut idx = TermIndex::new();
+        let t = parse_term("(/ x 4.0)").unwrap();
+        let le = linearize(&t, &e, &mut idx);
+        assert!(idx.opaque_terms().is_empty());
+        let col = idx.lookup(&parse_term("x").unwrap()).unwrap();
+        assert_eq!(le.coeffs[&col], BigRational::new(1.into(), 4.into()));
+    }
+
+    #[test]
+    fn division_by_variable_is_opaque() {
+        let e = env(&[("w", Sort::Real), ("v", Sort::Real)]);
+        let mut idx = TermIndex::new();
+        let t = parse_term("(/ w v)").unwrap();
+        linearize(&t, &e, &mut idx);
+        assert_eq!(idx.opaque_terms().len(), 1);
+    }
+
+    #[test]
+    fn constant_int_div_expands_exactly() {
+        let e = env(&[("a", Sort::Int)]);
+        let mut idx = TermIndex::new();
+        let t = parse_term("(div a 3)").unwrap();
+        let le = linearize(&t, &e, &mut idx);
+        assert_eq!(le.coeffs.len(), 1, "result is the quotient aux var");
+        assert!(idx.opaque_terms().is_empty());
+        assert_eq!(idx.side_constraints.len(), 3, "definition + two bounds on r");
+    }
+
+    #[test]
+    fn div_by_zero_is_opaque() {
+        let e = env(&[("a", Sort::Int)]);
+        let mut idx = TermIndex::new();
+        let t = parse_term("(div a 0)").unwrap();
+        linearize(&t, &e, &mut idx);
+        assert_eq!(idx.opaque_terms().len(), 1);
+        assert!(idx.side_constraints.is_empty());
+    }
+
+    #[test]
+    fn strlen_is_opaque_int() {
+        let e = env(&[("s", Sort::String)]);
+        let mut idx = TermIndex::new();
+        let t = parse_term("(str.len s)").unwrap();
+        linearize(&t, &e, &mut idx);
+        let ops = idx.opaque_terms();
+        assert_eq!(ops.len(), 1);
+        assert!(idx.int_vars().contains(&ops[0].0));
+    }
+
+    #[test]
+    fn atom_conversion_polarity() {
+        let e = env(&[("x", Sort::Int)]);
+        let mut idx = TermIndex::new();
+        let atom = parse_term("(<= x 5)").unwrap();
+        let pos = atom_to_constraint(&atom, true, &e, &mut idx).unwrap();
+        assert_eq!(pos.cmp, Cmp::Le);
+        let neg = atom_to_constraint(&atom, false, &e, &mut idx).unwrap();
+        assert_eq!(neg.cmp, Cmp::Gt);
+    }
+
+    #[test]
+    fn string_equality_is_not_arith() {
+        let e = env(&[("s", Sort::String), ("t", Sort::String)]);
+        let mut idx = TermIndex::new();
+        let atom = parse_term("(= s t)").unwrap();
+        assert!(atom_to_constraint(&atom, true, &e, &mut idx).is_none());
+    }
+
+    #[test]
+    fn shared_subterms_share_columns() {
+        let e = env(&[("x", Sort::Int), ("y", Sort::Int)]);
+        let mut idx = TermIndex::new();
+        let t1 = parse_term("(* x y)").unwrap();
+        let t2 = parse_term("(+ (* x y) 1)").unwrap();
+        linearize(&t1, &e, &mut idx);
+        linearize(&t2, &e, &mut idx);
+        assert_eq!(idx.opaque_terms().len(), 1, "same monomial, same column");
+    }
+}

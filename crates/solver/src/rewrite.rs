@@ -1,0 +1,577 @@
+//! Term simplification: the solver's rewriter.
+//!
+//! This is the component whose real-world counterparts produced many of the
+//! paper's bugs (e.g. Fig. 13d's unsound CVC4 simplification and Fig. 13f's
+//! Z3 crash in the `<=`/`>=` rewriting strategy). Our rules:
+//!
+//! * constant folding via the exact evaluator (division by zero is left
+//!   unfolded — it is underspecified in SMT-LIB);
+//! * flattening of nested `and`/`or`/`+`/`*`/`str.++`;
+//! * neutral/absorbing element removal (the paper's pretty-printer rules);
+//! * boolean simplifications (`not not`, `ite` with constant condition,
+//!   reflexive comparisons);
+//! * `let` expansion (parallel semantics, capture-avoiding);
+//! * quantifier rules: unused-binder dropping, constant bodies, and the
+//!   one-point rule.
+
+use std::collections::BTreeSet;
+use yinyang_coverage::probe_line;
+use yinyang_smtlib::subst::{fresh_name, substitute_free};
+use yinyang_smtlib::{Model, Op, Quantifier, Symbol, Term, TermKind};
+
+/// Maximum bottom-up passes before we accept the current form.
+const MAX_PASSES: usize = 8;
+
+/// Simplifies a term to a fixpoint (bounded number of passes).
+///
+/// # Examples
+///
+/// ```
+/// use yinyang_smtlib::parse_term;
+/// use yinyang_solver::simplify;
+///
+/// let t = parse_term("(and true (not (not (> x 0))) (or false (> x 0)))")?;
+/// assert_eq!(simplify(&t).to_string(), "(> x 0)");
+/// # Ok::<(), yinyang_smtlib::ParseError>(())
+/// ```
+pub fn simplify(term: &Term) -> Term {
+    let mut current = term.clone();
+    for pass in 0..MAX_PASSES {
+        let next = simplify_once(&current);
+        if next == current {
+            yinyang_coverage::probe_branch!("rewrite::multiple_passes", pass > 1);
+            return next;
+        }
+        current = next;
+    }
+    current
+}
+
+fn simplify_once(term: &Term) -> Term {
+    match term.kind() {
+        TermKind::App(op, args) => {
+            let args: Vec<Term> = args.iter().map(|a| simplify_once(a)).collect();
+            rewrite_app(*op, args)
+        }
+        TermKind::Let(bindings, body) => {
+            probe_line!("rewrite::let_expansion");
+            let bindings: Vec<(Symbol, Term)> = bindings
+                .iter()
+                .map(|(s, t)| (s.clone(), simplify_once(t)))
+                .collect();
+            expand_let(&bindings, body)
+        }
+        TermKind::Quant(q, bindings, body) => {
+            let body = simplify_once(body);
+            rewrite_quant(*q, bindings.clone(), body)
+        }
+        _ => term.clone(),
+    }
+}
+
+/// Expands a parallel `let` by capture-avoiding simultaneous substitution.
+fn expand_let(bindings: &[(Symbol, Term)], body: &Term) -> Term {
+    // Rename binders to fresh names that occur nowhere in the values or the
+    // body, then substitute sequentially (safe because the fresh names are
+    // disjoint from every value's free variables).
+    let mut avoid: BTreeSet<Symbol> = body.free_vars();
+    for (s, t) in bindings {
+        avoid.insert(s.clone());
+        avoid.extend(t.free_vars());
+    }
+    let mut renamed_body = body.clone();
+    let mut fresh_pairs = Vec::with_capacity(bindings.len());
+    for (s, t) in bindings {
+        let fresh = fresh_name(&format!("{s}!let"), &avoid);
+        avoid.insert(fresh.clone());
+        renamed_body = substitute_free(&renamed_body, s, &Term::var(fresh.clone()));
+        fresh_pairs.push((fresh, t.clone()));
+    }
+    let mut out = renamed_body;
+    for (fresh, value) in fresh_pairs {
+        out = substitute_free(&out, &fresh, &value);
+    }
+    simplify_once(&out)
+}
+
+fn is_const(t: &Term) -> bool {
+    matches!(
+        t.kind(),
+        TermKind::BoolConst(_)
+            | TermKind::IntConst(_)
+            | TermKind::RealConst(_)
+            | TermKind::StringConst(_)
+    )
+}
+
+/// Attempts constant folding of an application whose arguments are all
+/// constants. Division by zero and regex operators are left as-is.
+fn try_fold(op: Op, args: &[Term]) -> Option<Term> {
+    if matches!(
+        op,
+        Op::ReNone
+            | Op::ReAll
+            | Op::ReAllChar
+            | Op::ReConcat
+            | Op::ReUnion
+            | Op::ReInter
+            | Op::ReStar
+            | Op::RePlus
+            | Op::ReOpt
+            | Op::ReRange
+            | Op::StrToRe
+    ) {
+        return None;
+    }
+    if !args.iter().all(is_const) {
+        return None;
+    }
+    let t = Term::app(op, args.to_vec());
+    let empty = Model::new();
+    match empty.eval(&t) {
+        Ok(v) => {
+            probe_line!("rewrite::constant_fold");
+            Some(v.to_term())
+        }
+        Err(_) => None,
+    }
+}
+
+fn rewrite_app(op: Op, args: Vec<Term>) -> Term {
+    if let Some(folded) = try_fold(op, &args) {
+        return folded;
+    }
+    match op {
+        Op::Not => {
+            let a = &args[0];
+            match a.kind() {
+                TermKind::BoolConst(b) => Term::bool(!b),
+                TermKind::App(Op::Not, inner) => {
+                    probe_line!("rewrite::double_negation");
+                    inner[0].clone()
+                }
+                _ => Term::app(Op::Not, args),
+            }
+        }
+        Op::And => {
+            probe_line!("rewrite::and");
+            let mut out = Vec::new();
+            for a in args {
+                match a.kind() {
+                    TermKind::BoolConst(true) => {}
+                    TermKind::BoolConst(false) => return Term::fals(),
+                    TermKind::App(Op::And, inner) => out.extend(inner.iter().cloned()),
+                    _ => out.push(a),
+                }
+            }
+            dedup_keeping_order(&mut out);
+            Term::and(out)
+        }
+        Op::Or => {
+            probe_line!("rewrite::or");
+            let mut out = Vec::new();
+            for a in args {
+                match a.kind() {
+                    TermKind::BoolConst(false) => {}
+                    TermKind::BoolConst(true) => return Term::tru(),
+                    TermKind::App(Op::Or, inner) => out.extend(inner.iter().cloned()),
+                    _ => out.push(a),
+                }
+            }
+            dedup_keeping_order(&mut out);
+            Term::or(out)
+        }
+        Op::Implies => {
+            // (=> a b) with constant pieces.
+            if args.len() == 2 {
+                match (args[0].kind(), args[1].kind()) {
+                    (TermKind::BoolConst(false), _) | (_, TermKind::BoolConst(true)) => {
+                        return Term::tru()
+                    }
+                    (TermKind::BoolConst(true), _) => return args[1].clone(),
+                    (_, TermKind::BoolConst(false)) => {
+                        return rewrite_app(Op::Not, vec![args[0].clone()])
+                    }
+                    _ => {}
+                }
+            }
+            Term::app(Op::Implies, args)
+        }
+        Op::Ite => {
+            match args[0].kind() {
+                TermKind::BoolConst(true) => return args[1].clone(),
+                TermKind::BoolConst(false) => return args[2].clone(),
+                _ => {}
+            }
+            if args[1] == args[2] {
+                probe_line!("rewrite::ite_same_branches");
+                return args[1].clone();
+            }
+            Term::app(Op::Ite, args)
+        }
+        Op::Eq => {
+            if args.len() == 2 && args[0] == args[1] {
+                probe_line!("rewrite::reflexive_eq");
+                return Term::tru();
+            }
+            Term::app(Op::Eq, args)
+        }
+        Op::Distinct => {
+            if args.len() == 2 && args[0] == args[1] {
+                return Term::fals();
+            }
+            Term::app(Op::Distinct, args)
+        }
+        Op::Le | Op::Ge => {
+            if args.len() == 2 && args[0] == args[1] {
+                probe_line!("rewrite::reflexive_cmp");
+                return Term::tru();
+            }
+            Term::app(op, args)
+        }
+        Op::Lt | Op::Gt => {
+            if args.len() == 2 && args[0] == args[1] {
+                return Term::fals();
+            }
+            Term::app(op, args)
+        }
+        Op::Add => {
+            probe_line!("rewrite::add");
+            let mut out = Vec::new();
+            for a in args {
+                match a.kind() {
+                    TermKind::IntConst(v) if v.is_zero() => {}
+                    TermKind::RealConst(v) if v.is_zero() => {}
+                    TermKind::App(Op::Add, inner) => out.extend(inner.iter().cloned()),
+                    _ => out.push(a),
+                }
+            }
+            match out.len() {
+                0 => Term::int(0),
+                1 => out.pop().expect("len checked"),
+                _ => Term::app(Op::Add, out),
+            }
+        }
+        Op::Mul => {
+            probe_line!("rewrite::mul");
+            let mut out = Vec::new();
+            for a in args {
+                match a.kind() {
+                    TermKind::IntConst(v) if v == &1i64.into() => {}
+                    TermKind::RealConst(v) if v == &yinyang_arith::BigRational::one() => {}
+                    TermKind::IntConst(v) if v.is_zero() => return Term::int(0),
+                    TermKind::RealConst(v) if v.is_zero() => return a.clone(),
+                    TermKind::App(Op::Mul, inner) => out.extend(inner.iter().cloned()),
+                    _ => out.push(a),
+                }
+            }
+            match out.len() {
+                0 => Term::int(1),
+                1 => out.pop().expect("len checked"),
+                _ => Term::app(Op::Mul, out),
+            }
+        }
+        Op::Sub => {
+            // (- t 0) → t
+            if args.len() == 2 {
+                let zero = match args[1].kind() {
+                    TermKind::IntConst(v) => v.is_zero(),
+                    TermKind::RealConst(v) => v.is_zero(),
+                    _ => false,
+                };
+                if zero {
+                    return args[0].clone();
+                }
+                if args[0] == args[1] {
+                    return Term::int(0);
+                }
+            }
+            Term::app(Op::Sub, args)
+        }
+        Op::StrConcat => {
+            probe_line!("rewrite::str_concat");
+            let mut out: Vec<Term> = Vec::new();
+            for a in args {
+                match a.kind() {
+                    TermKind::StringConst(s) if s.is_empty() => {}
+                    TermKind::App(Op::StrConcat, inner) => out.extend(inner.iter().cloned()),
+                    TermKind::StringConst(s) => {
+                        // Merge adjacent literals.
+                        if let Some(prev) = out.last_mut() {
+                            if let TermKind::StringConst(p) = prev.kind() {
+                                let merged = format!("{p}{s}");
+                                *prev = Term::str_lit(merged);
+                                continue;
+                            }
+                        }
+                        out.push(a);
+                    }
+                    _ => out.push(a),
+                }
+            }
+            match out.len() {
+                0 => Term::str_lit(""),
+                1 => out.pop().expect("len checked"),
+                _ => Term::app(Op::StrConcat, out),
+            }
+        }
+        _ => Term::app(op, args),
+    }
+}
+
+fn dedup_keeping_order(items: &mut Vec<Term>) {
+    let mut seen = Vec::new();
+    items.retain(|t| {
+        if seen.contains(t) {
+            false
+        } else {
+            seen.push(t.clone());
+            true
+        }
+    });
+}
+
+fn rewrite_quant(q: Quantifier, bindings: Vec<(Symbol, Sym2Sort)>, body: Term) -> Term {
+    // Constant body: the binder is irrelevant (domains are non-empty).
+    if matches!(body.kind(), TermKind::BoolConst(_)) {
+        probe_line!("rewrite::quant_const_body");
+        return body;
+    }
+    // Drop binders that do not occur.
+    let fv = body.free_vars();
+    let live: Vec<(Symbol, Sym2Sort)> =
+        bindings.into_iter().filter(|(s, _)| fv.contains(s)).collect();
+    if live.is_empty() {
+        probe_line!("rewrite::quant_unused_binders");
+        return body;
+    }
+    // One-point rule.
+    if let Some(reduced) = one_point_rule(q, &live, &body) {
+        probe_line!("rewrite::quant_one_point");
+        return simplify_once(&reduced);
+    }
+    Term::quant(q, live, body)
+}
+
+type Sym2Sort = yinyang_smtlib::Sort;
+
+/// The one-point rule:
+/// `∃x. (and ... (= x t) ...) → (and ...)[t/x]` and
+/// `∀x. (=> (= x t) φ) / ∀x. (or ... (not (= x t)) ...) → φ[t/x]`,
+/// when `t` does not mention `x`.
+fn one_point_rule(
+    q: Quantifier,
+    bindings: &[(Symbol, Sym2Sort)],
+    body: &Term,
+) -> Option<Term> {
+    // Only handle a single binder at a time (multi-binder quantifiers are
+    // peeled one variable per pass).
+    let (var, _) = bindings.first()?;
+    let rest: Vec<_> = bindings[1..].to_vec();
+
+    let (conjuncts, negated): (Vec<Term>, bool) = match (q, body.kind()) {
+        (Quantifier::Exists, TermKind::App(Op::And, parts)) => (parts.clone(), false),
+        (Quantifier::Exists, TermKind::App(Op::Eq, _)) => (vec![body.clone()], false),
+        (Quantifier::Forall, TermKind::App(Op::Or, parts)) => (parts.clone(), true),
+        (Quantifier::Forall, TermKind::App(Op::Implies, parts)) if parts.len() == 2 => {
+            (vec![Term::not(parts[0].clone()), parts[1].clone()], true)
+        }
+        _ => return None,
+    };
+
+    // Find a definition (= var t) — positive for ∃, negated for ∀.
+    let mut definition: Option<Term> = None;
+    let mut others: Vec<Term> = Vec::new();
+    for c in &conjuncts {
+        if definition.is_none() {
+            let eq = if negated {
+                match c.kind() {
+                    TermKind::App(Op::Not, inner) => Some(inner[0].clone()),
+                    _ => None,
+                }
+            } else {
+                Some(c.clone())
+            };
+            if let Some(eq) = eq {
+                if let TermKind::App(Op::Eq, sides) = eq.kind() {
+                    if sides.len() == 2 {
+                        let def = match (sides[0].kind(), sides[1].kind()) {
+                            (TermKind::Var(v), _) if v == var => Some(sides[1].clone()),
+                            (_, TermKind::Var(v)) if v == var => Some(sides[0].clone()),
+                            _ => None,
+                        };
+                        if let Some(t) = def {
+                            if !t.free_vars().contains(var)
+                                && !rest.iter().any(|(s, _)| t.free_vars().contains(s))
+                            {
+                                definition = Some(t);
+                                continue;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        others.push(c.clone());
+    }
+
+    let def = definition?;
+    let reduced_body = if negated {
+        // ∀: body was (or ¬(x=t) rest...) → rest[t/x] as a disjunction.
+        let parts: Vec<Term> = others
+            .iter()
+            .map(|c| substitute_free(c, var, &def))
+            .collect();
+        Term::or(parts)
+    } else {
+        let parts: Vec<Term> = others
+            .iter()
+            .map(|c| substitute_free(c, var, &def))
+            .collect();
+        Term::and(parts)
+    };
+    Some(Term::quant(q, rest, reduced_body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yinyang_smtlib::parse_term;
+
+    fn simp(src: &str) -> String {
+        simplify(&parse_term(src).unwrap()).to_string()
+    }
+
+    #[test]
+    fn constant_folding() {
+        assert_eq!(simp("(+ 1 2 3)"), "6");
+        assert_eq!(simp("(* 2.0 0.5)"), "1.0");
+        assert_eq!(simp("(str.++ \"a\" \"b\")"), "\"ab\"");
+        assert_eq!(simp("(str.len \"abc\")"), "3");
+        assert_eq!(simp("(= 1 1)"), "true");
+        assert_eq!(simp("(< 2 1)"), "false");
+    }
+
+    #[test]
+    fn division_by_zero_not_folded() {
+        assert_eq!(simp("(div 1 0)"), "(div 1 0)");
+        assert_eq!(simp("(/ 1.0 0.0)"), "(/ 1.0 0.0)");
+        assert_eq!(simp("(mod 3 0)"), "(mod 3 0)");
+    }
+
+    #[test]
+    fn boolean_rules() {
+        assert_eq!(simp("(not (not p))"), "p");
+        assert_eq!(simp("(and p true q)"), "(and p q)");
+        assert_eq!(simp("(and p false)"), "false");
+        assert_eq!(simp("(or p false)"), "p");
+        assert_eq!(simp("(=> true p)"), "p");
+        assert_eq!(simp("(=> p false)"), "(not p)");
+        assert_eq!(simp("(ite true a b)"), "a");
+        assert_eq!(simp("(ite c a a)"), "a");
+    }
+
+    #[test]
+    fn neutral_elements_match_paper_pretty_printer() {
+        // The paper's pretty printer "flattens nestings of the same operator,
+        // removes additions and multiplications with neutral elements".
+        assert_eq!(simp("(+ x 0)"), "x");
+        assert_eq!(simp("(* x 1)"), "x");
+        assert_eq!(simp("(+ (+ x y) z)"), "(+ x y z)");
+        assert_eq!(simp("(and (and a b) c)"), "(and a b c)");
+        assert_eq!(simp("(str.++ s \"\")"), "s");
+    }
+
+    #[test]
+    fn multiplication_by_zero() {
+        assert_eq!(simp("(* x 0)"), "0");
+        // Real zero is preserved with its own literal.
+        assert_eq!(simp("(* y 0.0)"), "0.0");
+    }
+
+    #[test]
+    fn reflexive_comparisons() {
+        assert_eq!(simp("(<= (+ x y) (+ x y))"), "true");
+        assert_eq!(simp("(< x x)"), "false");
+        assert_eq!(simp("(= x x)"), "true");
+        assert_eq!(simp("(distinct x x)"), "false");
+        // Not applied to distinct terms.
+        assert_eq!(simp("(< x y)"), "(< x y)");
+    }
+
+    #[test]
+    fn subtraction_rules() {
+        assert_eq!(simp("(- x 0)"), "x");
+        assert_eq!(simp("(- x x)"), "0");
+    }
+
+    #[test]
+    fn dedup_in_and_or() {
+        assert_eq!(simp("(and p p q)"), "(and p q)");
+        assert_eq!(simp("(or p q p)"), "(or p q)");
+    }
+
+    #[test]
+    fn let_expansion_is_parallel() {
+        // (let ((x 2) (y x)) (+ x y)) with outer x — y binds OUTER x.
+        assert_eq!(simp("(let ((a 2) (b a)) (+ a b))"), "(+ 2 a)");
+        assert_eq!(simp("(let ((a 1)) (+ a a))"), "2");
+    }
+
+    #[test]
+    fn quantifier_unused_binder() {
+        assert_eq!(simp("(forall ((x Int)) (> y 0))"), "(> y 0)");
+        assert_eq!(simp("(exists ((x Int)) true)"), "true");
+        assert_eq!(
+            simp("(forall ((x Int) (y Int)) (> x 0))"),
+            "(forall ((x Int)) (> x 0))"
+        );
+    }
+
+    #[test]
+    fn one_point_exists() {
+        assert_eq!(simp("(exists ((x Int)) (and (= x 5) (> x 3)))"), "true");
+        assert_eq!(
+            simp("(exists ((x Int)) (and (= x y) (> x z)))"),
+            "(> y z)"
+        );
+        assert_eq!(simp("(exists ((x Int)) (= x (+ y 1)))"), "true");
+    }
+
+    #[test]
+    fn one_point_forall() {
+        assert_eq!(simp("(forall ((x Int)) (=> (= x y) (> x 0)))"), "(> y 0)");
+        assert_eq!(
+            simp("(forall ((x Int)) (or (not (= x 3)) (> x z)))"),
+            "(> 3 z)"
+        );
+    }
+
+    #[test]
+    fn one_point_does_not_fire_on_self_reference() {
+        // (= x (+ x 1)) is not a definition of x.
+        let src = "(exists ((x Int)) (= x (+ x 1)))";
+        assert_eq!(simp(src), src.to_owned());
+    }
+
+    #[test]
+    fn string_literal_merging() {
+        assert_eq!(simp("(str.++ \"a\" s \"b\" \"c\")"), "(str.++ \"a\" s \"bc\")");
+    }
+
+    #[test]
+    fn fixpoint_on_nested_structure() {
+        assert_eq!(
+            simp("(and (or (and true p) false) (not (not (or p false))))"),
+            "p"
+        );
+    }
+
+    #[test]
+    fn paper_phi3_simplifies_to_false() {
+        // φ3 = ((1.0 + x) + 6.0) ≠ (7.0 + x) — needs linear normalization,
+        // which the rewriter alone does not do; it must at least survive.
+        let out = simp("(not (= (+ (+ 1.0 x) 6.0) (+ 7.0 x)))");
+        assert_eq!(out, "(not (= (+ 1.0 x 6.0) (+ 7.0 x)))");
+    }
+}

@@ -1,0 +1,604 @@
+//! A CDCL SAT solver: two-watched-literal propagation, 1UIP conflict
+//! analysis, VSIDS-style activities, phase saving, and Luby restarts.
+//!
+//! This is the boolean engine under the lazy SMT loop in
+//! [`smt`](crate::SmtSolver): the boolean skeleton of a formula is solved
+//! here, theory conflicts come back as blocking clauses.
+
+use yinyang_coverage::{probe_fn, probe_line};
+
+/// A propositional variable, numbered from 0.
+pub type Var = usize;
+
+/// A literal: variable + polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit {
+    code: usize,
+}
+
+impl Lit {
+    /// Positive literal of `var`.
+    pub fn pos(var: Var) -> Lit {
+        Lit { code: var << 1 }
+    }
+
+    /// Negative literal of `var`.
+    pub fn neg(var: Var) -> Lit {
+        Lit { code: (var << 1) | 1 }
+    }
+
+    /// Builds a literal with the given sign (`true` = positive).
+    pub fn new(var: Var, positive: bool) -> Lit {
+        if positive {
+            Lit::pos(var)
+        } else {
+            Lit::neg(var)
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        self.code >> 1
+    }
+
+    /// `true` if the literal is positive.
+    pub fn is_pos(self) -> bool {
+        self.code & 1 == 0
+    }
+
+    /// Negation.
+    #[must_use]
+    pub fn negate(self) -> Lit {
+        Lit { code: self.code ^ 1 }
+    }
+
+    fn index(self) -> usize {
+        self.code
+    }
+}
+
+/// Result of a SAT call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatOutcome {
+    /// Satisfiable with the given assignment (indexed by variable).
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+    /// Conflict budget exhausted.
+    Unknown,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Assign {
+    Unassigned,
+    True,
+    False,
+}
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+}
+
+/// The CDCL solver.
+///
+/// # Examples
+///
+/// ```
+/// use yinyang_solver::sat::{Lit, SatSolver, SatOutcome};
+///
+/// let mut s = SatSolver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause(vec![Lit::pos(a), Lit::pos(b)]);
+/// s.add_clause(vec![Lit::neg(a)]);
+/// match s.solve(10_000) {
+///     SatOutcome::Sat(m) => assert!(m[b]),
+///     other => panic!("expected sat, got {other:?}"),
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct SatSolver {
+    clauses: Vec<Clause>,
+    /// watches[lit.index()] = clause indices watching `lit`.
+    watches: Vec<Vec<usize>>,
+    assigns: Vec<Assign>,
+    /// Reason clause index for each assigned var (None = decision).
+    reason: Vec<Option<usize>>,
+    level: Vec<usize>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    queue_head: usize,
+    activity: Vec<f64>,
+    act_inc: f64,
+    phase: Vec<bool>,
+    conflicts: u64,
+    /// Set when an added clause is empty (trivially unsat).
+    empty_clause: bool,
+}
+
+impl SatSolver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        SatSolver { act_inc: 1.0, ..Default::default() }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = self.assigns.len();
+        self.assigns.push(Assign::Unassigned);
+        self.reason.push(None);
+        self.level.push(0);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        v
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Adds a clause. Duplicate literals are removed; tautologies are
+    /// silently dropped; the empty clause marks the instance unsat.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called mid-search (after `solve` has been interrupted) —
+    /// clauses may only be added at decision level zero.
+    pub fn add_clause(&mut self, mut lits: Vec<Lit>) {
+        assert!(self.trail_lim.is_empty(), "add_clause at non-zero decision level");
+        lits.sort();
+        lits.dedup();
+        if lits.windows(2).any(|w| w[0].var() == w[1].var()) {
+            // Contains both polarities: tautology.
+            return;
+        }
+        // Remove literals already false at level 0; stop if any is true.
+        lits.retain(|l| self.value(*l) != Assign::False || self.level[l.var()] != 0);
+        if lits.iter().any(|l| self.value(*l) == Assign::True && self.level[l.var()] == 0) {
+            return;
+        }
+        match lits.len() {
+            0 => self.empty_clause = true,
+            1 => {
+                if !self.enqueue(lits[0], None) {
+                    self.empty_clause = true;
+                }
+            }
+            _ => {
+                let idx = self.clauses.len();
+                self.watches[lits[0].index()].push(idx);
+                self.watches[lits[1].index()].push(idx);
+                self.clauses.push(Clause { lits });
+            }
+        }
+    }
+
+    fn value(&self, lit: Lit) -> Assign {
+        match self.assigns[lit.var()] {
+            Assign::Unassigned => Assign::Unassigned,
+            Assign::True => {
+                if lit.is_pos() {
+                    Assign::True
+                } else {
+                    Assign::False
+                }
+            }
+            Assign::False => {
+                if lit.is_pos() {
+                    Assign::False
+                } else {
+                    Assign::True
+                }
+            }
+        }
+    }
+
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    fn enqueue(&mut self, lit: Lit, reason: Option<usize>) -> bool {
+        match self.value(lit) {
+            Assign::True => true,
+            Assign::False => false,
+            Assign::Unassigned => {
+                let v = lit.var();
+                self.assigns[v] = if lit.is_pos() { Assign::True } else { Assign::False };
+                self.reason[v] = reason;
+                self.level[v] = self.decision_level();
+                self.phase[v] = lit.is_pos();
+                self.trail.push(lit);
+                true
+            }
+        }
+    }
+
+    /// Unit propagation; returns a conflicting clause index if any.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.queue_head < self.trail.len() {
+            let lit = self.trail[self.queue_head];
+            self.queue_head += 1;
+            let falsified = lit.negate();
+            let mut watchers = std::mem::take(&mut self.watches[falsified.index()]);
+            let mut i = 0;
+            while i < watchers.len() {
+                let ci = watchers[i];
+                // Make sure falsified is lits[1].
+                {
+                    let c = &mut self.clauses[ci];
+                    if c.lits[0] == falsified {
+                        c.lits.swap(0, 1);
+                    }
+                }
+                let first = self.clauses[ci].lits[0];
+                if self.value(first) == Assign::True {
+                    i += 1;
+                    continue;
+                }
+                // Find a new watch.
+                let mut moved = false;
+                for k in 2..self.clauses[ci].lits.len() {
+                    let cand = self.clauses[ci].lits[k];
+                    if self.value(cand) != Assign::False {
+                        self.clauses[ci].lits.swap(1, k);
+                        self.watches[cand.index()].push(ci);
+                        watchers.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Unit or conflict.
+                if !self.enqueue(first, Some(ci)) {
+                    // Conflict: restore remaining watchers.
+                    self.watches[falsified.index()].extend(watchers.drain(..));
+                    self.queue_head = self.trail.len();
+                    return Some(ci);
+                }
+                i += 1;
+            }
+            self.watches[falsified.index()] = watchers;
+        }
+        None
+    }
+
+    fn bump(&mut self, v: Var) {
+        self.activity[v] += self.act_inc;
+        if self.activity[v] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.act_inc *= 1e-100;
+        }
+    }
+
+    /// 1UIP conflict analysis; returns (learnt clause, backjump level).
+    fn analyze(&mut self, conflict: usize) -> (Vec<Lit>, usize) {
+        probe_fn!("sat::analyze");
+        let mut learnt: Vec<Lit> = Vec::new();
+        let mut seen = vec![false; self.num_vars()];
+        let mut counter = 0usize;
+        let mut lit: Option<Lit> = None;
+        let mut clause_idx = conflict;
+        let mut trail_pos = self.trail.len();
+
+        loop {
+            // Reason clauses always store their asserting literal at
+            // position 0, so skip it when following a reason.
+            let skip = usize::from(lit.is_some());
+            let lits = self.clauses[clause_idx].lits.clone();
+            for &q in lits.iter().skip(skip) {
+                let v = q.var();
+                if !seen[v] && self.level[v] > 0 {
+                    seen[v] = true;
+                    self.bump(v);
+                    if self.level[v] == self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Find next literal to expand on the trail.
+            loop {
+                trail_pos -= 1;
+                let p = self.trail[trail_pos];
+                if seen[p.var()] {
+                    lit = Some(p);
+                    seen[p.var()] = false;
+                    break;
+                }
+            }
+            counter -= 1;
+            if counter == 0 {
+                break;
+            }
+            clause_idx = self.reason[lit.expect("set above").var()]
+                .expect("non-decision literal has a reason");
+        }
+        let uip = lit.expect("1UIP exists").negate();
+        let mut clause = vec![uip];
+        clause.extend(learnt);
+        // Move the highest-level remaining literal to position 1 (it becomes
+        // the second watch) and backjump to its level.
+        let mut bj = 0usize;
+        if clause.len() > 1 {
+            let mut max_i = 1;
+            for i in 1..clause.len() {
+                if self.level[clause[i].var()] > self.level[clause[max_i].var()] {
+                    max_i = i;
+                }
+            }
+            clause.swap(1, max_i);
+            bj = self.level[clause[1].var()];
+        }
+        (clause, bj)
+    }
+
+    fn cancel_until(&mut self, level: usize) {
+        while self.decision_level() > level {
+            let lim = self.trail_lim.pop().expect("level > 0");
+            while self.trail.len() > lim {
+                let lit = self.trail.pop().expect("trail non-empty");
+                let v = lit.var();
+                self.assigns[v] = Assign::Unassigned;
+                self.reason[v] = None;
+            }
+        }
+        self.queue_head = self.trail.len();
+    }
+
+    fn pick_branch(&self) -> Option<Lit> {
+        let mut best: Option<(Var, f64)> = None;
+        for v in 0..self.num_vars() {
+            if self.assigns[v] == Assign::Unassigned {
+                let a = self.activity[v];
+                if best.map_or(true, |(_, ba)| a > ba) {
+                    best = Some((v, a));
+                }
+            }
+        }
+        best.map(|(v, _)| Lit::new(v, self.phase[v]))
+    }
+
+    /// Solves the instance with a conflict budget.
+    pub fn solve(&mut self, max_conflicts: u64) -> SatOutcome {
+        probe_fn!("sat::solve");
+        if self.empty_clause {
+            return SatOutcome::Unsat;
+        }
+        if self.propagate().is_some() {
+            probe_line!("sat::root_conflict");
+            return SatOutcome::Unsat;
+        }
+        let mut restart_unit = 64u64;
+        let mut next_restart = restart_unit;
+        self.conflicts = 0;
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.conflicts += 1;
+                if self.decision_level() == 0 {
+                    return SatOutcome::Unsat;
+                }
+                if self.conflicts > max_conflicts {
+                    probe_line!("sat::budget_exhausted");
+                    self.cancel_until(0);
+                    return SatOutcome::Unknown;
+                }
+                let (clause, bj) = self.analyze(conflict);
+                self.cancel_until(bj);
+                let asserting = clause[0];
+                if yinyang_coverage::probe_branch!("sat::unit_learnt", clause.len() == 1) {
+                    self.cancel_until(0);
+                    if !self.enqueue(asserting, None) {
+                        return SatOutcome::Unsat;
+                    }
+                } else {
+                    let idx = self.clauses.len();
+                    self.watches[clause[0].index()].push(idx);
+                    self.watches[clause[1].index()].push(idx);
+                    self.clauses.push(Clause { lits: clause });
+                    let ok = self.enqueue(asserting, Some(idx));
+                    debug_assert!(ok, "asserting literal must propagate");
+                }
+                self.act_inc /= 0.95;
+                if self.conflicts >= next_restart {
+                    probe_line!("sat::restart");
+                    self.cancel_until(0);
+                    restart_unit = restart_unit.saturating_mul(2);
+                    next_restart = self.conflicts + restart_unit;
+                }
+            } else {
+                match self.pick_branch() {
+                    None => {
+                        probe_line!("sat::model_found");
+                        let model = self
+                            .assigns
+                            .iter()
+                            .map(|a| *a == Assign::True)
+                            .collect();
+                        return SatOutcome::Sat(model);
+                    }
+                    Some(lit) => {
+                        self.trail_lim.push(self.trail.len());
+                        let ok = self.enqueue(lit, None);
+                        debug_assert!(ok, "decision variable was unassigned");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Resets the search state (assignments and learnt state are kept as
+    /// heuristics; the trail is unwound) so more clauses can be added.
+    pub fn backtrack_to_root(&mut self) {
+        self.cancel_until(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(clauses: &[&[i64]], nvars: usize) -> SatOutcome {
+        let mut s = SatSolver::new();
+        for _ in 0..nvars {
+            s.new_var();
+        }
+        for c in clauses {
+            let lits: Vec<Lit> = c
+                .iter()
+                .map(|&v| {
+                    let var = (v.unsigned_abs() - 1) as usize;
+                    Lit::new(var, v > 0)
+                })
+                .collect();
+            s.add_clause(lits);
+        }
+        s.solve(100_000)
+    }
+
+    fn assert_sat(clauses: &[&[i64]], nvars: usize) -> Vec<bool> {
+        match solve(clauses, nvars) {
+            SatOutcome::Sat(m) => {
+                // Verify the model.
+                for c in clauses {
+                    assert!(
+                        c.iter().any(|&v| {
+                            let var = (v.unsigned_abs() - 1) as usize;
+                            m[var] == (v > 0)
+                        }),
+                        "clause {c:?} not satisfied by {m:?}"
+                    );
+                }
+                m
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trivial_sat() {
+        assert_sat(&[&[1]], 1);
+        assert_sat(&[&[1, 2], &[-1, 2]], 2);
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        assert_eq!(solve(&[&[1], &[-1]], 1), SatOutcome::Unsat);
+        assert_eq!(solve(&[&[]], 0), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        // 1; -1 v 2; -2 v 3; -3 v 4
+        let m = assert_sat(&[&[1], &[-1, 2], &[-2, 3], &[-3, 4]], 4);
+        assert!(m.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn requires_conflict_analysis() {
+        // Pigeonhole-ish unsat: 3 pigeons, 2 holes.
+        // var(p, h) = p*2 + h + 1 for p in 0..3, h in 0..2.
+        let v = |p: i64, h: i64| p * 2 + h + 1;
+        let mut clauses: Vec<Vec<i64>> = Vec::new();
+        for p in 0..3 {
+            clauses.push(vec![v(p, 0), v(p, 1)]);
+        }
+        for h in 0..2 {
+            for p1 in 0..3 {
+                for p2 in (p1 + 1)..3 {
+                    clauses.push(vec![-v(p1, h), -v(p2, h)]);
+                }
+            }
+        }
+        let refs: Vec<&[i64]> = clauses.iter().map(|c| c.as_slice()).collect();
+        assert_eq!(solve(&refs, 6), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn tautologies_are_dropped() {
+        // (x ∨ ¬x) alone: sat.
+        assert_sat(&[&[1, -1]], 1);
+    }
+
+    #[test]
+    fn duplicate_literals_are_merged() {
+        assert_sat(&[&[1, 1, 1]], 1);
+    }
+
+    #[test]
+    fn random_3sat_agree_with_bruteforce() {
+        // Deterministic pseudo-random instances, cross-checked by
+        // enumeration over <= 2^8 assignments.
+        let mut state = 0x12345678u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for inst in 0..50 {
+            let nvars = 4 + inst % 5;
+            let nclauses = 3 + rnd() % (3 * nvars);
+            let mut clauses: Vec<Vec<i64>> = Vec::new();
+            for _ in 0..nclauses {
+                let mut c = Vec::new();
+                for _ in 0..3 {
+                    let v = (rnd() % nvars + 1) as i64;
+                    c.push(if rnd() % 2 == 0 { v } else { -v });
+                }
+                clauses.push(c);
+            }
+            // Brute force.
+            let mut brute_sat = false;
+            'outer: for bits in 0..(1u32 << nvars) {
+                for c in &clauses {
+                    let ok = c.iter().any(|&v| {
+                        let idx = v.unsigned_abs() as usize - 1;
+                        ((bits >> idx) & 1 == 1) == (v > 0)
+                    });
+                    if !ok {
+                        continue 'outer;
+                    }
+                }
+                brute_sat = true;
+                break;
+            }
+            let refs: Vec<&[i64]> = clauses.iter().map(|c| c.as_slice()).collect();
+            match solve(&refs, nvars) {
+                SatOutcome::Sat(_) => assert!(brute_sat, "instance {inst}: solver sat, brute unsat"),
+                SatOutcome::Unsat => assert!(!brute_sat, "instance {inst}: solver unsat, brute sat"),
+                SatOutcome::Unknown => panic!("budget should suffice"),
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_use_via_blocking_clauses() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(vec![Lit::pos(a), Lit::pos(b)]);
+        let mut models = 0;
+        for _ in 0..4 {
+            match s.solve(1000) {
+                SatOutcome::Sat(m) => {
+                    models += 1;
+                    s.backtrack_to_root();
+                    // Block this model.
+                    let block: Vec<Lit> =
+                        (0..2).map(|v| Lit::new(v, !m[v])).collect();
+                    s.add_clause(block);
+                }
+                SatOutcome::Unsat => break,
+                SatOutcome::Unknown => panic!("budget"),
+            }
+        }
+        assert_eq!(models, 3, "a∨b has exactly 3 models");
+    }
+}

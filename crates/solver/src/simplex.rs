@@ -1,0 +1,822 @@
+//! Exact linear arithmetic: a general simplex (Dutertre–de Moura style)
+//! over delta-rationals, with branch-and-bound for integer variables.
+//!
+//! Strict inequalities are handled symbolically: every value is
+//! `real + k·δ` for an infinitesimal `δ > 0` ([`DeltaRat`]), so `x < c`
+//! becomes the exact bound `x ≤ c − δ`. Rational models are extracted by
+//! choosing a concrete small `δ` afterwards.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use yinyang_arith::{BigInt, BigRational};
+use yinyang_coverage::{probe_fn, probe_line};
+
+/// A rational plus an infinitesimal multiple: `real + delta·δ`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaRat {
+    /// Standard part.
+    pub real: BigRational,
+    /// Coefficient of the infinitesimal.
+    pub delta: BigRational,
+}
+
+impl DeltaRat {
+    /// A pure rational.
+    pub fn from_rat(real: BigRational) -> Self {
+        DeltaRat { real, delta: BigRational::zero() }
+    }
+
+    /// Zero.
+    pub fn zero() -> Self {
+        DeltaRat::from_rat(BigRational::zero())
+    }
+
+    /// `real + sign·δ`.
+    pub fn with_delta(real: BigRational, delta_sign: i64) -> Self {
+        DeltaRat { real, delta: BigRational::from(delta_sign) }
+    }
+
+    fn add(&self, other: &DeltaRat) -> DeltaRat {
+        DeltaRat { real: &self.real + &other.real, delta: &self.delta + &other.delta }
+    }
+
+    fn sub(&self, other: &DeltaRat) -> DeltaRat {
+        DeltaRat { real: &self.real - &other.real, delta: &self.delta - &other.delta }
+    }
+
+    fn scale(&self, k: &BigRational) -> DeltaRat {
+        DeltaRat { real: &self.real * k, delta: &self.delta * k }
+    }
+}
+
+impl PartialOrd for DeltaRat {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DeltaRat {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.real.cmp(&other.real).then_with(|| self.delta.cmp(&other.delta))
+    }
+}
+
+impl fmt::Display for DeltaRat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.delta.is_zero() {
+            write!(f, "{}", self.real)
+        } else {
+            write!(f, "{}+{}δ", self.real, self.delta)
+        }
+    }
+}
+
+/// Comparison operators of linear constraints (`expr ⋈ 0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `expr ≤ 0`.
+    Le,
+    /// `expr < 0`.
+    Lt,
+    /// `expr ≥ 0`.
+    Ge,
+    /// `expr > 0`.
+    Gt,
+    /// `expr = 0`.
+    Eq,
+}
+
+/// A linear expression `Σ coeff·var + constant` over variable indices.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LinExpr {
+    /// Variable coefficients (zero coefficients are not stored).
+    pub coeffs: BTreeMap<usize, BigRational>,
+    /// Constant offset.
+    pub constant: BigRational,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn zero() -> Self {
+        LinExpr::default()
+    }
+
+    /// A constant expression.
+    pub fn constant(c: BigRational) -> Self {
+        LinExpr { coeffs: BTreeMap::new(), constant: c }
+    }
+
+    /// The expression `1·var`.
+    pub fn var(v: usize) -> Self {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(v, BigRational::one());
+        LinExpr { coeffs, constant: BigRational::zero() }
+    }
+
+    /// Adds `k·var` in place.
+    pub fn add_term(&mut self, var: usize, k: &BigRational) {
+        let entry = self.coeffs.entry(var).or_insert_with(BigRational::zero);
+        *entry = &*entry + k;
+        if entry.is_zero() {
+            self.coeffs.remove(&var);
+        }
+    }
+
+    /// Adds `k·other` in place.
+    pub fn add_scaled(&mut self, other: &LinExpr, k: &BigRational) {
+        for (v, c) in &other.coeffs {
+            self.add_term(*v, &(c * k));
+        }
+        self.constant = &self.constant + &(&other.constant * k);
+    }
+
+    /// Scales in place.
+    pub fn scale(&mut self, k: &BigRational) {
+        if k.is_zero() {
+            self.coeffs.clear();
+            self.constant = BigRational::zero();
+            return;
+        }
+        for c in self.coeffs.values_mut() {
+            *c = &*c * k;
+        }
+        self.constant = &self.constant * k;
+    }
+
+    /// True when there are no variables.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Evaluates under an assignment.
+    pub fn eval(&self, assignment: &[BigRational]) -> BigRational {
+        let mut acc = self.constant.clone();
+        for (v, c) in &self.coeffs {
+            acc = &acc + &(c * &assignment[*v]);
+        }
+        acc
+    }
+}
+
+/// A constraint `expr ⋈ 0`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinConstraint {
+    /// Left-hand side.
+    pub expr: LinExpr,
+    /// Operator against zero.
+    pub cmp: Cmp,
+}
+
+/// Outcome of a linear feasibility query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinResult {
+    /// Feasible, with a satisfying rational assignment per variable.
+    Sat(Vec<BigRational>),
+    /// Infeasible.
+    Unsat,
+    /// Budget exhausted (branch-and-bound depth/node limits).
+    Unknown,
+}
+
+#[derive(Debug, Clone)]
+struct VarState {
+    lower: Option<DeltaRat>,
+    upper: Option<DeltaRat>,
+    value: DeltaRat,
+    /// Row for basic variables: `self = Σ coeff·nonbasic`.
+    row: Option<BTreeMap<usize, BigRational>>,
+}
+
+/// The simplex tableau.
+struct Tableau {
+    vars: Vec<VarState>,
+}
+
+impl Tableau {
+    fn new(n: usize) -> Self {
+        Tableau {
+            vars: (0..n)
+                .map(|_| VarState {
+                    lower: None,
+                    upper: None,
+                    value: DeltaRat::zero(),
+                    row: None,
+                })
+                .collect(),
+        }
+    }
+
+    fn add_var(&mut self) -> usize {
+        self.vars.push(VarState {
+            lower: None,
+            upper: None,
+            value: DeltaRat::zero(),
+            row: None,
+        });
+        self.vars.len() - 1
+    }
+
+    /// Introduces a slack variable defined as `expr` (variables only; the
+    /// constant is folded into the bound by the caller).
+    fn add_slack(&mut self, expr: &BTreeMap<usize, BigRational>) -> usize {
+        let s = self.add_var();
+        // Express in terms of current nonbasic vars: substitute basic rows.
+        let mut row: BTreeMap<usize, BigRational> = BTreeMap::new();
+        for (v, c) in expr {
+            match &self.vars[*v].row {
+                Some(r) => {
+                    for (nb, k) in r.clone() {
+                        add_entry(&mut row, nb, &(&k * c));
+                    }
+                }
+                None => add_entry(&mut row, *v, c),
+            }
+        }
+        // value(s) = Σ c·β(v)
+        let mut val = DeltaRat::zero();
+        for (v, c) in &row {
+            val = val.add(&self.vars[*v].value.scale(c));
+        }
+        self.vars[s].value = val;
+        self.vars[s].row = Some(row);
+        s
+    }
+
+    fn assert_lower(&mut self, x: usize, bound: DeltaRat) -> Result<(), ()> {
+        if let Some(u) = &self.vars[x].upper {
+            if bound > *u {
+                return Err(());
+            }
+        }
+        let improves = match &self.vars[x].lower {
+            Some(l) => bound > *l,
+            None => true,
+        };
+        if !improves {
+            return Ok(());
+        }
+        self.vars[x].lower = Some(bound.clone());
+        if self.vars[x].row.is_none() && self.vars[x].value < bound {
+            self.update(x, bound);
+        }
+        Ok(())
+    }
+
+    fn assert_upper(&mut self, x: usize, bound: DeltaRat) -> Result<(), ()> {
+        if let Some(l) = &self.vars[x].lower {
+            if bound < *l {
+                return Err(());
+            }
+        }
+        let improves = match &self.vars[x].upper {
+            Some(u) => bound < *u,
+            None => true,
+        };
+        if !improves {
+            return Ok(());
+        }
+        self.vars[x].upper = Some(bound.clone());
+        if self.vars[x].row.is_none() && self.vars[x].value > bound {
+            self.update(x, bound);
+        }
+        Ok(())
+    }
+
+    /// Sets a nonbasic variable's value and fixes dependent basic values.
+    fn update(&mut self, x: usize, value: DeltaRat) {
+        let d = value.sub(&self.vars[x].value);
+        self.vars[x].value = value;
+        for i in 0..self.vars.len() {
+            if let Some(row) = &self.vars[i].row {
+                if let Some(c) = row.get(&x) {
+                    let delta = d.scale(c);
+                    let newv = self.vars[i].value.add(&delta);
+                    self.vars[i].value = newv;
+                }
+            }
+        }
+    }
+
+    /// Pivots basic `xi` with nonbasic `xj` and sets `xi`'s value to `target`.
+    fn pivot_and_update(&mut self, xi: usize, xj: usize, target: DeltaRat) {
+        let row_i = self.vars[xi].row.clone().expect("xi is basic");
+        let a_ij = row_i.get(&xj).expect("xj in row of xi").clone();
+        // xj = (xi - Σ_{k≠j} a_ik·xk) / a_ij
+        let inv = a_ij.recip();
+        let mut row_j: BTreeMap<usize, BigRational> = BTreeMap::new();
+        add_entry(&mut row_j, xi, &inv);
+        for (k, a_ik) in &row_i {
+            if *k != xj {
+                add_entry(&mut row_j, *k, &(-(a_ik * &inv)));
+            }
+        }
+        // Update values: θ = (target - β(xi)) / a_ij moves xj.
+        let theta = target.sub(&self.vars[xi].value).scale(&inv);
+        let new_xj = self.vars[xj].value.add(&theta);
+
+        self.vars[xi].row = None;
+        self.vars[xj].row = Some(row_j.clone());
+        self.vars[xi].value = target;
+        self.vars[xj].value = new_xj;
+
+        // Substitute xj out of all other rows.
+        for i in 0..self.vars.len() {
+            if i == xj {
+                continue;
+            }
+            let Some(row) = self.vars[i].row.clone() else { continue };
+            let Some(c_j) = row.get(&xj).cloned() else { continue };
+            let mut new_row = row;
+            new_row.remove(&xj);
+            for (k, c) in &row_j {
+                add_entry(&mut new_row, *k, &(&c_j * c));
+            }
+            // Recompute the value from the new row for exactness.
+            let mut val = DeltaRat::zero();
+            for (k, c) in &new_row {
+                val = val.add(&self.vars[*k].value.scale(c));
+            }
+            self.vars[i].value = val;
+            self.vars[i].row = Some(new_row);
+        }
+    }
+
+    /// The core check loop. Returns `Ok(())` when all bounds hold.
+    fn check(&mut self) -> Result<(), ()> {
+        probe_fn!("simplex::check");
+        loop {
+            // Bland's rule: smallest violated basic variable.
+            let mut violated: Option<(usize, bool)> = None;
+            for i in 0..self.vars.len() {
+                if self.vars[i].row.is_none() {
+                    continue;
+                }
+                if let Some(l) = &self.vars[i].lower {
+                    if self.vars[i].value < *l {
+                        violated = Some((i, true));
+                        break;
+                    }
+                }
+                if let Some(u) = &self.vars[i].upper {
+                    if self.vars[i].value > *u {
+                        violated = Some((i, false));
+                        break;
+                    }
+                }
+            }
+            let Some((xi, below)) = violated else {
+                probe_line!("simplex::feasible");
+                return Ok(());
+            };
+            let row = self.vars[xi].row.clone().expect("violated var is basic");
+            let target = if below {
+                self.vars[xi].lower.clone().expect("below lower")
+            } else {
+                self.vars[xi].upper.clone().expect("above upper")
+            };
+            // Find pivot column (Bland: smallest index first).
+            let mut pivot: Option<usize> = None;
+            for (&xj, a) in &row {
+                let can_increase = match &self.vars[xj].upper {
+                    Some(u) => self.vars[xj].value < *u,
+                    None => true,
+                };
+                let can_decrease = match &self.vars[xj].lower {
+                    Some(l) => self.vars[xj].value > *l,
+                    None => true,
+                };
+                let suitable = if below {
+                    // Need to increase xi.
+                    (a.is_positive() && can_increase) || (a.is_negative() && can_decrease)
+                } else {
+                    (a.is_positive() && can_decrease) || (a.is_negative() && can_increase)
+                };
+                if suitable {
+                    pivot = Some(xj);
+                    break;
+                }
+            }
+            match pivot {
+                None => {
+                    probe_line!("simplex::conflict");
+                    return Err(());
+                }
+                Some(xj) => self.pivot_and_update(xi, xj, target),
+            }
+        }
+    }
+
+    /// Concretizes delta-rationals into plain rationals.
+    fn concrete_assignment(&self, n: usize) -> Vec<BigRational> {
+        // Choose δ small enough that every strict relationship encoded in
+        // the bounds stays strict.
+        let mut delta = BigRational::one();
+        for v in &self.vars {
+            for bound in [&v.lower, &v.upper] {
+                if let Some(b) = bound {
+                    // Constraint: lower ≤ value (or value ≤ upper) must hold
+                    // for the chosen δ.
+                    let dr = v.value.sub(b);
+                    // dr.real + dr.delta·δ must be ≥ 0 for lower (≤ 0 for
+                    // upper — signs work out the same by symmetry of sub).
+                    let (real, dcoef) = (&dr.real, &dr.delta);
+                    if !real.is_zero() && real.signum() != dcoef.signum() && !dcoef.is_zero() {
+                        let limit = (real / dcoef).abs();
+                        if limit < delta {
+                            delta = limit;
+                        }
+                    }
+                }
+            }
+        }
+        let half = BigRational::new(1.into(), 2.into());
+        let d0 = &delta * &half;
+        (0..n)
+            .map(|i| &self.vars[i].value.real + &(&self.vars[i].value.delta * &d0))
+            .collect()
+    }
+}
+
+fn add_entry(map: &mut BTreeMap<usize, BigRational>, k: usize, v: &BigRational) {
+    let entry = map.entry(k).or_insert_with(BigRational::zero);
+    *entry = &*entry + v;
+    if entry.is_zero() {
+        map.remove(&k);
+    }
+}
+
+/// Budget for branch-and-bound nodes.
+const BB_NODE_BUDGET: usize = 400;
+
+/// Decides feasibility of a conjunction of linear constraints over
+/// `num_vars` variables, the listed ones required integral.
+///
+/// # Examples
+///
+/// ```
+/// use yinyang_solver::simplex::{solve_linear, Cmp, LinConstraint, LinExpr, LinResult};
+/// use std::collections::BTreeSet;
+///
+/// // x > 0 ∧ x < 1 with x integral: unsat.
+/// let mut gt = LinExpr::var(0);
+/// gt.constant = yinyang_arith::BigRational::from(0);
+/// let mut lt = LinExpr::var(0);
+/// lt.constant = yinyang_arith::BigRational::from(-1);
+/// let cs = vec![
+///     LinConstraint { expr: gt, cmp: Cmp::Gt },
+///     LinConstraint { expr: lt, cmp: Cmp::Lt },
+/// ];
+/// let ints: BTreeSet<usize> = [0].into_iter().collect();
+/// assert_eq!(solve_linear(1, &cs, &ints), LinResult::Unsat);
+/// ```
+pub fn solve_linear(
+    num_vars: usize,
+    constraints: &[LinConstraint],
+    int_vars: &BTreeSet<usize>,
+) -> LinResult {
+    solve_linear_budgeted(num_vars, constraints, int_vars, BB_NODE_BUDGET)
+}
+
+/// [`solve_linear`] with an explicit branch-and-bound node budget.
+pub fn solve_linear_budgeted(
+    num_vars: usize,
+    constraints: &[LinConstraint],
+    int_vars: &BTreeSet<usize>,
+    bb_nodes: usize,
+) -> LinResult {
+    probe_fn!("simplex::solve_linear");
+    let mut budget = bb_nodes.max(1);
+    solve_rec(num_vars, constraints.to_vec(), int_vars, &mut budget)
+}
+
+/// Integer-aware preprocessing of one constraint. For a constraint whose
+/// variables are all integral, scales to integer coefficients, then:
+/// * applies the GCD test to equalities (`g ∤ c` ⇒ unsat);
+/// * turns strict inequalities into non-strict ones (`e < 0` ⇒ `e ≤ -1`);
+/// * tightens constants to the nearest lattice bound.
+///
+/// Returns `None` when the constraint is infeasible on its own.
+fn tighten_int(c: &LinConstraint, int_vars: &BTreeSet<usize>) -> Option<LinConstraint> {
+    if c.expr.is_constant() || !c.expr.coeffs.keys().all(|v| int_vars.contains(v)) {
+        return Some(c.clone());
+    }
+    // Scale by the LCM of all denominators (product is a valid multiple).
+    let mut scale = BigInt::one();
+    for k in c.expr.coeffs.values().chain(std::iter::once(&c.expr.constant)) {
+        let d = k.denom();
+        let g = scale.gcd(d);
+        scale = (&scale * d).div_rem(&g).0;
+    }
+    let scale_r = BigRational::from_int(scale);
+    let mut e = c.expr.clone();
+    e.scale(&scale_r);
+    let g = e
+        .coeffs
+        .values()
+        .fold(BigInt::zero(), |acc, k| acc.gcd(k.numer()));
+    debug_assert!(!g.is_zero());
+    let gr = BigRational::from_int(g.clone());
+    let konst = &e.constant / &gr;
+    let mut coeffs = e.clone();
+    coeffs.constant = BigRational::zero();
+    coeffs.scale(&gr.recip());
+    match c.cmp {
+        Cmp::Eq => {
+            if !konst.is_integer() {
+                probe_line!("simplex::gcd_test_unsat");
+                return None;
+            }
+            coeffs.constant = konst;
+            Some(LinConstraint { expr: coeffs, cmp: Cmp::Eq })
+        }
+        Cmp::Le | Cmp::Lt => {
+            let rhs = -&konst; // coeffs ≤ rhs (or <)
+            let tightened = if c.cmp == Cmp::Lt {
+                // coeffs < rhs ⇒ coeffs ≤ ceil(rhs) - 1.
+                &BigRational::from_int(rhs.ceil()) - &BigRational::one()
+            } else {
+                BigRational::from_int(rhs.floor())
+            };
+            coeffs.constant = -tightened;
+            Some(LinConstraint { expr: coeffs, cmp: Cmp::Le })
+        }
+        Cmp::Ge | Cmp::Gt => {
+            let rhs = -&konst; // coeffs ≥ rhs (or >)
+            let tightened = if c.cmp == Cmp::Gt {
+                &BigRational::from_int(rhs.floor()) + &BigRational::one()
+            } else {
+                BigRational::from_int(rhs.ceil())
+            };
+            coeffs.constant = -tightened;
+            Some(LinConstraint { expr: coeffs, cmp: Cmp::Ge })
+        }
+    }
+}
+
+fn solve_rec(
+    num_vars: usize,
+    constraints: Vec<LinConstraint>,
+    int_vars: &BTreeSet<usize>,
+    budget: &mut usize,
+) -> LinResult {
+    if *budget == 0 {
+        return LinResult::Unknown;
+    }
+    *budget -= 1;
+
+    let mut constraints = constraints;
+    if yinyang_coverage::probe_branch!("simplex::has_int_vars", !int_vars.is_empty()) {
+        let mut tightened = Vec::with_capacity(constraints.len());
+        for c in &constraints {
+            match tighten_int(c, int_vars) {
+                Some(t) => tightened.push(t),
+                None => return LinResult::Unsat,
+            }
+        }
+        constraints = tightened;
+    }
+
+    let mut t = Tableau::new(num_vars);
+    for c in &constraints {
+        // Constant-only constraints decide immediately.
+        if c.expr.is_constant() {
+            let v = &c.expr.constant;
+            let holds = match c.cmp {
+                Cmp::Le => !v.is_positive(),
+                Cmp::Lt => v.is_negative(),
+                Cmp::Ge => !v.is_negative(),
+                Cmp::Gt => v.is_positive(),
+                Cmp::Eq => v.is_zero(),
+            };
+            if !holds {
+                return LinResult::Unsat;
+            }
+            continue;
+        }
+        // expr ⋈ 0 ⇔ (expr - constant part as vars) ⋈ -constant.
+        let rhs = -c.expr.constant.clone();
+        let slack = t.add_slack(&c.expr.coeffs);
+        let ok = match c.cmp {
+            Cmp::Le => t.assert_upper(slack, DeltaRat::from_rat(rhs)),
+            Cmp::Lt => t.assert_upper(slack, DeltaRat::with_delta(rhs, -1)),
+            Cmp::Ge => t.assert_lower(slack, DeltaRat::from_rat(rhs)),
+            Cmp::Gt => t.assert_lower(slack, DeltaRat::with_delta(rhs, 1)),
+            Cmp::Eq => t
+                .assert_upper(slack, DeltaRat::from_rat(rhs.clone()))
+                .and_then(|_| t.assert_lower(slack, DeltaRat::from_rat(rhs))),
+        };
+        if ok.is_err() || t.check().is_err() {
+            return LinResult::Unsat;
+        }
+    }
+    if t.check().is_err() {
+        return LinResult::Unsat;
+    }
+    let assignment = t.concrete_assignment(num_vars);
+    // Branch and bound on fractional integer variables.
+    let fractional = int_vars
+        .iter()
+        .copied()
+        .find(|v| !assignment[*v].is_integer());
+    yinyang_coverage::probe_branch!("simplex::needs_branching", fractional.is_some());
+    match fractional {
+        None => LinResult::Sat(assignment),
+        Some(v) => {
+            probe_line!("simplex::branch");
+            let val = &assignment[v];
+            let floor = val.floor();
+            // Branch x ≤ floor.
+            let mut le = LinExpr::var(v);
+            le.constant = -BigRational::from_int(floor.clone());
+            let mut c1 = constraints.clone();
+            c1.push(LinConstraint { expr: le, cmp: Cmp::Le });
+            match solve_rec(num_vars, c1, int_vars, budget) {
+                LinResult::Sat(a) => return LinResult::Sat(a),
+                LinResult::Unknown => return LinResult::Unknown,
+                LinResult::Unsat => {}
+            }
+            // Branch x ≥ floor + 1.
+            let mut ge = LinExpr::var(v);
+            ge.constant = -BigRational::from_int(&floor + &BigInt::one());
+            let mut c2 = constraints;
+            c2.push(LinConstraint { expr: ge, cmp: Cmp::Ge });
+            solve_rec(num_vars, c2, int_vars, budget)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(n: i64, d: i64) -> BigRational {
+        BigRational::new(n.into(), d.into())
+    }
+
+    /// Builds `Σ coeffs·x + constant ⋈ 0`.
+    fn con(coeffs: &[(usize, i64)], constant: i64, cmp: Cmp) -> LinConstraint {
+        let mut e = LinExpr::zero();
+        for &(v, c) in coeffs {
+            e.add_term(v, &q(c, 1));
+        }
+        e.constant = q(constant, 1);
+        LinConstraint { expr: e, cmp }
+    }
+
+    fn check_sat(n: usize, cs: &[LinConstraint], ints: &[usize]) -> Vec<BigRational> {
+        let int_set: BTreeSet<usize> = ints.iter().copied().collect();
+        match solve_linear(n, cs, &int_set) {
+            LinResult::Sat(a) => {
+                for c in cs {
+                    let v = c.expr.eval(&a);
+                    let ok = match c.cmp {
+                        Cmp::Le => !v.is_positive(),
+                        Cmp::Lt => v.is_negative(),
+                        Cmp::Ge => !v.is_negative(),
+                        Cmp::Gt => v.is_positive(),
+                        Cmp::Eq => v.is_zero(),
+                    };
+                    assert!(ok, "constraint {c:?} violated: {v}");
+                }
+                for &i in ints {
+                    assert!(a[i].is_integer(), "x{i} = {} not integer", a[i]);
+                }
+                a
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_feasible() {
+        // x ≥ 1 ∧ x ≤ 3
+        let cs = vec![con(&[(0, 1)], -1, Cmp::Ge), con(&[(0, 1)], -3, Cmp::Le)];
+        check_sat(1, &cs, &[]);
+    }
+
+    #[test]
+    fn simple_infeasible() {
+        // x ≥ 3 ∧ x ≤ 1
+        let cs = vec![con(&[(0, 1)], -3, Cmp::Ge), con(&[(0, 1)], -1, Cmp::Le)];
+        assert_eq!(solve_linear(1, &cs, &BTreeSet::new()), LinResult::Unsat);
+    }
+
+    #[test]
+    fn strict_bounds_rationals() {
+        // 0 < x < 1 over rationals: sat.
+        let cs = vec![con(&[(0, 1)], 0, Cmp::Gt), con(&[(0, 1)], -1, Cmp::Lt)];
+        let a = check_sat(1, &cs, &[]);
+        assert!(a[0].is_positive() && a[0] < q(1, 1));
+    }
+
+    #[test]
+    fn strict_bounds_integers_unsat() {
+        // 0 < x < 1 over integers: unsat.
+        let cs = vec![con(&[(0, 1)], 0, Cmp::Gt), con(&[(0, 1)], -1, Cmp::Lt)];
+        let ints: BTreeSet<usize> = [0].into_iter().collect();
+        assert_eq!(solve_linear(1, &cs, &ints), LinResult::Unsat);
+    }
+
+    #[test]
+    fn two_var_system() {
+        // x + y = 10 ∧ x - y ≥ 4 ∧ y ≥ 1
+        let cs = vec![
+            con(&[(0, 1), (1, 1)], -10, Cmp::Eq),
+            con(&[(0, 1), (1, -1)], -4, Cmp::Ge),
+            con(&[(1, 1)], -1, Cmp::Ge),
+        ];
+        let a = check_sat(2, &cs, &[]);
+        assert_eq!(&a[0] + &a[1], q(10, 1));
+    }
+
+    #[test]
+    fn equalities_chain_infeasible() {
+        // x = y ∧ y = z ∧ x - z = 1
+        let cs = vec![
+            con(&[(0, 1), (1, -1)], 0, Cmp::Eq),
+            con(&[(1, 1), (2, -1)], 0, Cmp::Eq),
+            con(&[(0, 1), (2, -1)], -1, Cmp::Eq),
+        ];
+        assert_eq!(solve_linear(3, &cs, &BTreeSet::new()), LinResult::Unsat);
+    }
+
+    #[test]
+    fn integer_branching_finds_lattice_point() {
+        // 2x + 2y = 5 has no integer solution; relaxation is feasible.
+        let cs = vec![con(&[(0, 2), (1, 2)], -5, Cmp::Eq)];
+        let ints: BTreeSet<usize> = [0, 1].into_iter().collect();
+        assert_eq!(solve_linear(2, &cs, &ints), LinResult::Unsat);
+        // 2x + 3y = 5 does (x=1, y=1).
+        let cs2 = vec![con(&[(0, 2), (1, 3)], -5, Cmp::Eq)];
+        check_sat(2, &cs2, &[0, 1]);
+    }
+
+    #[test]
+    fn paper_phi4_pattern_unsat() {
+        // 0 < y < v ≤ w ∧ w' < 0 where w' stands for w/v — linear fragment:
+        // y > 0, v - y > 0, w - v ≥ 0 is sat; adding w ≤ -1 flips it.
+        let cs = vec![
+            con(&[(0, 1)], 0, Cmp::Gt),              // y > 0
+            con(&[(1, 1), (0, -1)], 0, Cmp::Gt),     // v > y
+            con(&[(2, 1), (1, -1)], 0, Cmp::Ge),     // w ≥ v
+            con(&[(2, 1)], 1, Cmp::Le),               // w ≤ -1
+        ];
+        assert_eq!(solve_linear(3, &cs, &BTreeSet::new()), LinResult::Unsat);
+    }
+
+    #[test]
+    fn degenerate_constant_constraints() {
+        let cs = vec![con(&[], -1, Cmp::Le)];
+        check_sat(0, &cs, &[]);
+        let bad = vec![con(&[], 1, Cmp::Le)];
+        assert_eq!(solve_linear(0, &bad, &BTreeSet::new()), LinResult::Unsat);
+    }
+
+    #[test]
+    fn many_constraints_pivot_stress() {
+        // Random-ish diamond: for i in 0..8: x ≥ i - 8, x ≤ i + 8, plus x=3.
+        let mut cs = Vec::new();
+        for i in 0..8i64 {
+            cs.push(con(&[(0, 1)], -(i - 8), Cmp::Ge));
+            cs.push(con(&[(0, 1)], -(i + 8), Cmp::Le));
+        }
+        cs.push(con(&[(0, 1)], -3, Cmp::Eq));
+        let a = check_sat(1, &cs, &[]);
+        assert_eq!(a[0], q(3, 1));
+    }
+
+    #[test]
+    fn mixed_int_real() {
+        // i integral, r real: i ≤ r ∧ r ≤ i + 1/2 ∧ r ≥ 7/3.
+        let cs = vec![
+            con(&[(0, 1), (1, -1)], 0, Cmp::Le), // i - r ≤ 0
+            {
+                let mut e = LinExpr::zero();
+                e.add_term(1, &q(1, 1));
+                e.add_term(0, &q(-1, 1));
+                e.constant = q(-1, 2);
+                LinConstraint { expr: e, cmp: Cmp::Le } // r - i - 1/2 ≤ 0
+            },
+            {
+                let mut e = LinExpr::zero();
+                e.add_term(1, &q(1, 1));
+                e.constant = q(-7, 3);
+                LinConstraint { expr: e, cmp: Cmp::Ge } // r ≥ 7/3
+            },
+        ];
+        let a = check_sat(2, &cs, &[0]);
+        assert!(a[0].is_integer());
+    }
+
+    #[test]
+    fn delta_concretization_respects_strictness() {
+        // x > 0 ∧ x < 1/1000000: the concrete witness must be strictly inside.
+        let cs = vec![con(&[(0, 1)], 0, Cmp::Gt), {
+            let mut e = LinExpr::var(0);
+            e.constant = q(-1, 1_000_000);
+            LinConstraint { expr: e, cmp: Cmp::Lt }
+        }];
+        let a = check_sat(1, &cs, &[]);
+        assert!(a[0].is_positive() && a[0] < q(1, 1_000_000));
+    }
+}

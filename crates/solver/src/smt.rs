@@ -1,0 +1,1015 @@
+//! The top-level DPLL(T)-style SMT solver.
+//!
+//! Pipeline: define-fun inlining → sort check → simplification → ground
+//! congruence substitution (undoes fusion-style definitional equalities) →
+//! normalization (chain binarization, arithmetic equality splitting, `ite`
+//! lifting) → quantifier elimination/instantiation → Tseitin CNF → lazy SMT
+//! loop (CDCL SAT skeleton + [`theory`](crate::theory) conjunction checks).
+//!
+//! Soundness discipline: `Sat` is only reported with a model that the exact
+//! evaluator verifies; `Unsat` only through sound reasoning chains; every
+//! shortcut degrades to `Unknown`.
+
+use crate::rewrite::simplify;
+use crate::sat::{Lit, SatOutcome, SatSolver};
+use crate::theory::{check_theory, TheoryBudget, TheoryLit, TheoryVerdict};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use yinyang_coverage::{probe_fn, probe_line};
+use yinyang_smtlib::subst::{fresh_name, substitute_free};
+use yinyang_smtlib::{
+    check_script, parse_script, Model, Op, ParseError, Quantifier, Script, Sort, SortEnv,
+    Symbol, Term, TermKind, Value, ZeroDivPolicy,
+};
+
+/// The three-valued answer of `(check-sat)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SatResult {
+    /// Satisfiable.
+    Sat,
+    /// Unsatisfiable.
+    Unsat,
+    /// Undecided.
+    Unknown,
+}
+
+impl std::fmt::Display for SatResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SatResult::Sat => "sat",
+            SatResult::Unsat => "unsat",
+            SatResult::Unknown => "unknown",
+        })
+    }
+}
+
+/// Full output of a solve call.
+#[derive(Debug, Clone)]
+pub struct SolveOutput {
+    /// The verdict.
+    pub result: SatResult,
+    /// A verified model for `Sat` verdicts.
+    pub model: Option<Model>,
+    /// Why the solver gave up, for `Unknown`.
+    pub reason: Option<String>,
+    /// Lazy-loop iterations used.
+    pub iterations: usize,
+}
+
+impl SolveOutput {
+    fn sat(model: Model, iterations: usize) -> Self {
+        SolveOutput { result: SatResult::Sat, model: Some(model), reason: None, iterations }
+    }
+
+    fn unsat(iterations: usize) -> Self {
+        SolveOutput { result: SatResult::Unsat, model: None, reason: None, iterations }
+    }
+
+    fn unknown(reason: impl Into<String>, iterations: usize) -> Self {
+        SolveOutput {
+            result: SatResult::Unknown,
+            model: None,
+            reason: Some(reason.into()),
+            iterations,
+        }
+    }
+}
+
+/// Tunable limits.
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// SAT conflict budget per skeleton call.
+    pub sat_conflicts: u64,
+    /// Maximum lazy-loop iterations (theory-blocking rounds).
+    pub max_iterations: usize,
+    /// Theory-checker budgets.
+    pub theory: TheoryBudget,
+    /// Instances per universal quantifier during instantiation.
+    pub forall_instances: usize,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            sat_conflicts: 20_000,
+            max_iterations: 40,
+            theory: TheoryBudget::default(),
+            forall_instances: 6,
+        }
+    }
+}
+
+/// The reference SMT solver of this workspace.
+///
+/// # Examples
+///
+/// ```
+/// use yinyang_solver::{SatResult, SmtSolver};
+///
+/// let solver = SmtSolver::new();
+/// let out = solver
+///     .solve_str("(declare-fun x () Int) (assert (> (* x x) 4)) (check-sat)")?;
+/// assert_eq!(out.result, SatResult::Sat);
+/// # Ok::<(), yinyang_smtlib::ParseError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct SmtSolver {
+    config: SolverConfig,
+}
+
+impl SmtSolver {
+    /// A solver with default limits.
+    pub fn new() -> Self {
+        SmtSolver::default()
+    }
+
+    /// A solver with explicit limits.
+    pub fn with_config(config: SolverConfig) -> Self {
+        SmtSolver { config }
+    }
+
+    /// Parses and solves SMT-LIB source.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error if `src` is not a valid script.
+    pub fn solve_str(&self, src: &str) -> Result<SolveOutput, ParseError> {
+        Ok(self.solve_script(&parse_script(src)?))
+    }
+
+    /// Solves a script (the conjunction of its assertions).
+    pub fn solve_script(&self, script: &Script) -> SolveOutput {
+        probe_fn!("smt::solve_script");
+        let mut env = script.declarations();
+
+        // Inline zero-ary define-funs as macros.
+        let mut macros: BTreeMap<Symbol, Term> = BTreeMap::new();
+        for (name, params, _sort, body) in script.definitions() {
+            if params.is_empty() {
+                macros.insert(name, body);
+            }
+        }
+        let mut asserts: Vec<Term> = script
+            .asserts()
+            .into_iter()
+            .map(|mut t| {
+                for (name, body) in &macros {
+                    t = substitute_free(&t, name, body);
+                }
+                t
+            })
+            .collect();
+
+        // Sort check the (inlined) assertions.
+        {
+            let check = Script::check_sat_script(
+                script.logic().unwrap_or("ALL"),
+                env.clone(),
+                asserts.iter().cloned(),
+            );
+            if let Err(e) = check_script(&check) {
+                probe_line!("smt::ill_sorted");
+                return SolveOutput::unknown(format!("ill-sorted input: {e}"), 0);
+            }
+        }
+
+        asserts = asserts.iter().map(simplify).collect();
+        yinyang_coverage::probe_branch!(
+            "smt::has_definitional_equalities",
+            asserts.iter().any(|a| matches!(a.kind(), TermKind::App(Op::Eq, args)
+                if args.len() == 2
+                    && (matches!(args[0].kind(), TermKind::Var(_))
+                        || matches!(args[1].kind(), TermKind::Var(_)))))
+        );
+        if asserts.iter().any(|t| *t == Term::fals()) {
+            probe_line!("smt::trivially_false");
+            return SolveOutput::unsat(0);
+        }
+        asserts.retain(|t| *t != Term::tru());
+
+        // Ground congruence substitution: for definitional equalities
+        // `(= x t)` rewrite `t` to `x` in the other assertions. This is the
+        // rewriting that "sees through" UNSAT-fusion inversion terms.
+        asserts = congruence_pass(asserts);
+
+        // Quantifier handling.
+        yinyang_coverage::probe_branch!(
+            "smt::has_quantifiers",
+            asserts.iter().any(Term::has_quantifier)
+        );
+        let mut approx_forall = false;
+        let mut expanded: Vec<Term> = Vec::new();
+        for a in asserts {
+            match flatten_quantifiers(
+                &a,
+                &mut env,
+                self.config.forall_instances,
+                &mut approx_forall,
+            ) {
+                Some(ts) => expanded.extend(ts),
+                None => {
+                    probe_line!("smt::nested_quantifier");
+                    return SolveOutput::unknown("unsupported nested quantifier", 0);
+                }
+            }
+        }
+        let mut asserts: Vec<Term> = expanded.iter().map(simplify).collect();
+        if asserts.iter().any(|t| *t == Term::fals()) {
+            return SolveOutput::unsat(0);
+        }
+        asserts.retain(|t| *t != Term::tru());
+        if asserts.iter().any(Term::has_quantifier) {
+            return SolveOutput::unknown("unsupported nested quantifier", 0);
+        }
+
+        // Normalization for atomization.
+        let mut fresh_counter = 0usize;
+        let mut side: Vec<Term> = Vec::new();
+        let mut normalized: Vec<Term> = Vec::new();
+        for a in &asserts {
+            let n = normalize(a, &env);
+            let lifted = lift_ites(&n, &mut env, &mut side, &mut fresh_counter);
+            normalized.push(simplify(&lifted));
+        }
+        normalized.extend(side.iter().map(simplify));
+
+        // Tseitin + lazy loop.
+        let outcome = self.lazy_loop(&normalized, &env);
+        match outcome.result {
+            SatResult::Sat if approx_forall => {
+                probe_line!("smt::forall_approx_blocks_sat");
+                SolveOutput::unknown("universal instantiation is incomplete for sat", outcome.iterations)
+            }
+            _ => outcome,
+        }
+    }
+
+    fn lazy_loop(&self, asserts: &[Term], env: &SortEnv) -> SolveOutput {
+        probe_fn!("smt::lazy_loop");
+        let mut sat = SatSolver::new();
+        let mut atoms: Vec<Term> = Vec::new();
+        let mut atom_vars: HashMap<Term, usize> = HashMap::new();
+        let mut tseitin = Tseitin {
+            sat: &mut sat,
+            atoms: &mut atoms,
+            atom_vars: &mut atom_vars,
+            env,
+        };
+        let mut roots = Vec::new();
+        for a in asserts {
+            let lit = tseitin.encode(a);
+            roots.push(lit);
+        }
+        for r in roots {
+            sat.add_clause(vec![r]);
+        }
+
+        let mut saw_unknown = false;
+        for iteration in 0..self.config.max_iterations {
+            match sat.solve(self.config.sat_conflicts) {
+                SatOutcome::Unknown => {
+                    return SolveOutput::unknown("sat budget exhausted", iteration)
+                }
+                SatOutcome::Unsat => {
+                    return if saw_unknown {
+                        probe_line!("smt::unsat_tainted_by_unknown");
+                        SolveOutput::unknown("theory checker gave up on a branch", iteration)
+                    } else {
+                        probe_line!("smt::unsat");
+                        SolveOutput::unsat(iteration)
+                    };
+                }
+                SatOutcome::Sat(assignment) => {
+                    let lits: Vec<TheoryLit> = atoms
+                        .iter()
+                        .map(|atom| TheoryLit {
+                            atom: atom.clone(),
+                            positive: assignment[atom_vars[atom]],
+                        })
+                        .collect();
+                    // Split off boolean variables (they are not theory atoms).
+                    let (bool_lits, theory_lits): (Vec<&TheoryLit>, Vec<&TheoryLit>) =
+                        lits.iter().partition(|l| matches!(l.atom.kind(), TermKind::Var(_)));
+                    let theory_lits: Vec<TheoryLit> =
+                        theory_lits.into_iter().cloned().collect();
+                    match check_theory(&theory_lits, env, &self.config.theory) {
+                        TheoryVerdict::Sat(mut model) => {
+                            for bl in bool_lits {
+                                if let TermKind::Var(name) = bl.atom.kind() {
+                                    model.set(name.clone(), Value::Bool(bl.positive));
+                                }
+                            }
+                            // Final end-to-end verification.
+                            let verified = asserts.iter().all(|a| {
+                                matches!(
+                                    model.eval_with(a, ZeroDivPolicy::Zero),
+                                    Ok(Value::Bool(true))
+                                )
+                            });
+                            if verified {
+                                probe_line!("smt::sat_verified");
+                                return SolveOutput::sat(model, iteration);
+                            }
+                            probe_line!("smt::sat_verification_failed");
+                            return SolveOutput::unknown(
+                                "model verification failed",
+                                iteration,
+                            );
+                        }
+                        verdict => {
+                            if verdict == TheoryVerdict::Unknown {
+                                saw_unknown = true;
+                            }
+                            sat.backtrack_to_root();
+                            // Block the theory assignment — minimized to an
+                            // unsat core when the conflict is decisive, so
+                            // the skeleton cannot re-enumerate irrelevant
+                            // boolean combinations.
+                            let core: Vec<TheoryLit> =
+                                if verdict == TheoryVerdict::Unsat {
+                                    minimize_core(theory_lits, env, &self.config.theory)
+                                } else {
+                                    theory_lits
+                                };
+                            let blocking: Vec<Lit> = core
+                                .iter()
+                                .map(|l| Lit::new(atom_vars[&l.atom], !l.positive))
+                                .collect();
+                            if blocking.is_empty() {
+                                return SolveOutput::unknown("empty blocking clause", iteration);
+                            }
+                            probe_line!("smt::blocking_clause");
+                            sat.add_clause(blocking);
+                        }
+                    }
+                }
+            }
+        }
+        SolveOutput::unknown("iteration limit", self.config.max_iterations)
+    }
+}
+
+/// Greedy unsat-core shrinking: drop literals whose removal keeps the
+/// conjunction unsat. Capped to keep the extra theory calls cheap.
+fn minimize_core(
+    lits: Vec<TheoryLit>,
+    env: &SortEnv,
+    _budget: &TheoryBudget,
+) -> Vec<TheoryLit> {
+    if lits.len() > 16 {
+        return lits;
+    }
+    // Unsat verdicts never come from the bounded model search, so the
+    // shrinking re-checks can run with a minimal search budget — this keeps
+    // core minimization cheap even on string conjunctions.
+    let cheap = TheoryBudget { search_candidates: 8, interval_rounds: 4, bb_nodes: 60 };
+    let mut core = lits;
+    let mut i = 0;
+    while i < core.len() && core.len() > 1 {
+        let mut candidate = core.clone();
+        candidate.remove(i);
+        if check_theory(&candidate, env, &cheap) == TheoryVerdict::Unsat {
+            core = candidate;
+        } else {
+            i += 1;
+        }
+    }
+    core
+}
+
+/// Rewrites definitional equalities through the other assertions:
+/// from `(= x t)` (x a variable not free in t), replace occurrences of `t`
+/// elsewhere by `x`.
+fn congruence_pass(asserts: Vec<Term>) -> Vec<Term> {
+    probe_fn!("smt::congruence_pass");
+    let mut defs: Vec<(Term, Term)> = Vec::new(); // (t, x)
+    for a in &asserts {
+        if let TermKind::App(Op::Eq, args) = a.kind() {
+            if args.len() == 2 {
+                for (var_side, term_side) in [(&args[0], &args[1]), (&args[1], &args[0])] {
+                    if let TermKind::Var(v) = var_side.kind() {
+                        if term_side.size() > 1 && !term_side.free_vars().contains(v) {
+                            defs.push((term_side.clone(), var_side.clone()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if defs.is_empty() {
+        return asserts;
+    }
+    probe_line!("smt::congruence_rewrites");
+    asserts
+        .into_iter()
+        .map(|a| {
+            // Keep the defining equalities themselves intact.
+            let is_def = matches!(a.kind(), TermKind::App(Op::Eq, args)
+                if args.len() == 2
+                    && (matches!(args[0].kind(), TermKind::Var(_))
+                        || matches!(args[1].kind(), TermKind::Var(_))));
+            if is_def {
+                a
+            } else {
+                let mut t = a;
+                for (from, to) in &defs {
+                    t = replace_term(&t, from, to);
+                }
+                t
+            }
+        })
+        .collect()
+}
+
+/// Structurally replaces every occurrence of `from` in `term` by `to`.
+pub fn replace_term(term: &Term, from: &Term, to: &Term) -> Term {
+    if term == from {
+        return to.clone();
+    }
+    match term.kind() {
+        TermKind::App(op, args) => {
+            Term::app(*op, args.iter().map(|a| replace_term(a, from, to)).collect())
+        }
+        TermKind::Quant(q, bindings, body) => {
+            // Do not rewrite under binders that capture variables of `to` or
+            // bind variables free in `from`.
+            let fv: BTreeSet<Symbol> =
+                from.free_vars().union(&to.free_vars()).cloned().collect();
+            if bindings.iter().any(|(s, _)| fv.contains(s)) {
+                term.clone()
+            } else {
+                Term::quant(*q, bindings.clone(), replace_term(body, from, to))
+            }
+        }
+        TermKind::Let(bindings, body) => {
+            let fv: BTreeSet<Symbol> =
+                from.free_vars().union(&to.free_vars()).cloned().collect();
+            let new_bindings: Vec<_> = bindings
+                .iter()
+                .map(|(s, t)| (s.clone(), replace_term(t, from, to)))
+                .collect();
+            if bindings.iter().any(|(s, _)| fv.contains(s)) {
+                Term::let_in(new_bindings, body.clone())
+            } else {
+                Term::let_in(new_bindings, replace_term(body, from, to))
+            }
+        }
+        _ => term.clone(),
+    }
+}
+
+/// Handles top-level quantifiers in an assertion: skolemizes existentials,
+/// instantiates universals over a ground candidate set. Returns `None` for
+/// quantifiers in positions we cannot treat soundly.
+fn flatten_quantifiers(
+    assert: &Term,
+    env: &mut SortEnv,
+    instances: usize,
+    approx_forall: &mut bool,
+) -> Option<Vec<Term>> {
+    match assert.kind() {
+        TermKind::Quant(Quantifier::Exists, bindings, body) => {
+            probe_line!("smt::skolemize");
+            let mut avoid: BTreeSet<Symbol> = env.keys().cloned().collect();
+            avoid.extend(body.free_vars());
+            let mut t = body.clone();
+            for (name, sort) in bindings {
+                let fresh = fresh_name(&format!("{name}!sk"), &avoid);
+                avoid.insert(fresh.clone());
+                env.insert(fresh.clone(), *sort);
+                t = substitute_free(&t, name, &Term::var(fresh));
+            }
+            flatten_quantifiers(&t, env, instances, approx_forall)
+        }
+        TermKind::Quant(Quantifier::Forall, bindings, body) => {
+            probe_line!("smt::instantiate_forall");
+            *approx_forall = true;
+            let mut out = Vec::new();
+            let candidates = ground_candidates(env, instances);
+            let mut frontier = vec![body.clone()];
+            for (name, sort) in bindings {
+                let terms = candidates.get(sort).cloned().unwrap_or_default();
+                let mut next = Vec::new();
+                for f in &frontier {
+                    for c in terms.iter().take(instances) {
+                        next.push(substitute_free(f, name, c));
+                    }
+                }
+                frontier = next;
+            }
+            for f in frontier {
+                // Instances may contain further quantifiers.
+                if f.has_quantifier() {
+                    return None;
+                }
+                out.push(f);
+            }
+            Some(out)
+        }
+        TermKind::App(Op::And, args) => {
+            let mut out = Vec::new();
+            for a in args {
+                out.extend(flatten_quantifiers(a, env, instances, approx_forall)?);
+            }
+            Some(out)
+        }
+        _ => {
+            if assert.has_quantifier() {
+                None
+            } else {
+                Some(vec![assert.clone()])
+            }
+        }
+    }
+}
+
+/// Ground candidate terms per sort for universal instantiation.
+fn ground_candidates(env: &SortEnv, cap: usize) -> BTreeMap<Sort, Vec<Term>> {
+    let mut out: BTreeMap<Sort, Vec<Term>> = BTreeMap::new();
+    out.insert(Sort::Int, vec![Term::int(0), Term::int(1), Term::int(-1)]);
+    out.insert(
+        Sort::Real,
+        vec![Term::real_frac(0, 1), Term::real_frac(1, 1), Term::real_frac(-1, 1)],
+    );
+    out.insert(Sort::String, vec![Term::str_lit(""), Term::str_lit("a")]);
+    out.insert(Sort::Bool, vec![Term::tru(), Term::fals()]);
+    for (name, sort) in env {
+        let e = out.entry(*sort).or_default();
+        if e.len() < cap {
+            e.insert(0, Term::var(name.clone()));
+        }
+    }
+    out
+}
+
+/// Binarizes chained comparisons, splits arithmetic equalities and
+/// distincts, folds `xor`/`=>` into binary boolean structure.
+fn normalize(term: &Term, env: &SortEnv) -> Term {
+    match term.kind() {
+        TermKind::App(op, args) => {
+            let args: Vec<Term> = args.iter().map(|a| normalize(a, env)).collect();
+            match op {
+                Op::Le | Op::Lt | Op::Ge | Op::Gt if args.len() > 2 => {
+                    probe_line!("smt::binarize_chain");
+                    let parts = args
+                        .windows(2)
+                        .map(|w| Term::app(*op, vec![w[0].clone(), w[1].clone()]))
+                        .collect();
+                    Term::and(parts)
+                }
+                Op::Eq => {
+                    let is_arith = yinyang_smtlib::sort_of(&args[0], env)
+                        .map(|s| s.is_arith())
+                        .unwrap_or(false);
+                    let pairs: Vec<Term> = args
+                        .windows(2)
+                        .map(|w| {
+                            if is_arith {
+                                probe_line!("smt::split_arith_eq");
+                                Term::and(vec![
+                                    Term::le(w[0].clone(), w[1].clone()),
+                                    Term::ge(w[0].clone(), w[1].clone()),
+                                ])
+                            } else {
+                                Term::eq(w[0].clone(), w[1].clone())
+                            }
+                        })
+                        .collect();
+                    Term::and(pairs)
+                }
+                Op::Distinct => {
+                    let is_arith = yinyang_smtlib::sort_of(&args[0], env)
+                        .map(|s| s.is_arith())
+                        .unwrap_or(false);
+                    let mut parts = Vec::new();
+                    for i in 0..args.len() {
+                        for j in i + 1..args.len() {
+                            if is_arith {
+                                parts.push(Term::or(vec![
+                                    Term::lt(args[i].clone(), args[j].clone()),
+                                    Term::gt(args[i].clone(), args[j].clone()),
+                                ]));
+                            } else {
+                                parts.push(Term::not(Term::eq(
+                                    args[i].clone(),
+                                    args[j].clone(),
+                                )));
+                            }
+                        }
+                    }
+                    Term::and(parts)
+                }
+                Op::Implies if args.len() > 2 => {
+                    // Right-associative fold.
+                    let mut it = args.into_iter().rev();
+                    let mut acc = it.next().expect("arity >= 2");
+                    for a in it {
+                        acc = Term::implies(a, acc);
+                    }
+                    acc
+                }
+                _ => Term::app(*op, args),
+            }
+        }
+        TermKind::Quant(q, b, body) => Term::quant(*q, b.clone(), normalize(body, env)),
+        TermKind::Let(bindings, body) => {
+            // Lets are expanded by simplify before this point, but keep safe.
+            Term::let_in(bindings.clone(), normalize(body, env))
+        }
+        _ => term.clone(),
+    }
+}
+
+/// Hoists non-boolean `ite` terms: each becomes a fresh variable `v` with
+/// the side assertion `(and (=> c (= v then)) (=> (not c) (= v else)))`.
+fn lift_ites(
+    term: &Term,
+    env: &mut SortEnv,
+    side: &mut Vec<Term>,
+    counter: &mut usize,
+) -> Term {
+    match term.kind() {
+        TermKind::App(op, args) => {
+            let args: Vec<Term> =
+                args.iter().map(|a| lift_ites(a, env, side, counter)).collect();
+            if *op == Op::Ite {
+                let branch_sort = yinyang_smtlib::sort_of(&args[1], env);
+                if let Ok(s) = branch_sort {
+                    if s != Sort::Bool {
+                        probe_line!("smt::lift_ite");
+                        let avoid: BTreeSet<Symbol> = env.keys().cloned().collect();
+                        let fresh = fresh_name(&format!("!ite{counter}"), &avoid);
+                        *counter += 1;
+                        env.insert(fresh.clone(), s);
+                        let v = Term::var(fresh);
+                        side.push(Term::and(vec![
+                            Term::implies(args[0].clone(), Term::eq(v.clone(), args[1].clone())),
+                            Term::implies(
+                                Term::not(args[0].clone()),
+                                Term::eq(v.clone(), args[2].clone()),
+                            ),
+                        ]));
+                        return v;
+                    }
+                }
+            }
+            Term::app(*op, args)
+        }
+        _ => term.clone(),
+    }
+}
+
+/// Tseitin encoder: boolean structure → CNF, leaves → atom variables.
+struct Tseitin<'a> {
+    sat: &'a mut SatSolver,
+    atoms: &'a mut Vec<Term>,
+    atom_vars: &'a mut HashMap<Term, usize>,
+    env: &'a SortEnv,
+}
+
+impl Tseitin<'_> {
+    fn atom_lit(&mut self, atom: &Term) -> Lit {
+        if let Some(&v) = self.atom_vars.get(atom) {
+            return Lit::pos(v);
+        }
+        let v = self.sat.new_var();
+        self.atom_vars.insert(atom.clone(), v);
+        self.atoms.push(atom.clone());
+        Lit::pos(v)
+    }
+
+    fn fresh_lit(&mut self) -> Lit {
+        Lit::pos(self.sat.new_var())
+    }
+
+    fn encode(&mut self, t: &Term) -> Lit {
+        match t.kind() {
+            TermKind::BoolConst(b) => {
+                let l = self.fresh_lit();
+                self.sat.add_clause(vec![if *b { l } else { l.negate() }]);
+                l
+            }
+            TermKind::Var(_) => self.atom_lit(t),
+            TermKind::App(op, args) => match op {
+                Op::Not => self.encode(&args[0]).negate(),
+                Op::And => {
+                    let lits: Vec<Lit> = args.iter().map(|a| self.encode(a)).collect();
+                    let out = self.fresh_lit();
+                    // out → each lit; all lits → out.
+                    for &l in &lits {
+                        self.sat.add_clause(vec![out.negate(), l]);
+                    }
+                    let mut big: Vec<Lit> = lits.iter().map(|l| l.negate()).collect();
+                    big.push(out);
+                    self.sat.add_clause(big);
+                    out
+                }
+                Op::Or => {
+                    let lits: Vec<Lit> = args.iter().map(|a| self.encode(a)).collect();
+                    let out = self.fresh_lit();
+                    for &l in &lits {
+                        self.sat.add_clause(vec![out, l.negate()]);
+                    }
+                    let mut big: Vec<Lit> = lits.clone();
+                    big.push(out.negate());
+                    self.sat.add_clause(big);
+                    out
+                }
+                Op::Implies => {
+                    // Binary after normalization, but fold defensively.
+                    let mut acc = self.encode(args.last().expect("arity"));
+                    for a in args[..args.len() - 1].iter().rev() {
+                        let p = self.encode(a);
+                        let out = self.fresh_lit();
+                        // out ↔ (¬p ∨ acc)
+                        self.sat.add_clause(vec![out.negate(), p.negate(), acc]);
+                        self.sat.add_clause(vec![out, p]);
+                        self.sat.add_clause(vec![out, acc.negate()]);
+                        acc = out;
+                    }
+                    acc
+                }
+                Op::Xor => {
+                    let mut acc = self.encode(&args[0]);
+                    for a in &args[1..] {
+                        let b = self.encode(a);
+                        let out = self.fresh_lit();
+                        // out ↔ acc ⊕ b.
+                        self.sat.add_clause(vec![out.negate(), acc, b]);
+                        self.sat.add_clause(vec![out.negate(), acc.negate(), b.negate()]);
+                        self.sat.add_clause(vec![out, acc.negate(), b]);
+                        self.sat.add_clause(vec![out, acc, b.negate()]);
+                        acc = out;
+                    }
+                    acc
+                }
+                Op::Eq if self.is_bool_args(args) => {
+                    // Boolean iff chain.
+                    let mut acc: Option<Lit> = None;
+                    let mut prev = self.encode(&args[0]);
+                    for a in &args[1..] {
+                        let b = self.encode(a);
+                        let out = self.fresh_lit();
+                        // out ↔ (prev ↔ b)
+                        self.sat.add_clause(vec![out.negate(), prev.negate(), b]);
+                        self.sat.add_clause(vec![out.negate(), prev, b.negate()]);
+                        self.sat.add_clause(vec![out, prev, b]);
+                        self.sat.add_clause(vec![out, prev.negate(), b.negate()]);
+                        acc = Some(match acc {
+                            None => out,
+                            Some(c) => {
+                                let both = self.fresh_lit();
+                                self.sat.add_clause(vec![both.negate(), c]);
+                                self.sat.add_clause(vec![both.negate(), out]);
+                                self.sat.add_clause(vec![both, c.negate(), out.negate()]);
+                                both
+                            }
+                        });
+                        prev = b;
+                    }
+                    acc.expect("arity >= 2")
+                }
+                Op::Ite if self.is_bool_args(&args[1..]) => {
+                    let c = self.encode(&args[0]);
+                    let t_ = self.encode(&args[1]);
+                    let e_ = self.encode(&args[2]);
+                    let out = self.fresh_lit();
+                    self.sat.add_clause(vec![out.negate(), c.negate(), t_]);
+                    self.sat.add_clause(vec![out.negate(), c, e_]);
+                    self.sat.add_clause(vec![out, c.negate(), t_.negate()]);
+                    self.sat.add_clause(vec![out, c, e_.negate()]);
+                    out
+                }
+                _ => self.atom_lit(t),
+            },
+            _ => self.atom_lit(t),
+        }
+    }
+
+    fn is_bool_args(&self, args: &[Term]) -> bool {
+        args.first()
+            .map(|a| yinyang_smtlib::sort_of(a, self.env) == Ok(Sort::Bool))
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(src: &str) -> SolveOutput {
+        SmtSolver::new().solve_str(src).expect("parse")
+    }
+
+    fn assert_sat(src: &str) {
+        let out = solve(src);
+        assert_eq!(out.result, SatResult::Sat, "{src}: {:?}", out.reason);
+        let model = out.model.expect("sat carries model");
+        let script = parse_script(src).unwrap();
+        for a in script.asserts() {
+            if a.has_quantifier() {
+                continue; // the evaluator cannot decide quantifiers
+            }
+            // Models are verified — double check here.
+            assert_eq!(
+                model.eval_with(&a, ZeroDivPolicy::Zero).unwrap(),
+                Value::Bool(true),
+                "assert {a} unsatisfied in reported model"
+            );
+        }
+    }
+
+    fn assert_unsat(src: &str) {
+        let out = solve(src);
+        assert_eq!(out.result, SatResult::Unsat, "{src}: {:?}", out.reason);
+    }
+
+    #[test]
+    fn pure_boolean() {
+        assert_sat("(declare-fun p () Bool) (declare-fun q () Bool) (assert (or p q)) (assert (not p)) (check-sat)");
+        assert_unsat("(declare-fun p () Bool) (assert p) (assert (not p)) (check-sat)");
+    }
+
+    #[test]
+    fn linear_integer_arithmetic() {
+        assert_sat("(declare-fun x () Int) (declare-fun y () Int) (assert (< x y)) (assert (< y (+ x 2))) (check-sat)");
+        assert_unsat("(declare-fun x () Int) (assert (< x 1)) (assert (> x 0)) (check-sat)");
+    }
+
+    #[test]
+    fn linear_real_arithmetic() {
+        assert_sat("(declare-fun x () Real) (assert (< x 1.0)) (assert (> x 0.9)) (check-sat)");
+        assert_unsat("(declare-fun x () Real) (assert (< x 0.5)) (assert (> x 0.5)) (check-sat)");
+    }
+
+    #[test]
+    fn paper_phi1_phi2_sat() {
+        // Section 2.1's φ1 and φ2.
+        assert_sat(
+            "(declare-fun x () Int) (declare-fun w () Bool)
+             (assert (= x (- 1))) (assert (= w (= x (- 1)))) (assert w) (check-sat)",
+        );
+        assert_sat(
+            "(declare-fun y () Int) (declare-fun v () Bool)
+             (assert (= v (not (= y (- 1))))) (assert (ite v false (= y (- 1)))) (check-sat)",
+        );
+    }
+
+    #[test]
+    fn paper_phi3_unsat() {
+        // φ3 = ((1.0 + x) + 6.0) ≠ (7.0 + x).
+        assert_unsat(
+            "(declare-fun x () Real)
+             (assert (not (= (+ (+ 1.0 x) 6.0) (+ 7.0 x)))) (check-sat)",
+        );
+    }
+
+    #[test]
+    fn paper_phi4_unsat() {
+        // φ4 = 0 < y < v ≤ w ∧ w/v < 0 (nonlinear, via intervals).
+        assert_unsat(
+            "(declare-fun y () Real) (declare-fun w () Real) (declare-fun v () Real)
+             (assert (and (< y v) (>= w v) (< (/ w v) 0) (> y 0))) (check-sat)",
+        );
+    }
+
+    #[test]
+    fn boolean_structure_with_theory() {
+        assert_sat(
+            "(declare-fun x () Int)
+             (assert (or (< x 0) (> x 10))) (assert (>= x 0)) (check-sat)",
+        );
+        assert_unsat(
+            "(declare-fun x () Int)
+             (assert (or (< x 0) (> x 10))) (assert (>= x 0)) (assert (<= x 10)) (check-sat)",
+        );
+    }
+
+    #[test]
+    fn ite_lifting() {
+        assert_sat(
+            "(declare-fun d () Int) (declare-fun c () Bool)
+             (assert (= d (ite c 3 4))) (assert (> d 3)) (check-sat)",
+        );
+        assert_unsat(
+            "(declare-fun d () Int) (declare-fun c () Bool)
+             (assert (= d (ite c 3 4))) (assert (> d 4)) (check-sat)",
+        );
+    }
+
+    #[test]
+    fn nonlinear_sat() {
+        assert_sat(
+            "(declare-fun x () Int) (declare-fun y () Int)
+             (assert (= (* x y) 12)) (assert (> x y)) (assert (> y 1)) (check-sat)",
+        );
+    }
+
+    #[test]
+    fn string_solving() {
+        assert_sat(
+            "(declare-fun a () String) (declare-fun b () String)
+             (assert (= (str.++ a b) \"ab\")) (assert (= (str.len a) 1)) (check-sat)",
+        );
+        assert_unsat(
+            "(declare-fun a () String)
+             (assert (= (str.len a) 2)) (assert (= (str.len a) 3)) (check-sat)",
+        );
+    }
+
+    #[test]
+    fn exists_skolemization() {
+        assert_sat(
+            "(declare-fun y () Int)
+             (assert (exists ((x Int)) (> x y))) (check-sat)",
+        );
+    }
+
+    #[test]
+    fn forall_instantiation_refutes() {
+        // ∀x. x > 5 instantiated at 0 refutes together with nothing else.
+        assert_unsat("(assert (forall ((x Int)) (> x 5))) (check-sat)");
+    }
+
+    #[test]
+    fn forall_sat_is_unknown() {
+        // ∀x. x = x simplifies to true — decided without instantiation.
+        let out = solve("(assert (forall ((x Int)) (= x x))) (check-sat)");
+        assert_eq!(out.result, SatResult::Sat);
+        // A real universal that is satisfiable must come back unknown, not sat.
+        let out2 = solve(
+            "(declare-fun y () Int) (assert (forall ((x Int)) (>= (* x x) 0))) (check-sat)",
+        );
+        assert_ne!(out2.result, SatResult::Unsat);
+    }
+
+    #[test]
+    fn congruence_pass_reverses_fusion() {
+        // x = z div y asserted; occurrences of (div z y) elsewhere rewrite
+        // to x, recovering a decidable formula.
+        assert_unsat(
+            "(declare-fun x () Int) (declare-fun y () Int) (declare-fun z () Int)
+             (assert (= x (div z y)))
+             (assert (> (div z y) 5))
+             (assert (< x 5)) (check-sat)",
+        );
+    }
+
+    #[test]
+    fn definitions_are_inlined() {
+        assert_unsat(
+            "(declare-fun x () Int) (define-fun c () Int 7)
+             (assert (> x c)) (assert (< x 7)) (check-sat)",
+        );
+    }
+
+    #[test]
+    fn xor_encoding() {
+        assert_sat("(declare-fun p () Bool) (declare-fun q () Bool) (assert (xor p q)) (check-sat)");
+        assert_unsat(
+            "(declare-fun p () Bool) (assert (xor p p)) (check-sat)",
+        );
+    }
+
+    #[test]
+    fn chained_comparison_binarization() {
+        assert_unsat(
+            "(declare-fun x () Int) (declare-fun y () Int)
+             (assert (< 0 x y 2)) (check-sat)",
+        );
+        assert_sat(
+            "(declare-fun x () Int) (declare-fun y () Int)
+             (assert (< 0 x y 3)) (check-sat)",
+        );
+    }
+
+    #[test]
+    fn distinct_split() {
+        assert_unsat(
+            "(declare-fun x () Int) (declare-fun y () Int) (declare-fun z () Int)
+             (assert (distinct x y z)) (assert (>= x 0)) (assert (<= x 1))
+             (assert (>= y 0)) (assert (<= y 1)) (assert (>= z 0)) (assert (<= z 1))
+             (check-sat)",
+        );
+    }
+
+    #[test]
+    fn empty_script_is_sat() {
+        let out = solve("(check-sat)");
+        assert_eq!(out.result, SatResult::Sat);
+    }
+
+    #[test]
+    fn fig3_fused_formula_is_sat() {
+        // The paper's Fig. 3 formula (CVC4 wrongly said unsat; correct: sat).
+        let out = solve(
+            "(declare-fun v () Bool) (declare-fun w () Bool)
+             (declare-fun x () Int) (declare-fun y () Int) (declare-fun z () Int)
+             (assert (= (div z y) (- 1)))
+             (assert (= w (= x (- 1)))) (assert w)
+             (assert (= v (not (= y (- 1)))))
+             (assert (ite v false (= (div z x) (- 1))))
+             (check-sat)",
+        );
+        assert_ne!(out.result, SatResult::Unsat, "must not repeat CVC4's bug");
+    }
+}

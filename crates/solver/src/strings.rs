@@ -1,0 +1,728 @@
+//! The string theory checker: length abstraction + evaluation-guided
+//! bounded search.
+//!
+//! Strategy for a conjunction of literals mentioning strings:
+//!
+//! 1. **Length abstraction** (sound for unsat): every string variable gets
+//!    an integer length column; concatenations become sums, equalities
+//!    equate lengths, prefix/suffix/contains bound them, and the arithmetic
+//!    literals are linearized alongside. If the abstraction is infeasible,
+//!    the conjunction is unsat.
+//! 2. **Bounded model search** (sound for sat): enumerate assignments for
+//!    string variables (and the integer variables used as string indices)
+//!    over a constant-derived alphabet, pruning with the evaluator as soon
+//!    as a literal's variables are all assigned. Residual pure-arithmetic
+//!    literals go back to the simplex-based checker.
+//!
+//! Exhausting the search budget yields `Unknown` — never a guessed verdict.
+
+use crate::linear::{atom_to_constraint, TermIndex};
+use crate::simplex::{solve_linear_budgeted, Cmp, LinConstraint, LinExpr, LinResult};
+use crate::theory::{check_arith, default_model, verify_model, TheoryBudget, TheoryLit, TheoryVerdict};
+use std::collections::{BTreeMap, BTreeSet};
+use yinyang_arith::{BigInt, BigRational};
+use yinyang_coverage::{probe_fn, probe_line};
+use yinyang_smtlib::subst::substitute_free;
+use yinyang_smtlib::{
+    sort_of, Model, Op, Sort, SortEnv, Symbol, Term, TermKind, Value, ZeroDivPolicy,
+};
+
+/// Length-abstraction + bounded-search entry point.
+pub(crate) fn check_strings(
+    lits: &[TheoryLit],
+    env: &SortEnv,
+    budget: &TheoryBudget,
+) -> TheoryVerdict {
+    probe_fn!("strings::check_strings");
+    let timing = std::env::var_os("YINYANG_TIMING").is_some();
+    let t0 = std::time::Instant::now();
+
+    let string_vars: Vec<Symbol> = collect_vars_of_sort(lits, env, Sort::String);
+    // Integer variables used inside string operations must be enumerated too.
+    let index_ints: Vec<Symbol> = collect_string_index_ints(lits, env);
+    yinyang_coverage::probe_branch!("strings::has_index_ints", !index_ints.is_empty());
+    yinyang_coverage::probe_branch!("strings::many_string_vars", string_vars.len() > 3);
+
+    // ---- 1. Length abstraction -------------------------------------------------
+    if length_abstraction_refutes(lits, env, &string_vars, budget) {
+        probe_line!("strings::length_refuted");
+        return TheoryVerdict::Unsat;
+    }
+
+    if timing {
+        eprintln!("[strings] length abstraction: {:.3}s ({} lits)", t0.elapsed().as_secs_f64(), lits.len());
+    }
+    // ---- 2. Bounded search -----------------------------------------------------
+    let t1 = std::time::Instant::now();
+    let alphabet = collect_alphabet(lits);
+    let max_len = 4usize;
+    let candidates = candidate_strings(lits, &alphabet, max_len);
+    let int_grid: Vec<BigInt> =
+        [-1i64, 0, 1, 2, 3, 4].iter().map(|&v| BigInt::from(v)).collect();
+
+    // For each literal, the DFS depth at which all of its variables are
+    // assigned (None when it mentions non-search variables — those are
+    // decided by the residual arithmetic check instead).
+    let search_vars: Vec<Symbol> = string_vars
+        .iter()
+        .chain(index_ints.iter())
+        .cloned()
+        .collect();
+    let closes_at: Vec<Option<usize>> = lits
+        .iter()
+        .map(|l| {
+            let fv = l.atom.free_vars();
+            let mut max_depth = 0usize;
+            for v in &fv {
+                match search_vars.iter().position(|s| s == v) {
+                    Some(i) => max_depth = max_depth.max(i),
+                    None => return None,
+                }
+            }
+            Some(max_depth)
+        })
+        .collect();
+
+    let mut searcher = Searcher {
+        lits,
+        closes_at: &closes_at,
+        env,
+        string_vars: &string_vars,
+        index_ints: &index_ints,
+        candidates: &candidates,
+        int_grid: &int_grid,
+        nodes_left: budget.search_candidates.saturating_mul(30),
+        budget,
+    };
+    if timing {
+        eprintln!("[strings] candidates: {:.3}s ({} pool, {} svars, {} ivars)", t1.elapsed().as_secs_f64(), candidates.len(), string_vars.len(), index_ints.len());
+    }
+    let t2 = std::time::Instant::now();
+    let mut partial: BTreeMap<Symbol, Value> = BTreeMap::new();
+    let r = searcher.dfs(0, &mut partial);
+    if timing {
+        eprintln!("[strings] dfs: {:.3}s", t2.elapsed().as_secs_f64());
+    }
+    match r {
+        SearchOutcome::Found(model) => TheoryVerdict::Sat(model),
+        SearchOutcome::ExhaustedComplete => {
+            // The search space was fully covered *only* with respect to the
+            // bounded alphabet/lengths — not a proof of unsat.
+            probe_line!("strings::exhausted_bounded");
+            TheoryVerdict::Unknown
+        }
+        SearchOutcome::BudgetExceeded => TheoryVerdict::Unknown,
+    }
+}
+
+fn collect_vars_of_sort(lits: &[TheoryLit], env: &SortEnv, sort: Sort) -> Vec<Symbol> {
+    let mut out: Vec<Symbol> = Vec::new();
+    for l in lits {
+        for v in l.atom.free_vars() {
+            if env.get(&v) == Some(&sort) && !out.contains(&v) {
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+/// Integer variables that appear inside a string operation (as indices,
+/// lengths, or conversion operands) — these are enumerated, not solved.
+fn collect_string_index_ints(lits: &[TheoryLit], env: &SortEnv) -> Vec<Symbol> {
+    let mut out: Vec<Symbol> = Vec::new();
+    for l in lits {
+        collect_index_ints_rec(&l.atom, env, false, &mut out);
+    }
+    out
+}
+
+fn collect_index_ints_rec(t: &Term, env: &SortEnv, under_string_op: bool, out: &mut Vec<Symbol>) {
+    match t.kind() {
+        TermKind::Var(v) => {
+            if under_string_op && env.get(v) == Some(&Sort::Int) && !out.contains(v) {
+                out.push(v.clone());
+            }
+        }
+        TermKind::App(op, args) => {
+            let is_string_op = matches!(
+                op,
+                Op::StrAt
+                    | Op::StrSubstr
+                    | Op::StrIndexOf
+                    | Op::StrFromInt
+            );
+            for a in args {
+                collect_index_ints_rec(a, env, under_string_op || is_string_op, out);
+            }
+        }
+        TermKind::Quant(_, _, body) => collect_index_ints_rec(body, env, under_string_op, out),
+        TermKind::Let(bindings, body) => {
+            for (_, v) in bindings {
+                collect_index_ints_rec(v, env, under_string_op, out);
+            }
+            collect_index_ints_rec(body, env, under_string_op, out);
+        }
+        _ => {}
+    }
+}
+
+/// Builds the sound length abstraction and checks it with simplex.
+fn length_abstraction_refutes(
+    lits: &[TheoryLit],
+    env: &SortEnv,
+    string_vars: &[Symbol],
+    budget: &TheoryBudget,
+) -> bool {
+    probe_fn!("strings::length_abstraction");
+    let mut idx = TermIndex::new();
+    let mut constraints: Vec<LinConstraint> = Vec::new();
+
+    // Column for each string variable's length: reuse the canonical
+    // `(str.len v)` term so arithmetic literals share it.
+    let len_col = |v: &Symbol, idx: &mut TermIndex| -> usize {
+        let t = Term::str_len(Term::var(v.clone()));
+        idx.column(&t, true, true)
+    };
+    for v in string_vars {
+        let c = len_col(v, &mut idx);
+        constraints.push(LinConstraint { expr: LinExpr::var(c), cmp: Cmp::Ge });
+    }
+
+    for l in lits {
+        match l.atom.kind() {
+            // String equality: lengths must match (positive polarity only).
+            TermKind::App(Op::Eq, args)
+                if args.len() == 2
+                    && sort_of(&args[0], env) == Ok(Sort::String)
+                    && l.positive =>
+            {
+                if let (Some(a), Some(b)) = (
+                    length_expr(&args[0], &mut idx),
+                    length_expr(&args[1], &mut idx),
+                ) {
+                    let mut e = a;
+                    e.add_scaled(&b, &-BigRational::one());
+                    constraints.push(LinConstraint { expr: e, cmp: Cmp::Eq });
+                }
+            }
+            TermKind::App(Op::StrPrefixOf | Op::StrSuffixOf, args) if l.positive => {
+                if let (Some(a), Some(b)) = (
+                    length_expr(&args[0], &mut idx),
+                    length_expr(&args[1], &mut idx),
+                ) {
+                    let mut e = a;
+                    e.add_scaled(&b, &-BigRational::one());
+                    constraints.push(LinConstraint { expr: e, cmp: Cmp::Le });
+                }
+            }
+            TermKind::App(Op::StrContains, args) if l.positive => {
+                if let (Some(a), Some(b)) = (
+                    length_expr(&args[1], &mut idx),
+                    length_expr(&args[0], &mut idx),
+                ) {
+                    let mut e = a;
+                    e.add_scaled(&b, &-BigRational::one());
+                    constraints.push(LinConstraint { expr: e, cmp: Cmp::Le });
+                }
+            }
+            // Arithmetic comparison literals join the abstraction. `str.len`
+            // of a variable shares the length column; other string-derived
+            // integers stay opaque (hence unconstrained — sound).
+            TermKind::App(Op::Le | Op::Lt | Op::Ge | Op::Gt, _) => {
+                if let Some(c) = atom_to_constraint(&l.atom, l.positive, env, &mut idx) {
+                    constraints.push(c);
+                }
+            }
+            TermKind::App(Op::Eq, args)
+                if args.len() == 2
+                    && sort_of(&args[0], env).map(|s| s.is_arith()).unwrap_or(false)
+                    && l.positive =>
+            {
+                if let Some(c) = atom_to_constraint(&l.atom, true, env, &mut idx) {
+                    constraints.push(c);
+                }
+            }
+            _ => {}
+        }
+    }
+    constraints.extend(idx.side_constraints.drain(..));
+    // Opaque columns other than the shared length columns are unconstrained;
+    // the abstraction stays sound. (str.len cols get ≥ 0 below.)
+    for (col, term) in idx.opaque_terms() {
+        if let TermKind::App(Op::StrLen, _) = term.kind() {
+            constraints.push(LinConstraint { expr: LinExpr::var(col), cmp: Cmp::Ge });
+        }
+        if let TermKind::App(Op::StrToInt | Op::StrIndexOf, _) = term.kind() {
+            // Both are ≥ −1 by definition.
+            let mut e = LinExpr::var(col);
+            e.constant = BigRational::one();
+            constraints.push(LinConstraint { expr: e, cmp: Cmp::Ge });
+        }
+    }
+    matches!(
+        solve_linear_budgeted(idx.num_columns(), &constraints, idx.int_vars(), budget.bb_nodes),
+        LinResult::Unsat
+    )
+}
+
+/// Symbolic length of a string term, if expressible: literals are
+/// constants, concatenation sums, variables use their length column,
+/// `str.at` is 0 or 1 (approximated by `None`), everything else `None`.
+fn length_expr(t: &Term, idx: &mut TermIndex) -> Option<LinExpr> {
+    match t.kind() {
+        TermKind::StringConst(s) => Some(LinExpr::constant(BigRational::from(
+            s.chars().count() as i64,
+        ))),
+        TermKind::Var(v) => {
+            let col = idx.column(&Term::str_len(Term::var(v.clone())), true, true);
+            Some(LinExpr::var(col))
+        }
+        TermKind::App(Op::StrConcat, args) => {
+            let mut e = LinExpr::zero();
+            for a in args {
+                e.add_scaled(&length_expr(a, idx)?, &BigRational::one());
+            }
+            Some(e)
+        }
+        _ => None,
+    }
+}
+
+/// Alphabet: characters of every string constant in the literals, padded
+/// with `a`, `b`, capped at 6 characters.
+fn collect_alphabet(lits: &[TheoryLit]) -> Vec<char> {
+    let mut set: BTreeSet<char> = BTreeSet::new();
+    for l in lits {
+        collect_chars(&l.atom, &mut set);
+    }
+    // Integer conversions need digit characters in the alphabet.
+    let has_int_conv = lits.iter().any(|l| {
+        l.atom.any_subterm(&mut |t| {
+            matches!(t.kind(), TermKind::App(Op::StrToInt | Op::StrFromInt, _))
+        })
+    });
+    if has_int_conv {
+        for c in ['0', '1', '2'] {
+            set.insert(c);
+        }
+    }
+    for c in ['a', 'b'] {
+        set.insert(c);
+    }
+    set.into_iter().take(7).collect()
+}
+
+fn collect_chars(t: &Term, out: &mut BTreeSet<char>) {
+    match t.kind() {
+        TermKind::StringConst(s) => out.extend(s.chars()),
+        TermKind::App(_, args) => {
+            for a in args {
+                collect_chars(a, out);
+            }
+        }
+        TermKind::Quant(_, _, body) => collect_chars(body, out),
+        TermKind::Let(bindings, body) => {
+            for (_, v) in bindings {
+                collect_chars(v, out);
+            }
+            collect_chars(body, out);
+        }
+        _ => {}
+    }
+}
+
+/// Candidate string pool: constants and their substrings and pairwise
+/// concatenations first (they satisfy equations directly), then all strings
+/// over the alphabet up to `max_len`.
+fn candidate_strings(lits: &[TheoryLit], alphabet: &[char], max_len: usize) -> Vec<String> {
+    let mut pool: Vec<String> = Vec::new();
+    let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut push = |pool: &mut Vec<String>, s: String| {
+        if seen.insert(s.clone()) {
+            pool.push(s);
+        }
+    };
+    push(&mut pool, String::new());
+    // Constants and substrings.
+    let mut consts: BTreeSet<String> = BTreeSet::new();
+    for l in lits {
+        collect_string_consts(&l.atom, &mut consts);
+    }
+    for c in &consts {
+        let chars: Vec<char> = c.chars().collect();
+        for i in 0..=chars.len() {
+            for j in i..=chars.len().min(i + 6) {
+                push(&mut pool, chars[i..j].iter().collect());
+            }
+        }
+    }
+    let snapshot: Vec<String> = pool.clone();
+    for a in &snapshot {
+        for b in &snapshot {
+            if a.chars().count() + b.chars().count() <= max_len + 2 {
+                push(&mut pool, format!("{a}{b}"));
+            }
+        }
+    }
+    // Exhaustive enumeration up to max_len.
+    let mut frontier: Vec<String> = vec![String::new()];
+    for _ in 0..max_len {
+        let mut next = Vec::new();
+        for s in &frontier {
+            for &c in alphabet {
+                let mut t = s.clone();
+                t.push(c);
+                push(&mut pool, t.clone());
+                next.push(t);
+            }
+        }
+        frontier = next;
+        if pool.len() > 1500 {
+            break;
+        }
+    }
+    pool
+}
+
+fn collect_string_consts(t: &Term, out: &mut BTreeSet<String>) {
+    match t.kind() {
+        TermKind::StringConst(s) => {
+            out.insert(s.clone());
+        }
+        TermKind::App(_, args) => {
+            for a in args {
+                collect_string_consts(a, out);
+            }
+        }
+        TermKind::Quant(_, _, body) => collect_string_consts(body, out),
+        TermKind::Let(bindings, body) => {
+            for (_, v) in bindings {
+                collect_string_consts(v, out);
+            }
+            collect_string_consts(body, out);
+        }
+        _ => {}
+    }
+}
+
+enum SearchOutcome {
+    Found(Model),
+    ExhaustedComplete,
+    BudgetExceeded,
+}
+
+struct Searcher<'a> {
+    lits: &'a [TheoryLit],
+    /// Per literal: the DFS depth at which it becomes fully assigned.
+    closes_at: &'a [Option<usize>],
+    env: &'a SortEnv,
+    string_vars: &'a [Symbol],
+    index_ints: &'a [Symbol],
+    candidates: &'a [String],
+    int_grid: &'a [BigInt],
+    nodes_left: usize,
+    budget: &'a TheoryBudget,
+}
+
+impl Searcher<'_> {
+    /// DFS over string vars then index ints; returns early on budget.
+    fn dfs(
+        &mut self,
+        depth: usize,
+        partial: &mut BTreeMap<Symbol, Value>,
+    ) -> SearchOutcome {
+        if self.nodes_left == 0 {
+            return SearchOutcome::BudgetExceeded;
+        }
+        self.nodes_left -= 1;
+        let total = self.string_vars.len() + self.index_ints.len();
+        if depth == total {
+            return match self.finish(partial) {
+                Some(m) => SearchOutcome::Found(m),
+                None => SearchOutcome::ExhaustedComplete,
+            };
+        }
+        let (var, values): (&Symbol, Vec<Value>) = if depth < self.string_vars.len() {
+            (
+                &self.string_vars[depth],
+                self.candidates.iter().map(|s| Value::Str(s.clone())).collect(),
+            )
+        } else {
+            (
+                &self.index_ints[depth - self.string_vars.len()],
+                self.int_grid.iter().map(|v| Value::Int(v.clone())).collect(),
+            )
+        };
+        let mut exhausted = true;
+        for v in values {
+            // Every candidate tried costs budget — pruning work is real
+            // work (each prune may evaluate several literals).
+            if self.nodes_left == 0 {
+                partial.remove(var);
+                return SearchOutcome::BudgetExceeded;
+            }
+            self.nodes_left -= 1;
+            partial.insert(var.clone(), v);
+            if self.prune(partial, depth) {
+                continue;
+            }
+            match self.dfs(depth + 1, partial) {
+                SearchOutcome::Found(m) => return SearchOutcome::Found(m),
+                SearchOutcome::BudgetExceeded => {
+                    partial.remove(var);
+                    return SearchOutcome::BudgetExceeded;
+                }
+                SearchOutcome::ExhaustedComplete => {}
+            }
+            if self.nodes_left == 0 {
+                exhausted = false;
+                break;
+            }
+        }
+        partial.remove(var);
+        if exhausted {
+            SearchOutcome::ExhaustedComplete
+        } else {
+            SearchOutcome::BudgetExceeded
+        }
+    }
+
+    /// A literal that became fully assigned at exactly this depth must
+    /// evaluate true (earlier-closing literals were already checked at
+    /// their own depth).
+    fn prune(&mut self, partial: &BTreeMap<Symbol, Value>, depth: usize) -> bool {
+        let mut model: Option<Model> = None;
+        for (i, l) in self.lits.iter().enumerate() {
+            if self.closes_at[i] != Some(depth) {
+                continue;
+            }
+            let m = model.get_or_insert_with(|| {
+                partial.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+            });
+            match m.eval_with(&l.to_term(), ZeroDivPolicy::Zero) {
+                Ok(Value::Bool(b)) => {
+                    if !b {
+                        return true;
+                    }
+                }
+                _ => continue,
+            }
+        }
+        false
+    }
+
+    /// All search variables are assigned: substitute them and decide the
+    /// residual arithmetic literals.
+    fn finish(&mut self, partial: &BTreeMap<Symbol, Value>) -> Option<Model> {
+        let mut residual: Vec<TheoryLit> = Vec::new();
+        let assigned: BTreeSet<Symbol> = partial.keys().cloned().collect();
+        let model: Model = partial.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        for l in self.lits {
+            let fv = l.atom.free_vars();
+            if fv.iter().all(|v| assigned.contains(v)) {
+                // Fully closed: must hold (prune already checked most).
+                match model.eval_with(&l.to_term(), ZeroDivPolicy::Zero) {
+                    Ok(Value::Bool(true)) => {}
+                    _ => return None,
+                }
+            } else {
+                // Substitute the assigned variables, leave the rest.
+                let mut t = l.atom.clone();
+                for (v, val) in partial {
+                    t = substitute_free(&t, v, &val.to_term());
+                }
+                residual.push(TheoryLit { atom: simplify(&t), positive: l.positive });
+            }
+        }
+        let mut full = default_model(self.env);
+        for (k, v) in partial {
+            full.set(k.clone(), v.clone());
+        }
+        if !yinyang_coverage::probe_branch!("strings::has_residual_arith", !residual.is_empty()) {
+            return if verify_model(&full, self.lits) { Some(full) } else { None };
+        }
+        probe_line!("strings::residual_arith");
+        match check_arith(&residual, self.env, self.budget) {
+            TheoryVerdict::Sat(m) => {
+                for (k, v) in m.iter() {
+                    if !partial.contains_key(k) {
+                        full.set(k.clone(), v.clone());
+                    }
+                }
+                if verify_model(&full, self.lits) {
+                    Some(full)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+use crate::rewrite::simplify;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theory::{check_theory, TheoryVerdict};
+    use yinyang_smtlib::parse_term;
+
+    fn env(pairs: &[(&str, Sort)]) -> SortEnv {
+        pairs.iter().map(|(n, s)| (Symbol::new(*n), *s)).collect()
+    }
+
+    fn lit(src: &str, positive: bool) -> TheoryLit {
+        TheoryLit { atom: parse_term(src).unwrap(), positive }
+    }
+
+    fn check(lits: &[TheoryLit], env: &SortEnv) -> TheoryVerdict {
+        check_theory(lits, env, &TheoryBudget::default())
+    }
+
+    fn expect_sat(lits: &[TheoryLit], e: &SortEnv) -> Model {
+        match check(lits, e) {
+            TheoryVerdict::Sat(m) => {
+                for l in lits {
+                    assert_eq!(
+                        m.eval_with(&l.to_term(), ZeroDivPolicy::Zero).unwrap(),
+                        Value::Bool(true),
+                        "literal {} not satisfied",
+                        l.to_term()
+                    );
+                }
+                m
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_equation() {
+        let e = env(&[("a", Sort::String), ("b", Sort::String)]);
+        let m = expect_sat(
+            &[lit("(= (str.++ a b) \"xy\")", true), lit("(= (str.len a) 1)", true)],
+            &e,
+        );
+        assert_eq!(m.get(&Symbol::new("a")), Some(&Value::Str("x".into())));
+        assert_eq!(m.get(&Symbol::new("b")), Some(&Value::Str("y".into())));
+    }
+
+    #[test]
+    fn length_abstraction_refutes_parity() {
+        let e = env(&[("a", Sort::String), ("b", Sort::String)]);
+        // a = b ++ b forces even length; len = 3 contradicts.
+        let lits = vec![
+            lit("(= a (str.++ b b))", true),
+            lit("(= (str.len a) (+ (str.len b) (str.len b) 1))", true),
+        ];
+        assert_eq!(check(&lits, &e), TheoryVerdict::Unsat);
+    }
+
+    #[test]
+    fn length_contradiction() {
+        let e = env(&[("a", Sort::String)]);
+        let lits = vec![lit("(= (str.len a) 2)", true), lit("(= (str.len a) 3)", true)];
+        assert_eq!(check(&lits, &e), TheoryVerdict::Unsat);
+    }
+
+    #[test]
+    fn regex_membership_search() {
+        let e = env(&[("c", Sort::String)]);
+        let m = expect_sat(
+            &[
+                lit("(str.in_re c (re.* (str.to_re \"aa\")))", true),
+                lit("(= (str.len c) 4)", true),
+            ],
+            &e,
+        );
+        assert_eq!(m.get(&Symbol::new("c")), Some(&Value::Str("aaaa".into())));
+    }
+
+    #[test]
+    fn replace_and_contains() {
+        let e = env(&[("s", Sort::String)]);
+        let m = expect_sat(
+            &[
+                lit("(= (str.replace s \"a\" \"b\") \"bb\")", true),
+                lit("(str.contains s \"a\")", true),
+            ],
+            &e,
+        );
+        assert_eq!(m.get(&Symbol::new("s")), Some(&Value::Str("ab".into())));
+    }
+
+    #[test]
+    fn string_disequality() {
+        let e = env(&[("s", Sort::String), ("t", Sort::String)]);
+        let m = expect_sat(
+            &[
+                lit("(= s t)", false),
+                lit("(= (str.len s) (str.len t))", true),
+                lit("(= (str.len s) 1)", true),
+            ],
+            &e,
+        );
+        assert_ne!(m.get(&Symbol::new("s")), m.get(&Symbol::new("t")));
+    }
+
+    #[test]
+    fn str_to_int_entanglement() {
+        let e = env(&[("s", Sort::String), ("n", Sort::Int)]);
+        let m = expect_sat(
+            &[lit("(= (str.to_int s) n)", true), lit("(> n 9)", true), lit("(< n 12)", true)],
+            &e,
+        );
+        let n = m.get(&Symbol::new("n")).unwrap();
+        assert!(matches!(n, Value::Int(v) if *v == BigInt::from(10) || *v == BigInt::from(11)));
+    }
+
+    #[test]
+    fn index_int_enumeration() {
+        let e = env(&[("s", Sort::String), ("i", Sort::Int)]);
+        let m = expect_sat(
+            &[lit("(= (str.at s i) \"b\")", true), lit("(= s \"ab\")", true)],
+            &e,
+        );
+        assert_eq!(m.get(&Symbol::new("i")), Some(&Value::Int(BigInt::one())));
+    }
+
+    #[test]
+    fn prefix_suffix_interplay() {
+        let e = env(&[("s", Sort::String)]);
+        expect_sat(
+            &[
+                lit("(str.prefixof \"ab\" s)", true),
+                lit("(str.suffixof \"ba\" s)", true),
+                lit("(<= (str.len s) 4)", true),
+            ],
+            &e,
+        );
+    }
+
+    #[test]
+    fn paper_fig13a_style_unsat_is_not_misreported() {
+        // c ∈ (aa)* ∧ c = "0" — contradictory, but enumeration cannot prove
+        // unsat; must be Unknown or Unsat (never Sat).
+        let e = env(&[("c", Sort::String)]);
+        let lits = vec![
+            lit("(str.in_re c (re.* (str.to_re \"aa\")))", true),
+            lit("(= c \"0\")", true),
+        ];
+        match check(&lits, &e) {
+            TheoryVerdict::Sat(m) => panic!("unsound sat: {}", m.to_smtlib()),
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn empty_string_edge_cases() {
+        let e = env(&[("s", Sort::String)]);
+        let m = expect_sat(
+            &[lit("(= (str.len s) 0)", true), lit("(str.prefixof s \"anything\")", true)],
+            &e,
+        );
+        assert_eq!(m.get(&Symbol::new("s")), Some(&Value::Str(String::new())));
+    }
+}

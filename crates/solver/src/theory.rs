@@ -1,0 +1,775 @@
+//! The conjunction-of-literals theory checker.
+//!
+//! The lazy SMT loop hands this module a set of theory literals (atoms with
+//! polarities) that the SAT skeleton asserted. The checker decides their
+//! conjunction:
+//!
+//! 1. complementary-literal scan (syntactic, after simplification);
+//! 2. string path (the `strings` module) when any literal mentions strings;
+//! 3. arithmetic path: linearize ([`crate::linear`]) → simplex
+//!    ([`crate::simplex`]); nonlinear opaque terms are reconciled by
+//!    interval refutation ([`crate::interval`]) and evaluation-guided model
+//!    search.
+//!
+//! `Sat` verdicts always carry a model that was *verified by evaluation*;
+//! `Unsat` verdicts come only from sound reasoning (the checker never
+//! guesses unsat).
+
+use crate::interval::Interval;
+use crate::linear::{atom_to_constraint, TermIndex};
+use crate::rewrite::simplify;
+use crate::simplex::{solve_linear_budgeted, Cmp, LinConstraint, LinExpr, LinResult};
+use std::collections::BTreeMap;
+use yinyang_arith::{BigInt, BigRational};
+use yinyang_coverage::{probe_branch, probe_fn, probe_line};
+use yinyang_smtlib::{
+    sort_of, EvalError, Model, Op, Sort, SortEnv, Symbol, Term, TermKind, Value, ZeroDivPolicy,
+};
+
+/// A theory literal: an atom with a polarity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TheoryLit {
+    /// The (boolean-sorted) atom.
+    pub atom: Term,
+    /// `true` for the atom itself, `false` for its negation.
+    pub positive: bool,
+}
+
+impl TheoryLit {
+    /// The literal as a term.
+    pub fn to_term(&self) -> Term {
+        if self.positive {
+            self.atom.clone()
+        } else {
+            Term::not(self.atom.clone())
+        }
+    }
+}
+
+/// Verdict for a conjunction of theory literals.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TheoryVerdict {
+    /// Consistent; the model satisfies every literal (verified).
+    Sat(Model),
+    /// Inconsistent.
+    Unsat,
+    /// Could not decide within budget.
+    Unknown,
+}
+
+/// Budgets for the checker.
+#[derive(Debug, Clone)]
+pub struct TheoryBudget {
+    /// Candidate assignments tried in nonlinear/string model search.
+    pub search_candidates: usize,
+    /// Rounds of interval propagation.
+    pub interval_rounds: usize,
+    /// Branch-and-bound node budget per simplex feasibility query.
+    pub bb_nodes: usize,
+}
+
+impl Default for TheoryBudget {
+    fn default() -> Self {
+        TheoryBudget { search_candidates: 600, interval_rounds: 6, bb_nodes: 300 }
+    }
+}
+
+/// Checks a conjunction of theory literals.
+pub fn check_theory(
+    lits: &[TheoryLit],
+    env: &SortEnv,
+    budget: &TheoryBudget,
+) -> TheoryVerdict {
+    probe_fn!("theory::check_theory");
+    // Normalize literals; drop trivially-true ones, refute on trivially-false.
+    let mut work: Vec<TheoryLit> = Vec::new();
+    for l in lits {
+        let atom = simplify(&l.atom);
+        match atom.kind() {
+            TermKind::BoolConst(b) => {
+                if *b != l.positive {
+                    probe_line!("theory::constant_literal_conflict");
+                    return TheoryVerdict::Unsat;
+                }
+            }
+            _ => work.push(TheoryLit { atom, positive: l.positive }),
+        }
+    }
+    // Complementary pair scan.
+    {
+        let mut seen: BTreeMap<String, bool> = BTreeMap::new();
+        for l in &work {
+            let key = l.atom.to_string();
+            if let Some(&pol) = seen.get(&key) {
+                if pol != l.positive {
+                    probe_line!("theory::complementary_pair");
+                    return TheoryVerdict::Unsat;
+                }
+            } else {
+                seen.insert(key, l.positive);
+            }
+        }
+    }
+    if work.is_empty() {
+        return TheoryVerdict::Sat(default_model(env));
+    }
+    let has_strings = work.iter().any(|l| mentions_strings(&l.atom, env));
+    if probe_branch!("theory::string_path", has_strings) {
+        crate::strings::check_strings(&work, env, budget)
+    } else {
+        check_arith(&work, env, budget)
+    }
+}
+
+/// Does the term mention a string- or regex-sorted subterm?
+pub(crate) fn mentions_strings(term: &Term, env: &SortEnv) -> bool {
+    let mut found = false;
+    let mut pred = |t: &Term| -> bool {
+        if found {
+            return true;
+        }
+        match t.kind() {
+            TermKind::StringConst(_) => {
+                found = true;
+            }
+            TermKind::Var(v) => {
+                if env.get(v) == Some(&Sort::String) {
+                    found = true;
+                }
+            }
+            TermKind::App(op, _) => {
+                if matches!(
+                    op,
+                    Op::StrConcat
+                        | Op::StrLen
+                        | Op::StrAt
+                        | Op::StrSubstr
+                        | Op::StrPrefixOf
+                        | Op::StrSuffixOf
+                        | Op::StrContains
+                        | Op::StrIndexOf
+                        | Op::StrReplace
+                        | Op::StrReplaceAll
+                        | Op::StrInRe
+                        | Op::StrToRe
+                        | Op::StrToInt
+                        | Op::StrFromInt
+                ) {
+                    found = true;
+                }
+            }
+            _ => {}
+        }
+        found
+    };
+    term.any_subterm(&mut pred)
+}
+
+/// A model assigning defaults to every declared variable.
+pub(crate) fn default_model(env: &SortEnv) -> Model {
+    let mut m = Model::new();
+    for (v, s) in env {
+        m.set(
+            v.clone(),
+            match s {
+                Sort::Bool => Value::Bool(false),
+                Sort::Int => Value::Int(BigInt::zero()),
+                Sort::Real => Value::Real(BigRational::zero()),
+                Sort::String => Value::Str(String::new()),
+                Sort::RegLan => continue,
+            },
+        );
+    }
+    m
+}
+
+/// Verifies that `model` satisfies every literal (division by zero treated
+/// as the fixed zero interpretation).
+pub(crate) fn verify_model(model: &Model, lits: &[TheoryLit]) -> bool {
+    lits.iter().all(|l| {
+        match model.eval_with(&l.to_term(), ZeroDivPolicy::Zero) {
+            Ok(Value::Bool(true)) => true,
+            Ok(_) => false,
+            Err(EvalError::Quantifier) => false,
+            Err(_) => false,
+        }
+    })
+}
+
+/// The arithmetic path.
+pub(crate) fn check_arith(
+    lits: &[TheoryLit],
+    env: &SortEnv,
+    budget: &TheoryBudget,
+) -> TheoryVerdict {
+    probe_fn!("theory::check_arith");
+    let mut idx = TermIndex::new();
+    let mut constraints: Vec<LinConstraint> = Vec::new();
+    let mut disequalities: Vec<(Term, Term)> = Vec::new();
+    for l in lits {
+        // Arithmetic disequality (kept rare by preprocessing).
+        if !l.positive {
+            if let TermKind::App(Op::Eq, args) = l.atom.kind() {
+                if args.len() == 2
+                    && sort_of(&args[0], env).map(|s| s.is_arith()).unwrap_or(false)
+                {
+                    probe_line!("theory::arith_disequality");
+                    disequalities.push((args[0].clone(), args[1].clone()));
+                    continue;
+                }
+            }
+        }
+        match atom_to_constraint(&l.atom, l.positive, env, &mut idx) {
+            Some(c) => constraints.push(c),
+            None => {
+                probe_line!("theory::unsupported_atom");
+                return TheoryVerdict::Unknown;
+            }
+        }
+    }
+    constraints.extend(idx.side_constraints.drain(..));
+
+    // Case-split disequalities (each into < or >): 2^k branches, capped.
+    probe_branch!("theory::has_disequalities", !disequalities.is_empty());
+    if disequalities.len() > 4 {
+        return TheoryVerdict::Unknown;
+    }
+    let mut saw_unknown = false;
+    let splits = 1usize << disequalities.len();
+    for mask in 0..splits {
+        let mut cs = constraints.clone();
+        let mut sub_idx_overflow = false;
+        for (i, (a, b)) in disequalities.iter().enumerate() {
+            let lt = mask >> i & 1 == 0;
+            let atom = if lt { Term::lt(a.clone(), b.clone()) } else { Term::gt(a.clone(), b.clone()) };
+            match atom_to_constraint(&atom, true, env, &mut idx) {
+                Some(c) => cs.push(c),
+                None => {
+                    sub_idx_overflow = true;
+                    break;
+                }
+            }
+        }
+        cs.extend(idx.side_constraints.drain(..));
+        if sub_idx_overflow {
+            saw_unknown = true;
+            continue;
+        }
+        match check_arith_constraints(lits, cs, &mut idx, env, budget) {
+            TheoryVerdict::Sat(m) => return TheoryVerdict::Sat(m),
+            TheoryVerdict::Unsat => {}
+            TheoryVerdict::Unknown => saw_unknown = true,
+        }
+    }
+    if saw_unknown {
+        TheoryVerdict::Unknown
+    } else {
+        TheoryVerdict::Unsat
+    }
+}
+
+fn check_arith_constraints(
+    lits: &[TheoryLit],
+    constraints: Vec<LinConstraint>,
+    idx: &mut TermIndex,
+    env: &SortEnv,
+    budget: &TheoryBudget,
+) -> TheoryVerdict {
+    let opaque = idx.opaque_terms();
+    if !probe_branch!("theory::nonlinear_path", !opaque.is_empty()) {
+        probe_line!("theory::pure_linear");
+        return match solve_linear_budgeted(idx.num_columns(), &constraints, idx.int_vars(), budget.bb_nodes) {
+            LinResult::Unsat => TheoryVerdict::Unsat,
+            LinResult::Unknown => TheoryVerdict::Unknown,
+            LinResult::Sat(assignment) => {
+                let model = model_from_columns(&assignment, idx, env);
+                if verify_model(&model, lits) {
+                    TheoryVerdict::Sat(model)
+                } else {
+                    probe_line!("theory::linear_model_rejected");
+                    TheoryVerdict::Unknown
+                }
+            }
+        };
+    }
+    probe_line!("theory::nonlinear");
+    // 1. Interval refutation.
+    if intervals_refute(&constraints, idx, env, budget) {
+        probe_line!("theory::interval_refuted");
+        return TheoryVerdict::Unsat;
+    }
+    // 2. Linear relaxation is a sound unsat check.
+    let relax = solve_linear_budgeted(idx.num_columns(), &constraints, idx.int_vars(), budget.bb_nodes);
+    let relax_assignment = match relax {
+        LinResult::Unsat => {
+            probe_line!("theory::relaxation_refuted");
+            return TheoryVerdict::Unsat;
+        }
+        LinResult::Unknown => None,
+        LinResult::Sat(a) => Some(a),
+    };
+    // 3. Evaluation-guided model search.
+    let mut candidates: Vec<Model> = Vec::new();
+    if let Some(a) = &relax_assignment {
+        candidates.push(model_from_columns(a, idx, env));
+        // Fixpoint iteration: pin opaque columns to their evaluated values
+        // and re-solve, up to 4 rounds.
+        let mut pinned = constraints.clone();
+        let mut current = model_from_columns(a, idx, env);
+        for _ in 0..4 {
+            let mut next_cs = pinned.clone();
+            let mut ok = true;
+            for (col, term) in &opaque {
+                match current.eval_with(term, ZeroDivPolicy::Zero) {
+                    Ok(v) => {
+                        let Some(r) = v.as_rational() else {
+                            ok = false;
+                            break;
+                        };
+                        let mut e = LinExpr::var(*col);
+                        e.constant = -r;
+                        next_cs.push(LinConstraint { expr: e, cmp: Cmp::Eq });
+                    }
+                    Err(_) => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                break;
+            }
+            match solve_linear_budgeted(idx.num_columns(), &next_cs, idx.int_vars(), budget.bb_nodes) {
+                LinResult::Sat(a2) => {
+                    let m2 = model_from_columns(&a2, idx, env);
+                    if verify_model(&m2, lits) {
+                        probe_line!("theory::nonlinear_fixpoint_model");
+                        return TheoryVerdict::Sat(m2);
+                    }
+                    if m2 == current {
+                        break;
+                    }
+                    current = m2;
+                    pinned = constraints.clone();
+                }
+                _ => break,
+            }
+        }
+    }
+    // 4. Small-grid sampling over the declared arithmetic variables.
+    let arith_vars: Vec<(Symbol, Sort)> = env
+        .iter()
+        .filter(|(_, s)| s.is_arith())
+        .map(|(v, s)| (v.clone(), *s))
+        .collect();
+    let grid: [i64; 13] = [0, 1, -1, 2, -2, 3, -3, 4, -4, 5, 6, 7, 12];
+    let mut tried = 0usize;
+    let mut stack_model = default_model(env);
+    if sample_grid(
+        &arith_vars,
+        0,
+        &grid,
+        &mut stack_model,
+        lits,
+        &mut tried,
+        budget.search_candidates,
+    ) {
+        probe_line!("theory::grid_model");
+        return TheoryVerdict::Sat(stack_model);
+    }
+    for m in candidates {
+        if verify_model(&m, lits) {
+            return TheoryVerdict::Sat(m);
+        }
+    }
+    TheoryVerdict::Unknown
+}
+
+fn sample_grid(
+    vars: &[(Symbol, Sort)],
+    pos: usize,
+    grid: &[i64],
+    model: &mut Model,
+    lits: &[TheoryLit],
+    tried: &mut usize,
+    max: usize,
+) -> bool {
+    if *tried >= max {
+        return false;
+    }
+    if pos == vars.len() {
+        *tried += 1;
+        return verify_model(model, lits);
+    }
+    let (name, sort) = &vars[pos];
+    for &g in grid {
+        let v = match sort {
+            Sort::Int => Value::Int(BigInt::from(g)),
+            _ => Value::Real(BigRational::from(g)),
+        };
+        model.set(name.clone(), v);
+        if sample_grid(vars, pos + 1, grid, model, lits, tried, max) {
+            return true;
+        }
+        if *tried >= max {
+            return false;
+        }
+    }
+    false
+}
+
+/// Builds a [`Model`] for the declared variables from a column assignment.
+fn model_from_columns(assignment: &[BigRational], idx: &TermIndex, env: &SortEnv) -> Model {
+    let mut m = default_model(env);
+    for col in 0..idx.num_columns().min(assignment.len()) {
+        if let TermKind::Var(name) = idx.term_of(col).kind() {
+            match env.get(name) {
+                Some(Sort::Int) => {
+                    // Integral by construction (int column).
+                    let v = assignment[col].clone();
+                    m.set(name.clone(), Value::Int(v.floor()));
+                }
+                Some(Sort::Real) => {
+                    m.set(name.clone(), Value::Real(assignment[col].clone()));
+                }
+                _ => {}
+            }
+        }
+    }
+    m
+}
+
+/// Interval-based refutation: derive column intervals from single-column
+/// constraints and bound propagation, intersect opaque columns with the
+/// intervals computed from their defining terms.
+fn intervals_refute(
+    constraints: &[LinConstraint],
+    idx: &TermIndex,
+    env: &SortEnv,
+    budget: &TheoryBudget,
+) -> bool {
+    probe_fn!("theory::intervals_refute");
+    let n = idx.num_columns();
+    let mut iv: Vec<Interval> = vec![Interval::top(); n];
+    for _round in 0..budget.interval_rounds {
+        let mut changed = false;
+        // Propagate linear constraints: bound each variable from the others.
+        for c in constraints {
+            for (&target, coeff) in &c.expr.coeffs {
+                // rest = expr - coeff·target; target ⋈ -rest/coeff.
+                let mut rest = Interval::point(c.expr.constant.clone());
+                let mut unbounded = false;
+                for (&v, k) in &c.expr.coeffs {
+                    if v == target {
+                        continue;
+                    }
+                    let scaled = iv[v].scale(k);
+                    rest = rest.add(&scaled);
+                    if rest == Interval::top() {
+                        unbounded = true;
+                        break;
+                    }
+                }
+                if unbounded {
+                    continue;
+                }
+                // coeff·target + rest ⋈ 0  ⇒  target ⋈' (-rest)/coeff.
+                let bound_iv = rest.neg().scale(&coeff.recip());
+                let refined = match (c.cmp, coeff.is_positive()) {
+                    (Cmp::Eq, _) => bound_iv,
+                    (Cmp::Le, true) | (Cmp::Ge, false) => match bound_iv.hi {
+                        crate::interval::Endpoint::Bound { value, strict } => {
+                            Interval::at_most(value, strict)
+                        }
+                        _ => continue,
+                    },
+                    (Cmp::Lt, true) | (Cmp::Gt, false) => match bound_iv.hi {
+                        crate::interval::Endpoint::Bound { value, .. } => {
+                            Interval::at_most(value, true)
+                        }
+                        _ => continue,
+                    },
+                    (Cmp::Ge, true) | (Cmp::Le, false) => match bound_iv.lo {
+                        crate::interval::Endpoint::Bound { value, strict } => {
+                            Interval::at_least(value, strict)
+                        }
+                        _ => continue,
+                    },
+                    (Cmp::Gt, true) | (Cmp::Lt, false) => match bound_iv.lo {
+                        crate::interval::Endpoint::Bound { value, .. } => {
+                            Interval::at_least(value, true)
+                        }
+                        _ => continue,
+                    },
+                };
+                let meet = iv[target].intersect(&refined);
+                if meet.is_empty() {
+                    probe_line!("theory::interval_empty_linear");
+                    return true;
+                }
+                if meet != iv[target] {
+                    iv[target] = meet;
+                    changed = true;
+                }
+            }
+        }
+        // Reconcile opaque definitions.
+        for (col, term) in idx.opaque_terms() {
+            if let Some(computed) = interval_of_term(&term, &iv, idx, env) {
+                let meet = iv[col].intersect(&computed);
+                if meet.is_empty() {
+                    probe_line!("theory::interval_empty_opaque");
+                    return true;
+                }
+                if meet != iv[col] {
+                    iv[col] = meet;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    false
+}
+
+/// Best-effort interval of an arbitrary arithmetic term given column
+/// intervals. `None` when nothing useful can be said.
+fn interval_of_term(
+    term: &Term,
+    iv: &[Interval],
+    idx: &TermIndex,
+    env: &SortEnv,
+) -> Option<Interval> {
+    // A term that has its own column uses that column's current interval —
+    // except at the top call, where we want the *computed* interval; callers
+    // handle the intersection.
+    match term.kind() {
+        TermKind::IntConst(v) => Some(Interval::point(BigRational::from_int(v.clone()))),
+        TermKind::RealConst(v) => Some(Interval::point(v.clone())),
+        TermKind::Var(_) => idx.lookup(term).map(|c| iv[c].clone()),
+        TermKind::App(op, args) => match op {
+            Op::Add => {
+                let mut acc = Interval::point(BigRational::zero());
+                for a in args {
+                    acc = acc.add(&sub_interval(a, iv, idx, env)?);
+                }
+                Some(acc)
+            }
+            Op::Sub => {
+                let mut acc = sub_interval(&args[0], iv, idx, env)?;
+                for a in &args[1..] {
+                    acc = acc.add(&sub_interval(a, iv, idx, env)?.neg());
+                }
+                Some(acc)
+            }
+            Op::Neg => Some(sub_interval(&args[0], iv, idx, env)?.neg()),
+            Op::Mul => {
+                let mut acc = Interval::point(BigRational::one());
+                for a in args {
+                    acc = acc.mul(&sub_interval(a, iv, idx, env)?);
+                }
+                Some(acc)
+            }
+            Op::RealDiv if args.len() == 2 => {
+                let num = sub_interval(&args[0], iv, idx, env)?;
+                let den = sub_interval(&args[1], iv, idx, env)?;
+                num.div(&den)
+            }
+            Op::Mod if args.len() == 2 => {
+                // When b's interval excludes zero: 0 ≤ mod < |b| upper bound.
+                let den = sub_interval(&args[1], iv, idx, env)?;
+                if den.excludes_zero() {
+                    Some(Interval::at_least(BigRational::zero(), false))
+                } else {
+                    None
+                }
+            }
+            Op::Abs => Some(Interval::at_least(BigRational::zero(), false)),
+            Op::StrLen => Some(Interval::at_least(BigRational::zero(), false)),
+            Op::ToReal => sub_interval(&args[0], iv, idx, env),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Interval of a subterm: prefer its column interval when it has one.
+fn sub_interval(
+    term: &Term,
+    iv: &[Interval],
+    idx: &TermIndex,
+    env: &SortEnv,
+) -> Option<Interval> {
+    if let Some(col) = idx.lookup(term) {
+        return Some(iv[col].clone());
+    }
+    interval_of_term(term, iv, idx, env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yinyang_smtlib::parse_term;
+
+    fn env(pairs: &[(&str, Sort)]) -> SortEnv {
+        pairs.iter().map(|(n, s)| (Symbol::new(*n), *s)).collect()
+    }
+
+    fn lit(src: &str, positive: bool) -> TheoryLit {
+        TheoryLit { atom: parse_term(src).unwrap(), positive }
+    }
+
+    fn check(lits: &[TheoryLit], env: &SortEnv) -> TheoryVerdict {
+        check_theory(lits, env, &TheoryBudget::default())
+    }
+
+    #[test]
+    fn linear_sat_with_model() {
+        let e = env(&[("x", Sort::Int), ("y", Sort::Int)]);
+        let lits =
+            vec![lit("(< x y)", true), lit("(< y 5)", true), lit("(> x 1)", true)];
+        match check(&lits, &e) {
+            TheoryVerdict::Sat(m) => {
+                assert!(m.satisfies(&parse_term("(and (< x y) (< y 5) (> x 1))").unwrap())
+                    .unwrap());
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn linear_unsat() {
+        let e = env(&[("x", Sort::Int)]);
+        let lits = vec![lit("(< x 0)", true), lit("(> x 0)", true)];
+        assert_eq!(check(&lits, &e), TheoryVerdict::Unsat);
+    }
+
+    #[test]
+    fn negated_literals_flip() {
+        let e = env(&[("x", Sort::Int)]);
+        // ¬(x ≤ 5) ∧ ¬(x > 6) ⇒ x = 6.
+        let lits = vec![lit("(<= x 5)", false), lit("(> x 6)", false)];
+        match check(&lits, &e) {
+            TheoryVerdict::Sat(m) => {
+                assert_eq!(m.get(&Symbol::new("x")), Some(&Value::Int(BigInt::from(6))));
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn complementary_pair_detected() {
+        let e = env(&[("x", Sort::Int), ("y", Sort::Int)]);
+        let lits = vec![lit("(< (* x y) 3)", true), lit("(< (* x y) 3)", false)];
+        assert_eq!(check(&lits, &e), TheoryVerdict::Unsat);
+    }
+
+    #[test]
+    fn integer_cut_unsat() {
+        let e = env(&[("x", Sort::Int)]);
+        // 0 < x < 1 over Int.
+        let lits = vec![lit("(> x 0)", true), lit("(< x 1)", true)];
+        assert_eq!(check(&lits, &e), TheoryVerdict::Unsat);
+    }
+
+    #[test]
+    fn nonlinear_interval_refutation_paper_fig4() {
+        let e = env(&[("y", Sort::Real), ("v", Sort::Real), ("w", Sort::Real)]);
+        // 0 < y ∧ y < v ∧ v ≤ w ∧ w/v < 0 — the paper's φ4.
+        let lits = vec![
+            lit("(> y 0)", true),
+            lit("(< y v)", true),
+            lit("(>= w v)", true),
+            lit("(< (/ w v) 0)", true),
+        ];
+        assert_eq!(check(&lits, &e), TheoryVerdict::Unsat);
+    }
+
+    #[test]
+    fn nonlinear_sat_via_search() {
+        let e = env(&[("x", Sort::Int), ("y", Sort::Int)]);
+        // x·y = 6 ∧ x > y ∧ y > 0.
+        let lits = vec![
+            lit("(= (* x y) 6)", true),
+            lit("(> x y)", true),
+            lit("(> y 0)", true),
+        ];
+        match check(&lits, &e) {
+            TheoryVerdict::Sat(m) => {
+                assert!(m
+                    .satisfies(&parse_term("(and (= (* x y) 6) (> x y) (> y 0))").unwrap())
+                    .unwrap());
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arith_disequality_split() {
+        let e = env(&[("x", Sort::Int)]);
+        // ¬(x = 0) ∧ 0 ≤ x ∧ x ≤ 1 ⇒ x = 1.
+        let lits = vec![
+            lit("(= x 0)", false),
+            lit("(>= x 0)", true),
+            lit("(<= x 1)", true),
+        ];
+        match check(&lits, &e) {
+            TheoryVerdict::Sat(m) => {
+                assert_eq!(m.get(&Symbol::new("x")), Some(&Value::Int(BigInt::one())));
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disequality_makes_range_unsat() {
+        let e = env(&[("x", Sort::Int)]);
+        // ¬(x = 0) ∧ 0 ≤ x ≤ 0.
+        let lits = vec![
+            lit("(= x 0)", false),
+            lit("(>= x 0)", true),
+            lit("(<= x 0)", true),
+        ];
+        assert_eq!(check(&lits, &e), TheoryVerdict::Unsat);
+    }
+
+    #[test]
+    fn empty_conjunction_is_sat() {
+        let e = env(&[("x", Sort::Int)]);
+        match check(&[], &e) {
+            TheoryVerdict::Sat(m) => {
+                assert_eq!(m.get(&Symbol::new("x")), Some(&Value::Int(BigInt::zero())));
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn constant_false_literal() {
+        let e = env(&[]);
+        assert_eq!(check(&[lit("(< 2 1)", true)], &e), TheoryVerdict::Unsat);
+        assert!(matches!(check(&[lit("(< 1 2)", true)], &e), TheoryVerdict::Sat(_)));
+    }
+
+    #[test]
+    fn division_by_constant_exact() {
+        let e = env(&[("a", Sort::Real)]);
+        // a/4 ≥ 5·a ∧ a > 0 ⇒ unsat over reals (a/4 < 5a for a>0).
+        let lits = vec![lit("(>= (/ a 4.0) (* 5.0 a))", true), lit("(> a 0)", true)];
+        assert_eq!(check(&lits, &e), TheoryVerdict::Unsat);
+    }
+
+    #[test]
+    fn string_literal_routes_to_string_path() {
+        let e = env(&[("s", Sort::String)]);
+        let lits = vec![lit("(= s \"ab\")", true)];
+        match check(&lits, &e) {
+            TheoryVerdict::Sat(m) => {
+                assert_eq!(m.get(&Symbol::new("s")), Some(&Value::Str("ab".into())));
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! The solver cross-checked against brute-force enumeration on bounded
+//! integer boxes: random QF_LIA/QF_NIA formulas over a small domain, where
+//! "sat within the box" implies the solver must not answer `unsat`, and
+//! exhaustive-box-unsat plus solver-`sat` demands an evaluator-verified
+//! model outside the box.
+
+use proptest::prelude::*;
+use yinyang_arith::BigInt;
+use yinyang_smtlib::{Model, Script, Sort, Symbol, Term, Value, ZeroDivPolicy};
+use yinyang_solver::{SatResult, SmtSolver, SolverConfig};
+
+/// Builds a random boolean formula over two bounded int variables from a
+/// recipe of packed choices.
+fn build_formula(recipe: &[u8]) -> Term {
+    let mut i = 0usize;
+    let mut next = move || {
+        i += 1;
+        recipe.get(i - 1).copied().unwrap_or(0)
+    };
+    fn atom(next: &mut impl FnMut() -> u8) -> Term {
+        let c = |v: u8| Term::int((v % 9) as i64 - 4);
+        let var = |v: u8| {
+            if v % 2 == 0 {
+                Term::var("a")
+            } else {
+                Term::var("b")
+            }
+        };
+        let lhs = match next() % 4 {
+            0 => var(next()),
+            1 => Term::add(vec![var(next()), c(next())]),
+            2 => Term::mul(vec![var(next()), var(next())]),
+            _ => Term::sub(var(next()), var(next())),
+        };
+        let rhs = match next() % 3 {
+            0 => c(next()),
+            _ => var(next()),
+        };
+        match next() % 4 {
+            0 => Term::le(lhs, rhs),
+            1 => Term::lt(lhs, rhs),
+            2 => Term::eq(lhs, rhs),
+            _ => Term::gt(lhs, rhs),
+        }
+    }
+    let a1 = atom(&mut next);
+    let a2 = atom(&mut next);
+    let a3 = atom(&mut next);
+    match next() % 4 {
+        0 => Term::and(vec![a1, a2, a3]),
+        1 => Term::or(vec![Term::and(vec![a1, a2]), a3]),
+        2 => Term::and(vec![Term::or(vec![a1, a2]), Term::not(a3)]),
+        _ => Term::or(vec![a1, Term::and(vec![a2, Term::not(a3)])]),
+    }
+}
+
+fn brute_force_box(formula: &Term, lo: i64, hi: i64) -> Option<(i64, i64)> {
+    for av in lo..=hi {
+        for bv in lo..=hi {
+            let mut m = Model::new();
+            m.set("a", Value::Int(BigInt::from(av)));
+            m.set("b", Value::Int(BigInt::from(bv)));
+            if m.eval_with(formula, ZeroDivPolicy::Zero)
+                == Ok(Value::Bool(true))
+            {
+                return Some((av, bv));
+            }
+        }
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn solver_agrees_with_bruteforce(recipe in proptest::collection::vec(any::<u8>(), 24)) {
+        let formula = build_formula(&recipe);
+        let script = Script::check_sat_script(
+            "QF_NIA",
+            vec![(Symbol::new("a"), Sort::Int), (Symbol::new("b"), Sort::Int)],
+            vec![formula.clone()],
+        );
+        let solver = SmtSolver::with_config(SolverConfig::default());
+        let out = solver.solve_script(&script);
+        let witness = brute_force_box(&formula, -6, 6);
+        match out.result {
+            SatResult::Unsat => {
+                prop_assert!(
+                    witness.is_none(),
+                    "solver unsat but {witness:?} satisfies {formula}"
+                );
+            }
+            SatResult::Sat => {
+                // The model must verify (solver guarantees this, re-check).
+                let model = out.model.expect("sat carries model");
+                prop_assert_eq!(
+                    model.eval_with(&formula, ZeroDivPolicy::Zero).unwrap(),
+                    Value::Bool(true),
+                    "unverified model for {}", formula
+                );
+            }
+            SatResult::Unknown => {
+                // Allowed (nonlinear atoms), nothing to check.
+            }
+        }
+        // Dual direction: box witness means the solver must not say unsat.
+        if witness.is_some() {
+            prop_assert_ne!(out.result, SatResult::Unsat);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the simplex core: agreement with brute-force
+//! enumeration on bounded random integer programs, and witness validity on
+//! rational ones.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use yinyang_arith::BigRational;
+use yinyang_solver::simplex::{solve_linear, Cmp, LinConstraint, LinExpr, LinResult};
+
+/// Builds `c0·x0 + c1·x1 + k ⋈ 0` from small integers.
+fn constraint(c0: i64, c1: i64, k: i64, cmp: Cmp) -> LinConstraint {
+    let mut e = LinExpr::zero();
+    e.add_term(0, &BigRational::from(c0));
+    e.add_term(1, &BigRational::from(c1));
+    e.constant = BigRational::from(k);
+    LinConstraint { expr: e, cmp }
+}
+
+fn holds(c: &LinConstraint, x0: i64, x1: i64) -> bool {
+    let v = c.expr.eval(&[BigRational::from(x0), BigRational::from(x1)]);
+    match c.cmp {
+        Cmp::Le => !v.is_positive(),
+        Cmp::Lt => v.is_negative(),
+        Cmp::Ge => !v.is_negative(),
+        Cmp::Gt => v.is_positive(),
+        Cmp::Eq => v.is_zero(),
+    }
+}
+
+fn cmp_of(tag: u8) -> Cmp {
+    match tag % 5 {
+        0 => Cmp::Le,
+        1 => Cmp::Lt,
+        2 => Cmp::Ge,
+        3 => Cmp::Gt,
+        _ => Cmp::Eq,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Random 2-variable integer programs, boxed to [-5, 5] so brute force
+    /// is exhaustive and the instance is decidable.
+    #[test]
+    fn integer_programs_agree_with_bruteforce(
+        raw in proptest::collection::vec((-4i64..=4, -4i64..=4, -8i64..=8, any::<u8>()), 1..5),
+    ) {
+        let mut cs: Vec<LinConstraint> = raw
+            .iter()
+            .map(|&(c0, c1, k, t)| constraint(c0, c1, k, cmp_of(t)))
+            .collect();
+        // Box both variables so the search space is finite.
+        cs.push(constraint(1, 0, -5, Cmp::Le)); //  x0 ≤ 5
+        cs.push(constraint(-1, 0, -5, Cmp::Le)); // x0 ≥ −5
+        cs.push(constraint(0, 1, -5, Cmp::Le));
+        cs.push(constraint(0, -1, -5, Cmp::Le));
+        let ints: BTreeSet<usize> = [0, 1].into_iter().collect();
+
+        let brute = (-5i64..=5).flat_map(|a| (-5i64..=5).map(move |b| (a, b)))
+            .find(|&(a, b)| cs.iter().all(|c| holds(c, a, b)));
+
+        match solve_linear(2, &cs, &ints) {
+            LinResult::Sat(assignment) => {
+                // Witness must satisfy every constraint and be integral.
+                for c in &cs {
+                    let v = c.expr.eval(&assignment);
+                    let ok = match c.cmp {
+                        Cmp::Le => !v.is_positive(),
+                        Cmp::Lt => v.is_negative(),
+                        Cmp::Ge => !v.is_negative(),
+                        Cmp::Gt => v.is_positive(),
+                        Cmp::Eq => v.is_zero(),
+                    };
+                    prop_assert!(ok, "witness violates {c:?}");
+                }
+                prop_assert!(assignment[0].is_integer() && assignment[1].is_integer());
+                prop_assert!(brute.is_some(), "simplex sat but brute force found nothing");
+            }
+            LinResult::Unsat => {
+                prop_assert!(brute.is_none(), "simplex unsat but {brute:?} works");
+            }
+            LinResult::Unknown => {
+                // Bounded boxes should always be decided, but a budget
+                // blowup is not a soundness bug.
+            }
+        }
+    }
+
+    /// Rational relaxations: any Sat witness must satisfy the constraints
+    /// exactly (no integrality requirement).
+    #[test]
+    fn rational_witnesses_are_exact(
+        raw in proptest::collection::vec((-6i64..=6, -6i64..=6, -9i64..=9, any::<u8>()), 1..6),
+    ) {
+        let cs: Vec<LinConstraint> = raw
+            .iter()
+            .map(|&(c0, c1, k, t)| constraint(c0, c1, k, cmp_of(t)))
+            .collect();
+        if let LinResult::Sat(assignment) = solve_linear(2, &cs, &BTreeSet::new()) {
+            for c in &cs {
+                let v = c.expr.eval(&assignment);
+                let ok = match c.cmp {
+                    Cmp::Le => !v.is_positive(),
+                    Cmp::Lt => v.is_negative(),
+                    Cmp::Ge => !v.is_negative(),
+                    Cmp::Gt => v.is_positive(),
+                    Cmp::Eq => v.is_zero(),
+                };
+                prop_assert!(ok, "rational witness violates {c:?}: {v}");
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! A miniature bug-hunting campaign: run YinYang's Algorithm 1 against the
+//! fault-injected Zirkon persona, then reduce the first finding like the
+//! paper does with C-Reduce.
+//!
+//! ```sh
+//! cargo run --release --example bughunt
+//! ```
+
+use rand::SeedableRng;
+use yinyang::faults::{FaultySolver, SolverId};
+use yinyang::fusion::{run_catching, yinyang_loop, FindingKind, Fuser, Oracle, SolverAnswer};
+use yinyang::reduce::reduce;
+use yinyang::seedgen::{generate_pool, SeedGenerator};
+use yinyang::smtlib::{Logic, Script};
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+
+    // Seed pool: unsat QF_S formulas (string soundness bugs dominate the
+    // paper's findings).
+    let generator = SeedGenerator::new(Logic::QfS);
+    let seeds: Vec<Script> = generate_pool(&mut rng, &generator, 0, 25)
+        .into_iter()
+        .map(|s| s.script)
+        .collect();
+
+    // The solver under test: Zirkon trunk with all its injected bugs.
+    let solver = FaultySolver::trunk(SolverId::Zirkon);
+
+    // Algorithm 1.
+    let outcome = yinyang_loop(&mut rng, Oracle::Unsat, &solver, &Fuser::new(), &seeds, 150);
+    println!(
+        "ran {} fused tests: {} incorrect, {} crashes, {} unknown",
+        outcome.tests,
+        outcome.incorrects.len(),
+        outcome.crashes.len(),
+        outcome.unknowns
+    );
+
+    let Some(finding) = outcome.incorrects.first().or(outcome.crashes.first()) else {
+        println!("no finding in this small run — try more iterations");
+        return;
+    };
+    match &finding.kind {
+        FindingKind::Incorrect { got, expected } => {
+            println!(
+                "\nsoundness finding: solver answered {} on an {expected}-by-construction formula",
+                got.as_str()
+            );
+        }
+        FindingKind::Crash(msg) => println!("\ncrash finding: {msg}"),
+    }
+    println!("original fused formula: {} asserts, {} chars",
+        finding.fused.script.asserts().len(),
+        finding.fused.script.to_string().len());
+
+    // Reduce while the same misbehavior persists.
+    let oracle = finding.fused.oracle;
+    let expected_kind = finding.kind.clone();
+    let reduced = reduce(&finding.fused.script, &mut |candidate| {
+        match (&expected_kind, run_catching(&solver, candidate)) {
+            (FindingKind::Crash(_), SolverAnswer::Crash(_)) => true,
+            (FindingKind::Incorrect { .. }, SolverAnswer::Sat) => oracle == Oracle::Unsat,
+            (FindingKind::Incorrect { .. }, SolverAnswer::Unsat) => oracle == Oracle::Sat,
+            _ => false,
+        }
+    });
+    println!(
+        "reduced formula: {} asserts, {} chars",
+        reduced.asserts().len(),
+        reduced.to_string().len()
+    );
+    println!("\n; === reduced bug report ===\n{reduced}");
+
+    // Which injected defect was it?
+    if let Some(bug) = solver.triggered_bug(&reduced) {
+        println!(
+            "; maps to injected bug {} ({:?}, {})",
+            bug.name, bug.class, bug.logic
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! UNSAT fusion on the paper's own Section 2.2 seeds (Fig. 4 → Fig. 5):
+//! φ3 = ((1.0 + x) + 6.0) ≠ (7.0 + x) and
+//! φ4 = 0 < y < v ≤ w ∧ w/v < 0, both unsatisfiable.
+//!
+//! ```sh
+//! cargo run --example unsat_fusion
+//! ```
+
+use rand::SeedableRng;
+use yinyang::fusion::{FusionConfig, Fuser, Oracle};
+use yinyang::smtlib::parse_script;
+use yinyang::solver::{SatResult, SmtSolver};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let phi3 = parse_script(
+        "(set-logic QF_LRA)
+         (declare-fun x () Real)
+         (assert (not (= (+ (+ 1.0 x) 6.0) (+ 7.0 x))))",
+    )?;
+    let phi4 = parse_script(
+        "(set-logic QF_LRA)
+         (declare-fun y () Real) (declare-fun w () Real) (declare-fun v () Real)
+         (assert (and (< y v) (>= w v) (< (/ w v) 0) (> y 0)))",
+    )?;
+
+    // Both seeds are individually unsatisfiable — check with the solver.
+    let solver = SmtSolver::new();
+    assert_eq!(solver.solve_script(&phi3).result, SatResult::Unsat);
+    assert_eq!(solver.solve_script(&phi4).result, SatResult::Unsat);
+    println!("; both seeds verified unsat by the reference solver");
+
+    // UNSAT fusion: disjunction + fusion constraints (Proposition 2).
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2391); // the Z3 issue number
+    let fuser = Fuser::with_config(FusionConfig {
+        substitution_prob: 0.6,
+        max_triplets: 1,
+        ..FusionConfig::default()
+    });
+    let fused = fuser.fuse(&mut rng, Oracle::Unsat, &phi3, &phi4)?;
+    println!("; fused (unsat by construction, Fig. 5 shape):");
+    print!("{}", fused.script);
+
+    // A solver answering `sat` here has the Fig. 5 soundness bug.
+    let out = solver.solve_script(&fused.script);
+    println!("; reference solver says: {}", out.result);
+    assert_ne!(
+        out.result,
+        SatResult::Sat,
+        "sat on an unsat-by-construction formula would be the paper's Z3 bug"
+    );
+    Ok(())
+}

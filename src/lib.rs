@@ -1,0 +1,50 @@
+//! **YinYang-rs** — a complete Rust reproduction of *Validating SMT Solvers
+//! via Semantic Fusion* (Winterer, Zhang, Su; PLDI 2020).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`fusion`] | `yinyang-core` | Semantic Fusion itself (the paper's contribution) |
+//! | [`smtlib`] | `yinyang-smtlib` | SMT-LIB v2 parser, printer, evaluator |
+//! | [`solver`] | `yinyang-solver` | the reference DPLL(T) SMT solver |
+//! | [`faults`] | `yinyang-faults` | fault-injected solver personas (Z3/CVC4 stand-ins) |
+//! | [`seedgen`] | `yinyang-seedgen` | seed formulas with ground truth by construction |
+//! | [`reduce`] | `yinyang-reduce` | ddmin + term shrinking (C-Reduce stand-in) |
+//! | [`coverage`] | `yinyang-coverage` | probe-point coverage (Gcov stand-in) |
+//! | [`campaign`] | `yinyang-campaign` | experiment harness for every paper table/figure |
+//! | [`arith`] | `yinyang-arith` | exact big-number arithmetic |
+//!
+//! # Examples
+//!
+//! Fuse two satisfiable formulas into a satisfiable-by-construction test
+//! (the paper's Fig. 1):
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use yinyang::fusion::{Fuser, Oracle};
+//! use yinyang::smtlib::parse_script;
+//!
+//! let phi1 = parse_script(
+//!     "(declare-fun x () Int) (assert (> x 0)) (assert (> x 1))",
+//! )?;
+//! let phi2 = parse_script(
+//!     "(declare-fun y () Int) (assert (< y 0)) (assert (< y 1))",
+//! )?;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let fused = Fuser::new().fuse(&mut rng, Oracle::Sat, &phi1, &phi2).unwrap();
+//! assert_eq!(fused.oracle, Oracle::Sat);
+//! # Ok::<(), yinyang::smtlib::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use yinyang_arith as arith;
+pub use yinyang_campaign as campaign;
+pub use yinyang_core as fusion;
+pub use yinyang_coverage as coverage;
+pub use yinyang_faults as faults;
+pub use yinyang_reduce as reduce;
+pub use yinyang_seedgen as seedgen;
+pub use yinyang_smtlib as smtlib;
+pub use yinyang_solver as solver;

@@ -1,0 +1,161 @@
+//! End-to-end integration: the whole tool-chain — seed generation, fusion,
+//! fault-injected solving, triage, reduction — wired together like the
+//! `yinyang` binary does it.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use yinyang::campaign::config::CampaignConfig;
+use yinyang::campaign::{run_campaign, triage};
+use yinyang::faults::{registry, BugStatus, FaultySolver, SolverId};
+use yinyang::fusion::{run_catching, Fuser, Oracle, SolverAnswer};
+use yinyang::reduce::reduce;
+use yinyang::seedgen::{generate_pool, SeedGenerator};
+use yinyang::smtlib::{parse_script, Logic, Script};
+
+fn small_config() -> CampaignConfig {
+    CampaignConfig { scale: 800, iterations: 8, rounds: 2, rng_seed: 42, threads: 1 }
+}
+
+#[test]
+fn campaign_finds_injected_bugs() {
+    let outcome = run_campaign(&small_config(), SolverId::Zirkon);
+    assert!(outcome.stats.tests > 0, "campaign ran tests");
+    assert!(
+        !outcome.findings.is_empty(),
+        "a Zirkon campaign must surface at least one injected bug"
+    );
+    // Every finding maps to a registry bug (the triggers are the only
+    // sources of misbehavior).
+    for f in &outcome.findings {
+        assert!(f.bug_id.is_some(), "finding without a bug attribution: {f:?}");
+    }
+    let t = triage(&outcome.findings);
+    let status = &t.status["zirkon"];
+    assert!(status.reported >= 1);
+    assert!(status.confirmed <= status.reported);
+    assert!(status.fixed <= status.confirmed);
+}
+
+#[test]
+fn corvus_finds_fewer_bugs_than_zirkon() {
+    // The Fig. 8 shape: the Z3-like persona yields clearly more bugs.
+    let config = CampaignConfig { iterations: 12, ..small_config() };
+    let z = run_campaign(&config, SolverId::Zirkon);
+    let c = run_campaign(&config, SolverId::Corvus);
+    let tz = triage(&z.findings);
+    let tc = triage(&c.findings);
+    let zn = tz.found_bugs.get("zirkon").map_or(0, |s| s.len());
+    let cn = tc.found_bugs.get("corvus").map_or(0, |s| s.len());
+    assert!(
+        zn >= cn,
+        "Zirkon ({zn}) must not find fewer unique bugs than Corvus ({cn})"
+    );
+}
+
+#[test]
+fn multithreaded_campaign_matches_interface() {
+    let config = CampaignConfig { threads: 3, iterations: 4, rounds: 1, ..small_config() };
+    let outcome = run_campaign(&config, SolverId::Zirkon);
+    assert!(outcome.stats.tests > 0);
+}
+
+#[test]
+fn reference_solver_has_no_false_positives_small() {
+    let report = yinyang::campaign::experiments::false_positive_check(3, 7);
+    assert!(
+        report.starts_with("No false positives"),
+        "false positive detected: {report}"
+    );
+}
+
+#[test]
+fn found_bug_reduces_to_smaller_trigger() {
+    // Hunt one bug, then shrink its test case while it keeps triggering.
+    let mut rng = StdRng::seed_from_u64(11);
+    let generator = SeedGenerator::new(Logic::QfS);
+    let seeds: Vec<Script> = generate_pool(&mut rng, &generator, 0, 20)
+        .into_iter()
+        .map(|s| s.script)
+        .collect();
+    let solver = FaultySolver::trunk(SolverId::Zirkon);
+    let outcome = yinyang::fusion::yinyang_loop(
+        &mut rng,
+        Oracle::Unsat,
+        &solver,
+        &Fuser::new(),
+        &seeds,
+        120,
+    );
+    let Some(finding) = outcome.incorrects.first() else {
+        // Seeds are random; a dry run is possible but should be rare.
+        assert!(outcome.tests > 0);
+        return;
+    };
+    let original = &finding.fused.script;
+    let bug_id = solver.triggered_bug(original).expect("attributable").id;
+    let reduced = reduce(original, &mut |cand| {
+        solver.triggered_bug(cand).map(|b| b.id) == Some(bug_id)
+            && matches!(run_catching(&solver, cand), SolverAnswer::Sat | SolverAnswer::Unsat)
+    });
+    assert!(reduced.to_string().len() <= original.to_string().len());
+    assert_eq!(solver.triggered_bug(&reduced).map(|b| b.id), Some(bug_id));
+}
+
+#[test]
+fn fix_and_retest_rounds_unshadow_bugs() {
+    // With fixes applied between rounds, round 2 can find bugs shadowed by
+    // round 1's findings (first-match semantics). At minimum, the set of
+    // unique bugs never shrinks with more rounds.
+    let one = CampaignConfig { rounds: 1, ..small_config() };
+    let two = CampaignConfig { rounds: 2, ..small_config() };
+    let f1 = run_campaign(&one, SolverId::Zirkon);
+    let f2 = run_campaign(&two, SolverId::Zirkon);
+    let u1 = triage(&f1.findings).found_bugs.get("zirkon").map_or(0, |s| s.len());
+    let u2 = triage(&f2.findings).found_bugs.get("zirkon").map_or(0, |s| s.len());
+    assert!(u2 >= u1, "more rounds cannot find fewer unique bugs ({u2} < {u1})");
+}
+
+#[test]
+fn release_personas_reproduce_latent_bugs() {
+    // A bug shipped since the oldest release triggers identically there.
+    let old_bugs: Vec<u32> = registry()
+        .into_iter()
+        .filter(|b| b.solver == SolverId::Zirkon && b.in_release("4.5.0"))
+        .map(|b| b.id)
+        .collect();
+    assert!(!old_bugs.is_empty(), "Fig. 10 requires latent bugs in 4.5.0");
+    let old = FaultySolver::at_release(SolverId::Zirkon, "4.5.0");
+    assert!(old.active_bugs().iter().all(|b| old_bugs.contains(&b.id)));
+}
+
+#[test]
+fn pending_and_wontfix_only_live_in_trunk() {
+    for b in registry() {
+        if matches!(b.status, BugStatus::Pending | BugStatus::WontFix) {
+            let solver = FaultySolver::at_release(b.solver, "4.5.0");
+            assert!(
+                solver.active_bugs().iter().all(|a| a.id != b.id),
+                "{} leaked into an old release",
+                b.name
+            );
+        }
+    }
+}
+
+#[test]
+fn cli_style_fuse_solve_pipeline() {
+    // Mirrors `yinyang fuse` + `yinyang solve`.
+    let a = parse_script(
+        "(set-logic QF_LIA) (declare-fun p () Int) (assert (> p 2)) (check-sat)",
+    )
+    .unwrap();
+    let b = parse_script(
+        "(set-logic QF_LIA) (declare-fun q () Int) (assert (< q 2)) (check-sat)",
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let fused = Fuser::new().fuse(&mut rng, Oracle::Sat, &a, &b).unwrap();
+    let text = fused.script.to_string();
+    let out = yinyang::solver::SmtSolver::new().solve_str(&text).unwrap();
+    assert_ne!(out.result, yinyang::solver::SatResult::Unsat);
+}

@@ -1,0 +1,234 @@
+//! The paper's concrete formulas (Figs. 1–5 and the assorted bug samples of
+//! Fig. 13) as executable ground truth: everything must parse, type-check,
+//! and the reference solver must never give the *wrong* answer the buggy
+//! solvers gave.
+
+use yinyang::smtlib::{check_script, parse_script, Script};
+use yinyang::solver::{SatResult, SmtSolver, SolverConfig};
+
+fn solve(script: &Script) -> SatResult {
+    SmtSolver::with_config(SolverConfig::default()).solve_script(script).result
+}
+
+fn parse(src: &str) -> Script {
+    let s = parse_script(src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+    check_script(&s).unwrap_or_else(|e| panic!("{e}\n{src}"));
+    s
+}
+
+#[test]
+fn fig1_seeds_and_fused() {
+    // φ1 = x > 0 ∧ x > 1 (sat), φ2 = y < 0 ∧ y < 1 (sat),
+    // φfused = (x > 0 ∧ z − y > 1) ∧ (z − x < 0 ∧ y < 1).
+    let phi1 = parse("(declare-fun x () Int)(assert (> x 0))(assert (> x 1))(check-sat)");
+    let phi2 = parse("(declare-fun y () Int)(assert (< y 0))(assert (< y 1))(check-sat)");
+    assert_eq!(solve(&phi1), SatResult::Sat);
+    assert_eq!(solve(&phi2), SatResult::Sat);
+    let fused = parse(
+        "(declare-fun x () Int)(declare-fun y () Int)(declare-fun z () Int)
+         (assert (> x 0)) (assert (> (- z y) 1))
+         (assert (< (- z x) 0)) (assert (< y 1)) (check-sat)",
+    );
+    assert_eq!(solve(&fused), SatResult::Sat, "Fig. 1's fused formula is sat");
+}
+
+#[test]
+fn fig2_seeds_are_sat() {
+    let phi1 = parse(
+        "(declare-fun x () Int) (declare-fun w () Bool)
+         (assert (= x (- 1))) (assert (= w (= x (- 1)))) (assert w) (check-sat)",
+    );
+    let phi2 = parse(
+        "(declare-fun y () Int) (declare-fun v () Bool)
+         (assert (= v (not (= y (- 1)))))
+         (assert (ite v false (= y (- 1)))) (check-sat)",
+    );
+    assert_eq!(solve(&phi1), SatResult::Sat);
+    assert_eq!(solve(&phi2), SatResult::Sat);
+}
+
+#[test]
+fn fig3_fused_formula_not_unsat() {
+    // CVC4 wrongly reported unsat on this sat-by-construction formula.
+    let fused = parse(
+        "(declare-fun v () Bool) (declare-fun w () Bool)
+         (declare-fun x () Int) (declare-fun y () Int) (declare-fun z () Int)
+         (assert (= (div z y) (- 1)))
+         (assert (= w (= x (- 1)))) (assert w)
+         (assert (= v (not (= y (- 1)))))
+         (assert (ite v false (= (div z x) (- 1)))) (check-sat)",
+    );
+    assert_ne!(solve(&fused), SatResult::Unsat, "must not repeat CVC4's #3413");
+}
+
+#[test]
+fn fig4_seeds_are_unsat() {
+    let phi3 = parse(
+        "(declare-fun x () Real)
+         (assert (not (= (+ (+ 1.0 x) 6.0) (+ 7.0 x)))) (check-sat)",
+    );
+    let phi4 = parse(
+        "(declare-fun y () Real) (declare-fun w () Real) (declare-fun v () Real)
+         (assert (and (< y v) (>= w v) (< (/ w v) 0) (> y 0))) (check-sat)",
+    );
+    assert_eq!(solve(&phi3), SatResult::Unsat, "φ3 is trivially unsat");
+    assert_eq!(solve(&phi4), SatResult::Unsat, "φ4 needs sign reasoning on w/v");
+}
+
+#[test]
+fn fig5_fused_formula_not_sat() {
+    // Z3 wrongly reported sat here (issue #2391). Unsat by construction.
+    let fused = parse(
+        "(declare-fun v () Real) (declare-fun w () Real)
+         (declare-fun x () Real) (declare-fun y () Real) (declare-fun z () Real)
+         (assert (or
+           (not (= (+ (+ 1.0 (/ z y)) 6.0) (+ 7.0 x)))
+           (and (< (/ z x) v) (>= w v) (< (/ w v) 0) (> (/ z x) 0))))
+         (assert (= z (* x y)))
+         (assert (= x (/ z y)))
+         (assert (= y (/ z x))) (check-sat)",
+    );
+    assert_ne!(solve(&fused), SatResult::Sat, "must not repeat Z3's #2391");
+}
+
+#[test]
+fn fig13a_unsat_string_formula() {
+    // Z3 said sat; the formula is unsat. Legacy operator spellings.
+    let s = parse(
+        r#"(declare-fun a () String) (declare-fun b () String) (declare-fun c () String)
+           (assert (and (str.in.re c (re.* (str.to.re "aa")))
+                        (= 0 (str.to.int (str.replace a b (str.at a (str.len a)))))))
+           (assert (= a (str.++ b c)))
+           (check-sat)"#,
+    );
+    assert_ne!(solve(&s), SatResult::Sat, "must not repeat Z3's #2618");
+}
+
+#[test]
+fn fig13b_unsat_string_formula() {
+    let s = parse(
+        r#"(declare-const a String) (declare-const b String) (declare-const c String)
+           (declare-const d String) (declare-const e String) (declare-const f String)
+           (assert (or
+             (and (= c (str.++ e d))
+                  (str.in.re e (re.* (str.to.re "aaa")))
+                  (> 0 (str.to.int d))
+                  (= 1 (str.len e))
+                  (= 2 (str.len c)))
+             (and (str.in.re f (re.* (str.to.re "aa")))
+                  (= 0 (str.to.int (str.replace (str.replace a b "") "a" ""))))))
+           (assert (= a (str.++ (str.++ b "a") f)))
+           (check-sat)"#,
+    );
+    assert_ne!(solve(&s), SatResult::Sat, "must not repeat CVC4's #3357");
+}
+
+#[test]
+fn fig13c_unsat_nra_formula() {
+    let s = parse(
+        "(declare-fun a () Real) (declare-fun b () Real) (declare-fun c () Real)
+         (declare-fun d () Real) (declare-fun e () Real) (declare-fun f () Real)
+         (assert (and
+           (> 0 (- d f))
+           (= d (ite (>= (/ a c) f) (+ b f) f))
+           (> 0 (/ a (/ c e)))
+           (or (= e 1.0) (= e 2.0))
+           (> d 0) (= c 0)))
+         (check-sat)",
+    );
+    // The paper documents Z3 returning sat with an incorrect model. The
+    // division-by-zero semantics make this formula's ground truth depend on
+    // the chosen interpretation; our solver must not claim sat with an
+    // unverifiable model (its models are always evaluator-verified).
+    let out = SmtSolver::new().solve_script(&s);
+    if out.result == SatResult::Sat {
+        let model = out.model.expect("sat carries model");
+        for a in s.asserts() {
+            assert_eq!(
+                model
+                    .eval_with(&a, yinyang::smtlib::ZeroDivPolicy::Zero)
+                    .unwrap(),
+                yinyang::smtlib::Value::Bool(true),
+                "unverified model for {a}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fig13d_unsat_qf_slia_formula() {
+    let s = parse(
+        r#"(declare-fun a () String) (declare-fun b () String)
+           (declare-fun d () String) (declare-fun e () String)
+           (declare-fun f () Int)
+           (declare-fun g () String) (declare-fun h () String)
+           (assert (or
+             (not (= (str.replace "B" (str.at "A" f) "") "B"))
+             (not (= (str.replace "B" (str.replace "B" g "") "")
+                     (str.at (str.replace (str.replace a d "") "C" "")
+                             (str.indexof "B"
+                                          (str.replace (str.replace a d "") "C" "")
+                                          0))))))
+           (assert (= a (str.++ (str.++ d "C") g)))
+           (assert (= b (str.++ e g)))
+           (check-sat)"#,
+    );
+    assert_ne!(solve(&s), SatResult::Sat, "must not repeat CVC4's #3203");
+}
+
+#[test]
+fn fig13e_unsat_string_formula() {
+    let s = parse(
+        r#"(declare-fun a () String) (declare-fun b () String)
+           (declare-fun c () String) (declare-fun d () String)
+           (assert (= a (str.++ b d)))
+           (assert (or (and
+               (= (str.indexof (str.substr a 0 (str.len b)) "=" 0) 0)
+               (= (str.indexof b "=" 0) 1))
+             (not (= (str.suffixof "A" d)
+                     (str.suffixof "A" (str.replace c c d))))))
+           (check-sat)"#,
+    );
+    assert_ne!(solve(&s), SatResult::Sat, "must not repeat Z3's #2513");
+}
+
+#[test]
+fn fig13f_crash_formula_does_not_crash_us() {
+    // This NRA formula segfaulted Z3. Our reference solver must survive
+    // (any verdict is acceptable; quantified NRA is allowed to be unknown).
+    let s = parse(
+        "(declare-fun a () Real) (declare-fun b () Real) (declare-fun c () Real)
+         (declare-fun d () Real) (declare-fun i () Real) (declare-fun e () Real)
+         (declare-fun ep () Real) (declare-fun f () Real) (declare-fun j () Real)
+         (declare-fun g () Real)
+         (assert (or
+           (not (exists ((h Real))
+             (=> (and (= 0.0 (/ b j)) (< 0.0 e))
+                 (=> (= 0.0 i)
+                     (= (= (<= 0.0 h) (<= h ep)) (= 1.0 2.0))))))
+           (not (exists ((h Real))
+             (=> (<= 0.0 (/ a h)) (= 0 (/ c e)))))))
+         (assert (= ep (/ d f)))
+         (check-sat)",
+    );
+    let result = std::panic::catch_unwind(|| solve(&s));
+    assert!(result.is_ok(), "reference solver must not crash on Fig. 13f");
+}
+
+#[test]
+fn fig13_formulas_trigger_injected_bugs() {
+    // The shapes of Fig. 13 map onto the fault registry's triggers: at
+    // least the Fig. 13a shape must fire a Zirkon string bug.
+    use yinyang::faults::{FaultySolver, SolverId};
+    let s = parse_script(
+        r#"(set-logic QF_S)
+           (declare-fun a () String) (declare-fun b () String) (declare-fun c () String)
+           (assert (and (str.in.re c (re.* (str.to.re "aa")))
+                        (= 0 (str.to.int (str.replace a b (str.at a (str.len a)))))))
+           (assert (= a (str.++ b c)))
+           (check-sat)"#,
+    )
+    .unwrap();
+    let z = FaultySolver::trunk(SolverId::Zirkon);
+    assert!(z.triggered_bug(&s).is_some(), "Fig. 13a shape must hit a Zirkon bug");
+}

@@ -1,0 +1,16 @@
+#!/bin/sh
+# The full local CI gate. The workspace has zero external dependencies, so
+# everything runs --offline from a clean checkout: no registry, no network.
+set -eu
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "CI green."

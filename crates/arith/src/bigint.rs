@@ -572,12 +572,8 @@ impl Add for &BigInt {
             (a, b) if a == b => BigInt::from_mag(a, mag_add(&self.mag, &other.mag)),
             _ => match mag_cmp(&self.mag, &other.mag) {
                 Ordering::Equal => BigInt::zero(),
-                Ordering::Greater => {
-                    BigInt::from_mag(self.sign, mag_sub(&self.mag, &other.mag))
-                }
-                Ordering::Less => {
-                    BigInt::from_mag(other.sign, mag_sub(&other.mag, &self.mag))
-                }
+                Ordering::Greater => BigInt::from_mag(self.sign, mag_sub(&self.mag, &other.mag)),
+                Ordering::Less => BigInt::from_mag(other.sign, mag_sub(&other.mag, &self.mag)),
             },
         }
     }
@@ -691,10 +687,7 @@ mod tests {
         let a: BigInt = "123456789012345678901234567890".parse().unwrap();
         let b: BigInt = "987654321098765432109876543210".parse().unwrap();
         let p = &a * &b;
-        assert_eq!(
-            p.to_string(),
-            "121932631137021795226185032733622923332237463801111263526900"
-        );
+        assert_eq!(p.to_string(), "121932631137021795226185032733622923332237463801111263526900");
         let (q, r) = p.div_rem(&a);
         assert_eq!(q, b);
         assert!(r.is_zero());

@@ -280,20 +280,14 @@ impl Neg for &BigRational {
 impl Add for &BigRational {
     type Output = BigRational;
     fn add(self, other: &BigRational) -> BigRational {
-        BigRational::new(
-            &self.num * &other.den + &other.num * &self.den,
-            &self.den * &other.den,
-        )
+        BigRational::new(&self.num * &other.den + &other.num * &self.den, &self.den * &other.den)
     }
 }
 
 impl Sub for &BigRational {
     type Output = BigRational;
     fn sub(self, other: &BigRational) -> BigRational {
-        BigRational::new(
-            &self.num * &other.den - &other.num * &self.den,
-            &self.den * &other.den,
-        )
+        BigRational::new(&self.num * &other.den - &other.num * &self.den, &self.den * &other.den)
     }
 }
 

@@ -1,113 +1,119 @@
 //! Property-based tests: BigInt/BigRational agree with i128 reference
 //! arithmetic and satisfy ring/field/order laws.
 
-use proptest::prelude::*;
 use yinyang_arith::{BigInt, BigRational};
+use yinyang_rt::prop::assume;
+use yinyang_rt::{props, Rng, StdRng};
 
 fn bi(v: i128) -> BigInt {
     BigInt::from(v)
 }
 
-proptest! {
-    #[test]
-    fn bigint_add_matches_i128(a in -1_000_000_000_000i128..1_000_000_000_000, b in -1_000_000_000_000i128..1_000_000_000_000) {
-        prop_assert_eq!(bi(a) + bi(b), bi(a + b));
+fn tera(r: &mut StdRng) -> i128 {
+    r.random_range(-1_000_000_000_000i128..1_000_000_000_000)
+}
+
+fn giga(r: &mut StdRng) -> i128 {
+    r.random_range(-1_000_000_000i128..1_000_000_000)
+}
+
+fn mega(r: &mut StdRng) -> i128 {
+    r.random_range(-1_000_000i128..1_000_000)
+}
+
+props! {
+    fn bigint_add_matches_i128(a in tera, b in tera) {
+        assert_eq!(bi(a) + bi(b), bi(a + b));
     }
 
-    #[test]
-    fn bigint_mul_matches_i128(a in -1_000_000_000i128..1_000_000_000, b in -1_000_000_000i128..1_000_000_000) {
-        prop_assert_eq!(bi(a) * bi(b), bi(a * b));
+    fn bigint_mul_matches_i128(a in giga, b in giga) {
+        assert_eq!(bi(a) * bi(b), bi(a * b));
     }
 
-    #[test]
-    fn bigint_divrem_matches_i128(a in -1_000_000_000_000i128..1_000_000_000_000, b in -1_000_000i128..1_000_000) {
-        prop_assume!(b != 0);
+    fn bigint_divrem_matches_i128(a in tera, b in mega) {
+        assume(b != 0);
         let (q, r) = bi(a).div_rem(&bi(b));
-        prop_assert_eq!(q, bi(a / b));
-        prop_assert_eq!(r, bi(a % b));
-        prop_assert_eq!(bi(a).div_euclid_big(&bi(b)), bi(a.div_euclid(b)));
-        prop_assert_eq!(bi(a).rem_euclid_big(&bi(b)), bi(a.rem_euclid(b)));
+        assert_eq!(q, bi(a / b));
+        assert_eq!(r, bi(a % b));
+        assert_eq!(bi(a).div_euclid_big(&bi(b)), bi(a.div_euclid(b)));
+        assert_eq!(bi(a).rem_euclid_big(&bi(b)), bi(a.rem_euclid(b)));
     }
 
-    #[test]
-    fn bigint_euclid_invariant(a in any::<i64>(), b in any::<i64>()) {
-        prop_assume!(b != 0);
+    fn bigint_euclid_invariant(a in |r: &mut StdRng| r.random_range(i64::MIN..=i64::MAX),
+                               b in |r: &mut StdRng| r.random_range(i64::MIN..=i64::MAX)) {
+        assume(b != 0);
         let (a, b) = (bi(a as i128), bi(b as i128));
         let q = a.div_euclid_big(&b);
         let r = a.rem_euclid_big(&b);
-        prop_assert_eq!(&q * &b + &r, a);
-        prop_assert!(!r.is_negative());
-        prop_assert!(r < b.abs());
+        assert_eq!(&q * &b + &r, a);
+        assert!(!r.is_negative());
+        assert!(r < b.abs());
     }
 
-    #[test]
-    fn bigint_string_roundtrip(a in any::<i128>()) {
+    fn bigint_string_roundtrip(a in |r: &mut StdRng| r.random_range(i128::MIN..=i128::MAX)) {
         let v = bi(a);
         let s = v.to_string();
-        prop_assert_eq!(s.parse::<BigInt>().unwrap(), v);
-        prop_assert_eq!(s, a.to_string());
+        assert_eq!(s.parse::<BigInt>().unwrap(), v);
+        assert_eq!(s, a.to_string());
     }
 
-    #[test]
-    fn bigint_mul_distributes(a in -1_000_000i128..1_000_000, b in -1_000_000i128..1_000_000, c in -1_000_000i128..1_000_000) {
+    fn bigint_mul_distributes(a in mega, b in mega, c in mega) {
         let (a, b, c) = (bi(a), bi(b), bi(c));
-        prop_assert_eq!(&a * &(&b + &c), &a * &b + &a * &c);
+        assert_eq!(&a * &(&b + &c), &a * &b + &a * &c);
     }
 
-    #[test]
-    fn bigint_gcd_divides(a in any::<i32>(), b in any::<i32>()) {
+    fn bigint_gcd_divides(a in |r: &mut StdRng| r.random_range(i32::MIN..=i32::MAX),
+                          b in |r: &mut StdRng| r.random_range(i32::MIN..=i32::MAX)) {
         let (a, b) = (bi(a as i128), bi(b as i128));
         let g = a.gcd(&b);
         if !g.is_zero() {
-            prop_assert!(a.rem_euclid_big(&g).is_zero());
-            prop_assert!(b.rem_euclid_big(&g).is_zero());
+            assert!(a.rem_euclid_big(&g).is_zero());
+            assert!(b.rem_euclid_big(&g).is_zero());
         } else {
-            prop_assert!(a.is_zero() && b.is_zero());
+            assert!(a.is_zero() && b.is_zero());
         }
     }
 
-    #[test]
-    fn rational_field_laws(
-        an in -10_000i64..10_000, ad in 1i64..1000,
-        bn in -10_000i64..10_000, bd in 1i64..1000,
-    ) {
+    fn rational_field_laws(an in |r: &mut StdRng| r.random_range(-10_000i64..10_000),
+                           ad in |r: &mut StdRng| r.random_range(1i64..1000),
+                           bn in |r: &mut StdRng| r.random_range(-10_000i64..10_000),
+                           bd in |r: &mut StdRng| r.random_range(1i64..1000)) {
         let a = BigRational::new(an.into(), ad.into());
         let b = BigRational::new(bn.into(), bd.into());
-        prop_assert_eq!(&a + &b, &b + &a);
-        prop_assert_eq!(&a * &b, &b * &a);
-        prop_assert_eq!(&(&a + &b) - &b, a.clone());
+        assert_eq!(&a + &b, &b + &a);
+        assert_eq!(&a * &b, &b * &a);
+        assert_eq!(&(&a + &b) - &b, a.clone());
         if !b.is_zero() {
-            prop_assert_eq!(&(&a / &b) * &b, a.clone());
+            assert_eq!(&(&a / &b) * &b, a.clone());
         }
     }
 
-    #[test]
-    fn rational_order_total(
-        an in -1000i64..1000, ad in 1i64..100,
-        bn in -1000i64..1000, bd in 1i64..100,
-    ) {
+    fn rational_order_total(an in |r: &mut StdRng| r.random_range(-1000i64..1000),
+                            ad in |r: &mut StdRng| r.random_range(1i64..100),
+                            bn in |r: &mut StdRng| r.random_range(-1000i64..1000),
+                            bd in |r: &mut StdRng| r.random_range(1i64..100)) {
         let a = BigRational::new(an.into(), ad.into());
         let b = BigRational::new(bn.into(), bd.into());
-        // Compare against f64 with tolerance-free cross multiplication.
+        // Compare against tolerance-free cross multiplication.
         let lhs = (an as i128) * (bd as i128);
         let rhs = (bn as i128) * (ad as i128);
-        prop_assert_eq!(a.cmp(&b), lhs.cmp(&rhs));
+        assert_eq!(a.cmp(&b), lhs.cmp(&rhs));
     }
 
-    #[test]
-    fn rational_floor_ceil_bracket(n in -100_000i64..100_000, d in 1i64..1000) {
+    fn rational_floor_ceil_bracket(n in |r: &mut StdRng| r.random_range(-100_000i64..100_000),
+                                   d in |r: &mut StdRng| r.random_range(1i64..1000)) {
         let v = BigRational::new(n.into(), d.into());
         let f = BigRational::from_int(v.floor());
         let c = BigRational::from_int(v.ceil());
-        prop_assert!(f <= v && v <= c);
-        prop_assert!(&c - &f <= BigRational::one());
+        assert!(f <= v && v <= c);
+        assert!(&c - &f <= BigRational::one());
     }
 
-    #[test]
-    fn rational_decimal_roundtrip(n in -100_000i64..100_000, scale in 0u32..6) {
+    fn rational_decimal_roundtrip(n in |r: &mut StdRng| r.random_range(-100_000i64..100_000),
+                                  scale in |r: &mut StdRng| r.random_range(0u32..6)) {
         let den = BigInt::from(10i64).pow(scale);
         let v = BigRational::new(n.into(), den);
         let s = v.to_decimal_string().expect("power-of-ten denominator prints as decimal");
-        prop_assert_eq!(BigRational::from_decimal_str(&s).unwrap(), v);
+        assert_eq!(BigRational::from_decimal_str(&s).unwrap(), v);
     }
 }

@@ -1,25 +1,22 @@
 //! Beyond-paper ablations: substitution density and fusion-function family
 //! sweeps (the design choices DESIGN.md calls out).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::SeedableRng;
-use yinyang_core::{FusionConfig, Fuser, Oracle};
+use yinyang_core::{Fuser, FusionConfig, Oracle};
+use yinyang_rt::{criterion_group, criterion_main, Criterion};
 use yinyang_seedgen::SeedGenerator;
 use yinyang_smtlib::Logic;
 
 fn bench(c: &mut Criterion) {
     // Substitution-density sweep: how formula size grows with the
     // occurrence-replacement probability.
-    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let mut rng = yinyang_rt::StdRng::seed_from_u64(9);
     let generator = SeedGenerator::new(Logic::QfLia);
     let s1 = generator.generate_sat(&mut rng);
     let s2 = generator.generate_sat(&mut rng);
     println!("Ablation — substitution density vs fused-formula size:");
     for prob in [0.0, 0.25, 0.5, 0.75, 1.0] {
-        let fuser = Fuser::with_config(FusionConfig {
-            substitution_prob: prob,
-            ..FusionConfig::default()
-        });
+        let fuser =
+            Fuser::with_config(FusionConfig { substitution_prob: prob, ..FusionConfig::default() });
         let mut total = 0usize;
         for _ in 0..50 {
             if let Ok(f) = fuser.fuse(&mut rng, Oracle::Sat, &s1.script, &s2.script) {
@@ -31,15 +28,11 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_substitution_density");
     group.sample_size(20);
     for prob in [0.1, 0.9] {
-        let fuser = Fuser::with_config(FusionConfig {
-            substitution_prob: prob,
-            ..FusionConfig::default()
-        });
+        let fuser =
+            Fuser::with_config(FusionConfig { substitution_prob: prob, ..FusionConfig::default() });
         group.bench_function(format!("p{prob}"), |b| {
             b.iter(|| {
-                std::hint::black_box(
-                    fuser.fuse(&mut rng, Oracle::Sat, &s1.script, &s2.script),
-                )
+                std::hint::black_box(fuser.fuse(&mut rng, Oracle::Sat, &s1.script, &s2.script))
             })
         });
     }

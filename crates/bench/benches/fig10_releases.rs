@@ -1,8 +1,8 @@
 //! Fig. 10 — found soundness bugs re-tested against each release version.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use yinyang_bench::bench_config;
 use yinyang_campaign::experiments::{fig10, fig8_campaign};
+use yinyang_rt::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     // Crash bugs in the solvers under test panic by design; the harness

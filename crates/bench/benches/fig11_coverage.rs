@@ -1,8 +1,8 @@
 //! Fig. 11 — the RQ3 coverage table (Benchmark vs YinYang per benchmark,
 //! oracle, and l/f/b metric).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use yinyang_campaign::experiments::fig11;
+use yinyang_rt::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     println!("{}", fig11(800, 6, 0xC0FE));

@@ -1,8 +1,8 @@
 //! Fig. 12 — Benchmark vs ConcatFuzz vs YinYang average coverage (RQ4's
 //! coverage comparison).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use yinyang_campaign::experiments::fig12;
+use yinyang_rt::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     println!("{}", fig12(800, 6, 0xC0FE));

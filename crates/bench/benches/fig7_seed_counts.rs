@@ -1,8 +1,7 @@
 //! Fig. 7 — the seed benchmark inventory: prints the table and benchmarks
 //! seed-pool generation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::SeedableRng;
+use yinyang_rt::{criterion_group, criterion_main, Criterion};
 use yinyang_seedgen::profile::{fig7_profile, generate_row};
 
 fn bench(c: &mut Criterion) {
@@ -12,7 +11,7 @@ fn bench(c: &mut Criterion) {
     for row in fig7_profile().into_iter().take(3) {
         group.bench_function(row.name, |b| {
             b.iter(|| {
-                let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+                let mut rng = yinyang_rt::StdRng::seed_from_u64(1);
                 std::hint::black_box(generate_row(&mut rng, &row, 800))
             })
         });

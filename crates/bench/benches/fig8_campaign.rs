@@ -1,10 +1,10 @@
 //! Fig. 8a/8b/8c — the bug-finding campaign (RQ1): prints the three triage
 //! tables and benchmarks one campaign round.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use yinyang_bench::bench_config;
 use yinyang_campaign::experiments::{fig8_campaign, render_fig8};
 use yinyang_faults::SolverId;
+use yinyang_rt::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     // Crash bugs in the solvers under test panic by design; the harness
@@ -14,11 +14,8 @@ fn bench(c: &mut Criterion) {
     println!("{}", render_fig8(&result));
     let mut group = c.benchmark_group("fig8_campaign_round");
     group.sample_size(10);
-    let tiny = yinyang_campaign::config::CampaignConfig {
-        iterations: 2,
-        rounds: 1,
-        ..bench_config()
-    };
+    let tiny =
+        yinyang_campaign::config::CampaignConfig { iterations: 2, rounds: 1, ..bench_config() };
     group.bench_function("zirkon_round", |b| {
         b.iter(|| std::hint::black_box(yinyang_campaign::run_campaign(&tiny, SolverId::Zirkon)))
     });

@@ -1,8 +1,8 @@
 //! Fig. 9 — the historical soundness-bug survey plus RQ2's found fractions.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use yinyang_bench::bench_config;
 use yinyang_campaign::experiments::{fig8_campaign, fig9};
+use yinyang_rt::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     // Crash bugs in the solvers under test panic by design; the harness
@@ -12,9 +12,7 @@ fn bench(c: &mut Criterion) {
     println!("{}", fig9(&result));
     let mut group = c.benchmark_group("fig9_history");
     group.sample_size(10);
-    group.bench_function("survey_render", |b| {
-        b.iter(|| std::hint::black_box(fig9(&result)))
-    });
+    group.bench_function("survey_render", |b| b.iter(|| std::hint::black_box(fig9(&result))));
     group.finish();
 }
 

@@ -1,9 +1,9 @@
 //! RQ4 — can ConcatFuzz (concatenation without fusion) retrigger the bugs
 //! YinYang found? The paper reports 5/50.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use yinyang_bench::bench_config;
 use yinyang_campaign::experiments::{fig8_campaign, rq4};
+use yinyang_rt::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     // Crash bugs in the solvers under test panic by design; the harness

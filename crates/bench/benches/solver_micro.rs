@@ -1,8 +1,8 @@
 //! Microbenchmarks of the solver substrates: SAT core, simplex, regex
 //! derivatives, and the end-to-end reference solver on the paper's φ4.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::collections::BTreeSet;
+use yinyang_rt::{criterion_group, criterion_main, Criterion};
 use yinyang_solver::sat::{Lit, SatSolver};
 use yinyang_solver::simplex::{solve_linear, Cmp, LinConstraint, LinExpr};
 use yinyang_solver::SmtSolver;
@@ -20,10 +20,7 @@ fn bench(c: &mut Criterion) {
             for h in 0..3 {
                 for p1 in 0..4 {
                     for p2 in (p1 + 1)..4 {
-                        s.add_clause(vec![
-                            Lit::neg(vars[p1 * 3 + h]),
-                            Lit::neg(vars[p2 * 3 + h]),
-                        ]);
+                        s.add_clause(vec![Lit::neg(vars[p1 * 3 + h]), Lit::neg(vars[p2 * 3 + h])]);
                     }
                 }
             }
@@ -57,12 +54,10 @@ fn bench(c: &mut Criterion) {
     group.bench_function("solve_paper_phi4", |b| {
         let solver = SmtSolver::new();
         b.iter(|| {
-            std::hint::black_box(
-                solver.solve_str(
-                    "(declare-fun y () Real)(declare-fun w () Real)(declare-fun v () Real)
+            std::hint::black_box(solver.solve_str(
+                "(declare-fun y () Real)(declare-fun w () Real)(declare-fun v () Real)
                      (assert (and (< y v) (>= w v) (< (/ w v) 0) (> y 0)))(check-sat)",
-                ),
-            )
+            ))
         })
     });
 

@@ -1,15 +1,14 @@
 //! Section 4.2 — test-generation throughput (the paper's Python tool
 //! reports 41.5 fused tests/second single-threaded).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::SeedableRng;
 use yinyang_core::{Fuser, Oracle};
+use yinyang_rt::{criterion_group, criterion_main, Criterion};
 use yinyang_seedgen::SeedGenerator;
 use yinyang_smtlib::Logic;
 
 fn bench(c: &mut Criterion) {
     println!("{}", yinyang_campaign::experiments::throughput(1.0));
-    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut rng = yinyang_rt::StdRng::seed_from_u64(5);
     let generator = SeedGenerator::new(Logic::QfNra);
     let seeds: Vec<_> = (0..10).map(|_| generator.generate_sat(&mut rng)).collect();
     let fuser = Fuser::new();

@@ -7,14 +7,11 @@
 //! a bug, we validate the fixed version ... then started a new testing
 //! round"), so later rounds surface the bugs that were shadowed before.
 
-use crate::config::{
-    fast_solver_config, Behavior, CampaignConfig, CampaignOutcome, RawFinding,
-};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::config::{fast_solver_config, Behavior, CampaignConfig, CampaignOutcome, RawFinding};
 use std::collections::BTreeSet;
 use yinyang_core::{concat_fuzz, run_catching, Fuser, Oracle, SolverAnswer};
 use yinyang_faults::{BugClass, BugStatus, FaultySolver, SolverId};
+use yinyang_rt::{Rng, StdRng};
 use yinyang_seedgen::profile::{fig7_profile, generate_row};
 use yinyang_seedgen::Seed;
 
@@ -56,29 +53,19 @@ fn run_round_parallel(
     round: usize,
     fixed: &BTreeSet<u32>,
 ) -> CampaignOutcome {
-    let per_thread = CampaignConfig {
-        iterations: config.iterations.div_ceil(config.threads),
-        ..config.clone()
-    };
+    let per_thread =
+        CampaignConfig { iterations: config.iterations.div_ceil(config.threads), ..config.clone() };
     let mut merged = CampaignOutcome::default();
-    crossbeam::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..config.threads {
-            let cfg = per_thread.clone();
-            let fixed = fixed.clone();
-            handles.push(scope.spawn(move |_| {
-                run_round(&cfg, solver_id, round, &fixed, cfg.rng_seed ^ (t as u64) << 32)
-            }));
-        }
-        for h in handles {
-            let o = h.join().expect("campaign worker panicked");
-            merged.findings.extend(o.findings);
-            merged.stats.tests += o.stats.tests;
-            merged.stats.unknowns += o.stats.unknowns;
-            merged.stats.fusion_failures += o.stats.fusion_failures;
-        }
-    })
-    .expect("crossbeam scope");
+    let shards =
+        yinyang_rt::pool::parallel_map(config.threads, (0..config.threads).collect(), |t| {
+            run_round(&per_thread, solver_id, round, fixed, per_thread.rng_seed ^ (t as u64) << 32)
+        });
+    for o in shards {
+        merged.findings.extend(o.findings);
+        merged.stats.tests += o.stats.tests;
+        merged.stats.unknowns += o.stats.unknowns;
+        merged.stats.fusion_failures += o.stats.fusion_failures;
+    }
     merged
 }
 
@@ -100,10 +87,8 @@ fn run_round(
     let mut outcome = CampaignOutcome::default();
     for row in fig7_profile() {
         let seeds = generate_row(&mut rng, &row, config.scale);
-        let sat_pool: Vec<&Seed> =
-            seeds.iter().filter(|s| s.oracle == Oracle::Sat).collect();
-        let unsat_pool: Vec<&Seed> =
-            seeds.iter().filter(|s| s.oracle == Oracle::Unsat).collect();
+        let sat_pool: Vec<&Seed> = seeds.iter().filter(|s| s.oracle == Oracle::Sat).collect();
+        let unsat_pool: Vec<&Seed> = seeds.iter().filter(|s| s.oracle == Oracle::Unsat).collect();
         for (oracle, pool) in [(Oracle::Sat, &sat_pool), (Oracle::Unsat, &unsat_pool)] {
             if pool.len() < 1 {
                 continue;
@@ -121,19 +106,14 @@ fn run_round(
                 outcome.stats.tests += 1;
                 let answer = run_catching(&solver, &fused.script);
                 let behavior = match &answer {
-                    SolverAnswer::Crash(msg) => {
-                        Some(Behavior::Crash { message: msg.clone() })
-                    }
+                    SolverAnswer::Crash(msg) => Some(Behavior::Crash { message: msg.clone() }),
                     SolverAnswer::Unknown => {
                         outcome.stats.unknowns += 1;
                         // Performance/unknown-class bugs: spurious unknowns
                         // with an identifiable trigger.
                         match solver.triggered_bug(&fused.script) {
                             Some(b)
-                                if matches!(
-                                    b.class,
-                                    BugClass::Performance | BugClass::Unknown
-                                ) =>
+                                if matches!(b.class, BugClass::Performance | BugClass::Unknown) =>
                             {
                                 Some(Behavior::SpuriousUnknown)
                             }
@@ -143,8 +123,7 @@ fn run_round(
                     SolverAnswer::Sat | SolverAnswer::Unsat => {
                         let agrees = matches!(
                             (oracle, &answer),
-                            (Oracle::Sat, SolverAnswer::Sat)
-                                | (Oracle::Unsat, SolverAnswer::Unsat)
+                            (Oracle::Sat, SolverAnswer::Sat) | (Oracle::Unsat, SolverAnswer::Unsat)
                         );
                         if agrees {
                             None
@@ -162,11 +141,7 @@ fn run_round(
                         solver: yinyang_core::SolverUnderTest::name(&solver),
                         bug_id,
                         behavior,
-                        logic: fused
-                            .script
-                            .logic()
-                            .unwrap_or("ALL")
-                            .to_owned(),
+                        logic: fused.script.logic().unwrap_or("ALL").to_owned(),
                         benchmark: row.name.to_owned(),
                         round,
                         script: fused.script.to_string(),
@@ -182,20 +157,15 @@ fn run_round(
 
 /// Runs the ConcatFuzz ablation over the same pools (RQ4's comparison arm):
 /// returns findings produced by plain concatenation.
-pub fn run_concatfuzz_round(
-    config: &CampaignConfig,
-    solver_id: SolverId,
-) -> CampaignOutcome {
+pub fn run_concatfuzz_round(config: &CampaignConfig, solver_id: SolverId) -> CampaignOutcome {
     let mut rng = StdRng::seed_from_u64(config.rng_seed ^ 0xC0CAF);
     let mut solver = FaultySolver::trunk(solver_id);
     solver.set_base_config(fast_solver_config());
     let mut outcome = CampaignOutcome::default();
     for row in fig7_profile() {
         let seeds = generate_row(&mut rng, &row, config.scale);
-        let sat_pool: Vec<&Seed> =
-            seeds.iter().filter(|s| s.oracle == Oracle::Sat).collect();
-        let unsat_pool: Vec<&Seed> =
-            seeds.iter().filter(|s| s.oracle == Oracle::Unsat).collect();
+        let sat_pool: Vec<&Seed> = seeds.iter().filter(|s| s.oracle == Oracle::Sat).collect();
+        let unsat_pool: Vec<&Seed> = seeds.iter().filter(|s| s.oracle == Oracle::Unsat).collect();
         for (oracle, pool) in [(Oracle::Sat, &sat_pool), (Oracle::Unsat, &unsat_pool)] {
             if pool.is_empty() {
                 continue;

@@ -1,12 +1,13 @@
 //! Campaign configuration and finding records.
 
-use serde::{Deserialize, Serialize};
 use yinyang_faults::SolverId;
+use yinyang_rt::impl_json_struct;
+use yinyang_rt::json::{FromJson, Json, JsonError, ToJson};
 use yinyang_smtlib::Logic;
 use yinyang_solver::{SolverConfig, TheoryBudget};
 
 /// Tunable knobs of a fuzzing campaign.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CampaignConfig {
     /// Fig. 7 seed-count scale (`1:scale` of the paper's inventory).
     pub scale: usize,
@@ -37,7 +38,7 @@ pub fn fast_solver_config() -> SolverConfig {
 }
 
 /// What a finding looked like, mirroring the paper's bug classes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Behavior {
     /// The solver contradicted the construction oracle.
     Incorrect {
@@ -57,7 +58,7 @@ pub enum Behavior {
 }
 
 /// One raw finding of a campaign.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RawFinding {
     /// Which persona was under test.
     pub solver: String,
@@ -80,7 +81,7 @@ pub struct RawFinding {
 }
 
 /// Summary counters of a campaign.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct CampaignStats {
     /// Fused tests executed.
     pub tests: usize,
@@ -91,12 +92,69 @@ pub struct CampaignStats {
 }
 
 /// Everything a campaign produced.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct CampaignOutcome {
     /// All findings, in discovery order.
     pub findings: Vec<RawFinding>,
     /// Counters.
     pub stats: CampaignStats,
+}
+
+impl_json_struct!(CampaignConfig { scale, iterations, rounds, rng_seed, threads });
+impl_json_struct!(RawFinding {
+    solver,
+    bug_id,
+    behavior,
+    logic,
+    benchmark,
+    round,
+    script,
+    seeds,
+    oracle,
+});
+impl_json_struct!(CampaignStats { tests, unknowns, fusion_failures });
+impl_json_struct!(CampaignOutcome { findings, stats });
+
+// `Behavior` keeps serde's externally-tagged enum shape so reports written
+// by earlier builds keep parsing: struct variants become one-member objects,
+// the unit variant a bare string.
+impl ToJson for Behavior {
+    fn to_json(&self) -> Json {
+        match self {
+            Behavior::Incorrect { got, expected } => Json::obj([(
+                "Incorrect",
+                Json::obj([("got", got.to_json()), ("expected", expected.to_json())]),
+            )]),
+            Behavior::Crash { message } => {
+                Json::obj([("Crash", Json::obj([("message", message.to_json())]))])
+            }
+            Behavior::SpuriousUnknown => Json::Str("SpuriousUnknown".into()),
+        }
+    }
+}
+
+impl FromJson for Behavior {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        if json.as_str() == Some("SpuriousUnknown") {
+            return Ok(Behavior::SpuriousUnknown);
+        }
+        let field = |body: &Json, name: &str| -> Result<String, JsonError> {
+            String::from_json(body.get(name).unwrap_or(&Json::Null)).map_err(|e| JsonError {
+                pos: e.pos,
+                message: format!("Behavior field `{name}`: {}", e.message),
+            })
+        };
+        if let Some(body) = json.get("Incorrect") {
+            return Ok(Behavior::Incorrect {
+                got: field(body, "got")?,
+                expected: field(body, "expected")?,
+            });
+        }
+        if let Some(body) = json.get("Crash") {
+            return Ok(Behavior::Crash { message: field(body, "message")? });
+        }
+        Err(JsonError { pos: 0, message: "unknown Behavior variant".into() })
+    }
 }
 
 /// Helper: parse a stored logic string back.
@@ -155,9 +213,20 @@ mod tests {
     #[test]
     fn findings_serialize_roundtrip() {
         let f = finding("zirkon-trunk", "QF_S");
-        let json = serde_json::to_string(&f).unwrap();
-        let back: RawFinding = serde_json::from_str(&json).unwrap();
+        let json = f.to_json().compact();
+        let back = RawFinding::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back.solver, f.solver);
         assert_eq!(back.behavior, f.behavior);
+    }
+
+    #[test]
+    fn behavior_keeps_tagged_enum_shape() {
+        let b = Behavior::Incorrect { got: "sat".into(), expected: "unsat".into() };
+        assert_eq!(b.to_json().compact(), r#"{"Incorrect":{"got":"sat","expected":"unsat"}}"#);
+        assert_eq!(Behavior::SpuriousUnknown.to_json().compact(), r#""SpuriousUnknown""#);
+        for b in [b, Behavior::Crash { message: "boom".into() }, Behavior::SpuriousUnknown] {
+            let back = Behavior::from_json(&Json::parse(&b.to_json().compact()).unwrap()).unwrap();
+            assert_eq!(back, b);
+        }
     }
 }

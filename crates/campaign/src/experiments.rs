@@ -5,16 +5,13 @@
 use crate::campaign::{run_campaign, run_concatfuzz_round};
 use crate::config::{fast_solver_config, CampaignConfig, CampaignOutcome};
 use crate::triage::{representatives, soundness_representatives, triage, Triage};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use yinyang_core::{concat_fuzz, run_catching, Fuser, Oracle, SolverAnswer};
 use yinyang_coverage::{reset, snapshot, universe, CoverageSnapshot, ProbeKind};
-use yinyang_faults::{
-    history, registry, releases_of, BugClass, BugStatus, FaultySolver, SolverId,
-};
+use yinyang_faults::{history, registry, releases_of, BugClass, BugStatus, FaultySolver, SolverId};
+use yinyang_rt::impl_json_struct;
+use yinyang_rt::{Rng, StdRng};
 use yinyang_seedgen::profile::{fig7_profile, generate_row, scaled};
 use yinyang_seedgen::Seed;
 use yinyang_smtlib::parse_script;
@@ -24,7 +21,11 @@ use yinyang_solver::SmtSolver;
 pub fn fig7(scale: usize) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Fig. 7 — seed formula counts (paper scale, campaign 1:{scale})");
-    let _ = writeln!(out, "{:<12} {:>8} {:>8} {:>8} | {:>8} {:>8}", "Benchmark", "#UNSAT", "#SAT", "Total", "gen-UNS", "gen-SAT");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>8} {:>8} {:>8} | {:>8} {:>8}",
+        "Benchmark", "#UNSAT", "#SAT", "Total", "gen-UNS", "gen-SAT"
+    );
     let mut tu = 0;
     let mut ts = 0;
     for row in fig7_profile() {
@@ -47,7 +48,7 @@ pub fn fig7(scale: usize) -> String {
 
 /// Fig. 8 campaign result: triage plus raw outcomes, reused by Fig. 9/10
 /// and RQ4.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig8Result {
     /// Findings of the Zirkon campaign.
     pub zirkon: CampaignOutcome,
@@ -56,6 +57,8 @@ pub struct Fig8Result {
     /// Combined triage.
     pub triage: Triage,
 }
+
+impl_json_struct!(Fig8Result { zirkon, corvus, triage });
 
 /// Runs the full bug-finding campaign against both personas (RQ1).
 pub fn fig8_campaign(config: &CampaignConfig) -> Fig8Result {
@@ -208,8 +211,7 @@ pub fn coverage_experiment(
     for row in fig7_profile() {
         let seeds = generate_row(&mut rng, &row, scale);
         for oracle in [Oracle::Sat, Oracle::Unsat] {
-            let pool: Vec<&Seed> =
-                seeds.iter().filter(|s| s.oracle == oracle).collect();
+            let pool: Vec<&Seed> = seeds.iter().filter(|s| s.oracle == oracle).collect();
             if pool.is_empty() {
                 continue;
             }
@@ -256,7 +258,10 @@ pub fn fig11(scale: usize, fuzz_tests: usize, rng_seed: u64) -> String {
     let (bench, _, yy) = coverage_experiment(scale, fuzz_tests, rng_seed);
     let uni = universe();
     let mut out = String::new();
-    let _ = writeln!(out, "Fig. 11 — coverage (%), Benchmark vs YinYang (higher of each pair marked *)");
+    let _ = writeln!(
+        out,
+        "Fig. 11 — coverage (%), Benchmark vs YinYang (higher of each pair marked *)"
+    );
     let _ = writeln!(
         out,
         "{:<12} {:<6} {:>7} {:>7} {:>7}   {:>7} {:>7} {:>7}",
@@ -297,15 +302,17 @@ pub fn fig12(scale: usize, fuzz_tests: usize, rng_seed: u64) -> String {
         if arm.cells.is_empty() {
             return 0.0;
         }
-        arm.cells.values().map(|s| s.percent_of(&uni, kind)).sum::<f64>()
-            / arm.cells.len() as f64
+        arm.cells.values().map(|s| s.percent_of(&uni, kind)).sum::<f64>() / arm.cells.len() as f64
     };
     let mut out = String::new();
     let _ = writeln!(out, "Fig. 12 — average coverage (%) over all logics");
-    let _ = writeln!(out, "{:<12} {:>9} {:>10} {:>9}", "Metric", "Benchmark", "ConcatFuzz", "YinYang");
-    for (label, kind) in
-        [("lines", ProbeKind::Line), ("functions", ProbeKind::Function), ("branches", ProbeKind::Branch)]
-    {
+    let _ =
+        writeln!(out, "{:<12} {:>9} {:>10} {:>9}", "Metric", "Benchmark", "ConcatFuzz", "YinYang");
+    for (label, kind) in [
+        ("lines", ProbeKind::Line),
+        ("functions", ProbeKind::Function),
+        ("branches", ProbeKind::Branch),
+    ] {
         let _ = writeln!(
             out,
             "{:<12} {:>9.1} {:>10.1} {:>9.1}",
@@ -327,9 +334,7 @@ pub fn rq4(result: &Fig8Result, config: &CampaignConfig) -> String {
     let pool: Vec<_> = reps.into_iter().take(50).collect();
     let mut retriggered = 0usize;
     for (bug_id, f) in &pool {
-        let (Ok(s1), Ok(s2)) =
-            (parse_script(&f.seeds.0), parse_script(&f.seeds.1))
-        else {
+        let (Ok(s1), Ok(s2)) = (parse_script(&f.seeds.0), parse_script(&f.seeds.1)) else {
             continue;
         };
         let oracle = if f.oracle == "sat" { Oracle::Sat } else { Oracle::Unsat };
@@ -406,22 +411,23 @@ pub fn false_positive_check(tests: usize, rng_seed: u64) -> String {
     for row in fig7_profile() {
         let seeds = generate_row(&mut rng, &row, 800);
         for oracle in [Oracle::Sat, Oracle::Unsat] {
-            let pool: Vec<&Seed> =
-                seeds.iter().filter(|s| s.oracle == oracle).collect();
+            let pool: Vec<&Seed> = seeds.iter().filter(|s| s.oracle == oracle).collect();
             if pool.is_empty() {
                 continue;
             }
             for _ in 0..tests {
                 let s1 = pool[rng.random_range(0..pool.len())];
                 let s2 = pool[rng.random_range(0..pool.len())];
-                let Ok(fused) = fuser.fuse(&mut rng, oracle, &s1.script, &s2.script)
-                else {
+                let Ok(fused) = fuser.fuse(&mut rng, oracle, &s1.script, &s2.script) else {
                     continue;
                 };
                 checked += 1;
                 match run_catching(&solver, &fused.script) {
                     SolverAnswer::Crash(m) => {
-                        return format!("FALSE POSITIVE: reference solver crashed: {m}\n{}", fused.script)
+                        return format!(
+                            "FALSE POSITIVE: reference solver crashed: {m}\n{}",
+                            fused.script
+                        )
                     }
                     SolverAnswer::Unknown => unknowns += 1,
                     SolverAnswer::Sat if oracle == Oracle::Unsat => {
@@ -469,7 +475,9 @@ mod tests {
     #[test]
     fn fig7_renders_all_rows() {
         let t = fig7(100);
-        for name in ["LIA", "LRA", "NRA", "QF_LIA", "QF_LRA", "QF_NRA", "QF_SLIA", "QF_S", "StringFuzz"] {
+        for name in
+            ["LIA", "LRA", "NRA", "QF_LIA", "QF_LRA", "QF_NRA", "QF_SLIA", "QF_S", "StringFuzz"]
+        {
             assert!(t.contains(name), "{name} missing from Fig. 7 table");
         }
         assert!(t.contains("75097"), "paper total missing");
@@ -481,10 +489,8 @@ mod tests {
         assert!(s.contains("zirkon"));
         assert!(s.contains("corvus"));
         // 24 + 11 + 1 + 1 + 5 + 1 + 2 = 45 across the lines.
-        let total: usize = s
-            .lines()
-            .filter_map(|l| l.split_whitespace().last()?.parse::<usize>().ok())
-            .sum();
+        let total: usize =
+            s.lines().filter_map(|l| l.split_whitespace().last()?.parse::<usize>().ok()).sum();
         assert_eq!(total, 45);
     }
 

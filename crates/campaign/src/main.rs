@@ -13,6 +13,7 @@ use std::process::ExitCode;
 use yinyang_campaign::config::CampaignConfig;
 use yinyang_campaign::experiments;
 use yinyang_core::{Fuser, Oracle};
+use yinyang_rt::json::ToJson;
 use yinyang_solver::SmtSolver;
 
 fn main() -> ExitCode {
@@ -54,10 +55,7 @@ fn main() -> ExitCode {
         Some("fuzz") => {
             let result = experiments::fig8_campaign(&config);
             if json {
-                println!(
-                    "{}",
-                    serde_json::to_string_pretty(&result).expect("serializable")
-                );
+                println!("{}", result.to_json().pretty());
             } else {
                 println!("{}", experiments::render_fig8(&result));
                 for f in result.zirkon.findings.iter().chain(&result.corvus.findings) {
@@ -111,8 +109,7 @@ fn main() -> ExitCode {
                 eprintln!("parse error in seed files");
                 return ExitCode::FAILURE;
             };
-            use rand::SeedableRng;
-            let mut rng = rand::rngs::StdRng::seed_from_u64(config.rng_seed);
+            let mut rng = yinyang_rt::StdRng::seed_from_u64(config.rng_seed);
             match Fuser::new().fuse(&mut rng, oracle, &sa, &sb) {
                 Ok(fused) => {
                     println!("; oracle: {}", fused.oracle);
@@ -149,7 +146,7 @@ fn run_exp(which: Option<&str>, config: &CampaignConfig, json: bool) -> ExitCode
         Some("fig8") => {
             let r = experiments::fig8_campaign(config);
             if json {
-                println!("{}", serde_json::to_string_pretty(&r.triage).expect("json"));
+                println!("{}", r.triage.to_json().pretty());
             } else {
                 print!("{}", experiments::render_fig8(&r));
             }

@@ -6,12 +6,12 @@
 //! fixed / won't-fix statuses come from the registry metadata.
 
 use crate::config::{solver_of, Behavior, RawFinding};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use yinyang_faults::{registry, BugClass, BugStatus, InjectedBug, SolverId};
+use yinyang_rt::impl_json_struct;
 
 /// The Fig. 8a status table for one persona.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StatusCounts {
     /// Total reports filed (unique bugs + duplicates).
     pub reported: usize,
@@ -26,7 +26,7 @@ pub struct StatusCounts {
 }
 
 /// Full triage result.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Triage {
     /// Fig. 8a per persona (keyed by persona name).
     pub status: BTreeMap<String, StatusCounts>,
@@ -38,10 +38,12 @@ pub struct Triage {
     pub found_bugs: BTreeMap<String, BTreeSet<u32>>,
 }
 
+impl_json_struct!(StatusCounts { reported, confirmed, fixed, duplicate, wont_fix });
+impl_json_struct!(Triage { status, classes, logics, found_bugs });
+
 /// Runs triage over findings from any number of campaigns.
 pub fn triage(findings: &[RawFinding]) -> Triage {
-    let reg: BTreeMap<u32, InjectedBug> =
-        registry().into_iter().map(|b| (b.id, b)).collect();
+    let reg: BTreeMap<u32, InjectedBug> = registry().into_iter().map(|b| (b.id, b)).collect();
     let mut out = Triage::default();
     // First report round per bug.
     let mut first_round: BTreeMap<u32, usize> = BTreeMap::new();
@@ -99,8 +101,7 @@ pub fn soundness_representatives<'a>(
     findings: &'a [RawFinding],
     solver: SolverId,
 ) -> Vec<(u32, &'a RawFinding)> {
-    let reg: BTreeMap<u32, InjectedBug> =
-        registry().into_iter().map(|b| (b.id, b)).collect();
+    let reg: BTreeMap<u32, InjectedBug> = registry().into_iter().map(|b| (b.id, b)).collect();
     let mut seen = BTreeSet::new();
     let mut out = Vec::new();
     for f in findings {
@@ -243,4 +244,3 @@ mod tests {
         assert_eq!(reps[0].0, sound_bug);
     }
 }
-

@@ -30,10 +30,7 @@ pub fn concat_fuzz(oracle: Oracle, seed1: &Script, seed2: &Script) -> Script {
             }
         }
         Oracle::Unsat => {
-            script.assert_term(Term::or(vec![
-                Term::and(s1.asserts()),
-                Term::and(s2.asserts()),
-            ]));
+            script.assert_term(Term::or(vec![Term::and(s1.asserts()), Term::and(s2.asserts())]));
         }
     }
     script.push(Command::CheckSat);
@@ -59,10 +56,8 @@ mod tests {
 
     #[test]
     fn unsat_concat_is_disjunction() {
-        let s1 =
-            parse_script("(declare-fun a () Int) (assert (> a 0)) (assert (< a 0))").unwrap();
-        let s2 =
-            parse_script("(declare-fun b () Int) (assert (= b 1)) (assert (= b 2))").unwrap();
+        let s1 = parse_script("(declare-fun a () Int) (assert (> a 0)) (assert (< a 0))").unwrap();
+        let s2 = parse_script("(declare-fun b () Int) (assert (= b 1)) (assert (= b 2))").unwrap();
         let c = concat_fuzz(Oracle::Unsat, &s1, &s2);
         assert_eq!(c.asserts().len(), 1);
         assert!(c.asserts()[0].to_string().starts_with("(or "));
@@ -71,8 +66,8 @@ mod tests {
 
     #[test]
     fn logic_is_carried_over() {
-        let s1 = parse_script("(set-logic QF_LIA) (declare-fun x () Int) (assert (> x 0))")
-            .unwrap();
+        let s1 =
+            parse_script("(set-logic QF_LIA) (declare-fun x () Int) (assert (> x 0))").unwrap();
         let s2 = parse_script("(declare-fun y () Int) (assert (> y 0))").unwrap();
         let c = concat_fuzz(Oracle::Sat, &s1, &s2);
         assert_eq!(c.logic(), Some("QF_LIA"));

@@ -7,7 +7,7 @@
 //! instantiation; custom functions can be added through
 //! [`FusionFunction::custom`].
 
-use rand::Rng;
+use yinyang_rt::Rng;
 use yinyang_smtlib::{Sort, Term};
 
 /// A concrete fusion function together with its inversion functions.
@@ -185,20 +185,14 @@ pub fn fig6_functions(rng: &mut impl Rng, sort: Sort) -> Vec<FusionFunction> {
                 rx: App(
                     Op::IntDiv,
                     vec![
-                        App(
-                            Op::Sub,
-                            vec![Z, App(Op::Mul, vec![int_const(c2), Y]), int_const(c3)],
-                        ),
+                        App(Op::Sub, vec![Z, App(Op::Mul, vec![int_const(c2), Y]), int_const(c3)]),
                         int_const(c1),
                     ],
                 ),
                 ry: App(
                     Op::IntDiv,
                     vec![
-                        App(
-                            Op::Sub,
-                            vec![Z, App(Op::Mul, vec![int_const(c1), X]), int_const(c3)],
-                        ),
+                        App(Op::Sub, vec![Z, App(Op::Mul, vec![int_const(c1), X]), int_const(c3)]),
                         int_const(c2),
                     ],
                 ),
@@ -269,10 +263,7 @@ pub fn fig6_functions(rng: &mut impl Rng, sort: Sort) -> Vec<FusionFunction> {
                     // z = x ++ y;
                     // rx = substr z 0 (len x); ry = substr z (len x) (len y).
                     fusion: App(Op::StrConcat, vec![X, Y]),
-                    rx: App(
-                        Op::StrSubstr,
-                        vec![Z, int_const(0), App(Op::StrLen, vec![X])],
-                    ),
+                    rx: App(Op::StrSubstr, vec![Z, int_const(0), App(Op::StrLen, vec![X])]),
                     ry: App(
                         Op::StrSubstr,
                         vec![Z, App(Op::StrLen, vec![X]), App(Op::StrLen, vec![Y])],
@@ -283,10 +274,7 @@ pub fn fig6_functions(rng: &mut impl Rng, sort: Sort) -> Vec<FusionFunction> {
                     sort,
                     // z = x ++ y; rx as above; ry = replace z x "".
                     fusion: App(Op::StrConcat, vec![X, Y]),
-                    rx: App(
-                        Op::StrSubstr,
-                        vec![Z, int_const(0), App(Op::StrLen, vec![X])],
-                    ),
+                    rx: App(Op::StrSubstr, vec![Z, int_const(0), App(Op::StrLen, vec![X])]),
                     ry: App(Op::StrReplace, vec![Z, X, str_const("")]),
                 },
                 FusionFunction {
@@ -298,10 +286,7 @@ pub fn fig6_functions(rng: &mut impl Rng, sort: Sort) -> Vec<FusionFunction> {
                         Op::StrConcat,
                         vec![X, TermPattern::Const(Term::str_lit(word.clone())), Y],
                     ),
-                    rx: App(
-                        Op::StrSubstr,
-                        vec![Z, int_const(0), App(Op::StrLen, vec![X])],
-                    ),
+                    rx: App(Op::StrSubstr, vec![Z, int_const(0), App(Op::StrLen, vec![X])]),
                     ry: App(
                         Op::StrReplace,
                         vec![
@@ -365,10 +350,7 @@ pub fn extended_functions(rng: &mut impl Rng, sort: Sort) -> Vec<FusionFunction>
                 name: "str-concat-swapped",
                 sort,
                 fusion: App(Op::StrConcat, vec![Y, X]),
-                rx: App(
-                    Op::StrSubstr,
-                    vec![Z, App(Op::StrLen, vec![Y]), App(Op::StrLen, vec![X])],
-                ),
+                rx: App(Op::StrSubstr, vec![Z, App(Op::StrLen, vec![Y]), App(Op::StrLen, vec![X])]),
                 ry: App(
                     Op::StrSubstr,
                     vec![Z, TermPattern::Const(Term::int(0)), App(Op::StrLen, vec![Y])],
@@ -391,18 +373,15 @@ fn nonzero(rng: &mut impl Rng) -> i64 {
 
 fn random_word(rng: &mut impl Rng) -> String {
     let len = rng.random_range(1..=3);
-    (0..len)
-        .map(|_| char::from(b'a' + rng.random_range(0..4u8)))
-        .collect()
+    (0..len).map(|_| char::from(b'a' + rng.random_range(0..4u8))).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-    use yinyang_smtlib::{Model, Value};
     use yinyang_arith::{BigInt, BigRational};
+    use yinyang_rt::StdRng;
+    use yinyang_smtlib::{Model, Value};
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(42)

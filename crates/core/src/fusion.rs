@@ -13,9 +13,9 @@
 //!   satisfiability.
 
 use crate::functions::{random_fusion_function, FusionFunction};
-use rand::Rng;
 use std::collections::BTreeSet;
 use std::fmt;
+use yinyang_rt::Rng;
 use yinyang_smtlib::subst::{fresh_name, substitute_occurrences};
 use yinyang_smtlib::{Command, Logic, Script, Sort, Symbol, Term};
 
@@ -154,8 +154,7 @@ impl Fuser {
         let mut avoid: BTreeSet<Symbol> = decls1.keys().cloned().collect();
         avoid.extend(decls2.keys().cloned());
 
-        let triplets =
-            self.pick_triplets(rng, &s1, &s2, &mut avoid)?;
+        let triplets = self.pick_triplets(rng, &s1, &s2, &mut avoid)?;
 
         // Variable fusion: substitute random occurrences.
         let mut applied: Vec<Triplet> = Vec::new();
@@ -188,15 +187,7 @@ impl Fuser {
                     })
                 })
                 .collect();
-            applied.push(Triplet {
-                z,
-                x,
-                y,
-                sort,
-                function,
-                replaced_x,
-                replaced_y,
-            });
+            applied.push(Triplet { z, x, y, sort, function, replaced_x, replaced_y });
         }
 
         // Assemble the fused script.
@@ -218,10 +209,7 @@ impl Fuser {
             }
             Oracle::Unsat => {
                 // Formula disjunction plus fusion constraints.
-                let disj = Term::or(vec![
-                    Term::and(asserts1.clone()),
-                    Term::and(asserts2.clone()),
-                ]);
+                let disj = Term::or(vec![Term::and(asserts1.clone()), Term::and(asserts2.clone())]);
                 script.assert_term(disj);
                 for t in &applied {
                     push_fusion_constraints(&mut script, t);
@@ -229,13 +217,7 @@ impl Fuser {
             }
         }
         script.push(Command::CheckSat);
-        Ok(Fused {
-            script,
-            oracle,
-            triplets: applied,
-            renamed_seed1: s1,
-            renamed_seed2: s2,
-        })
+        Ok(Fused { script, oracle, triplets: applied, renamed_seed1: s1, renamed_seed2: s2 })
     }
 
     /// Mixed fusion (Section 3.2): `seed_sat` is satisfiable, `seed_unsat`
@@ -323,13 +305,7 @@ impl Fuser {
             }
         }
         script.push(Command::CheckSat);
-        Ok(Fused {
-            script,
-            oracle: want,
-            triplets: applied,
-            renamed_seed1: s1,
-            renamed_seed2: s2,
-        })
+        Ok(Fused { script, oracle: want, triplets: applied, renamed_seed1: s1, renamed_seed2: s2 })
     }
 
     /// `random_map` from Algorithm 2: random variable pairs with fresh `z`s.
@@ -345,16 +321,10 @@ impl Fuser {
         let used2 = s2.used_vars();
         let mut by_sort: Vec<(Sort, Vec<Symbol>, Vec<Symbol>)> = Vec::new();
         for sort in [Sort::Int, Sort::Real, Sort::String] {
-            let xs: Vec<Symbol> = used1
-                .iter()
-                .filter(|(_, s)| **s == sort)
-                .map(|(v, _)| v.clone())
-                .collect();
-            let ys: Vec<Symbol> = used2
-                .iter()
-                .filter(|(_, s)| **s == sort)
-                .map(|(v, _)| v.clone())
-                .collect();
+            let xs: Vec<Symbol> =
+                used1.iter().filter(|(_, s)| **s == sort).map(|(v, _)| v.clone()).collect();
+            let ys: Vec<Symbol> =
+                used2.iter().filter(|(_, s)| **s == sort).map(|(v, _)| v.clone()).collect();
             if !xs.is_empty() && !ys.is_empty() {
                 by_sort.push((sort, xs, ys));
             }
@@ -378,16 +348,16 @@ impl Fuser {
             avoid.insert(z.clone());
             used_x.insert(x.clone());
             used_y.insert(y.clone());
-            let mut function = random_fusion_function(rng, *sort)
-                .expect("fusible sorts have functions");
+            let mut function =
+                random_fusion_function(rng, *sort).expect("fusible sorts have functions");
             if self.config.division_free_sat {
                 // Re-draw until division-free (the additive rows always are).
                 for _ in 0..16 {
                     if !function.has_division() {
                         break;
                     }
-                    function = random_fusion_function(rng, *sort)
-                        .expect("fusible sorts have functions");
+                    function =
+                        random_fusion_function(rng, *sort).expect("fusible sorts have functions");
                 }
                 if function.has_division() {
                     continue;
@@ -450,8 +420,7 @@ fn fused_logic(seed1: &Script, seed2: &Script, triplets: &[Triplet]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use yinyang_rt::StdRng;
     use yinyang_smtlib::{check_script, parse_script};
 
     fn rng() -> StdRng {
@@ -521,10 +490,7 @@ mod tests {
     #[test]
     fn no_fusable_pair() {
         let mut r = rng();
-        let bools = parse_script(
-            "(declare-fun p () Bool) (assert p)",
-        )
-        .unwrap();
+        let bools = parse_script("(declare-fun p () Bool) (assert p)").unwrap();
         let err = Fuser::new().fuse(&mut r, Oracle::Sat, &bools, &bools).unwrap_err();
         assert_eq!(err, FusionError::NoFusablePair);
     }
@@ -533,8 +499,7 @@ mod tests {
     fn sorts_are_respected() {
         let mut r = rng();
         let ints = parse_script("(declare-fun a () Int) (assert (> a 0))").unwrap();
-        let strings =
-            parse_script("(declare-fun s () String) (assert (= (str.len s) 1))").unwrap();
+        let strings = parse_script("(declare-fun s () String) (assert (= (str.len s) 1))").unwrap();
         // Int-only and String-only seeds share no fusible sort.
         let err = Fuser::new().fuse(&mut r, Oracle::Sat, &ints, &strings).unwrap_err();
         assert_eq!(err, FusionError::NoFusablePair);
@@ -544,10 +509,8 @@ mod tests {
     fn substitution_prob_extremes() {
         let mut r = rng();
         // prob = 0: no occurrences replaced; formulas unchanged modulo rename.
-        let f0 = Fuser::with_config(FusionConfig {
-            substitution_prob: 0.0,
-            ..FusionConfig::default()
-        });
+        let f0 =
+            Fuser::with_config(FusionConfig { substitution_prob: 0.0, ..FusionConfig::default() });
         let fused = f0.fuse(&mut r, Oracle::Sat, &phi1(), &phi2()).unwrap();
         assert!(fused.triplets.iter().all(|t| t.replaced_x == 0 && t.replaced_y == 0));
         // prob = 1: every free occurrence replaced.

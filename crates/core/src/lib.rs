@@ -14,7 +14,6 @@
 //! # Examples
 //!
 //! ```
-//! use rand::SeedableRng;
 //! use yinyang_core::{Fuser, Oracle};
 //! use yinyang_smtlib::parse_script;
 //!
@@ -24,7 +23,7 @@
 //! let phi2 = parse_script(
 //!     "(set-logic QF_LIA) (declare-fun y () Int) (assert (< y 0)) (assert (< y 1))",
 //! )?;
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut rng = yinyang_rt::StdRng::seed_from_u64(1);
 //! let fused = Fuser::new().fuse(&mut rng, Oracle::Sat, &phi1, &phi2).unwrap();
 //! assert_eq!(fused.oracle, Oracle::Sat); // satisfiable by construction
 //! # Ok::<(), yinyang_smtlib::ParseError>(())
@@ -40,8 +39,7 @@ mod yinyang;
 
 pub use concat::concat_fuzz;
 pub use functions::{extended_functions, fig6_functions, random_fusion_function, FusionFunction};
-pub use fusion::{Fused, FusionConfig, FusionError, Fuser, Oracle, Triplet};
+pub use fusion::{Fused, Fuser, FusionConfig, FusionError, Oracle, Triplet};
 pub use yinyang::{
-    run_catching, yinyang_loop, Finding, FindingKind, LoopOutcome, SolverAnswer,
-    SolverUnderTest,
+    run_catching, yinyang_loop, Finding, FindingKind, LoopOutcome, SolverAnswer, SolverUnderTest,
 };

@@ -63,10 +63,9 @@ pub fn agrees_with_oracle(oracle: Oracle, answer: &str) -> Option<bool> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fusion::{FusionConfig, Fuser};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::fusion::{Fuser, FusionConfig};
     use yinyang_arith::BigInt;
+    use yinyang_rt::StdRng;
     use yinyang_smtlib::{parse_script, Symbol};
 
     #[test]
@@ -83,10 +82,8 @@ mod tests {
         )
         .unwrap();
         // Division-free mode: Proposition 1 holds unconditionally.
-        let fuser = Fuser::with_config(FusionConfig {
-            division_free_sat: true,
-            ..FusionConfig::default()
-        });
+        let fuser =
+            Fuser::with_config(FusionConfig { division_free_sat: true, ..FusionConfig::default() });
         for _ in 0..50 {
             let fused = fuser.fuse(&mut rng, Oracle::Sat, &s1, &s2).unwrap();
             let mut m1 = Model::new();

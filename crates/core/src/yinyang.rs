@@ -5,9 +5,9 @@
 //! (`incorrects`) and crash bugs (`crashes`), exactly as in the paper's
 //! Algorithm 1.
 
-use crate::fusion::{Fused, FusionError, Fuser, Oracle};
-use rand::Rng;
+use crate::fusion::{Fused, Fuser, FusionError, Oracle};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use yinyang_rt::Rng;
 use yinyang_smtlib::Script;
 
 /// Answer of a solver under test, as observed by the harness.
@@ -159,8 +159,7 @@ pub fn yinyang_loop(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use yinyang_rt::StdRng;
     use yinyang_smtlib::parse_script;
 
     /// A solver that always answers `sat`.
@@ -214,14 +213,7 @@ mod tests {
             )
             .unwrap(),
         ];
-        let out = yinyang_loop(
-            &mut rng,
-            Oracle::Unsat,
-            &YesMan,
-            &Fuser::new(),
-            &seeds,
-            20,
-        );
+        let out = yinyang_loop(&mut rng, Oracle::Unsat, &YesMan, &Fuser::new(), &seeds, 20);
         assert_eq!(out.tests, 20);
         assert_eq!(out.incorrects.len(), 20, "every unsat test contradicts YesMan");
         assert!(out.crashes.is_empty());
@@ -236,16 +228,14 @@ mod tests {
     #[test]
     fn yesman_is_clean_on_sat_fusion() {
         let mut rng = StdRng::seed_from_u64(5);
-        let out =
-            yinyang_loop(&mut rng, Oracle::Sat, &YesMan, &Fuser::new(), &seeds_sat(), 20);
+        let out = yinyang_loop(&mut rng, Oracle::Sat, &YesMan, &Fuser::new(), &seeds_sat(), 20);
         assert!(out.incorrects.is_empty());
     }
 
     #[test]
     fn crashes_are_caught() {
         let mut rng = StdRng::seed_from_u64(6);
-        let out =
-            yinyang_loop(&mut rng, Oracle::Sat, &Crasher, &Fuser::new(), &seeds_sat(), 60);
+        let out = yinyang_loop(&mut rng, Oracle::Sat, &Crasher, &Fuser::new(), &seeds_sat(), 60);
         assert!(!out.crashes.is_empty(), "int-mul fusions contain div");
         for c in &out.crashes {
             match &c.kind {

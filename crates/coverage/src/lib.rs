@@ -197,10 +197,7 @@ mod tests {
     /// Coverage state is global; serialize tests touching it.
     fn lock_tests() -> MutexGuard<'static, ()> {
         static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
-        GUARD
-            .get_or_init(|| Mutex::new(()))
-            .lock()
-            .unwrap_or_else(|poison| poison.into_inner())
+        GUARD.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(|poison| poison.into_inner())
     }
 
     #[test]
@@ -237,7 +234,10 @@ mod tests {
         reset();
         record("t::u1", ProbeKind::Line, true);
         reset();
-        assert!(snapshot().is_empty() || !snapshot().sites().contains(&("t::u1", ProbeKind::Line, true)));
+        assert!(
+            snapshot().is_empty()
+                || !snapshot().sites().contains(&("t::u1", ProbeKind::Line, true))
+        );
         assert!(universe().contains(&("t::u1", ProbeKind::Line, true)));
     }
 

@@ -118,8 +118,7 @@ fn all(parts: Vec<Trigger>) -> Trigger {
     All(parts)
 }
 
-const Z_OLD: &[&str] =
-    &["4.5.0", "4.6.0", "4.7.1", "4.8.1", "4.8.3", "4.8.4", "4.8.5"];
+const Z_OLD: &[&str] = &["4.5.0", "4.6.0", "4.7.1", "4.8.1", "4.8.3", "4.8.4", "4.8.5"];
 const Z_484: &[&str] = &["4.8.4", "4.8.5"];
 const Z_485: &[&str] = &["4.8.5"];
 const Z_REGRESSED: &[&str] = &["4.5.0"];
@@ -147,138 +146,549 @@ pub fn registry() -> Vec<InjectedBug> {
                     action: Action,
                     releases: &'static [&'static str]| {
         id += 1;
-        bugs.push(InjectedBug { id, name, solver, class, logic, status, trigger, action, releases });
+        bugs.push(InjectedBug {
+            id,
+            name,
+            solver,
+            class,
+            logic,
+            status,
+            trigger,
+            action,
+            releases,
+        });
     };
 
     // ---- Zirkon (Z3-like): 24 soundness, 11 crash, 1 perf, 1 unknown ----
     // NRA: 9 soundness, 5 crash, 1 unknown (15 confirmed).
-    push("z-nra-s1", Zirkon, Soundness, Logic::Nra, fixed,
-        all(vec![DivByVariable, NestedDivision]), Action::ForceSat, Z_OLD);
-    push("z-nra-s2", Zirkon, Soundness, Logic::Nra, fixed,
-        all(vec![DivByVariable, IteWithDivision]), Action::ForceSat, Z_OLD);
-    push("z-nra-s3", Zirkon, Soundness, Logic::Nra, fixed,
-        all(vec![VariableProduct, DivByVariable, EqVarDiv]), Action::ForceUnsat, Z_OLD);
-    push("z-nra-s4", Zirkon, Soundness, Logic::Nra, fixed,
+    push(
+        "z-nra-s1",
+        Zirkon,
+        Soundness,
+        Logic::Nra,
+        fixed,
+        all(vec![DivByVariable, NestedDivision]),
+        Action::ForceSat,
+        Z_OLD,
+    );
+    push(
+        "z-nra-s2",
+        Zirkon,
+        Soundness,
+        Logic::Nra,
+        fixed,
+        all(vec![DivByVariable, IteWithDivision]),
+        Action::ForceSat,
+        Z_OLD,
+    );
+    push(
+        "z-nra-s3",
+        Zirkon,
+        Soundness,
+        Logic::Nra,
+        fixed,
+        all(vec![VariableProduct, DivByVariable, EqVarDiv]),
+        Action::ForceUnsat,
+        Z_OLD,
+    );
+    push(
+        "z-nra-s4",
+        Zirkon,
+        Soundness,
+        Logic::Nra,
+        fixed,
         all(vec![EqVarDiv, VariableProduct, LargeNegativeConstant(1)]),
-        Action::ForceSat, Z_OLD);
-    push("z-nra-s5", Zirkon, Soundness, Logic::Nra, fixed,
-        all(vec![VariableProduct, LargeNegativeConstant(3)]), Action::ForceUnsat, Z_OLD);
-    push("z-nra-s6", Zirkon, Soundness, Logic::Nra, fixed,
-        all(vec![NestedDivision, VariableProduct]), Action::ForceSat, Z_484);
-    push("z-nra-s7", Zirkon, Soundness, Logic::Nra, fixed,
-        all(vec![EqVarDiv, LargeNegativeConstant(2)]), Action::ForceUnsat, Z_484);
-    push("z-nra-s8", Zirkon, Soundness, Logic::Nra, fixed,
-        all(vec![DivByVariable, BigDisjunction(4)]), Action::ForceSat, Z_484);
-    push("z-nra-s9", Zirkon, Soundness, Logic::Nra, unfixed,
-        all(vec![DivByVariable, ManyAsserts(5)]), Action::ForceUnsat, Z_485);
-    push("z-nra-c1", Zirkon, Crash, Logic::Nra, fixed,
+        Action::ForceSat,
+        Z_OLD,
+    );
+    push(
+        "z-nra-s5",
+        Zirkon,
+        Soundness,
+        Logic::Nra,
+        fixed,
+        all(vec![VariableProduct, LargeNegativeConstant(3)]),
+        Action::ForceUnsat,
+        Z_OLD,
+    );
+    push(
+        "z-nra-s6",
+        Zirkon,
+        Soundness,
+        Logic::Nra,
+        fixed,
+        all(vec![NestedDivision, VariableProduct]),
+        Action::ForceSat,
+        Z_484,
+    );
+    push(
+        "z-nra-s7",
+        Zirkon,
+        Soundness,
+        Logic::Nra,
+        fixed,
+        all(vec![EqVarDiv, LargeNegativeConstant(2)]),
+        Action::ForceUnsat,
+        Z_484,
+    );
+    push(
+        "z-nra-s8",
+        Zirkon,
+        Soundness,
+        Logic::Nra,
+        fixed,
+        all(vec![DivByVariable, BigDisjunction(4)]),
+        Action::ForceSat,
+        Z_484,
+    );
+    push(
+        "z-nra-s9",
+        Zirkon,
+        Soundness,
+        Logic::Nra,
+        unfixed,
+        all(vec![DivByVariable, ManyAsserts(5)]),
+        Action::ForceUnsat,
+        Z_485,
+    );
+    push(
+        "z-nra-c1",
+        Zirkon,
+        Crash,
+        Logic::Nra,
+        fixed,
         QuantifierWithCmp,
-        Action::Panic("Failed to verify: m_util.is_numeral(rhs, _k)"), Z_TRUNK);
-    push("z-nra-c2", Zirkon, Crash, Logic::Nra, fixed,
+        Action::Panic("Failed to verify: m_util.is_numeral(rhs, _k)"),
+        Z_TRUNK,
+    );
+    push(
+        "z-nra-c2",
+        Zirkon,
+        Crash,
+        Logic::Nra,
+        fixed,
         all(vec![NestedDivision, LargeNegativeConstant(2)]),
-        Action::Panic("ASSERTION VIOLATION: !m_todo.empty()"), Z_TRUNK);
-    push("z-nra-c3", Zirkon, Crash, Logic::Nra, fixed,
+        Action::Panic("ASSERTION VIOLATION: !m_todo.empty()"),
+        Z_TRUNK,
+    );
+    push(
+        "z-nra-c3",
+        Zirkon,
+        Crash,
+        Logic::Nra,
+        fixed,
         all(vec![IteWithDivision, VariableProduct]),
-        Action::Panic("segmentation fault in nlsat::explain"), Z_TRUNK);
-    push("z-nra-c4", Zirkon, Crash, Logic::Nra, fixed,
+        Action::Panic("segmentation fault in nlsat::explain"),
+        Z_TRUNK,
+    );
+    push(
+        "z-nra-c4",
+        Zirkon,
+        Crash,
+        Logic::Nra,
+        fixed,
         all(vec![EqVarDiv, BigDisjunction(6)]),
-        Action::Panic("UNREACHABLE executed at arith_rewriter.cpp"), Z_TRUNK);
-    push("z-nra-c5", Zirkon, Crash, Logic::Nra, fixed,
+        Action::Panic("UNREACHABLE executed at arith_rewriter.cpp"),
+        Z_TRUNK,
+    );
+    push(
+        "z-nra-c5",
+        Zirkon,
+        Crash,
+        Logic::Nra,
+        fixed,
         all(vec![VariableProduct, NestedDivision, ManyAsserts(4)]),
-        Action::Panic("index out of bounds in factor_rewriter"), Z_TRUNK);
-    push("z-nra-u1", Zirkon, Unknown, Logic::Nra, fixed,
-        all(vec![VariableProduct, ManyAsserts(6)]), Action::ReportUnknown, Z_TRUNK);
+        Action::Panic("index out of bounds in factor_rewriter"),
+        Z_TRUNK,
+    );
+    push(
+        "z-nra-u1",
+        Zirkon,
+        Unknown,
+        Logic::Nra,
+        fixed,
+        all(vec![VariableProduct, ManyAsserts(6)]),
+        Action::ReportUnknown,
+        Z_TRUNK,
+    );
     // NIA: 1 soundness, 1 crash.
-    push("z-nia-s1", Zirkon, Soundness, Logic::Nia, fixed,
-        all(vec![EqVarDiv, ManyAsserts(4)]), Action::ForceSat, Z_485);
-    push("z-nia-c1", Zirkon, Crash, Logic::Nia, fixed,
+    push(
+        "z-nia-s1",
+        Zirkon,
+        Soundness,
+        Logic::Nia,
+        fixed,
+        all(vec![EqVarDiv, ManyAsserts(4)]),
+        Action::ForceSat,
+        Z_485,
+    );
+    push(
+        "z-nia-c1",
+        Zirkon,
+        Crash,
+        Logic::Nia,
+        fixed,
         all(vec![DivByVariable, VariableProduct]),
-        Action::Panic("ASSERTION VIOLATION: m_rows[r].size() > 0"), Z_TRUNK);
+        Action::Panic("ASSERTION VIOLATION: m_rows[r].size() > 0"),
+        Z_TRUNK,
+    );
     // QF_NRA: 1 soundness, 1 crash.
-    push("z-qfnra-s1", Zirkon, Soundness, Logic::QfNra, fixed,
-        all(vec![NestedDivision, BigDisjunction(3)]), Action::ForceSat, Z_REGRESSED);
-    push("z-qfnra-c1", Zirkon, Crash, Logic::QfNra, fixed,
+    push(
+        "z-qfnra-s1",
+        Zirkon,
+        Soundness,
+        Logic::QfNra,
+        fixed,
+        all(vec![NestedDivision, BigDisjunction(3)]),
+        Action::ForceSat,
+        Z_REGRESSED,
+    );
+    push(
+        "z-qfnra-c1",
+        Zirkon,
+        Crash,
+        Logic::QfNra,
+        fixed,
         all(vec![DivByVariable, LargeNegativeConstant(4)]),
-        Action::Panic("segmentation fault (core dumped)"), Z_TRUNK);
+        Action::Panic("segmentation fault (core dumped)"),
+        Z_TRUNK,
+    );
     // QF_S: 11 soundness, 3 crash, 1 performance.
-    push("z-qfs-s1", Zirkon, Soundness, Logic::QfS, fixed,
-        all(vec![AtOfLen, ToIntOfComposite]), Action::ForceSat, Z_TRUNK);
-    push("z-qfs-s2", Zirkon, Soundness, Logic::QfS, fixed,
-        all(vec![ReplaceChain, ReplaceWithEmpty]), Action::ForceSat, Z_REGRESSED);
-    push("z-qfs-s3", Zirkon, Soundness, Logic::QfS, fixed,
-        AffixWithReplace, Action::ForceSat, Z_REGRESSED);
-    push("z-qfs-s4", Zirkon, Soundness, Logic::QfS, fixed,
-        all(vec![SubstrOfLen, ConcatAndSubstr]), Action::ForceUnsat, Z_TRUNK);
-    push("z-qfs-s5", Zirkon, Soundness, Logic::QfS, fixed,
-        all(vec![RegexStarPlusArith, ToIntOfComposite]), Action::ForceSat, Z_TRUNK);
-    push("z-qfs-s6", Zirkon, Soundness, Logic::QfS, fixed,
-        all(vec![IndexOf, ReplaceWithEmpty]), Action::ForceUnsat, Z_TRUNK);
-    push("z-qfs-s7", Zirkon, Soundness, Logic::QfS, fixed,
-        all(vec![SubstrOfLen, ReplaceChain]), Action::ForceSat, Z_TRUNK);
-    push("z-qfs-s8", Zirkon, Soundness, Logic::QfS, fixed,
-        all(vec![AtOfLen, ConcatAndSubstr]), Action::ForceUnsat, Z_TRUNK);
-    push("z-qfs-s9", Zirkon, Soundness, Logic::QfS, unfixed,
-        all(vec![IndexOf, SubstrOfLen]), Action::ForceSat, Z_TRUNK);
-    push("z-qfs-s10", Zirkon, Soundness, Logic::QfS, fixed,
-        all(vec![RegexStarPlusArith, ReplaceWithEmpty]), Action::ForceUnsat, Z_TRUNK);
-    push("z-qfs-s11", Zirkon, Soundness, Logic::QfS, fixed,
-        all(vec![ToIntOfComposite, ReplaceWithEmpty]), Action::ForceSat, Z_TRUNK);
-    push("z-qfs-c1", Zirkon, Crash, Logic::QfS, fixed,
+    push(
+        "z-qfs-s1",
+        Zirkon,
+        Soundness,
+        Logic::QfS,
+        fixed,
+        all(vec![AtOfLen, ToIntOfComposite]),
+        Action::ForceSat,
+        Z_TRUNK,
+    );
+    push(
+        "z-qfs-s2",
+        Zirkon,
+        Soundness,
+        Logic::QfS,
+        fixed,
+        all(vec![ReplaceChain, ReplaceWithEmpty]),
+        Action::ForceSat,
+        Z_REGRESSED,
+    );
+    push(
+        "z-qfs-s3",
+        Zirkon,
+        Soundness,
+        Logic::QfS,
+        fixed,
+        AffixWithReplace,
+        Action::ForceSat,
+        Z_REGRESSED,
+    );
+    push(
+        "z-qfs-s4",
+        Zirkon,
+        Soundness,
+        Logic::QfS,
+        fixed,
+        all(vec![SubstrOfLen, ConcatAndSubstr]),
+        Action::ForceUnsat,
+        Z_TRUNK,
+    );
+    push(
+        "z-qfs-s5",
+        Zirkon,
+        Soundness,
+        Logic::QfS,
+        fixed,
+        all(vec![RegexStarPlusArith, ToIntOfComposite]),
+        Action::ForceSat,
+        Z_TRUNK,
+    );
+    push(
+        "z-qfs-s6",
+        Zirkon,
+        Soundness,
+        Logic::QfS,
+        fixed,
+        all(vec![IndexOf, ReplaceWithEmpty]),
+        Action::ForceUnsat,
+        Z_TRUNK,
+    );
+    push(
+        "z-qfs-s7",
+        Zirkon,
+        Soundness,
+        Logic::QfS,
+        fixed,
+        all(vec![SubstrOfLen, ReplaceChain]),
+        Action::ForceSat,
+        Z_TRUNK,
+    );
+    push(
+        "z-qfs-s8",
+        Zirkon,
+        Soundness,
+        Logic::QfS,
+        fixed,
+        all(vec![AtOfLen, ConcatAndSubstr]),
+        Action::ForceUnsat,
+        Z_TRUNK,
+    );
+    push(
+        "z-qfs-s9",
+        Zirkon,
+        Soundness,
+        Logic::QfS,
+        unfixed,
+        all(vec![IndexOf, SubstrOfLen]),
+        Action::ForceSat,
+        Z_TRUNK,
+    );
+    push(
+        "z-qfs-s10",
+        Zirkon,
+        Soundness,
+        Logic::QfS,
+        fixed,
+        all(vec![RegexStarPlusArith, ReplaceWithEmpty]),
+        Action::ForceUnsat,
+        Z_TRUNK,
+    );
+    push(
+        "z-qfs-s11",
+        Zirkon,
+        Soundness,
+        Logic::QfS,
+        fixed,
+        all(vec![ToIntOfComposite, ReplaceWithEmpty]),
+        Action::ForceSat,
+        Z_TRUNK,
+    );
+    push(
+        "z-qfs-c1",
+        Zirkon,
+        Crash,
+        Logic::QfS,
+        fixed,
         all(vec![ReplaceChain, IndexOf]),
-        Action::Panic("ASSERTION VIOLATION: offset >= 0 in seq_rewriter"), Z_TRUNK);
-    push("z-qfs-c2", Zirkon, Crash, Logic::QfS, fixed,
+        Action::Panic("ASSERTION VIOLATION: offset >= 0 in seq_rewriter"),
+        Z_TRUNK,
+    );
+    push(
+        "z-qfs-c2",
+        Zirkon,
+        Crash,
+        Logic::QfS,
+        fixed,
         all(vec![AtOfLen, RegexStarPlusArith]),
-        Action::Panic("segmentation fault in z3str3::theory_str"), Z_TRUNK);
-    push("z-qfs-c3", Zirkon, Crash, Logic::QfS, fixed,
+        Action::Panic("segmentation fault in z3str3::theory_str"),
+        Z_TRUNK,
+    );
+    push(
+        "z-qfs-c3",
+        Zirkon,
+        Crash,
+        Logic::QfS,
+        fixed,
         all(vec![SubstrOfLen, ManyAsserts(6)]),
-        Action::Panic("out of memory in re2automaton"), Z_TRUNK);
-    push("z-qfs-p1", Zirkon, Performance, Logic::QfS, fixed,
-        all(vec![RegexStarPlusArith, ConcatAndSubstr]), Action::ReportUnknown, Z_TRUNK);
+        Action::Panic("out of memory in re2automaton"),
+        Z_TRUNK,
+    );
+    push(
+        "z-qfs-p1",
+        Zirkon,
+        Performance,
+        Logic::QfS,
+        fixed,
+        all(vec![RegexStarPlusArith, ConcatAndSubstr]),
+        Action::ReportUnknown,
+        Z_TRUNK,
+    );
     // QF_SLIA: 2 soundness, 1 crash.
-    push("z-qfslia-s1", Zirkon, Soundness, Logic::QfSlia, fixed,
-        all(vec![StringIntMix, SubstrOfLen]), Action::ForceSat, Z_TRUNK);
-    push("z-qfslia-s2", Zirkon, Soundness, Logic::QfSlia, fixed,
-        all(vec![StringIntMix, IndexOf]), Action::ForceUnsat, Z_TRUNK);
-    push("z-qfslia-c1", Zirkon, Crash, Logic::QfSlia, fixed,
+    push(
+        "z-qfslia-s1",
+        Zirkon,
+        Soundness,
+        Logic::QfSlia,
+        fixed,
+        all(vec![StringIntMix, SubstrOfLen]),
+        Action::ForceSat,
+        Z_TRUNK,
+    );
+    push(
+        "z-qfslia-s2",
+        Zirkon,
+        Soundness,
+        Logic::QfSlia,
+        fixed,
+        all(vec![StringIntMix, IndexOf]),
+        Action::ForceUnsat,
+        Z_TRUNK,
+    );
+    push(
+        "z-qfslia-c1",
+        Zirkon,
+        Crash,
+        Logic::QfSlia,
+        fixed,
         all(vec![StringIntMix, ReplaceChain]),
-        Action::Panic("unexpected sort mismatch in seq_axioms"), Z_TRUNK);
+        Action::Panic("unexpected sort mismatch in seq_axioms"),
+        Z_TRUNK,
+    );
     // Zirkon report-only entries (won't fix / pending).
-    push("z-wf1", Zirkon, Performance, Logic::Nra, BugStatus::WontFix,
-        BigDisjunction(10), Action::ReportUnknown, Z_TRUNK);
-    push("z-wf2", Zirkon, Performance, Logic::QfS, BugStatus::WontFix,
-        ManyAsserts(12), Action::ReportUnknown, Z_TRUNK);
-    push("z-pend1", Zirkon, Soundness, Logic::Nia, BugStatus::Pending,
-        all(vec![VariableProduct, LargeNegativeConstant(3)]), Action::ForceSat, Z_TRUNK);
+    push(
+        "z-wf1",
+        Zirkon,
+        Performance,
+        Logic::Nra,
+        BugStatus::WontFix,
+        BigDisjunction(10),
+        Action::ReportUnknown,
+        Z_TRUNK,
+    );
+    push(
+        "z-wf2",
+        Zirkon,
+        Performance,
+        Logic::QfS,
+        BugStatus::WontFix,
+        ManyAsserts(12),
+        Action::ReportUnknown,
+        Z_TRUNK,
+    );
+    push(
+        "z-pend1",
+        Zirkon,
+        Soundness,
+        Logic::Nia,
+        BugStatus::Pending,
+        all(vec![VariableProduct, LargeNegativeConstant(3)]),
+        Action::ForceSat,
+        Z_TRUNK,
+    );
 
     // ---- Corvus (CVC4-like): 5 soundness, 1 crash, 2 performance ----
-    push("c-qfs-s1", Corvus, Soundness, Logic::QfS, fixed,
-        all(vec![ToIntOfComposite, ReplaceChain]), Action::ForceSat, C_OLD);
-    push("c-qfs-s2", Corvus, Soundness, Logic::QfS, fixed,
-        all(vec![SubstrOfLen, RegexStarPlusArith]), Action::ForceUnsat, C_17);
-    push("c-qfs-s3", Corvus, Soundness, Logic::QfS, unfixed,
-        all(vec![AtOfLen, IndexOf]), Action::ForceSat, C_TRUNK);
-    push("c-qfs-c1", Corvus, Crash, Logic::QfS, fixed,
+    push(
+        "c-qfs-s1",
+        Corvus,
+        Soundness,
+        Logic::QfS,
+        fixed,
+        all(vec![ToIntOfComposite, ReplaceChain]),
+        Action::ForceSat,
+        C_OLD,
+    );
+    push(
+        "c-qfs-s2",
+        Corvus,
+        Soundness,
+        Logic::QfS,
+        fixed,
+        all(vec![SubstrOfLen, RegexStarPlusArith]),
+        Action::ForceUnsat,
+        C_17,
+    );
+    push(
+        "c-qfs-s3",
+        Corvus,
+        Soundness,
+        Logic::QfS,
+        unfixed,
+        all(vec![AtOfLen, IndexOf]),
+        Action::ForceSat,
+        C_TRUNK,
+    );
+    push(
+        "c-qfs-c1",
+        Corvus,
+        Crash,
+        Logic::QfS,
+        fixed,
         all(vec![ReplaceWithEmpty, ConcatAndSubstr]),
-        Action::Panic("Unhandled case in TheoryStringsRewriter"), C_TRUNK);
-    push("c-qfslia-s1", Corvus, Soundness, Logic::QfSlia, fixed,
-        all(vec![StringIntMix, AtOfLen]), Action::ForceSat, C_REGRESSED);
-    push("c-nia-s1", Corvus, Soundness, Logic::Nia, unfixed,
-        all(vec![EqVarDiv, IteWithDivision]), Action::ForceUnsat, C_TRUNK);
-    push("c-nra-p1", Corvus, Performance, Logic::Nra, fixed,
+        Action::Panic("Unhandled case in TheoryStringsRewriter"),
+        C_TRUNK,
+    );
+    push(
+        "c-qfslia-s1",
+        Corvus,
+        Soundness,
+        Logic::QfSlia,
+        fixed,
+        all(vec![StringIntMix, AtOfLen]),
+        Action::ForceSat,
+        C_REGRESSED,
+    );
+    push(
+        "c-nia-s1",
+        Corvus,
+        Soundness,
+        Logic::Nia,
+        unfixed,
+        all(vec![EqVarDiv, IteWithDivision]),
+        Action::ForceUnsat,
+        C_TRUNK,
+    );
+    push(
+        "c-nra-p1",
+        Corvus,
+        Performance,
+        Logic::Nra,
+        fixed,
         all(vec![NestedDivision, VariableProduct, ManyAsserts(4)]),
-        Action::ReportUnknown, C_TRUNK);
-    push("c-qfnia-p1", Corvus, Performance, Logic::QfNia, fixed,
-        all(vec![DivByVariable, EqVarDiv]), Action::ReportUnknown, C_TRUNK);
+        Action::ReportUnknown,
+        C_TRUNK,
+    );
+    push(
+        "c-qfnia-p1",
+        Corvus,
+        Performance,
+        Logic::QfNia,
+        fixed,
+        all(vec![DivByVariable, EqVarDiv]),
+        Action::ReportUnknown,
+        C_TRUNK,
+    );
     // Corvus pending reports.
-    push("c-pend1", Corvus, Soundness, Logic::QfS, BugStatus::Pending,
-        all(vec![IndexOf, RegexStarPlusArith]), Action::ForceUnsat, C_TRUNK);
-    push("c-pend2", Corvus, Soundness, Logic::QfSlia, BugStatus::Pending,
-        all(vec![StringIntMix, ReplaceWithEmpty]), Action::ForceSat, C_TRUNK);
-    push("c-pend3", Corvus, Crash, Logic::QfNra, BugStatus::Pending,
+    push(
+        "c-pend1",
+        Corvus,
+        Soundness,
+        Logic::QfS,
+        BugStatus::Pending,
+        all(vec![IndexOf, RegexStarPlusArith]),
+        Action::ForceUnsat,
+        C_TRUNK,
+    );
+    push(
+        "c-pend2",
+        Corvus,
+        Soundness,
+        Logic::QfSlia,
+        BugStatus::Pending,
+        all(vec![StringIntMix, ReplaceWithEmpty]),
+        Action::ForceSat,
+        C_TRUNK,
+    );
+    push(
+        "c-pend3",
+        Corvus,
+        Crash,
+        Logic::QfNra,
+        BugStatus::Pending,
         all(vec![IteWithDivision, NestedDivision]),
-        Action::Panic("Assertion failure in nl_model"), C_TRUNK);
-    push("c-pend4", Corvus, Performance, Logic::QfLra, BugStatus::Pending,
-        all(vec![BigDisjunction(8), ManyAsserts(3)]), Action::ReportUnknown, C_TRUNK);
+        Action::Panic("Assertion failure in nl_model"),
+        C_TRUNK,
+    );
+    push(
+        "c-pend4",
+        Corvus,
+        Performance,
+        Logic::QfLra,
+        BugStatus::Pending,
+        all(vec![BigDisjunction(8), ManyAsserts(3)]),
+        Action::ReportUnknown,
+        C_TRUNK,
+    );
 
     bugs
 }
@@ -323,22 +733,16 @@ mod tests {
         // Won't fix: 2 (all Zirkon), pending: 1 + 4.
         let wf = registry().iter().filter(|b| b.status == BugStatus::WontFix).count();
         assert_eq!(wf, 2);
-        let pend_z = bugs_of(SolverId::Zirkon)
-            .iter()
-            .filter(|b| b.status == BugStatus::Pending)
-            .count();
-        let pend_c = bugs_of(SolverId::Corvus)
-            .iter()
-            .filter(|b| b.status == BugStatus::Pending)
-            .count();
+        let pend_z =
+            bugs_of(SolverId::Zirkon).iter().filter(|b| b.status == BugStatus::Pending).count();
+        let pend_c =
+            bugs_of(SolverId::Corvus).iter().filter(|b| b.status == BugStatus::Pending).count();
         assert_eq!((pend_z, pend_c), (1, 4));
     }
 
     #[test]
     fn classes_match_fig8b() {
-        let count = |s, c| {
-            confirmed(s).iter().filter(|b| b.class == c).count()
-        };
+        let count = |s, c| confirmed(s).iter().filter(|b| b.class == c).count();
         assert_eq!(count(SolverId::Zirkon, BugClass::Soundness), 24);
         assert_eq!(count(SolverId::Zirkon, BugClass::Crash), 11);
         assert_eq!(count(SolverId::Zirkon, BugClass::Performance), 1);
@@ -376,10 +780,7 @@ mod tests {
         // Found soundness bugs affecting each release: Z3-like
         // [8,5,5,5,5,8,10,24], CVC4-like [2,1,2,5].
         let soundness = |s: SolverId| -> Vec<InjectedBug> {
-            confirmed(s)
-                .into_iter()
-                .filter(|b| b.class == BugClass::Soundness)
-                .collect()
+            confirmed(s).into_iter().filter(|b| b.class == BugClass::Soundness).collect()
         };
         let z = soundness(SolverId::Zirkon);
         let expect_z = [
@@ -393,19 +794,11 @@ mod tests {
             ("trunk", 24),
         ];
         for (rel, n) in expect_z {
-            assert_eq!(
-                z.iter().filter(|b| b.in_release(rel)).count(),
-                n,
-                "zirkon {rel}"
-            );
+            assert_eq!(z.iter().filter(|b| b.in_release(rel)).count(), n, "zirkon {rel}");
         }
         let c = soundness(SolverId::Corvus);
         for (rel, n) in [("1.5", 2), ("1.6", 1), ("1.7", 2), ("trunk", 5)] {
-            assert_eq!(
-                c.iter().filter(|b| b.in_release(rel)).count(),
-                n,
-                "corvus {rel}"
-            );
+            assert_eq!(c.iter().filter(|b| b.in_release(rel)).count(), n, "corvus {rel}");
         }
     }
 
@@ -423,11 +816,9 @@ mod tests {
     fn soundness_bugs_have_flip_actions() {
         for b in registry() {
             match b.class {
-                BugClass::Soundness => assert!(
-                    matches!(b.action, Action::ForceSat | Action::ForceUnsat),
-                    "{}",
-                    b.name
-                ),
+                BugClass::Soundness => {
+                    assert!(matches!(b.action, Action::ForceSat | Action::ForceUnsat), "{}", b.name)
+                }
                 BugClass::Crash => {
                     assert!(matches!(b.action, Action::Panic(_)), "{}", b.name)
                 }

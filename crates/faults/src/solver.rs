@@ -46,9 +46,7 @@ impl FaultySolver {
         let bugs = bugs_of(id)
             .into_iter()
             .filter(|b| b.in_release(release))
-            .filter(|b| {
-                release == "trunk" || matches!(b.status, BugStatus::Confirmed { .. })
-            })
+            .filter(|b| release == "trunk" || matches!(b.status, BugStatus::Confirmed { .. }))
             .collect();
         FaultySolver {
             id,

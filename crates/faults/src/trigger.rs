@@ -137,9 +137,8 @@ impl Trigger {
                 _ => false,
             }),
             Trigger::RegexStarPlusArith => {
-                let has_star = contains(term, &|t| {
-                    matches!(t.kind(), TermKind::App(Op::ReStar, _))
-                });
+                let has_star =
+                    contains(term, &|t| matches!(t.kind(), TermKind::App(Op::ReStar, _)));
                 let has_arith = contains(term, &|t| {
                     matches!(
                         t.kind(),
@@ -161,46 +160,40 @@ impl Trigger {
                 _ => false,
             }),
             Trigger::QuantifierWithCmp => contains(term, &|t| match t.kind() {
-                TermKind::Quant(_, _, body) => contains(body, &|s| {
-                    matches!(s.kind(), TermKind::App(Op::Le | Op::Ge, _))
-                }),
+                TermKind::Quant(_, _, body) => {
+                    contains(body, &|s| matches!(s.kind(), TermKind::App(Op::Le | Op::Ge, _)))
+                }
                 _ => false,
             }),
             Trigger::NestedDivision => contains(term, &|t| match t.kind() {
                 TermKind::App(Op::RealDiv | Op::IntDiv, args) => args.iter().any(|a| {
-                    contains(a, &|s| {
-                        matches!(s.kind(), TermKind::App(Op::RealDiv | Op::IntDiv, _))
-                    })
+                    contains(a, &|s| matches!(s.kind(), TermKind::App(Op::RealDiv | Op::IntDiv, _)))
                 }),
                 _ => false,
             }),
             Trigger::EqVarDiv => contains(term, &|t| match t.kind() {
                 TermKind::App(Op::Eq, args) if args.len() == 2 => {
-                    let var_side =
-                        args.iter().any(|a| matches!(a.kind(), TermKind::Var(_)));
-                    let div_side = args.iter().any(|a| {
-                        matches!(a.kind(), TermKind::App(Op::RealDiv | Op::IntDiv, _))
-                    });
+                    let var_side = args.iter().any(|a| matches!(a.kind(), TermKind::Var(_)));
+                    let div_side = args
+                        .iter()
+                        .any(|a| matches!(a.kind(), TermKind::App(Op::RealDiv | Op::IntDiv, _)));
                     var_side && div_side
                 }
                 _ => false,
             }),
             Trigger::ConcatAndSubstr => {
                 contains(term, &|t| matches!(t.kind(), TermKind::App(Op::StrConcat, _)))
-                    && contains(term, &|t| {
-                        matches!(t.kind(), TermKind::App(Op::StrSubstr, _))
-                    })
+                    && contains(term, &|t| matches!(t.kind(), TermKind::App(Op::StrSubstr, _)))
             }
-            Trigger::IndexOf => contains(term, &|t| {
-                matches!(t.kind(), TermKind::App(Op::StrIndexOf, _))
-            }),
+            Trigger::IndexOf => {
+                contains(term, &|t| matches!(t.kind(), TermKind::App(Op::StrIndexOf, _)))
+            }
             Trigger::AffixWithReplace => {
                 let affix = contains(term, &|t| {
                     matches!(t.kind(), TermKind::App(Op::StrPrefixOf | Op::StrSuffixOf, _))
                 });
-                let replace = contains(term, &|t| {
-                    matches!(t.kind(), TermKind::App(Op::StrReplace, _))
-                });
+                let replace =
+                    contains(term, &|t| matches!(t.kind(), TermKind::App(Op::StrReplace, _)));
                 affix && replace
             }
             Trigger::OddMod => contains(term, &|t| match t.kind() {
@@ -212,9 +205,7 @@ impl Trigger {
             }),
             Trigger::LargeNegativeConstant(bound) => contains(term, &|t| match t.kind() {
                 TermKind::IntConst(v) => v < &yinyang_arith::BigInt::from(-*bound),
-                TermKind::RealConst(v) => {
-                    v < &yinyang_arith::BigRational::from(-*bound)
-                }
+                TermKind::RealConst(v) => v < &yinyang_arith::BigRational::from(-*bound),
                 _ => false,
             }),
             Trigger::StringIntMix => {
@@ -226,9 +217,7 @@ impl Trigger {
                 });
                 has_str && has_arith
             }
-            Trigger::BigDisjunction(_) | Trigger::ManyAsserts(_) | Trigger::All(_) => {
-                false
-            }
+            Trigger::BigDisjunction(_) | Trigger::ManyAsserts(_) | Trigger::All(_) => false,
         }
     }
 }
@@ -285,9 +274,8 @@ mod tests {
         );
         assert!(Trigger::ReplaceChain.matches(&s));
         assert!(Trigger::ReplaceWithEmpty.matches(&s));
-        let single = script(
-            r#"(declare-fun z () String) (assert (= "a" (str.replace z "b" "c")))"#,
-        );
+        let single =
+            script(r#"(declare-fun z () String) (assert (= "a" (str.replace z "b" "c")))"#);
         assert!(!Trigger::ReplaceChain.matches(&single));
         assert!(!Trigger::ReplaceWithEmpty.matches(&single));
     }
@@ -350,12 +338,12 @@ mod tests {
         assert!(Trigger::OddMod.matches(&script(
             "(declare-fun a () Int) (declare-fun b () Int) (assert (= (mod a b) 0))"
         )));
-        assert!(Trigger::OddMod.matches(&script(
-            "(declare-fun a () Int) (assert (= (mod a (- 3)) 0))"
-        )));
-        assert!(!Trigger::OddMod.matches(&script(
-            "(declare-fun a () Int) (assert (= (mod a 3) 0))"
-        )));
+        assert!(
+            Trigger::OddMod.matches(&script("(declare-fun a () Int) (assert (= (mod a (- 3)) 0))"))
+        );
+        assert!(
+            !Trigger::OddMod.matches(&script("(declare-fun a () Int) (assert (= (mod a 3) 0))"))
+        );
     }
 
     #[test]
@@ -374,19 +362,16 @@ mod tests {
             "(declare-fun z () Int) (declare-fun y () Int)
              (assert (= (div z y) (* z y)))",
         );
-        assert!(Trigger::All(vec![Trigger::DivByVariable, Trigger::VariableProduct])
-            .matches(&s));
+        assert!(Trigger::All(vec![Trigger::DivByVariable, Trigger::VariableProduct]).matches(&s));
         assert!(!Trigger::All(vec![Trigger::DivByVariable, Trigger::IndexOf]).matches(&s));
     }
 
     #[test]
     fn large_negative_constant() {
-        assert!(Trigger::LargeNegativeConstant(4).matches(&script(
-            "(declare-fun a () Int) (assert (> a (- 7)))"
-        )));
-        assert!(!Trigger::LargeNegativeConstant(10).matches(&script(
-            "(declare-fun a () Int) (assert (> a (- 7)))"
-        )));
+        assert!(Trigger::LargeNegativeConstant(4)
+            .matches(&script("(declare-fun a () Int) (assert (> a (- 7)))")));
+        assert!(!Trigger::LargeNegativeConstant(10)
+            .matches(&script("(declare-fun a () Int) (assert (> a (- 7)))")));
     }
 
     #[test]
@@ -518,15 +503,8 @@ mod tests {
         for (trigger, pos, neg) in cases {
             let pos_script = script(pos);
             let neg_script = script(neg);
-            assert!(
-                trigger.matches(&pos_script),
-                "{trigger:?} missed its positive witness"
-            );
-            assert!(
-                !trigger.matches(&neg_script),
-                "{trigger:?} fired on its negative witness"
-            );
+            assert!(trigger.matches(&pos_script), "{trigger:?} missed its positive witness");
+            assert!(!trigger.matches(&neg_script), "{trigger:?} fired on its negative witness");
         }
     }
 }
-

@@ -184,11 +184,7 @@ fn shrink_candidates(assert: &Term, env: &SortEnv) -> Vec<Term> {
 }
 
 /// Calls `emit(subterm, replacement)` for every plausible shrink.
-fn collect_rewrites(
-    term: &Term,
-    env: &SortEnv,
-    emit: &mut impl FnMut(&Term, &Term),
-) {
+fn collect_rewrites(term: &Term, env: &SortEnv, emit: &mut impl FnMut(&Term, &Term)) {
     if let Ok(sort) = yinyang_smtlib::sort_of(term, env) {
         if term.size() > 1 {
             // Canonical constants.
@@ -227,18 +223,13 @@ fn replace_once(term: &Term, from: &Term, to: &Term) -> Term {
         }
         match t.kind() {
             TermKind::App(op, args) => {
-                let new_args: Vec<Term> =
-                    args.iter().map(|a| go(a, from, to, done)).collect();
+                let new_args: Vec<Term> = args.iter().map(|a| go(a, from, to, done)).collect();
                 Term::app(*op, new_args)
             }
-            TermKind::Quant(q, b, body) => {
-                Term::quant(*q, b.clone(), go(body, from, to, done))
-            }
+            TermKind::Quant(q, b, body) => Term::quant(*q, b.clone(), go(body, from, to, done)),
             TermKind::Let(bindings, body) => {
-                let nb: Vec<_> = bindings
-                    .iter()
-                    .map(|(s, v)| (s.clone(), go(v, from, to, done)))
-                    .collect();
+                let nb: Vec<_> =
+                    bindings.iter().map(|(s, v)| (s.clone(), go(v, from, to, done))).collect();
                 Term::let_in(nb, go(body, from, to, done))
             }
             _ => t.clone(),
@@ -335,10 +326,7 @@ mod tests {
 
     #[test]
     fn single_assert_is_kept() {
-        let s = parse_script(
-            "(declare-fun x () Int) (assert (> x 0)) (check-sat)",
-        )
-        .unwrap();
+        let s = parse_script("(declare-fun x () Int) (assert (> x 0)) (check-sat)").unwrap();
         let reduced = reduce(&s, &mut |cand| !cand.asserts().is_empty());
         assert_eq!(reduced.asserts().len(), 1);
     }

@@ -1,20 +1,18 @@
 //! Properties of the reducer: monotone shrinking, predicate preservation,
 //! and pretty-printer semantics preservation.
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use yinyang_reduce::{drop_unused_declarations, pretty_print, reduce};
+use yinyang_rt::prop::assume;
+use yinyang_rt::{props, Rng, StdRng};
 use yinyang_seedgen::SeedGenerator;
 use yinyang_smtlib::{Logic, Model, Script, Term, Value, ZeroDivPolicy};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+props! {
+    cases: 24;
 
     /// Reduction never grows the script, always keeps the predicate true,
     /// and the result is well-sorted.
-    #[test]
-    fn reduce_shrinks_and_preserves(seed in 0u64..5_000) {
+    fn reduce_shrinks_and_preserves(seed in |r: &mut StdRng| r.random_range(0u64..5_000)) {
         let mut rng = StdRng::seed_from_u64(seed);
         let generator = SeedGenerator::new(Logic::QfLia);
         let s = generator.generate_unsat(&mut rng).script;
@@ -23,17 +21,16 @@ proptest! {
             let t = cand.to_string();
             t.contains('<') || t.contains('>')
         };
-        prop_assume!(pred(&s));
+        assume(pred(&s));
         let reduced = reduce(&s, &mut pred);
-        prop_assert!(pred(&reduced));
-        prop_assert!(reduced.to_string().len() <= s.to_string().len());
-        prop_assert!(yinyang_smtlib::check_script(&reduced).is_ok());
+        assert!(pred(&reduced));
+        assert!(reduced.to_string().len() <= s.to_string().len());
+        assert!(yinyang_smtlib::check_script(&reduced).is_ok());
     }
 
     /// The pretty printer is semantics-preserving: a model of the original
     /// satisfies the pretty-printed script and vice versa.
-    #[test]
-    fn pretty_print_preserves_models(seed in 0u64..5_000) {
+    fn pretty_print_preserves_models(seed in |r: &mut StdRng| r.random_range(0u64..5_000)) {
         let mut rng = StdRng::seed_from_u64(seed);
         let generator = SeedGenerator::new(Logic::QfLia);
         let s = generator.generate_sat(&mut rng);
@@ -43,25 +40,24 @@ proptest! {
             let va = model.eval_with(a, ZeroDivPolicy::Zero);
             let vb = model.eval_with(b, ZeroDivPolicy::Zero);
             if let (Ok(Value::Bool(x)), Ok(Value::Bool(y))) = (va, vb) {
-                prop_assert_eq!(x, y, "pretty printing changed {} vs {}", a, b);
+                assert_eq!(x, y, "pretty printing changed {} vs {}", a, b);
             }
         }
     }
 
     /// Dropping unused declarations never removes a used one.
-    #[test]
-    fn unused_declaration_cleanup_is_safe(seed in 0u64..5_000) {
+    fn unused_declaration_cleanup_is_safe(seed in |r: &mut StdRng| r.random_range(0u64..5_000)) {
         let mut rng = StdRng::seed_from_u64(seed);
         let generator = SeedGenerator::new(Logic::QfNra);
         let mut s = generator.generate_sat(&mut rng).script;
         s.declare_var("definitely_unused_xyz", yinyang_smtlib::Sort::Int);
         let cleaned = drop_unused_declarations(&s);
-        prop_assert!(!cleaned.to_string().contains("definitely_unused_xyz"));
+        assert!(!cleaned.to_string().contains("definitely_unused_xyz"));
         // Every free variable of the assertions is still declared.
         let decls = cleaned.declarations();
         for a in cleaned.asserts() {
             for v in a.free_vars() {
-                prop_assert!(decls.contains_key(&v), "{v} lost its declaration");
+                assert!(decls.contains_key(&v), "{v} lost its declaration");
             }
         }
     }
@@ -107,6 +103,8 @@ fn reduce_with_term_level_predicate() {
     // The div must survive; the irrelevant bounds should mostly go.
     let text = reduced.to_string();
     assert!(text.contains("div"));
-    assert!(reduced.asserts().iter().map(Term::size).sum::<usize>()
-        <= script.asserts().iter().map(Term::size).sum::<usize>());
+    assert!(
+        reduced.asserts().iter().map(Term::size).sum::<usize>()
+            <= script.asserts().iter().map(Term::size).sum::<usize>()
+    );
 }

@@ -1,0 +1,266 @@
+//! A wall-clock micro-benchmark runner replacing `criterion`.
+//!
+//! The API mirrors the slice of criterion the bench targets use —
+//! [`Criterion::benchmark_group`], `sample_size`, `bench_function`,
+//! `Bencher::iter` — so the per-figure benches read the same as before.
+//!
+//! Methodology: each `bench_function` first warms up (~20 ms), sizes the
+//! per-sample iteration count so one sample costs a few milliseconds,
+//! then records `sample_size` samples and reports min / median / p95 /
+//! max per-iteration times. A JSON report of every group accumulates in
+//! `target/yinyang-bench/report.json` (override the directory with
+//! `YINYANG_BENCH_DIR`; set `YINYANG_BENCH_FAST=1` for a smoke run).
+
+use crate::json::{Json, ToJson};
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark context; create one per bench binary.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<GroupResult>,
+}
+
+struct GroupResult {
+    name: String,
+    functions: Vec<FnResult>,
+}
+
+struct FnResult {
+    name: String,
+    iters_per_sample: u64,
+    samples_ns: Vec<f64>,
+}
+
+impl FnResult {
+    fn stat(&self, q: f64) -> f64 {
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(f64::total_cmp);
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx]
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            result: GroupResult { name: name.into(), functions: Vec::new() },
+            sample_size: default_sample_size(),
+        }
+    }
+
+    /// One-off benchmark outside a group.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let mut group = self.benchmark_group("ungrouped");
+        group.bench_function(id, f);
+        group.finish();
+    }
+
+    /// Writes the accumulated JSON report; called by `criterion_main!`.
+    pub fn final_summary(&self) {
+        let report = Json::Arr(
+            self.results
+                .iter()
+                .map(|g| {
+                    Json::obj([
+                        ("group", g.name.to_json()),
+                        (
+                            "benchmarks",
+                            Json::Arr(
+                                g.functions
+                                    .iter()
+                                    .map(|f| {
+                                        Json::obj([
+                                            ("name", f.name.to_json()),
+                                            ("iters_per_sample", f.iters_per_sample.to_json()),
+                                            ("samples", f.samples_ns.len().to_json()),
+                                            ("min_ns", f.stat(0.0).to_json()),
+                                            ("median_ns", f.stat(0.5).to_json()),
+                                            ("p95_ns", f.stat(0.95).to_json()),
+                                            ("max_ns", f.stat(1.0).to_json()),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        let dir = std::env::var("YINYANG_BENCH_DIR")
+            .unwrap_or_else(|_| "target/yinyang-bench".to_string());
+        if std::fs::create_dir_all(&dir).is_ok() {
+            let path = format!("{dir}/report.json");
+            if std::fs::write(&path, report.pretty()).is_ok() {
+                eprintln!("bench report written to {path}");
+            }
+        }
+    }
+}
+
+fn default_sample_size() -> usize {
+    if fast_mode() {
+        5
+    } else {
+        30
+    }
+}
+
+fn fast_mode() -> bool {
+    std::env::var_os("YINYANG_BENCH_FAST").is_some()
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    result: GroupResult,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = if fast_mode() { n.min(5) } else { n.max(2) };
+        self
+    }
+
+    /// Runs one benchmark: calls `f` once with a [`Bencher`]; the closure
+    /// calls [`Bencher::iter`] with the code under measurement.
+    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let name = id.into();
+        let mut bencher =
+            Bencher { sample_size: self.sample_size, iters_per_sample: 0, samples_ns: Vec::new() };
+        f(&mut bencher);
+        let result = FnResult {
+            name: name.clone(),
+            iters_per_sample: bencher.iters_per_sample,
+            samples_ns: bencher.samples_ns,
+        };
+        eprintln!(
+            "bench {:>40}/{name}: median {} p95 {} ({} samples × {} iters)",
+            self.result.name,
+            format_ns(result.stat(0.5)),
+            format_ns(result.stat(0.95)),
+            result.samples_ns.len(),
+            result.iters_per_sample,
+        );
+        self.result.functions.push(result);
+    }
+
+    /// Flushes the group into the parent [`Criterion`].
+    pub fn finish(self) {
+        self.criterion.results.push(self.result);
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Hands the measured closure to the timing loop.
+pub struct Bencher {
+    sample_size: usize,
+    iters_per_sample: u64,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `f`: warmup, iteration-count calibration, then
+    /// `sample_size` timed samples of `iters` calls each.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let (warmup_target, sample_target) = if fast_mode() {
+            (Duration::from_millis(2), Duration::from_millis(1))
+        } else {
+            (Duration::from_millis(20), Duration::from_millis(5))
+        };
+        // Warmup and per-iteration estimate.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < warmup_target || warmup_iters < 1 {
+            std::hint::black_box(f());
+            warmup_iters += 1;
+            if warmup_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+        let iters = ((sample_target.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+        self.iters_per_sample = iters;
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let ns = start.elapsed().as_secs_f64() * 1e9 / iters as f64;
+            self.samples_ns.push(ns);
+        }
+    }
+}
+
+/// Declares a bench group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::bench::Criterion::default();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        std::env::set_var("YINYANG_BENCH_FAST", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("rt_selftest");
+        group.sample_size(3);
+        group.bench_function("noop_add", |b| b.iter(|| std::hint::black_box(1u64 + 2)));
+        group.finish();
+        assert_eq!(c.results.len(), 1);
+        let f = &c.results[0].functions[0];
+        assert_eq!(f.samples_ns.len(), 3);
+        assert!(f.stat(0.5) >= 0.0);
+        assert!(f.stat(0.0) <= f.stat(1.0));
+    }
+
+    #[test]
+    fn median_and_p95_are_ordered() {
+        let f = FnResult {
+            name: "x".into(),
+            iters_per_sample: 1,
+            samples_ns: vec![5.0, 1.0, 3.0, 2.0, 4.0],
+        };
+        assert_eq!(f.stat(0.0), 1.0);
+        assert_eq!(f.stat(0.5), 3.0);
+        assert_eq!(f.stat(1.0), 5.0);
+        assert!(f.stat(0.95) >= f.stat(0.5));
+    }
+}

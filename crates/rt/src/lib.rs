@@ -1,0 +1,29 @@
+//! **yinyang-rt** — the zero-dependency runtime substrate of the workspace.
+//!
+//! The container this project builds in has no access to crates.io, so
+//! everything the fuzzing loop needs from the usual ecosystem crates is
+//! reimplemented here, minimally and deterministically:
+//!
+//! | Module | Replaces | Role |
+//! |---|---|---|
+//! | [`rng`] | `rand` | SplitMix64 seeding + xoshiro256** streams |
+//! | [`prop`] | `proptest` | property harness with greedy shrinking |
+//! | [`bench`] | `criterion` | wall-clock micro-bench runner (median/p95, JSON) |
+//! | [`json`] | `serde`/`serde_json` | hand-rolled JSON writer/reader |
+//! | [`pool`] | `crossbeam` | `std::thread` + `mpsc` worker pools |
+//!
+//! Determinism is a design requirement, not an accident: the campaign's
+//! bit-reproducibility guarantee (same `--seed` ⇒ byte-identical triage
+//! report) rests on [`rng`] being a fixed algorithm and [`json`] printing
+//! maps in a stable order.
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod json;
+pub mod pool;
+pub mod prop;
+pub mod rng;
+
+pub use bench::Criterion;
+pub use rng::{Rng, SplitMix64, StdRng};

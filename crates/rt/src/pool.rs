@@ -1,0 +1,170 @@
+//! Worker pools on `std::thread` + `mpsc`, replacing `crossbeam`.
+//!
+//! Two entry points:
+//!
+//! * [`parallel_map`] — scoped fork/join over a work list: N workers pull
+//!   indexed items off a shared channel and push results back; output
+//!   order matches input order. This is what the campaign runner uses to
+//!   split a round's iterations across threads.
+//! * [`ThreadPool`] — a long-lived pool for `'static` jobs, kept for
+//!   future campaign sharding where work arrives incrementally.
+
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// Applies `f` to every item on up to `threads` worker threads, returning
+/// results in input order.
+///
+/// Workers pull `(index, item)` pairs from a shared `mpsc` queue, so
+/// uneven item costs balance automatically. With `threads <= 1` (or one
+/// item) the work runs inline on the caller's thread.
+///
+/// Panics in `f` propagate to the caller after all workers stop.
+pub fn parallel_map<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let (job_tx, job_rx) = mpsc::channel::<(usize, T)>();
+    let (result_tx, result_rx) = mpsc::channel::<(usize, R)>();
+    for pair in items.into_iter().enumerate() {
+        job_tx.send(pair).expect("receiver alive");
+    }
+    drop(job_tx); // workers drain until the queue closes
+    let job_rx = Mutex::new(job_rx);
+    let workers = threads.min(n);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let result_tx = result_tx.clone();
+            let job_rx = &job_rx;
+            let f = &f;
+            handles.push(scope.spawn(move || loop {
+                // Lock only to receive; run the job outside the lock.
+                let job = job_rx.lock().expect("queue lock").try_recv();
+                match job {
+                    Ok((i, item)) => {
+                        let out = f(item);
+                        if result_tx.send((i, out)).is_err() {
+                            return;
+                        }
+                    }
+                    Err(mpsc::TryRecvError::Empty) | Err(mpsc::TryRecvError::Disconnected) => {
+                        return;
+                    }
+                }
+            }));
+        }
+        drop(result_tx);
+        let mut collected: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in result_rx {
+            collected[i] = Some(r);
+        }
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+        collected.into_iter().map(|r| r.expect("every index produced")).collect()
+    })
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads consuming boxed jobs from an
+/// `mpsc` channel. Dropping the pool joins all workers after the queue
+/// drains.
+pub struct ThreadPool {
+    sender: Option<mpsc::Sender<Job>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns `threads` workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = std::sync::Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|i| {
+                let receiver = std::sync::Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("yinyang-worker-{i}"))
+                    .spawn(move || loop {
+                        let job = receiver.lock().expect("queue lock").recv();
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => return, // channel closed: shut down
+                        }
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+        ThreadPool { sender: Some(sender), workers }
+    }
+
+    /// Enqueues a job; some worker will run it.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.sender.as_ref().expect("pool alive").send(Box::new(job)).expect("workers alive");
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        drop(self.sender.take()); // close the queue
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map(4, (0..100).collect(), |i: i32| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_single_thread_is_inline() {
+        let out = parallel_map(1, vec![1, 2, 3], |i: i32| i + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn parallel_map_borrows_environment() {
+        let base = 10i64;
+        let out = parallel_map(3, vec![1i64, 2, 3], |i| i + base);
+        assert_eq!(out, vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn parallel_map_handles_more_threads_than_items() {
+        let out = parallel_map(16, vec![5u32, 6], |i| i);
+        assert_eq!(out, vec![5, 6]);
+    }
+
+    #[test]
+    fn thread_pool_runs_all_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(4);
+            for _ in 0..50 {
+                let counter = Arc::clone(&counter);
+                pool.execute(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            // Drop joins after the queue drains.
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+}

@@ -7,7 +7,7 @@
 //! "equivalent-but-syntactically-different" pattern from Fig. 4.
 
 use crate::terms::{arith_term, string_term, GenCtx};
-use rand::Rng;
+use yinyang_rt::Rng;
 use yinyang_smtlib::{Op, Sort, Term};
 
 /// Produces one unsatisfiable conjunction (as a list of assertions) over
@@ -74,33 +74,21 @@ fn string_core(rng: &mut impl Rng, ctx: &GenCtx) -> Vec<Term> {
         }
         1 => {
             // Membership in (cc)* with odd length (the Fig. 13a flavor).
-            let c = ["aa", "ab", "ba"][rng.random_range(0..3)];
-            let re = Term::app(
-                Op::ReStar,
-                vec![Term::app(Op::StrToRe, vec![Term::str_lit(c)])],
-            );
+            let c = ["aa", "ab", "ba"][rng.random_range(0..3usize)];
+            let re = Term::app(Op::ReStar, vec![Term::app(Op::StrToRe, vec![Term::str_lit(c)])]);
             vec![
                 Term::app(Op::StrInRe, vec![s.clone(), re]),
-                Term::eq(
-                    Term::str_len(s),
-                    Term::int(2 * rng.random_range(0i64..3) + 1),
-                ),
+                Term::eq(Term::str_len(s), Term::int(2 * rng.random_range(0i64..3) + 1)),
             ]
         }
         2 => {
             // Distinct constants.
-            vec![
-                Term::eq(s.clone(), Term::str_lit("a")),
-                Term::eq(s, Term::str_lit("bb")),
-            ]
+            vec![Term::eq(s.clone(), Term::str_lit("a")), Term::eq(s, Term::str_lit("bb"))]
         }
         3 => {
             // prefix longer than the string.
             vec![
-                Term::app(
-                    Op::StrPrefixOf,
-                    vec![Term::str_lit("abc"), s.clone()],
-                ),
+                Term::app(Op::StrPrefixOf, vec![Term::str_lit("abc"), s.clone()]),
                 Term::lt(Term::str_len(s), Term::int(3)),
             ]
         }
@@ -136,8 +124,7 @@ fn distinct_consts(rng: &mut impl Rng, ctx: &GenCtx) -> (Term, Term) {
 mod tests {
     use super::*;
     use crate::terms::Shape;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use yinyang_rt::StdRng;
     use yinyang_smtlib::{check_script, Logic, Script};
 
     /// Every core must be well-sorted and (for the decidable arithmetic
@@ -145,16 +132,17 @@ mod tests {
     #[test]
     fn cores_are_well_sorted() {
         let mut rng = StdRng::seed_from_u64(1);
-        for logic in [Logic::QfLia, Logic::QfLra, Logic::QfNia, Logic::QfNra, Logic::QfS, Logic::QfSlia] {
+        for logic in
+            [Logic::QfLia, Logic::QfLra, Logic::QfNia, Logic::QfNra, Logic::QfS, Logic::QfSlia]
+        {
             for _ in 0..30 {
                 let ctx = GenCtx::sample(&mut rng, logic, &Shape::default());
                 let core = contradiction_core(&mut rng, &ctx);
                 assert!(!core.is_empty());
                 let script =
                     Script::check_sat_script(logic.name(), ctx.declarations(), core.clone());
-                check_script(&script).unwrap_or_else(|e| {
-                    panic!("{logic}: ill-sorted core {core:?}: {e}")
-                });
+                check_script(&script)
+                    .unwrap_or_else(|e| panic!("{logic}: ill-sorted core {core:?}: {e}"));
             }
         }
     }

@@ -16,12 +16,11 @@
 //! # Examples
 //!
 //! ```
-//! use rand::SeedableRng;
 //! use yinyang_core::Oracle;
 //! use yinyang_seedgen::SeedGenerator;
 //! use yinyang_smtlib::Logic;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut rng = yinyang_rt::StdRng::seed_from_u64(0);
 //! let generator = SeedGenerator::new(Logic::QfLia);
 //! let seed = generator.generate(&mut rng, Oracle::Sat);
 //! assert_eq!(seed.oracle, Oracle::Sat);
@@ -35,10 +34,10 @@ pub mod profile;
 pub mod terms;
 
 use contradiction::contradiction_core;
-use rand::Rng;
-use terms::{bool_formula, quantifier_wrap, stringfuzz_concat, GenCtx};
 pub use terms::Shape;
+use terms::{bool_formula, quantifier_wrap, stringfuzz_concat, GenCtx};
 use yinyang_core::Oracle;
+use yinyang_rt::Rng;
 use yinyang_smtlib::{Logic, Model, Script, Term, Value, ZeroDivPolicy};
 
 /// A generated seed with its ground truth.
@@ -107,14 +106,8 @@ impl SeedGenerator {
                 asserts.push(Term::eq(chain, v.to_term()));
             }
         }
-        let script =
-            Script::check_sat_script(self.logic.name(), ctx.declarations(), asserts);
-        Seed {
-            script,
-            oracle: Oracle::Sat,
-            model: Some(ctx.model),
-            logic: self.logic,
-        }
+        let script = Script::check_sat_script(self.logic.name(), ctx.declarations(), asserts);
+        Seed { script, oracle: Oracle::Sat, model: Some(ctx.model), logic: self.logic }
     }
 
     /// Generates an unsatisfiable seed.
@@ -130,20 +123,13 @@ impl SeedGenerator {
         if !self.logic.is_quantifier_free() && rng.random_bool(0.5) {
             core = core
                 .into_iter()
-                .map(|c| {
-                    if rng.random_bool(0.4) {
-                        quantifier_wrap(rng, &ctx, c)
-                    } else {
-                        c
-                    }
-                })
+                .map(|c| if rng.random_bool(0.4) { quantifier_wrap(rng, &ctx, c) } else { c })
                 .collect();
         }
         for (i, c) in core.into_iter().enumerate() {
             asserts.insert(core_at + i, c);
         }
-        let script =
-            Script::check_sat_script(self.logic.name(), ctx.declarations(), asserts);
+        let script = Script::check_sat_script(self.logic.name(), ctx.declarations(), asserts);
         Seed { script, oracle: Oracle::Unsat, model: None, logic: self.logic }
     }
 
@@ -159,9 +145,7 @@ impl SeedGenerator {
             };
             match ctx.model.eval_with(&f, ZeroDivPolicy::Error) {
                 Ok(Value::Bool(true)) => return self.maybe_quantify(rng, ctx, f),
-                Ok(Value::Bool(false)) => {
-                    return self.maybe_quantify(rng, ctx, Term::not(f))
-                }
+                Ok(Value::Bool(false)) => return self.maybe_quantify(rng, ctx, Term::not(f)),
                 _ => continue,
             }
         }
@@ -205,8 +189,7 @@ pub fn generate_pool(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use yinyang_rt::StdRng;
     use yinyang_smtlib::check_script;
 
     #[test]
@@ -309,8 +292,8 @@ mod tests {
             for _ in 0..10 {
                 let seed = generator.generate(&mut rng, Oracle::Unsat);
                 let text = seed.script.to_string();
-                let reparsed = yinyang_smtlib::parse_script(&text)
-                    .unwrap_or_else(|e| panic!("{e}\n{text}"));
+                let reparsed =
+                    yinyang_smtlib::parse_script(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
                 assert_eq!(reparsed, seed.script);
             }
         }

@@ -2,7 +2,7 @@
 //! the paper's per-logic formula counts (scaled 1:100 for laptop budgets).
 
 use crate::{generate_pool, Seed, SeedGenerator};
-use rand::Rng;
+use yinyang_rt::Rng;
 use yinyang_smtlib::Logic;
 
 /// One row of the Fig. 7 table.
@@ -61,7 +61,13 @@ pub fn fig7_profile() -> Vec<BenchmarkRow> {
             unsat: 5492,
             sat: 22657,
         },
-        BenchmarkRow { name: "QF_S", logic: Logic::QfS, stringfuzz: false, unsat: 6390, sat: 12561 },
+        BenchmarkRow {
+            name: "QF_S",
+            logic: Logic::QfS,
+            stringfuzz: false,
+            unsat: 6390,
+            sat: 12561,
+        },
         BenchmarkRow {
             name: "StringFuzz",
             logic: Logic::QfS,
@@ -84,20 +90,16 @@ pub fn scaled(count: usize, scale: usize) -> usize {
 
 /// Generates the seed pool for one benchmark row at `1:scale`.
 pub fn generate_row(rng: &mut impl Rng, row: &BenchmarkRow, scale: usize) -> Vec<Seed> {
-    let generator = if row.stringfuzz {
-        SeedGenerator::stringfuzz()
-    } else {
-        SeedGenerator::new(row.logic)
-    };
+    let generator =
+        if row.stringfuzz { SeedGenerator::stringfuzz() } else { SeedGenerator::new(row.logic) };
     generate_pool(rng, &generator, scaled(row.sat, scale), scaled(row.unsat, scale))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use yinyang_core::Oracle;
+    use yinyang_rt::StdRng;
 
     #[test]
     fn profile_matches_paper_totals() {

@@ -6,9 +6,9 @@
 //! construction, the property the paper gets from pre-classified SMT-LIB
 //! benchmarks.
 
-use rand::Rng;
 use std::rc::Rc;
 use yinyang_arith::{BigInt, BigRational};
+use yinyang_rt::Rng;
 use yinyang_smtlib::{Logic, Model, Op, Sort, Symbol, Term, Value};
 
 /// Shape parameters for generated formulas.
@@ -142,20 +142,14 @@ pub fn arith_term(rng: &mut impl Rng, ctx: &GenCtx, depth: usize) -> Term {
     let nonlinear = ctx.logic.is_nonlinear();
     let choice = rng.random_range(0..if nonlinear { 6 } else { 4 });
     match choice {
-        0 => Term::add(vec![
-            arith_term(rng, ctx, depth - 1),
-            arith_term(rng, ctx, depth - 1),
-        ]),
+        0 => Term::add(vec![arith_term(rng, ctx, depth - 1), arith_term(rng, ctx, depth - 1)]),
         1 => Term::sub(arith_term(rng, ctx, depth - 1), arith_term(rng, ctx, depth - 1)),
         2 => Term::neg(arith_term(rng, ctx, depth - 1)),
         3 => {
             // Linear multiplication: constant coefficient.
             Term::mul(vec![arith_const(rng, ctx), arith_term(rng, ctx, depth - 1)])
         }
-        4 => Term::mul(vec![
-            arith_term(rng, ctx, depth - 1),
-            arith_term(rng, ctx, depth - 1),
-        ]),
+        4 => Term::mul(vec![arith_term(rng, ctx, depth - 1), arith_term(rng, ctx, depth - 1)]),
         _ => {
             // Division: real `/` or integer `div`/`mod`.
             let a = arith_term(rng, ctx, depth - 1);
@@ -240,14 +234,8 @@ pub fn regex_term(rng: &mut impl Rng, depth: usize) -> Term {
         0 => Term::app(Op::ReStar, vec![regex_term(rng, depth - 1)]),
         1 => Term::app(Op::RePlus, vec![regex_term(rng, depth - 1)]),
         2 => Term::app(Op::ReOpt, vec![regex_term(rng, depth - 1)]),
-        3 => Term::app(
-            Op::ReUnion,
-            vec![regex_term(rng, depth - 1), regex_term(rng, depth - 1)],
-        ),
-        _ => Term::app(
-            Op::ReConcat,
-            vec![regex_term(rng, depth - 1), regex_term(rng, depth - 1)],
-        ),
+        3 => Term::app(Op::ReUnion, vec![regex_term(rng, depth - 1), regex_term(rng, depth - 1)]),
+        _ => Term::app(Op::ReConcat, vec![regex_term(rng, depth - 1), regex_term(rng, depth - 1)]),
     }
 }
 
@@ -288,15 +276,12 @@ fn string_atom(rng: &mut impl Rng, ctx: &GenCtx, depth: usize) -> Term {
             Op::StrContains,
             vec![string_term(rng, ctx, depth), string_term(rng, ctx, depth - depth.min(1))],
         ),
-        4 => Term::app(
-            Op::StrInRe,
-            vec![string_term(rng, ctx, depth), regex_term(rng, 2)],
-        ),
+        4 => Term::app(Op::StrInRe, vec![string_term(rng, ctx, depth), regex_term(rng, 2)]),
         5 => {
             // Length comparison.
             let s = string_term(rng, ctx, depth);
             let bound = int_index_term(rng, ctx);
-            let cmp = [Op::Le, Op::Lt, Op::Ge, Op::Gt, Op::Eq][rng.random_range(0..5)];
+            let cmp = [Op::Le, Op::Lt, Op::Ge, Op::Gt, Op::Eq][rng.random_range(0..5usize)];
             Term::app(cmp, vec![Term::str_len(s), bound])
         }
         6 => {
@@ -326,19 +311,10 @@ pub fn bool_formula(rng: &mut impl Rng, ctx: &GenCtx, depth: usize) -> Term {
         return atom(rng, ctx, 2);
     }
     match rng.random_range(0..5) {
-        0 => Term::and(vec![
-            bool_formula(rng, ctx, depth - 1),
-            bool_formula(rng, ctx, depth - 1),
-        ]),
-        1 => Term::or(vec![
-            bool_formula(rng, ctx, depth - 1),
-            bool_formula(rng, ctx, depth - 1),
-        ]),
+        0 => Term::and(vec![bool_formula(rng, ctx, depth - 1), bool_formula(rng, ctx, depth - 1)]),
+        1 => Term::or(vec![bool_formula(rng, ctx, depth - 1), bool_formula(rng, ctx, depth - 1)]),
         2 => Term::not(bool_formula(rng, ctx, depth - 1)),
-        3 => Term::implies(
-            bool_formula(rng, ctx, depth - 1),
-            bool_formula(rng, ctx, depth - 1),
-        ),
+        3 => Term::implies(bool_formula(rng, ctx, depth - 1), bool_formula(rng, ctx, depth - 1)),
         _ => Term::ite(
             bool_formula(rng, ctx, depth - 1),
             bool_formula(rng, ctx, depth - 1),
@@ -358,18 +334,12 @@ pub fn quantifier_wrap(rng: &mut impl Rng, ctx: &GenCtx, body: Term) -> Term {
         // One-point existential: ∃h. h = t ∧ body.
         1 => {
             let t = arith_term(rng, ctx, 1);
-            Term::exists(
-                vec![(h.clone(), sort)],
-                Term::and(vec![Term::eq(Term::var(h), t), body]),
-            )
+            Term::exists(vec![(h.clone(), sort)], Term::and(vec![Term::eq(Term::var(h), t), body]))
         }
         // One-point universal: ∀h. h = t ⇒ body.
         _ => {
             let t = arith_term(rng, ctx, 1);
-            Term::forall(
-                vec![(h.clone(), sort)],
-                Term::implies(Term::eq(Term::var(h), t), body),
-            )
+            Term::forall(vec![(h.clone(), sort)], Term::implies(Term::eq(Term::var(h), t), body))
         }
     }
 }
@@ -398,8 +368,7 @@ pub type RcRegex = Rc<yinyang_smtlib::Regex>;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use yinyang_rt::StdRng;
     use yinyang_smtlib::{sort_of, SortEnv};
 
     fn ctx(logic: Logic, seed: u64) -> (GenCtx, StdRng) {

@@ -4,9 +4,8 @@
 //! pre-classifying SMT-LIB benchmarks with Z3 and cross-checking with
 //! CVC4 (Section 4.1).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use yinyang_core::Oracle;
+use yinyang_rt::StdRng;
 use yinyang_seedgen::{generate_pool, SeedGenerator};
 use yinyang_smtlib::Logic;
 use yinyang_solver::{SatResult, SmtSolver};
@@ -36,10 +35,7 @@ fn solver_never_contradicts_seed_labels() {
     }
     // The solver must decide a healthy fraction of its own seed diet —
     // otherwise the campaign cannot detect flip-style soundness bugs.
-    assert!(
-        decided * 4 >= total,
-        "solver decided only {decided}/{total} seeds"
-    );
+    assert!(decided * 4 >= total, "solver decided only {decided}/{total} seeds");
 }
 
 #[test]
@@ -73,8 +69,7 @@ fn unsat_cores_alone_are_refutable() {
         for _ in 0..15 {
             let ctx = GenCtx::sample(&mut rng, logic, &Shape::default());
             let core = contradiction_core(&mut rng, &ctx);
-            let script =
-                Script::check_sat_script(logic.name(), ctx.declarations(), core);
+            let script = Script::check_sat_script(logic.name(), ctx.declarations(), core);
             total += 1;
             match solver.solve_script(&script).result {
                 SatResult::Unsat => refuted += 1,
@@ -83,8 +78,5 @@ fn unsat_cores_alone_are_refutable() {
             }
         }
     }
-    assert!(
-        refuted * 3 >= total * 2,
-        "solver refuted only {refuted}/{total} contradiction cores"
-    );
+    assert!(refuted * 3 >= total * 2, "solver refuted only {refuted}/{total} contradiction cores");
 }

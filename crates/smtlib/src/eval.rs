@@ -417,9 +417,7 @@ impl Evaluator {
                 }
                 Ok(Value::Str(out))
             }
-            Op::StrLen => {
-                Ok(Value::Int(BigInt::from(str_of(&vals[0])?.chars().count() as i64)))
-            }
+            Op::StrLen => Ok(Value::Int(BigInt::from(str_of(&vals[0])?.chars().count() as i64))),
             Op::StrAt => {
                 let s = str_of(&vals[0])?;
                 let i = int_of(&vals[1])?;
@@ -444,15 +442,9 @@ impl Evaluator {
                 };
                 Ok(Value::Str(out))
             }
-            Op::StrPrefixOf => {
-                Ok(Value::Bool(str_of(&vals[1])?.starts_with(str_of(&vals[0])?)))
-            }
-            Op::StrSuffixOf => {
-                Ok(Value::Bool(str_of(&vals[1])?.ends_with(str_of(&vals[0])?)))
-            }
-            Op::StrContains => {
-                Ok(Value::Bool(str_of(&vals[0])?.contains(str_of(&vals[1])?)))
-            }
+            Op::StrPrefixOf => Ok(Value::Bool(str_of(&vals[1])?.starts_with(str_of(&vals[0])?))),
+            Op::StrSuffixOf => Ok(Value::Bool(str_of(&vals[1])?.ends_with(str_of(&vals[0])?))),
+            Op::StrContains => Ok(Value::Bool(str_of(&vals[0])?.contains(str_of(&vals[1])?))),
             Op::StrIndexOf => {
                 let s: Vec<char> = str_of(&vals[0])?.chars().collect();
                 let t: Vec<char> = str_of(&vals[1])?.chars().collect();
@@ -470,11 +462,7 @@ impl Evaluator {
                 let t = str_of(&vals[1])?;
                 let r = str_of(&vals[2])?;
                 // SMT-LIB 2.6: if t is empty, result is r ++ s.
-                let out = if t.is_empty() {
-                    format!("{r}{s}")
-                } else {
-                    s.replacen(t, r, 1)
-                };
+                let out = if t.is_empty() { format!("{r}{s}") } else { s.replacen(t, r, 1) };
                 Ok(Value::Str(out))
             }
             Op::StrReplaceAll => {
@@ -499,12 +487,18 @@ impl Evaluator {
                 let out = if i.is_negative() { String::new() } else { i.to_string() };
                 Ok(Value::Str(out))
             }
-            Op::StrToRe | Op::ReNone | Op::ReAll | Op::ReAllChar | Op::ReConcat
-            | Op::ReUnion | Op::ReInter | Op::ReStar | Op::RePlus | Op::ReOpt
+            Op::StrToRe
+            | Op::ReNone
+            | Op::ReAll
+            | Op::ReAllChar
+            | Op::ReConcat
+            | Op::ReUnion
+            | Op::ReInter
+            | Op::ReStar
+            | Op::RePlus
+            | Op::ReOpt
             | Op::ReRange => {
-                Err(EvalError::SortMismatch(
-                    "RegLan term evaluated outside str.in_re".to_owned(),
-                ))
+                Err(EvalError::SortMismatch("RegLan term evaluated outside str.in_re".to_owned()))
             }
             Op::And | Op::Or | Op::Implies | Op::Ite | Op::StrInRe => {
                 unreachable!("handled above")
@@ -567,18 +561,11 @@ fn values_equal(a: &Value, b: &Value) -> Result<bool, EvalError> {
                 ))),
             }
         }
-        _ => Err(EvalError::SortMismatch(format!(
-            "= applied to {} and {}",
-            a.sort(),
-            b.sort()
-        ))),
+        _ => Err(EvalError::SortMismatch(format!("= applied to {} and {}", a.sort(), b.sort()))),
     }
 }
 
-fn numeric_unop(
-    v: &Value,
-    f: impl Fn(&BigRational) -> BigRational,
-) -> Result<Value, EvalError> {
+fn numeric_unop(v: &Value, f: impl Fn(&BigRational) -> BigRational) -> Result<Value, EvalError> {
     match v {
         Value::Int(i) => {
             let r = f(&BigRational::from_int(i.clone()));
@@ -623,11 +610,7 @@ fn compare_chain(
 
 /// Converts a `RegLan`-sorted term to a semantic [`Regex`], evaluating any
 /// embedded string terms (e.g. `(str.to_re x)`).
-fn regex_of_term(
-    term: &Term,
-    scope: &mut Scope<'_>,
-    ev: &Evaluator,
-) -> Result<Regex, EvalError> {
+fn regex_of_term(term: &Term, scope: &mut Scope<'_>, ev: &Evaluator) -> Result<Regex, EvalError> {
     match term.kind() {
         TermKind::App(op, args) => {
             let sub = |a: &Term, scope: &mut Scope<'_>| -> Result<Rc<Regex>, EvalError> {
@@ -653,24 +636,18 @@ fn regex_of_term(
                     }
                 }
                 Op::ReConcat => {
-                    let parts = args
-                        .iter()
-                        .map(|a| sub(a, scope))
-                        .collect::<Result<Vec<_>, _>>()?;
+                    let parts =
+                        args.iter().map(|a| sub(a, scope)).collect::<Result<Vec<_>, _>>()?;
                     Ok(Regex::Concat(parts))
                 }
                 Op::ReUnion => {
-                    let parts = args
-                        .iter()
-                        .map(|a| sub(a, scope))
-                        .collect::<Result<Vec<_>, _>>()?;
+                    let parts =
+                        args.iter().map(|a| sub(a, scope)).collect::<Result<Vec<_>, _>>()?;
                     Ok(Regex::Union(parts))
                 }
                 Op::ReInter => {
-                    let parts = args
-                        .iter()
-                        .map(|a| sub(a, scope))
-                        .collect::<Result<Vec<_>, _>>()?;
+                    let parts =
+                        args.iter().map(|a| sub(a, scope)).collect::<Result<Vec<_>, _>>()?;
                     Ok(Regex::Inter(parts))
                 }
                 Op::ReStar => Ok(Regex::Star(sub(&args[0], scope)?)),
@@ -681,9 +658,7 @@ fn regex_of_term(
                 ))),
             }
         }
-        other => Err(EvalError::SortMismatch(format!(
-            "expected RegLan term, got {other:?}"
-        ))),
+        other => Err(EvalError::SortMismatch(format!("expected RegLan term, got {other:?}"))),
     }
 }
 
@@ -844,10 +819,7 @@ mod tests {
             eval("(str.in_re \"b\" (re.union (str.to_re \"a\") (str.to_re \"b\")))", &m),
             Value::Bool(true)
         );
-        assert_eq!(
-            eval("(str.in_re \"x\" (re.range \"a\" \"c\"))", &m),
-            Value::Bool(false)
-        );
+        assert_eq!(eval("(str.in_re \"x\" (re.range \"a\" \"c\"))", &m), Value::Bool(false));
     }
 
     #[test]

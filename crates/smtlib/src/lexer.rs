@@ -69,8 +69,22 @@ fn is_symbol_char(c: char) -> bool {
     c.is_ascii_alphanumeric()
         || matches!(
             c,
-            '~' | '!' | '@' | '$' | '%' | '^' | '&' | '*' | '_' | '-' | '+' | '=' | '<' | '>'
-                | '.' | '?' | '/'
+            '~' | '!'
+                | '@'
+                | '$'
+                | '%'
+                | '^'
+                | '&'
+                | '*'
+                | '_'
+                | '-'
+                | '+'
+                | '='
+                | '<'
+                | '>'
+                | '.'
+                | '?'
+                | '/'
         )
 }
 
@@ -229,10 +243,10 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(kinds("; phi1\nx ; trailing\ny"), vec![
-            TokenKind::Symbol("x".into()),
-            TokenKind::Symbol("y".into()),
-        ]);
+        assert_eq!(
+            kinds("; phi1\nx ; trailing\ny"),
+            vec![TokenKind::Symbol("x".into()), TokenKind::Symbol("y".into()),]
+        );
     }
 
     #[test]
@@ -243,21 +257,27 @@ mod tests {
 
     #[test]
     fn decimals_and_numerals() {
-        assert_eq!(kinds("1.5 42 0.0"), vec![
-            TokenKind::Decimal("1.5".into()),
-            TokenKind::Numeral("42".into()),
-            TokenKind::Decimal("0.0".into()),
-        ]);
+        assert_eq!(
+            kinds("1.5 42 0.0"),
+            vec![
+                TokenKind::Decimal("1.5".into()),
+                TokenKind::Numeral("42".into()),
+                TokenKind::Decimal("0.0".into()),
+            ]
+        );
     }
 
     #[test]
     fn operator_symbols() {
-        assert_eq!(kinds("<= >= str.++ re.*"), vec![
-            TokenKind::Symbol("<=".into()),
-            TokenKind::Symbol(">=".into()),
-            TokenKind::Symbol("str.++".into()),
-            TokenKind::Symbol("re.*".into()),
-        ]);
+        assert_eq!(
+            kinds("<= >= str.++ re.*"),
+            vec![
+                TokenKind::Symbol("<=".into()),
+                TokenKind::Symbol(">=".into()),
+                TokenKind::Symbol("str.++".into()),
+                TokenKind::Symbol("re.*".into()),
+            ]
+        );
     }
 
     #[test]

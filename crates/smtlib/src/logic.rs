@@ -55,12 +55,7 @@ impl Logic {
     pub fn is_quantifier_free(self) -> bool {
         matches!(
             self,
-            Logic::QfLia
-                | Logic::QfLra
-                | Logic::QfNia
-                | Logic::QfNra
-                | Logic::QfS
-                | Logic::QfSlia
+            Logic::QfLia | Logic::QfLra | Logic::QfNia | Logic::QfNra | Logic::QfS | Logic::QfSlia
         )
     }
 

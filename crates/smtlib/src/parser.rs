@@ -173,10 +173,8 @@ impl Parser {
         match self.next() {
             None => self.err("unexpected end of input in term"),
             Some(TokenKind::Numeral(n)) => {
-                let v: BigInt = n.parse().map_err(|e| ParseError {
-                    message: format!("{e}"),
-                    offset: 0,
-                })?;
+                let v: BigInt =
+                    n.parse().map_err(|e| ParseError { message: format!("{e}"), offset: 0 })?;
                 Ok(Term::int_big(v))
             }
             Some(TokenKind::Decimal(d)) => {
@@ -223,11 +221,8 @@ impl Parser {
                         Term::let_in(bindings, body)
                     }
                     "forall" | "exists" => {
-                        let q = if head == "forall" {
-                            Quantifier::Forall
-                        } else {
-                            Quantifier::Exists
-                        };
+                        let q =
+                            if head == "forall" { Quantifier::Forall } else { Quantifier::Exists };
                         self.expect_lparen()?;
                         let mut bindings = Vec::new();
                         while !matches!(self.peek(), Some(TokenKind::RParen)) {
@@ -271,9 +266,7 @@ impl Parser {
                                 // Fold (- 1) into a negative literal for
                                 // cleaner downstream pattern matching.
                                 match arg.kind() {
-                                    crate::term::TermKind::IntConst(v) => {
-                                        Term::int_big(-v.clone())
-                                    }
+                                    crate::term::TermKind::IntConst(v) => Term::int_big(-v.clone()),
                                     crate::term::TermKind::RealConst(v) => Term::real(-v.clone()),
                                     _ => Term::neg(arg),
                                 }
@@ -302,9 +295,8 @@ impl Parser {
                             fold_const_real_div(op, args)
                         }
                         None => {
-                            return self.err(format!(
-                                "unknown operator or uninterpreted function: {head}"
-                            ))
+                            return self
+                                .err(format!("unknown operator or uninterpreted function: {head}"))
                         }
                     },
                 };
@@ -483,7 +475,9 @@ mod tests {
 
     #[test]
     fn unary_minus_folds_literals() {
-        assert!(matches!(parse_term("(- 1)").unwrap().kind(), TermKind::IntConst(v) if v.is_negative()));
+        assert!(
+            matches!(parse_term("(- 1)").unwrap().kind(), TermKind::IntConst(v) if v.is_negative())
+        );
         assert_eq!(parse_term("(- x)").unwrap().to_string(), "(- x)");
         assert_eq!(parse_term("(- x y)").unwrap().to_string(), "(- x y)");
     }
@@ -526,10 +520,7 @@ mod tests {
     #[test]
     fn set_option_roundtrip() {
         let s = parse_script("(set-option :smt.string_solver z3str3)").unwrap();
-        assert_eq!(
-            s.commands[0],
-            Command::SetOption("smt.string_solver".into(), "z3str3".into())
-        );
+        assert_eq!(s.commands[0], Command::SetOption("smt.string_solver".into(), "z3str3".into()));
     }
 
     #[test]

@@ -107,10 +107,7 @@ mod tests {
 
     #[test]
     fn applications_are_prefix() {
-        let t = Term::eq(
-            Term::var("x"),
-            Term::add(vec![Term::var("y"), Term::int(2)]),
-        );
+        let t = Term::eq(Term::var("x"), Term::add(vec![Term::var("y"), Term::int(2)]));
         assert_eq!(t.to_string(), "(= x (+ y 2))");
     }
 

@@ -337,10 +337,7 @@ mod tests {
     fn union_and_inter() {
         let u = Regex::Union(vec![lit("a"), lit("b")]);
         assert!(u.matches("a") && u.matches("b") && !u.matches("c"));
-        let i = Regex::Inter(vec![
-            Rc::new(Regex::Star(lit("a"))),
-            Rc::new(Regex::Star(lit("aa"))),
-        ]);
+        let i = Regex::Inter(vec![Rc::new(Regex::Star(lit("a"))), Rc::new(Regex::Star(lit("aa")))]);
         assert!(i.matches("aaaa"));
         assert!(!i.matches("aaa"));
     }

@@ -197,9 +197,7 @@ impl Script {
                 Command::DeclareConst(name, sort) => {
                     Command::DeclareConst(mapping[name].clone(), *sort)
                 }
-                Command::Assert(t) => {
-                    Command::Assert(crate::subst::rename_free_vars(t, &mapping))
-                }
+                Command::Assert(t) => Command::Assert(crate::subst::rename_free_vars(t, &mapping)),
                 Command::DefineFun(name, params, sort, body) => Command::DefineFun(
                     name.clone(),
                     params.clone(),

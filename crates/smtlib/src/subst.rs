@@ -46,10 +46,8 @@ pub fn rename_free_vars(term: &Term, mapping: &BTreeMap<Symbol, Symbol>) -> Term
             Term::quant(*q, bindings.clone(), rename_free_vars(body, &inner))
         }
         TermKind::Let(bindings, body) => {
-            let new_bindings: Vec<_> = bindings
-                .iter()
-                .map(|(s, t)| (s.clone(), rename_free_vars(t, mapping)))
-                .collect();
+            let new_bindings: Vec<_> =
+                bindings.iter().map(|(s, t)| (s.clone(), rename_free_vars(t, mapping))).collect();
             let mut inner = mapping.clone();
             for (s, _) in bindings {
                 inner.remove(s);
@@ -82,11 +80,12 @@ impl Substituter<'_> {
                     term.clone()
                 }
             }
-            TermKind::Var(_) | TermKind::BoolConst(_) | TermKind::IntConst(_)
-            | TermKind::RealConst(_) | TermKind::StringConst(_) => term.clone(),
-            TermKind::App(op, args) => {
-                Term::app(*op, args.iter().map(|a| self.walk(a)).collect())
-            }
+            TermKind::Var(_)
+            | TermKind::BoolConst(_)
+            | TermKind::IntConst(_)
+            | TermKind::RealConst(_)
+            | TermKind::StringConst(_) => term.clone(),
+            TermKind::App(op, args) => Term::app(*op, args.iter().map(|a| self.walk(a)).collect()),
             TermKind::Quant(q, bindings, body) => {
                 if bindings.iter().any(|(s, _)| s == self.var) {
                     // `var` is shadowed: nothing to substitute below.
@@ -124,8 +123,7 @@ impl Substituter<'_> {
                 let new_bindings: Vec<_> =
                     bindings.iter().map(|(s, t)| (s.clone(), self.walk(t))).collect();
                 let shadowed = bindings.iter().any(|(s, _)| s == self.var);
-                let captures =
-                    bindings.iter().any(|(s, _)| self.replacement_fv.contains(s));
+                let captures = bindings.iter().any(|(s, _)| self.replacement_fv.contains(s));
                 if shadowed {
                     Term::let_in(new_bindings, body.clone())
                 } else if captures {

@@ -587,9 +587,7 @@ impl Term {
     pub fn count_free_occurrences(&self, var: &Symbol) -> usize {
         match self.kind() {
             TermKind::Var(name) => usize::from(name == var),
-            TermKind::App(_, args) => {
-                args.iter().map(|a| a.count_free_occurrences(var)).sum()
-            }
+            TermKind::App(_, args) => args.iter().map(|a| a.count_free_occurrences(var)).sum(),
             TermKind::Quant(_, bindings, body) => {
                 if bindings.iter().any(|(s, _)| s == var) {
                     0
@@ -718,7 +716,8 @@ mod tests {
     #[test]
     fn shadowed_occurrences_not_counted() {
         let x = Symbol::new("x");
-        let inner = Term::exists(vec![(x.clone(), Sort::Int)], Term::gt(Term::var("x"), Term::int(0)));
+        let inner =
+            Term::exists(vec![(x.clone(), Sort::Int)], Term::gt(Term::var("x"), Term::int(0)));
         let t = Term::and(vec![Term::gt(Term::var("x"), Term::int(1)), inner]);
         assert_eq!(t.count_free_occurrences(&x), 1);
     }

@@ -80,9 +80,7 @@ impl Checker<'_> {
                 self.bound.truncate(n);
                 match body_sort? {
                     Sort::Bool => Ok(Sort::Bool),
-                    other => {
-                        Err(TypeError::new(format!("quantifier body has sort {other}")))
-                    }
+                    other => Err(TypeError::new(format!("quantifier body has sort {other}"))),
                 }
             }
             TermKind::Let(bindings, body) => {
@@ -291,9 +289,7 @@ pub fn check_script(script: &Script) -> Result<(), TypeError> {
             Command::Assert(t) => {
                 let sort = sort_of(t, &env)?;
                 if sort != Sort::Bool {
-                    return Err(TypeError::new(format!(
-                        "assertion has sort {sort}: {t}"
-                    )));
+                    return Err(TypeError::new(format!("assertion has sort {sort}: {t}")));
                 }
             }
             Command::DefineFun(name, params, ret, body) => {
@@ -379,13 +375,9 @@ mod tests {
     #[test]
     fn string_ops() {
         let e = env(&[("a", Sort::String), ("i", Sort::Int)]);
+        assert_eq!(sort_of(&parse_term("(str.len (str.++ a a))").unwrap(), &e).unwrap(), Sort::Int);
         assert_eq!(
-            sort_of(&parse_term("(str.len (str.++ a a))").unwrap(), &e).unwrap(),
-            Sort::Int
-        );
-        assert_eq!(
-            sort_of(&parse_term("(str.in_re a (re.* (str.to_re \"x\")))").unwrap(), &e)
-                .unwrap(),
+            sort_of(&parse_term("(str.in_re a (re.* (str.to_re \"x\")))").unwrap(), &e).unwrap(),
             Sort::Bool
         );
         assert!(sort_of(&parse_term("(str.len i)").unwrap(), &e).is_err());

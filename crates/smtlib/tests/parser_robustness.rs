@@ -1,46 +1,86 @@
 //! Robustness: the lexer/parser must never panic — any byte soup either
 //! parses or returns a structured error.
 
-use proptest::prelude::*;
+use yinyang_rt::{props, Rng, StdRng};
 use yinyang_smtlib::{parse_script, parse_term, tokenize};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+/// Arbitrary printable text (plus some control/unicode characters) up to
+/// `max` characters.
+fn any_text(rng: &mut StdRng, max: usize) -> String {
+    let n = rng.random_range(0..=max);
+    (0..n)
+        .map(|_| match rng.random_range(0..10usize) {
+            0 => char::from(rng.random_range(0u8..32) as u8), // control chars
+            1 => ['λ', '∀', '𝔽', 'é', '\u{7f}'][rng.random_range(0..5usize)],
+            _ => char::from(rng.random_range(32u8..127)),
+        })
+        .collect()
+}
 
-    #[test]
-    fn tokenizer_never_panics(input in ".{0,200}") {
+/// S-expression-flavored soup: the characters the grammar actually uses.
+fn sexpr_soup(rng: &mut StdRng, max: usize) -> String {
+    const CHARS: &[u8] = br#"()abcdefghijklmnopqrstuvwxyz0123456789:"|;.-+*= "#;
+    let n = rng.random_range(0..=max);
+    (0..n).map(|_| CHARS[rng.random_range(0..CHARS.len())] as char).collect()
+}
+
+props! {
+    cases: 512;
+
+    fn tokenizer_never_panics(input in |r: &mut StdRng| any_text(r, 200)) {
         let _ = tokenize(&input);
     }
 
-    #[test]
-    fn parser_never_panics_on_arbitrary_text(input in ".{0,200}") {
+    fn parser_never_panics_on_arbitrary_text(input in |r: &mut StdRng| any_text(r, 200)) {
         let _ = parse_script(&input);
         let _ = parse_term(&input);
     }
 
-    #[test]
-    fn parser_never_panics_on_sexpr_soup(
-        input in r#"[()a-z0-9:"|;.\-+*= ]{0,160}"#,
-    ) {
+    fn parser_never_panics_on_sexpr_soup(input in |r: &mut StdRng| sexpr_soup(r, 160)) {
         let _ = parse_script(&input);
     }
 
-    #[test]
-    fn parse_of_printed_script_is_total(
-        names in proptest::collection::vec("[a-z][a-z0-9]{0,5}", 1..4),
-        vals in proptest::collection::vec(-100i64..100, 1..4),
-    ) {
+    fn accepted_soup_reaches_a_print_fixed_point(input in |r: &mut StdRng| sexpr_soup(r, 160)) {
+        // Whenever random soup happens to parse, one parse→print round
+        // normalizes it: reparsing the printed form is total and a fixed
+        // point of print∘parse.
+        if let Ok(script) = parse_script(&input) {
+            let printed = script.to_string();
+            let reparsed = parse_script(&printed)
+                .unwrap_or_else(|e| panic!("printed script failed to reparse: {e}\n{printed}"));
+            assert_eq!(reparsed, script);
+            assert_eq!(reparsed.to_string(), printed, "print not idempotent");
+        }
+    }
+
+    fn parse_of_printed_script_is_total(seed in |r: &mut StdRng| r.random_range(0u64..=u64::MAX)) {
         // Scripts we print always reparse.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let count = rng.random_range(1..4usize);
         let mut script = yinyang_smtlib::Script::new();
-        for (n, v) in names.iter().zip(&vals) {
-            script.declare_var(n.as_str(), yinyang_smtlib::Sort::Int);
+        for i in 0..count {
+            let len = rng.random_range(0..=5usize);
+            let mut name = String::new();
+            name.push(char::from(rng.random_range(b'a'..=b'z')));
+            for _ in 0..len {
+                let c = if rng.random_bool(0.7) {
+                    rng.random_range(b'a'..=b'z')
+                } else {
+                    rng.random_range(b'0'..=b'9')
+                };
+                name.push(char::from(c));
+            }
+            // Suffix with the index so repeated names stay distinct.
+            let name = format!("{name}{i}");
+            let v = rng.random_range(-100i64..100);
+            script.declare_var(name.as_str(), yinyang_smtlib::Sort::Int);
             script.assert_term(yinyang_smtlib::Term::eq(
-                yinyang_smtlib::Term::var(n.as_str()),
-                yinyang_smtlib::Term::int(*v),
+                yinyang_smtlib::Term::var(name.as_str()),
+                yinyang_smtlib::Term::int(v),
             ));
         }
         let text = script.to_string();
-        prop_assert!(parse_script(&text).is_ok(), "failed to reparse: {text}");
+        assert!(parse_script(&text).is_ok(), "failed to reparse: {text}");
     }
 }
 

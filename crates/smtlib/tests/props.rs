@@ -2,77 +2,82 @@
 //! on ASTs, substitution respects occurrence counts, and evaluation is
 //! deterministic.
 
-use proptest::prelude::*;
+use yinyang_arith::{BigInt, BigRational};
+use yinyang_rt::{props, Rng, StdRng};
 use yinyang_smtlib::subst::{substitute_free, substitute_occurrences};
 use yinyang_smtlib::{parse_term, Model, Op, Symbol, Term, Value};
-use yinyang_arith::{BigInt, BigRational};
 
-/// A strategy for arbitrary well-formed *Int-sorted* terms over variables
-/// x, y and an arbitrary boolean structure above them.
-fn int_term() -> impl Strategy<Value = Term> {
-    let leaf = prop_oneof![
-        (-50i64..50).prop_map(Term::int),
-        Just(Term::var("x")),
-        Just(Term::var("y")),
-    ];
-    leaf.prop_recursive(3, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Term::add(vec![a, b])),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Term::sub(a, b)),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Term::mul(vec![a, b])),
-            inner.clone().prop_map(Term::neg),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Term::imod(a, b)),
-        ]
-    })
+/// An arbitrary well-formed *Int-sorted* term over variables x, y.
+fn int_term(rng: &mut StdRng, depth: usize) -> Term {
+    if depth == 0 || rng.random_bool(0.3) {
+        return match rng.random_range(0..3usize) {
+            0 => Term::int(rng.random_range(-50i64..50)),
+            1 => Term::var("x"),
+            _ => Term::var("y"),
+        };
+    }
+    match rng.random_range(0..5usize) {
+        0 => Term::add(vec![int_term(rng, depth - 1), int_term(rng, depth - 1)]),
+        1 => Term::sub(int_term(rng, depth - 1), int_term(rng, depth - 1)),
+        2 => Term::mul(vec![int_term(rng, depth - 1), int_term(rng, depth - 1)]),
+        3 => Term::neg(int_term(rng, depth - 1)),
+        _ => Term::imod(int_term(rng, depth - 1), int_term(rng, depth - 1)),
+    }
 }
 
-fn bool_term() -> impl Strategy<Value = Term> {
-    let atom = prop_oneof![
-        (int_term(), int_term()).prop_map(|(a, b)| Term::le(a, b)),
-        (int_term(), int_term()).prop_map(|(a, b)| Term::lt(a, b)),
-        (int_term(), int_term()).prop_map(|(a, b)| Term::eq(a, b)),
-        Just(Term::tru()),
-        Just(Term::fals()),
-    ];
-    atom.prop_recursive(3, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Term::and(vec![a, b])),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Term::or(vec![a, b])),
-            inner.clone().prop_map(Term::not),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(c, t, e)| Term::ite(c, t, e)),
-        ]
-    })
+/// An arbitrary boolean structure above integer atoms.
+fn bool_term(rng: &mut StdRng, depth: usize) -> Term {
+    if depth == 0 || rng.random_bool(0.3) {
+        return match rng.random_range(0..5usize) {
+            0 => Term::le(int_term(rng, 2), int_term(rng, 2)),
+            1 => Term::lt(int_term(rng, 2), int_term(rng, 2)),
+            2 => Term::eq(int_term(rng, 2), int_term(rng, 2)),
+            3 => Term::tru(),
+            _ => Term::fals(),
+        };
+    }
+    match rng.random_range(0..4usize) {
+        0 => Term::and(vec![bool_term(rng, depth - 1), bool_term(rng, depth - 1)]),
+        1 => Term::or(vec![bool_term(rng, depth - 1), bool_term(rng, depth - 1)]),
+        2 => Term::not(bool_term(rng, depth - 1)),
+        _ => Term::ite(
+            bool_term(rng, depth - 1),
+            bool_term(rng, depth - 1),
+            bool_term(rng, depth - 1),
+        ),
+    }
 }
 
-proptest! {
-    #[test]
-    fn print_parse_roundtrip_int(t in int_term()) {
+/// A term seed: the test body rebuilds the term deterministically from it,
+/// so the harness shrinks a plain integer instead of the AST.
+fn any_seed(r: &mut StdRng) -> u64 {
+    r.random_range(0u64..=u64::MAX)
+}
+
+props! {
+    fn print_parse_roundtrip_int(seed in any_seed) {
+        let t = int_term(&mut StdRng::seed_from_u64(seed), 3);
         let text = t.to_string();
         let parsed = parse_term(&text).unwrap_or_else(|e| panic!("{e}: {text}"));
-        prop_assert_eq!(parsed, t);
+        assert_eq!(parsed, t);
     }
 
-    #[test]
-    fn print_parse_roundtrip_bool(t in bool_term()) {
+    fn print_parse_roundtrip_bool(seed in any_seed) {
+        let t = bool_term(&mut StdRng::seed_from_u64(seed), 3);
         let text = t.to_string();
         let parsed = parse_term(&text).unwrap_or_else(|e| panic!("{e}: {text}"));
-        prop_assert_eq!(parsed, t);
+        assert_eq!(parsed, t);
     }
 
-    #[test]
-    fn substitution_removes_all_occurrences(t in int_term()) {
+    fn substitution_removes_all_occurrences(seed in any_seed) {
+        let t = int_term(&mut StdRng::seed_from_u64(seed), 3);
         let x = Symbol::new("x");
         let out = substitute_free(&t, &x, &Term::int(7));
-        prop_assert_eq!(out.count_free_occurrences(&x), 0);
+        assert_eq!(out.count_free_occurrences(&x), 0);
     }
 
-    #[test]
-    fn partial_substitution_counts(t in int_term(), mask in any::<u64>()) {
+    fn partial_substitution_counts(seed in any_seed, mask in any_seed) {
+        let t = int_term(&mut StdRng::seed_from_u64(seed), 3);
         let x = Symbol::new("x");
         let n = t.count_free_occurrences(&x);
         let mut replaced = 0usize;
@@ -81,13 +86,15 @@ proptest! {
             replaced += usize::from(hit);
             hit
         });
-        prop_assert_eq!(out.count_free_occurrences(&x), n - replaced);
+        assert_eq!(out.count_free_occurrences(&x), n - replaced);
     }
 
-    #[test]
     fn eval_deterministic_and_total_on_nonzero_mod(
-        t in int_term(), xv in -20i64..20, yv in 1i64..20,
+        seed in any_seed,
+        xv in |r: &mut StdRng| r.random_range(-20i64..20),
+        yv in |r: &mut StdRng| r.random_range(1i64..20),
     ) {
+        let t = int_term(&mut StdRng::seed_from_u64(seed), 3);
         let mut m = Model::new();
         m.set("x", Value::Int(BigInt::from(xv)));
         m.set("y", Value::Int(BigInt::from(yv)));
@@ -95,11 +102,12 @@ proptest! {
         // determinism, not success.
         let a = m.eval(&t);
         let b = m.eval(&t);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
 
-    #[test]
-    fn eval_matches_i128_semantics(xv in -9i64..9, yv in -9i64..9, k in -9i64..9) {
+    fn eval_matches_i128_semantics(xv in |r: &mut StdRng| r.random_range(-9i64..9),
+                                   yv in |r: &mut StdRng| r.random_range(-9i64..9),
+                                   k in |r: &mut StdRng| r.random_range(-9i64..9)) {
         // (+ (* x y) k) evaluated exactly.
         let t = Term::add(vec![
             Term::mul(vec![Term::var("x"), Term::var("y")]),
@@ -108,29 +116,46 @@ proptest! {
         let mut m = Model::new();
         m.set("x", Value::Int(BigInt::from(xv)));
         m.set("y", Value::Int(BigInt::from(yv)));
-        prop_assert_eq!(
+        assert_eq!(
             m.eval(&t).unwrap(),
             Value::Int(BigInt::from(xv * yv + k))
         );
     }
 
-    #[test]
-    fn simplify_agnostic_printing(num in -30i64..30, den in 1i64..30) {
+    fn simplify_agnostic_printing(num in |r: &mut StdRng| r.random_range(-30i64..30),
+                                  den in |r: &mut StdRng| r.random_range(1i64..30)) {
         // Real constants always roundtrip regardless of denominator shape.
         let t = Term::real(BigRational::new(num.into(), den.into()));
         let parsed = parse_term(&t.to_string()).unwrap();
-        prop_assert_eq!(parsed, t);
+        assert_eq!(parsed, t);
     }
 
-    #[test]
-    fn string_literals_roundtrip(s in "[a-z\"0-9 ]{0,12}") {
+    fn string_literals_roundtrip(s in |r: &mut StdRng| {
+        const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz\"0123456789 ";
+        let n = r.random_range(0..=12usize);
+        (0..n)
+            .map(|_| ALPHABET[r.random_range(0..ALPHABET.len())] as char)
+            .collect::<String>()
+    }) {
         let t = Term::str_lit(s.clone());
         let parsed = parse_term(&t.to_string()).unwrap();
-        prop_assert_eq!(parsed, t);
+        assert_eq!(parsed, t);
     }
 
-    #[test]
-    fn flattened_ops_admit_any_arity(n in 2usize..6) {
+    fn print_is_a_parse_fixed_point(seed in any_seed) {
+        // parse → print → parse: the first parse normalizes the text, and
+        // printing is a fixed point from there on (both for the text and
+        // the AST).
+        let t = bool_term(&mut StdRng::seed_from_u64(seed), 3);
+        let text1 = t.to_string();
+        let p1 = parse_term(&text1).unwrap_or_else(|e| panic!("{e}: {text1}"));
+        let text2 = p1.to_string();
+        assert_eq!(text2, text1, "printing is not idempotent after a parse");
+        let p2 = parse_term(&text2).unwrap();
+        assert_eq!(p2, p1);
+    }
+
+    fn flattened_ops_admit_any_arity(n in |r: &mut StdRng| r.random_range(2usize..6)) {
         let args: Vec<Term> = (0..n as i64).map(Term::int).collect();
         for op in [Op::Add, Op::Mul, Op::And, Op::Or] {
             let args = if matches!(op, Op::And | Op::Or) {
@@ -140,7 +165,7 @@ proptest! {
             };
             let t = Term::app(op, args);
             let parsed = parse_term(&t.to_string()).unwrap();
-            prop_assert_eq!(parsed, t);
+            assert_eq!(parsed, t);
         }
     }
 }

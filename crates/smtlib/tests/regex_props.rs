@@ -1,8 +1,8 @@
 //! Property tests for the derivative-based regex engine: agreement with a
 //! naive exponential reference matcher on random regexes and strings.
 
-use proptest::prelude::*;
 use std::rc::Rc;
+use yinyang_rt::{props, Rng, StdRng};
 use yinyang_smtlib::Regex;
 
 /// Naive reference: does `re` match `s`? Exponential backtracking over
@@ -22,8 +22,7 @@ fn reference_matches(re: &Regex, s: &[char]) -> bool {
             Some((first, rest)) => {
                 let rest_re = Regex::Concat(rest.to_vec());
                 (0..=s.len()).any(|k| {
-                    reference_matches(first, &s[..k])
-                        && reference_matches(&rest_re, &s[k..])
+                    reference_matches(first, &s[..k]) && reference_matches(&rest_re, &s[k..])
                 })
             }
         },
@@ -34,9 +33,8 @@ fn reference_matches(re: &Regex, s: &[char]) -> bool {
                 return true;
             }
             // Try a non-empty first chunk to guarantee progress.
-            (1..=s.len()).any(|k| {
-                reference_matches(inner, &s[..k]) && reference_matches(re, &s[k..])
-            })
+            (1..=s.len())
+                .any(|k| reference_matches(inner, &s[..k]) && reference_matches(re, &s[k..]))
         }
         Regex::Plus(inner) => {
             if s.is_empty() {
@@ -52,39 +50,59 @@ fn reference_matches(re: &Regex, s: &[char]) -> bool {
     }
 }
 
-/// Strategy for small regexes over {a, b}.
-fn small_regex() -> impl Strategy<Value = Regex> {
-    let leaf = prop_oneof![
-        Just(Regex::None),
-        Just(Regex::AllChar),
-        "[ab]{0,2}".prop_map(Regex::Lit),
-        Just(Regex::Range('a', 'b')),
-    ];
-    leaf.prop_recursive(3, 12, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| {
-                Regex::Concat(vec![Rc::new(a), Rc::new(b)])
-            }),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| {
-                Regex::Union(vec![Rc::new(a), Rc::new(b)])
-            }),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| {
-                Regex::Inter(vec![Rc::new(a), Rc::new(b)])
-            }),
-            inner.clone().prop_map(|a| Regex::Star(Rc::new(a))),
-            inner.clone().prop_map(|a| Regex::Plus(Rc::new(a))),
-            inner.clone().prop_map(|a| Regex::Opt(Rc::new(a))),
-        ]
-    })
+/// A small regex over {a, b}, built by ordinary recursion.
+fn small_regex(rng: &mut StdRng, depth: usize) -> Regex {
+    if depth == 0 || rng.random_bool(0.35) {
+        return match rng.random_range(0..4usize) {
+            0 => Regex::None,
+            1 => Regex::AllChar,
+            2 => {
+                let n = rng.random_range(0..=2usize);
+                let lit: String =
+                    (0..n).map(|_| if rng.random_bool(0.5) { 'a' } else { 'b' }).collect();
+                Regex::Lit(lit)
+            }
+            _ => Regex::Range('a', 'b'),
+        };
+    }
+    match rng.random_range(0..6usize) {
+        0 => Regex::Concat(vec![
+            Rc::new(small_regex(rng, depth - 1)),
+            Rc::new(small_regex(rng, depth - 1)),
+        ]),
+        1 => Regex::Union(vec![
+            Rc::new(small_regex(rng, depth - 1)),
+            Rc::new(small_regex(rng, depth - 1)),
+        ]),
+        2 => Regex::Inter(vec![
+            Rc::new(small_regex(rng, depth - 1)),
+            Rc::new(small_regex(rng, depth - 1)),
+        ]),
+        3 => Regex::Star(Rc::new(small_regex(rng, depth - 1))),
+        4 => Regex::Plus(Rc::new(small_regex(rng, depth - 1))),
+        _ => Regex::Opt(Rc::new(small_regex(rng, depth - 1))),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+/// A regex seed: the test body rebuilds the regex deterministically from it.
+fn regex_seed(r: &mut StdRng) -> u64 {
+    r.random_range(0u64..=u64::MAX)
+}
 
-    #[test]
-    fn derivatives_agree_with_reference(re in small_regex(), s in "[ab]{0,6}") {
+/// A string over {a, b} with `lo..=hi` characters.
+fn ab_string(rng: &mut StdRng, lo: usize, hi: usize) -> String {
+    let n = rng.random_range(lo..=hi);
+    (0..n).map(|_| if rng.random_bool(0.5) { 'a' } else { 'b' }).collect()
+}
+
+props! {
+    cases: 512;
+
+    fn derivatives_agree_with_reference(seed in regex_seed,
+                                        s in |r: &mut StdRng| ab_string(r, 0, 6)) {
+        let re = small_regex(&mut StdRng::seed_from_u64(seed), 3);
         let chars: Vec<char> = s.chars().collect();
-        prop_assert_eq!(
+        assert_eq!(
             re.matches(&s),
             reference_matches(&re, &chars),
             "disagreement on {} vs {:?}",
@@ -93,28 +111,30 @@ proptest! {
         );
     }
 
-    #[test]
-    fn nullable_iff_matches_empty(re in small_regex()) {
-        prop_assert_eq!(re.nullable(), re.matches(""));
+    fn nullable_iff_matches_empty(seed in regex_seed) {
+        let re = small_regex(&mut StdRng::seed_from_u64(seed), 3);
+        assert_eq!(re.nullable(), re.matches(""));
     }
 
-    #[test]
-    fn derivative_characterization(re in small_regex(), s in "[ab]{1,5}") {
+    fn derivative_characterization(seed in regex_seed,
+                                   s in |r: &mut StdRng| ab_string(r, 1, 5)) {
         // matches(c·w) == derivative(c).matches(w)
+        let re = small_regex(&mut StdRng::seed_from_u64(seed), 3);
         let mut chars = s.chars();
         let c = chars.next().expect("non-empty");
         let rest: String = chars.collect();
-        prop_assert_eq!(re.matches(&s), re.derivative(c).matches(&rest));
+        assert_eq!(re.matches(&s), re.derivative(c).matches(&rest));
     }
 
-    #[test]
-    fn first_chars_is_sound(re in small_regex(), s in "[ab]{1,5}") {
+    fn first_chars_is_sound(seed in regex_seed,
+                            s in |r: &mut StdRng| ab_string(r, 1, 5)) {
         // If the regex matches s, then s's first char is in first_chars()
         // (when that set is finite).
+        let re = small_regex(&mut StdRng::seed_from_u64(seed), 3);
         if re.matches(&s) {
             if let Some(first) = re.first_chars() {
                 let c = s.chars().next().expect("non-empty");
-                prop_assert!(
+                assert!(
                     first.contains(&c),
                     "{c} missing from first_chars of {re:?}"
                 );
@@ -122,14 +142,15 @@ proptest! {
         }
     }
 
-    #[test]
-    fn alphabet_covers_matches(re in small_regex(), s in "[ab]{1,4}") {
+    fn alphabet_covers_matches(seed in regex_seed,
+                               s in |r: &mut StdRng| ab_string(r, 1, 4)) {
         // Every matched string only uses characters from alphabet() —
         // except AllChar/All which report None.
+        let re = small_regex(&mut StdRng::seed_from_u64(seed), 3);
         if re.matches(&s) {
             if let Some(alpha) = re.alphabet() {
                 for c in s.chars() {
-                    prop_assert!(alpha.contains(&c), "{c} outside alphabet of {re:?}");
+                    assert!(alpha.contains(&c), "{c} outside alphabet of {re:?}");
                 }
             }
         }

@@ -51,10 +51,7 @@ impl Interval {
 
     /// A singleton `[v, v]`.
     pub fn point(v: BigRational) -> Interval {
-        Interval {
-            lo: Endpoint::bound(v.clone(), false),
-            hi: Endpoint::bound(v, false),
-        }
+        Interval { lo: Endpoint::bound(v.clone(), false), hi: Endpoint::bound(v, false) }
     }
 
     /// `[lo, +∞)` or `(lo, +∞)`.
@@ -357,10 +354,7 @@ mod tests {
     }
 
     fn closed(lo: i64, hi: i64) -> Interval {
-        Interval {
-            lo: Endpoint::bound(q(lo, 1), false),
-            hi: Endpoint::bound(q(hi, 1), false),
-        }
+        Interval { lo: Endpoint::bound(q(lo, 1), false), hi: Endpoint::bound(q(hi, 1), false) }
     }
 
     #[test]
@@ -368,10 +362,8 @@ mod tests {
         assert!(!closed(0, 1).is_empty());
         assert!(closed(1, 0).is_empty());
         assert!(!Interval::point(q(3, 1)).is_empty());
-        let open_point = Interval {
-            lo: Endpoint::bound(q(1, 1), true),
-            hi: Endpoint::bound(q(1, 1), false),
-        };
+        let open_point =
+            Interval { lo: Endpoint::bound(q(1, 1), true), hi: Endpoint::bound(q(1, 1), false) };
         assert!(open_point.is_empty());
         assert!(!Interval::top().is_empty());
     }

@@ -126,9 +126,7 @@ pub fn linearize(term: &Term, env: &SortEnv, idx: &mut TermIndex) -> LinExpr {
                 let mut rest: Vec<&Term> = Vec::new();
                 for a in args {
                     match a.kind() {
-                        TermKind::IntConst(v) => {
-                            konst = &konst * &BigRational::from_int(v.clone())
-                        }
+                        TermKind::IntConst(v) => konst = &konst * &BigRational::from_int(v.clone()),
                         TermKind::RealConst(v) => konst = &konst * v,
                         _ => rest.push(a),
                     }
@@ -183,18 +181,12 @@ pub fn linearize(term: &Term, env: &SortEnv, idx: &mut TermIndex) -> LinExpr {
                         def.add_term(r, &-BigRational::one());
                         idx.side_constraints.push(LinConstraint { expr: def, cmp: Cmp::Eq });
                         // 0 ≤ r ≤ |k| − 1
-                        idx.side_constraints.push(LinConstraint {
-                            expr: LinExpr::var(r),
-                            cmp: Cmp::Ge,
-                        });
+                        idx.side_constraints
+                            .push(LinConstraint { expr: LinExpr::var(r), cmp: Cmp::Ge });
                         let mut ub = LinExpr::var(r);
                         ub.constant = BigRational::from_int(&BigInt::one() - &k.abs());
                         idx.side_constraints.push(LinConstraint { expr: ub, cmp: Cmp::Le });
-                        return if *op == Op::IntDiv {
-                            LinExpr::var(q)
-                        } else {
-                            LinExpr::var(r)
-                        };
+                        return if *op == Op::IntDiv { LinExpr::var(q) } else { LinExpr::var(r) };
                     }
                 }
                 LinExpr::var(idx.column(term, true, true))

@@ -55,10 +55,8 @@ fn simplify_once(term: &Term) -> Term {
         }
         TermKind::Let(bindings, body) => {
             probe_line!("rewrite::let_expansion");
-            let bindings: Vec<(Symbol, Term)> = bindings
-                .iter()
-                .map(|(s, t)| (s.clone(), simplify_once(t)))
-                .collect();
+            let bindings: Vec<(Symbol, Term)> =
+                bindings.iter().map(|(s, t)| (s.clone(), simplify_once(t))).collect();
             expand_let(&bindings, body)
         }
         TermKind::Quant(q, bindings, body) => {
@@ -359,11 +357,7 @@ type Sym2Sort = yinyang_smtlib::Sort;
 /// `∃x. (and ... (= x t) ...) → (and ...)[t/x]` and
 /// `∀x. (=> (= x t) φ) / ∀x. (or ... (not (= x t)) ...) → φ[t/x]`,
 /// when `t` does not mention `x`.
-fn one_point_rule(
-    q: Quantifier,
-    bindings: &[(Symbol, Sym2Sort)],
-    body: &Term,
-) -> Option<Term> {
+fn one_point_rule(q: Quantifier, bindings: &[(Symbol, Sym2Sort)], body: &Term) -> Option<Term> {
     // Only handle a single binder at a time (multi-binder quantifiers are
     // peeled one variable per pass).
     let (var, _) = bindings.first()?;
@@ -418,16 +412,10 @@ fn one_point_rule(
     let def = definition?;
     let reduced_body = if negated {
         // ∀: body was (or ¬(x=t) rest...) → rest[t/x] as a disjunction.
-        let parts: Vec<Term> = others
-            .iter()
-            .map(|c| substitute_free(c, var, &def))
-            .collect();
+        let parts: Vec<Term> = others.iter().map(|c| substitute_free(c, var, &def)).collect();
         Term::or(parts)
     } else {
-        let parts: Vec<Term> = others
-            .iter()
-            .map(|c| substitute_free(c, var, &def))
-            .collect();
+        let parts: Vec<Term> = others.iter().map(|c| substitute_free(c, var, &def)).collect();
         Term::and(parts)
     };
     Some(Term::quant(q, rest, reduced_body))
@@ -522,29 +510,20 @@ mod tests {
     fn quantifier_unused_binder() {
         assert_eq!(simp("(forall ((x Int)) (> y 0))"), "(> y 0)");
         assert_eq!(simp("(exists ((x Int)) true)"), "true");
-        assert_eq!(
-            simp("(forall ((x Int) (y Int)) (> x 0))"),
-            "(forall ((x Int)) (> x 0))"
-        );
+        assert_eq!(simp("(forall ((x Int) (y Int)) (> x 0))"), "(forall ((x Int)) (> x 0))");
     }
 
     #[test]
     fn one_point_exists() {
         assert_eq!(simp("(exists ((x Int)) (and (= x 5) (> x 3)))"), "true");
-        assert_eq!(
-            simp("(exists ((x Int)) (and (= x y) (> x z)))"),
-            "(> y z)"
-        );
+        assert_eq!(simp("(exists ((x Int)) (and (= x y) (> x z)))"), "(> y z)");
         assert_eq!(simp("(exists ((x Int)) (= x (+ y 1)))"), "true");
     }
 
     #[test]
     fn one_point_forall() {
         assert_eq!(simp("(forall ((x Int)) (=> (= x y) (> x 0)))"), "(> y 0)");
-        assert_eq!(
-            simp("(forall ((x Int)) (or (not (= x 3)) (> x z)))"),
-            "(> 3 z)"
-        );
+        assert_eq!(simp("(forall ((x Int)) (or (not (= x 3)) (> x z)))"), "(> 3 z)");
     }
 
     #[test]
@@ -561,10 +540,7 @@ mod tests {
 
     #[test]
     fn fixpoint_on_nested_structure() {
-        assert_eq!(
-            simp("(and (or (and true p) false) (not (not (or p false))))"),
-            "p"
-        );
+        assert_eq!(simp("(and (or (and true p) false) (not (not (or p false))))"), "p");
     }
 
     #[test]

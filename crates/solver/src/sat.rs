@@ -418,11 +418,7 @@ impl SatSolver {
                 match self.pick_branch() {
                     None => {
                         probe_line!("sat::model_found");
-                        let model = self
-                            .assigns
-                            .iter()
-                            .map(|a| *a == Assign::True)
-                            .collect();
+                        let model = self.assigns.iter().map(|a| *a == Assign::True).collect();
                         return SatOutcome::Sat(model);
                     }
                     Some(lit) => {
@@ -571,8 +567,12 @@ mod tests {
             }
             let refs: Vec<&[i64]> = clauses.iter().map(|c| c.as_slice()).collect();
             match solve(&refs, nvars) {
-                SatOutcome::Sat(_) => assert!(brute_sat, "instance {inst}: solver sat, brute unsat"),
-                SatOutcome::Unsat => assert!(!brute_sat, "instance {inst}: solver unsat, brute sat"),
+                SatOutcome::Sat(_) => {
+                    assert!(brute_sat, "instance {inst}: solver sat, brute unsat")
+                }
+                SatOutcome::Unsat => {
+                    assert!(!brute_sat, "instance {inst}: solver unsat, brute sat")
+                }
                 SatOutcome::Unknown => panic!("budget should suffice"),
             }
         }
@@ -591,8 +591,7 @@ mod tests {
                     models += 1;
                     s.backtrack_to_root();
                     // Block this model.
-                    let block: Vec<Lit> =
-                        (0..2).map(|v| Lit::new(v, !m[v])).collect();
+                    let block: Vec<Lit> = (0..2).map(|v| Lit::new(v, !m[v])).collect();
                     s.add_clause(block);
                 }
                 SatOutcome::Unsat => break,

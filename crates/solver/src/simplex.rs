@@ -196,23 +196,13 @@ impl Tableau {
     fn new(n: usize) -> Self {
         Tableau {
             vars: (0..n)
-                .map(|_| VarState {
-                    lower: None,
-                    upper: None,
-                    value: DeltaRat::zero(),
-                    row: None,
-                })
+                .map(|_| VarState { lower: None, upper: None, value: DeltaRat::zero(), row: None })
                 .collect(),
         }
     }
 
     fn add_var(&mut self) -> usize {
-        self.vars.push(VarState {
-            lower: None,
-            upper: None,
-            value: DeltaRat::zero(),
-            row: None,
-        });
+        self.vars.push(VarState { lower: None, upper: None, value: DeltaRat::zero(), row: None });
         self.vars.len() - 1
     }
 
@@ -431,9 +421,7 @@ impl Tableau {
         }
         let half = BigRational::new(1.into(), 2.into());
         let d0 = &delta * &half;
-        (0..n)
-            .map(|i| &self.vars[i].value.real + &(&self.vars[i].value.delta * &d0))
-            .collect()
+        (0..n).map(|i| &self.vars[i].value.real + &(&self.vars[i].value.delta * &d0)).collect()
     }
 }
 
@@ -510,10 +498,7 @@ fn tighten_int(c: &LinConstraint, int_vars: &BTreeSet<usize>) -> Option<LinConst
     let scale_r = BigRational::from_int(scale);
     let mut e = c.expr.clone();
     e.scale(&scale_r);
-    let g = e
-        .coeffs
-        .values()
-        .fold(BigInt::zero(), |acc, k| acc.gcd(k.numer()));
+    let g = e.coeffs.values().fold(BigInt::zero(), |acc, k| acc.gcd(k.numer()));
     debug_assert!(!g.is_zero());
     let gr = BigRational::from_int(g.clone());
     let konst = &e.constant / &gr;
@@ -614,10 +599,7 @@ fn solve_rec(
     }
     let assignment = t.concrete_assignment(num_vars);
     // Branch and bound on fractional integer variables.
-    let fractional = int_vars
-        .iter()
-        .copied()
-        .find(|v| !assignment[*v].is_integer());
+    let fractional = int_vars.iter().copied().find(|v| !assignment[*v].is_integer());
     yinyang_coverage::probe_branch!("simplex::needs_branching", fractional.is_some());
     match fractional {
         None => LinResult::Sat(assignment),
@@ -756,10 +738,10 @@ mod tests {
         // 0 < y < v ≤ w ∧ w' < 0 where w' stands for w/v — linear fragment:
         // y > 0, v - y > 0, w - v ≥ 0 is sat; adding w ≤ -1 flips it.
         let cs = vec![
-            con(&[(0, 1)], 0, Cmp::Gt),              // y > 0
-            con(&[(1, 1), (0, -1)], 0, Cmp::Gt),     // v > y
-            con(&[(2, 1), (1, -1)], 0, Cmp::Ge),     // w ≥ v
-            con(&[(2, 1)], 1, Cmp::Le),               // w ≤ -1
+            con(&[(0, 1)], 0, Cmp::Gt),          // y > 0
+            con(&[(1, 1), (0, -1)], 0, Cmp::Gt), // v > y
+            con(&[(2, 1), (1, -1)], 0, Cmp::Ge), // w ≥ v
+            con(&[(2, 1)], 1, Cmp::Le),          // w ≤ -1
         ];
         assert_eq!(solve_linear(3, &cs, &BTreeSet::new()), LinResult::Unsat);
     }

@@ -17,8 +17,8 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use yinyang_coverage::{probe_fn, probe_line};
 use yinyang_smtlib::subst::{fresh_name, substitute_free};
 use yinyang_smtlib::{
-    check_script, parse_script, Model, Op, ParseError, Quantifier, Script, Sort, SortEnv,
-    Symbol, Term, TermKind, Value, ZeroDivPolicy,
+    check_script, parse_script, Model, Op, ParseError, Quantifier, Script, Sort, SortEnv, Symbol,
+    Term, TermKind, Value, ZeroDivPolicy,
 };
 
 /// The three-valued answer of `(check-sat)`.
@@ -237,7 +237,10 @@ impl SmtSolver {
         match outcome.result {
             SatResult::Sat if approx_forall => {
                 probe_line!("smt::forall_approx_blocks_sat");
-                SolveOutput::unknown("universal instantiation is incomplete for sat", outcome.iterations)
+                SolveOutput::unknown(
+                    "universal instantiation is incomplete for sat",
+                    outcome.iterations,
+                )
             }
             _ => outcome,
         }
@@ -248,12 +251,8 @@ impl SmtSolver {
         let mut sat = SatSolver::new();
         let mut atoms: Vec<Term> = Vec::new();
         let mut atom_vars: HashMap<Term, usize> = HashMap::new();
-        let mut tseitin = Tseitin {
-            sat: &mut sat,
-            atoms: &mut atoms,
-            atom_vars: &mut atom_vars,
-            env,
-        };
+        let mut tseitin =
+            Tseitin { sat: &mut sat, atoms: &mut atoms, atom_vars: &mut atom_vars, env };
         let mut roots = Vec::new();
         for a in asserts {
             let lit = tseitin.encode(a);
@@ -289,8 +288,7 @@ impl SmtSolver {
                     // Split off boolean variables (they are not theory atoms).
                     let (bool_lits, theory_lits): (Vec<&TheoryLit>, Vec<&TheoryLit>) =
                         lits.iter().partition(|l| matches!(l.atom.kind(), TermKind::Var(_)));
-                    let theory_lits: Vec<TheoryLit> =
-                        theory_lits.into_iter().cloned().collect();
+                    let theory_lits: Vec<TheoryLit> = theory_lits.into_iter().cloned().collect();
                     match check_theory(&theory_lits, env, &self.config.theory) {
                         TheoryVerdict::Sat(mut model) => {
                             for bl in bool_lits {
@@ -310,10 +308,7 @@ impl SmtSolver {
                                 return SolveOutput::sat(model, iteration);
                             }
                             probe_line!("smt::sat_verification_failed");
-                            return SolveOutput::unknown(
-                                "model verification failed",
-                                iteration,
-                            );
+                            return SolveOutput::unknown("model verification failed", iteration);
                         }
                         verdict => {
                             if verdict == TheoryVerdict::Unknown {
@@ -324,12 +319,11 @@ impl SmtSolver {
                             // unsat core when the conflict is decisive, so
                             // the skeleton cannot re-enumerate irrelevant
                             // boolean combinations.
-                            let core: Vec<TheoryLit> =
-                                if verdict == TheoryVerdict::Unsat {
-                                    minimize_core(theory_lits, env, &self.config.theory)
-                                } else {
-                                    theory_lits
-                                };
+                            let core: Vec<TheoryLit> = if verdict == TheoryVerdict::Unsat {
+                                minimize_core(theory_lits, env, &self.config.theory)
+                            } else {
+                                theory_lits
+                            };
                             let blocking: Vec<Lit> = core
                                 .iter()
                                 .map(|l| Lit::new(atom_vars[&l.atom], !l.positive))
@@ -350,11 +344,7 @@ impl SmtSolver {
 
 /// Greedy unsat-core shrinking: drop literals whose removal keeps the
 /// conjunction unsat. Capped to keep the extra theory calls cheap.
-fn minimize_core(
-    lits: Vec<TheoryLit>,
-    env: &SortEnv,
-    _budget: &TheoryBudget,
-) -> Vec<TheoryLit> {
+fn minimize_core(lits: Vec<TheoryLit>, env: &SortEnv, _budget: &TheoryBudget) -> Vec<TheoryLit> {
     if lits.len() > 16 {
         return lits;
     }
@@ -432,8 +422,7 @@ pub fn replace_term(term: &Term, from: &Term, to: &Term) -> Term {
         TermKind::Quant(q, bindings, body) => {
             // Do not rewrite under binders that capture variables of `to` or
             // bind variables free in `from`.
-            let fv: BTreeSet<Symbol> =
-                from.free_vars().union(&to.free_vars()).cloned().collect();
+            let fv: BTreeSet<Symbol> = from.free_vars().union(&to.free_vars()).cloned().collect();
             if bindings.iter().any(|(s, _)| fv.contains(s)) {
                 term.clone()
             } else {
@@ -441,12 +430,9 @@ pub fn replace_term(term: &Term, from: &Term, to: &Term) -> Term {
             }
         }
         TermKind::Let(bindings, body) => {
-            let fv: BTreeSet<Symbol> =
-                from.free_vars().union(&to.free_vars()).cloned().collect();
-            let new_bindings: Vec<_> = bindings
-                .iter()
-                .map(|(s, t)| (s.clone(), replace_term(t, from, to)))
-                .collect();
+            let fv: BTreeSet<Symbol> = from.free_vars().union(&to.free_vars()).cloned().collect();
+            let new_bindings: Vec<_> =
+                bindings.iter().map(|(s, t)| (s.clone(), replace_term(t, from, to))).collect();
             if bindings.iter().any(|(s, _)| fv.contains(s)) {
                 Term::let_in(new_bindings, body.clone())
             } else {
@@ -589,10 +575,7 @@ fn normalize(term: &Term, env: &SortEnv) -> Term {
                                     Term::gt(args[i].clone(), args[j].clone()),
                                 ]));
                             } else {
-                                parts.push(Term::not(Term::eq(
-                                    args[i].clone(),
-                                    args[j].clone(),
-                                )));
+                                parts.push(Term::not(Term::eq(args[i].clone(), args[j].clone())));
                             }
                         }
                     }
@@ -621,16 +604,10 @@ fn normalize(term: &Term, env: &SortEnv) -> Term {
 
 /// Hoists non-boolean `ite` terms: each becomes a fresh variable `v` with
 /// the side assertion `(and (=> c (= v then)) (=> (not c) (= v else)))`.
-fn lift_ites(
-    term: &Term,
-    env: &mut SortEnv,
-    side: &mut Vec<Term>,
-    counter: &mut usize,
-) -> Term {
+fn lift_ites(term: &Term, env: &mut SortEnv, side: &mut Vec<Term>, counter: &mut usize) -> Term {
     match term.kind() {
         TermKind::App(op, args) => {
-            let args: Vec<Term> =
-                args.iter().map(|a| lift_ites(a, env, side, counter)).collect();
+            let args: Vec<Term> = args.iter().map(|a| lift_ites(a, env, side, counter)).collect();
             if *op == Op::Ite {
                 let branch_sort = yinyang_smtlib::sort_of(&args[1], env);
                 if let Ok(s) = branch_sort {
@@ -936,9 +913,8 @@ mod tests {
         let out = solve("(assert (forall ((x Int)) (= x x))) (check-sat)");
         assert_eq!(out.result, SatResult::Sat);
         // A real universal that is satisfiable must come back unknown, not sat.
-        let out2 = solve(
-            "(declare-fun y () Int) (assert (forall ((x Int)) (>= (* x x) 0))) (check-sat)",
-        );
+        let out2 =
+            solve("(declare-fun y () Int) (assert (forall ((x Int)) (>= (* x x) 0))) (check-sat)");
         assert_ne!(out2.result, SatResult::Unsat);
     }
 
@@ -964,10 +940,10 @@ mod tests {
 
     #[test]
     fn xor_encoding() {
-        assert_sat("(declare-fun p () Bool) (declare-fun q () Bool) (assert (xor p q)) (check-sat)");
-        assert_unsat(
-            "(declare-fun p () Bool) (assert (xor p p)) (check-sat)",
+        assert_sat(
+            "(declare-fun p () Bool) (declare-fun q () Bool) (assert (xor p q)) (check-sat)",
         );
+        assert_unsat("(declare-fun p () Bool) (assert (xor p p)) (check-sat)");
     }
 
     #[test]

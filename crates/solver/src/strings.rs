@@ -18,7 +18,9 @@
 
 use crate::linear::{atom_to_constraint, TermIndex};
 use crate::simplex::{solve_linear_budgeted, Cmp, LinConstraint, LinExpr, LinResult};
-use crate::theory::{check_arith, default_model, verify_model, TheoryBudget, TheoryLit, TheoryVerdict};
+use crate::theory::{
+    check_arith, default_model, verify_model, TheoryBudget, TheoryLit, TheoryVerdict,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use yinyang_arith::{BigInt, BigRational};
 use yinyang_coverage::{probe_fn, probe_line};
@@ -50,24 +52,23 @@ pub(crate) fn check_strings(
     }
 
     if timing {
-        eprintln!("[strings] length abstraction: {:.3}s ({} lits)", t0.elapsed().as_secs_f64(), lits.len());
+        eprintln!(
+            "[strings] length abstraction: {:.3}s ({} lits)",
+            t0.elapsed().as_secs_f64(),
+            lits.len()
+        );
     }
     // ---- 2. Bounded search -----------------------------------------------------
     let t1 = std::time::Instant::now();
     let alphabet = collect_alphabet(lits);
     let max_len = 4usize;
     let candidates = candidate_strings(lits, &alphabet, max_len);
-    let int_grid: Vec<BigInt> =
-        [-1i64, 0, 1, 2, 3, 4].iter().map(|&v| BigInt::from(v)).collect();
+    let int_grid: Vec<BigInt> = [-1i64, 0, 1, 2, 3, 4].iter().map(|&v| BigInt::from(v)).collect();
 
     // For each literal, the DFS depth at which all of its variables are
     // assigned (None when it mentions non-search variables — those are
     // decided by the residual arithmetic check instead).
-    let search_vars: Vec<Symbol> = string_vars
-        .iter()
-        .chain(index_ints.iter())
-        .cloned()
-        .collect();
+    let search_vars: Vec<Symbol> = string_vars.iter().chain(index_ints.iter()).cloned().collect();
     let closes_at: Vec<Option<usize>> = lits
         .iter()
         .map(|l| {
@@ -95,7 +96,13 @@ pub(crate) fn check_strings(
         budget,
     };
     if timing {
-        eprintln!("[strings] candidates: {:.3}s ({} pool, {} svars, {} ivars)", t1.elapsed().as_secs_f64(), candidates.len(), string_vars.len(), index_ints.len());
+        eprintln!(
+            "[strings] candidates: {:.3}s ({} pool, {} svars, {} ivars)",
+            t1.elapsed().as_secs_f64(),
+            candidates.len(),
+            string_vars.len(),
+            index_ints.len()
+        );
     }
     let t2 = std::time::Instant::now();
     let mut partial: BTreeMap<Symbol, Value> = BTreeMap::new();
@@ -145,13 +152,8 @@ fn collect_index_ints_rec(t: &Term, env: &SortEnv, under_string_op: bool, out: &
             }
         }
         TermKind::App(op, args) => {
-            let is_string_op = matches!(
-                op,
-                Op::StrAt
-                    | Op::StrSubstr
-                    | Op::StrIndexOf
-                    | Op::StrFromInt
-            );
+            let is_string_op =
+                matches!(op, Op::StrAt | Op::StrSubstr | Op::StrIndexOf | Op::StrFromInt);
             for a in args {
                 collect_index_ints_rec(a, env, under_string_op || is_string_op, out);
             }
@@ -193,34 +195,29 @@ fn length_abstraction_refutes(
         match l.atom.kind() {
             // String equality: lengths must match (positive polarity only).
             TermKind::App(Op::Eq, args)
-                if args.len() == 2
-                    && sort_of(&args[0], env) == Ok(Sort::String)
-                    && l.positive =>
+                if args.len() == 2 && sort_of(&args[0], env) == Ok(Sort::String) && l.positive =>
             {
-                if let (Some(a), Some(b)) = (
-                    length_expr(&args[0], &mut idx),
-                    length_expr(&args[1], &mut idx),
-                ) {
+                if let (Some(a), Some(b)) =
+                    (length_expr(&args[0], &mut idx), length_expr(&args[1], &mut idx))
+                {
                     let mut e = a;
                     e.add_scaled(&b, &-BigRational::one());
                     constraints.push(LinConstraint { expr: e, cmp: Cmp::Eq });
                 }
             }
             TermKind::App(Op::StrPrefixOf | Op::StrSuffixOf, args) if l.positive => {
-                if let (Some(a), Some(b)) = (
-                    length_expr(&args[0], &mut idx),
-                    length_expr(&args[1], &mut idx),
-                ) {
+                if let (Some(a), Some(b)) =
+                    (length_expr(&args[0], &mut idx), length_expr(&args[1], &mut idx))
+                {
                     let mut e = a;
                     e.add_scaled(&b, &-BigRational::one());
                     constraints.push(LinConstraint { expr: e, cmp: Cmp::Le });
                 }
             }
             TermKind::App(Op::StrContains, args) if l.positive => {
-                if let (Some(a), Some(b)) = (
-                    length_expr(&args[1], &mut idx),
-                    length_expr(&args[0], &mut idx),
-                ) {
+                if let (Some(a), Some(b)) =
+                    (length_expr(&args[1], &mut idx), length_expr(&args[0], &mut idx))
+                {
                     let mut e = a;
                     e.add_scaled(&b, &-BigRational::one());
                     constraints.push(LinConstraint { expr: e, cmp: Cmp::Le });
@@ -271,9 +268,9 @@ fn length_abstraction_refutes(
 /// `str.at` is 0 or 1 (approximated by `None`), everything else `None`.
 fn length_expr(t: &Term, idx: &mut TermIndex) -> Option<LinExpr> {
     match t.kind() {
-        TermKind::StringConst(s) => Some(LinExpr::constant(BigRational::from(
-            s.chars().count() as i64,
-        ))),
+        TermKind::StringConst(s) => {
+            Some(LinExpr::constant(BigRational::from(s.chars().count() as i64)))
+        }
         TermKind::Var(v) => {
             let col = idx.column(&Term::str_len(Term::var(v.clone())), true, true);
             Some(LinExpr::var(col))
@@ -427,11 +424,7 @@ struct Searcher<'a> {
 
 impl Searcher<'_> {
     /// DFS over string vars then index ints; returns early on budget.
-    fn dfs(
-        &mut self,
-        depth: usize,
-        partial: &mut BTreeMap<Symbol, Value>,
-    ) -> SearchOutcome {
+    fn dfs(&mut self, depth: usize, partial: &mut BTreeMap<Symbol, Value>) -> SearchOutcome {
         if self.nodes_left == 0 {
             return SearchOutcome::BudgetExceeded;
         }
@@ -601,10 +594,8 @@ mod tests {
     #[test]
     fn simple_equation() {
         let e = env(&[("a", Sort::String), ("b", Sort::String)]);
-        let m = expect_sat(
-            &[lit("(= (str.++ a b) \"xy\")", true), lit("(= (str.len a) 1)", true)],
-            &e,
-        );
+        let m =
+            expect_sat(&[lit("(= (str.++ a b) \"xy\")", true), lit("(= (str.len a) 1)", true)], &e);
         assert_eq!(m.get(&Symbol::new("a")), Some(&Value::Str("x".into())));
         assert_eq!(m.get(&Symbol::new("b")), Some(&Value::Str("y".into())));
     }
@@ -631,10 +622,7 @@ mod tests {
     fn regex_membership_search() {
         let e = env(&[("c", Sort::String)]);
         let m = expect_sat(
-            &[
-                lit("(str.in_re c (re.* (str.to_re \"aa\")))", true),
-                lit("(= (str.len c) 4)", true),
-            ],
+            &[lit("(str.in_re c (re.* (str.to_re \"aa\")))", true), lit("(= (str.len c) 4)", true)],
             &e,
         );
         assert_eq!(m.get(&Symbol::new("c")), Some(&Value::Str("aaaa".into())));
@@ -681,10 +669,7 @@ mod tests {
     #[test]
     fn index_int_enumeration() {
         let e = env(&[("s", Sort::String), ("i", Sort::Int)]);
-        let m = expect_sat(
-            &[lit("(= (str.at s i) \"b\")", true), lit("(= s \"ab\")", true)],
-            &e,
-        );
+        let m = expect_sat(&[lit("(= (str.at s i) \"b\")", true), lit("(= s \"ab\")", true)], &e);
         assert_eq!(m.get(&Symbol::new("i")), Some(&Value::Int(BigInt::one())));
     }
 
@@ -706,10 +691,8 @@ mod tests {
         // c ∈ (aa)* ∧ c = "0" — contradictory, but enumeration cannot prove
         // unsat; must be Unknown or Unsat (never Sat).
         let e = env(&[("c", Sort::String)]);
-        let lits = vec![
-            lit("(str.in_re c (re.* (str.to_re \"aa\")))", true),
-            lit("(= c \"0\")", true),
-        ];
+        let lits =
+            vec![lit("(str.in_re c (re.* (str.to_re \"aa\")))", true), lit("(= c \"0\")", true)];
         match check(&lits, &e) {
             TheoryVerdict::Sat(m) => panic!("unsound sat: {}", m.to_smtlib()),
             _ => {}

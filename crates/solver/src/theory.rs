@@ -75,11 +75,7 @@ impl Default for TheoryBudget {
 }
 
 /// Checks a conjunction of theory literals.
-pub fn check_theory(
-    lits: &[TheoryLit],
-    env: &SortEnv,
-    budget: &TheoryBudget,
-) -> TheoryVerdict {
+pub fn check_theory(lits: &[TheoryLit], env: &SortEnv, budget: &TheoryBudget) -> TheoryVerdict {
     probe_fn!("theory::check_theory");
     // Normalize literals; drop trivially-true ones, refute on trivially-false.
     let mut work: Vec<TheoryLit> = Vec::new();
@@ -186,13 +182,11 @@ pub(crate) fn default_model(env: &SortEnv) -> Model {
 /// Verifies that `model` satisfies every literal (division by zero treated
 /// as the fixed zero interpretation).
 pub(crate) fn verify_model(model: &Model, lits: &[TheoryLit]) -> bool {
-    lits.iter().all(|l| {
-        match model.eval_with(&l.to_term(), ZeroDivPolicy::Zero) {
-            Ok(Value::Bool(true)) => true,
-            Ok(_) => false,
-            Err(EvalError::Quantifier) => false,
-            Err(_) => false,
-        }
+    lits.iter().all(|l| match model.eval_with(&l.to_term(), ZeroDivPolicy::Zero) {
+        Ok(Value::Bool(true)) => true,
+        Ok(_) => false,
+        Err(EvalError::Quantifier) => false,
+        Err(_) => false,
     })
 }
 
@@ -210,8 +204,7 @@ pub(crate) fn check_arith(
         // Arithmetic disequality (kept rare by preprocessing).
         if !l.positive {
             if let TermKind::App(Op::Eq, args) = l.atom.kind() {
-                if args.len() == 2
-                    && sort_of(&args[0], env).map(|s| s.is_arith()).unwrap_or(false)
+                if args.len() == 2 && sort_of(&args[0], env).map(|s| s.is_arith()).unwrap_or(false)
                 {
                     probe_line!("theory::arith_disequality");
                     disequalities.push((args[0].clone(), args[1].clone()));
@@ -241,7 +234,8 @@ pub(crate) fn check_arith(
         let mut sub_idx_overflow = false;
         for (i, (a, b)) in disequalities.iter().enumerate() {
             let lt = mask >> i & 1 == 0;
-            let atom = if lt { Term::lt(a.clone(), b.clone()) } else { Term::gt(a.clone(), b.clone()) };
+            let atom =
+                if lt { Term::lt(a.clone(), b.clone()) } else { Term::gt(a.clone(), b.clone()) };
             match atom_to_constraint(&atom, true, env, &mut idx) {
                 Some(c) => cs.push(c),
                 None => {
@@ -278,7 +272,12 @@ fn check_arith_constraints(
     let opaque = idx.opaque_terms();
     if !probe_branch!("theory::nonlinear_path", !opaque.is_empty()) {
         probe_line!("theory::pure_linear");
-        return match solve_linear_budgeted(idx.num_columns(), &constraints, idx.int_vars(), budget.bb_nodes) {
+        return match solve_linear_budgeted(
+            idx.num_columns(),
+            &constraints,
+            idx.int_vars(),
+            budget.bb_nodes,
+        ) {
             LinResult::Unsat => TheoryVerdict::Unsat,
             LinResult::Unknown => TheoryVerdict::Unknown,
             LinResult::Sat(assignment) => {
@@ -299,7 +298,8 @@ fn check_arith_constraints(
         return TheoryVerdict::Unsat;
     }
     // 2. Linear relaxation is a sound unsat check.
-    let relax = solve_linear_budgeted(idx.num_columns(), &constraints, idx.int_vars(), budget.bb_nodes);
+    let relax =
+        solve_linear_budgeted(idx.num_columns(), &constraints, idx.int_vars(), budget.bb_nodes);
     let relax_assignment = match relax {
         LinResult::Unsat => {
             probe_line!("theory::relaxation_refuted");
@@ -339,7 +339,12 @@ fn check_arith_constraints(
             if !ok {
                 break;
             }
-            match solve_linear_budgeted(idx.num_columns(), &next_cs, idx.int_vars(), budget.bb_nodes) {
+            match solve_linear_budgeted(
+                idx.num_columns(),
+                &next_cs,
+                idx.int_vars(),
+                budget.bb_nodes,
+            ) {
                 LinResult::Sat(a2) => {
                     let m2 = model_from_columns(&a2, idx, env);
                     if verify_model(&m2, lits) {
@@ -357,11 +362,8 @@ fn check_arith_constraints(
         }
     }
     // 4. Small-grid sampling over the declared arithmetic variables.
-    let arith_vars: Vec<(Symbol, Sort)> = env
-        .iter()
-        .filter(|(_, s)| s.is_arith())
-        .map(|(v, s)| (v.clone(), *s))
-        .collect();
+    let arith_vars: Vec<(Symbol, Sort)> =
+        env.iter().filter(|(_, s)| s.is_arith()).map(|(v, s)| (v.clone(), *s)).collect();
     let grid: [i64; 13] = [0, 1, -1, 2, -2, 3, -3, 4, -4, 5, 6, 7, 12];
     let mut tried = 0usize;
     let mut stack_model = default_model(env);
@@ -596,12 +598,7 @@ fn interval_of_term(
 }
 
 /// Interval of a subterm: prefer its column interval when it has one.
-fn sub_interval(
-    term: &Term,
-    iv: &[Interval],
-    idx: &TermIndex,
-    env: &SortEnv,
-) -> Option<Interval> {
+fn sub_interval(term: &Term, iv: &[Interval], idx: &TermIndex, env: &SortEnv) -> Option<Interval> {
     if let Some(col) = idx.lookup(term) {
         return Some(iv[col].clone());
     }
@@ -628,11 +625,11 @@ mod tests {
     #[test]
     fn linear_sat_with_model() {
         let e = env(&[("x", Sort::Int), ("y", Sort::Int)]);
-        let lits =
-            vec![lit("(< x y)", true), lit("(< y 5)", true), lit("(> x 1)", true)];
+        let lits = vec![lit("(< x y)", true), lit("(< y 5)", true), lit("(> x 1)", true)];
         match check(&lits, &e) {
             TheoryVerdict::Sat(m) => {
-                assert!(m.satisfies(&parse_term("(and (< x y) (< y 5) (> x 1))").unwrap())
+                assert!(m
+                    .satisfies(&parse_term("(and (< x y) (< y 5) (> x 1))").unwrap())
                     .unwrap());
             }
             other => panic!("expected sat, got {other:?}"),
@@ -691,11 +688,7 @@ mod tests {
     fn nonlinear_sat_via_search() {
         let e = env(&[("x", Sort::Int), ("y", Sort::Int)]);
         // x·y = 6 ∧ x > y ∧ y > 0.
-        let lits = vec![
-            lit("(= (* x y) 6)", true),
-            lit("(> x y)", true),
-            lit("(> y 0)", true),
-        ];
+        let lits = vec![lit("(= (* x y) 6)", true), lit("(> x y)", true), lit("(> y 0)", true)];
         match check(&lits, &e) {
             TheoryVerdict::Sat(m) => {
                 assert!(m
@@ -710,11 +703,7 @@ mod tests {
     fn arith_disequality_split() {
         let e = env(&[("x", Sort::Int)]);
         // ¬(x = 0) ∧ 0 ≤ x ∧ x ≤ 1 ⇒ x = 1.
-        let lits = vec![
-            lit("(= x 0)", false),
-            lit("(>= x 0)", true),
-            lit("(<= x 1)", true),
-        ];
+        let lits = vec![lit("(= x 0)", false), lit("(>= x 0)", true), lit("(<= x 1)", true)];
         match check(&lits, &e) {
             TheoryVerdict::Sat(m) => {
                 assert_eq!(m.get(&Symbol::new("x")), Some(&Value::Int(BigInt::one())));
@@ -727,11 +716,7 @@ mod tests {
     fn disequality_makes_range_unsat() {
         let e = env(&[("x", Sort::Int)]);
         // ¬(x = 0) ∧ 0 ≤ x ≤ 0.
-        let lits = vec![
-            lit("(= x 0)", false),
-            lit("(>= x 0)", true),
-            lit("(<= x 0)", true),
-        ];
+        let lits = vec![lit("(= x 0)", false), lit("(>= x 0)", true), lit("(<= x 0)", true)];
         assert_eq!(check(&lits, &e), TheoryVerdict::Unsat);
     }
 

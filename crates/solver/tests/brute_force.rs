@@ -4,8 +4,8 @@
 //! exhaustive-box-unsat plus solver-`sat` demands an evaluator-verified
 //! model outside the box.
 
-use proptest::prelude::*;
 use yinyang_arith::BigInt;
+use yinyang_rt::{props, Rng, StdRng};
 use yinyang_smtlib::{Model, Script, Sort, Symbol, Term, Value, ZeroDivPolicy};
 use yinyang_solver::{SatResult, SmtSolver, SolverConfig};
 
@@ -60,9 +60,7 @@ fn brute_force_box(formula: &Term, lo: i64, hi: i64) -> Option<(i64, i64)> {
             let mut m = Model::new();
             m.set("a", Value::Int(BigInt::from(av)));
             m.set("b", Value::Int(BigInt::from(bv)));
-            if m.eval_with(formula, ZeroDivPolicy::Zero)
-                == Ok(Value::Bool(true))
-            {
+            if m.eval_with(formula, ZeroDivPolicy::Zero) == Ok(Value::Bool(true)) {
                 return Some((av, bv));
             }
         }
@@ -70,11 +68,12 @@ fn brute_force_box(formula: &Term, lo: i64, hi: i64) -> Option<(i64, i64)> {
     None
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+props! {
+    cases: 64;
 
-    #[test]
-    fn solver_agrees_with_bruteforce(recipe in proptest::collection::vec(any::<u8>(), 24)) {
+    fn solver_agrees_with_bruteforce(recipe in |r: &mut StdRng| {
+        (0..24).map(|_| r.random_range(0u8..=u8::MAX)).collect::<Vec<u8>>()
+    }) {
         let formula = build_formula(&recipe);
         let script = Script::check_sat_script(
             "QF_NIA",
@@ -86,7 +85,7 @@ proptest! {
         let witness = brute_force_box(&formula, -6, 6);
         match out.result {
             SatResult::Unsat => {
-                prop_assert!(
+                assert!(
                     witness.is_none(),
                     "solver unsat but {witness:?} satisfies {formula}"
                 );
@@ -94,7 +93,7 @@ proptest! {
             SatResult::Sat => {
                 // The model must verify (solver guarantees this, re-check).
                 let model = out.model.expect("sat carries model");
-                prop_assert_eq!(
+                assert_eq!(
                     model.eval_with(&formula, ZeroDivPolicy::Zero).unwrap(),
                     Value::Bool(true),
                     "unverified model for {}", formula
@@ -106,7 +105,7 @@ proptest! {
         }
         // Dual direction: box witness means the solver must not say unsat.
         if witness.is_some() {
-            prop_assert_ne!(out.result, SatResult::Unsat);
+            assert_ne!(out.result, SatResult::Unsat);
         }
     }
 }

@@ -2,9 +2,9 @@
 //! enumeration on bounded random integer programs, and witness validity on
 //! rational ones.
 
-use proptest::prelude::*;
 use std::collections::BTreeSet;
 use yinyang_arith::BigRational;
+use yinyang_rt::{props, Rng, StdRng};
 use yinyang_solver::simplex::{solve_linear, Cmp, LinConstraint, LinExpr, LinResult};
 
 /// Builds `c0·x0 + c1·x1 + k ⋈ 0` from small integers.
@@ -37,14 +37,28 @@ fn cmp_of(tag: u8) -> Cmp {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// A random list of `(c0, c1, k, cmp-tag)` rows within the given bounds.
+fn raw_rows(rng: &mut StdRng, coeff: i64, konst: i64, max_rows: usize) -> Vec<(i64, i64, i64, u8)> {
+    let n = rng.random_range(1..max_rows);
+    (0..n)
+        .map(|_| {
+            (
+                rng.random_range(-coeff..=coeff),
+                rng.random_range(-coeff..=coeff),
+                rng.random_range(-konst..=konst),
+                rng.random_range(0u8..=u8::MAX),
+            )
+        })
+        .collect()
+}
+
+props! {
+    cases: 128;
 
     /// Random 2-variable integer programs, boxed to [-5, 5] so brute force
     /// is exhaustive and the instance is decidable.
-    #[test]
     fn integer_programs_agree_with_bruteforce(
-        raw in proptest::collection::vec((-4i64..=4, -4i64..=4, -8i64..=8, any::<u8>()), 1..5),
+        raw in |r: &mut StdRng| raw_rows(r, 4, 8, 5),
     ) {
         let mut cs: Vec<LinConstraint> = raw
             .iter()
@@ -72,13 +86,13 @@ proptest! {
                         Cmp::Gt => v.is_positive(),
                         Cmp::Eq => v.is_zero(),
                     };
-                    prop_assert!(ok, "witness violates {c:?}");
+                    assert!(ok, "witness violates {c:?}");
                 }
-                prop_assert!(assignment[0].is_integer() && assignment[1].is_integer());
-                prop_assert!(brute.is_some(), "simplex sat but brute force found nothing");
+                assert!(assignment[0].is_integer() && assignment[1].is_integer());
+                assert!(brute.is_some(), "simplex sat but brute force found nothing");
             }
             LinResult::Unsat => {
-                prop_assert!(brute.is_none(), "simplex unsat but {brute:?} works");
+                assert!(brute.is_none(), "simplex unsat but {brute:?} works");
             }
             LinResult::Unknown => {
                 // Bounded boxes should always be decided, but a budget
@@ -89,9 +103,8 @@ proptest! {
 
     /// Rational relaxations: any Sat witness must satisfy the constraints
     /// exactly (no integrality requirement).
-    #[test]
     fn rational_witnesses_are_exact(
-        raw in proptest::collection::vec((-6i64..=6, -6i64..=6, -9i64..=9, any::<u8>()), 1..6),
+        raw in |r: &mut StdRng| raw_rows(r, 6, 9, 6),
     ) {
         let cs: Vec<LinConstraint> = raw
             .iter()
@@ -107,7 +120,7 @@ proptest! {
                     Cmp::Gt => v.is_positive(),
                     Cmp::Eq => v.is_zero(),
                 };
-                prop_assert!(ok, "rational witness violates {c:?}: {v}");
+                assert!(ok, "rational witness violates {c:?}: {v}");
             }
         }
     }

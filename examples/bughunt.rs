@@ -6,7 +6,6 @@
 //! cargo run --release --example bughunt
 //! ```
 
-use rand::SeedableRng;
 use yinyang::faults::{FaultySolver, SolverId};
 use yinyang::fusion::{run_catching, yinyang_loop, FindingKind, Fuser, Oracle, SolverAnswer};
 use yinyang::reduce::reduce;
@@ -14,15 +13,13 @@ use yinyang::seedgen::{generate_pool, SeedGenerator};
 use yinyang::smtlib::{Logic, Script};
 
 fn main() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut rng = yinyang_rt::StdRng::seed_from_u64(7);
 
     // Seed pool: unsat QF_S formulas (string soundness bugs dominate the
     // paper's findings).
     let generator = SeedGenerator::new(Logic::QfS);
-    let seeds: Vec<Script> = generate_pool(&mut rng, &generator, 0, 25)
-        .into_iter()
-        .map(|s| s.script)
-        .collect();
+    let seeds: Vec<Script> =
+        generate_pool(&mut rng, &generator, 0, 25).into_iter().map(|s| s.script).collect();
 
     // The solver under test: Zirkon trunk with all its injected bugs.
     let solver = FaultySolver::trunk(SolverId::Zirkon);
@@ -50,20 +47,23 @@ fn main() {
         }
         FindingKind::Crash(msg) => println!("\ncrash finding: {msg}"),
     }
-    println!("original fused formula: {} asserts, {} chars",
+    println!(
+        "original fused formula: {} asserts, {} chars",
         finding.fused.script.asserts().len(),
-        finding.fused.script.to_string().len());
+        finding.fused.script.to_string().len()
+    );
 
     // Reduce while the same misbehavior persists.
     let oracle = finding.fused.oracle;
     let expected_kind = finding.kind.clone();
-    let reduced = reduce(&finding.fused.script, &mut |candidate| {
-        match (&expected_kind, run_catching(&solver, candidate)) {
-            (FindingKind::Crash(_), SolverAnswer::Crash(_)) => true,
-            (FindingKind::Incorrect { .. }, SolverAnswer::Sat) => oracle == Oracle::Unsat,
-            (FindingKind::Incorrect { .. }, SolverAnswer::Unsat) => oracle == Oracle::Sat,
-            _ => false,
-        }
+    let reduced = reduce(&finding.fused.script, &mut |candidate| match (
+        &expected_kind,
+        run_catching(&solver, candidate),
+    ) {
+        (FindingKind::Crash(_), SolverAnswer::Crash(_)) => true,
+        (FindingKind::Incorrect { .. }, SolverAnswer::Sat) => oracle == Oracle::Unsat,
+        (FindingKind::Incorrect { .. }, SolverAnswer::Unsat) => oracle == Oracle::Sat,
+        _ => false,
     });
     println!(
         "reduced formula: {} asserts, {} chars",
@@ -74,9 +74,6 @@ fn main() {
 
     // Which injected defect was it?
     if let Some(bug) = solver.triggered_bug(&reduced) {
-        println!(
-            "; maps to injected bug {} ({:?}, {})",
-            bug.name, bug.class, bug.logic
-        );
+        println!("; maps to injected bug {} ({:?}, {})", bug.name, bug.class, bug.logic);
     }
 }

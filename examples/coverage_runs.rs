@@ -5,7 +5,6 @@
 //! cargo run --release --example coverage_runs
 //! ```
 
-use rand::SeedableRng;
 use yinyang::coverage::{reset, snapshot, universe, ProbeKind};
 use yinyang::fusion::Fuser;
 use yinyang::seedgen::{generate_pool, SeedGenerator};
@@ -13,7 +12,7 @@ use yinyang::smtlib::Logic;
 use yinyang::solver::SmtSolver;
 
 fn main() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mut rng = yinyang_rt::StdRng::seed_from_u64(3);
     let generator = SeedGenerator::new(Logic::QfNra);
     let seeds = generate_pool(&mut rng, &generator, 10, 10);
     let solver = SmtSolver::new();
@@ -32,13 +31,12 @@ fn main() {
         let _ = solver.solve_script(&s.script);
     }
     for _ in 0..40 {
-        let i = rand::Rng::random_range(&mut rng, 0..seeds.len());
-        let j = rand::Rng::random_range(&mut rng, 0..seeds.len());
+        let i = yinyang_rt::Rng::random_range(&mut rng, 0..seeds.len());
+        let j = yinyang_rt::Rng::random_range(&mut rng, 0..seeds.len());
         if seeds[i].oracle != seeds[j].oracle {
             continue;
         }
-        if let Ok(fused) =
-            fuser.fuse(&mut rng, seeds[i].oracle, &seeds[i].script, &seeds[j].script)
+        if let Ok(fused) = fuser.fuse(&mut rng, seeds[i].oracle, &seeds[i].script, &seeds[j].script)
         {
             let _ = solver.solve_script(&fused.script);
         }

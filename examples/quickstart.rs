@@ -5,7 +5,6 @@
 //! cargo run --example quickstart
 //! ```
 
-use rand::SeedableRng;
 use yinyang::fusion::{Fuser, Oracle, SolverAnswer, SolverUnderTest};
 use yinyang::smtlib::parse_script;
 use yinyang::solver::{SatResult, SmtSolver};
@@ -24,16 +23,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     // Step 1-3: concatenate, fuse variables, invert occurrences.
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2020);
+    let mut rng = yinyang_rt::StdRng::seed_from_u64(2020);
     let fused = Fuser::new().fuse(&mut rng, Oracle::Sat, &phi1, &phi2)?;
 
     println!("; fused formula (satisfiable by construction):");
     print!("{}", fused.script);
     for t in &fused.triplets {
-        println!(
-            "; triplet: z={} fuses x={} with y={} via {}",
-            t.z, t.x, t.y, t.function.name
-        );
+        println!("; triplet: z={} fuses x={} with y={} via {}", t.z, t.x, t.y, t.function.name);
     }
 
     // Feed it to the solver under test. A result of `unsat` would be a

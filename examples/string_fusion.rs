@@ -7,29 +7,25 @@
 //! cargo run --example string_fusion
 //! ```
 
-use rand::SeedableRng;
 use yinyang::fusion::oracle::{model_satisfies_fused, proposition1_model};
-use yinyang::fusion::{FusionConfig, Fuser, Oracle};
+use yinyang::fusion::{Fuser, FusionConfig, Oracle};
 use yinyang::seedgen::SeedGenerator;
 use yinyang::smtlib::{Logic, Model, Symbol};
 
 fn main() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+    let mut rng = yinyang_rt::StdRng::seed_from_u64(13);
     let generator = SeedGenerator::new(Logic::QfS);
     // Division-free configuration: Proposition 1 holds unconditionally, so
     // the model check below must always pass.
-    let fuser = Fuser::with_config(FusionConfig {
-        division_free_sat: true,
-        ..FusionConfig::default()
-    });
+    let fuser =
+        Fuser::with_config(FusionConfig { division_free_sat: true, ..FusionConfig::default() });
 
     let mut fused_ok = 0usize;
     let mut attempts = 0usize;
     for round in 0..30 {
         let seed1 = generator.generate_sat(&mut rng);
         let seed2 = generator.generate_sat(&mut rng);
-        let Ok(fused) = fuser.fuse(&mut rng, Oracle::Sat, &seed1.script, &seed2.script)
-        else {
+        let Ok(fused) = fuser.fuse(&mut rng, Oracle::Sat, &seed1.script, &seed2.script) else {
             continue;
         };
         attempts += 1;
@@ -60,7 +56,5 @@ fn main() {
 
 /// Suffixes every variable of a model (matching `Script::rename_vars`).
 fn rename_model(m: &Model, suffix: &str) -> Model {
-    m.iter()
-        .map(|(k, v)| (Symbol::new(format!("{k}{suffix}")), v.clone()))
-        .collect()
+    m.iter().map(|(k, v)| (Symbol::new(format!("{k}{suffix}")), v.clone())).collect()
 }

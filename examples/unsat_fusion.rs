@@ -6,8 +6,7 @@
 //! cargo run --example unsat_fusion
 //! ```
 
-use rand::SeedableRng;
-use yinyang::fusion::{FusionConfig, Fuser, Oracle};
+use yinyang::fusion::{Fuser, FusionConfig, Oracle};
 use yinyang::smtlib::parse_script;
 use yinyang::solver::{SatResult, SmtSolver};
 
@@ -30,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("; both seeds verified unsat by the reference solver");
 
     // UNSAT fusion: disjunction + fusion constraints (Proposition 2).
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2391); // the Z3 issue number
+    let mut rng = yinyang_rt::StdRng::seed_from_u64(2391); // the Z3 issue number
     let fuser = Fuser::with_config(FusionConfig {
         substitution_prob: 0.6,
         max_triplets: 1,

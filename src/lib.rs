@@ -21,7 +21,6 @@
 //! (the paper's Fig. 1):
 //!
 //! ```
-//! use rand::SeedableRng;
 //! use yinyang::fusion::{Fuser, Oracle};
 //! use yinyang::smtlib::parse_script;
 //!
@@ -31,7 +30,7 @@
 //! let phi2 = parse_script(
 //!     "(declare-fun y () Int) (assert (< y 0)) (assert (< y 1))",
 //! )?;
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut rng = yinyang_rt::StdRng::seed_from_u64(1);
 //! let fused = Fuser::new().fuse(&mut rng, Oracle::Sat, &phi1, &phi2).unwrap();
 //! assert_eq!(fused.oracle, Oracle::Sat);
 //! # Ok::<(), yinyang::smtlib::ParseError>(())
@@ -45,6 +44,7 @@ pub use yinyang_core as fusion;
 pub use yinyang_coverage as coverage;
 pub use yinyang_faults as faults;
 pub use yinyang_reduce as reduce;
+pub use yinyang_rt as rt;
 pub use yinyang_seedgen as seedgen;
 pub use yinyang_smtlib as smtlib;
 pub use yinyang_solver as solver;

@@ -26,10 +26,8 @@ fn corpus_files_all_parse() {
         let path = entry.expect("entry").path();
         if path.extension().is_some_and(|e| e == "smt2") {
             let text = std::fs::read_to_string(&path).expect("readable");
-            let script = parse_script(&text)
-                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
-            check_script(&script)
-                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            let script = parse_script(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            check_script(&script).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
             count += 1;
         }
     }
@@ -80,9 +78,7 @@ fn fig13c_model_if_any_is_verified() {
         let model = out.model.expect("sat carries model");
         for a in script.asserts() {
             assert_eq!(
-                model
-                    .eval_with(&a, yinyang::smtlib::ZeroDivPolicy::Zero)
-                    .expect("evaluable"),
+                model.eval_with(&a, yinyang::smtlib::ZeroDivPolicy::Zero).expect("evaluable"),
                 yinyang::smtlib::Value::Bool(true),
                 "unverified model assertion: {a}"
             );

@@ -2,8 +2,6 @@
 //! fault-injected solving, triage, reduction — wired together like the
 //! `yinyang` binary does it.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use yinyang::campaign::config::CampaignConfig;
 use yinyang::campaign::{run_campaign, triage};
 use yinyang::faults::{registry, BugStatus, FaultySolver, SolverId};
@@ -11,6 +9,7 @@ use yinyang::fusion::{run_catching, Fuser, Oracle, SolverAnswer};
 use yinyang::reduce::reduce;
 use yinyang::seedgen::{generate_pool, SeedGenerator};
 use yinyang::smtlib::{parse_script, Logic, Script};
+use yinyang_rt::StdRng;
 
 fn small_config() -> CampaignConfig {
     CampaignConfig { scale: 800, iterations: 8, rounds: 2, rng_seed: 42, threads: 1 }
@@ -46,10 +45,7 @@ fn corvus_finds_fewer_bugs_than_zirkon() {
     let tc = triage(&c.findings);
     let zn = tz.found_bugs.get("zirkon").map_or(0, |s| s.len());
     let cn = tc.found_bugs.get("corvus").map_or(0, |s| s.len());
-    assert!(
-        zn >= cn,
-        "Zirkon ({zn}) must not find fewer unique bugs than Corvus ({cn})"
-    );
+    assert!(zn >= cn, "Zirkon ({zn}) must not find fewer unique bugs than Corvus ({cn})");
 }
 
 #[test]
@@ -62,10 +58,7 @@ fn multithreaded_campaign_matches_interface() {
 #[test]
 fn reference_solver_has_no_false_positives_small() {
     let report = yinyang::campaign::experiments::false_positive_check(3, 7);
-    assert!(
-        report.starts_with("No false positives"),
-        "false positive detected: {report}"
-    );
+    assert!(report.starts_with("No false positives"), "false positive detected: {report}");
 }
 
 #[test]
@@ -73,19 +66,11 @@ fn found_bug_reduces_to_smaller_trigger() {
     // Hunt one bug, then shrink its test case while it keeps triggering.
     let mut rng = StdRng::seed_from_u64(11);
     let generator = SeedGenerator::new(Logic::QfS);
-    let seeds: Vec<Script> = generate_pool(&mut rng, &generator, 0, 20)
-        .into_iter()
-        .map(|s| s.script)
-        .collect();
+    let seeds: Vec<Script> =
+        generate_pool(&mut rng, &generator, 0, 20).into_iter().map(|s| s.script).collect();
     let solver = FaultySolver::trunk(SolverId::Zirkon);
-    let outcome = yinyang::fusion::yinyang_loop(
-        &mut rng,
-        Oracle::Unsat,
-        &solver,
-        &Fuser::new(),
-        &seeds,
-        120,
-    );
+    let outcome =
+        yinyang::fusion::yinyang_loop(&mut rng, Oracle::Unsat, &solver, &Fuser::new(), &seeds, 120);
     let Some(finding) = outcome.incorrects.first() else {
         // Seeds are random; a dry run is possible but should be rare.
         assert!(outcome.tests > 0);
@@ -145,14 +130,10 @@ fn pending_and_wontfix_only_live_in_trunk() {
 #[test]
 fn cli_style_fuse_solve_pipeline() {
     // Mirrors `yinyang fuse` + `yinyang solve`.
-    let a = parse_script(
-        "(set-logic QF_LIA) (declare-fun p () Int) (assert (> p 2)) (check-sat)",
-    )
-    .unwrap();
-    let b = parse_script(
-        "(set-logic QF_LIA) (declare-fun q () Int) (assert (< q 2)) (check-sat)",
-    )
-    .unwrap();
+    let a = parse_script("(set-logic QF_LIA) (declare-fun p () Int) (assert (> p 2)) (check-sat)")
+        .unwrap();
+    let b = parse_script("(set-logic QF_LIA) (declare-fun q () Int) (assert (< q 2)) (check-sat)")
+        .unwrap();
     let mut rng = StdRng::seed_from_u64(5);
     let fused = Fuser::new().fuse(&mut rng, Oracle::Sat, &a, &b).unwrap();
     let text = fused.script.to_string();

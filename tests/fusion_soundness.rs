@@ -7,28 +7,25 @@
 //! * the no-false-positive guarantee — the bug-free reference solver never
 //!   contradicts a fusion oracle.
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use yinyang::fusion::oracle::{model_satisfies_fused, proposition1_model};
-use yinyang::fusion::{FusionConfig, Fuser, Oracle};
+use yinyang::fusion::{Fuser, FusionConfig, Oracle};
 use yinyang::seedgen::SeedGenerator;
 use yinyang::smtlib::{check_script, Logic, Model, Symbol};
 use yinyang::solver::{SatResult, SmtSolver};
+use yinyang_rt::prop::assume;
+use yinyang_rt::{props, Rng, StdRng};
 
 fn rename_model(m: &Model, suffix: &str) -> Model {
-    m.iter()
-        .map(|(k, v)| (Symbol::new(format!("{k}{suffix}")), v.clone()))
-        .collect()
+    m.iter().map(|(k, v)| (Symbol::new(format!("{k}{suffix}")), v.clone())).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+props! {
+    cases: 48;
 
     /// Proposition 1 with division-free fusion functions: the constructed
     /// model M = M1 ∪ M2 ∪ {z ↦ f(x, y)} satisfies the fused formula.
-    #[test]
-    fn proposition1_holds(seed in 0u64..10_000, logic_idx in 0usize..4) {
+    fn proposition1_holds(seed in |r: &mut StdRng| r.random_range(0u64..10_000),
+                          logic_idx in |r: &mut StdRng| r.random_range(0usize..4)) {
         let logic = [Logic::QfLia, Logic::QfLra, Logic::QfS, Logic::QfSlia][logic_idx];
         let mut rng = StdRng::seed_from_u64(seed);
         let generator = SeedGenerator::new(logic);
@@ -39,13 +36,13 @@ proptest! {
             ..FusionConfig::default()
         });
         let Ok(fused) = fuser.fuse(&mut rng, Oracle::Sat, &s1.script, &s2.script) else {
-            return Ok(()); // no fusible pair in this draw
+            return; // no fusible pair in this draw
         };
         check_script(&fused.script).expect("fused scripts are well-sorted");
         let m1 = rename_model(s1.model.as_ref().expect("sat seed"), "_p1");
         let m2 = rename_model(s2.model.as_ref().expect("sat seed"), "_p2");
         let model = proposition1_model(&fused, &m1, &m2).expect("model construction");
-        prop_assert!(
+        assert!(
             model_satisfies_fused(&fused, &model).expect("evaluable"),
             "Proposition 1 violated:\n{}\nmodel:\n{}",
             fused.script,
@@ -55,8 +52,8 @@ proptest! {
 
     /// Proposition 2: the reference solver never answers `sat` on an
     /// UNSAT-fused formula (it may answer unknown).
-    #[test]
-    fn proposition2_never_sat(seed in 0u64..10_000, logic_idx in 0usize..2) {
+    fn proposition2_never_sat(seed in |r: &mut StdRng| r.random_range(0u64..10_000),
+                              logic_idx in |r: &mut StdRng| r.random_range(0usize..2)) {
         let logic = [Logic::QfLia, Logic::QfLra][logic_idx];
         let mut rng = StdRng::seed_from_u64(seed);
         let generator = SeedGenerator::new(logic);
@@ -64,10 +61,10 @@ proptest! {
         let s2 = generator.generate_unsat(&mut rng);
         let Ok(fused) = Fuser::new().fuse(&mut rng, Oracle::Unsat, &s1.script, &s2.script)
         else {
-            return Ok(());
+            return;
         };
         let out = SmtSolver::new().solve_script(&fused.script);
-        prop_assert_ne!(
+        assert_ne!(
             out.result,
             SatResult::Sat,
             "false positive on UNSAT fusion:\n{}",
@@ -77,8 +74,7 @@ proptest! {
 
     /// SAT fusion duals: the reference solver never answers `unsat` on a
     /// SAT-fused formula built with division-free functions.
-    #[test]
-    fn sat_fusion_never_unsat(seed in 0u64..10_000) {
+    fn sat_fusion_never_unsat(seed in |r: &mut StdRng| r.random_range(0u64..10_000)) {
         let mut rng = StdRng::seed_from_u64(seed);
         let generator = SeedGenerator::new(Logic::QfLia);
         let s1 = generator.generate_sat(&mut rng);
@@ -88,10 +84,10 @@ proptest! {
             ..FusionConfig::default()
         });
         let Ok(fused) = fuser.fuse(&mut rng, Oracle::Sat, &s1.script, &s2.script) else {
-            return Ok(());
+            return;
         };
         let out = SmtSolver::new().solve_script(&fused.script);
-        prop_assert_ne!(
+        assert_ne!(
             out.result,
             SatResult::Unsat,
             "false positive on SAT fusion:\n{}",
@@ -104,8 +100,7 @@ proptest! {
     /// We verify the witness-preservation corollary: any model of φ[e/x]
     /// (full substitution, with the fusion constraint) still satisfies the
     /// partial substitution.
-    #[test]
-    fn partial_substitution_keeps_witnesses(seed in 0u64..5_000) {
+    fn partial_substitution_keeps_witnesses(seed in |r: &mut StdRng| r.random_range(0u64..5_000)) {
         use yinyang::smtlib::subst::substitute_occurrences;
         use yinyang::smtlib::{parse_term, Value};
         use yinyang_arith::BigInt;
@@ -120,10 +115,9 @@ proptest! {
         m.set("x", Value::Int(BigInt::from(xv)));
         m.set("y", Value::Int(BigInt::from(yv)));
         m.set("z", Value::Int(BigInt::from(xv + yv)));
-        prop_assume!(m.satisfies(&phi).unwrap());
-        use rand::Rng;
+        assume(m.satisfies(&phi).unwrap());
         let partial = substitute_occurrences(&phi, &x, &e, &mut |_| rng.random_bool(0.5));
-        prop_assert!(
+        assert!(
             m.satisfies(&partial).unwrap(),
             "witness lost by partial substitution: {partial}"
         );
@@ -141,13 +135,12 @@ fn fused_scripts_roundtrip() {
             for _ in 0..5 {
                 let a = generator.generate(&mut rng, oracle);
                 let b = generator.generate(&mut rng, oracle);
-                let Ok(fused) = Fuser::new().fuse(&mut rng, oracle, &a.script, &b.script)
-                else {
+                let Ok(fused) = Fuser::new().fuse(&mut rng, oracle, &a.script, &b.script) else {
                     continue;
                 };
                 let text = fused.script.to_string();
-                let reparsed = yinyang::smtlib::parse_script(&text)
-                    .unwrap_or_else(|e| panic!("{e}\n{text}"));
+                let reparsed =
+                    yinyang::smtlib::parse_script(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
                 assert_eq!(reparsed, fused.script);
             }
         }

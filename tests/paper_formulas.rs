@@ -145,9 +145,7 @@ fn fig13c_unsat_nra_formula() {
         let model = out.model.expect("sat carries model");
         for a in s.asserts() {
             assert_eq!(
-                model
-                    .eval_with(&a, yinyang::smtlib::ZeroDivPolicy::Zero)
-                    .unwrap(),
+                model.eval_with(&a, yinyang::smtlib::ZeroDivPolicy::Zero).unwrap(),
                 yinyang::smtlib::Value::Bool(true),
                 "unverified model for {a}"
             );

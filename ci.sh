@@ -13,4 +13,26 @@ cargo build --release --offline --workspace
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
 
+echo "==> telemetry smoke gate"
+# A tiny traced campaign must produce (a) a JSON-lines trace that
+# trace-check can parse with rt::json, and (b) a report with a telemetry
+# section carrying per-stage quantiles and solver statistics — and both
+# must be byte-identical replays across thread counts.
+SMOKE=target/telemetry-smoke
+mkdir -p "$SMOKE"
+target/release/yinyang fuzz --iterations 2 --rounds 1 --seed 7 --threads 1 \
+    --json --trace "$SMOKE/seq.jsonl" > "$SMOKE/seq.json"
+target/release/yinyang fuzz --iterations 2 --rounds 1 --seed 7 --threads 3 \
+    --json --trace "$SMOKE/par.jsonl" > "$SMOKE/par.json"
+cmp "$SMOKE/seq.json" "$SMOKE/par.json"
+cmp "$SMOKE/seq.jsonl" "$SMOKE/par.jsonl"
+target/release/yinyang trace-check "$SMOKE/seq.jsonl" > /dev/null
+grep -q '"telemetry"' "$SMOKE/seq.json"
+grep -q '"stages"' "$SMOKE/seq.json"
+grep -q '"solver.sat.decisions"' "$SMOKE/seq.json"
+
+echo "==> bench report regeneration (fast mode)"
+YINYANG_BENCH_FAST=1 cargo bench --offline -p yinyang-bench --bench throughput
+test -s crates/bench/target/yinyang-bench/report.json
+
 echo "CI green."

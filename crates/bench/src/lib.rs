@@ -8,5 +8,11 @@ use yinyang_campaign::config::CampaignConfig;
 
 /// The campaign configuration benches use: small but representative.
 pub fn bench_config() -> CampaignConfig {
-    CampaignConfig { scale: 800, iterations: 6, rounds: 2, rng_seed: 0xBEEF, threads: 1 }
+    CampaignConfig {
+        scale: 800,
+        iterations: 6,
+        rounds: 2,
+        rng_seed: 0xBEEF,
+        ..CampaignConfig::default()
+    }
 }

@@ -6,153 +6,309 @@
 //! bugs with landed fixes are deactivated ("Once the developers have fixed
 //! a bug, we validate the fixed version ... then started a new testing
 //! round"), so later rounds surface the bugs that were shadowed before.
+//!
+//! ## Sharding and determinism
+//!
+//! A round is a flat list of *test jobs*, one per fused test, each seeded
+//! from the round seed and its job index. Jobs run through
+//! [`yinyang_rt::pool::parallel_map`], which returns results in input
+//! order no matter which worker executed them, so `threads: 1` and
+//! `threads: N` produce byte-identical outcomes — findings, counters, and
+//! telemetry alike. Telemetry never reads the process-global metrics
+//! registry mid-round: each job brackets itself with
+//! [`yinyang_rt::metrics::local_snapshot`] and returns its private delta,
+//! and the driver merges the deltas in job order.
 
 use crate::config::{fast_solver_config, Behavior, CampaignConfig, CampaignOutcome, RawFinding};
 use std::collections::BTreeSet;
 use yinyang_core::{concat_fuzz, run_catching, Fuser, Oracle, SolverAnswer};
 use yinyang_faults::{BugClass, BugStatus, FaultySolver, SolverId};
-use yinyang_rt::{Rng, StdRng};
+use yinyang_rt::trace::{self, TraceEvent};
+use yinyang_rt::{metrics, MetricsSnapshot, Rng, StdRng, Stopwatch};
 use yinyang_seedgen::profile::{fig7_profile, generate_row};
 use yinyang_seedgen::Seed;
 
 /// Runs a full multi-round campaign against one persona's trunk.
 pub fn run_campaign(config: &CampaignConfig, solver_id: SolverId) -> CampaignOutcome {
+    run_campaign_with_metrics(config, solver_id).0
+}
+
+/// [`run_campaign`] plus the campaign's merged metrics delta: every
+/// counter and span histogram the rounds produced (seed generation,
+/// fusion, solving, oracle checks, triage, and the solver's own
+/// statistics), assembled from per-job deltas so the totals are identical
+/// across thread counts.
+pub fn run_campaign_with_metrics(
+    config: &CampaignConfig,
+    solver_id: SolverId,
+) -> (CampaignOutcome, MetricsSnapshot) {
     let mut outcome = CampaignOutcome::default();
+    let mut telemetry = MetricsSnapshot::default();
     let mut fixed: BTreeSet<u32> = BTreeSet::new();
+    let watch = Stopwatch::start();
     for round in 0..config.rounds {
-        let round_outcome = if config.threads > 1 {
-            run_round_parallel(config, solver_id, round, &fixed)
-        } else {
-            run_round(config, solver_id, round, &fixed, config.rng_seed)
-        };
+        let (round_outcome, mut round_metrics, mut events) =
+            run_round(config, solver_id, round, &fixed);
         // Fix-and-retest: deactivate fixed confirmed bugs for later rounds.
-        for f in &round_outcome.findings {
-            if let Some(id) = f.bug_id {
-                let bug = yinyang_faults::registry()
-                    .into_iter()
-                    .find(|b| b.id == id)
-                    .expect("triaged ids come from the registry");
-                if matches!(bug.status, BugStatus::Confirmed { fixed: true }) {
-                    fixed.insert(id);
+        let before = metrics::local_snapshot();
+        {
+            let _span = yinyang_rt::span!("triage", round = round);
+            for f in &round_outcome.findings {
+                if let Some(id) = f.bug_id {
+                    let bug = yinyang_faults::registry()
+                        .into_iter()
+                        .find(|b| b.id == id)
+                        .expect("triaged ids come from the registry");
+                    if matches!(bug.status, BugStatus::Confirmed { fixed: true }) {
+                        fixed.insert(id);
+                    }
                 }
             }
         }
+        events.extend(trace::take_events());
+        round_metrics.merge(&metrics::local_snapshot().delta(&before));
+        trace::emit_events(&events);
         outcome.findings.extend(round_outcome.findings);
         outcome.stats.tests += round_outcome.stats.tests;
         outcome.stats.unknowns += round_outcome.stats.unknowns;
         outcome.stats.fusion_failures += round_outcome.stats.fusion_failures;
+        telemetry.merge(&round_metrics);
+        if config.heartbeat {
+            heartbeat(solver_id, config, round, &outcome, &telemetry, &watch);
+        }
     }
-    outcome
+    (outcome, telemetry)
 }
 
-/// The paper's multi-threaded mode: split each round's iterations across
-/// worker threads with independent RNG streams and merge the findings.
-fn run_round_parallel(
-    config: &CampaignConfig,
+/// One periodic stderr progress line. Wall clock is fine here: stderr is
+/// never byte-compared, and the [`Stopwatch`] keeps real time out of the
+/// replay-safe tick clock.
+fn heartbeat(
     solver_id: SolverId,
+    config: &CampaignConfig,
     round: usize,
-    fixed: &BTreeSet<u32>,
-) -> CampaignOutcome {
-    let per_thread =
-        CampaignConfig { iterations: config.iterations.div_ceil(config.threads), ..config.clone() };
-    let mut merged = CampaignOutcome::default();
-    let shards =
-        yinyang_rt::pool::parallel_map(config.threads, (0..config.threads).collect(), |t| {
-            run_round(&per_thread, solver_id, round, fixed, per_thread.rng_seed ^ (t as u64) << 32)
-        });
-    for o in shards {
-        merged.findings.extend(o.findings);
-        merged.stats.tests += o.stats.tests;
-        merged.stats.unknowns += o.stats.unknowns;
-        merged.stats.fusion_failures += o.stats.fusion_failures;
+    outcome: &CampaignOutcome,
+    telemetry: &MetricsSnapshot,
+    watch: &Stopwatch,
+) {
+    let rate = outcome.stats.tests as f64 / watch.elapsed_secs().max(1e-9);
+    let (mut incorrect, mut crashes, mut spurious) = (0usize, 0usize, 0usize);
+    for f in &outcome.findings {
+        match f.behavior {
+            Behavior::Incorrect { .. } => incorrect += 1,
+            Behavior::Crash { .. } => crashes += 1,
+            Behavior::SpuriousUnknown => spurious += 1,
+        }
     }
-    merged
+    let solve = telemetry.histograms.get("span.solve").map(|h| h.summary()).unwrap_or_default();
+    eprintln!(
+        "[yinyang {}] round {}/{}: {} tests ({rate:.1}/s), findings {} \
+         (incorrect {incorrect}, crash {crashes}, spurious-unknown {spurious}), \
+         solve p50/p95 {}/{} {}",
+        solver_id.name(),
+        round + 1,
+        config.rounds,
+        outcome.stats.tests,
+        outcome.findings.len(),
+        solve.p50,
+        solve.p95,
+        trace::unit(),
+    );
 }
 
-/// One single-threaded round over all Fig. 7 benchmarks.
+/// One (benchmark, oracle) seed pool of a round.
+struct RoundPool {
+    benchmark: &'static str,
+    oracle: Oracle,
+    seeds: Vec<Seed>,
+}
+
+/// A unit of work: one fused test drawn from one pool, with its own RNG
+/// stream so the result is independent of scheduling.
+struct TestJob {
+    pool: usize,
+    rng_seed: u64,
+}
+
+/// Everything one job reports back to the driver.
+struct JobResult {
+    tests: usize,
+    unknowns: usize,
+    fusion_failures: usize,
+    finding: Option<RawFinding>,
+    events: Vec<TraceEvent>,
+    metrics: MetricsSnapshot,
+}
+
+/// SplitMix64's finalizer: decorrelates consecutive job indices into
+/// independent-looking RNG seeds.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// One round over all Fig. 7 benchmarks: seed pools are generated on the
+/// driver, then every fused test runs as an independent job.
 fn run_round(
     config: &CampaignConfig,
     solver_id: SolverId,
     round: usize,
     fixed: &BTreeSet<u32>,
-    rng_seed: u64,
-) -> CampaignOutcome {
-    let mut rng = StdRng::seed_from_u64(rng_seed ^ (round as u64).wrapping_mul(0x9E37_79B9));
+) -> (CampaignOutcome, MetricsSnapshot, Vec<TraceEvent>) {
+    let round_seed = config.rng_seed ^ (round as u64).wrapping_mul(0x9E37_79B9);
+    let driver_before = metrics::local_snapshot();
+    let pools = {
+        let _span = yinyang_rt::span!("seedgen", round = round);
+        let mut rng = StdRng::seed_from_u64(round_seed);
+        let mut pools = Vec::new();
+        for row in fig7_profile() {
+            let seeds = generate_row(&mut rng, &row, config.scale);
+            trace::work(seeds.len() as u64);
+            for oracle in [Oracle::Sat, Oracle::Unsat] {
+                let subset: Vec<Seed> =
+                    seeds.iter().filter(|s| s.oracle == oracle).cloned().collect();
+                if !subset.is_empty() {
+                    pools.push(RoundPool { benchmark: row.name, oracle, seeds: subset });
+                }
+            }
+        }
+        pools
+    };
+    let mut events = trace::take_events();
+    let mut round_metrics = metrics::local_snapshot().delta(&driver_before);
+
+    let jobs: Vec<TestJob> = (0..pools.len() * config.iterations)
+        .map(|index| TestJob {
+            pool: index / config.iterations,
+            rng_seed: mix64(round_seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        })
+        .collect();
+    let fuser = Fuser::new();
+    let results = yinyang_rt::pool::parallel_map(config.threads, jobs, |job| {
+        run_test(solver_id, round, fixed, &fuser, &pools, job)
+    });
+
+    let mut outcome = CampaignOutcome::default();
+    for r in results {
+        outcome.stats.tests += r.tests;
+        outcome.stats.unknowns += r.unknowns;
+        outcome.stats.fusion_failures += r.fusion_failures;
+        outcome.findings.extend(r.finding);
+        events.extend(r.events);
+        round_metrics.merge(&r.metrics);
+    }
+    (outcome, round_metrics, events)
+}
+
+/// One fused test: pick a pair, fuse, solve, check against the oracle.
+/// The job brackets itself with thread-local metric snapshots and drains
+/// its own trace events, so its telemetry contribution is identical no
+/// matter which pool thread runs it.
+fn run_test(
+    solver_id: SolverId,
+    round: usize,
+    fixed: &BTreeSet<u32>,
+    fuser: &Fuser,
+    pools: &[RoundPool],
+    job: TestJob,
+) -> JobResult {
+    let before = metrics::local_snapshot();
+    let pool = &pools[job.pool];
+    let mut rng = StdRng::seed_from_u64(job.rng_seed);
     let mut solver = FaultySolver::trunk(solver_id);
     solver.set_base_config(fast_solver_config());
     for &id in fixed {
         solver.apply_fix(id);
     }
-    let fuser = Fuser::new();
-    let mut outcome = CampaignOutcome::default();
-    for row in fig7_profile() {
-        let seeds = generate_row(&mut rng, &row, config.scale);
-        let sat_pool: Vec<&Seed> = seeds.iter().filter(|s| s.oracle == Oracle::Sat).collect();
-        let unsat_pool: Vec<&Seed> = seeds.iter().filter(|s| s.oracle == Oracle::Unsat).collect();
-        for (oracle, pool) in [(Oracle::Sat, &sat_pool), (Oracle::Unsat, &unsat_pool)] {
-            if pool.len() < 1 {
-                continue;
-            }
-            for _ in 0..config.iterations {
-                let s1 = pool[rng.random_range(0..pool.len())];
-                let s2 = pool[rng.random_range(0..pool.len())];
-                let fused = match fuser.fuse(&mut rng, oracle, &s1.script, &s2.script) {
-                    Ok(f) => f,
-                    Err(_) => {
-                        outcome.stats.fusion_failures += 1;
-                        continue;
-                    }
-                };
-                outcome.stats.tests += 1;
-                let answer = run_catching(&solver, &fused.script);
-                let behavior = match &answer {
-                    SolverAnswer::Crash(msg) => Some(Behavior::Crash { message: msg.clone() }),
-                    SolverAnswer::Unknown => {
-                        outcome.stats.unknowns += 1;
-                        // Performance/unknown-class bugs: spurious unknowns
-                        // with an identifiable trigger.
-                        match solver.triggered_bug(&fused.script) {
-                            Some(b)
-                                if matches!(b.class, BugClass::Performance | BugClass::Unknown) =>
-                            {
-                                Some(Behavior::SpuriousUnknown)
-                            }
-                            _ => None,
-                        }
-                    }
-                    SolverAnswer::Sat | SolverAnswer::Unsat => {
-                        let agrees = matches!(
-                            (oracle, &answer),
-                            (Oracle::Sat, SolverAnswer::Sat) | (Oracle::Unsat, SolverAnswer::Unsat)
-                        );
-                        if agrees {
-                            None
-                        } else {
-                            Some(Behavior::Incorrect {
-                                got: answer.as_str().to_owned(),
-                                expected: oracle.to_string(),
-                            })
-                        }
-                    }
-                };
-                if let Some(behavior) = behavior {
-                    let bug_id = solver.triggered_bug(&fused.script).map(|b| b.id);
-                    outcome.findings.push(RawFinding {
-                        solver: yinyang_core::SolverUnderTest::name(&solver),
-                        bug_id,
-                        behavior,
-                        logic: fused.script.logic().unwrap_or("ALL").to_owned(),
-                        benchmark: row.name.to_owned(),
-                        round,
-                        script: fused.script.to_string(),
-                        seeds: (s1.script.to_string(), s2.script.to_string()),
-                        oracle: oracle.to_string(),
-                    });
-                }
+    let mut result = JobResult {
+        tests: 0,
+        unknowns: 0,
+        fusion_failures: 0,
+        finding: None,
+        events: Vec::new(),
+        metrics: MetricsSnapshot::default(),
+    };
+    let s1 = &pool.seeds[rng.random_range(0..pool.seeds.len())];
+    let s2 = &pool.seeds[rng.random_range(0..pool.seeds.len())];
+    let fused = {
+        let _span = yinyang_rt::span!("fusion", benchmark = pool.benchmark, oracle = pool.oracle);
+        fuser.fuse(&mut rng, pool.oracle, &s1.script, &s2.script)
+    };
+    match fused {
+        Err(_) => result.fusion_failures = 1,
+        Ok(fused) => {
+            result.tests = 1;
+            let answer = {
+                let _span = yinyang_rt::span!("solve", benchmark = pool.benchmark);
+                run_catching(&solver, &fused.script)
+            };
+            let behavior = {
+                let _span = yinyang_rt::span!("oracle");
+                classify(&solver, &fused.script, pool.oracle, &answer, &mut result)
+            };
+            if let Some(behavior) = behavior {
+                let bug_id = solver.triggered_bug(&fused.script).map(|b| b.id);
+                result.finding = Some(RawFinding {
+                    solver: yinyang_core::SolverUnderTest::name(&solver),
+                    bug_id,
+                    behavior,
+                    logic: fused.script.logic().unwrap_or("ALL").to_owned(),
+                    benchmark: pool.benchmark.to_owned(),
+                    round,
+                    script: fused.script.to_string(),
+                    seeds: (s1.script.to_string(), s2.script.to_string()),
+                    oracle: pool.oracle.to_string(),
+                });
             }
         }
     }
-    outcome
+    result.events = trace::take_events();
+    result.metrics = metrics::local_snapshot().delta(&before);
+    result
+}
+
+/// Compares the solver's answer to the construction oracle, mirroring the
+/// paper's bug classes.
+fn classify(
+    solver: &FaultySolver,
+    script: &yinyang_smtlib::Script,
+    oracle: Oracle,
+    answer: &SolverAnswer,
+    result: &mut JobResult,
+) -> Option<Behavior> {
+    match answer {
+        SolverAnswer::Crash(msg) => Some(Behavior::Crash { message: msg.clone() }),
+        SolverAnswer::Unknown => {
+            result.unknowns += 1;
+            // Performance/unknown-class bugs: spurious unknowns with an
+            // identifiable trigger.
+            match solver.triggered_bug(script) {
+                Some(b) if matches!(b.class, BugClass::Performance | BugClass::Unknown) => {
+                    Some(Behavior::SpuriousUnknown)
+                }
+                _ => None,
+            }
+        }
+        SolverAnswer::Sat | SolverAnswer::Unsat => {
+            let agrees = matches!(
+                (oracle, answer),
+                (Oracle::Sat, SolverAnswer::Sat) | (Oracle::Unsat, SolverAnswer::Unsat)
+            );
+            if agrees {
+                None
+            } else {
+                Some(Behavior::Incorrect {
+                    got: answer.as_str().to_owned(),
+                    expected: oracle.to_string(),
+                })
+            }
+        }
+    }
 }
 
 /// Runs the ConcatFuzz ablation over the same pools (RQ4's comparison arm):

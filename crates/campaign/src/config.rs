@@ -19,11 +19,21 @@ pub struct CampaignConfig {
     pub rng_seed: u64,
     /// Worker threads (the paper's multi-threaded mode).
     pub threads: usize,
+    /// Print a per-round progress line to stderr (`--verbose` on the CLI).
+    /// Off by default: libraries and tests should stay silent.
+    pub heartbeat: bool,
 }
 
 impl Default for CampaignConfig {
     fn default() -> Self {
-        CampaignConfig { scale: 400, iterations: 30, rounds: 3, rng_seed: 0xD1CE, threads: 1 }
+        CampaignConfig {
+            scale: 400,
+            iterations: 30,
+            rounds: 3,
+            rng_seed: 0xD1CE,
+            threads: 1,
+            heartbeat: false,
+        }
     }
 }
 
@@ -100,7 +110,7 @@ pub struct CampaignOutcome {
     pub stats: CampaignStats,
 }
 
-impl_json_struct!(CampaignConfig { scale, iterations, rounds, rng_seed, threads });
+impl_json_struct!(CampaignConfig { scale, iterations, rounds, rng_seed, threads, heartbeat });
 impl_json_struct!(RawFinding {
     solver,
     bug_id,

@@ -2,8 +2,9 @@
 //! paper's evaluation section, each returning a rendered text table (and
 //! serializable data) with the same rows the paper reports.
 
-use crate::campaign::{run_campaign, run_concatfuzz_round};
+use crate::campaign::{run_campaign_with_metrics, run_concatfuzz_round};
 use crate::config::{fast_solver_config, CampaignConfig, CampaignOutcome};
+use crate::telemetry::Telemetry;
 use crate::triage::{representatives, soundness_representatives, triage, Triage};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -56,18 +57,30 @@ pub struct Fig8Result {
     pub corvus: CampaignOutcome,
     /// Combined triage.
     pub triage: Triage,
+    /// Per-stage timing, solver statistics, and campaign counters of both
+    /// runs, merged. Replay-safe: byte-identical for the same seed.
+    pub telemetry: Telemetry,
 }
 
-impl_json_struct!(Fig8Result { zirkon, corvus, triage });
+impl_json_struct!(Fig8Result { zirkon, corvus, triage, telemetry });
 
 /// Runs the full bug-finding campaign against both personas (RQ1).
 pub fn fig8_campaign(config: &CampaignConfig) -> Fig8Result {
-    let zirkon = run_campaign(config, SolverId::Zirkon);
-    let corvus = run_campaign(config, SolverId::Corvus);
+    let (zirkon, zirkon_metrics) = run_campaign_with_metrics(config, SolverId::Zirkon);
+    let (corvus, corvus_metrics) = run_campaign_with_metrics(config, SolverId::Corvus);
     let mut all = zirkon.findings.clone();
     all.extend(corvus.findings.clone());
-    let triage = triage(&all);
-    Fig8Result { zirkon, corvus, triage }
+    let before = yinyang_rt::metrics::local_snapshot();
+    let triage = {
+        let _span = yinyang_rt::span!("triage", findings = all.len());
+        triage(&all)
+    };
+    yinyang_rt::trace::emit_events(&yinyang_rt::trace::take_events());
+    let mut merged = zirkon_metrics;
+    merged.merge(&corvus_metrics);
+    merged.merge(&yinyang_rt::metrics::local_snapshot().delta(&before));
+    let telemetry = Telemetry::from_snapshot(&merged);
+    Fig8Result { zirkon, corvus, triage, telemetry }
 }
 
 /// Renders Fig. 8a/8b/8c from a campaign result, with the paper's values
@@ -119,6 +132,19 @@ pub fn render_fig8(result: &Fig8Result) -> String {
         result.zirkon.stats.unknowns,
         result.corvus.stats.tests,
         result.corvus.stats.unknowns
+    );
+    let solve = result.telemetry.stage("solve");
+    let _ = writeln!(
+        out,
+        "telemetry: solve p50/p95 {}/{} {}, sat decisions {}, conflicts {}, \
+         simplex pivots {}, string search nodes {}",
+        solve.p50,
+        solve.p95,
+        yinyang_rt::trace::unit(),
+        result.telemetry.counter("solver.sat.decisions"),
+        result.telemetry.counter("solver.sat.conflicts"),
+        result.telemetry.counter("solver.simplex.pivots"),
+        result.telemetry.counter("solver.strings.search_nodes"),
     );
     out
 }
@@ -383,16 +409,16 @@ pub fn throughput(seconds: f64) -> String {
     let gen = yinyang_seedgen::SeedGenerator::new(yinyang_smtlib::Logic::QfNra);
     let seeds: Vec<Seed> = (0..20).map(|_| gen.generate_sat(&mut rng)).collect();
     let fuser = Fuser::new();
-    let start = std::time::Instant::now();
+    let watch = yinyang_rt::Stopwatch::start();
     let mut count = 0usize;
-    while start.elapsed().as_secs_f64() < seconds {
+    while watch.elapsed_secs() < seconds {
         let s1 = &seeds[rng.random_range(0..seeds.len())];
         let s2 = &seeds[rng.random_range(0..seeds.len())];
         if fuser.fuse(&mut rng, Oracle::Sat, &s1.script, &s2.script).is_ok() {
             count += 1;
         }
     }
-    let rate = count as f64 / start.elapsed().as_secs_f64();
+    let rate = count as f64 / watch.elapsed_secs();
     format!(
         "Throughput — {rate:.1} fused tests/second generated single-threaded \
          (paper's Python tool: 41.5/s incl. solving)\n"
@@ -512,6 +538,7 @@ mod tests {
             zirkon: CampaignOutcome::default(),
             corvus: CampaignOutcome::default(),
             triage: crate::triage::Triage::default(),
+            telemetry: Telemetry::default(),
         };
         let t = render_fig8(&empty);
         assert!(t.contains("Reported"));

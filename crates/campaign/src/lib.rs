@@ -3,6 +3,9 @@
 //!
 //! * [`campaign`] — Algorithm 1 in fix-and-retest rounds against the
 //!   fault-injected personas, with the paper's multi-threaded mode;
+//! * [`telemetry`] — the report-facing condensation of the run's
+//!   [`yinyang_rt::metrics`] snapshot (per-stage timing, solver
+//!   statistics);
 //! * [`triage`](mod@triage) — findings → Fig. 8a/8b/8c tables;
 //! * [`experiments`] — one entry point per figure: [`experiments::fig7`]
 //!   through [`experiments::fig12`], [`experiments::rq4`],
@@ -17,8 +20,10 @@
 pub mod campaign;
 pub mod config;
 pub mod experiments;
+pub mod telemetry;
 pub mod triage;
 
-pub use campaign::{run_campaign, run_concatfuzz_round};
+pub use campaign::{run_campaign, run_campaign_with_metrics, run_concatfuzz_round};
 pub use config::{Behavior, CampaignConfig, CampaignOutcome, RawFinding};
+pub use telemetry::Telemetry;
 pub use triage::{triage, Triage};

@@ -1,20 +1,42 @@
 //! The `yinyang` command-line tool.
 //!
-//! ```text
-//! yinyang exp <fig7|fig8|fig9|fig10|fig11|fig12|rq4|throughput|fp|all> [options]
-//! yinyang fuzz [options]               # raw fuzzing campaign, prints findings
-//! yinyang solve <file.smt2>            # run the reference solver on a script
-//! yinyang fuse <sat|unsat> <a> <b>     # fuse two seed files, print the result
-//!
-//! options: --scale N --iterations N --rounds N --seed N --threads N --json
-//! ```
+//! Run `yinyang help` for the full command and option reference.
 
 use std::process::ExitCode;
 use yinyang_campaign::config::CampaignConfig;
 use yinyang_campaign::experiments;
 use yinyang_core::{Fuser, Oracle};
 use yinyang_rt::json::ToJson;
+use yinyang_rt::trace;
 use yinyang_solver::SmtSolver;
+
+const USAGE: &str = "\
+yinyang — semantic-fusion SMT solver fuzzer (PLDI 2020 reproduction)
+
+usage: yinyang <command> [options]
+
+commands:
+  exp <which>                     regenerate an evaluation figure; <which> is one of
+                                  fig7 fig8 fig9 fig10 fig11 fig12 rq4 throughput fp all
+  fuzz                            run the bug-finding campaign, print findings
+  solve <file.smt2>               run the reference solver on a script
+  fuse <sat|unsat> <a> <b>        fuse two seed files, print the fused test
+  trace-check <file.jsonl>        validate a --trace output file (JSON lines)
+  help                            print this reference
+
+options:
+  --scale N        Fig. 7 seed inventory scale, 1:N            [default 400]
+  --iterations N   fused tests per (benchmark, oracle) round   [default 30]
+  --rounds N       fix-and-retest rounds                       [default 3]
+  --seed N         RNG seed; same seed replays byte-identically [default 53710]
+  --threads N      worker threads (replay-safe at any count)   [default 1]
+  --json           print reports as JSON (fuzz embeds a telemetry section)
+  --trace FILE     write one JSON line per span (seedgen/fusion/solve/...) to FILE
+  --verbose        per-round campaign heartbeat on stderr
+  --quiet          suppress heartbeat and per-finding listings
+  --wallclock      time spans in real microseconds instead of deterministic
+                   ticks (breaks --seed replay of traced durations)
+";
 
 fn main() -> ExitCode {
     // Crash bugs in the solvers under test panic by design and are caught
@@ -26,6 +48,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut config = CampaignConfig::default();
     let mut json = false;
+    let mut verbose = false;
+    let mut quiet = false;
+    let mut trace_path: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -46,23 +71,67 @@ fn main() -> ExitCode {
                 config.threads = parse_num(&args, &mut i);
             }
             "--json" => json = true,
+            "--verbose" => verbose = true,
+            "--quiet" => quiet = true,
+            "--wallclock" => trace::set_time_mode(yinyang_rt::TimeMode::Wall),
+            "--trace" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => trace_path = Some(path.clone()),
+                    None => {
+                        eprintln!("--trace needs a file path");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             other => positional.push(other.to_owned()),
         }
         i += 1;
     }
+    config.heartbeat = verbose && !quiet;
+    if let Some(path) = &trace_path {
+        match std::fs::File::create(path) {
+            Ok(file) => {
+                trace::set_writer(Some(Box::new(std::io::BufWriter::new(file))));
+                trace::set_capture(true);
+            }
+            Err(e) => {
+                eprintln!("cannot create trace file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let code = dispatch(&positional, &config, json, quiet);
+    // Flush and close the trace sink before exiting.
+    trace::set_writer(None);
+    code
+}
+
+fn dispatch(positional: &[String], config: &CampaignConfig, json: bool, quiet: bool) -> ExitCode {
     match positional.first().map(String::as_str) {
-        Some("exp") => run_exp(positional.get(1).map(String::as_str), &config, json),
+        Some("help") | Some("--help") | Some("-h") => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some("exp") => run_exp(positional.get(1).map(String::as_str), config, json),
         Some("fuzz") => {
-            let result = experiments::fig8_campaign(&config);
+            let mut result = experiments::fig8_campaign(config);
+            // Coverage gauges live outside the replay-safe per-job deltas
+            // (coverage state is process-global); attach them here, at the
+            // report boundary. Totals are scheduling-independent.
+            yinyang_coverage::export_metrics(&yinyang_coverage::snapshot());
+            result.telemetry.gauges.extend(yinyang_rt::metrics::snapshot().gauges);
             if json {
                 println!("{}", result.to_json().pretty());
             } else {
                 println!("{}", experiments::render_fig8(&result));
-                for f in result.zirkon.findings.iter().chain(&result.corvus.findings) {
-                    println!(
-                        "[{}] bug {:?} on {} ({}): {:?}",
-                        f.solver, f.bug_id, f.benchmark, f.logic, f.behavior
-                    );
+                if !quiet {
+                    for f in result.zirkon.findings.iter().chain(&result.corvus.findings) {
+                        println!(
+                            "[{}] bug {:?} on {} ({}): {:?}",
+                            f.solver, f.bug_id, f.benchmark, f.logic, f.behavior
+                        );
+                    }
                 }
             }
             ExitCode::SUCCESS
@@ -122,14 +191,55 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("trace-check") => {
+            let Some(path) = positional.get(1) else {
+                eprintln!("usage: yinyang trace-check <file.jsonl>");
+                return ExitCode::FAILURE;
+            };
+            trace_check(path)
+        }
         _ => {
-            eprintln!(
-                "usage: yinyang <exp|fuzz|solve|fuse> ... \
-                 (experiments: fig7 fig8 fig9 fig10 fig11 fig12 rq4 throughput fp all)"
-            );
+            eprint!("{USAGE}");
             ExitCode::FAILURE
         }
     }
+}
+
+/// Validates a `--trace` output file: every line must parse as one JSON
+/// object carrying at least `span` and `dur`. Prints a per-span census.
+fn trace_check(path: &str) -> ExitCode {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        eprintln!("cannot read {path}");
+        return ExitCode::FAILURE;
+    };
+    let mut spans: std::collections::BTreeMap<String, (u64, u64)> = Default::default();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let event = match yinyang_rt::json::Json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("{path}:{}: not JSON: {e}", lineno + 1);
+                return ExitCode::FAILURE;
+            }
+        };
+        let (Some(name), Some(dur)) = (
+            event.get("span").and_then(yinyang_rt::json::Json::as_str),
+            event.get("dur").and_then(yinyang_rt::json::Json::as_i64),
+        ) else {
+            eprintln!("{path}:{}: missing span/dur member", lineno + 1);
+            return ExitCode::FAILURE;
+        };
+        let entry = spans.entry(name.to_owned()).or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 += dur as u64;
+    }
+    println!("{path}: {} events OK", spans.values().map(|(n, _)| n).sum::<u64>());
+    for (name, (count, total)) in &spans {
+        println!("  {name:<12} {count:>7} events {total:>10} total dur");
+    }
+    ExitCode::SUCCESS
 }
 
 fn parse_num(args: &[String], i: &mut usize) -> usize {

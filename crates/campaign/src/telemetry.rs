@@ -1,0 +1,107 @@
+//! The campaign's report-facing telemetry: a condensed, serializable view
+//! of a [`MetricsSnapshot`].
+//!
+//! Raw snapshots carry full 32-bucket histograms; reports only need the
+//! six-number summaries. [`Telemetry::from_snapshot`] splits the
+//! histograms into *stages* (the `span.*` family recorded by
+//! [`yinyang_rt::span!`] around seedgen/fusion/solve/oracle/triage) and
+//! everything else, and carries counters — including the solver's own
+//! statistics (`solver.sat.*`, `solver.simplex.pivots`,
+//! `solver.strings.*`) — and gauges through unchanged.
+//!
+//! Because campaign snapshots are assembled from per-job deltas merged in
+//! job order, a `Telemetry` embedded in a report is byte-identical across
+//! replays of the same seed, sequential or sharded.
+
+use std::collections::BTreeMap;
+use yinyang_rt::impl_json_struct;
+use yinyang_rt::{HistogramSummary, MetricsSnapshot};
+
+/// The `telemetry` section of campaign reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Telemetry {
+    /// Monotonic event counts (fusion attempts, solver statistics, bug
+    /// triggers, ...).
+    pub counters: BTreeMap<String, u64>,
+    /// Instantaneous values (coverage site counts, ...).
+    pub gauges: BTreeMap<String, i64>,
+    /// Per-stage duration summaries, keyed by span name (`seedgen`,
+    /// `fusion`, `solve`, `oracle`, `triage`), in [`yinyang_rt::trace::unit`]
+    /// units.
+    pub stages: BTreeMap<String, HistogramSummary>,
+    /// Summaries of non-span histograms (e.g. `solver.strings.search_vars`).
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl_json_struct!(Telemetry { counters, gauges, stages, histograms });
+
+impl Telemetry {
+    /// Condenses a snapshot into report form.
+    pub fn from_snapshot(snap: &MetricsSnapshot) -> Telemetry {
+        let mut t = Telemetry {
+            counters: snap.counters.clone(),
+            gauges: snap.gauges.clone(),
+            ..Telemetry::default()
+        };
+        for (name, h) in &snap.histograms {
+            match name.strip_prefix("span.") {
+                Some(stage) => t.stages.insert(stage.to_owned(), h.summary()),
+                None => t.histograms.insert(name.clone(), h.summary()),
+            };
+        }
+        t
+    }
+
+    /// Stage summary lookup, defaulting to an empty summary.
+    pub fn stage(&self, name: &str) -> HistogramSummary {
+        self.stages.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Counter lookup defaulting to 0.
+    pub fn counter(&self, name: &str) -> u64 {
+        *self.counters.get(name).unwrap_or(&0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yinyang_rt::json::{FromJson, Json, ToJson};
+    use yinyang_rt::Histogram;
+
+    fn snapshot_with(spans: &[(&str, u64)], counters: &[(&str, u64)]) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        for (name, v) in spans {
+            let mut h = Histogram::new();
+            h.record(*v);
+            snap.histograms.insert((*name).to_owned(), h);
+        }
+        for (name, v) in counters {
+            snap.counters.insert((*name).to_owned(), *v);
+        }
+        snap
+    }
+
+    #[test]
+    fn spans_become_stages_and_the_rest_stays() {
+        let snap = snapshot_with(
+            &[("span.solve", 9), ("solver.strings.search_vars", 4)],
+            &[("solver.sat.conflicts", 17)],
+        );
+        let t = Telemetry::from_snapshot(&snap);
+        assert_eq!(t.stage("solve").count, 1);
+        assert_eq!(t.stages.len(), 1);
+        assert_eq!(t.histograms["solver.strings.search_vars"].count, 1);
+        assert_eq!(t.counter("solver.sat.conflicts"), 17);
+        assert_eq!(t.counter("missing"), 0);
+    }
+
+    #[test]
+    fn telemetry_roundtrips_through_json() {
+        let snap = snapshot_with(&[("span.fusion", 2)], &[("fusion.attempts", 3)]);
+        let t = Telemetry::from_snapshot(&snap);
+        let json = t.to_json().compact();
+        let back = Telemetry::from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, t);
+    }
+}

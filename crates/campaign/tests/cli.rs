@@ -66,6 +66,68 @@ fn unknown_subcommand_fails() {
 }
 
 #[test]
+fn help_lists_every_subcommand_and_flag() {
+    let out = yinyang().args(["help"]).output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for cmd in ["exp", "fuzz", "solve", "fuse", "trace-check", "help"] {
+        assert!(text.contains(cmd), "help is missing the `{cmd}` command");
+    }
+    for flag in [
+        "--scale",
+        "--iterations",
+        "--rounds",
+        "--seed",
+        "--threads",
+        "--json",
+        "--trace",
+        "--verbose",
+        "--quiet",
+        "--wallclock",
+    ] {
+        assert!(text.contains(flag), "help is missing the `{flag}` option");
+    }
+}
+
+#[test]
+fn verbose_fuzz_heartbeats_on_stderr_and_quiet_silences_it() {
+    let loud = yinyang()
+        .args(["fuzz", "--iterations", "1", "--rounds", "2", "--seed", "5", "--verbose"])
+        .output()
+        .expect("spawn");
+    assert!(loud.status.success());
+    let err = String::from_utf8_lossy(&loud.stderr);
+    assert!(err.contains("round 1/2") && err.contains("round 2/2"), "no heartbeat: {err}");
+    assert!(err.contains("solve p50/p95"), "heartbeat lacks solve quantiles: {err}");
+    let quiet = yinyang()
+        .args(["fuzz", "--iterations", "1", "--rounds", "2", "--seed", "5", "--quiet"])
+        .output()
+        .expect("spawn");
+    assert!(quiet.status.success());
+    assert!(quiet.stderr.is_empty(), "--quiet still wrote to stderr");
+}
+
+#[test]
+fn trace_check_accepts_real_traces_and_rejects_garbage() {
+    let dir = std::env::temp_dir().join("yinyang-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("smoke.jsonl");
+    let out = yinyang()
+        .args(["fuzz", "--iterations", "1", "--rounds", "1", "--trace", trace.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let check = yinyang().args(["trace-check", trace.to_str().unwrap()]).output().expect("spawn");
+    assert!(check.status.success(), "{}", String::from_utf8_lossy(&check.stderr));
+    let text = String::from_utf8_lossy(&check.stdout);
+    assert!(text.contains("events OK"), "{text}");
+    let bad = dir.join("bad.jsonl");
+    std::fs::write(&bad, "{\"span\":\"x\",\"dur\":1}\nnot json at all\n").unwrap();
+    let check = yinyang().args(["trace-check", bad.to_str().unwrap()]).output().expect("spawn");
+    assert!(!check.status.success(), "trace-check accepted a malformed file");
+}
+
+#[test]
 fn exp_fp_reports_no_false_positives() {
     let out = yinyang().args(["exp", "fp", "--seed", "3"]).output().expect("spawn");
     assert!(out.status.success());

@@ -4,7 +4,9 @@
 //! to re-derive every finding. Here that is a hard invariant: two
 //! invocations with the same `--seed` must produce *byte-identical* triage
 //! JSON — same findings, same order, same formatting — both single- and
-//! multi-threaded.
+//! multi-threaded. The same holds for `--trace` output: span durations use
+//! the deterministic tick clock, and the driver merges per-job event lists
+//! in job order, so traces replay byte-for-byte too.
 
 use std::process::Command;
 use yinyang_campaign::config::CampaignConfig;
@@ -39,8 +41,13 @@ fn different_seeds_change_the_rng_stream() {
 
 #[test]
 fn library_campaigns_replay_byte_identically() {
-    let config =
-        CampaignConfig { scale: 400, iterations: 2, rounds: 2, rng_seed: 0xABCD, threads: 1 };
+    let config = CampaignConfig {
+        scale: 400,
+        iterations: 2,
+        rounds: 2,
+        rng_seed: 0xABCD,
+        ..CampaignConfig::default()
+    };
     let first = fig8_campaign(&config).to_json().pretty();
     let second = fig8_campaign(&config).to_json().pretty();
     assert_eq!(first, second);
@@ -48,12 +55,97 @@ fn library_campaigns_replay_byte_identically() {
 
 #[test]
 fn parallel_campaigns_replay_byte_identically() {
-    // The thread pool returns shard results in input order, so the merged
+    // The thread pool returns job results in input order, so the merged
     // findings list — and therefore the serialized campaign — must be
     // deterministic even multi-threaded.
-    let config =
-        CampaignConfig { scale: 400, iterations: 4, rounds: 1, rng_seed: 0x5EED, threads: 3 };
+    let config = CampaignConfig {
+        scale: 400,
+        iterations: 4,
+        rounds: 1,
+        rng_seed: 0x5EED,
+        threads: 3,
+        ..CampaignConfig::default()
+    };
     let first = fig8_campaign(&config).to_json().pretty();
     let second = fig8_campaign(&config).to_json().pretty();
     assert_eq!(first, second);
+}
+
+#[test]
+fn sequential_and_sharded_campaigns_are_identical() {
+    // Stronger than run-to-run replay: the thread *count* must not leak
+    // into the report either. A round is a flat job list with per-job RNG
+    // streams, and telemetry merges per-job metric deltas in job order, so
+    // `threads: 1` and `threads: 3` — including every counter total and
+    // span histogram — serialize to the same bytes.
+    let sequential = CampaignConfig {
+        iterations: 4,
+        rounds: 2,
+        rng_seed: 0xFACE,
+        threads: 1,
+        ..CampaignConfig::default()
+    };
+    let sharded = CampaignConfig { threads: 3, ..sequential.clone() };
+    let a = fig8_campaign(&sequential).to_json().pretty();
+    let b = fig8_campaign(&sharded).to_json().pretty();
+    assert_eq!(a, b, "thread count must not change the campaign report");
+}
+
+#[test]
+fn trace_files_replay_byte_identically_across_thread_counts() {
+    // `--trace` output is part of the replay contract: tick-clock span
+    // durations and input-order event merging make the JSON-lines file a
+    // pure function of the seed, for any --threads value.
+    let dir = std::env::temp_dir().join("yinyang-replay-trace");
+    std::fs::create_dir_all(&dir).unwrap();
+    let traces: Vec<std::path::PathBuf> =
+        (0..3).map(|i| dir.join(format!("run{i}.jsonl"))).collect();
+    let outputs: Vec<Vec<u8>> = traces
+        .iter()
+        .zip(["1", "1", "3"])
+        .map(|(path, threads)| {
+            run_cli(&[
+                "fuzz",
+                "--iterations",
+                "2",
+                "--rounds",
+                "1",
+                "--seed",
+                "99",
+                "--threads",
+                threads,
+                "--json",
+                "--trace",
+                path.to_str().unwrap(),
+            ])
+        })
+        .collect();
+    assert_eq!(outputs[0], outputs[1], "same --seed must replay to identical stdout");
+    assert_eq!(outputs[0], outputs[2], "thread count must not change stdout");
+    let files: Vec<Vec<u8>> = traces.iter().map(|p| std::fs::read(p).unwrap()).collect();
+    assert!(!files[0].is_empty(), "--trace produced no events");
+    assert_eq!(files[0], files[1], "same --seed must replay to an identical trace");
+    assert_eq!(files[0], files[2], "thread count must not change the trace");
+    // Spot-check the format: every line is one JSON object with span + dur.
+    let text = String::from_utf8(files[0].clone()).unwrap();
+    for line in text.lines().take(5) {
+        let v = yinyang_rt::json::Json::parse(line).expect("trace line parses");
+        assert!(v.get("span").is_some() && v.get("dur").is_some(), "bad event: {line}");
+        assert_eq!(v.get("unit").and_then(yinyang_rt::json::Json::as_str), Some("ticks"));
+    }
+}
+
+#[test]
+fn fuzz_json_report_carries_telemetry() {
+    let out = run_cli(&["fuzz", "--iterations", "2", "--rounds", "1", "--seed", "7", "--json"]);
+    let text = String::from_utf8(out).unwrap();
+    let v = yinyang_rt::json::Json::parse(text.trim()).expect("valid fuzz JSON");
+    let telemetry = v.get("telemetry").expect("report has a telemetry section");
+    let stages = telemetry.get("stages").expect("telemetry has stages");
+    for stage in ["seedgen", "fusion", "solve", "triage"] {
+        let s = stages.get(stage).unwrap_or_else(|| panic!("missing stage {stage}"));
+        assert!(s.get("p50").is_some() && s.get("p95").is_some(), "stage {stage} lacks p50/p95");
+    }
+    let counters = telemetry.get("counters").expect("telemetry has counters");
+    assert!(counters.get("solver.sat.decisions").is_some(), "missing solver statistics");
 }

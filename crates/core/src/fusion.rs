@@ -154,7 +154,14 @@ impl Fuser {
         let mut avoid: BTreeSet<Symbol> = decls1.keys().cloned().collect();
         avoid.extend(decls2.keys().cloned());
 
-        let triplets = self.pick_triplets(rng, &s1, &s2, &mut avoid)?;
+        yinyang_rt::metrics::counter_add("fusion.attempts", 1);
+        let triplets = match self.pick_triplets(rng, &s1, &s2, &mut avoid) {
+            Ok(t) => t,
+            Err(e) => {
+                yinyang_rt::metrics::counter_add("fusion.failures", 1);
+                return Err(e);
+            }
+        };
 
         // Variable fusion: substitute random occurrences.
         let mut applied: Vec<Triplet> = Vec::new();
@@ -240,7 +247,14 @@ impl Fuser {
         let decls2 = s2.declarations();
         let mut avoid: BTreeSet<Symbol> = decls1.keys().cloned().collect();
         avoid.extend(decls2.keys().cloned());
-        let triplets = self.pick_triplets(rng, &s1, &s2, &mut avoid)?;
+        yinyang_rt::metrics::counter_add("fusion.attempts", 1);
+        let triplets = match self.pick_triplets(rng, &s1, &s2, &mut avoid) {
+            Ok(t) => t,
+            Err(e) => {
+                yinyang_rt::metrics::counter_add("fusion.failures", 1);
+                return Err(e);
+            }
+        };
 
         let mut applied: Vec<Triplet> = Vec::new();
         for (x, y, z, sort, function) in triplets {

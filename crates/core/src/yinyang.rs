@@ -52,6 +52,7 @@ pub fn run_catching(solver: &dyn SolverUnderTest, script: &Script) -> SolverAnsw
     match catch_unwind(AssertUnwindSafe(|| solver.check_sat(script))) {
         Ok(answer) => answer,
         Err(payload) => {
+            yinyang_rt::metrics::counter_add("harness.crashes", 1);
             let msg = payload
                 .downcast_ref::<&str>()
                 .map(|s| (*s).to_owned())

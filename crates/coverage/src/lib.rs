@@ -150,6 +150,45 @@ impl CoverageSnapshot {
     }
 }
 
+impl yinyang_rt::json::ToJson for CoverageSnapshot {
+    fn to_json(&self) -> yinyang_rt::json::Json {
+        use yinyang_rt::json::Json;
+        Json::obj(ProbeKind::ALL.map(|kind| {
+            let detail = Json::obj([
+                ("sites", Json::Int(self.hits_of_kind(kind) as i64)),
+                ("hits", Json::Int(self.count_of_kind(kind) as i64)),
+            ]);
+            let name = match kind {
+                ProbeKind::Line => "lines",
+                ProbeKind::Function => "functions",
+                ProbeKind::Branch => "branches",
+            };
+            (name, detail)
+        }))
+    }
+}
+
+/// Publishes a snapshot's per-kind site and hit counts as metrics gauges
+/// (`coverage.<kind>.sites` / `coverage.<kind>.hits`), making coverage just
+/// another metrics export alongside solver statistics.
+pub fn export_metrics(snap: &CoverageSnapshot) {
+    for kind in ProbeKind::ALL {
+        let name = match kind {
+            ProbeKind::Line => "lines",
+            ProbeKind::Function => "functions",
+            ProbeKind::Branch => "branches",
+        };
+        yinyang_rt::metrics::gauge_set(
+            &format!("coverage.{name}.sites"),
+            snap.hits_of_kind(kind) as i64,
+        );
+        yinyang_rt::metrics::gauge_set(
+            &format!("coverage.{name}.hits"),
+            snap.count_of_kind(kind) as i64,
+        );
+    }
+}
+
 /// Takes a snapshot of hits since the last [`reset`].
 pub fn snapshot() -> CoverageSnapshot {
     let s = state().lock().expect("coverage state poisoned");

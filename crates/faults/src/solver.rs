@@ -116,6 +116,8 @@ impl SolverUnderTest for FaultySolver {
 
     fn check_sat(&self, script: &Script) -> SolverAnswer {
         if let Some(bug) = self.triggered_bug(script) {
+            yinyang_rt::metrics::counter_add("faults.bug_triggered", 1);
+            yinyang_rt::metrics::counter_add(&format!("faults.bug.{}", bug.id), 1);
             match &bug.action {
                 Action::ForceSat => return SolverAnswer::Sat,
                 Action::ForceUnsat => return SolverAnswer::Unsat,

@@ -11,6 +11,8 @@
 //! | [`bench`] | `criterion` | wall-clock micro-bench runner (median/p95, JSON) |
 //! | [`json`] | `serde`/`serde_json` | hand-rolled JSON writer/reader |
 //! | [`pool`] | `crossbeam` | `std::thread` + `mpsc` worker pools |
+//! | [`metrics`] | `prometheus`-alikes | sharded counters/gauges/histograms |
+//! | [`trace`] | `tracing` | replay-safe spans + JSON-lines events |
 //!
 //! Determinism is a design requirement, not an accident: the campaign's
 //! bit-reproducibility guarantee (same `--seed` ⇒ byte-identical triage
@@ -21,9 +23,13 @@
 
 pub mod bench;
 pub mod json;
+pub mod metrics;
 pub mod pool;
 pub mod prop;
 pub mod rng;
+pub mod trace;
 
 pub use bench::Criterion;
+pub use metrics::{Histogram, HistogramSummary, MetricsSnapshot};
 pub use rng::{Rng, SplitMix64, StdRng};
+pub use trace::{Stopwatch, TimeMode, TraceEvent};

@@ -2,12 +2,15 @@
 
 use std::borrow::Borrow;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// An SMT-LIB symbol (variable, function, or sort name).
 ///
 /// Symbols are reference-counted strings, so cloning one is cheap — terms
 /// and scripts clone symbols liberally during substitution and fusion.
+/// The count is atomic (`Arc`, not `Rc`) so scripts are `Send + Sync`:
+/// the campaign driver generates seed pools once and shares them with its
+/// worker threads.
 ///
 /// # Examples
 ///
@@ -19,12 +22,12 @@ use std::rc::Rc;
 /// assert_eq!(x, Symbol::new("x"));
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Symbol(Rc<str>);
+pub struct Symbol(Arc<str>);
 
 impl Symbol {
     /// Creates a symbol from any string-ish value.
     pub fn new(name: impl AsRef<str>) -> Self {
-        Symbol(Rc::from(name.as_ref()))
+        Symbol(Arc::from(name.as_ref()))
     }
 
     /// The symbol text.

@@ -1,7 +1,7 @@
 //! The SMT-LIB term AST.
 //!
 //! Terms are immutable reference-counted trees ([`Term`] wraps an
-//! `Rc<TermKind>`), so structural sharing makes substitution-heavy fusion
+//! `Arc<TermKind>`), so structural sharing makes substitution-heavy fusion
 //! workloads cheap. Constructors live on [`Term`]; n-ary applications
 //! debug-assert their arity.
 
@@ -9,7 +9,7 @@ use crate::sort::Sort;
 use crate::symbol::Symbol;
 use std::collections::BTreeSet;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 use yinyang_arith::{BigInt, BigRational};
 
 /// Operators of the core, arithmetic, string, and regular-expression
@@ -270,7 +270,7 @@ pub enum TermKind {
 /// assert_eq!(t.to_string(), "(> x 0)");
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash)]
-pub struct Term(Rc<TermKind>);
+pub struct Term(Arc<TermKind>);
 
 impl Term {
     /// Wraps a [`TermKind`].
@@ -286,7 +286,7 @@ impl Term {
                 args.len()
             );
         }
-        Term(Rc::new(kind))
+        Term(Arc::new(kind))
     }
 
     /// The node this term points at.
@@ -296,7 +296,7 @@ impl Term {
 
     /// Pointer equality — true structural sharing, not structural equality.
     pub fn ptr_eq(&self, other: &Term) -> bool {
-        Rc::ptr_eq(&self.0, &other.0)
+        Arc::ptr_eq(&self.0, &other.0)
     }
 
     // -- constants -----------------------------------------------------------

@@ -40,5 +40,5 @@ mod strings;
 pub mod theory;
 
 pub use rewrite::simplify;
-pub use smt::{replace_term, SatResult, SmtSolver, SolveOutput, SolverConfig};
+pub use smt::{replace_term, SatResult, SmtSolver, SolveOutput, SolverConfig, SolverStats};
 pub use theory::{TheoryBudget, TheoryLit, TheoryVerdict};

@@ -6,6 +6,7 @@
 //! here, theory conflicts come back as blocking clauses.
 
 use yinyang_coverage::{probe_fn, probe_line};
+use yinyang_rt::{metrics, trace};
 
 /// A propositional variable, numbered from 0.
 pub type Var = usize;
@@ -55,6 +56,23 @@ impl Lit {
     fn index(self) -> usize {
         self.code
     }
+}
+
+/// Cumulative search statistics, across every `solve` call on one solver.
+///
+/// The counters are plain fields bumped in the search loops (a metrics-map
+/// lookup per propagation would dwarf the propagation itself); deltas are
+/// flushed to [`yinyang_rt::metrics`] once per [`SatSolver::solve`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SatStats {
+    /// Branching decisions made.
+    pub decisions: u64,
+    /// Literals propagated by unit propagation.
+    pub propagations: u64,
+    /// Conflicts hit (and analyzed, unless at level 0).
+    pub conflicts: u64,
+    /// Restarts performed.
+    pub restarts: u64,
 }
 
 /// Result of a SAT call.
@@ -112,7 +130,9 @@ pub struct SatSolver {
     activity: Vec<f64>,
     act_inc: f64,
     phase: Vec<bool>,
+    /// Conflicts within the current `solve` call (budget accounting).
     conflicts: u64,
+    stats: SatStats,
     /// Set when an added clause is empty (trivially unsat).
     empty_clause: bool,
 }
@@ -222,6 +242,7 @@ impl SatSolver {
         while self.queue_head < self.trail.len() {
             let lit = self.trail[self.queue_head];
             self.queue_head += 1;
+            self.stats.propagations += 1;
             let falsified = lit.negate();
             let mut watchers = std::mem::take(&mut self.watches[falsified.index()]);
             let mut i = 0;
@@ -367,8 +388,34 @@ impl SatSolver {
         best.map(|(v, _)| Lit::new(v, self.phase[v]))
     }
 
+    /// Cumulative statistics across every `solve` call so far.
+    pub fn stats(&self) -> SatStats {
+        self.stats
+    }
+
     /// Solves the instance with a conflict budget.
+    ///
+    /// Besides the outcome, each call flushes its statistics delta to the
+    /// metrics registry (`solver.sat.*`) and advances the trace virtual
+    /// clock by the work done, so enclosing spans measure the search.
     pub fn solve(&mut self, max_conflicts: u64) -> SatOutcome {
+        let before = self.stats;
+        let outcome = self.solve_inner(max_conflicts);
+        let d = SatStats {
+            decisions: self.stats.decisions - before.decisions,
+            propagations: self.stats.propagations - before.propagations,
+            conflicts: self.stats.conflicts - before.conflicts,
+            restarts: self.stats.restarts - before.restarts,
+        };
+        metrics::counter_add("solver.sat.decisions", d.decisions);
+        metrics::counter_add("solver.sat.propagations", d.propagations);
+        metrics::counter_add("solver.sat.conflicts", d.conflicts);
+        metrics::counter_add("solver.sat.restarts", d.restarts);
+        trace::work(d.decisions + d.propagations + d.conflicts);
+        outcome
+    }
+
+    fn solve_inner(&mut self, max_conflicts: u64) -> SatOutcome {
         probe_fn!("sat::solve");
         if self.empty_clause {
             return SatOutcome::Unsat;
@@ -383,6 +430,7 @@ impl SatSolver {
         loop {
             if let Some(conflict) = self.propagate() {
                 self.conflicts += 1;
+                self.stats.conflicts += 1;
                 if self.decision_level() == 0 {
                     return SatOutcome::Unsat;
                 }
@@ -410,6 +458,7 @@ impl SatSolver {
                 self.act_inc /= 0.95;
                 if self.conflicts >= next_restart {
                     probe_line!("sat::restart");
+                    self.stats.restarts += 1;
                     self.cancel_until(0);
                     restart_unit = restart_unit.saturating_mul(2);
                     next_restart = self.conflicts + restart_unit;
@@ -422,6 +471,7 @@ impl SatSolver {
                         return SatOutcome::Sat(model);
                     }
                     Some(lit) => {
+                        self.stats.decisions += 1;
                         self.trail_lim.push(self.trail.len());
                         let ok = self.enqueue(lit, None);
                         debug_assert!(ok, "decision variable was unassigned");

@@ -289,6 +289,8 @@ impl Tableau {
 
     /// Pivots basic `xi` with nonbasic `xj` and sets `xi`'s value to `target`.
     fn pivot_and_update(&mut self, xi: usize, xj: usize, target: DeltaRat) {
+        yinyang_rt::metrics::counter_add("solver.simplex.pivots", 1);
+        yinyang_rt::trace::work(1);
         let row_i = self.vars[xi].row.clone().expect("xi is basic");
         let a_ij = row_i.get(&xj).expect("xj in row of xi").clone();
         // xj = (xi - Σ_{k≠j} a_ik·xk) / a_ij

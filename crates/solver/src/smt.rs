@@ -42,6 +42,48 @@ impl std::fmt::Display for SatResult {
     }
 }
 
+/// Search statistics for one solve call, spanning every engine involved:
+/// the CDCL skeleton, the simplex core, and the string searcher.
+///
+/// Zero for scripts decided before any search starts (parse errors,
+/// trivially false, preprocessing verdicts).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// CDCL branching decisions.
+    pub decisions: u64,
+    /// CDCL unit propagations.
+    pub propagations: u64,
+    /// CDCL conflicts.
+    pub conflicts: u64,
+    /// CDCL restarts.
+    pub restarts: u64,
+    /// Simplex pivot operations.
+    pub simplex_pivots: u64,
+    /// String bounded-search nodes expanded.
+    pub string_search_nodes: u64,
+}
+
+yinyang_rt::impl_json_struct!(SolverStats {
+    decisions,
+    propagations,
+    conflicts,
+    restarts,
+    simplex_pivots,
+    string_search_nodes,
+});
+
+impl SolverStats {
+    /// Component-wise sum.
+    pub fn add(&mut self, other: &SolverStats) {
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.conflicts += other.conflicts;
+        self.restarts += other.restarts;
+        self.simplex_pivots += other.simplex_pivots;
+        self.string_search_nodes += other.string_search_nodes;
+    }
+}
+
 /// Full output of a solve call.
 #[derive(Debug, Clone)]
 pub struct SolveOutput {
@@ -53,15 +95,29 @@ pub struct SolveOutput {
     pub reason: Option<String>,
     /// Lazy-loop iterations used.
     pub iterations: usize,
+    /// Search statistics accumulated while producing this verdict.
+    pub stats: SolverStats,
 }
 
 impl SolveOutput {
     fn sat(model: Model, iterations: usize) -> Self {
-        SolveOutput { result: SatResult::Sat, model: Some(model), reason: None, iterations }
+        SolveOutput {
+            result: SatResult::Sat,
+            model: Some(model),
+            reason: None,
+            iterations,
+            stats: SolverStats::default(),
+        }
     }
 
     fn unsat(iterations: usize) -> Self {
-        SolveOutput { result: SatResult::Unsat, model: None, reason: None, iterations }
+        SolveOutput {
+            result: SatResult::Unsat,
+            model: None,
+            reason: None,
+            iterations,
+            stats: SolverStats::default(),
+        }
     }
 
     fn unknown(reason: impl Into<String>, iterations: usize) -> Self {
@@ -70,6 +126,7 @@ impl SolveOutput {
             model: None,
             reason: Some(reason.into()),
             iterations,
+            stats: SolverStats::default(),
         }
     }
 }
@@ -237,10 +294,12 @@ impl SmtSolver {
         match outcome.result {
             SatResult::Sat if approx_forall => {
                 probe_line!("smt::forall_approx_blocks_sat");
-                SolveOutput::unknown(
+                let mut out = SolveOutput::unknown(
                     "universal instantiation is incomplete for sat",
                     outcome.iterations,
-                )
+                );
+                out.stats = outcome.stats;
+                out
             }
             _ => outcome,
         }
@@ -248,6 +307,19 @@ impl SmtSolver {
 
     fn lazy_loop(&self, asserts: &[Term], env: &SortEnv) -> SolveOutput {
         probe_fn!("smt::lazy_loop");
+        // Theory engines report through the thread-local metrics shard; a
+        // pair of reads brackets exactly the work this call triggers.
+        let pivots0 = yinyang_rt::metrics::local_counter("solver.simplex.pivots");
+        let nodes0 = yinyang_rt::metrics::local_counter("solver.strings.search_nodes");
+        let mut out = self.lazy_loop_inner(asserts, env);
+        out.stats.simplex_pivots =
+            yinyang_rt::metrics::local_counter("solver.simplex.pivots") - pivots0;
+        out.stats.string_search_nodes =
+            yinyang_rt::metrics::local_counter("solver.strings.search_nodes") - nodes0;
+        out
+    }
+
+    fn lazy_loop_inner(&self, asserts: &[Term], env: &SortEnv) -> SolveOutput {
         let mut sat = SatSolver::new();
         let mut atoms: Vec<Term> = Vec::new();
         let mut atom_vars: HashMap<Term, usize> = HashMap::new();
@@ -263,82 +335,97 @@ impl SmtSolver {
         }
 
         let mut saw_unknown = false;
-        for iteration in 0..self.config.max_iterations {
-            match sat.solve(self.config.sat_conflicts) {
-                SatOutcome::Unknown => {
-                    return SolveOutput::unknown("sat budget exhausted", iteration)
-                }
-                SatOutcome::Unsat => {
-                    return if saw_unknown {
-                        probe_line!("smt::unsat_tainted_by_unknown");
-                        SolveOutput::unknown("theory checker gave up on a branch", iteration)
-                    } else {
-                        probe_line!("smt::unsat");
-                        SolveOutput::unsat(iteration)
-                    };
-                }
-                SatOutcome::Sat(assignment) => {
-                    let lits: Vec<TheoryLit> = atoms
-                        .iter()
-                        .map(|atom| TheoryLit {
-                            atom: atom.clone(),
-                            positive: assignment[atom_vars[atom]],
-                        })
-                        .collect();
-                    // Split off boolean variables (they are not theory atoms).
-                    let (bool_lits, theory_lits): (Vec<&TheoryLit>, Vec<&TheoryLit>) =
-                        lits.iter().partition(|l| matches!(l.atom.kind(), TermKind::Var(_)));
-                    let theory_lits: Vec<TheoryLit> = theory_lits.into_iter().cloned().collect();
-                    match check_theory(&theory_lits, env, &self.config.theory) {
-                        TheoryVerdict::Sat(mut model) => {
-                            for bl in bool_lits {
-                                if let TermKind::Var(name) = bl.atom.kind() {
-                                    model.set(name.clone(), Value::Bool(bl.positive));
+        let mut out = 'run: {
+            for iteration in 0..self.config.max_iterations {
+                match sat.solve(self.config.sat_conflicts) {
+                    SatOutcome::Unknown => {
+                        break 'run SolveOutput::unknown("sat budget exhausted", iteration)
+                    }
+                    SatOutcome::Unsat => {
+                        break 'run if saw_unknown {
+                            probe_line!("smt::unsat_tainted_by_unknown");
+                            SolveOutput::unknown("theory checker gave up on a branch", iteration)
+                        } else {
+                            probe_line!("smt::unsat");
+                            SolveOutput::unsat(iteration)
+                        };
+                    }
+                    SatOutcome::Sat(assignment) => {
+                        let lits: Vec<TheoryLit> = atoms
+                            .iter()
+                            .map(|atom| TheoryLit {
+                                atom: atom.clone(),
+                                positive: assignment[atom_vars[atom]],
+                            })
+                            .collect();
+                        // Split off boolean variables (they are not theory atoms).
+                        let (bool_lits, theory_lits): (Vec<&TheoryLit>, Vec<&TheoryLit>) =
+                            lits.iter().partition(|l| matches!(l.atom.kind(), TermKind::Var(_)));
+                        let theory_lits: Vec<TheoryLit> =
+                            theory_lits.into_iter().cloned().collect();
+                        match check_theory(&theory_lits, env, &self.config.theory) {
+                            TheoryVerdict::Sat(mut model) => {
+                                for bl in bool_lits {
+                                    if let TermKind::Var(name) = bl.atom.kind() {
+                                        model.set(name.clone(), Value::Bool(bl.positive));
+                                    }
                                 }
+                                // Final end-to-end verification.
+                                let verified = asserts.iter().all(|a| {
+                                    matches!(
+                                        model.eval_with(a, ZeroDivPolicy::Zero),
+                                        Ok(Value::Bool(true))
+                                    )
+                                });
+                                if verified {
+                                    probe_line!("smt::sat_verified");
+                                    break 'run SolveOutput::sat(model, iteration);
+                                }
+                                probe_line!("smt::sat_verification_failed");
+                                break 'run SolveOutput::unknown(
+                                    "model verification failed",
+                                    iteration,
+                                );
                             }
-                            // Final end-to-end verification.
-                            let verified = asserts.iter().all(|a| {
-                                matches!(
-                                    model.eval_with(a, ZeroDivPolicy::Zero),
-                                    Ok(Value::Bool(true))
-                                )
-                            });
-                            if verified {
-                                probe_line!("smt::sat_verified");
-                                return SolveOutput::sat(model, iteration);
+                            verdict => {
+                                if verdict == TheoryVerdict::Unknown {
+                                    saw_unknown = true;
+                                }
+                                sat.backtrack_to_root();
+                                // Block the theory assignment — minimized to an
+                                // unsat core when the conflict is decisive, so
+                                // the skeleton cannot re-enumerate irrelevant
+                                // boolean combinations.
+                                let core: Vec<TheoryLit> = if verdict == TheoryVerdict::Unsat {
+                                    minimize_core(theory_lits, env, &self.config.theory)
+                                } else {
+                                    theory_lits
+                                };
+                                let blocking: Vec<Lit> = core
+                                    .iter()
+                                    .map(|l| Lit::new(atom_vars[&l.atom], !l.positive))
+                                    .collect();
+                                if blocking.is_empty() {
+                                    break 'run SolveOutput::unknown(
+                                        "empty blocking clause",
+                                        iteration,
+                                    );
+                                }
+                                probe_line!("smt::blocking_clause");
+                                sat.add_clause(blocking);
                             }
-                            probe_line!("smt::sat_verification_failed");
-                            return SolveOutput::unknown("model verification failed", iteration);
-                        }
-                        verdict => {
-                            if verdict == TheoryVerdict::Unknown {
-                                saw_unknown = true;
-                            }
-                            sat.backtrack_to_root();
-                            // Block the theory assignment — minimized to an
-                            // unsat core when the conflict is decisive, so
-                            // the skeleton cannot re-enumerate irrelevant
-                            // boolean combinations.
-                            let core: Vec<TheoryLit> = if verdict == TheoryVerdict::Unsat {
-                                minimize_core(theory_lits, env, &self.config.theory)
-                            } else {
-                                theory_lits
-                            };
-                            let blocking: Vec<Lit> = core
-                                .iter()
-                                .map(|l| Lit::new(atom_vars[&l.atom], !l.positive))
-                                .collect();
-                            if blocking.is_empty() {
-                                return SolveOutput::unknown("empty blocking clause", iteration);
-                            }
-                            probe_line!("smt::blocking_clause");
-                            sat.add_clause(blocking);
                         }
                     }
                 }
             }
-        }
-        SolveOutput::unknown("iteration limit", self.config.max_iterations)
+            SolveOutput::unknown("iteration limit", self.config.max_iterations)
+        };
+        let s = sat.stats();
+        out.stats.decisions = s.decisions;
+        out.stats.propagations = s.propagations;
+        out.stats.conflicts = s.conflicts;
+        out.stats.restarts = s.restarts;
+        out
     }
 }
 

@@ -36,9 +36,6 @@ pub(crate) fn check_strings(
     budget: &TheoryBudget,
 ) -> TheoryVerdict {
     probe_fn!("strings::check_strings");
-    let timing = std::env::var_os("YINYANG_TIMING").is_some();
-    let t0 = std::time::Instant::now();
-
     let string_vars: Vec<Symbol> = collect_vars_of_sort(lits, env, Sort::String);
     // Integer variables used inside string operations must be enumerated too.
     let index_ints: Vec<Symbol> = collect_string_index_ints(lits, env);
@@ -46,20 +43,14 @@ pub(crate) fn check_strings(
     yinyang_coverage::probe_branch!("strings::many_string_vars", string_vars.len() > 3);
 
     // ---- 1. Length abstraction -------------------------------------------------
-    if length_abstraction_refutes(lits, env, &string_vars, budget) {
-        probe_line!("strings::length_refuted");
-        return TheoryVerdict::Unsat;
-    }
-
-    if timing {
-        eprintln!(
-            "[strings] length abstraction: {:.3}s ({} lits)",
-            t0.elapsed().as_secs_f64(),
-            lits.len()
-        );
+    {
+        let _span = yinyang_rt::span!("strings.length_abstraction", lits = lits.len());
+        if length_abstraction_refutes(lits, env, &string_vars, budget) {
+            probe_line!("strings::length_refuted");
+            return TheoryVerdict::Unsat;
+        }
     }
     // ---- 2. Bounded search -----------------------------------------------------
-    let t1 = std::time::Instant::now();
     let alphabet = collect_alphabet(lits);
     let max_len = 4usize;
     let candidates = candidate_strings(lits, &alphabet, max_len);
@@ -84,6 +75,7 @@ pub(crate) fn check_strings(
         })
         .collect();
 
+    let node_budget = budget.search_candidates.saturating_mul(30);
     let mut searcher = Searcher {
         lits,
         closes_at: &closes_at,
@@ -92,24 +84,27 @@ pub(crate) fn check_strings(
         index_ints: &index_ints,
         candidates: &candidates,
         int_grid: &int_grid,
-        nodes_left: budget.search_candidates.saturating_mul(30),
+        nodes_left: node_budget,
         budget,
     };
-    if timing {
-        eprintln!(
-            "[strings] candidates: {:.3}s ({} pool, {} svars, {} ivars)",
-            t1.elapsed().as_secs_f64(),
-            candidates.len(),
-            string_vars.len(),
-            index_ints.len()
+    yinyang_rt::metrics::histogram_record(
+        "solver.strings.search_vars",
+        (string_vars.len() + index_ints.len()) as u64,
+    );
+    let r = {
+        let _span = yinyang_rt::span!(
+            "strings.search",
+            pool = candidates.len(),
+            svars = string_vars.len(),
+            ivars = index_ints.len(),
         );
-    }
-    let t2 = std::time::Instant::now();
-    let mut partial: BTreeMap<Symbol, Value> = BTreeMap::new();
-    let r = searcher.dfs(0, &mut partial);
-    if timing {
-        eprintln!("[strings] dfs: {:.3}s", t2.elapsed().as_secs_f64());
-    }
+        let mut partial: BTreeMap<Symbol, Value> = BTreeMap::new();
+        let r = searcher.dfs(0, &mut partial);
+        let nodes = (node_budget - searcher.nodes_left) as u64;
+        yinyang_rt::metrics::counter_add("solver.strings.search_nodes", nodes);
+        yinyang_rt::trace::work(nodes);
+        r
+    };
     match r {
         SearchOutcome::Found(model) => TheoryVerdict::Sat(model),
         SearchOutcome::ExhaustedComplete => {

@@ -12,7 +12,13 @@ use yinyang::smtlib::{parse_script, Logic, Script};
 use yinyang_rt::StdRng;
 
 fn small_config() -> CampaignConfig {
-    CampaignConfig { scale: 800, iterations: 8, rounds: 2, rng_seed: 42, threads: 1 }
+    CampaignConfig {
+        scale: 800,
+        iterations: 8,
+        rounds: 2,
+        rng_seed: 42,
+        ..CampaignConfig::default()
+    }
 }
 
 #[test]

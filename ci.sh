@@ -31,6 +31,33 @@ grep -q '"telemetry"' "$SMOKE/seq.json"
 grep -q '"stages"' "$SMOKE/seq.json"
 grep -q '"solver.sat.decisions"' "$SMOKE/seq.json"
 
+echo "==> forensics smoke gate"
+# A faulted campaign must yield at least one reproduction bundle whose
+# ddmin-reduced script is strictly smaller than its fused script (and
+# still triggers the bug — the reducer's oracle enforces that); the
+# trace must fold into a span profile; and EXPERIMENTS.md's
+# deterministic generated block must not be stale.
+FORENSICS=target/forensics-smoke
+rm -rf "$FORENSICS"
+mkdir -p "$FORENSICS"
+target/release/yinyang fuzz --iterations 2 --rounds 1 --seed 7 --quiet \
+    --json --trace "$FORENSICS/trace.jsonl" \
+    --bundle-dir "$FORENSICS/bundles" \
+    --metrics-out "$FORENSICS/metrics.json" > "$FORENSICS/report.json"
+test -s "$FORENSICS/metrics.json"
+grep -q '"coverage_rounds"' "$FORENSICS/report.json"
+test "$(ls "$FORENSICS/bundles" | wc -l)" -ge 1
+SHRUNK=0
+for d in "$FORENSICS/bundles"/*/; do
+    test -s "$d/verdict.json"
+    fused=$(wc -c < "$d/fused.smt2")
+    reduced=$(wc -c < "$d/reduced.smt2")
+    if [ "$reduced" -lt "$fused" ]; then SHRUNK=1; fi
+done
+test "$SHRUNK" -eq 1
+target/release/yinyang profile "$FORENSICS/trace.jsonl" | grep -q "span tree"
+target/release/yinyang experiments-md --check
+
 echo "==> bench report regeneration (fast mode)"
 YINYANG_BENCH_FAST=1 cargo bench --offline -p yinyang-bench --bench throughput
 test -s crates/bench/target/yinyang-bench/report.json

@@ -20,34 +20,84 @@
 //! and the driver merges the deltas in job order.
 
 use crate::config::{fast_solver_config, Behavior, CampaignConfig, CampaignOutcome, RawFinding};
+use crate::telemetry::CoverageRound;
 use std::collections::BTreeSet;
 use yinyang_core::{concat_fuzz, run_catching, Fuser, Oracle, SolverAnswer};
+use yinyang_coverage::ProbeKind;
 use yinyang_faults::{BugClass, BugStatus, FaultySolver, SolverId};
 use yinyang_rt::trace::{self, TraceEvent};
 use yinyang_rt::{metrics, MetricsSnapshot, Rng, StdRng, Stopwatch};
 use yinyang_seedgen::profile::{fig7_profile, generate_row};
 use yinyang_seedgen::Seed;
 
-/// Runs a full multi-round campaign against one persona's trunk.
-pub fn run_campaign(config: &CampaignConfig, solver_id: SolverId) -> CampaignOutcome {
-    run_campaign_with_metrics(config, solver_id).0
+/// Everything forensics needs to reproduce one finding outside the
+/// campaign: where the job ran, which bugs were deactivated at the time,
+/// and the job's private telemetry. Indices align 1:1 with
+/// [`CampaignOutcome::findings`].
+#[derive(Debug, Clone, Default)]
+pub struct FindingForensics {
+    /// Campaign round the finding's job ran in.
+    pub round: usize,
+    /// Flat job index within that round.
+    pub job_index: usize,
+    /// The job's decorrelated RNG stream seed.
+    pub rng_seed: u64,
+    /// Bug ids deactivated (fix-and-retest) when the job ran.
+    pub fixed: Vec<u32>,
+    /// The job's private metrics delta — exactly what it contributed to
+    /// the campaign telemetry.
+    pub metrics: MetricsSnapshot,
+    /// The job's trace-event slice (empty unless capture was on).
+    pub events: Vec<TraceEvent>,
 }
 
-/// [`run_campaign`] plus the campaign's merged metrics delta: every
-/// counter and span histogram the rounds produced (seed generation,
-/// fusion, solving, oracle checks, triage, and the solver's own
-/// statistics), assembled from per-job deltas so the totals are identical
-/// across thread counts.
+/// A campaign's full output: findings, merged telemetry, per-finding
+/// forensics, and (when enabled) the per-round coverage trajectory.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignRun {
+    /// Findings and summary counters.
+    pub outcome: CampaignOutcome,
+    /// Merged per-job metric deltas: every counter and span histogram the
+    /// rounds produced, identical across thread counts.
+    pub metrics: MetricsSnapshot,
+    /// One record per finding, in the same order.
+    pub forensics: Vec<FindingForensics>,
+    /// Cumulative coverage after each round (empty unless
+    /// [`CampaignConfig::coverage_trajectory`] is set).
+    pub coverage_rounds: Vec<CoverageRound>,
+}
+
+/// Runs a full multi-round campaign against one persona's trunk.
+pub fn run_campaign(config: &CampaignConfig, solver_id: SolverId) -> CampaignOutcome {
+    run_campaign_full(config, solver_id).outcome
+}
+
+/// [`run_campaign`] plus the campaign's merged metrics delta (seed
+/// generation, fusion, solving, oracle checks, triage, and the solver's
+/// own statistics), assembled from per-job deltas so the totals are
+/// identical across thread counts.
 pub fn run_campaign_with_metrics(
     config: &CampaignConfig,
     solver_id: SolverId,
 ) -> (CampaignOutcome, MetricsSnapshot) {
-    let mut outcome = CampaignOutcome::default();
-    let mut telemetry = MetricsSnapshot::default();
+    let run = run_campaign_full(config, solver_id);
+    (run.outcome, run.metrics)
+}
+
+/// The full campaign driver: [`run_campaign_with_metrics`] plus
+/// per-finding [`FindingForensics`] and the optional per-round coverage
+/// trajectory. Everything in the returned [`CampaignRun`] is a pure
+/// function of the config (modulo process-global coverage when other
+/// campaigns share the process — see
+/// [`CampaignConfig::coverage_trajectory`]).
+pub fn run_campaign_full(config: &CampaignConfig, solver_id: SolverId) -> CampaignRun {
+    let mut run = CampaignRun::default();
     let mut fixed: BTreeSet<u32> = BTreeSet::new();
     let watch = Stopwatch::start();
+    let coverage_start =
+        if config.coverage_trajectory { Some(yinyang_coverage::snapshot()) } else { None };
     for round in 0..config.rounds {
-        let (round_outcome, mut round_metrics, mut events) =
+        let (round_outcome, mut round_metrics, mut events, round_forensics) =
             run_round(config, solver_id, round, &fixed);
         // Fix-and-retest: deactivate fixed confirmed bugs for later rounds.
         let before = metrics::local_snapshot();
@@ -68,16 +118,30 @@ pub fn run_campaign_with_metrics(
         events.extend(trace::take_events());
         round_metrics.merge(&metrics::local_snapshot().delta(&before));
         trace::emit_events(&events);
-        outcome.findings.extend(round_outcome.findings);
-        outcome.stats.tests += round_outcome.stats.tests;
-        outcome.stats.unknowns += round_outcome.stats.unknowns;
-        outcome.stats.fusion_failures += round_outcome.stats.fusion_failures;
-        telemetry.merge(&round_metrics);
+        if let Some(start) = &coverage_start {
+            let cumulative = yinyang_coverage::snapshot().delta(start);
+            run.coverage_rounds.push(CoverageRound {
+                solver: solver_id.name().to_owned(),
+                round,
+                lines_sites: cumulative.hits_of_kind(ProbeKind::Line),
+                functions_sites: cumulative.hits_of_kind(ProbeKind::Function),
+                branches_sites: cumulative.hits_of_kind(ProbeKind::Branch),
+                lines_hits: cumulative.count_of_kind(ProbeKind::Line),
+                functions_hits: cumulative.count_of_kind(ProbeKind::Function),
+                branches_hits: cumulative.count_of_kind(ProbeKind::Branch),
+            });
+        }
+        run.outcome.findings.extend(round_outcome.findings);
+        run.forensics.extend(round_forensics);
+        run.outcome.stats.tests += round_outcome.stats.tests;
+        run.outcome.stats.unknowns += round_outcome.stats.unknowns;
+        run.outcome.stats.fusion_failures += round_outcome.stats.fusion_failures;
+        run.metrics.merge(&round_metrics);
         if config.heartbeat {
-            heartbeat(solver_id, config, round, &outcome, &telemetry, &watch);
+            heartbeat(solver_id, config, round, &run.outcome, &run.metrics, &watch);
         }
     }
-    (outcome, telemetry)
+    run
 }
 
 /// One periodic stderr progress line. Wall clock is fine here: stderr is
@@ -159,7 +223,7 @@ fn run_round(
     solver_id: SolverId,
     round: usize,
     fixed: &BTreeSet<u32>,
-) -> (CampaignOutcome, MetricsSnapshot, Vec<TraceEvent>) {
+) -> (CampaignOutcome, MetricsSnapshot, Vec<TraceEvent>, Vec<FindingForensics>) {
     let round_seed = config.rng_seed ^ (round as u64).wrapping_mul(0x9E37_79B9);
     let driver_before = metrics::local_snapshot();
     let pools = {
@@ -188,21 +252,35 @@ fn run_round(
             rng_seed: mix64(round_seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
         })
         .collect();
+    let rng_seeds: Vec<u64> = jobs.iter().map(|j| j.rng_seed).collect();
     let fuser = Fuser::new();
     let results = yinyang_rt::pool::parallel_map(config.threads, jobs, |job| {
         run_test(solver_id, round, fixed, &fuser, &pools, job)
     });
 
     let mut outcome = CampaignOutcome::default();
-    for r in results {
+    let mut forensics = Vec::new();
+    // `parallel_map` preserves input order, so `job_index` here is the
+    // flat index the job's `rng_seed` was derived from.
+    for (job_index, r) in results.into_iter().enumerate() {
         outcome.stats.tests += r.tests;
         outcome.stats.unknowns += r.unknowns;
         outcome.stats.fusion_failures += r.fusion_failures;
+        if r.finding.is_some() {
+            forensics.push(FindingForensics {
+                round,
+                job_index,
+                rng_seed: rng_seeds[job_index],
+                fixed: fixed.iter().copied().collect(),
+                metrics: r.metrics.clone(),
+                events: r.events.clone(),
+            });
+        }
         outcome.findings.extend(r.finding);
         events.extend(r.events);
         round_metrics.merge(&r.metrics);
     }
-    (outcome, round_metrics, events)
+    (outcome, round_metrics, events, forensics)
 }
 
 /// One fused test: pick a pair, fuse, solve, check against the oracle.

@@ -2,7 +2,7 @@
 //! paper's evaluation section, each returning a rendered text table (and
 //! serializable data) with the same rows the paper reports.
 
-use crate::campaign::{run_campaign_with_metrics, run_concatfuzz_round};
+use crate::campaign::{run_campaign_full, run_concatfuzz_round, FindingForensics};
 use crate::config::{fast_solver_config, CampaignConfig, CampaignOutcome};
 use crate::telemetry::Telemetry;
 use crate::triage::{representatives, soundness_representatives, triage, Triage};
@@ -12,7 +12,7 @@ use yinyang_core::{concat_fuzz, run_catching, Fuser, Oracle, SolverAnswer};
 use yinyang_coverage::{reset, snapshot, universe, CoverageSnapshot, ProbeKind};
 use yinyang_faults::{history, registry, releases_of, BugClass, BugStatus, FaultySolver, SolverId};
 use yinyang_rt::impl_json_struct;
-use yinyang_rt::{Rng, StdRng};
+use yinyang_rt::{MetricsSnapshot, Rng, StdRng};
 use yinyang_seedgen::profile::{fig7_profile, generate_row, scaled};
 use yinyang_seedgen::Seed;
 use yinyang_smtlib::parse_script;
@@ -49,7 +49,7 @@ pub fn fig7(scale: usize) -> String {
 
 /// Fig. 8 campaign result: triage plus raw outcomes, reused by Fig. 9/10
 /// and RQ4.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Fig8Result {
     /// Findings of the Zirkon campaign.
     pub zirkon: CampaignOutcome,
@@ -64,23 +64,53 @@ pub struct Fig8Result {
 
 impl_json_struct!(Fig8Result { zirkon, corvus, triage, telemetry });
 
+/// [`Fig8Result`] plus the raw material forensics works from: the merged
+/// full-resolution metrics snapshot and per-finding job forensics, in the
+/// same order as each campaign's findings.
+#[derive(Debug, Clone, Default)]
+pub struct Fig8Run {
+    /// The report-facing result (what `fuzz` serializes).
+    pub result: Fig8Result,
+    /// The un-condensed merged metrics of both campaigns plus triage.
+    pub metrics: MetricsSnapshot,
+    /// Per-finding forensics of the Zirkon campaign.
+    pub zirkon_forensics: Vec<FindingForensics>,
+    /// Per-finding forensics of the Corvus campaign.
+    pub corvus_forensics: Vec<FindingForensics>,
+}
+
 /// Runs the full bug-finding campaign against both personas (RQ1).
 pub fn fig8_campaign(config: &CampaignConfig) -> Fig8Result {
-    let (zirkon, zirkon_metrics) = run_campaign_with_metrics(config, SolverId::Zirkon);
-    let (corvus, corvus_metrics) = run_campaign_with_metrics(config, SolverId::Corvus);
-    let mut all = zirkon.findings.clone();
-    all.extend(corvus.findings.clone());
+    fig8_campaign_full(config).result
+}
+
+/// [`fig8_campaign`] keeping the forensic raw material: per-finding job
+/// telemetry (for reproduction bundles) and the full metrics snapshot
+/// (for `--metrics-out`). Coverage trajectories land in
+/// `telemetry.coverage_rounds` when the config asks for them.
+pub fn fig8_campaign_full(config: &CampaignConfig) -> Fig8Run {
+    let zirkon = run_campaign_full(config, SolverId::Zirkon);
+    let corvus = run_campaign_full(config, SolverId::Corvus);
+    let mut all = zirkon.outcome.findings.clone();
+    all.extend(corvus.outcome.findings.clone());
     let before = yinyang_rt::metrics::local_snapshot();
     let triage = {
         let _span = yinyang_rt::span!("triage", findings = all.len());
         triage(&all)
     };
     yinyang_rt::trace::emit_events(&yinyang_rt::trace::take_events());
-    let mut merged = zirkon_metrics;
-    merged.merge(&corvus_metrics);
+    let mut merged = zirkon.metrics;
+    merged.merge(&corvus.metrics);
     merged.merge(&yinyang_rt::metrics::local_snapshot().delta(&before));
-    let telemetry = Telemetry::from_snapshot(&merged);
-    Fig8Result { zirkon, corvus, triage, telemetry }
+    let mut telemetry = Telemetry::from_snapshot(&merged);
+    telemetry.coverage_rounds = zirkon.coverage_rounds;
+    telemetry.coverage_rounds.extend(corvus.coverage_rounds);
+    Fig8Run {
+        result: Fig8Result { zirkon: zirkon.outcome, corvus: corvus.outcome, triage, telemetry },
+        metrics: merged,
+        zirkon_forensics: zirkon.forensics,
+        corvus_forensics: corvus.forensics,
+    }
 }
 
 /// Renders Fig. 8a/8b/8c from a campaign result, with the paper's values

@@ -1,0 +1,389 @@
+//! Reproduction bundles: a self-contained directory per deduplicated
+//! finding, enough to re-file the bug without re-running the campaign.
+//!
+//! Layout under the bundle root (one subdirectory per
+//! [`crate::triage::fingerprint`]):
+//!
+//! ```text
+//! <root>/<fingerprint>/
+//!   seed1.smt2     first ancestor seed
+//!   seed2.smt2     second ancestor seed
+//!   fused.smt2     the fused test case that exposed the bug
+//!   reduced.smt2   ddmin-minimized test case (still triggers the bug)
+//!   verdict.json   finding metadata + reduction statistics + answers
+//!   bug.json       the matching injected-bug registry entry, if triaged
+//!   metrics.json   the finding job's private metrics delta
+//!   trace.jsonl    the job's trace-event slice (empty without capture)
+//! ```
+//!
+//! Minimization drives [`yinyang_reduce::reduce_with_stats`] with an
+//! interestingness oracle that replays the candidate against a freshly
+//! built persona (same release, same fix-and-retest state as the original
+//! job) and demands the *same* triggered bug and the *same* behavior
+//! class. For `Incorrect` findings a reference-solver cross-check keeps
+//! the verdict a genuine mismatch; when the reference answers `unknown`
+//! the check degrades to trigger-equality and `verdict.json` records
+//! `"oracle_checked": false`.
+//!
+//! Everything written here is a pure function of the finding and its
+//! [`FindingForensics`], so bundles inherit the campaign's replay
+//! guarantee: same seed ⇒ byte-identical bundle trees, sequential or
+//! sharded.
+
+use crate::campaign::FindingForensics;
+use crate::config::{fast_solver_config, solver_of, Behavior, RawFinding};
+use crate::triage::{behavior_kind, fingerprint};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use yinyang_core::{run_catching, SolverAnswer};
+use yinyang_faults::{FaultySolver, InjectedBug};
+use yinyang_rt::impl_json_struct;
+use yinyang_rt::json::{Json, ToJson};
+use yinyang_smtlib::{parse_script, Script};
+
+/// What one bundle looked like, for CLI reporting and the CI smoke gate.
+#[derive(Debug, Clone, Default)]
+pub struct BundleSummary {
+    /// The bundle's fingerprint (= directory name).
+    pub fingerprint: String,
+    /// Bytes of the fused script.
+    pub fused_bytes: usize,
+    /// Bytes of the reduced script.
+    pub reduced_bytes: usize,
+    /// Whether the reduced script still reproduces the finding (it always
+    /// should; `false` flags an oracle we could not rebuild).
+    pub reproduced: bool,
+}
+
+impl_json_struct!(BundleSummary { fingerprint, fused_bytes, reduced_bytes, reproduced });
+
+/// One finding's verdict record, serialized as `verdict.json`.
+struct Verdict<'a> {
+    finding: &'a RawFinding,
+    forensics: &'a FindingForensics,
+    fingerprint: &'a str,
+    fused_answer: String,
+    reduced_answer: String,
+    oracle_checked: bool,
+    reduce_stats: yinyang_reduce::ReduceStats,
+}
+
+impl ToJson for Verdict<'_> {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("fingerprint", Json::Str(self.fingerprint.to_owned())),
+            ("solver", self.finding.solver.to_json()),
+            ("bug_id", self.finding.bug_id.to_json()),
+            ("behavior", self.finding.behavior.to_json()),
+            ("behavior_kind", Json::Str(behavior_kind(&self.finding.behavior).to_owned())),
+            ("logic", self.finding.logic.to_json()),
+            ("benchmark", self.finding.benchmark.to_json()),
+            ("oracle", self.finding.oracle.to_json()),
+            ("round", self.forensics.round.to_json()),
+            ("job_index", self.forensics.job_index.to_json()),
+            ("rng_seed", self.forensics.rng_seed.to_json()),
+            ("fixed_bugs", self.forensics.fixed.to_json()),
+            ("fused_answer", Json::Str(self.fused_answer.clone())),
+            ("reduced_answer", Json::Str(self.reduced_answer.clone())),
+            ("oracle_checked", Json::Bool(self.oracle_checked)),
+            ("reduce", self.reduce_stats.to_json()),
+        ])
+    }
+}
+
+/// Serializes a registry entry. `Trigger`/`Action` have no JSON form of
+/// their own (they hold static program shapes), so they render via
+/// `Debug` — stable, and meant for human eyes in the bundle.
+fn bug_json(bug: &InjectedBug) -> Json {
+    let status = match bug.status {
+        yinyang_faults::BugStatus::Confirmed { fixed } => {
+            if fixed {
+                "confirmed-fixed"
+            } else {
+                "confirmed"
+            }
+        }
+        yinyang_faults::BugStatus::WontFix => "wont-fix",
+        yinyang_faults::BugStatus::Pending => "pending",
+    };
+    Json::obj([
+        ("id", bug.id.to_json()),
+        ("name", Json::Str(bug.name.to_owned())),
+        ("solver", Json::Str(bug.solver.name().to_owned())),
+        ("class", Json::Str(bug.class.name().to_owned())),
+        ("logic", Json::Str(bug.logic.name().to_owned())),
+        ("status", Json::Str(status.to_owned())),
+        ("trigger", Json::Str(format!("{:?}", bug.trigger))),
+        ("action", Json::Str(format!("{:?}", bug.action))),
+        ("releases", Json::Arr(bug.releases.iter().map(|r| Json::Str((*r).to_owned())).collect())),
+    ])
+}
+
+/// The answer string recorded in `verdict.json`.
+fn answer_str(answer: &SolverAnswer) -> String {
+    match answer {
+        SolverAnswer::Crash(m) => format!("crash: {m}"),
+        a => a.as_str().to_owned(),
+    }
+}
+
+/// Rebuilds the persona exactly as the finding's job saw it: trunk build,
+/// campaign solver limits, and the fix-and-retest state of that round.
+fn rebuild_solver(finding: &RawFinding, forensics: &FindingForensics) -> Option<FaultySolver> {
+    let id = solver_of(finding)?;
+    let mut solver = FaultySolver::trunk(id);
+    solver.set_base_config(fast_solver_config());
+    for &bug in &forensics.fixed {
+        solver.apply_fix(bug);
+    }
+    Some(solver)
+}
+
+/// Does `candidate` still exhibit the finding? Same triggered bug (when
+/// the finding was triaged to one) and same behavior class; `reference`
+/// (when present) must disagree with an `Incorrect` answer so the verdict
+/// stays a real mismatch, not just a fired trigger.
+fn still_interesting(
+    candidate: &Script,
+    solver: &FaultySolver,
+    reference: Option<&FaultySolver>,
+    finding: &RawFinding,
+) -> bool {
+    if let Some(id) = finding.bug_id {
+        if solver.triggered_bug(candidate).map(|b| b.id) != Some(id) {
+            return false;
+        }
+    }
+    let answer = run_catching(solver, candidate);
+    match &finding.behavior {
+        Behavior::Crash { .. } => matches!(answer, SolverAnswer::Crash(_)),
+        Behavior::SpuriousUnknown => matches!(answer, SolverAnswer::Unknown),
+        Behavior::Incorrect { got, .. } => {
+            if answer.as_str() != got {
+                return false;
+            }
+            match reference {
+                None => true,
+                Some(reference) => match run_catching(reference, candidate) {
+                    SolverAnswer::Sat => got == "unsat",
+                    SolverAnswer::Unsat => got == "sat",
+                    _ => false,
+                },
+            }
+        }
+    }
+}
+
+/// Minimizes one finding's script, returning the reduced script, its
+/// stats, whether the reduction oracle could be rebuilt at all, and
+/// whether the reference cross-check was in force.
+fn minimize(
+    finding: &RawFinding,
+    forensics: &FindingForensics,
+) -> (Script, yinyang_reduce::ReduceStats, bool, bool) {
+    let fused = match parse_script(&finding.script) {
+        Ok(s) => s,
+        // A finding script always parses (we printed it ourselves), but
+        // degrade to a no-op reduction rather than panic in a CLI path.
+        Err(_) => return (Script::default(), yinyang_reduce::ReduceStats::default(), false, false),
+    };
+    let Some(solver) = rebuild_solver(finding, forensics) else {
+        return (fused, yinyang_reduce::ReduceStats::default(), false, false);
+    };
+    // The reference cross-check only helps while it can decide the fused
+    // input; otherwise fall back to trigger + answer equality (lax mode).
+    let mut reference = None;
+    if matches!(finding.behavior, Behavior::Incorrect { .. }) {
+        let candidate_ref = FaultySolver::reference(solver.id());
+        let mut r = candidate_ref;
+        r.set_base_config(fast_solver_config());
+        if matches!(run_catching(&r, &fused), SolverAnswer::Sat | SolverAnswer::Unsat) {
+            reference = Some(r);
+        }
+    }
+    let oracle_checked = reference.is_some();
+    let mut interesting =
+        |candidate: &Script| still_interesting(candidate, &solver, reference.as_ref(), finding);
+    if !interesting(&fused) {
+        // The oracle no longer fires (can happen for unmapped findings
+        // whose behavior was scheduling-sensitive): keep the fused script.
+        return (fused, yinyang_reduce::ReduceStats::default(), false, oracle_checked);
+    }
+    let (reduced, stats) = yinyang_reduce::reduce_with_stats(&fused, &mut interesting);
+    (reduced, stats, true, oracle_checked)
+}
+
+/// Writes reproduction bundles for every *deduplicated* finding (first
+/// finding per fingerprint wins — later ones are triage duplicates) into
+/// `root`, returning one [`BundleSummary`] per bundle in directory order.
+///
+/// `findings` and `forensics` must be index-aligned, as produced by
+/// [`crate::campaign::run_campaign_full`] /
+/// [`crate::experiments::fig8_campaign_full`].
+pub fn write_bundles(
+    root: &Path,
+    findings: &[RawFinding],
+    forensics: &[FindingForensics],
+) -> std::io::Result<Vec<BundleSummary>> {
+    assert_eq!(findings.len(), forensics.len(), "findings and forensics must be aligned");
+    // Deterministic dedup + deterministic output order.
+    let mut chosen: BTreeMap<String, usize> = BTreeMap::new();
+    for (i, f) in findings.iter().enumerate() {
+        chosen.entry(fingerprint(f)).or_insert(i);
+    }
+    let mut summaries = Vec::new();
+    for (fp, &i) in &chosen {
+        let summary = write_bundle(&root.join(fp), fp, &findings[i], &forensics[i])?;
+        summaries.push(summary);
+    }
+    Ok(summaries)
+}
+
+/// Writes one bundle directory.
+fn write_bundle(
+    dir: &PathBuf,
+    fp: &str,
+    finding: &RawFinding,
+    forensics: &FindingForensics,
+) -> std::io::Result<BundleSummary> {
+    std::fs::create_dir_all(dir)?;
+    let (reduced, reduce_stats, reproduced, oracle_checked) = minimize(finding, forensics);
+    let fused_text = finding.script.clone();
+    let reduced_text = reduced.to_string();
+
+    std::fs::write(dir.join("seed1.smt2"), &finding.seeds.0)?;
+    std::fs::write(dir.join("seed2.smt2"), &finding.seeds.1)?;
+    std::fs::write(dir.join("fused.smt2"), &fused_text)?;
+    std::fs::write(dir.join("reduced.smt2"), &reduced_text)?;
+
+    // Answers recorded from the rebuilt persona, so the bundle documents
+    // what a reader will see when they replay the scripts.
+    let (fused_answer, reduced_answer) = match rebuild_solver(finding, forensics) {
+        Some(solver) => {
+            let fused_ans = parse_script(&finding.script)
+                .map(|s| answer_str(&run_catching(&solver, &s)))
+                .unwrap_or_else(|_| "unparseable".to_owned());
+            (fused_ans, answer_str(&run_catching(&solver, &reduced)))
+        }
+        None => ("unknown-solver".to_owned(), "unknown-solver".to_owned()),
+    };
+    let verdict = Verdict {
+        finding,
+        forensics,
+        fingerprint: fp,
+        fused_answer,
+        reduced_answer,
+        oracle_checked,
+        reduce_stats,
+    };
+    std::fs::write(dir.join("verdict.json"), verdict.to_json().pretty() + "\n")?;
+
+    if let Some(id) = finding.bug_id {
+        if let Some(bug) = yinyang_faults::registry().into_iter().find(|b| b.id == id) {
+            std::fs::write(dir.join("bug.json"), bug_json(&bug).pretty() + "\n")?;
+        }
+    }
+    std::fs::write(dir.join("metrics.json"), forensics.metrics.to_json().pretty() + "\n")?;
+
+    let mut trace = String::new();
+    for event in &forensics.events {
+        trace.push_str(&event.to_json().compact());
+        trace.push('\n');
+    }
+    std::fs::write(dir.join("trace.jsonl"), trace)?;
+
+    Ok(BundleSummary {
+        fingerprint: fp.to_owned(),
+        fused_bytes: fused_text.len(),
+        reduced_bytes: reduced_text.len(),
+        reproduced,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yinyang_rt::MetricsSnapshot;
+
+    fn incorrect_finding() -> (RawFinding, FindingForensics) {
+        // Bug 1 (z-nra-s1) fires on NRA scripts with a nonlinear
+        // multiplication under its trigger; build a script that the trunk
+        // persona answers incorrectly. Use the registry to find a trigger
+        // rather than hand-crafting: take a known-triggering shape from
+        // the faults crate's own tests is overkill here — instead drive a
+        // tiny campaign in the replay integration test. This unit test
+        // covers the unmapped path (no bug_id) where the oracle falls
+        // back to behavior equality.
+        let script = "(set-logic QF_NRA)\n(declare-const x Real)\n(assert (> x 0.0))\n(assert (< x 1.0))\n(check-sat)\n";
+        let finding = RawFinding {
+            solver: "zirkon-trunk".into(),
+            bug_id: None,
+            behavior: Behavior::SpuriousUnknown,
+            logic: "QF_NRA".into(),
+            benchmark: "QF_NRA".into(),
+            round: 0,
+            script: script.into(),
+            seeds: ("(seed one)".into(), "(seed two)".into()),
+            oracle: "sat".into(),
+        };
+        let forensics = FindingForensics {
+            round: 0,
+            job_index: 7,
+            rng_seed: 42,
+            fixed: vec![],
+            metrics: MetricsSnapshot::default(),
+            events: vec![],
+        };
+        (finding, forensics)
+    }
+
+    #[test]
+    fn bundle_layout_is_complete_and_deterministic() {
+        let (finding, forensics) = incorrect_finding();
+        let dir = std::env::temp_dir().join(format!("yy-bundle-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let summaries =
+            write_bundles(&dir, &[finding.clone()], std::slice::from_ref(&forensics)).unwrap();
+        assert_eq!(summaries.len(), 1);
+        let sub = dir.join(&summaries[0].fingerprint);
+        for file in [
+            "seed1.smt2",
+            "seed2.smt2",
+            "fused.smt2",
+            "reduced.smt2",
+            "verdict.json",
+            "metrics.json",
+            "trace.jsonl",
+        ] {
+            assert!(sub.join(file).exists(), "{file} missing");
+        }
+        // No bug_id ⇒ no bug.json.
+        assert!(!sub.join("bug.json").exists());
+        let verdict1 = std::fs::read_to_string(sub.join("verdict.json")).unwrap();
+        assert!(verdict1.contains("\"fingerprint\""), "{verdict1}");
+
+        // Second run over the same inputs is byte-identical.
+        let dir2 = std::env::temp_dir().join(format!("yy-bundle-test-{}-b", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir2);
+        let summaries2 = write_bundles(&dir2, &[finding], &[forensics]).unwrap();
+        assert_eq!(summaries2[0].fingerprint, summaries2[0].fingerprint);
+        let verdict2 =
+            std::fs::read_to_string(dir2.join(&summaries2[0].fingerprint).join("verdict.json"))
+                .unwrap();
+        assert_eq!(verdict1, verdict2);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&dir2);
+    }
+
+    #[test]
+    fn duplicate_fingerprints_share_one_bundle() {
+        let (finding, forensics) = incorrect_finding();
+        let dir = std::env::temp_dir().join(format!("yy-bundle-dedup-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let summaries =
+            write_bundles(&dir, &[finding.clone(), finding], &[forensics.clone(), forensics])
+                .unwrap();
+        assert_eq!(summaries.len(), 1, "same fingerprint twice dedups to one bundle");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

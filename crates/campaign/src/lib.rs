@@ -20,10 +20,16 @@
 pub mod campaign;
 pub mod config;
 pub mod experiments;
+pub mod experiments_md;
+pub mod forensics;
 pub mod telemetry;
 pub mod triage;
 
-pub use campaign::{run_campaign, run_campaign_with_metrics, run_concatfuzz_round};
+pub use campaign::{
+    run_campaign, run_campaign_full, run_campaign_with_metrics, run_concatfuzz_round, CampaignRun,
+    FindingForensics,
+};
 pub use config::{Behavior, CampaignConfig, CampaignOutcome, RawFinding};
-pub use telemetry::Telemetry;
-pub use triage::{triage, Triage};
+pub use forensics::{write_bundles, BundleSummary};
+pub use telemetry::{CoverageRound, Telemetry};
+pub use triage::{fingerprint, triage, Triage};

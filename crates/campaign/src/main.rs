@@ -19,6 +19,10 @@ commands:
   exp <which>                     regenerate an evaluation figure; <which> is one of
                                   fig7 fig8 fig9 fig10 fig11 fig12 rq4 throughput fp all
   fuzz                            run the bug-finding campaign, print findings
+  profile <file.jsonl>            fold a --trace file into a span-tree profile
+                                  (inclusive/exclusive time, calls, p50/p95/p99)
+  experiments-md [file]           regenerate EXPERIMENTS.md's generated blocks
+                                  from a pinned demo campaign [default EXPERIMENTS.md]
   solve <file.smt2>               run the reference solver on a script
   fuse <sat|unsat> <a> <b>        fuse two seed files, print the fused test
   trace-check <file.jsonl>        validate a --trace output file (JSON lines)
@@ -30,8 +34,19 @@ options:
   --rounds N       fix-and-retest rounds                       [default 3]
   --seed N         RNG seed; same seed replays byte-identically [default 53710]
   --threads N      worker threads (replay-safe at any count)   [default 1]
-  --json           print reports as JSON (fuzz embeds a telemetry section)
+  --json           print reports as JSON (fuzz embeds a telemetry section;
+                   profile prints the span tree as JSON)
   --trace FILE     write one JSON line per span (seedgen/fusion/solve/...) to FILE
+  --bundle-dir DIR write a reproduction bundle per deduplicated fuzz finding:
+                   seeds, fused + ddmin-reduced scripts, verdict/bug/metrics
+                   JSON, and the finding job's trace slice
+  --metrics-out FILE
+                   dump the campaign's final merged metrics snapshot as JSON
+  --bench-report FILE
+                   (experiments-md) also regenerate the bench block from an
+                   rt::bench report.json — machine-dependent, never CI-diffed
+  --check          (experiments-md) verify the file is up to date instead of
+                   rewriting it; exits non-zero when stale
   --verbose        per-round campaign heartbeat on stderr
   --quiet          suppress heartbeat and per-finding listings
   --wallclock      time spans in real microseconds instead of deterministic
@@ -47,10 +62,8 @@ fn main() -> ExitCode {
     }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut config = CampaignConfig::default();
-    let mut json = false;
+    let mut opts = CliOpts::default();
     let mut verbose = false;
-    let mut quiet = false;
-    let mut trace_path: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -70,26 +83,33 @@ fn main() -> ExitCode {
             "--threads" => {
                 config.threads = parse_num(&args, &mut i);
             }
-            "--json" => json = true,
+            "--json" => opts.json = true,
             "--verbose" => verbose = true,
-            "--quiet" => quiet = true,
+            "--quiet" => opts.quiet = true,
+            "--check" => opts.check = true,
             "--wallclock" => trace::set_time_mode(yinyang_rt::TimeMode::Wall),
-            "--trace" => {
-                i += 1;
-                match args.get(i) {
-                    Some(path) => trace_path = Some(path.clone()),
-                    None => {
-                        eprintln!("--trace needs a file path");
-                        return ExitCode::FAILURE;
-                    }
-                }
-            }
+            "--trace" => match parse_path(&args, &mut i) {
+                Some(path) => opts.trace_path = Some(path),
+                None => return ExitCode::FAILURE,
+            },
+            "--bundle-dir" => match parse_path(&args, &mut i) {
+                Some(path) => opts.bundle_dir = Some(path),
+                None => return ExitCode::FAILURE,
+            },
+            "--metrics-out" => match parse_path(&args, &mut i) {
+                Some(path) => opts.metrics_out = Some(path),
+                None => return ExitCode::FAILURE,
+            },
+            "--bench-report" => match parse_path(&args, &mut i) {
+                Some(path) => opts.bench_report = Some(path),
+                None => return ExitCode::FAILURE,
+            },
             other => positional.push(other.to_owned()),
         }
         i += 1;
     }
-    config.heartbeat = verbose && !quiet;
-    if let Some(path) = &trace_path {
+    config.heartbeat = verbose && !opts.quiet;
+    if let Some(path) = &opts.trace_path {
         match std::fs::File::create(path) {
             Ok(file) => {
                 trace::set_writer(Some(Box::new(std::io::BufWriter::new(file))));
@@ -101,40 +121,43 @@ fn main() -> ExitCode {
             }
         }
     }
-    let code = dispatch(&positional, &config, json, quiet);
+    let code = dispatch(&positional, &config, &opts);
     // Flush and close the trace sink before exiting.
     trace::set_writer(None);
     code
 }
 
-fn dispatch(positional: &[String], config: &CampaignConfig, json: bool, quiet: bool) -> ExitCode {
+/// Flags that don't shape the campaign itself.
+#[derive(Default)]
+struct CliOpts {
+    json: bool,
+    quiet: bool,
+    check: bool,
+    trace_path: Option<String>,
+    bundle_dir: Option<String>,
+    metrics_out: Option<String>,
+    bench_report: Option<String>,
+}
+
+fn dispatch(positional: &[String], config: &CampaignConfig, opts: &CliOpts) -> ExitCode {
+    let json = opts.json;
     match positional.first().map(String::as_str) {
         Some("help") | Some("--help") | Some("-h") => {
             print!("{USAGE}");
             ExitCode::SUCCESS
         }
         Some("exp") => run_exp(positional.get(1).map(String::as_str), config, json),
-        Some("fuzz") => {
-            let mut result = experiments::fig8_campaign(config);
-            // Coverage gauges live outside the replay-safe per-job deltas
-            // (coverage state is process-global); attach them here, at the
-            // report boundary. Totals are scheduling-independent.
-            yinyang_coverage::export_metrics(&yinyang_coverage::snapshot());
-            result.telemetry.gauges.extend(yinyang_rt::metrics::snapshot().gauges);
-            if json {
-                println!("{}", result.to_json().pretty());
-            } else {
-                println!("{}", experiments::render_fig8(&result));
-                if !quiet {
-                    for f in result.zirkon.findings.iter().chain(&result.corvus.findings) {
-                        println!(
-                            "[{}] bug {:?} on {} ({}): {:?}",
-                            f.solver, f.bug_id, f.benchmark, f.logic, f.behavior
-                        );
-                    }
-                }
-            }
-            ExitCode::SUCCESS
+        Some("fuzz") => run_fuzz(config, opts),
+        Some("profile") => {
+            let Some(path) = positional.get(1) else {
+                eprintln!("usage: yinyang profile <file.jsonl>");
+                return ExitCode::FAILURE;
+            };
+            run_profile(path, json)
+        }
+        Some("experiments-md") => {
+            let path = positional.get(1).map(String::as_str).unwrap_or("EXPERIMENTS.md");
+            run_experiments_md(path, opts)
         }
         Some("solve") => {
             let Some(path) = positional.get(1) else {
@@ -240,6 +263,166 @@ fn trace_check(path: &str) -> ExitCode {
         println!("  {name:<12} {count:>7} events {total:>10} total dur");
     }
     ExitCode::SUCCESS
+}
+
+/// The `fuzz` command: full campaign with coverage trajectory (the CLI
+/// process owns the global coverage state, so trajectories are sound
+/// here), plus the forensic outputs behind `--bundle-dir` /
+/// `--metrics-out`.
+fn run_fuzz(config: &CampaignConfig, opts: &CliOpts) -> ExitCode {
+    let mut config = config.clone();
+    config.coverage_trajectory = true;
+    let run = experiments::fig8_campaign_full(&config);
+    let mut result = run.result;
+    // Coverage gauges live outside the replay-safe per-job deltas
+    // (coverage state is process-global); attach them here, at the
+    // report boundary. Totals are scheduling-independent.
+    yinyang_coverage::export_metrics(&yinyang_coverage::snapshot());
+    result.telemetry.gauges.extend(yinyang_rt::metrics::snapshot().gauges);
+    if let Some(path) = &opts.metrics_out {
+        if let Err(e) = std::fs::write(path, run.metrics.to_json().pretty() + "\n") {
+            eprintln!("cannot write metrics to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut bundles = Vec::new();
+    if let Some(dir) = &opts.bundle_dir {
+        let mut findings = result.zirkon.findings.clone();
+        findings.extend(result.corvus.findings.clone());
+        let mut forensics = run.zirkon_forensics;
+        forensics.extend(run.corvus_forensics);
+        match yinyang_campaign::write_bundles(std::path::Path::new(dir), &findings, &forensics) {
+            Ok(s) => bundles = s,
+            Err(e) => {
+                eprintln!("cannot write bundles to {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if opts.json {
+        println!("{}", result.to_json().pretty());
+    } else {
+        println!("{}", experiments::render_fig8(&result));
+        if !opts.quiet {
+            for f in result.zirkon.findings.iter().chain(&result.corvus.findings) {
+                println!(
+                    "[{}] bug {:?} on {} ({}): {:?}",
+                    f.solver, f.bug_id, f.benchmark, f.logic, f.behavior
+                );
+            }
+        }
+    }
+    if !opts.quiet {
+        if let Some(dir) = &opts.bundle_dir {
+            for b in &bundles {
+                println!(
+                    "bundle {dir}/{}: fused {} B -> reduced {} B{}",
+                    b.fingerprint,
+                    b.fused_bytes,
+                    b.reduced_bytes,
+                    if b.reproduced { "" } else { " (oracle not rebuilt; kept fused)" },
+                );
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// The `profile` command: fold a `--trace` JSONL file into a span tree.
+fn run_profile(path: &str, json: bool) -> ExitCode {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        eprintln!("cannot read {path}");
+        return ExitCode::FAILURE;
+    };
+    match yinyang_rt::Profile::from_jsonl(&text) {
+        Ok(profile) => {
+            if json {
+                println!("{}", profile.to_json().pretty());
+            } else {
+                print!("{}", profile.render_text());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The `experiments-md` command: regenerate the generated blocks of
+/// EXPERIMENTS.md. The campaign block reruns the pinned demo campaign
+/// (deterministic); the bench block only changes under `--bench-report`.
+fn run_experiments_md(path: &str, opts: &CliOpts) -> ExitCode {
+    let Ok(doc) = std::fs::read_to_string(path) else {
+        eprintln!("cannot read {path}");
+        return ExitCode::FAILURE;
+    };
+    let result = experiments::fig8_campaign(&yinyang_campaign::experiments_md::pinned_config());
+    let block = yinyang_campaign::experiments_md::campaign_block(&result);
+    let mut patched = match yinyang_campaign::experiments_md::patch_block(&doc, "campaign", &block)
+    {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(report_path) = &opts.bench_report {
+        let Ok(report_text) = std::fs::read_to_string(report_path) else {
+            eprintln!("cannot read {report_path}");
+            return ExitCode::FAILURE;
+        };
+        let bench = yinyang_rt::json::Json::parse(&report_text)
+            .map_err(|e| e.to_string())
+            .and_then(|j| yinyang_campaign::experiments_md::bench_block(&j));
+        match bench {
+            Ok(block) => {
+                match yinyang_campaign::experiments_md::patch_block(&patched, "bench", &block) {
+                    Ok(p) => patched = p,
+                    Err(e) => {
+                        eprintln!("{path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("{report_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if opts.check {
+        if patched == doc {
+            println!("{path}: generated blocks up to date");
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("{path}: generated blocks are stale; rerun `yinyang experiments-md`");
+            ExitCode::FAILURE
+        }
+    } else if patched == doc {
+        println!("{path}: already up to date");
+        ExitCode::SUCCESS
+    } else if let Err(e) = std::fs::write(path, &patched) {
+        eprintln!("cannot write {path}: {e}");
+        ExitCode::FAILURE
+    } else {
+        println!("{path}: regenerated");
+        ExitCode::SUCCESS
+    }
+}
+
+/// Consumes the argument after a path-taking flag.
+fn parse_path(args: &[String], i: &mut usize) -> Option<String> {
+    let flag = args[*i].clone();
+    *i += 1;
+    match args.get(*i) {
+        Some(path) => Some(path.clone()),
+        None => {
+            eprintln!("{flag} needs a file path");
+            None
+        }
+    }
 }
 
 fn parse_num(args: &[String], i: &mut usize) -> usize {

@@ -17,6 +17,41 @@ use std::collections::BTreeMap;
 use yinyang_rt::impl_json_struct;
 use yinyang_rt::{HistogramSummary, MetricsSnapshot};
 
+/// Cumulative coverage at the end of one campaign round — a point on the
+/// paper's Fig. 9/10-style trajectory. `*_sites` counts distinct probe
+/// sites reached since the campaign started; `*_hits` sums their hit
+/// counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoverageRound {
+    /// Persona the campaign ran against.
+    pub solver: String,
+    /// Campaign round (0-based).
+    pub round: usize,
+    /// Distinct line probes reached so far.
+    pub lines_sites: usize,
+    /// Distinct function probes reached so far.
+    pub functions_sites: usize,
+    /// Distinct branch-arm probes reached so far.
+    pub branches_sites: usize,
+    /// Total line-probe hits so far.
+    pub lines_hits: u64,
+    /// Total function-probe hits so far.
+    pub functions_hits: u64,
+    /// Total branch-arm hits so far.
+    pub branches_hits: u64,
+}
+
+impl_json_struct!(CoverageRound {
+    solver,
+    round,
+    lines_sites,
+    functions_sites,
+    branches_sites,
+    lines_hits,
+    functions_hits,
+    branches_hits,
+});
+
 /// The `telemetry` section of campaign reports.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Telemetry {
@@ -31,9 +66,13 @@ pub struct Telemetry {
     pub stages: BTreeMap<String, HistogramSummary>,
     /// Summaries of non-span histograms (e.g. `solver.strings.search_vars`).
     pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Per-round cumulative coverage trajectory (empty unless
+    /// [`crate::CampaignConfig::coverage_trajectory`] was on — the CLI
+    /// enables it, libraries leave it off).
+    pub coverage_rounds: Vec<CoverageRound>,
 }
 
-impl_json_struct!(Telemetry { counters, gauges, stages, histograms });
+impl_json_struct!(Telemetry { counters, gauges, stages, histograms, coverage_rounds });
 
 impl Telemetry {
     /// Condenses a snapshot into report form.

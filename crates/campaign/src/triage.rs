@@ -95,6 +95,40 @@ pub fn triage(findings: &[RawFinding]) -> Triage {
     out
 }
 
+/// The short behavior tag used in fingerprints and bundle metadata.
+pub fn behavior_kind(behavior: &Behavior) -> &'static str {
+    match behavior {
+        Behavior::Incorrect { .. } => "incorrect",
+        Behavior::Crash { .. } => "crash",
+        Behavior::SpuriousUnknown => "unknown",
+    }
+}
+
+/// A deterministic, filesystem-safe identity for a deduplicated finding:
+/// `<persona>-b<id>-<behavior>-<logic>` when triage mapped it to a
+/// registry bug (e.g. `zirkon-b017-incorrect-NRA`), falling back to an
+/// FNV-1a hash of the fused script (`zirkon-x1a2b3c4d5e6f708-crash-QF_S`)
+/// for unmapped findings so distinct scripts keep distinct bundles.
+pub fn fingerprint(finding: &RawFinding) -> String {
+    let persona =
+        solver_of(finding).map(|s| s.name().to_owned()).unwrap_or_else(|| "unknown".to_owned());
+    let identity = match finding.bug_id {
+        Some(id) => format!("b{id:03}"),
+        None => format!("x{:016x}", fnv1a(finding.script.as_bytes())),
+    };
+    format!("{persona}-{identity}-{}-{}", behavior_kind(&finding.behavior), finding.logic)
+}
+
+/// 64-bit FNV-1a — tiny, dependency-free, and stable across platforms.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 /// Distinct confirmed soundness bugs found for a persona, with one
 /// representative finding each (for RQ4 and Fig. 10).
 pub fn soundness_representatives<'a>(
@@ -206,6 +240,24 @@ mod tests {
         assert_eq!(s.confirmed, 0, "wont-fix and pending are not confirmed");
         assert_eq!(s.wont_fix, 1);
         assert_eq!(s.fixed, 0);
+    }
+
+    #[test]
+    fn fingerprints_are_deterministic_and_distinguish_findings() {
+        let f = finding(17, 0, "zirkon-trunk");
+        assert_eq!(fingerprint(&f), "zirkon-b017-incorrect-NRA");
+        assert_eq!(fingerprint(&f), fingerprint(&f.clone()));
+
+        // Unmapped findings hash the script; different scripts diverge.
+        let mut a = finding(1, 0, "corvus-trunk");
+        a.bug_id = None;
+        a.behavior = Behavior::Crash { message: "boom".into() };
+        a.script = "(assert true)".into();
+        let mut b = a.clone();
+        b.script = "(assert false)".into();
+        let (fa, fb) = (fingerprint(&a), fingerprint(&b));
+        assert_ne!(fa, fb);
+        assert!(fa.starts_with("corvus-x") && fa.ends_with("-crash-NRA"), "{fa}");
     }
 
     #[test]

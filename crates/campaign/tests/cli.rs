@@ -70,7 +70,8 @@ fn help_lists_every_subcommand_and_flag() {
     let out = yinyang().args(["help"]).output().expect("spawn");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    for cmd in ["exp", "fuzz", "solve", "fuse", "trace-check", "help"] {
+    for cmd in ["exp", "fuzz", "profile", "experiments-md", "solve", "fuse", "trace-check", "help"]
+    {
         assert!(text.contains(cmd), "help is missing the `{cmd}` command");
     }
     for flag in [
@@ -81,12 +82,98 @@ fn help_lists_every_subcommand_and_flag() {
         "--threads",
         "--json",
         "--trace",
+        "--bundle-dir",
+        "--metrics-out",
+        "--bench-report",
+        "--check",
         "--verbose",
         "--quiet",
         "--wallclock",
     ] {
         assert!(text.contains(flag), "help is missing the `{flag}` option");
     }
+}
+
+#[test]
+fn profile_folds_a_trace_into_a_span_tree() {
+    let dir = std::env::temp_dir().join("yinyang-cli-profile");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("run.jsonl");
+    let out = yinyang()
+        .args(["fuzz", "--iterations", "1", "--rounds", "1", "--trace", trace.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text_out = yinyang().args(["profile", trace.to_str().unwrap()]).output().expect("spawn");
+    assert!(text_out.status.success(), "{}", String::from_utf8_lossy(&text_out.stderr));
+    let text = String::from_utf8_lossy(&text_out.stdout);
+    assert!(text.contains("span tree"), "{text}");
+    assert!(text.contains("p99"), "profile table lacks a p99 column: {text}");
+    assert!(text.contains("solve"), "profile lacks the solve span: {text}");
+    let json_out =
+        yinyang().args(["profile", trace.to_str().unwrap(), "--json"]).output().expect("spawn");
+    assert!(json_out.status.success());
+    let v = yinyang_rt::json::Json::parse(String::from_utf8_lossy(&json_out.stdout).trim())
+        .expect("profile --json parses");
+    assert!(v.get("spans").is_some() && v.get("total").is_some(), "profile JSON shape");
+    // Garbage is rejected.
+    let bad = dir.join("bad.jsonl");
+    std::fs::write(&bad, "not json\n").unwrap();
+    let rejected = yinyang().args(["profile", bad.to_str().unwrap()]).output().expect("spawn");
+    assert!(!rejected.status.success(), "profile accepted a malformed trace");
+}
+
+#[test]
+fn fuzz_writes_metrics_out_json() {
+    let dir = std::env::temp_dir().join("yinyang-cli-metrics");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("metrics.json");
+    let out = yinyang()
+        .args([
+            "fuzz",
+            "--iterations",
+            "1",
+            "--rounds",
+            "1",
+            "--quiet",
+            "--metrics-out",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&path).expect("--metrics-out file exists");
+    let v = yinyang_rt::json::Json::parse(text.trim()).expect("metrics JSON parses");
+    assert!(v.get("counters").is_some(), "metrics lack counters");
+    assert!(v.get("histograms").is_some(), "metrics lack histograms");
+}
+
+#[test]
+fn experiments_md_check_rejects_stale_and_accepts_fresh_docs() {
+    let dir = std::env::temp_dir().join("yinyang-cli-expmd");
+    std::fs::create_dir_all(&dir).unwrap();
+    let doc = dir.join("EXP.md");
+    std::fs::write(
+        &doc,
+        "# doc\n\n<!-- BEGIN GENERATED: campaign -->\nstale\n<!-- END GENERATED: campaign -->\n",
+    )
+    .unwrap();
+    let stale =
+        yinyang().args(["experiments-md", doc.to_str().unwrap(), "--check"]).output().unwrap();
+    assert!(!stale.status.success(), "--check passed a stale doc");
+    let regen = yinyang().args(["experiments-md", doc.to_str().unwrap()]).output().unwrap();
+    assert!(regen.status.success(), "{}", String::from_utf8_lossy(&regen.stderr));
+    let fresh =
+        yinyang().args(["experiments-md", doc.to_str().unwrap(), "--check"]).output().unwrap();
+    assert!(fresh.status.success(), "{}", String::from_utf8_lossy(&fresh.stderr));
+    let text = std::fs::read_to_string(&doc).unwrap();
+    assert!(text.contains("Coverage trajectory"), "{text}");
+    assert!(!text.contains("stale"));
+    // A doc without markers is an error, not silent success.
+    let plain = dir.join("plain.md");
+    std::fs::write(&plain, "no markers\n").unwrap();
+    let missing = yinyang().args(["experiments-md", plain.to_str().unwrap()]).output().unwrap();
+    assert!(!missing.status.success());
 }
 
 #[test]

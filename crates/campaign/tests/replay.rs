@@ -135,6 +135,79 @@ fn trace_files_replay_byte_identically_across_thread_counts() {
     }
 }
 
+/// Recursively lists `dir` as (relative path, file bytes), sorted.
+fn dir_contents(dir: &std::path::Path) -> Vec<(String, Vec<u8>)> {
+    fn walk(root: &std::path::Path, dir: &std::path::Path, out: &mut Vec<(String, Vec<u8>)>) {
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                walk(root, &path, out);
+            } else {
+                let rel = path.strip_prefix(root).unwrap().to_string_lossy().into_owned();
+                out.push((rel, std::fs::read(&path).unwrap()));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(dir, dir, &mut out);
+    out.sort();
+    out
+}
+
+#[test]
+fn bundles_and_profiles_replay_byte_identically_across_thread_counts() {
+    // Forensics inherit the replay contract: reproduction bundles (which
+    // embed per-job metrics and trace slices) and span profiles folded
+    // from the trace must be pure functions of the seed, for any
+    // --threads value.
+    let root = std::env::temp_dir().join("yinyang-replay-bundles");
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+    let mut profiles = Vec::new();
+    for (label, threads) in [("seq", "1"), ("par", "4")] {
+        let bundles = root.join(label);
+        let trace = root.join(format!("{label}.jsonl"));
+        run_cli(&[
+            "fuzz",
+            "--iterations",
+            "2",
+            "--rounds",
+            "1",
+            "--seed",
+            "7",
+            "--threads",
+            threads,
+            "--quiet",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--bundle-dir",
+            bundles.to_str().unwrap(),
+        ]);
+        profiles.push(run_cli(&["profile", trace.to_str().unwrap(), "--json"]));
+    }
+    assert_eq!(profiles[0], profiles[1], "thread count changed the span profile");
+    let seq = dir_contents(&root.join("seq"));
+    let par = dir_contents(&root.join("par"));
+    assert!(!seq.is_empty(), "campaign produced no bundles");
+    let names = |v: &[(String, Vec<u8>)]| v.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>();
+    assert_eq!(names(&seq), names(&par), "bundle trees differ in file sets");
+    for ((name, a), (_, b)) in seq.iter().zip(&par) {
+        assert_eq!(a, b, "bundle file {name} differs between thread counts");
+    }
+    // The acceptance bar: at least one bundle's reduced script is strictly
+    // smaller than its fused script.
+    let shrunk = seq.iter().filter(|(n, _)| n.ends_with("reduced.smt2")).any(|(n, reduced)| {
+        let fused = seq
+            .iter()
+            .find(|(f, _)| *f == n.replace("reduced.smt2", "fused.smt2"))
+            .map(|(_, bytes)| bytes.len())
+            .unwrap_or(0);
+        reduced.len() < fused
+    });
+    assert!(shrunk, "no bundle's reduced script is smaller than its fused script");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 #[test]
 fn fuzz_json_report_carries_telemetry() {
     let out = run_cli(&["fuzz", "--iterations", "2", "--rounds", "1", "--seed", "7", "--json"]);
@@ -144,8 +217,21 @@ fn fuzz_json_report_carries_telemetry() {
     let stages = telemetry.get("stages").expect("telemetry has stages");
     for stage in ["seedgen", "fusion", "solve", "triage"] {
         let s = stages.get(stage).unwrap_or_else(|| panic!("missing stage {stage}"));
-        assert!(s.get("p50").is_some() && s.get("p95").is_some(), "stage {stage} lacks p50/p95");
+        assert!(
+            s.get("p50").is_some() && s.get("p95").is_some() && s.get("p99").is_some(),
+            "stage {stage} lacks p50/p95/p99"
+        );
     }
     let counters = telemetry.get("counters").expect("telemetry has counters");
     assert!(counters.get("solver.sat.decisions").is_some(), "missing solver statistics");
+    // The CLI records the per-round coverage trajectory (one entry per
+    // persona per round).
+    let rounds = telemetry
+        .get("coverage_rounds")
+        .and_then(yinyang_rt::json::Json::as_arr)
+        .expect("telemetry has coverage_rounds");
+    assert_eq!(rounds.len(), 2, "one trajectory point per persona per round");
+    for r in rounds {
+        assert!(r.get("lines_sites").is_some() && r.get("solver").is_some(), "bad round: {r:?}");
+    }
 }

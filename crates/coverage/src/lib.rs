@@ -110,6 +110,23 @@ impl CoverageSnapshot {
         self.hits.keys().copied().collect()
     }
 
+    /// The hits recorded in `self` but not in the earlier snapshot
+    /// `earlier` (per-site saturating subtraction; sites whose count
+    /// reaches zero are dropped). Because hit counts only grow between
+    /// two snapshots of the same process, `start.union(&d) == end` holds
+    /// for `d = end.delta(&start)` — campaigns use this to carve their
+    /// own coverage out of the process-global state.
+    pub fn delta(&self, earlier: &CoverageSnapshot) -> CoverageSnapshot {
+        let mut hits = BTreeMap::new();
+        for (site, count) in &self.hits {
+            let d = count.saturating_sub(*earlier.hits.get(site).unwrap_or(&0));
+            if d > 0 {
+                hits.insert(*site, d);
+            }
+        }
+        CoverageSnapshot { hits }
+    }
+
     /// Union of the sites in two snapshots.
     pub fn union(&self, other: &CoverageSnapshot) -> CoverageSnapshot {
         let mut hits = self.hits.clone();
@@ -296,6 +313,23 @@ mod tests {
         assert_eq!(both.percent_of(&uni, ProbeKind::Line), 100.0);
         assert_eq!(one.percent_of(&uni, ProbeKind::Line), 50.0);
         assert_eq!(one.percent_of(&uni, ProbeKind::Branch), 0.0);
+    }
+
+    #[test]
+    fn delta_subtracts_hit_counts_and_drops_dead_sites() {
+        let _g = lock_tests();
+        reset();
+        record("t::d1", ProbeKind::Line, true);
+        record("t::d1", ProbeKind::Line, true);
+        let start = snapshot();
+        record("t::d1", ProbeKind::Line, true);
+        record("t::d2", ProbeKind::Function, true);
+        let end = snapshot();
+        let d = end.delta(&start);
+        assert_eq!(d.count_of_kind(ProbeKind::Line), 1);
+        assert_eq!(d.hits_of_kind(ProbeKind::Function), 1);
+        assert_eq!(start.union(&d), end, "delta inverts union");
+        assert!(end.delta(&end).is_empty());
     }
 
     #[test]

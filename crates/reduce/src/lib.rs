@@ -35,11 +35,43 @@
 
 #![warn(missing_docs)]
 
+use yinyang_rt::impl_json_struct;
 use yinyang_smtlib::{Command, Script, Sort, SortEnv, Term, TermKind};
 use yinyang_solver::simplify;
 
 /// Total candidate evaluations before the reducer settles.
 const BUDGET: usize = 2_000;
+
+/// What one [`reduce_with_stats`] run did, for forensics bundles and the
+/// `reduce.*` metrics counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReduceStats {
+    /// ddmin + shrink passes until a fixed point.
+    pub passes: usize,
+    /// Candidate scripts handed to the interestingness predicate.
+    pub candidates: usize,
+    /// Total assert-term nodes before reduction.
+    pub nodes_before: usize,
+    /// Total assert-term nodes after reduction.
+    pub nodes_after: usize,
+    /// Assertion count before reduction.
+    pub asserts_before: usize,
+    /// Assertion count after reduction.
+    pub asserts_after: usize,
+}
+
+impl_json_struct!(ReduceStats {
+    passes,
+    candidates,
+    nodes_before,
+    nodes_after,
+    asserts_before,
+    asserts_after,
+});
+
+fn node_count(script: &Script) -> usize {
+    script.asserts().iter().map(Term::size).sum()
+}
 
 /// Reduces `script` while `interesting` holds.
 ///
@@ -48,30 +80,66 @@ const BUDGET: usize = 2_000;
 /// every candidate, so it should be reasonably cheap (or rely on solver
 /// timeouts).
 pub fn reduce(script: &Script, interesting: &mut dyn FnMut(&Script) -> bool) -> Script {
+    reduce_with_stats(script, interesting).0
+}
+
+/// [`reduce`] plus its [`ReduceStats`]. The whole run is wrapped in a
+/// `reduce` span and the totals land in the `reduce.*` metrics counters
+/// (`passes`, `candidates`, `nodes_before`, `nodes_after`), so bundle
+/// minimization shows up in campaign profiles and `--metrics-out` dumps
+/// like any other stage.
+pub fn reduce_with_stats(
+    script: &Script,
+    interesting: &mut dyn FnMut(&Script) -> bool,
+) -> (Script, ReduceStats) {
     debug_assert!(interesting(script), "input must be interesting");
+    let _span = yinyang_rt::span!("reduce");
+    let mut stats = ReduceStats {
+        nodes_before: node_count(script),
+        asserts_before: script.asserts().len(),
+        ..ReduceStats::default()
+    };
     let mut budget = BUDGET;
+    // Each candidate evaluation declares one unit of work so the `reduce`
+    // span measures reduction effort in tick mode even when the predicate
+    // never reaches an instrumented solver.
+    let mut check = |candidate: &Script| {
+        yinyang_rt::trace::work(1);
+        interesting(candidate)
+    };
     let mut current = script.clone();
     loop {
+        stats.passes += 1;
         let mut progressed = false;
-        let after_ddmin = ddmin_asserts(&current, interesting, &mut budget);
+        let spent_before = BUDGET - budget;
+        let after_ddmin = ddmin_asserts(&current, &mut check, &mut budget);
         if after_ddmin.asserts().len() < current.asserts().len() {
             progressed = true;
         }
         current = after_ddmin;
-        let after_shrink = shrink_terms(&current, interesting, &mut budget);
+        let after_shrink = shrink_terms(&current, &mut check, &mut budget);
         if after_shrink != current {
             progressed = true;
         }
         current = after_shrink;
+        stats.candidates += (BUDGET - budget) - spent_before;
         if !progressed || budget == 0 {
             break;
         }
     }
     let pretty = pretty_print(&current);
-    if budget > 0 && interesting(&pretty) {
+    if budget > 0 && check(&pretty) {
+        stats.candidates += 1;
         current = pretty;
     }
-    drop_unused_declarations(&current)
+    let reduced = drop_unused_declarations(&current);
+    stats.nodes_after = node_count(&reduced);
+    stats.asserts_after = reduced.asserts().len();
+    yinyang_rt::metrics::counter_add("reduce.passes", stats.passes as u64);
+    yinyang_rt::metrics::counter_add("reduce.candidates", stats.candidates as u64);
+    yinyang_rt::metrics::counter_add("reduce.nodes_before", stats.nodes_before as u64);
+    yinyang_rt::metrics::counter_add("reduce.nodes_after", stats.nodes_after as u64);
+    (reduced, stats)
 }
 
 /// Classic ddmin over the assertion list.
@@ -341,6 +409,51 @@ mod tests {
         let cleaned = drop_unused_declarations(&s);
         assert!(!cleaned.to_string().contains("dead"));
         assert!(cleaned.to_string().contains("declare-fun x"));
+    }
+
+    #[test]
+    fn stats_report_passes_candidates_and_node_counts() {
+        let s = parse_script(
+            "(declare-fun a () Int) (declare-fun b () Int)
+             (assert (> a 0)) (assert (> b 1)) (assert (< a 0)) (check-sat)",
+        )
+        .unwrap();
+        let before = yinyang_rt::metrics::local_snapshot();
+        let (reduced, stats) = reduce_with_stats(&s, &mut |cand| {
+            let t = cand.to_string();
+            t.contains("(> a 0)") && t.contains("(< a 0)")
+        });
+        assert_eq!(stats.asserts_before, 3);
+        assert_eq!(stats.asserts_after, 2);
+        assert_eq!(reduced.asserts().len(), stats.asserts_after);
+        assert!(stats.passes >= 1);
+        assert!(stats.candidates >= 1);
+        assert!(stats.nodes_after < stats.nodes_before);
+        assert_eq!(stats.nodes_after, reduced.asserts().iter().map(Term::size).sum::<usize>());
+        // The same totals land in the metrics registry, and the run is
+        // visible as a `reduce` span.
+        let d = yinyang_rt::metrics::local_snapshot().delta(&before);
+        assert_eq!(d.counter("reduce.passes"), stats.passes as u64);
+        assert_eq!(d.counter("reduce.candidates"), stats.candidates as u64);
+        assert_eq!(d.counter("reduce.nodes_before"), stats.nodes_before as u64);
+        assert_eq!(d.counter("reduce.nodes_after"), stats.nodes_after as u64);
+        assert_eq!(d.histograms["span.reduce"].count(), 1);
+    }
+
+    #[test]
+    fn stats_roundtrip_through_json() {
+        use yinyang_rt::json::{FromJson, Json, ToJson};
+        let stats = ReduceStats {
+            passes: 2,
+            candidates: 17,
+            nodes_before: 40,
+            nodes_after: 9,
+            asserts_before: 5,
+            asserts_after: 2,
+        };
+        let back =
+            ReduceStats::from_json(&Json::parse(&stats.to_json().compact()).unwrap()).unwrap();
+        assert_eq!(back, stats);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! | [`pool`] | `crossbeam` | `std::thread` + `mpsc` worker pools |
 //! | [`metrics`] | `prometheus`-alikes | sharded counters/gauges/histograms |
 //! | [`trace`] | `tracing` | replay-safe spans + JSON-lines events |
+//! | [`profile`] | `pprof`-style viewers | span-tree profiles from trace files |
 //!
 //! Determinism is a design requirement, not an accident: the campaign's
 //! bit-reproducibility guarantee (same `--seed` ⇒ byte-identical triage
@@ -25,11 +26,13 @@ pub mod bench;
 pub mod json;
 pub mod metrics;
 pub mod pool;
+pub mod profile;
 pub mod prop;
 pub mod rng;
 pub mod trace;
 
 pub use bench::Criterion;
 pub use metrics::{Histogram, HistogramSummary, MetricsSnapshot};
+pub use profile::{Profile, ProfileNode};
 pub use rng::{Rng, SplitMix64, StdRng};
 pub use trace::{Stopwatch, TimeMode, TraceEvent};

@@ -159,7 +159,7 @@ impl Histogram {
         out
     }
 
-    /// The condensed six-number summary used in reports.
+    /// The condensed seven-number summary used in reports.
     pub fn summary(&self) -> HistogramSummary {
         HistogramSummary {
             count: self.count,
@@ -168,6 +168,7 @@ impl Histogram {
             max: self.max(),
             p50: self.quantile(50),
             p95: self.quantile(95),
+            p99: self.quantile(99),
         }
     }
 }
@@ -201,7 +202,7 @@ impl FromJson for Histogram {
     }
 }
 
-/// Six-number summary of a [`Histogram`], the shape embedded in campaign
+/// Seven-number summary of a [`Histogram`], the shape embedded in campaign
 /// telemetry reports.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HistogramSummary {
@@ -217,9 +218,11 @@ pub struct HistogramSummary {
     pub p50: u64,
     /// 95th percentile (bucket upper bound).
     pub p95: u64,
+    /// 99th percentile (bucket upper bound).
+    pub p99: u64,
 }
 
-crate::impl_json_struct!(HistogramSummary { count, sum, min, max, p50, p95 });
+crate::impl_json_struct!(HistogramSummary { count, sum, min, max, p50, p95, p99 });
 
 /// A point-in-time copy of metric state: mergeable, subtractable, and
 /// serializable. Produced by [`snapshot`] (whole process) and
@@ -458,6 +461,29 @@ mod tests {
         assert_eq!(h.quantile(100), 8191);
         assert_eq!(h.summary().p50, 3);
         assert_eq!(h.summary().p95, 127);
+        assert_eq!(h.summary().p99, 127);
+    }
+
+    #[test]
+    fn p99_bucket_interpolation_is_rank_based() {
+        // Quantiles use 0-based integer rank arithmetic over bucket
+        // counts: the sample at rank (count - 1) * pct / 100 selects the
+        // bucket, and the reported value is that bucket's upper bound.
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(10); // bucket 4, upper bound 15
+        }
+        h.record(1000); // bucket 10, upper bound 1023
+                        // count = 100: p99 rank = 99 * 99 / 100 = 98 → still the fast
+                        // bucket; the single outlier only surfaces at p100.
+        assert_eq!(h.quantile(99), 15);
+        assert_eq!(h.quantile(100), 1023);
+        // One more outlier tips rank 99 (101 samples → rank = 100*99/100
+        // = 99) into the 99th sorted position — the first outlier.
+        h.record(1000);
+        assert_eq!(h.quantile(99), 1023);
+        let s = h.summary();
+        assert_eq!((s.p50, s.p95, s.p99), (15, 15, 1023));
     }
 
     #[test]

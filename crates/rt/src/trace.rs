@@ -51,6 +51,11 @@ thread_local! {
     static TICKS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
     static EVENTS: std::cell::RefCell<Vec<TraceEvent>> =
         const { std::cell::RefCell::new(Vec::new()) };
+    /// Names of the spans currently open on this thread, outermost first.
+    /// RAII guarantees proper nesting, so a span's ancestry at drop time is
+    /// exactly this stack — which is how events learn their tree path.
+    static STACK: std::cell::RefCell<Vec<&'static str>> =
+        const { std::cell::RefCell::new(Vec::new()) };
 }
 
 fn process_start() -> Instant {
@@ -114,12 +119,16 @@ pub fn capture_enabled() -> bool {
     CAPTURE.load(Ordering::Relaxed)
 }
 
-/// One completed span: name, duration in the active clock's unit, and any
-/// `key = value` fields attached at the call site.
+/// One completed span: name, tree path, duration in the active clock's
+/// unit, and any `key = value` fields attached at the call site.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Span name as given to [`span!`](crate::span).
     pub name: String,
+    /// `/`-joined names of the span's ancestors plus itself (e.g.
+    /// `"solve/strings.search"`), recording where in the span tree the
+    /// event fired. Always ends in `name`.
+    pub path: String,
     /// Duration in [`unit`] units.
     pub dur: u64,
     /// Call-site fields, stringified, in declaration order.
@@ -130,6 +139,7 @@ impl ToJson for TraceEvent {
     fn to_json(&self) -> Json {
         let mut members = vec![
             ("span".to_owned(), Json::Str(self.name.clone())),
+            ("path".to_owned(), Json::Str(self.path.clone())),
             ("dur".to_owned(), Json::Int(self.dur as i64)),
             ("unit".to_owned(), Json::Str(unit().to_owned())),
         ];
@@ -152,12 +162,14 @@ pub struct Span {
 impl Span {
     /// Opens a span with no fields.
     pub fn enter(name: &'static str) -> Span {
+        STACK.with(|s| s.borrow_mut().push(name));
         Span { name, start: now(), fields: Vec::new() }
     }
 
     /// Opens a span carrying call-site fields (only worth paying for when
     /// [`capture_enabled`] — the macro checks).
     pub fn enter_with(name: &'static str, fields: Vec<(String, String)>) -> Span {
+        STACK.with(|s| s.borrow_mut().push(name));
         Span { name, start: now(), fields }
     }
 }
@@ -167,13 +179,24 @@ impl Drop for Span {
         let dur = now().saturating_sub(self.start);
         metrics::histogram_record(&format!("span.{}", self.name), dur);
         if capture_enabled() {
+            // The stack still includes this span, so its contents *are*
+            // the event's path (ancestors, outermost first, then self).
+            let path = STACK.with(|s| s.borrow().join("/"));
             let event = TraceEvent {
                 name: self.name.to_owned(),
+                path,
                 dur,
                 fields: std::mem::take(&mut self.fields),
             };
             EVENTS.with(|e| e.borrow_mut().push(event));
         }
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // RAII spans nest, so this is the top; pop defensively anyway.
+            if let Some(at) = stack.iter().rposition(|n| *n == self.name) {
+                stack.remove(at);
+            }
+        });
     }
 }
 
@@ -291,6 +314,7 @@ mod tests {
         set_time_mode(TimeMode::Ticks);
         let event = TraceEvent {
             name: "solve".into(),
+            path: "solve".into(),
             dur: 42,
             fields: vec![("oracle".into(), "sat".into())],
         };
@@ -298,9 +322,33 @@ mod tests {
         assert!(!line.contains('\n'));
         let parsed = Json::parse(&line).unwrap();
         assert_eq!(parsed.get("span").and_then(Json::as_str), Some("solve"));
+        assert_eq!(parsed.get("path").and_then(Json::as_str), Some("solve"));
         assert_eq!(parsed.get("dur").and_then(Json::as_i64), Some(42));
         assert_eq!(parsed.get("unit").and_then(Json::as_str), Some("ticks"));
         assert_eq!(parsed.get("oracle").and_then(Json::as_str), Some("sat"));
+    }
+
+    #[test]
+    fn nested_spans_record_their_tree_path() {
+        set_time_mode(TimeMode::Ticks);
+        set_capture(true);
+        {
+            let _outer = crate::span!("test.outer");
+            {
+                let _inner = crate::span!("test.inner");
+                work(3);
+            }
+        }
+        let events = take_events();
+        set_capture(false);
+        let inner = events.iter().find(|e| e.name == "test.inner").expect("inner event");
+        assert_eq!(inner.path, "test.outer/test.inner");
+        let outer = events.iter().find(|e| e.name == "test.outer").expect("outer event");
+        assert_eq!(outer.path, "test.outer");
+        // Children drop (and buffer) before their parents.
+        let inner_at = events.iter().position(|e| e.name == "test.inner").unwrap();
+        let outer_at = events.iter().position(|e| e.name == "test.outer").unwrap();
+        assert!(inner_at < outer_at);
     }
 
     #[test]

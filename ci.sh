@@ -58,6 +58,26 @@ test "$SHRUNK" -eq 1
 target/release/yinyang profile "$FORENSICS/trace.jsonl" | grep -q "span tree"
 target/release/yinyang experiments-md --check
 
+echo "==> regress smoke gate"
+# Replaying a campaign's own bundles against the same build must classify
+# every finding still-broken (nothing fixed, flaky, or stale), and the
+# report must be byte-identical across thread counts and repeated runs.
+REGRESS=target/regress-smoke
+rm -rf "$REGRESS"
+mkdir -p "$REGRESS"
+target/release/yinyang regress "$FORENSICS/bundles" --json --threads 1 \
+    > "$REGRESS/seq.json"
+target/release/yinyang regress "$FORENSICS/bundles" --json --threads 4 \
+    > "$REGRESS/par.json"
+cmp "$REGRESS/seq.json" "$REGRESS/par.json"
+target/release/yinyang regress "$FORENSICS/bundles" --json --threads 1 \
+    | cmp - "$REGRESS/seq.json"
+grep -q '"fixed": 0' "$REGRESS/seq.json"
+grep -q '"flaky": 0' "$REGRESS/seq.json"
+grep -q '"stale": 0' "$REGRESS/seq.json"
+grep -q '"still-broken"' "$REGRESS/seq.json"
+target/release/yinyang regress "$FORENSICS/bundles" | grep -q "still-broken"
+
 echo "==> bench report regeneration (fast mode)"
 YINYANG_BENCH_FAST=1 cargo bench --offline -p yinyang-bench --bench throughput
 test -s crates/bench/target/yinyang-bench/report.json

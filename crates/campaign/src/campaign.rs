@@ -205,8 +205,9 @@ struct JobResult {
 }
 
 /// SplitMix64's finalizer: decorrelates consecutive job indices into
-/// independent-looking RNG seeds.
-fn mix64(mut x: u64) -> u64 {
+/// independent-looking RNG seeds (shared with the regression replayer,
+/// whose per-bundle streams follow the same scheme).
+pub(crate) fn mix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x ^= x >> 30;
     x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);

@@ -189,13 +189,7 @@ pub fn logic_of(finding: &RawFinding) -> Option<Logic> {
 
 /// Helper: parse a stored solver name back to a persona id.
 pub fn solver_of(finding: &RawFinding) -> Option<SolverId> {
-    if finding.solver.starts_with("zirkon") {
-        Some(SolverId::Zirkon)
-    } else if finding.solver.starts_with("corvus") {
-        Some(SolverId::Corvus)
-    } else {
-        None
-    }
+    SolverId::from_name(&finding.solver)
 }
 
 #[cfg(test)]

@@ -202,8 +202,17 @@ fn minimize(
         }
     }
     let oracle_checked = reference.is_some();
-    let mut interesting =
-        |candidate: &Script| still_interesting(candidate, &solver, reference.as_ref(), finding);
+    // Candidates are judged by their print→parse roundtrip, not their
+    // in-memory AST: the bundle stores *text*, and ddmin edits can build
+    // terms the parser normalizes away on reparse (e.g. a division whose
+    // operands became literals constant-folds, un-firing a trigger that
+    // needs the division node). Accepting only roundtrip-stable
+    // candidates guarantees the reduced.smt2 on disk still exhibits the
+    // finding when replayed.
+    let mut interesting = |candidate: &Script| match parse_script(&candidate.to_string()) {
+        Ok(roundtripped) => still_interesting(&roundtripped, &solver, reference.as_ref(), finding),
+        Err(_) => false,
+    };
     if !interesting(&fused) {
         // The oracle no longer fires (can happen for unmapped findings
         // whose behavior was scheduling-sensitive): keep the fused script.
@@ -239,6 +248,42 @@ pub fn write_bundles(
     Ok(summaries)
 }
 
+/// Refuses to reuse a bundle directory that already holds a *different*
+/// finding. Re-running the same campaign over its own output directory is
+/// fine (the verdict's recorded fingerprint matches and the bundle is
+/// rewritten in place); anything else — a foreign fingerprint, or a
+/// `verdict.json` too corrupt to identify — would silently splice two
+/// findings' files together, so it is an error instead of a skip.
+fn check_collision(dir: &Path, fp: &str) -> std::io::Result<()> {
+    let verdict_path = dir.join("verdict.json");
+    if !verdict_path.exists() {
+        return Ok(());
+    }
+    let recorded = std::fs::read_to_string(&verdict_path)
+        .ok()
+        .and_then(|text| yinyang_rt::json::Json::parse(&text).ok())
+        .and_then(|json| json.get("fingerprint").and_then(|f| f.as_str().map(str::to_owned)));
+    match recorded {
+        Some(existing) if existing == fp => Ok(()),
+        Some(existing) => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "bundle directory {} already holds fingerprint `{existing}` \
+                 (writing `{fp}`); refusing to overwrite a different finding",
+                dir.display()
+            ),
+        )),
+        None => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "bundle directory {} has an unreadable verdict.json; \
+                 refusing to overwrite it with `{fp}`",
+                dir.display()
+            ),
+        )),
+    }
+}
+
 /// Writes one bundle directory.
 fn write_bundle(
     dir: &PathBuf,
@@ -247,6 +292,7 @@ fn write_bundle(
     forensics: &FindingForensics,
 ) -> std::io::Result<BundleSummary> {
     std::fs::create_dir_all(dir)?;
+    check_collision(dir, fp)?;
     let (reduced, reduce_stats, reproduced, oracle_checked) = minimize(finding, forensics);
     let fused_text = finding.script.clone();
     let reduced_text = reduced.to_string();
@@ -256,14 +302,17 @@ fn write_bundle(
     std::fs::write(dir.join("fused.smt2"), &fused_text)?;
     std::fs::write(dir.join("reduced.smt2"), &reduced_text)?;
 
-    // Answers recorded from the rebuilt persona, so the bundle documents
-    // what a reader will see when they replay the scripts.
+    // Answers recorded from the rebuilt persona *on the text just
+    // written*, so the bundle documents exactly what a reader (or
+    // `yinyang regress`) will see when they re-parse and replay it.
     let (fused_answer, reduced_answer) = match rebuild_solver(finding, forensics) {
         Some(solver) => {
-            let fused_ans = parse_script(&finding.script)
-                .map(|s| answer_str(&run_catching(&solver, &s)))
-                .unwrap_or_else(|_| "unparseable".to_owned());
-            (fused_ans, answer_str(&run_catching(&solver, &reduced)))
+            let replay = |text: &str| {
+                parse_script(text)
+                    .map(|s| answer_str(&run_catching(&solver, &s)))
+                    .unwrap_or_else(|_| "unparseable".to_owned())
+            };
+            (replay(&fused_text), replay(&reduced_text))
         }
         None => ("unknown-solver".to_owned(), "unknown-solver".to_owned()),
     };
@@ -373,6 +422,37 @@ mod tests {
         assert_eq!(verdict1, verdict2);
         let _ = std::fs::remove_dir_all(&dir);
         let _ = std::fs::remove_dir_all(&dir2);
+    }
+
+    #[test]
+    fn colliding_bundle_directory_is_an_error_not_a_skip() {
+        let (finding, forensics) = incorrect_finding();
+        let dir = std::env::temp_dir().join(format!("yy-bundle-collide-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let summaries =
+            write_bundles(&dir, &[finding.clone()], std::slice::from_ref(&forensics)).unwrap();
+        let sub = dir.join(&summaries[0].fingerprint);
+
+        // Rewriting the same finding in place stays fine.
+        write_bundles(&dir, &[finding.clone()], std::slice::from_ref(&forensics)).unwrap();
+
+        // A different fingerprint already occupying the directory must
+        // surface as an error, not a silent overwrite.
+        let verdict = std::fs::read_to_string(sub.join("verdict.json"))
+            .unwrap()
+            .replace(&summaries[0].fingerprint, "somebody-else-entirely");
+        std::fs::write(sub.join("verdict.json"), verdict).unwrap();
+        let err = write_bundles(&dir, &[finding.clone()], std::slice::from_ref(&forensics))
+            .expect_err("foreign fingerprint must be rejected");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("somebody-else-entirely"), "{err}");
+
+        // So must a verdict.json too corrupt to identify.
+        std::fs::write(sub.join("verdict.json"), "not json at all").unwrap();
+        let err = write_bundles(&dir, &[finding], std::slice::from_ref(&forensics))
+            .expect_err("unreadable verdict must be rejected");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

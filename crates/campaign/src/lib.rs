@@ -7,6 +7,10 @@
 //!   [`yinyang_rt::metrics`] snapshot (per-stage timing, solver
 //!   statistics);
 //! * [`triage`](mod@triage) — findings → Fig. 8a/8b/8c tables;
+//! * [`regress`] — replays `--bundle-dir` reproduction bundles against an
+//!   arbitrary persona release and classifies each finding as
+//!   still-broken / fixed / flaky / stale, deduplicating identical
+//!   reduced test cases across campaigns;
 //! * [`experiments`] — one entry point per figure: [`experiments::fig7`]
 //!   through [`experiments::fig12`], [`experiments::rq4`],
 //!   [`experiments::throughput`], and the
@@ -22,6 +26,7 @@ pub mod config;
 pub mod experiments;
 pub mod experiments_md;
 pub mod forensics;
+pub mod regress;
 pub mod telemetry;
 pub mod triage;
 
@@ -31,5 +36,9 @@ pub use campaign::{
 };
 pub use config::{Behavior, CampaignConfig, CampaignOutcome, RawFinding};
 pub use forensics::{write_bundles, BundleSummary};
+pub use regress::{
+    render_markdown, run_regress, BundleStatus, RegressConfig, RegressEntry, RegressReport,
+    RegressSummary,
+};
 pub use telemetry::{CoverageRound, Telemetry};
 pub use triage::{fingerprint, triage, Triage};

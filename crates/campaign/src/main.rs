@@ -19,6 +19,10 @@ commands:
   exp <which>                     regenerate an evaluation figure; <which> is one of
                                   fig7 fig8 fig9 fig10 fig11 fig12 rq4 throughput fp all
   fuzz                            run the bug-finding campaign, print findings
+  regress <bundle-dir>...         replay fuzz --bundle-dir reproduction bundles
+                                  against a solver build (--release) and classify
+                                  each as still-broken / fixed / flaky / stale;
+                                  identical reduced test cases dedup across dirs
   profile <file.jsonl>            fold a --trace file into a span-tree profile
                                   (inclusive/exclusive time, calls, p50/p95/p99)
   experiments-md [file]           regenerate EXPERIMENTS.md's generated blocks
@@ -36,6 +40,9 @@ options:
   --threads N      worker threads (replay-safe at any count)   [default 1]
   --json           print reports as JSON (fuzz embeds a telemetry section;
                    profile prints the span tree as JSON)
+  --release NAME   (regress) target build: a registry release such as trunk,
+                   4.8.5 (zirkon) or 1.5 (corvus), or `reference` for the
+                   bug-free solver                              [default trunk]
   --trace FILE     write one JSON line per span (seedgen/fusion/solve/...) to FILE
   --bundle-dir DIR write a reproduction bundle per deduplicated fuzz finding:
                    seeds, fused + ddmin-reduced scripts, verdict/bug/metrics
@@ -104,6 +111,10 @@ fn main() -> ExitCode {
                 Some(path) => opts.bench_report = Some(path),
                 None => return ExitCode::FAILURE,
             },
+            "--release" => match parse_path(&args, &mut i) {
+                Some(name) => opts.release = Some(name),
+                None => return ExitCode::FAILURE,
+            },
             other => positional.push(other.to_owned()),
         }
         i += 1;
@@ -137,6 +148,7 @@ struct CliOpts {
     bundle_dir: Option<String>,
     metrics_out: Option<String>,
     bench_report: Option<String>,
+    release: Option<String>,
 }
 
 fn dispatch(positional: &[String], config: &CampaignConfig, opts: &CliOpts) -> ExitCode {
@@ -148,6 +160,7 @@ fn dispatch(positional: &[String], config: &CampaignConfig, opts: &CliOpts) -> E
         }
         Some("exp") => run_exp(positional.get(1).map(String::as_str), config, json),
         Some("fuzz") => run_fuzz(config, opts),
+        Some("regress") => run_regress_cmd(&positional[1..], config, opts),
         Some("profile") => {
             let Some(path) = positional.get(1) else {
                 eprintln!("usage: yinyang profile <file.jsonl>");
@@ -326,6 +339,35 @@ fn run_fuzz(config: &CampaignConfig, opts: &CliOpts) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// The `regress` command: replay reproduction bundles from one or more
+/// campaign `--bundle-dir` outputs against a target solver build.
+fn run_regress_cmd(dirs: &[String], config: &CampaignConfig, opts: &CliOpts) -> ExitCode {
+    if dirs.is_empty() {
+        eprintln!("usage: yinyang regress <bundle-dir>... [--release NAME] [--json]");
+        return ExitCode::FAILURE;
+    }
+    let roots: Vec<std::path::PathBuf> = dirs.iter().map(std::path::PathBuf::from).collect();
+    let regress_config = yinyang_campaign::RegressConfig {
+        release: opts.release.clone().unwrap_or_else(|| "trunk".to_owned()),
+        threads: config.threads,
+        rng_seed: config.rng_seed,
+    };
+    match yinyang_campaign::run_regress(&roots, &regress_config) {
+        Ok(report) => {
+            if opts.json {
+                println!("{}", report.to_json().pretty());
+            } else {
+                print!("{}", yinyang_campaign::render_markdown(&report));
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("regress failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// The `profile` command: fold a `--trace` JSONL file into a span tree.

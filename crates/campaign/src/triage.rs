@@ -119,6 +119,17 @@ pub fn fingerprint(finding: &RawFinding) -> String {
     format!("{persona}-{identity}-{}-{}", behavior_kind(&finding.behavior), finding.logic)
 }
 
+/// The cross-campaign identity of a test case: FNV-1a over the script's
+/// canonical text ([`yinyang_smtlib::canonical_text`] — parse → print, so
+/// whitespace, comments, and `set-info` metadata don't matter, but
+/// alpha-renaming does). Regression replay dedups bundles on this hash of
+/// their *reduced* scripts, which collapses the same minimized test case
+/// rediscovered by different campaigns under different trigger
+/// fingerprints. `None` when the text no longer parses (a stale bundle).
+pub fn canonical_hash(script_text: &str) -> Option<u64> {
+    yinyang_smtlib::canonical_text(script_text).ok().map(|t| fnv1a(t.as_bytes()))
+}
+
 /// 64-bit FNV-1a — tiny, dependency-free, and stable across platforms.
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
@@ -258,6 +269,22 @@ mod tests {
         let (fa, fb) = (fingerprint(&a), fingerprint(&b));
         assert_ne!(fa, fb);
         assert!(fa.starts_with("corvus-x") && fa.ends_with("-crash-NRA"), "{fa}");
+    }
+
+    #[test]
+    fn canonical_hash_ignores_layout_but_not_names() {
+        let base = "(set-logic QF_LIA)\n(declare-fun x () Int)\n(assert (> x 0))\n(check-sat)\n";
+        let reformatted =
+            "; found by campaign 7\n(set-logic QF_LIA)  (declare-fun x () Int)\n\n(assert (>   x 0))    (check-sat)";
+        let with_metadata = format!("(set-info :source |fusion|)\n{base}");
+        let h = canonical_hash(base).expect("parses");
+        assert_eq!(canonical_hash(reformatted), Some(h), "whitespace/comments change the hash");
+        assert_eq!(canonical_hash(&with_metadata), Some(h), "set-info changes the hash");
+        // Alpha-renaming is a different test case: the solver may treat
+        // the names differently and a bundle reader sees different text.
+        let renamed = base.replace('x', "y");
+        assert_ne!(canonical_hash(&renamed), Some(h), "renaming must change the hash");
+        assert_eq!(canonical_hash("(not smtlib"), None, "unparseable text has no hash");
     }
 
     #[test]

@@ -70,8 +70,17 @@ fn help_lists_every_subcommand_and_flag() {
     let out = yinyang().args(["help"]).output().expect("spawn");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    for cmd in ["exp", "fuzz", "profile", "experiments-md", "solve", "fuse", "trace-check", "help"]
-    {
+    for cmd in [
+        "exp",
+        "fuzz",
+        "regress",
+        "profile",
+        "experiments-md",
+        "solve",
+        "fuse",
+        "trace-check",
+        "help",
+    ] {
         assert!(text.contains(cmd), "help is missing the `{cmd}` command");
     }
     for flag in [
@@ -81,6 +90,7 @@ fn help_lists_every_subcommand_and_flag() {
         "--seed",
         "--threads",
         "--json",
+        "--release",
         "--trace",
         "--bundle-dir",
         "--metrics-out",
@@ -212,6 +222,83 @@ fn trace_check_accepts_real_traces_and_rejects_garbage() {
     std::fs::write(&bad, "{\"span\":\"x\",\"dur\":1}\nnot json at all\n").unwrap();
     let check = yinyang().args(["trace-check", bad.to_str().unwrap()]).output().expect("spawn");
     assert!(!check.status.success(), "trace-check accepted a malformed file");
+}
+
+#[test]
+fn regress_replays_bundles_and_honors_release_selection() {
+    let dir = std::env::temp_dir().join(format!("yinyang-cli-regress-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let bundles = dir.join("bundles");
+    let out = yinyang()
+        .args([
+            "fuzz",
+            "--iterations",
+            "2",
+            "--rounds",
+            "1",
+            "--seed",
+            "7",
+            "--quiet",
+            "--bundle-dir",
+            bundles.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Same build (trunk): everything replays still-broken.
+    let trunk =
+        yinyang().args(["regress", bundles.to_str().unwrap(), "--json"]).output().expect("spawn");
+    assert!(trunk.status.success(), "{}", String::from_utf8_lossy(&trunk.stderr));
+    let report = yinyang_rt::json::Json::parse(String::from_utf8_lossy(&trunk.stdout).trim())
+        .expect("regress --json parses");
+    let summary = report.get("summary").expect("summary");
+    let count = |k: &str| summary.get(k).and_then(|v| v.as_i64()).unwrap();
+    assert!(count("total") >= 1);
+    assert_eq!(count("still_broken"), count("total"), "own bundles must stay broken on trunk");
+    assert_eq!(count("stale"), 0);
+
+    // The bug-free reference build never reproduces an incorrect-answer
+    // or crash finding. (Unknown-class findings can legitimately stay
+    // `still-broken`: classification is behavioral, and the reference may
+    // honestly answer `unknown` within campaign budgets —
+    // indistinguishable from a spurious one in a blackbox replay.)
+    let reference = yinyang()
+        .args(["regress", bundles.to_str().unwrap(), "--release", "reference", "--json"])
+        .output()
+        .expect("spawn");
+    assert!(reference.status.success(), "{}", String::from_utf8_lossy(&reference.stderr));
+    let report = yinyang_rt::json::Json::parse(String::from_utf8_lossy(&reference.stdout).trim())
+        .expect("regress --json parses");
+    let entries = match report.get("entries") {
+        Some(yinyang_rt::json::Json::Arr(entries)) => entries,
+        other => panic!("entries must be an array, got {other:?}"),
+    };
+    assert!(!entries.is_empty());
+    for entry in entries {
+        let field = |k: &str| entry.get(k).and_then(|v| v.as_str()).unwrap().to_owned();
+        if field("behavior") == "incorrect" || field("behavior") == "crash" {
+            assert_ne!(
+                field("status"),
+                "still-broken",
+                "reference build reproduced {}: {entry:?}",
+                field("fingerprint")
+            );
+        }
+    }
+
+    // Default (non-JSON) output is the markdown report.
+    let md = yinyang().args(["regress", bundles.to_str().unwrap()]).output().expect("spawn");
+    assert!(md.status.success());
+    let text = String::from_utf8_lossy(&md.stdout);
+    assert!(text.contains("| bundle | status |"), "{text}");
+    assert!(text.contains("still-broken"), "{text}");
+
+    // No bundle directory is a usage error.
+    let none = yinyang().args(["regress"]).output().expect("spawn");
+    assert!(!none.status.success());
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

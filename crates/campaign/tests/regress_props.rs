@@ -1,0 +1,70 @@
+//! Property: a campaign's own reproduction bundles, replayed with
+//! `regress` against the *same* solver build (trunk, no fixes recorded —
+//! bundles are written from trunk findings), always come back 100%
+//! `still-broken` with zero `stale` entries.
+//!
+//! This holds by construction — the solvers are deterministic, forensics'
+//! reduction oracle guarantees the reduced script still exhibits the
+//! recorded behavior (falling back to the fused script when it cannot
+//! re-establish that), and regress's `exhibits` check is no stricter than
+//! the oracle that admitted the finding — so any failure here is a real
+//! bug in bundle writing, bundle loading, or replay classification.
+
+use yinyang_campaign::{
+    run_campaign_full, run_regress, write_bundles, CampaignConfig, RegressConfig,
+};
+use yinyang_faults::SolverId;
+use yinyang_rt::{props, Rng, StdRng};
+
+fn replay_own_bundles(seed: u64, solver: SolverId, threads: usize) {
+    let config = CampaignConfig {
+        scale: 400,
+        iterations: 2,
+        rounds: 1,
+        rng_seed: seed,
+        threads: 1,
+        ..CampaignConfig::default()
+    };
+    let run = run_campaign_full(&config, solver);
+    if run.outcome.findings.is_empty() {
+        return; // nothing to bundle at this seed; property is vacuous
+    }
+    let dir = std::env::temp_dir().join(format!(
+        "yy-regress-props-{}-{}-{seed}",
+        std::process::id(),
+        solver.name()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let summaries = write_bundles(&dir, &run.outcome.findings, &run.forensics).unwrap();
+    let report =
+        run_regress(&[dir.clone()], &RegressConfig { threads, ..RegressConfig::default() })
+            .unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(report.summary.total, summaries.len(), "every bundle gets an entry");
+    assert_eq!(report.summary.stale, 0, "own bundles never go stale: {:?}", report.entries);
+    assert_eq!(
+        report.summary.still_broken, report.summary.total,
+        "same build must still exhibit every finding: {:?}",
+        report.entries
+    );
+    assert_eq!(report.summary.fixed, 0);
+    assert_eq!(report.summary.flaky, 0);
+    // Dedup bookkeeping stays consistent even when nothing merges.
+    assert_eq!(
+        report.summary.unique_replays + report.summary.duplicates_merged,
+        report.summary.total - report.summary.stale
+    );
+}
+
+props! {
+    cases: 3;
+
+    fn own_bundles_replay_still_broken_zirkon(seed in |r: &mut StdRng| r.random_range(0u64..1 << 20)) {
+        replay_own_bundles(seed, SolverId::Zirkon, 1);
+    }
+
+    fn own_bundles_replay_still_broken_corvus(seed in |r: &mut StdRng| r.random_range(0u64..1 << 20)) {
+        replay_own_bundles(seed, SolverId::Corvus, 2);
+    }
+}

@@ -27,6 +27,16 @@ impl SolverId {
             SolverId::Corvus => "corvus",
         }
     }
+
+    /// Parses a persona name back to its id. Accepts the bare name and any
+    /// `<name>-<release>` spelling ([`FaultySolver`](crate::FaultySolver)
+    /// reports itself as e.g. `zirkon-trunk`), which is how campaign
+    /// findings and reproduction bundles record the solver under test.
+    pub fn from_name(name: &str) -> Option<SolverId> {
+        [SolverId::Zirkon, SolverId::Corvus]
+            .into_iter()
+            .find(|id| name == id.name() || name.starts_with(&format!("{}-", id.name())))
+    }
 }
 
 /// Bug classes, as in Fig. 8b.
@@ -738,6 +748,16 @@ mod tests {
         let pend_c =
             bugs_of(SolverId::Corvus).iter().filter(|b| b.status == BugStatus::Pending).count();
         assert_eq!((pend_z, pend_c), (1, 4));
+    }
+
+    #[test]
+    fn from_name_accepts_bare_and_release_spellings() {
+        assert_eq!(SolverId::from_name("zirkon"), Some(SolverId::Zirkon));
+        assert_eq!(SolverId::from_name("zirkon-trunk"), Some(SolverId::Zirkon));
+        assert_eq!(SolverId::from_name("corvus-1.5"), Some(SolverId::Corvus));
+        assert_eq!(SolverId::from_name("corvusx"), None, "no separator, no match");
+        assert_eq!(SolverId::from_name("z3"), None);
+        assert_eq!(SolverId::from_name(""), None);
     }
 
     #[test]

@@ -53,3 +53,12 @@ pub use sort::{ParseSortError, Sort};
 pub use symbol::Symbol;
 pub use term::{Arity, Op, Quantifier, Term, TermKind};
 pub use typecheck::{check_script, sort_of, SortEnv, TypeError};
+
+/// The canonical text of an SMT-LIB script: parse, drop pure metadata
+/// (`set-info`), and print the normal form. Two spellings that differ only
+/// in whitespace, comments, or metadata canonicalize to the same text;
+/// renaming a variable does not (see [`Script::canonical`]). Regression
+/// harnesses hash this to recognize the same test case across campaigns.
+pub fn canonical_text(text: &str) -> Result<String, ParseError> {
+    parse_script(text).map(|s| s.canonical().to_string())
+}

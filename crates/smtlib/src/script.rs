@@ -181,6 +181,24 @@ impl Script {
         s
     }
 
+    /// The script's canonical form: the same commands with pure metadata
+    /// (`set-info`) dropped. Printing a canonical script yields the
+    /// parser's normal form — whitespace and comments are gone (the lexer
+    /// never kept them) and every term prints in the one shape `Display`
+    /// produces — while names are preserved, so alpha-renaming changes the
+    /// canonical text. This is the identity regression harnesses hash to
+    /// recognize the same test case across campaigns.
+    pub fn canonical(&self) -> Script {
+        Script {
+            commands: self
+                .commands
+                .iter()
+                .filter(|c| !matches!(c, Command::SetInfo(_, _)))
+                .cloned()
+                .collect(),
+        }
+    }
+
     /// Renames every declared variable via `rename`, rewriting declarations,
     /// assertions, and definition bodies. Used by fusion to make two scripts'
     /// variable sets disjoint (Propositions 1 and 2 require it).
@@ -302,6 +320,34 @@ mod tests {
         s = s.with_single_assert(Term::tru());
         assert_eq!(s.asserts().len(), 1);
         assert_eq!(s.asserts()[0], Term::tru());
+    }
+
+    #[test]
+    fn canonical_normalizes_layout_but_not_names() {
+        // Whitespace and comments never survive parsing, so two spellings
+        // of the same script canonicalize to the same text...
+        let a = crate::canonical_text(
+            "(set-logic QF_LIA) (declare-fun x () Int)\n(assert (> x 0)) (check-sat)",
+        )
+        .unwrap();
+        let b = crate::canonical_text(
+            "; a comment\n(set-logic QF_LIA)\n  (declare-fun x () Int)\n\n(assert (>  x  0))\n(check-sat) ; trailing",
+        )
+        .unwrap();
+        assert_eq!(a, b);
+        // ...metadata is dropped...
+        let c = crate::canonical_text(
+            "(set-info :status sat) (set-logic QF_LIA) (declare-fun x () Int) (assert (> x 0)) (check-sat)",
+        )
+        .unwrap();
+        assert_eq!(a, c);
+        // ...but renaming a variable is a different script.
+        let renamed = crate::canonical_text(
+            "(set-logic QF_LIA) (declare-fun y () Int) (assert (> y 0)) (check-sat)",
+        )
+        .unwrap();
+        assert_ne!(a, renamed);
+        assert!(crate::canonical_text("(this is not smtlib").is_err());
     }
 
     #[test]

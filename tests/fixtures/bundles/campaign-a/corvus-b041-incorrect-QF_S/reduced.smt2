@@ -1,0 +1,4 @@
+(set-logic QF_S)
+(declare-fun s0_p1 () String)
+(assert (ite true (= (str.to_int (str.from_int 0)) 1) (str.in_re (str.replace "" (str.replace "" "aa" s0_p1) "") (str.to_re "1"))))
+(check-sat)

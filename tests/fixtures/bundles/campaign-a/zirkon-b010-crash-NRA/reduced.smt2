@@ -1,0 +1,4 @@
+(set-logic NRA)
+(declare-fun v2_p2 () Real)
+(assert (forall ((h305 Real)) (<= v2_p2 0.0)))
+(check-sat)

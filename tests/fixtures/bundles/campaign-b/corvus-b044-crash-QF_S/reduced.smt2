@@ -1,0 +1,1 @@
+(assert (this no longer parses

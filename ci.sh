@@ -78,6 +78,36 @@ grep -q '"stale": 0' "$REGRESS/seq.json"
 grep -q '"still-broken"' "$REGRESS/seq.json"
 target/release/yinyang regress "$FORENSICS/bundles" | grep -q "still-broken"
 
+echo "==> solve-cache smoke gate"
+# The cache may only change speed, never bytes: a cache-on campaign must
+# report exactly what the cache-off run (the telemetry gate's seq.json)
+# reported, trace included, and a regress replay of a bundle whose fused
+# and reduced scripts coincide must score a nonzero hit rate within one
+# process — both summarized on stderr, never in the report.
+CACHE=target/cache-smoke
+rm -rf "$CACHE"
+mkdir -p "$CACHE"
+target/release/yinyang fuzz --iterations 2 --rounds 1 --seed 7 --threads 1 \
+    --cache --json --trace "$CACHE/cached.jsonl" \
+    > "$CACHE/cached.json" 2> "$CACHE/fuzz-stderr.txt"
+cmp "$SMOKE/seq.json" "$CACHE/cached.json"
+cmp "$SMOKE/seq.jsonl" "$CACHE/cached.jsonl"
+grep -q "solve cache:" "$CACHE/fuzz-stderr.txt"
+# Craft a minimal bundle with fused == reduced: regress solves both under
+# one cache key, so the second solve is a guaranteed within-run hit.
+BUNDLE="$CACHE/corpus/zirkon-smoke-unknown-QF_LIA"
+mkdir -p "$BUNDLE"
+printf '(set-logic QF_LIA)\n(declare-fun x () Int)\n(assert (> x 0))\n(check-sat)\n' \
+    > "$BUNDLE/fused.smt2"
+cp "$BUNDLE/fused.smt2" "$BUNDLE/reduced.smt2"
+printf '{\n  "solver": "zirkon-trunk",\n  "bug_id": null,\n  "behavior": "SpuriousUnknown",\n  "oracle": "sat",\n  "fixed_bugs": []\n}\n' \
+    > "$BUNDLE/verdict.json"
+target/release/yinyang regress "$CACHE/corpus" --json --cache \
+    > "$CACHE/regress-on.json" 2> "$CACHE/regress-stderr.txt"
+grep -q "solve cache: hits [1-9]" "$CACHE/regress-stderr.txt"
+target/release/yinyang regress "$CACHE/corpus" --json > "$CACHE/regress-off.json"
+cmp "$CACHE/regress-off.json" "$CACHE/regress-on.json"
+
 echo "==> bench report regeneration (fast mode)"
 YINYANG_BENCH_FAST=1 cargo bench --offline -p yinyang-bench --bench throughput
 test -s crates/bench/target/yinyang-bench/report.json

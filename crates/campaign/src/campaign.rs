@@ -20,11 +20,13 @@
 //! and the driver merges the deltas in job order.
 
 use crate::config::{fast_solver_config, Behavior, CampaignConfig, CampaignOutcome, RawFinding};
+use crate::solve_cache::{key_text, SolveCache};
 use crate::telemetry::CoverageRound;
 use std::collections::BTreeSet;
 use yinyang_core::{concat_fuzz, run_catching, Fuser, Oracle, SolverAnswer};
 use yinyang_coverage::ProbeKind;
 use yinyang_faults::{BugClass, BugStatus, FaultySolver, SolverId};
+use yinyang_rt::cache::CacheStatsView;
 use yinyang_rt::trace::{self, TraceEvent};
 use yinyang_rt::{metrics, MetricsSnapshot, Rng, StdRng, Stopwatch};
 use yinyang_seedgen::profile::{fig7_profile, generate_row};
@@ -65,6 +67,10 @@ pub struct CampaignRun {
     /// Cumulative coverage after each round (empty unless
     /// [`CampaignConfig::coverage_trajectory`] is set).
     pub coverage_rounds: Vec<CoverageRound>,
+    /// Solve-cache health counters at the end of the run (`None` when the
+    /// cache was off). Stderr-only material: hit/miss counts depend on
+    /// scheduling, so they never reach byte-compared report sections.
+    pub cache_stats: Option<CacheStatsView>,
 }
 
 /// Runs a full multi-round campaign against one persona's trunk.
@@ -91,6 +97,19 @@ pub fn run_campaign_with_metrics(
 /// campaigns share the process — see
 /// [`CampaignConfig::coverage_trajectory`]).
 pub fn run_campaign_full(config: &CampaignConfig, solver_id: SolverId) -> CampaignRun {
+    let cache = config.cache.then(|| SolveCache::new(config.cache_capacity));
+    run_campaign_full_with_cache(config, solver_id, cache.as_ref())
+}
+
+/// [`run_campaign_full`] against a caller-owned [`SolveCache`], so several
+/// campaigns (e.g. both personas of `yinyang fuzz`) can share one cache —
+/// the persona is part of every key, sharing only pools the budget. Pass
+/// `None` to disable caching regardless of [`CampaignConfig::cache`].
+pub fn run_campaign_full_with_cache(
+    config: &CampaignConfig,
+    solver_id: SolverId,
+    cache: Option<&SolveCache>,
+) -> CampaignRun {
     let mut run = CampaignRun::default();
     let mut fixed: BTreeSet<u32> = BTreeSet::new();
     let watch = Stopwatch::start();
@@ -98,7 +117,7 @@ pub fn run_campaign_full(config: &CampaignConfig, solver_id: SolverId) -> Campai
         if config.coverage_trajectory { Some(yinyang_coverage::snapshot()) } else { None };
     for round in 0..config.rounds {
         let (round_outcome, mut round_metrics, mut events, round_forensics) =
-            run_round(config, solver_id, round, &fixed);
+            run_round(config, solver_id, round, &fixed, cache);
         // Fix-and-retest: deactivate fixed confirmed bugs for later rounds.
         let before = metrics::local_snapshot();
         {
@@ -138,9 +157,10 @@ pub fn run_campaign_full(config: &CampaignConfig, solver_id: SolverId) -> Campai
         run.outcome.stats.fusion_failures += round_outcome.stats.fusion_failures;
         run.metrics.merge(&round_metrics);
         if config.heartbeat {
-            heartbeat(solver_id, config, round, &run.outcome, &run.metrics, &watch);
+            heartbeat(solver_id, config, round, &run.outcome, &run.metrics, &watch, cache);
         }
     }
+    run.cache_stats = cache.map(SolveCache::stats);
     run
 }
 
@@ -154,6 +174,7 @@ fn heartbeat(
     outcome: &CampaignOutcome,
     telemetry: &MetricsSnapshot,
     watch: &Stopwatch,
+    cache: Option<&SolveCache>,
 ) {
     let rate = outcome.stats.tests as f64 / watch.elapsed_secs().max(1e-9);
     let (mut incorrect, mut crashes, mut spurious) = (0usize, 0usize, 0usize);
@@ -165,10 +186,24 @@ fn heartbeat(
         }
     }
     let solve = telemetry.histograms.get("span.solve").map(|h| h.summary()).unwrap_or_default();
+    // Cache counters are cumulative across rounds (and across campaigns
+    // when the cache is shared); like the rest of the heartbeat they are
+    // stderr-only and never byte-compared.
+    let cache_block = match cache.map(SolveCache::stats) {
+        None => String::new(),
+        Some(s) => format!(
+            ", cache.hit/miss/evict/verify_fail {}/{}/{}/{} ({:.1}% hit)",
+            s.hits,
+            s.misses,
+            s.evictions,
+            s.verify_fails,
+            s.hit_rate() * 100.0,
+        ),
+    };
     eprintln!(
         "[yinyang {}] round {}/{}: {} tests ({rate:.1}/s), findings {} \
          (incorrect {incorrect}, crash {crashes}, spurious-unknown {spurious}), \
-         solve p50/p95 {}/{} {}",
+         solve p50/p95/p99 {}/{}/{} {}{cache_block}",
         solver_id.name(),
         round + 1,
         config.rounds,
@@ -176,6 +211,7 @@ fn heartbeat(
         outcome.findings.len(),
         solve.p50,
         solve.p95,
+        solve.p99,
         trace::unit(),
     );
 }
@@ -224,6 +260,7 @@ fn run_round(
     solver_id: SolverId,
     round: usize,
     fixed: &BTreeSet<u32>,
+    cache: Option<&SolveCache>,
 ) -> (CampaignOutcome, MetricsSnapshot, Vec<TraceEvent>, Vec<FindingForensics>) {
     let round_seed = config.rng_seed ^ (round as u64).wrapping_mul(0x9E37_79B9);
     let driver_before = metrics::local_snapshot();
@@ -256,7 +293,7 @@ fn run_round(
     let rng_seeds: Vec<u64> = jobs.iter().map(|j| j.rng_seed).collect();
     let fuser = Fuser::new();
     let results = yinyang_rt::pool::parallel_map(config.threads, jobs, |job| {
-        run_test(solver_id, round, fixed, &fuser, &pools, job)
+        run_test(solver_id, round, fixed, &fuser, &pools, job, cache)
     });
 
     let mut outcome = CampaignOutcome::default();
@@ -295,6 +332,7 @@ fn run_test(
     fuser: &Fuser,
     pools: &[RoundPool],
     job: TestJob,
+    cache: Option<&SolveCache>,
 ) -> JobResult {
     let before = metrics::local_snapshot();
     let pool = &pools[job.pool];
@@ -323,8 +361,24 @@ fn run_test(
         Ok(fused) => {
             result.tests = 1;
             let answer = {
+                // The enclosing span stays *outside* the cached unit: its
+                // fields (benchmark) vary per call site and must not leak
+                // into cache keys or stored events.
                 let _span = yinyang_rt::span!("solve", benchmark = pool.benchmark);
-                run_catching(&solver, &fused.script)
+                match cache {
+                    None => run_catching(&solver, &fused.script),
+                    Some(cache) => {
+                        let fixed_ids: Vec<u32> = fixed.iter().copied().collect();
+                        let key = key_text(
+                            &yinyang_core::SolverUnderTest::name(&solver),
+                            &fixed_ids,
+                            &fast_solver_config(),
+                            "solve",
+                            &fused.script,
+                        );
+                        cache.solve(&solver, &key, &fused.script)
+                    }
+                }
             };
             let behavior = {
                 let _span = yinyang_rt::span!("oracle");

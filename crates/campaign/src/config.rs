@@ -28,6 +28,14 @@ pub struct CampaignConfig {
     /// one campaign owns the process — the CLI turns this on, libraries
     /// and concurrent tests leave it off.
     pub coverage_trajectory: bool,
+    /// Cache solve results keyed on the canonical script text plus the
+    /// full solver configuration (`--cache` on the CLI). Replay-safe:
+    /// hits replay the cached solve's metrics, trace events, and tick
+    /// cost, so reports stay byte-identical with the cache on or off.
+    pub cache: bool,
+    /// Solve-cache entry bound (`--cache-capacity`); oldest entries are
+    /// evicted first. Ignored unless [`CampaignConfig::cache`] is set.
+    pub cache_capacity: usize,
 }
 
 impl Default for CampaignConfig {
@@ -40,6 +48,8 @@ impl Default for CampaignConfig {
             threads: 1,
             heartbeat: false,
             coverage_trajectory: false,
+            cache: false,
+            cache_capacity: 4096,
         }
     }
 }
@@ -125,6 +135,8 @@ impl_json_struct!(CampaignConfig {
     threads,
     heartbeat,
     coverage_trajectory,
+    cache,
+    cache_capacity,
 });
 impl_json_struct!(RawFinding {
     solver,

@@ -2,8 +2,9 @@
 //! paper's evaluation section, each returning a rendered text table (and
 //! serializable data) with the same rows the paper reports.
 
-use crate::campaign::{run_campaign_full, run_concatfuzz_round, FindingForensics};
+use crate::campaign::{run_campaign_full_with_cache, run_concatfuzz_round, FindingForensics};
 use crate::config::{fast_solver_config, CampaignConfig, CampaignOutcome};
+use crate::solve_cache::SolveCache;
 use crate::telemetry::Telemetry;
 use crate::triage::{representatives, soundness_representatives, triage, Triage};
 use std::collections::BTreeMap;
@@ -77,6 +78,11 @@ pub struct Fig8Run {
     pub zirkon_forensics: Vec<FindingForensics>,
     /// Per-finding forensics of the Corvus campaign.
     pub corvus_forensics: Vec<FindingForensics>,
+    /// Final solve-cache health counters, cumulative over both campaigns
+    /// (they share one cache; the persona is part of every key). `None`
+    /// when [`CampaignConfig::cache`] was off. Stderr-only material —
+    /// deliberately not part of the serialized [`Fig8Result`].
+    pub cache_stats: Option<yinyang_rt::CacheStatsView>,
 }
 
 /// Runs the full bug-finding campaign against both personas (RQ1).
@@ -89,8 +95,9 @@ pub fn fig8_campaign(config: &CampaignConfig) -> Fig8Result {
 /// (for `--metrics-out`). Coverage trajectories land in
 /// `telemetry.coverage_rounds` when the config asks for them.
 pub fn fig8_campaign_full(config: &CampaignConfig) -> Fig8Run {
-    let zirkon = run_campaign_full(config, SolverId::Zirkon);
-    let corvus = run_campaign_full(config, SolverId::Corvus);
+    let cache = config.cache.then(|| SolveCache::new(config.cache_capacity));
+    let zirkon = run_campaign_full_with_cache(config, SolverId::Zirkon, cache.as_ref());
+    let corvus = run_campaign_full_with_cache(config, SolverId::Corvus, cache.as_ref());
     let mut all = zirkon.outcome.findings.clone();
     all.extend(corvus.outcome.findings.clone());
     let before = yinyang_rt::metrics::local_snapshot();
@@ -110,6 +117,7 @@ pub fn fig8_campaign_full(config: &CampaignConfig) -> Fig8Run {
         metrics: merged,
         zirkon_forensics: zirkon.forensics,
         corvus_forensics: corvus.forensics,
+        cache_stats: cache.map(|c| c.stats()),
     }
 }
 

@@ -11,6 +11,9 @@
 //!   arbitrary persona release and classifies each finding as
 //!   still-broken / fixed / flaky / stale, deduplicating identical
 //!   reduced test cases across campaigns;
+//! * [`solve_cache`] — the canonical-script solve cache behind `--cache`,
+//!   shared by the campaign driver and regression replay; hits replay the
+//!   skipped solve's telemetry so reports stay byte-identical;
 //! * [`experiments`] — one entry point per figure: [`experiments::fig7`]
 //!   through [`experiments::fig12`], [`experiments::rq4`],
 //!   [`experiments::throughput`], and the
@@ -27,6 +30,7 @@ pub mod experiments;
 pub mod experiments_md;
 pub mod forensics;
 pub mod regress;
+pub mod solve_cache;
 pub mod telemetry;
 pub mod triage;
 
@@ -37,8 +41,9 @@ pub use campaign::{
 pub use config::{Behavior, CampaignConfig, CampaignOutcome, RawFinding};
 pub use forensics::{write_bundles, BundleSummary};
 pub use regress::{
-    render_markdown, run_regress, BundleStatus, RegressConfig, RegressEntry, RegressReport,
-    RegressSummary,
+    render_markdown, run_regress, run_regress_with_stats, BundleStatus, RegressConfig,
+    RegressEntry, RegressReport, RegressSummary,
 };
+pub use solve_cache::SolveCache;
 pub use telemetry::{CoverageRound, Telemetry};
 pub use triage::{fingerprint, triage, Triage};

@@ -38,6 +38,11 @@ options:
   --rounds N       fix-and-retest rounds                       [default 3]
   --seed N         RNG seed; same seed replays byte-identically [default 53710]
   --threads N      worker threads (replay-safe at any count)   [default 1]
+  --cache          (fuzz, regress) reuse solve results across identical
+                   canonical scripts; reports stay byte-identical with the
+                   cache on or off, hit/miss stats go to stderr
+  --cache-capacity N
+                   solve-cache entry bound, oldest evicted first [default 4096]
   --json           print reports as JSON (fuzz embeds a telemetry section;
                    profile prints the span tree as JSON)
   --release NAME   (regress) target build: a registry release such as trunk,
@@ -89,6 +94,10 @@ fn main() -> ExitCode {
             }
             "--threads" => {
                 config.threads = parse_num(&args, &mut i);
+            }
+            "--cache" => config.cache = true,
+            "--cache-capacity" => {
+                config.cache_capacity = parse_num(&args, &mut i);
             }
             "--json" => opts.json = true,
             "--verbose" => verbose = true,
@@ -286,6 +295,7 @@ fn run_fuzz(config: &CampaignConfig, opts: &CliOpts) -> ExitCode {
     let mut config = config.clone();
     config.coverage_trajectory = true;
     let run = experiments::fig8_campaign_full(&config);
+    let cache_stats = run.cache_stats;
     let mut result = run.result;
     // Coverage gauges live outside the replay-safe per-job deltas
     // (coverage state is process-global); attach them here, at the
@@ -338,6 +348,13 @@ fn run_fuzz(config: &CampaignConfig, opts: &CliOpts) -> ExitCode {
             }
         }
     }
+    // Cache stats are scheduling-dependent, so they go to stderr and never
+    // into the (byte-compared) report on stdout.
+    if let Some(stats) = cache_stats {
+        if !opts.quiet {
+            eprintln!("solve cache: {}", stats.render());
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -353,13 +370,20 @@ fn run_regress_cmd(dirs: &[String], config: &CampaignConfig, opts: &CliOpts) -> 
         release: opts.release.clone().unwrap_or_else(|| "trunk".to_owned()),
         threads: config.threads,
         rng_seed: config.rng_seed,
+        cache: config.cache,
+        cache_capacity: config.cache_capacity,
     };
-    match yinyang_campaign::run_regress(&roots, &regress_config) {
-        Ok(report) => {
+    match yinyang_campaign::run_regress_with_stats(&roots, &regress_config) {
+        Ok((report, cache_stats)) => {
             if opts.json {
                 println!("{}", report.to_json().pretty());
             } else {
                 print!("{}", yinyang_campaign::render_markdown(&report));
+            }
+            if let Some(stats) = cache_stats {
+                if !opts.quiet {
+                    eprintln!("solve cache: {}", stats.render());
+                }
             }
             ExitCode::SUCCESS
         }

@@ -62,12 +62,14 @@
 
 use crate::campaign::mix64;
 use crate::config::{fast_solver_config, Behavior};
+use crate::solve_cache::{key_text, SolveCache};
 use crate::telemetry::Telemetry;
 use crate::triage::{behavior_kind, canonical_hash};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use yinyang_core::{run_catching, SolverAnswer};
 use yinyang_faults::{releases_of, FaultySolver, SolverId};
+use yinyang_rt::cache::CacheStatsView;
 use yinyang_rt::json::{FromJson, Json};
 use yinyang_rt::{impl_json_struct, metrics, StdRng};
 use yinyang_smtlib::{parse_script, Script};
@@ -84,11 +86,24 @@ pub struct RegressConfig {
     pub threads: usize,
     /// Base seed for the per-bundle RNG streams recorded in the report.
     pub rng_seed: u64,
+    /// Cache solve results keyed on the canonical script text (`--cache`
+    /// on the CLI). Hits replay the cached solve's telemetry exactly, so
+    /// reports stay byte-identical with the cache on or off.
+    pub cache: bool,
+    /// Solve-cache entry bound (`--cache-capacity`). Ignored unless
+    /// [`RegressConfig::cache`] is set.
+    pub cache_capacity: usize,
 }
 
 impl Default for RegressConfig {
     fn default() -> Self {
-        RegressConfig { release: "trunk".to_owned(), threads: 1, rng_seed: 0xD1CE }
+        RegressConfig {
+            release: "trunk".to_owned(),
+            threads: 1,
+            rng_seed: 0xD1CE,
+            cache: false,
+            cache_capacity: 4096,
+        }
     }
 }
 
@@ -402,7 +417,12 @@ fn answer_str(answer: &SolverAnswer) -> String {
 }
 
 /// Replays one unique test case against the target build.
-fn replay_one(bundle: &LoadedBundle, release: &str, rng_seed: u64) -> ReplayResult {
+fn replay_one(
+    bundle: &LoadedBundle,
+    release: &str,
+    rng_seed: u64,
+    cache: Option<&SolveCache>,
+) -> ReplayResult {
     let before = metrics::local_snapshot();
     // The stream is decorrelated per bundle so future randomized replay
     // modes (input shaking, budget jitter) stay scheduling-independent;
@@ -411,8 +431,21 @@ fn replay_one(bundle: &LoadedBundle, release: &str, rng_seed: u64) -> ReplayResu
     let mut result = match rebuild_on_release(bundle, release) {
         Ok(solver) => {
             let _span = yinyang_rt::span!("regress.solve", fingerprint = bundle.fingerprint);
-            let fused_answer = run_catching(&solver, &bundle.fused);
-            let reduced_answer = run_catching(&solver, &bundle.reduced);
+            let solve = |script: &Script| match cache {
+                None => run_catching(&solver, script),
+                Some(cache) => {
+                    let key = key_text(
+                        &yinyang_core::SolverUnderTest::name(&solver),
+                        &bundle.verdict.fixed,
+                        &fast_solver_config(),
+                        "regress.solve",
+                        script,
+                    );
+                    cache.solve(&solver, &key, script)
+                }
+            };
+            let fused_answer = solve(&bundle.fused);
+            let reduced_answer = solve(&bundle.reduced);
             let (fused_broken, reduced_broken) = (
                 exhibits(&fused_answer, &bundle.verdict.behavior, &bundle.verdict.oracle),
                 exhibits(&reduced_answer, &bundle.verdict.behavior, &bundle.verdict.oracle),
@@ -452,6 +485,19 @@ fn replay_one(bundle: &LoadedBundle, release: &str, rng_seed: u64) -> ReplayResu
 /// [`RegressConfig::release`] on the thread pool, and assembles the
 /// deterministic report.
 pub fn run_regress(roots: &[PathBuf], config: &RegressConfig) -> Result<RegressReport, String> {
+    run_regress_with_stats(roots, config).map(|(report, _)| report)
+}
+
+/// [`run_regress`], additionally returning the solve cache's health
+/// counters when [`RegressConfig::cache`] is on. The stats are
+/// scheduling-dependent (hit/miss order varies with thread interleaving)
+/// and are deliberately kept out of the byte-diffed [`RegressReport`].
+pub fn run_regress_with_stats(
+    roots: &[PathBuf],
+    config: &RegressConfig,
+) -> Result<(RegressReport, Option<CacheStatsView>), String> {
+    let cache = config.cache.then(|| SolveCache::new(config.cache_capacity));
+    let cache = cache.as_ref();
     let driver_before = metrics::local_snapshot();
     let records = load_roots(roots)?;
 
@@ -484,7 +530,7 @@ pub fn run_regress(roots: &[PathBuf], config: &RegressConfig) -> Result<RegressR
         let BundleRecord::Ok(bundle) = &records[rec] else {
             unreachable!("jobs are loaded bundles")
         };
-        replay_one(bundle, &config.release, seed)
+        replay_one(bundle, &config.release, seed, cache)
     });
     for r in &results {
         merged.merge(&r.metrics);
@@ -549,7 +595,7 @@ pub fn run_regress(roots: &[PathBuf], config: &RegressConfig) -> Result<RegressR
         }
         report.entries.push(entry);
     }
-    Ok(report)
+    Ok((report, cache.map(SolveCache::stats)))
 }
 
 /// Renders the report as a markdown table plus a one-line summary.

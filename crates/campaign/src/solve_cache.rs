@@ -1,0 +1,237 @@
+//! The canonical-script solve cache: skip re-solving a fused or replayed
+//! formula the campaign has already decided under the same solver
+//! configuration, without changing a single report byte.
+//!
+//! ## Key derivation
+//!
+//! A cache key is the full text
+//!
+//! ```text
+//! <persona name> | fixed:<sorted fix-and-retest bug ids>
+//!   | cfg:<solver limits> | ctx:<solve|regress.solve>
+//!   | <canonical script text>
+//! ```
+//!
+//! hashed with FNV-1a ([`yinyang_rt::cache::hash_key`], the
+//! `triage::canonical_hash` scheme). The canonical script text comes from
+//! [`yinyang_smtlib::Script::canonical`] — `set-info` dropped, printed in
+//! normal form — so layout, comments, and metadata differences share an
+//! entry while alpha-renaming (which changes solver behavior) does not.
+//! The persona name carries the release (`zirkon-4.8.5`), the fix list
+//! the fix-and-retest state, and the context tag keeps entries from
+//! different span scopes apart (their stored trace events carry
+//! different tree paths).
+//!
+//! ## Verified, never trusted
+//!
+//! The full key text doubles as the entry's verify string: a hit is only
+//! honored when the stored text matches byte-for-byte, so an FNV
+//! collision between two scripts degrades into a counted miss
+//! (`verify_fails`) and a real solve — a wrong cached verdict would
+//! otherwise *fabricate or mask solver bugs*, which for a bug-finding
+//! harness is the one unacceptable failure mode.
+//!
+//! ## Determinism
+//!
+//! A hit must be indistinguishable from the solve it skips. Each entry
+//! therefore stores, next to the answer, the solve's private metrics
+//! delta, its trace-event slice, and its virtual-tick cost; a hit replays
+//! all three into the calling thread ([`yinyang_rt::metrics::merge_local`],
+//! [`yinyang_rt::trace::replay_events`], [`yinyang_rt::trace::work`]).
+//! Per-job `local_snapshot` brackets, `--trace` files, and enclosing span
+//! durations are then byte-identical with the cache on or off, at any
+//! thread count. Only the cache's own hit/miss/evict/verify-fail counters
+//! are scheduling-dependent, which is why they live in
+//! [`yinyang_rt::cache::CacheStats`](yinyang_rt::cache::CacheStats) —
+//! never in the metrics registry — and surface on stderr only.
+
+use yinyang_core::{run_catching, SolverAnswer};
+use yinyang_faults::FaultySolver;
+use yinyang_rt::cache::{hash_key, Cache, CacheStatsView};
+use yinyang_rt::trace::{self, TraceEvent};
+use yinyang_rt::{metrics, MetricsSnapshot};
+use yinyang_smtlib::Script;
+use yinyang_solver::SolverConfig;
+
+/// Everything a solve produced, stored so a hit can replay it exactly.
+#[derive(Debug, Clone)]
+struct SolveOutcome {
+    answer: SolverAnswer,
+    metrics: MetricsSnapshot,
+    events: Vec<TraceEvent>,
+    ticks: u64,
+    captured: bool,
+}
+
+/// A process-local solve-result cache, shared across campaigns (the
+/// persona is part of every key) and safe to use from pool workers.
+pub struct SolveCache {
+    inner: Cache<SolveOutcome>,
+}
+
+/// Builds the full key text for one solve; also the verify string its
+/// cache entry stores. Returns `None` only when the script has no
+/// canonical form (never for scripts the fuser or parser produced).
+pub fn key_text(
+    persona: &str,
+    fixed: &[u32],
+    config: &SolverConfig,
+    context: &str,
+    script: &Script,
+) -> String {
+    let mut fixed: Vec<u32> = fixed.to_vec();
+    fixed.sort_unstable();
+    fixed.dedup();
+    format!("{persona}|fixed:{fixed:?}|cfg:{config:?}|ctx:{context}|{}", script.canonical())
+}
+
+impl SolveCache {
+    /// A cache bounded at `capacity` entries.
+    pub fn new(capacity: usize) -> SolveCache {
+        SolveCache { inner: Cache::new(capacity) }
+    }
+
+    /// Solves `script` through the cache: a verified hit replays the
+    /// stored answer, metrics delta, trace events, and tick cost; a miss
+    /// runs [`run_catching`] with its telemetry isolated and stores the
+    /// outcome. `key` must come from [`key_text`] for the same solver and
+    /// script.
+    pub fn solve(&self, solver: &FaultySolver, key: &str, script: &Script) -> SolverAnswer {
+        let hash = hash_key(key);
+        let capture = trace::capture_enabled();
+        if let Some(hit) = self.inner.get(hash, key) {
+            // An entry stored while capture was off has no events to
+            // replay; under capture it would silently thin the trace, so
+            // fall through to a fresh (re-storing) solve instead.
+            if hit.captured || !capture {
+                metrics::merge_local(&hit.metrics);
+                trace::replay_events(&hit.events);
+                trace::work(hit.ticks);
+                return hit.answer;
+            }
+        }
+        // Miss: isolate exactly what the solve contributes — events are
+        // drained before and after (then re-buffered in original order),
+        // metrics bracketed with local snapshots, tick cost read without
+        // advancing the clock.
+        let pending = trace::take_events();
+        let before = metrics::local_snapshot();
+        let start = trace::ticks();
+        let answer = run_catching(solver, script);
+        let ticks = trace::ticks().saturating_sub(start);
+        let delta = metrics::local_snapshot().delta(&before);
+        let events = trace::take_events();
+        trace::replay_events(&pending);
+        trace::replay_events(&events);
+        self.inner.insert(
+            hash,
+            key,
+            SolveOutcome {
+                answer: answer.clone(),
+                metrics: delta,
+                events,
+                ticks,
+                captured: capture,
+            },
+        );
+        answer
+    }
+
+    /// Entries currently stored.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// `true` when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Health counters (hits, misses, evictions, verify fails, inserts).
+    pub fn stats(&self) -> CacheStatsView {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::fast_solver_config;
+    use yinyang_faults::SolverId;
+    use yinyang_rt::trace::TimeMode;
+    use yinyang_smtlib::parse_script;
+
+    fn solver() -> FaultySolver {
+        let mut s = FaultySolver::reference(SolverId::Zirkon);
+        s.set_base_config(fast_solver_config());
+        s
+    }
+
+    fn script(text: &str) -> Script {
+        parse_script(text).unwrap()
+    }
+
+    fn key_for(s: &Script, context: &str) -> String {
+        key_text("zirkon-reference", &[], &fast_solver_config(), context, s)
+    }
+
+    #[test]
+    fn hit_replays_answer_metrics_and_ticks_exactly() {
+        trace::set_time_mode(TimeMode::Ticks);
+        let cache = SolveCache::new(64);
+        let solver = solver();
+        let sc =
+            script("(set-logic QF_LIA)\n(declare-fun x () Int)\n(assert (> x 3))\n(check-sat)\n");
+        let key = key_for(&sc, "solve");
+
+        let before = metrics::local_snapshot();
+        let t0 = trace::ticks();
+        let cold = cache.solve(&solver, &key, &sc);
+        let cold_delta = metrics::local_snapshot().delta(&before);
+        let cold_ticks = trace::ticks() - t0;
+
+        let before = metrics::local_snapshot();
+        let t0 = trace::ticks();
+        let warm = cache.solve(&solver, &key, &sc);
+        let warm_delta = metrics::local_snapshot().delta(&before);
+        let warm_ticks = trace::ticks() - t0;
+
+        assert_eq!(cold, warm);
+        assert_eq!(cold_delta, warm_delta, "a hit must replay the solve's metrics delta");
+        assert_eq!(cold_ticks, warm_ticks, "a hit must replay the solve's tick cost");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn layout_differences_share_an_entry_but_contexts_do_not() {
+        let cache = SolveCache::new(64);
+        let solver = solver();
+        let a =
+            script("(set-logic QF_LIA)\n(declare-fun x () Int)\n(assert (> x 3))\n(check-sat)\n");
+        let b = script(
+            ";; same script, reformatted\n(set-logic QF_LIA)\n(declare-fun x () Int)\n(assert (>   x 3))\n(check-sat)\n",
+        );
+        assert_eq!(key_for(&a, "solve"), key_for(&b, "solve"), "layout is canonicalized away");
+        assert_ne!(key_for(&a, "solve"), key_for(&a, "regress.solve"), "contexts stay apart");
+        let _ = cache.solve(&solver, &key_for(&a, "solve"), &a);
+        let _ = cache.solve(&solver, &key_for(&b, "solve"), &b);
+        assert_eq!(cache.stats().hits, 1, "reformatted script hits the first entry");
+    }
+
+    #[test]
+    fn key_text_distinguishes_persona_fixes_and_config() {
+        let sc = script("(set-logic QF_LIA)\n(check-sat)\n");
+        let base = key_text("zirkon-trunk", &[], &fast_solver_config(), "solve", &sc);
+        assert_ne!(base, key_text("corvus-trunk", &[], &fast_solver_config(), "solve", &sc));
+        assert_ne!(base, key_text("zirkon-trunk", &[7], &fast_solver_config(), "solve", &sc));
+        let mut slow = fast_solver_config();
+        slow.sat_conflicts += 1;
+        assert_ne!(base, key_text("zirkon-trunk", &[], &slow, "solve", &sc));
+        // Fix lists are canonicalized: order and duplicates don't matter.
+        assert_eq!(
+            key_text("zirkon-trunk", &[9, 3, 3], &fast_solver_config(), "solve", &sc),
+            key_text("zirkon-trunk", &[3, 9], &fast_solver_config(), "solve", &sc),
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Property: the solve cache is invisible in every report byte.
+//!
+//! `--cache` may only change how fast a campaign runs, never what it
+//! reports: a hit replays the skipped solve's metrics delta, trace-event
+//! slice, and tick cost, so the serialized JSON report and the rendered
+//! markdown tables must be byte-identical with the cache on or off — at
+//! one worker and at four. Any divergence means cached telemetry leaked
+//! or went missing, which would silently break `--seed` replay.
+
+use yinyang_campaign::experiments::{fig8_campaign_full, render_fig8};
+use yinyang_campaign::CampaignConfig;
+use yinyang_rt::json::ToJson;
+use yinyang_rt::{props, Rng, StdRng};
+
+fn campaign_reports(seed: u64, threads: usize, cache: bool) -> (String, String, Option<u64>) {
+    let config = CampaignConfig {
+        scale: 400,
+        iterations: 3,
+        rounds: 2,
+        rng_seed: seed,
+        threads,
+        cache,
+        ..CampaignConfig::default()
+    };
+    let run = fig8_campaign_full(&config);
+    let json = run.result.to_json().pretty();
+    let markdown = render_fig8(&run.result);
+    (json, markdown, run.cache_stats.map(|s| s.hits + s.misses))
+}
+
+fn cache_is_byte_invisible(seed: u64, threads: usize) {
+    let (json_off, md_off, stats_off) = campaign_reports(seed, threads, false);
+    let (json_on, md_on, stats_on) = campaign_reports(seed, threads, true);
+    assert_eq!(stats_off, None, "cache off must not report stats");
+    assert!(stats_on.unwrap() > 0, "cache on must see lookups");
+    assert_eq!(json_off, json_on, "cache changed the JSON report (seed {seed}, {threads} threads)");
+    assert_eq!(md_off, md_on, "cache changed the markdown report (seed {seed}, {threads} threads)");
+}
+
+props! {
+    cases: 3;
+
+    fn cache_on_off_reports_identical_sequential(seed in |r: &mut StdRng| r.random_range(0u64..1 << 20)) {
+        cache_is_byte_invisible(seed, 1);
+    }
+
+    fn cache_on_off_reports_identical_parallel(seed in |r: &mut StdRng| r.random_range(0u64..1 << 20)) {
+        cache_is_byte_invisible(seed, 4);
+    }
+}

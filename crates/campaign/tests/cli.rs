@@ -89,6 +89,8 @@ fn help_lists_every_subcommand_and_flag() {
         "--rounds",
         "--seed",
         "--threads",
+        "--cache",
+        "--cache-capacity",
         "--json",
         "--release",
         "--trace",
@@ -102,6 +104,21 @@ fn help_lists_every_subcommand_and_flag() {
     ] {
         assert!(text.contains(flag), "help is missing the `{flag}` option");
     }
+}
+
+#[test]
+fn fuzz_cache_flag_reports_stats_on_stderr_only() {
+    let args = ["fuzz", "--iterations", "2", "--rounds", "1", "--seed", "7", "--json"];
+    let off = yinyang().args(args).output().expect("spawn");
+    let on = yinyang().args(args).arg("--cache").output().expect("spawn");
+    assert!(off.status.success() && on.status.success());
+    assert_eq!(off.stdout, on.stdout, "--cache must not change the report bytes");
+    let stderr = String::from_utf8_lossy(&on.stderr);
+    assert!(stderr.contains("solve cache:"), "no cache summary on stderr: {stderr}");
+    assert!(
+        !String::from_utf8_lossy(&off.stderr).contains("solve cache:"),
+        "cache summary printed without --cache"
+    );
 }
 
 #[test]

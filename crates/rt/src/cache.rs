@@ -1,0 +1,343 @@
+//! A sharded, bounded, verify-guarded result cache — the runtime half of
+//! the campaign's canonical-script solve cache.
+//!
+//! The cache maps a 64-bit key hash to a value, but **never trusts the
+//! hash alone**: every entry stores the full key text it was inserted
+//! under, and [`Cache::get`] only returns the value when the stored text
+//! matches the caller's byte-for-byte. A hash collision therefore can
+//! never smuggle one script's verdict onto another — it degrades into a
+//! miss (counted as [`CacheStats::verify_fails`]) and the caller falls
+//! back to real work.
+//!
+//! ## Determinism contract
+//!
+//! The cache is *transparent*: a hit must hand back everything the real
+//! computation would have produced (the campaign stores the solve's
+//! metrics delta, trace events, and tick cost alongside the answer and
+//! replays all three). Hit/miss/eviction *counts*, however, depend on
+//! scheduling — two workers can race to solve the same script — so the
+//! cache keeps its own atomic [`CacheStats`] instead of writing
+//! [`crate::metrics`] counters. Reports stay byte-identical at any thread
+//! count and with the cache on or off; cache health is stderr-only
+//! telemetry by design.
+//!
+//! Eviction is FIFO per shard (insertion order), which is deterministic
+//! for a deterministic insertion order and — because cache state never
+//! reaches report bytes — harmless when threads interleave.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default shard count; keys spread by their high hash bits.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// FNV-1a over the key text — the same stable, dependency-free hash the
+/// campaign's triage fingerprints use.
+pub fn hash_key(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.as_bytes() {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Monotonic health counters of a [`Cache`]. Lives outside
+/// [`crate::metrics`] on purpose: the counts are scheduling-dependent, so
+/// they must never reach byte-compared report sections.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    verify_fails: AtomicU64,
+    inserts: AtomicU64,
+}
+
+/// A point-in-time copy of [`CacheStats`], plain `u64`s.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStatsView {
+    /// Lookups that returned a verified value.
+    pub hits: u64,
+    /// Lookups that found nothing usable (includes `verify_fails`).
+    pub misses: u64,
+    /// Entries dropped to make room (FIFO per shard).
+    pub evictions: u64,
+    /// Hash collisions caught by the key-text guard; each also counts as
+    /// a miss.
+    pub verify_fails: u64,
+    /// Values stored (first insertions and overwrites alike).
+    pub inserts: u64,
+}
+
+impl CacheStatsView {
+    /// Hits as a fraction of all lookups; 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+
+    /// One-line stderr rendering (`hits 3 misses 9 ... rate 25.0%`).
+    pub fn render(&self) -> String {
+        format!(
+            "hits {} misses {} evictions {} verify-fails {} inserts {} rate {:.1}%",
+            self.hits,
+            self.misses,
+            self.evictions,
+            self.verify_fails,
+            self.inserts,
+            self.hit_rate() * 100.0,
+        )
+    }
+}
+
+struct Entry<V> {
+    verify: String,
+    value: V,
+}
+
+struct Shard<V> {
+    map: HashMap<u64, Entry<V>>,
+    /// Insertion order for FIFO eviction. An overwrite keeps the key's
+    /// original queue position (the entry is replaced in place).
+    order: VecDeque<u64>,
+}
+
+impl<V> Default for Shard<V> {
+    fn default() -> Self {
+        Shard { map: HashMap::new(), order: VecDeque::new() }
+    }
+}
+
+/// The sharded bounded cache. `V` is cloned out on hits, so values should
+/// be cheap to clone or internally reference-counted.
+pub struct Cache<V> {
+    shards: Vec<Mutex<Shard<V>>>,
+    per_shard_capacity: usize,
+    stats: CacheStats,
+}
+
+impl<V: Clone> Cache<V> {
+    /// A cache holding at most `capacity` entries total, spread over
+    /// [`DEFAULT_SHARDS`] shards (fewer when `capacity` is small, so tiny
+    /// caches still honor their bound exactly).
+    pub fn new(capacity: usize) -> Self {
+        let shards = DEFAULT_SHARDS.min(capacity.max(1));
+        Cache::with_shards(capacity, shards)
+    }
+
+    /// A cache with an explicit shard count (tests use 1 to make eviction
+    /// order fully observable). Capacity is split evenly; every shard
+    /// holds at least one entry.
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard_capacity = capacity.max(1).div_ceil(shards);
+        Cache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_capacity,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn shard(&self, hash: u64) -> &Mutex<Shard<V>> {
+        // High bits: FNV mixes them well, and the low bits already pick
+        // the map bucket inside the shard.
+        let index = (hash >> 32) as usize % self.shards.len();
+        &self.shards[index]
+    }
+
+    /// Looks up `hash`, verifying the stored key text against `verify`
+    /// before returning the value. A text mismatch (hash collision) counts
+    /// as both a `verify_fail` and a miss.
+    pub fn get(&self, hash: u64, verify: &str) -> Option<V> {
+        let shard = self.shard(hash).lock().expect("cache shard lock");
+        match shard.map.get(&hash) {
+            Some(entry) if entry.verify == verify => {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.value.clone())
+            }
+            Some(_) => {
+                self.stats.verify_fails.fetch_add(1, Ordering::Relaxed);
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores `value` under `hash`, remembering `verify` for the
+    /// collision guard. An existing entry with the same hash is replaced
+    /// in place (keeping its FIFO position); a new entry may evict the
+    /// shard's oldest.
+    pub fn insert(&self, hash: u64, verify: &str, value: V) {
+        let mut shard = self.shard(hash).lock().expect("cache shard lock");
+        self.stats.inserts.fetch_add(1, Ordering::Relaxed);
+        if let Some(entry) = shard.map.get_mut(&hash) {
+            entry.verify.clear();
+            entry.verify.push_str(verify);
+            entry.value = value;
+            return;
+        }
+        if shard.map.len() >= self.per_shard_capacity {
+            if let Some(oldest) = shard.order.pop_front() {
+                shard.map.remove(&oldest);
+                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.order.push_back(hash);
+        shard.map.insert(hash, Entry { verify: verify.to_owned(), value });
+    }
+
+    /// Entries currently stored, across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard lock").map.len()).sum()
+    }
+
+    /// `true` when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total entry capacity (per-shard capacity × shard count; `new`
+    /// rounds small capacities up to at least one per shard).
+    pub fn capacity(&self) -> usize {
+        self.per_shard_capacity * self.shards.len()
+    }
+
+    /// A snapshot of the health counters.
+    pub fn stats(&self) -> CacheStatsView {
+        CacheStatsView {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+            verify_fails: self.stats.verify_fails.load(Ordering::Relaxed),
+            inserts: self.stats.inserts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(text: &str) -> u64 {
+        hash_key(text)
+    }
+
+    #[test]
+    fn scripted_access_sequence_counts_hits_misses_inserts() {
+        let cache: Cache<u32> = Cache::with_shards(8, 1);
+        let (a, b) = (key("a"), key("b"));
+        assert_eq!(cache.get(a, "a"), None); // miss
+        cache.insert(a, "a", 1);
+        assert_eq!(cache.get(a, "a"), Some(1)); // hit
+        assert_eq!(cache.get(b, "b"), None); // miss
+        cache.insert(b, "b", 2);
+        assert_eq!(cache.get(b, "b"), Some(2)); // hit
+        assert_eq!(cache.get(a, "a"), Some(1)); // hit
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.evictions, s.verify_fails, s.inserts), (3, 2, 0, 0, 2));
+        assert_eq!(s.hit_rate(), 3.0 / 5.0);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn eviction_is_fifo_and_deterministic() {
+        // One shard, capacity 3: inserting a 4th entry must evict the
+        // oldest, a 5th the next-oldest, in exact insertion order.
+        let cache: Cache<u32> = Cache::with_shards(3, 1);
+        for (i, name) in ["k0", "k1", "k2"].iter().enumerate() {
+            cache.insert(key(name), name, i as u32);
+        }
+        assert_eq!(cache.len(), 3);
+        cache.insert(key("k3"), "k3", 3);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.get(key("k0"), "k0"), None, "oldest entry evicted first");
+        assert_eq!(cache.get(key("k1"), "k1"), Some(1));
+        cache.insert(key("k4"), "k4", 4);
+        assert_eq!(cache.get(key("k1"), "k1"), None, "next-oldest evicted second");
+        assert_eq!(cache.get(key("k2"), "k2"), Some(2));
+        assert_eq!(cache.get(key("k3"), "k3"), Some(3));
+        assert_eq!(cache.get(key("k4"), "k4"), Some(4));
+        assert_eq!(cache.stats().evictions, 2);
+    }
+
+    #[test]
+    fn overwrite_keeps_fifo_position_and_counts_insert() {
+        let cache: Cache<u32> = Cache::with_shards(2, 1);
+        cache.insert(key("x"), "x", 1);
+        cache.insert(key("y"), "y", 2);
+        cache.insert(key("x"), "x", 10); // overwrite, no eviction
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.get(key("x"), "x"), Some(10));
+        // "x" kept its front-of-queue position, so the next insertion
+        // still evicts it first.
+        cache.insert(key("z"), "z", 3);
+        assert_eq!(cache.get(key("x"), "x"), None);
+        assert_eq!(cache.get(key("y"), "y"), Some(2));
+        assert_eq!(cache.stats().inserts, 4);
+    }
+
+    #[test]
+    fn seeded_hash_collision_falls_back_to_real_work() {
+        // Two different "canonical scripts" forced onto one hash: the
+        // verify guard must refuse the stored answer, the caller re-does
+        // the real work, and the eventual answer is the correct one.
+        let cache: Cache<&'static str> = Cache::new(8);
+        let colliding_hash = 42u64;
+        cache.insert(colliding_hash, "(assert (> x 0))", "sat");
+
+        // A second script that (by crafted collision) hashes identically.
+        let lookup = |text: &str| cache.get(colliding_hash, text);
+        assert_eq!(lookup("(assert (< x 0))"), None, "guard rejects the collision");
+        let s = cache.stats();
+        assert_eq!(s.verify_fails, 1);
+        assert_eq!(s.misses, 1, "a verify fail is also a miss");
+
+        // Fallback path: the caller solves for real and stores its own
+        // answer; the colliding entry is replaced, so the answer held for
+        // the *new* text is the correct one.
+        let real_answer = "unsat";
+        cache.insert(colliding_hash, "(assert (< x 0))", real_answer);
+        assert_eq!(lookup("(assert (< x 0))"), Some("unsat"));
+        // The first text now misses (its entry was overwritten) — and the
+        // guard still refuses to hand it the other script's verdict.
+        assert_eq!(lookup("(assert (> x 0))"), None);
+        assert_eq!(cache.stats().verify_fails, 2);
+    }
+
+    #[test]
+    fn capacity_one_still_works() {
+        let cache: Cache<u32> = Cache::new(1);
+        cache.insert(key("a"), "a", 1);
+        assert_eq!(cache.get(key("a"), "a"), Some(1));
+        assert!(cache.capacity() >= 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn concurrent_use_is_safe_and_totals_add_up() {
+        let cache: Cache<u64> = Cache::new(64);
+        let items: Vec<u64> = (0..200).collect();
+        crate::pool::parallel_map(4, items, |i| {
+            let text = format!("script-{}", i % 16);
+            let hash = hash_key(&text);
+            if cache.get(hash, &text).is_none() {
+                cache.insert(hash, &text, i);
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 200);
+        assert!(s.inserts >= 16, "each distinct key inserted at least once");
+        assert!(cache.len() <= cache.capacity());
+    }
+}

@@ -13,6 +13,7 @@
 //! | [`pool`] | `crossbeam` | `std::thread` + `mpsc` worker pools |
 //! | [`metrics`] | `prometheus`-alikes | sharded counters/gauges/histograms |
 //! | [`trace`] | `tracing` | replay-safe spans + JSON-lines events |
+//! | [`cache`] | `moka`/`lru`-alikes | sharded bounded result cache with a collision guard |
 //! | [`profile`] | `pprof`-style viewers | span-tree profiles from trace files |
 //!
 //! Determinism is a design requirement, not an accident: the campaign's
@@ -23,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod cache;
 pub mod json;
 pub mod metrics;
 pub mod pool;
@@ -32,6 +34,7 @@ pub mod rng;
 pub mod trace;
 
 pub use bench::Criterion;
+pub use cache::{Cache, CacheStatsView};
 pub use metrics::{Histogram, HistogramSummary, MetricsSnapshot};
 pub use profile::{Profile, ProfileNode};
 pub use rng::{Rng, SplitMix64, StdRng};

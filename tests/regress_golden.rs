@@ -27,7 +27,10 @@ fn fixture_roots() -> Vec<PathBuf> {
 }
 
 fn replay(threads: usize) -> String {
-    let config = RegressConfig { threads, ..RegressConfig::default() };
+    replay_with(RegressConfig { threads, ..RegressConfig::default() })
+}
+
+fn replay_with(config: RegressConfig) -> String {
     let report = run_regress(&fixture_roots(), &config).expect("fixture corpus must load");
     // The CLI prints the pretty JSON through `println!`.
     format!("{}\n", report.to_json().pretty())
@@ -48,6 +51,20 @@ fn regress_report_matches_committed_golden_file() {
 #[test]
 fn regress_report_is_byte_identical_across_thread_counts() {
     assert_eq!(replay(1), replay(4), "thread count leaked into the regress report");
+}
+
+#[test]
+fn regress_report_with_cache_matches_committed_golden_file() {
+    // The solve cache must be invisible in the report: replaying the
+    // corpus with caching on still classifies every bundle into exactly
+    // the committed bytes, sequential and parallel alike.
+    let expected = std::fs::read_to_string("tests/fixtures/bundles/expected_report.json")
+        .expect("committed expected_report.json");
+    for threads in [1, 4] {
+        let actual =
+            replay_with(RegressConfig { threads, cache: true, ..RegressConfig::default() });
+        assert_eq!(actual, expected, "cache leaked into the regress report ({threads} threads)");
+    }
 }
 
 #[test]

@@ -108,6 +108,64 @@ grep -q "solve cache: hits [1-9]" "$CACHE/regress-stderr.txt"
 target/release/yinyang regress "$CACHE/corpus" --json > "$CACHE/regress-off.json"
 cmp "$CACHE/regress-off.json" "$CACHE/regress-on.json"
 
+echo "==> status server + export smoke gate"
+# The status server is observability only: a campaign run with
+# --status-addr must print the exact report and trace a serverless run
+# prints, while /metrics, /status, and /healthz answer well-formed over
+# plain TCP (the `fetch` subcommand — no curl in the loop). The
+# exporters must rewrite identical bytes on a rerun.
+STATUS=target/status-smoke
+rm -rf "$STATUS"
+mkdir -p "$STATUS"
+YINYANG_STATUS_HOLD_MS=20000 target/release/yinyang fuzz \
+    --iterations 2 --rounds 1 --seed 7 --threads 3 --json \
+    --trace "$STATUS/served.jsonl" --status-addr 127.0.0.1:0 \
+    > "$STATUS/served.json" 2> "$STATUS/stderr.txt" &
+FUZZ_PID=$!
+# The bind announcement is the first stderr line; poll for it, then probe
+# the advertised ephemeral port while the hold keeps the server up.
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's|.*status server listening on http://\([0-9.:]*\).*|\1|p' \
+        "$STATUS/stderr.txt" | head -n 1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+test -n "$ADDR"
+target/release/yinyang fetch "$ADDR" /healthz | grep -qx "ok"
+target/release/yinyang fetch "$ADDR" /status > "$STATUS/status.json"
+grep -q '"phase": "fuzz"' "$STATUS/status.json"
+grep -q '"jobs"' "$STATUS/status.json"
+# Wait for the campaign to finish (the report lands on stdout), then
+# scrape /metrics during the hold window — every per-job delta has
+# merged by now, so the span histograms are guaranteed present.
+# Serverless replay check folded into the wait: the probed run's report
+# must be byte-identical to the telemetry gate's --threads 3 run.
+for _ in $(seq 1 300); do
+    cmp -s "$SMOKE/par.json" "$STATUS/served.json" && break
+    sleep 0.1
+done
+cmp "$SMOKE/par.json" "$STATUS/served.json"
+cmp "$SMOKE/par.jsonl" "$STATUS/served.jsonl"
+target/release/yinyang fetch "$ADDR" /metrics > "$STATUS/metrics.txt"
+grep -q '^# TYPE yinyang_up gauge$' "$STATUS/metrics.txt"
+grep -q '^# TYPE span_solve histogram$' "$STATUS/metrics.txt"
+grep -q 'span_solve_bucket{le="+Inf"}' "$STATUS/metrics.txt"
+grep -q '^span_solve_count ' "$STATUS/metrics.txt"
+kill "$FUZZ_PID" 2>/dev/null || true
+wait "$FUZZ_PID" 2>/dev/null || true
+# Exporters: valid outputs, byte-identical across reruns.
+target/release/yinyang export "$STATUS/served.jsonl" \
+    --chrome-trace "$STATUS/a.json" --flamegraph "$STATUS/a.folded" --lanes 3 \
+    > /dev/null
+target/release/yinyang export "$STATUS/served.jsonl" \
+    --chrome-trace "$STATUS/b.json" --flamegraph "$STATUS/b.folded" --lanes 3 \
+    > /dev/null
+cmp "$STATUS/a.json" "$STATUS/b.json"
+cmp "$STATUS/a.folded" "$STATUS/b.folded"
+grep -q '"traceEvents"' "$STATUS/a.json"
+grep -q '^solve' "$STATUS/a.folded"
+
 echo "==> bench report regeneration (fast mode)"
 YINYANG_BENCH_FAST=1 cargo bench --offline -p yinyang-bench --bench throughput
 test -s crates/bench/target/yinyang-bench/report.json

@@ -156,12 +156,50 @@ pub fn run_campaign_full_with_cache(
         run.outcome.stats.unknowns += round_outcome.stats.unknowns;
         run.outcome.stats.fusion_failures += round_outcome.stats.fusion_failures;
         run.metrics.merge(&round_metrics);
+        publish_progress(solver_id, config, round, &run.outcome, cache);
         if config.heartbeat {
             heartbeat(solver_id, config, round, &run.outcome, &run.metrics, &watch, cache);
         }
     }
     run.cache_stats = cache.map(SolveCache::stats);
     run
+}
+
+/// Publishes this persona's cumulative progress to the shared
+/// [`yinyang_rt::serve::progress`] state behind the `--status-addr`
+/// server's `/status` endpoint. Write-only and off the determinism path:
+/// nothing byte-compared ever reads it back, and the counts themselves
+/// (taken at the round merge) are already scheduling-independent.
+fn publish_progress(
+    solver_id: SolverId,
+    config: &CampaignConfig,
+    round: usize,
+    outcome: &CampaignOutcome,
+    cache: Option<&SolveCache>,
+) {
+    let progress = yinyang_rt::serve::progress();
+    let mut findings: std::collections::BTreeMap<String, u64> = Default::default();
+    for f in &outcome.findings {
+        *findings.entry(crate::triage::behavior_kind(&f.behavior).to_owned()).or_insert(0) += 1;
+    }
+    progress.update_persona(
+        solver_id.name(),
+        yinyang_rt::serve::PersonaProgress {
+            round: round + 1,
+            rounds: config.rounds,
+            tests: outcome.stats.tests as u64,
+            unknowns: outcome.stats.unknowns as u64,
+            findings,
+        },
+    );
+    if let Some(stats) = cache.map(SolveCache::stats) {
+        progress.set_cache(yinyang_rt::serve::CacheProgress {
+            hits: stats.hits,
+            misses: stats.misses,
+            evictions: stats.evictions,
+            verify_fails: stats.verify_fails,
+        });
+    }
 }
 
 /// One periodic stderr progress line. Wall clock is fine here: stderr is
@@ -292,8 +330,15 @@ fn run_round(
         .collect();
     let rng_seeds: Vec<u64> = jobs.iter().map(|j| j.rng_seed).collect();
     let fuser = Fuser::new();
+    let progress = yinyang_rt::serve::progress();
+    progress.add_jobs(jobs.len() as u64);
     let results = yinyang_rt::pool::parallel_map(config.threads, jobs, |job| {
-        run_test(solver_id, round, fixed, &fuser, &pools, job, cache)
+        let result = run_test(solver_id, round, fixed, &fuser, &pools, job, cache);
+        // One relaxed atomic bump for the live `/status` job counter —
+        // no locks, metrics, or spans, so the job's telemetry bracket
+        // and the report bytes are untouched.
+        progress.job_done();
+        result
     });
 
     let mut outcome = CampaignOutcome::default();

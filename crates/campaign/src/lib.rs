@@ -41,8 +41,8 @@ pub use campaign::{
 pub use config::{Behavior, CampaignConfig, CampaignOutcome, RawFinding};
 pub use forensics::{write_bundles, BundleSummary};
 pub use regress::{
-    render_markdown, run_regress, run_regress_with_stats, BundleStatus, RegressConfig,
-    RegressEntry, RegressReport, RegressSummary,
+    render_markdown, run_regress, run_regress_full, run_regress_with_stats, BundleStatus,
+    RegressConfig, RegressEntry, RegressReport, RegressRun, RegressSummary,
 };
 pub use solve_cache::SolveCache;
 pub use telemetry::{CoverageRound, Telemetry};

@@ -25,11 +25,20 @@ commands:
                                   identical reduced test cases dedup across dirs
   profile <file.jsonl>            fold a --trace file into a span-tree profile
                                   (inclusive/exclusive time, calls, p50/p95/p99)
+  export <file.jsonl>             convert a --trace file for standard viewers:
+                                  --chrome-trace writes Chrome Trace Event JSON
+                                  (Perfetto, chrome://tracing), --flamegraph
+                                  writes collapsed stacks weighted by exclusive
+                                  ticks (inferno / flamegraph.pl)
+  fetch <host:port> <path>        plain-TcpStream HTTP GET against a --status-addr
+                                  server (no curl needed); prints the body
   experiments-md [file]           regenerate EXPERIMENTS.md's generated blocks
                                   from a pinned demo campaign [default EXPERIMENTS.md]
   solve <file.smt2>               run the reference solver on a script
   fuse <sat|unsat> <a> <b>        fuse two seed files, print the fused test
-  trace-check <file.jsonl>        validate a --trace output file (JSON lines)
+  trace-check <file.jsonl>        validate a --trace output file: JSON lines plus
+                                  the span-stack invariants the exporters rely on
+                                  (balanced begin/end, monotone nested durations)
   help                            print this reference
 
 options:
@@ -53,7 +62,20 @@ options:
                    seeds, fused + ddmin-reduced scripts, verdict/bug/metrics
                    JSON, and the finding job's trace slice
   --metrics-out FILE
-                   dump the campaign's final merged metrics snapshot as JSON
+                   (fuzz, regress) dump the run's final merged metrics
+                   snapshot as JSON
+  --status-addr HOST:PORT
+                   (fuzz, regress) serve live read-only observability over
+                   HTTP while the run is in flight: /metrics (Prometheus
+                   text exposition), /status (JSON progress), /healthz;
+                   reports and --trace files stay byte-identical with the
+                   server on or off (use :0 for an ephemeral port)
+  --chrome-trace FILE
+                   (export) write Chrome Trace Event JSON
+  --flamegraph FILE
+                   (export) write collapsed flamegraph stacks
+  --lanes N        (export) virtual worker lanes for --chrome-trace; root
+                   spans are scheduled greedily across them [default 1]
   --bench-report FILE
                    (experiments-md) also regenerate the bench block from an
                    rt::bench report.json — machine-dependent, never CI-diffed
@@ -124,6 +146,21 @@ fn main() -> ExitCode {
                 Some(name) => opts.release = Some(name),
                 None => return ExitCode::FAILURE,
             },
+            "--status-addr" => match parse_path(&args, &mut i) {
+                Some(addr) => opts.status_addr = Some(addr),
+                None => return ExitCode::FAILURE,
+            },
+            "--chrome-trace" => match parse_path(&args, &mut i) {
+                Some(path) => opts.chrome_trace = Some(path),
+                None => return ExitCode::FAILURE,
+            },
+            "--flamegraph" => match parse_path(&args, &mut i) {
+                Some(path) => opts.flamegraph = Some(path),
+                None => return ExitCode::FAILURE,
+            },
+            "--lanes" => {
+                opts.lanes = parse_num(&args, &mut i);
+            }
             other => positional.push(other.to_owned()),
         }
         i += 1;
@@ -148,7 +185,6 @@ fn main() -> ExitCode {
 }
 
 /// Flags that don't shape the campaign itself.
-#[derive(Default)]
 struct CliOpts {
     json: bool,
     quiet: bool,
@@ -158,6 +194,29 @@ struct CliOpts {
     metrics_out: Option<String>,
     bench_report: Option<String>,
     release: Option<String>,
+    status_addr: Option<String>,
+    chrome_trace: Option<String>,
+    flamegraph: Option<String>,
+    lanes: usize,
+}
+
+impl Default for CliOpts {
+    fn default() -> Self {
+        CliOpts {
+            json: false,
+            quiet: false,
+            check: false,
+            trace_path: None,
+            bundle_dir: None,
+            metrics_out: None,
+            bench_report: None,
+            release: None,
+            status_addr: None,
+            chrome_trace: None,
+            flamegraph: None,
+            lanes: 1,
+        }
+    }
 }
 
 fn dispatch(positional: &[String], config: &CampaignConfig, opts: &CliOpts) -> ExitCode {
@@ -176,6 +235,36 @@ fn dispatch(positional: &[String], config: &CampaignConfig, opts: &CliOpts) -> E
                 return ExitCode::FAILURE;
             };
             run_profile(path, json)
+        }
+        Some("export") => {
+            let Some(path) = positional.get(1) else {
+                eprintln!(
+                    "usage: yinyang export <file.jsonl> [--chrome-trace FILE] \
+                     [--flamegraph FILE] [--lanes N]"
+                );
+                return ExitCode::FAILURE;
+            };
+            run_export(path, opts)
+        }
+        Some("fetch") => {
+            let (Some(addr), Some(path)) = (positional.get(1), positional.get(2)) else {
+                eprintln!("usage: yinyang fetch <host:port> <path>");
+                return ExitCode::FAILURE;
+            };
+            match yinyang_rt::serve::http_get(addr, path) {
+                Ok((200, body)) => {
+                    print!("{body}");
+                    ExitCode::SUCCESS
+                }
+                Ok((code, body)) => {
+                    eprint!("HTTP {code}\n{body}");
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("fetch failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
         }
         Some("experiments-md") => {
             let path = positional.get(1).map(String::as_str).unwrap_or("EXPERIMENTS.md");
@@ -251,40 +340,132 @@ fn dispatch(positional: &[String], config: &CampaignConfig, opts: &CliOpts) -> E
 }
 
 /// Validates a `--trace` output file: every line must parse as one JSON
-/// object carrying at least `span` and `dur`. Prints a per-span census.
+/// object carrying at least `span` and `dur`, and the stream must obey
+/// the span-stack invariants the exporters depend on — balanced
+/// begin/end (every child event gets its enclosing parent event) and
+/// monotone nested durations (children fit inside their parent). Prints
+/// a per-span census; the first violation fails with its line number.
 fn trace_check(path: &str) -> ExitCode {
     let Ok(text) = std::fs::read_to_string(path) else {
         eprintln!("cannot read {path}");
         return ExitCode::FAILURE;
     };
-    let mut spans: std::collections::BTreeMap<String, (u64, u64)> = Default::default();
-    for (lineno, line) in text.lines().enumerate() {
-        if line.is_empty() {
-            continue;
+    match yinyang_rt::export::check(&text) {
+        Ok(report) => {
+            println!("{path}: {} events OK", report.events);
+            for (name, (count, total)) in &report.census {
+                println!("  {name:<12} {count:>7} events {total:>10} total dur");
+            }
+            println!(
+                "  span stack OK: balanced, nested durations monotone \
+                 ({} roots, max depth {}, unit {})",
+                report.roots, report.max_depth, report.unit
+            );
+            ExitCode::SUCCESS
         }
-        let event = match yinyang_rt::json::Json::parse(line) {
-            Ok(v) => v,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The `export` command: convert a `--trace` JSONL file to Chrome Trace
+/// Event JSON and/or collapsed flamegraph stacks. Pure functions of the
+/// trace text — rerunning on the same file rewrites identical bytes.
+fn run_export(path: &str, opts: &CliOpts) -> ExitCode {
+    if opts.chrome_trace.is_none() && opts.flamegraph.is_none() {
+        eprintln!("export: nothing to do; pass --chrome-trace FILE and/or --flamegraph FILE");
+        return ExitCode::FAILURE;
+    }
+    let Ok(text) = std::fs::read_to_string(path) else {
+        eprintln!("cannot read {path}");
+        return ExitCode::FAILURE;
+    };
+    let report = match yinyang_rt::export::check(&text) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(out) = &opts.chrome_trace {
+        let rendered = match yinyang_rt::export::chrome_trace(&text, opts.lanes) {
+            Ok(rendered) => rendered,
             Err(e) => {
-                eprintln!("{path}:{}: not JSON: {e}", lineno + 1);
+                eprintln!("{path}: {e}");
                 return ExitCode::FAILURE;
             }
         };
-        let (Some(name), Some(dur)) = (
-            event.get("span").and_then(yinyang_rt::json::Json::as_str),
-            event.get("dur").and_then(yinyang_rt::json::Json::as_i64),
-        ) else {
-            eprintln!("{path}:{}: missing span/dur member", lineno + 1);
+        if let Err(e) = std::fs::write(out, rendered) {
+            eprintln!("cannot write {out}: {e}");
             return ExitCode::FAILURE;
-        };
-        let entry = spans.entry(name.to_owned()).or_insert((0, 0));
-        entry.0 += 1;
-        entry.1 += dur as u64;
+        }
+        println!(
+            "{out}: chrome trace, {} events on {} lane(s) ({})",
+            report.events,
+            opts.lanes.max(1),
+            report.unit
+        );
     }
-    println!("{path}: {} events OK", spans.values().map(|(n, _)| n).sum::<u64>());
-    for (name, (count, total)) in &spans {
-        println!("  {name:<12} {count:>7} events {total:>10} total dur");
+    if let Some(out) = &opts.flamegraph {
+        let folded = match yinyang_rt::export::flamegraph(&text) {
+            Ok(folded) => folded,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let frames = folded.lines().count();
+        if let Err(e) = std::fs::write(out, folded) {
+            eprintln!("cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("{out}: folded flamegraph, {frames} frame(s) ({})", report.unit);
     }
     ExitCode::SUCCESS
+}
+
+/// Starts the `--status-addr` server (when requested) and announces the
+/// bound address on stderr — the CI smoke gate parses this line to learn
+/// ephemeral ports. Returns `Err` only on a bind failure.
+fn start_status_server(
+    opts: &CliOpts,
+    phase: &str,
+) -> Result<Option<yinyang_rt::StatusServer>, ExitCode> {
+    let Some(addr) = &opts.status_addr else {
+        return Ok(None);
+    };
+    yinyang_rt::serve::progress().begin(phase);
+    match yinyang_rt::StatusServer::start(addr) {
+        Ok(server) => {
+            eprintln!(
+                "[yinyang] status server listening on http://{} (/metrics /status /healthz)",
+                server.local_addr()
+            );
+            Ok(Some(server))
+        }
+        Err(e) => {
+            eprintln!("cannot bind status server on {addr}: {e}");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+/// Shuts the status server down after the run. `YINYANG_STATUS_HOLD_MS`
+/// keeps it up that much longer first — the report is already printed
+/// (stdout is line-buffered), so CI can probe the endpoints of a
+/// finished run without racing the campaign.
+fn finish_status_server(server: Option<yinyang_rt::StatusServer>) {
+    let Some(server) = server else {
+        return;
+    };
+    if let Some(ms) =
+        std::env::var("YINYANG_STATUS_HOLD_MS").ok().and_then(|v| v.parse::<u64>().ok())
+    {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+    server.shutdown();
 }
 
 /// The `fuzz` command: full campaign with coverage trajectory (the CLI
@@ -292,6 +473,10 @@ fn trace_check(path: &str) -> ExitCode {
 /// here), plus the forensic outputs behind `--bundle-dir` /
 /// `--metrics-out`.
 fn run_fuzz(config: &CampaignConfig, opts: &CliOpts) -> ExitCode {
+    let server = match start_status_server(opts, "fuzz") {
+        Ok(server) => server,
+        Err(code) => return code,
+    };
     let mut config = config.clone();
     config.coverage_trajectory = true;
     let run = experiments::fig8_campaign_full(&config);
@@ -355,6 +540,7 @@ fn run_fuzz(config: &CampaignConfig, opts: &CliOpts) -> ExitCode {
             eprintln!("solve cache: {}", stats.render());
         }
     }
+    finish_status_server(server);
     ExitCode::SUCCESS
 }
 
@@ -365,6 +551,10 @@ fn run_regress_cmd(dirs: &[String], config: &CampaignConfig, opts: &CliOpts) -> 
         eprintln!("usage: yinyang regress <bundle-dir>... [--release NAME] [--json]");
         return ExitCode::FAILURE;
     }
+    let server = match start_status_server(opts, "regress") {
+        Ok(server) => server,
+        Err(code) => return code,
+    };
     let roots: Vec<std::path::PathBuf> = dirs.iter().map(std::path::PathBuf::from).collect();
     let regress_config = yinyang_campaign::RegressConfig {
         release: opts.release.clone().unwrap_or_else(|| "trunk".to_owned()),
@@ -373,18 +563,25 @@ fn run_regress_cmd(dirs: &[String], config: &CampaignConfig, opts: &CliOpts) -> 
         cache: config.cache,
         cache_capacity: config.cache_capacity,
     };
-    match yinyang_campaign::run_regress_with_stats(&roots, &regress_config) {
-        Ok((report, cache_stats)) => {
-            if opts.json {
-                println!("{}", report.to_json().pretty());
-            } else {
-                print!("{}", yinyang_campaign::render_markdown(&report));
+    match yinyang_campaign::run_regress_full(&roots, &regress_config) {
+        Ok(run) => {
+            if let Some(path) = &opts.metrics_out {
+                if let Err(e) = std::fs::write(path, run.metrics.to_json().pretty() + "\n") {
+                    eprintln!("cannot write metrics to {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
-            if let Some(stats) = cache_stats {
+            if opts.json {
+                println!("{}", run.report.to_json().pretty());
+            } else {
+                print!("{}", yinyang_campaign::render_markdown(&run.report));
+            }
+            if let Some(stats) = run.cache_stats {
                 if !opts.quiet {
                     eprintln!("solve cache: {}", stats.render());
                 }
             }
+            finish_status_server(server);
             ExitCode::SUCCESS
         }
         Err(e) => {

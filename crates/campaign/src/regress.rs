@@ -480,12 +480,29 @@ fn replay_one(
     result
 }
 
+/// A regression replay's full output: the byte-stable report plus the
+/// raw merged metrics snapshot behind its condensed telemetry (what
+/// `--metrics-out` dumps, mirroring the fuzz campaign) and the
+/// scheduling-dependent cache counters.
+#[derive(Debug, Clone, Default)]
+pub struct RegressRun {
+    /// The deterministic report (entries, summary, telemetry).
+    pub report: RegressReport,
+    /// The merged per-job metrics the telemetry was condensed from
+    /// (`regress.*` counters, `span.regress.*` histograms, solver
+    /// statistics), identical across thread counts.
+    pub metrics: yinyang_rt::MetricsSnapshot,
+    /// Solve-cache health counters (`None` when the cache was off).
+    /// Stderr-only material: hit/miss order is scheduling-dependent.
+    pub cache_stats: Option<CacheStatsView>,
+}
+
 /// Loads every bundle under `roots`, deduplicates identical reduced test
 /// cases across all of them, replays each unique case against
 /// [`RegressConfig::release`] on the thread pool, and assembles the
 /// deterministic report.
 pub fn run_regress(roots: &[PathBuf], config: &RegressConfig) -> Result<RegressReport, String> {
-    run_regress_with_stats(roots, config).map(|(report, _)| report)
+    run_regress_full(roots, config).map(|run| run.report)
 }
 
 /// [`run_regress`], additionally returning the solve cache's health
@@ -496,6 +513,14 @@ pub fn run_regress_with_stats(
     roots: &[PathBuf],
     config: &RegressConfig,
 ) -> Result<(RegressReport, Option<CacheStatsView>), String> {
+    run_regress_full(roots, config).map(|run| (run.report, run.cache_stats))
+}
+
+/// The full replay driver behind [`run_regress`] /
+/// [`run_regress_with_stats`]: also surfaces the raw merged
+/// [`yinyang_rt::MetricsSnapshot`] so the CLI can export replay
+/// telemetry (`--metrics-out`) the same way `fuzz` does.
+pub fn run_regress_full(roots: &[PathBuf], config: &RegressConfig) -> Result<RegressRun, String> {
     let cache = config.cache.then(|| SolveCache::new(config.cache_capacity));
     let cache = cache.as_ref();
     let driver_before = metrics::local_snapshot();
@@ -526,11 +551,17 @@ pub fn run_regress_with_stats(
     // would double-count their (already self-bracketed) metrics.
     let mut merged = metrics::local_snapshot().delta(&driver_before);
     let job_inputs: Vec<(usize, u64)> = jobs.iter().copied().zip(seeds.iter().copied()).collect();
+    let progress = yinyang_rt::serve::progress();
+    progress.add_jobs(job_inputs.len() as u64);
     let results = yinyang_rt::pool::parallel_map(config.threads, job_inputs, |(rec, seed)| {
         let BundleRecord::Ok(bundle) = &records[rec] else {
             unreachable!("jobs are loaded bundles")
         };
-        replay_one(bundle, &config.release, seed, cache)
+        let result = replay_one(bundle, &config.release, seed, cache);
+        // Live `/status` job counter only — a relaxed atomic bump that
+        // leaves the job's telemetry bracket and report bytes untouched.
+        progress.job_done();
+        result
     });
     for r in &results {
         merged.merge(&r.metrics);
@@ -595,7 +626,35 @@ pub fn run_regress_with_stats(
         }
         report.entries.push(entry);
     }
-    Ok((report, cache.map(SolveCache::stats)))
+    publish_progress(&report);
+    Ok(RegressRun { report, metrics: merged, cache_stats: cache.map(SolveCache::stats) })
+}
+
+/// Publishes the replay totals to the shared `/status` state under a
+/// `regress` pseudo-persona (rounds map to the single replay pass).
+/// Write-only, never read back by anything byte-compared.
+fn publish_progress(report: &RegressReport) {
+    let mut findings = std::collections::BTreeMap::new();
+    for (class, count) in [
+        ("still-broken", report.summary.still_broken),
+        ("fixed", report.summary.fixed),
+        ("flaky", report.summary.flaky),
+        ("stale", report.summary.stale),
+    ] {
+        if count > 0 {
+            findings.insert(class.to_owned(), count as u64);
+        }
+    }
+    yinyang_rt::serve::progress().update_persona(
+        "regress",
+        yinyang_rt::serve::PersonaProgress {
+            round: 1,
+            rounds: 1,
+            tests: report.summary.unique_replays as u64,
+            unknowns: 0,
+            findings,
+        },
+    );
 }
 
 /// Renders the report as a markdown table plus a one-line summary.

@@ -79,6 +79,8 @@ fn help_lists_every_subcommand_and_flag() {
         "solve",
         "fuse",
         "trace-check",
+        "export",
+        "fetch",
         "help",
     ] {
         assert!(text.contains(cmd), "help is missing the `{cmd}` command");
@@ -101,6 +103,10 @@ fn help_lists_every_subcommand_and_flag() {
         "--verbose",
         "--quiet",
         "--wallclock",
+        "--status-addr",
+        "--chrome-trace",
+        "--flamegraph",
+        "--lanes",
     ] {
         assert!(text.contains(flag), "help is missing the `{flag}` option");
     }
@@ -235,10 +241,46 @@ fn trace_check_accepts_real_traces_and_rejects_garbage() {
     assert!(check.status.success(), "{}", String::from_utf8_lossy(&check.stderr));
     let text = String::from_utf8_lossy(&check.stdout);
     assert!(text.contains("events OK"), "{text}");
+    assert!(text.contains("span stack OK"), "no span-stack invariants line: {text}");
     let bad = dir.join("bad.jsonl");
     std::fs::write(&bad, "{\"span\":\"x\",\"dur\":1}\nnot json at all\n").unwrap();
     let check = yinyang().args(["trace-check", bad.to_str().unwrap()]).output().expect("spawn");
     assert!(!check.status.success(), "trace-check accepted a malformed file");
+}
+
+#[test]
+fn trace_check_reports_first_violating_line_of_span_stack_invariants() {
+    let dir = std::env::temp_dir().join("yinyang-cli-invariants");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // A child closes but its enclosing span never does: unbalanced.
+    let orphan = dir.join("orphan.jsonl");
+    std::fs::write(
+        &orphan,
+        "{\"span\":\"leaf\",\"path\":\"outer/leaf\",\"dur\":1,\"unit\":\"ticks\"}\n",
+    )
+    .unwrap();
+    let out = yinyang().args(["trace-check", orphan.to_str().unwrap()]).output().expect("spawn");
+    assert!(!out.status.success(), "trace-check accepted an unbalanced span stack");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("line 1"), "error lacks the violating line: {err}");
+    assert!(err.contains("unbalanced"), "{err}");
+
+    // Children outlast their parent: durations not monotonically nested.
+    let inverted = dir.join("inverted.jsonl");
+    std::fs::write(
+        &inverted,
+        concat!(
+            "{\"span\":\"kid\",\"path\":\"top/kid\",\"dur\":9,\"unit\":\"ticks\"}\n",
+            "{\"span\":\"top\",\"path\":\"top\",\"dur\":2,\"unit\":\"ticks\"}\n",
+        ),
+    )
+    .unwrap();
+    let out = yinyang().args(["trace-check", inverted.to_str().unwrap()]).output().expect("spawn");
+    assert!(!out.status.success(), "trace-check accepted non-monotone durations");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("line 2"), "error lacks the violating line: {err}");
+    assert!(err.contains("not properly nested"), "{err}");
 }
 
 #[test]
@@ -336,4 +378,219 @@ fn exp_fig8_json_is_valid() {
     let text = String::from_utf8_lossy(&out.stdout);
     let v = yinyang_rt::json::Json::parse(text.trim()).expect("valid JSON triage");
     assert!(v.get("status").is_some());
+}
+
+#[test]
+fn export_writes_chrome_trace_and_flamegraph() {
+    let dir = std::env::temp_dir().join("yinyang-cli-export");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("run.jsonl");
+    let out = yinyang()
+        .args(["fuzz", "--iterations", "1", "--rounds", "1", "--trace", trace.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+
+    let chrome = dir.join("chrome_trace.json");
+    let folded = dir.join("run.folded");
+    let out = yinyang()
+        .args([
+            "export",
+            trace.to_str().unwrap(),
+            "--chrome-trace",
+            chrome.to_str().unwrap(),
+            "--flamegraph",
+            folded.to_str().unwrap(),
+            "--lanes",
+            "2",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let doc = yinyang_rt::json::Json::parse(std::fs::read_to_string(&chrome).unwrap().trim())
+        .expect("chrome trace is valid JSON");
+    let events = match doc.get("traceEvents") {
+        Some(yinyang_rt::json::Json::Arr(events)) => events,
+        other => panic!("traceEvents must be an array, got {other:?}"),
+    };
+    assert!(events.iter().any(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M")));
+    assert!(events.iter().any(|e| {
+        e.get("ph").and_then(|p| p.as_str()) == Some("X")
+            && e.get("name").and_then(|n| n.as_str()) == Some("solve")
+    }));
+
+    let stacks = std::fs::read_to_string(&folded).unwrap();
+    assert!(!stacks.is_empty());
+    for line in stacks.lines() {
+        let (stack, weight) = line.rsplit_once(' ').expect("collapsed-stack format");
+        assert!(!stack.is_empty());
+        weight.parse::<u64>().expect("weight is an integer");
+    }
+    assert!(stacks.lines().any(|l| l.starts_with("solve")), "{stacks}");
+
+    // Exporters are pure functions of the trace: rerunning rewrites
+    // identical bytes.
+    let chrome2 = dir.join("chrome_trace2.json");
+    let folded2 = dir.join("run2.folded");
+    let rerun = yinyang()
+        .args([
+            "export",
+            trace.to_str().unwrap(),
+            "--chrome-trace",
+            chrome2.to_str().unwrap(),
+            "--flamegraph",
+            folded2.to_str().unwrap(),
+            "--lanes",
+            "2",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(rerun.status.success());
+    assert_eq!(std::fs::read(&chrome).unwrap(), std::fs::read(&chrome2).unwrap());
+    assert_eq!(std::fs::read(&folded).unwrap(), std::fs::read(&folded2).unwrap());
+
+    // No output flag is a usage error, not a silent no-op.
+    let noop = yinyang().args(["export", trace.to_str().unwrap()]).output().expect("spawn");
+    assert!(!noop.status.success(), "export without outputs must fail");
+}
+
+#[test]
+fn status_server_leaves_report_and_trace_byte_identical() {
+    let dir = std::env::temp_dir().join("yinyang-cli-status-ident");
+    std::fs::create_dir_all(&dir).unwrap();
+    let run = |threads: &str, server: bool| {
+        let trace = dir.join(format!("t{threads}-{server}.jsonl"));
+        let mut cmd = yinyang();
+        cmd.args([
+            "fuzz",
+            "--iterations",
+            "2",
+            "--rounds",
+            "1",
+            "--seed",
+            "7",
+            "--threads",
+            threads,
+            "--trace",
+            trace.to_str().unwrap(),
+        ]);
+        if server {
+            cmd.args(["--status-addr", "127.0.0.1:0"]);
+        }
+        let out = cmd.output().expect("spawn");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        if server {
+            let err = String::from_utf8_lossy(&out.stderr);
+            assert!(err.contains("status server listening on http://127.0.0.1:"), "{err}");
+        }
+        (out.stdout, std::fs::read(&trace).unwrap())
+    };
+    for threads in ["1", "4"] {
+        let (stdout_off, trace_off) = run(threads, false);
+        let (stdout_on, trace_on) = run(threads, true);
+        assert_eq!(
+            stdout_off, stdout_on,
+            "--status-addr changed the report at --threads {threads}"
+        );
+        assert_eq!(trace_off, trace_on, "--status-addr changed the trace at --threads {threads}");
+    }
+}
+
+#[test]
+fn fetch_serves_metrics_status_and_healthz_from_a_live_campaign() {
+    use std::io::BufRead;
+    let mut child = yinyang()
+        .args([
+            "fuzz",
+            "--iterations",
+            "2",
+            "--rounds",
+            "1",
+            "--seed",
+            "7",
+            "--quiet",
+            "--status-addr",
+            "127.0.0.1:0",
+        ])
+        .env("YINYANG_STATUS_HOLD_MS", "30000")
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    // The bind announcement is the first stderr line; parse the port out
+    // of it the same way ci.sh does.
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut line = String::new();
+    std::io::BufReader::new(stderr).read_line(&mut line).expect("read announce line");
+    let addr = line
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no address in announce line: {line}"))
+        .to_owned();
+
+    let fetch = |path: &str| {
+        let out = yinyang().args(["fetch", &addr, path]).output().expect("spawn fetch");
+        assert!(
+            out.status.success(),
+            "fetch {path} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    assert_eq!(fetch("/healthz"), "ok\n");
+    let metrics = fetch("/metrics");
+    assert!(metrics.contains("# TYPE"), "{metrics}");
+    let status = yinyang_rt::json::Json::parse(fetch("/status").trim()).expect("status JSON");
+    assert_eq!(status.get("phase").and_then(|v| v.as_str()), Some("fuzz"));
+    assert!(status.get("jobs").is_some());
+
+    // Unknown paths 404 (fetch exits nonzero on non-200).
+    let missing = yinyang().args(["fetch", &addr, "/nope"]).output().expect("spawn fetch");
+    assert!(!missing.status.success());
+
+    child.kill().ok();
+    child.wait().ok();
+}
+
+#[test]
+fn regress_writes_metrics_out_json() {
+    let dir = std::env::temp_dir().join(format!("yinyang-cli-regmet-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let bundles = dir.join("bundles");
+    let out = yinyang()
+        .args([
+            "fuzz",
+            "--iterations",
+            "2",
+            "--rounds",
+            "1",
+            "--seed",
+            "7",
+            "--quiet",
+            "--bundle-dir",
+            bundles.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let path = dir.join("metrics.json");
+    let out = yinyang()
+        .args([
+            "regress",
+            bundles.to_str().unwrap(),
+            "--quiet",
+            "--metrics-out",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&path).expect("--metrics-out file exists");
+    let v = yinyang_rt::json::Json::parse(text.trim()).expect("metrics JSON parses");
+    assert!(v.get("counters").is_some(), "metrics lack counters");
+    assert!(v.get("histograms").is_some(), "metrics lack histograms");
+    let _ = std::fs::remove_dir_all(&dir);
 }

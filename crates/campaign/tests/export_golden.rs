@@ -1,0 +1,142 @@
+//! Golden tests for the trace exporters: a committed fixture trace must
+//! convert to byte-identical Chrome Trace JSON and collapsed flamegraph
+//! stacks, release after release. The exporters are pure functions of
+//! the trace text, so any byte drift here is a real format change and
+//! must be made deliberately (regenerate with
+//! `yinyang export tests/fixtures/trace.jsonl --chrome-trace ... --lanes 2`).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+fn yinyang() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_yinyang"))
+}
+
+#[test]
+fn exporters_reproduce_committed_goldens_byte_for_byte() {
+    let dir = std::env::temp_dir().join(format!("yinyang-export-golden-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let chrome = dir.join("chrome_trace.json");
+    let folded = dir.join("trace.folded");
+    let out = yinyang()
+        .args([
+            "export",
+            fixture("trace.jsonl").to_str().unwrap(),
+            "--chrome-trace",
+            chrome.to_str().unwrap(),
+            "--flamegraph",
+            folded.to_str().unwrap(),
+            "--lanes",
+            "2",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(
+        std::fs::read_to_string(&chrome).unwrap(),
+        std::fs::read_to_string(fixture("chrome_trace.json")).unwrap(),
+        "chrome trace drifted from the committed golden"
+    );
+    assert_eq!(
+        std::fs::read_to_string(&folded).unwrap(),
+        std::fs::read_to_string(fixture("trace.folded")).unwrap(),
+        "flamegraph drifted from the committed golden"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn golden_chrome_trace_packs_children_inside_parents() {
+    // Sanity-check the golden itself: every `X` event's window must
+    // contain its children (the tick clock guarantees children fit).
+    let text = std::fs::read_to_string(fixture("chrome_trace.json")).unwrap();
+    let doc = yinyang_rt::json::Json::parse(&text).expect("golden parses");
+    let events = match doc.get("traceEvents") {
+        Some(yinyang_rt::json::Json::Arr(events)) => events,
+        other => panic!("traceEvents must be an array, got {other:?}"),
+    };
+    let spans: Vec<(&str, i64, i64)> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+        .map(|e| {
+            (
+                e.get("args").and_then(|a| a.get("path")).and_then(|p| p.as_str()).unwrap(),
+                e.get("ts").and_then(|t| t.as_i64()).unwrap(),
+                e.get("dur").and_then(|d| d.as_i64()).unwrap(),
+            )
+        })
+        .collect();
+    assert_eq!(spans.len(), 8);
+    // Events arrive parent-before-children per subtree; each child must
+    // sit inside the nearest preceding event whose path prefixes it.
+    for (i, &(path, ts, dur)) in spans.iter().enumerate() {
+        if let Some(&(_, pts, pdur)) = spans[..i]
+            .iter()
+            .rev()
+            .find(|(p, _, _)| path.rsplit_once('/').map(|(head, _)| head) == Some(*p))
+        {
+            assert!(
+                ts >= pts && ts + dur <= pts + pdur,
+                "span {path} [{ts}, {}) escapes its parent [{pts}, {})",
+                ts + dur,
+                pts + pdur
+            );
+        }
+    }
+}
+
+#[test]
+fn exports_are_identical_across_producing_thread_counts() {
+    // The trace stream itself is deterministic in `--threads`, and the
+    // exporters are deterministic in the stream — so exports of the same
+    // campaign at different thread counts are byte-identical.
+    let dir = std::env::temp_dir().join(format!("yinyang-export-threads-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let export_at = |threads: &str| {
+        let trace = dir.join(format!("t{threads}.jsonl"));
+        let out = yinyang()
+            .args([
+                "fuzz",
+                "--iterations",
+                "2",
+                "--rounds",
+                "1",
+                "--seed",
+                "11",
+                "--threads",
+                threads,
+                "--quiet",
+                "--trace",
+                trace.to_str().unwrap(),
+            ])
+            .output()
+            .expect("spawn");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        let chrome = dir.join(format!("t{threads}.json"));
+        let folded = dir.join(format!("t{threads}.folded"));
+        let out = yinyang()
+            .args([
+                "export",
+                trace.to_str().unwrap(),
+                "--chrome-trace",
+                chrome.to_str().unwrap(),
+                "--flamegraph",
+                folded.to_str().unwrap(),
+                "--lanes",
+                "4",
+            ])
+            .output()
+            .expect("spawn");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        (std::fs::read(&chrome).unwrap(), std::fs::read(&folded).unwrap())
+    };
+    let (chrome1, folded1) = export_at("1");
+    let (chrome4, folded4) = export_at("4");
+    assert_eq!(chrome1, chrome4, "chrome trace depends on the producing --threads");
+    assert_eq!(folded1, folded4, "flamegraph depends on the producing --threads");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -15,6 +15,8 @@
 //! | [`trace`] | `tracing` | replay-safe spans + JSON-lines events |
 //! | [`cache`] | `moka`/`lru`-alikes | sharded bounded result cache with a collision guard |
 //! | [`profile`] | `pprof`-style viewers | span-tree profiles from trace files |
+//! | [`serve`] | `hyper` + exporters | HTTP status server with Prometheus exposition |
+//! | [`export`] | `inferno`/trace viewers | Chrome-trace and flamegraph converters |
 //!
 //! Determinism is a design requirement, not an accident: the campaign's
 //! bit-reproducibility guarantee (same `--seed` ⇒ byte-identical triage
@@ -25,12 +27,14 @@
 
 pub mod bench;
 pub mod cache;
+pub mod export;
 pub mod json;
 pub mod metrics;
 pub mod pool;
 pub mod profile;
 pub mod prop;
 pub mod rng;
+pub mod serve;
 pub mod trace;
 
 pub use bench::Criterion;
@@ -38,4 +42,5 @@ pub use cache::{Cache, CacheStatsView};
 pub use metrics::{Histogram, HistogramSummary, MetricsSnapshot};
 pub use profile::{Profile, ProfileNode};
 pub use rng::{Rng, SplitMix64, StdRng};
+pub use serve::StatusServer;
 pub use trace::{Stopwatch, TimeMode, TraceEvent};

@@ -65,7 +65,11 @@ fn bucket_of(value: u64) -> usize {
     }
 }
 
-fn bucket_upper(index: usize) -> u64 {
+/// Inclusive upper bound of histogram bucket `index`: `0` for bucket 0,
+/// `2^i - 1` for bucket `i >= 1`. Public so exposition formats (the
+/// Prometheus renderer in [`crate::serve`]) can label cumulative buckets
+/// with the exact bounds [`Histogram::record`] used.
+pub fn bucket_upper(index: usize) -> u64 {
     if index == 0 {
         0
     } else {
@@ -107,6 +111,13 @@ impl Histogram {
     /// `true` when no samples have been recorded.
     pub fn is_empty(&self) -> bool {
         self.count == 0
+    }
+
+    /// Per-bucket sample counts, index-aligned with [`bucket_upper`].
+    /// Exposition formats fold these into cumulative series; the counts
+    /// here are per-bucket (non-cumulative).
+    pub fn bucket_counts(&self) -> &[u64; BUCKETS] {
+        &self.buckets
     }
 
     /// Lower bound of the first occupied bucket (0 when empty).

@@ -1,0 +1,550 @@
+//! Live observability: a minimal HTTP/1.1 status server over
+//! [`std::net::TcpListener`], the Prometheus text renderer it serves,
+//! and the process-global [`CampaignProgress`] state the campaign driver
+//! feeds at job-merge points.
+//!
+//! Endpoints:
+//!
+//! * `GET /metrics` — Prometheus text exposition rendered live from
+//!   [`crate::metrics::snapshot`]: counters and gauges as-is, every
+//!   32-bucket histogram as a cumulative `_bucket{le="..."}` series
+//!   (base-2 bounds from [`crate::metrics::bucket_upper`], last bucket
+//!   `+Inf`) plus `_sum` and `_count`.
+//! * `GET /status` — JSON campaign progress: phase, jobs done/total,
+//!   wall-clock throughput, per-persona round/tests/findings breakdown,
+//!   and solve-cache hit rate.
+//! * `GET /healthz` — liveness probe, `ok`.
+//!
+//! ## Off the determinism path
+//!
+//! The server is strictly read-only: it renders snapshots of state the
+//! campaign already maintains and records nothing back — no counters, no
+//! spans, no RNG draws. Reports, `--trace` files, and stdout are
+//! byte-identical with and without a server attached, at any thread
+//! count. The flip side: what the server *serves* is allowed to be
+//! wall-clock-dependent (throughput, live cache hit rates), because none
+//! of it is ever byte-compared. See DESIGN §8.
+//!
+//! The accept loop is bounded by construction — one request at a time,
+//! handled inline on the server's own thread with read/write timeouts —
+//! which is all a low-frequency scrape endpoint needs and keeps the
+//! surface auditable. [`StatusServer::shutdown`] (or drop) stops it
+//! promptly: the accept loop re-checks a stop flag after every
+//! connection, and shutdown wakes it with a loopback connection.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+use crate::metrics::{self, bucket_upper, MetricsSnapshot, BUCKETS};
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------------
+
+/// Maps a metric name onto the Prometheus charset: every character
+/// outside `[a-zA-Z0-9_:]` becomes `_` (so `span.solve` → `span_solve`),
+/// and a leading digit is prefixed with `_`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for c in name.chars() {
+        let c = if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' };
+        if out.is_empty() && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Renders a [`MetricsSnapshot`] in the Prometheus text exposition
+/// format (version 0.0.4): counters and gauges one sample each,
+/// histograms as a cumulative `_bucket{le="..."}` series over the fixed
+/// base-2 bounds plus `_sum`/`_count`. Iteration order is the
+/// snapshot's own (sorted), so equal snapshots render identical bytes.
+pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    // Liveness marker first, so scrapes of a freshly started process
+    // (nothing merged into the global registry yet) are still non-empty.
+    let _ = writeln!(out, "# TYPE yinyang_up gauge");
+    let _ = writeln!(out, "yinyang_up 1");
+    for (name, value) in &snapshot.counters {
+        let name = sanitize_metric_name(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let name = sanitize_metric_name(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, histogram) in &snapshot.histograms {
+        let name = sanitize_metric_name(name);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (i, count) in histogram.bucket_counts().iter().enumerate() {
+            cumulative += count;
+            if i == BUCKETS - 1 {
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+            } else {
+                let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cumulative}", bucket_upper(i));
+            }
+        }
+        let _ = writeln!(out, "{name}_sum {}", histogram.sum());
+        let _ = writeln!(out, "{name}_count {}", histogram.count());
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Campaign progress
+// ---------------------------------------------------------------------------
+
+/// One persona's progress, as of the last round merge.
+#[derive(Debug, Clone, Default)]
+pub struct PersonaProgress {
+    /// Rounds fully merged so far.
+    pub round: usize,
+    /// Configured round count.
+    pub rounds: usize,
+    /// Tests executed (cumulative).
+    pub tests: u64,
+    /// `unknown` answers observed (cumulative).
+    pub unknowns: u64,
+    /// Findings so far, keyed by behavior class.
+    pub findings: BTreeMap<String, u64>,
+}
+
+/// Solve-cache counters, as of the last round merge.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheProgress {
+    /// Entries served from the cache.
+    pub hits: u64,
+    /// Lookups that did real work.
+    pub misses: u64,
+    /// Entries evicted by the capacity bound.
+    pub evictions: u64,
+    /// Hash collisions caught by the full-key guard.
+    pub verify_fails: u64,
+}
+
+#[derive(Default)]
+struct ProgressInner {
+    phase: String,
+    started: Option<Instant>,
+    personas: BTreeMap<String, PersonaProgress>,
+    cache: Option<CacheProgress>,
+}
+
+/// Shared campaign progress, written by the driver at job-merge points
+/// and read (only) by the status server's `/status` endpoint. Lives as a
+/// process global — mirroring the metrics registry — so the driver needs
+/// no plumbing through `CampaignConfig` and the updates cost one atomic
+/// increment per job plus one mutex write per round.
+#[derive(Default)]
+pub struct CampaignProgress {
+    jobs_done: AtomicU64,
+    jobs_total: AtomicU64,
+    inner: Mutex<ProgressInner>,
+}
+
+/// The process-wide [`CampaignProgress`] instance.
+pub fn progress() -> &'static CampaignProgress {
+    static PROGRESS: OnceLock<CampaignProgress> = OnceLock::new();
+    PROGRESS.get_or_init(CampaignProgress::default)
+}
+
+impl CampaignProgress {
+    /// Resets all state and stamps the start time; the CLI calls this
+    /// once per command (`"fuzz"` / `"regress"`).
+    pub fn begin(&self, phase: &str) {
+        self.jobs_done.store(0, Ordering::SeqCst);
+        self.jobs_total.store(0, Ordering::SeqCst);
+        let mut inner = self.inner.lock().expect("progress lock");
+        *inner = ProgressInner {
+            phase: phase.to_owned(),
+            started: Some(Instant::now()),
+            ..ProgressInner::default()
+        };
+    }
+
+    /// Announces `n` newly dispatched jobs (the driver calls this per
+    /// round, before the pool runs).
+    pub fn add_jobs(&self, n: u64) {
+        self.jobs_total.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Marks one job finished. Called from pool workers; a single relaxed
+    /// atomic increment, deliberately free of locks, metrics, and spans.
+    pub fn job_done(&self) {
+        self.jobs_done.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current `(done, total)` job counts.
+    pub fn jobs(&self) -> (u64, u64) {
+        (self.jobs_done.load(Ordering::Relaxed), self.jobs_total.load(Ordering::Relaxed))
+    }
+
+    /// Replaces one persona's progress (the driver calls this at each
+    /// round merge, where the counts are already scheduling-independent).
+    pub fn update_persona(&self, name: &str, persona: PersonaProgress) {
+        self.inner.lock().expect("progress lock").personas.insert(name.to_owned(), persona);
+    }
+
+    /// Updates the solve-cache counters shown by `/status`.
+    pub fn set_cache(&self, cache: CacheProgress) {
+        self.inner.lock().expect("progress lock").cache = Some(cache);
+    }
+
+    /// Renders the `/status` document. Wall-clock throughput is fine
+    /// here: `/status` is never byte-compared.
+    pub fn status_json(&self) -> Json {
+        let (done, total) = self.jobs();
+        let inner = self.inner.lock().expect("progress lock");
+        let elapsed = inner.started.map(|t| t.elapsed().as_secs_f64()).unwrap_or(0.0);
+        let rate = if elapsed > 0.0 { done as f64 / elapsed } else { 0.0 };
+        let round3 = |x: f64| Json::Float((x * 1000.0).round() / 1000.0);
+        let personas = inner
+            .personas
+            .iter()
+            .map(|(name, p)| {
+                (
+                    name.clone(),
+                    Json::obj([
+                        ("round", Json::Int(p.round as i64)),
+                        ("rounds", Json::Int(p.rounds as i64)),
+                        ("tests", Json::Int(p.tests as i64)),
+                        ("unknowns", Json::Int(p.unknowns as i64)),
+                        (
+                            "findings",
+                            Json::Obj(
+                                p.findings
+                                    .iter()
+                                    .map(|(k, v)| (k.clone(), Json::Int(*v as i64)))
+                                    .collect(),
+                            ),
+                        ),
+                    ]),
+                )
+            })
+            .collect();
+        let cache = match &inner.cache {
+            None => Json::Null,
+            Some(c) => {
+                let lookups = c.hits + c.misses;
+                let hit_rate = if lookups > 0 { c.hits as f64 / lookups as f64 } else { 0.0 };
+                Json::obj([
+                    ("hits", Json::Int(c.hits as i64)),
+                    ("misses", Json::Int(c.misses as i64)),
+                    ("evictions", Json::Int(c.evictions as i64)),
+                    ("verify_fails", Json::Int(c.verify_fails as i64)),
+                    ("hit_rate", round3(hit_rate)),
+                ])
+            }
+        };
+        Json::obj([
+            ("phase", Json::Str(inner.phase.clone())),
+            ("elapsed_secs", round3(elapsed)),
+            (
+                "jobs",
+                Json::obj([("done", Json::Int(done as i64)), ("total", Json::Int(total as i64))]),
+            ),
+            ("tests_per_sec", round3(rate)),
+            ("personas", Json::Obj(personas)),
+            ("cache", cache),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HTTP server
+// ---------------------------------------------------------------------------
+
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Handle to a running status server. Dropping it (or calling
+/// [`StatusServer::shutdown`]) stops the accept loop and joins the
+/// server thread.
+pub struct StatusServer {
+    addr: SocketAddr,
+    stop: std::sync::Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl StatusServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts serving on a dedicated thread.
+    pub fn start(addr: &str) -> std::io::Result<StatusServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        let thread_stop = std::sync::Arc::clone(&stop);
+        let handle =
+            std::thread::Builder::new().name("yinyang-status".to_owned()).spawn(move || {
+                for stream in listener.incoming() {
+                    if thread_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(stream) = stream {
+                        let _ = handle_client(stream);
+                    }
+                }
+            })?;
+        Ok(StatusServer { addr, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (resolves the port when started on `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            // Wake the blocking accept so the loop observes the flag.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for StatusServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn handle_client(stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header == "\r\n" || header == "\n" {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    let (status, content_type, body) = respond(method, target);
+    let mut stream = reader.into_inner();
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+fn respond(method: &str, target: &str) -> (&'static str, &'static str, String) {
+    const TEXT: &str = "text/plain; charset=utf-8";
+    if method != "GET" {
+        return ("405 Method Not Allowed", TEXT, "only GET is supported\n".to_owned());
+    }
+    match target {
+        "/healthz" => ("200 OK", TEXT, "ok\n".to_owned()),
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            render_prometheus(&metrics::snapshot()),
+        ),
+        "/status" => {
+            ("200 OK", "application/json; charset=utf-8", progress().status_json().pretty() + "\n")
+        }
+        _ => ("404 Not Found", TEXT, "not found; try /metrics /status /healthz\n".to_owned()),
+    }
+}
+
+/// A plain-`TcpStream` HTTP/1.1 GET (the `yinyang fetch` subcommand and
+/// the CI smoke gate use this instead of curl). Returns the status code
+/// and body.
+pub fn http_get(addr: &str, path: &str) -> Result<(u16, String), String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    stream.set_read_timeout(Some(IO_TIMEOUT)).map_err(|e| e.to_string())?;
+    stream.set_write_timeout(Some(IO_TIMEOUT)).map_err(|e| e.to_string())?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
+        .map_err(|e| format!("cannot send request to {addr}: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("cannot read response from {addr}: {e}"))?;
+    let status_line = response.lines().next().unwrap_or("");
+    let code: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| format!("malformed status line from {addr}: `{status_line}`"))?;
+    let body = match response.find("\r\n\r\n") {
+        Some(at) => response[at + 4..].to_owned(),
+        None => String::new(),
+    };
+    Ok((code, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+
+    #[test]
+    fn metric_names_sanitize_onto_the_prometheus_charset() {
+        assert_eq!(sanitize_metric_name("span.solve"), "span_solve");
+        assert_eq!(sanitize_metric_name("span.regress.solve"), "span_regress_solve");
+        assert_eq!(sanitize_metric_name("already_fine:total"), "already_fine:total");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name("a-b c"), "a_b_c");
+    }
+
+    #[test]
+    fn counters_and_gauges_render_with_type_lines() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("fusion.attempts".into(), 42);
+        snap.gauges.insert("coverage.lines".into(), -3);
+        let text = render_prometheus(&snap);
+        assert!(text.contains("# TYPE fusion_attempts counter\nfusion_attempts 42\n"), "{text}");
+        assert!(text.contains("# TYPE coverage_lines gauge\ncoverage_lines -3\n"), "{text}");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_monotone() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 100, 5000] {
+            h.record(v);
+        }
+        let mut snap = MetricsSnapshot::default();
+        snap.histograms.insert("span.solve".into(), h);
+        let text = render_prometheus(&snap);
+        assert!(text.contains("# TYPE span_solve histogram"), "{text}");
+        // Parse the bucket series back and verify the contract: counts
+        // never decrease, and the +Inf bucket equals _count.
+        let mut last = 0u64;
+        let mut buckets = 0usize;
+        let mut inf = None;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("span_solve_bucket{le=\"") {
+                let (le, count) = rest.split_once("\"} ").unwrap();
+                let count: u64 = count.parse().unwrap();
+                assert!(count >= last, "bucket series must be cumulative: {line}");
+                last = count;
+                buckets += 1;
+                if le == "+Inf" {
+                    inf = Some(count);
+                }
+            }
+        }
+        assert_eq!(buckets, BUCKETS, "all 32 buckets render");
+        assert_eq!(inf, Some(6), "+Inf bucket holds every sample");
+        // Spot-check a bound: values {0} ≤ 0, {0,1} ≤ 1, {0,1,2,3} ≤ 3.
+        assert!(text.contains("span_solve_bucket{le=\"0\"} 1\n"), "{text}");
+        assert!(text.contains("span_solve_bucket{le=\"1\"} 2\n"), "{text}");
+        assert!(text.contains("span_solve_bucket{le=\"3\"} 4\n"), "{text}");
+    }
+
+    #[test]
+    fn sum_and_count_match_the_histogram_summary() {
+        let mut h = Histogram::new();
+        for v in [7u64, 19, 300, 4444] {
+            h.record(v);
+        }
+        let summary = h.summary();
+        let mut snap = MetricsSnapshot::default();
+        snap.histograms.insert("span.solve".into(), h);
+        let text = render_prometheus(&snap);
+        assert!(text.contains(&format!("span_solve_sum {}\n", summary.sum)), "{text}");
+        assert!(text.contains(&format!("span_solve_count {}\n", summary.count)), "{text}");
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("b".into(), 2);
+        snap.counters.insert("a".into(), 1);
+        let text = render_prometheus(&snap);
+        assert_eq!(text, render_prometheus(&snap.clone()));
+        assert!(text.find("# TYPE a counter").unwrap() < text.find("# TYPE b counter").unwrap());
+    }
+
+    #[test]
+    fn progress_tracks_jobs_and_personas() {
+        let p = CampaignProgress::default();
+        p.begin("fuzz");
+        p.add_jobs(10);
+        for _ in 0..4 {
+            p.job_done();
+        }
+        assert_eq!(p.jobs(), (4, 10));
+        let mut persona = PersonaProgress { round: 1, rounds: 3, tests: 9, ..Default::default() };
+        persona.findings.insert("crash".into(), 2);
+        p.update_persona("zirkon", persona);
+        p.set_cache(CacheProgress { hits: 3, misses: 1, ..Default::default() });
+        let status = p.status_json();
+        assert_eq!(status.get("phase").and_then(Json::as_str), Some("fuzz"));
+        let jobs = status.get("jobs").unwrap();
+        assert_eq!(jobs.get("done").and_then(Json::as_i64), Some(4));
+        assert_eq!(jobs.get("total").and_then(Json::as_i64), Some(10));
+        let zirkon = status.get("personas").and_then(|p| p.get("zirkon")).unwrap();
+        assert_eq!(zirkon.get("tests").and_then(Json::as_i64), Some(9));
+        assert_eq!(
+            zirkon.get("findings").and_then(|f| f.get("crash")).and_then(Json::as_i64),
+            Some(2)
+        );
+        let cache = status.get("cache").unwrap();
+        assert_eq!(cache.get("hit_rate").and_then(Json::as_f64), Some(0.75));
+        // begin() resets everything.
+        p.begin("regress");
+        assert_eq!(p.jobs(), (0, 0));
+        assert!(p
+            .status_json()
+            .get("personas")
+            .and_then(Json::as_obj)
+            .map(|o| o.is_empty())
+            .unwrap_or(false));
+    }
+
+    #[test]
+    fn server_serves_all_endpoints_and_shuts_down() {
+        metrics::counter_add("test.serve.counter", 5);
+        metrics::histogram_record("test.serve.hist", 17);
+        let server = StatusServer::start("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr().to_string();
+
+        let (code, body) = http_get(&addr, "/healthz").unwrap();
+        assert_eq!((code, body.as_str()), (200, "ok\n"));
+
+        let (code, body) = http_get(&addr, "/metrics").unwrap();
+        assert_eq!(code, 200);
+        assert!(body.contains("test_serve_counter 5"), "{body}");
+        assert!(body.contains("# TYPE test_serve_hist histogram"), "{body}");
+        assert!(body.contains("test_serve_hist_bucket{le=\"+Inf\"}"), "{body}");
+
+        let (code, body) = http_get(&addr, "/status").unwrap();
+        assert_eq!(code, 200);
+        let status = Json::parse(&body).expect("status is JSON");
+        assert!(status.get("jobs").is_some(), "{body}");
+
+        let (code, _) = http_get(&addr, "/nope").unwrap();
+        assert_eq!(code, 404);
+
+        server.shutdown();
+        // The port is closed once shutdown returns; a fresh server can
+        // bind an ephemeral port again immediately.
+        let again = StatusServer::start("127.0.0.1:0").expect("rebind");
+        again.shutdown();
+    }
+}

@@ -148,7 +148,9 @@ done
 cmp "$SMOKE/par.json" "$STATUS/served.json"
 cmp "$SMOKE/par.jsonl" "$STATUS/served.jsonl"
 target/release/yinyang fetch "$ADDR" /metrics > "$STATUS/metrics.txt"
+grep -q '^# HELP yinyang_up ' "$STATUS/metrics.txt"
 grep -q '^# TYPE yinyang_up gauge$' "$STATUS/metrics.txt"
+grep -q '^yinyang_build_info{version="' "$STATUS/metrics.txt"
 grep -q '^# TYPE span_solve histogram$' "$STATUS/metrics.txt"
 grep -q 'span_solve_bucket{le="+Inf"}' "$STATUS/metrics.txt"
 grep -q '^span_solve_count ' "$STATUS/metrics.txt"
@@ -165,6 +167,62 @@ cmp "$STATUS/a.json" "$STATUS/b.json"
 cmp "$STATUS/a.folded" "$STATUS/b.folded"
 grep -q '"traceEvents"' "$STATUS/a.json"
 grep -q '^solve' "$STATUS/a.folded"
+
+echo "==> fleet smoke gate"
+# Fleet is sharding plus observability, never semantics: a 2-shard fleet
+# must merge to the exact report and trace bytes of the telemetry gate's
+# single-process run. Federated endpoints must roll up both workers with
+# per-shard labels, and killing a worker mid-run must degrade /healthz
+# (naming the shard) and fail the supervisor rather than hang it.
+FLEET=target/fleet-smoke
+rm -rf "$FLEET"
+mkdir -p "$FLEET"
+target/release/yinyang fleet --shards 2 --iterations 2 --rounds 1 --seed 7 \
+    --threads 1 --partial-dir "$FLEET/parts" \
+    --json --trace "$FLEET/merged.jsonl" > "$FLEET/merged.json"
+cmp "$SMOKE/seq.json" "$FLEET/merged.json"
+cmp "$SMOKE/seq.jsonl" "$FLEET/merged.jsonl"
+# Degraded leg: stall the workers so the kill lands before their round-0
+# partials exist, forcing the supervisor down the dead-shard path.
+YINYANG_FLEET_STALL_MS=6000 target/release/yinyang fleet --shards 2 \
+    --iterations 2 --rounds 1 --seed 7 --threads 1 --quiet \
+    --partial-dir "$FLEET/parts2" --status-addr 127.0.0.1:0 \
+    > /dev/null 2> "$FLEET/stderr.txt" &
+FLEET_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's|.*fleet status server listening on http://\([0-9.:]*\).*|\1|p' \
+        "$FLEET/stderr.txt" | head -n 1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+test -n "$ADDR"
+target/release/yinyang fetch "$ADDR" /healthz | grep -qx "ok"
+target/release/yinyang fetch "$ADDR" /status | grep -q '"phase": "fleet"'
+# The per-shard series appear after the supervisor's first scrape lands.
+for _ in $(seq 1 100); do
+    target/release/yinyang fetch "$ADDR" /metrics > "$FLEET/metrics.txt" || true
+    grep -q 'yinyang_shard_up{shard="1"} 1' "$FLEET/metrics.txt" && break
+    sleep 0.1
+done
+grep -q 'yinyang_shard_up{shard="0"} 1' "$FLEET/metrics.txt"
+grep -q 'yinyang_shard_up{shard="1"} 1' "$FLEET/metrics.txt"
+SHARD1_PID=$(sed -n 's|.*fleet: shard 1 is pid \([0-9]*\).*|\1|p' \
+    "$FLEET/stderr.txt" | head -n 1)
+test -n "$SHARD1_PID"
+kill -9 "$SHARD1_PID"
+DEGRADED=0
+for _ in $(seq 1 100); do
+    if target/release/yinyang fetch "$ADDR" /healthz 2>&1 \
+        | grep -q "degraded: shard 1"; then DEGRADED=1; break; fi
+    sleep 0.1
+done
+test "$DEGRADED" -eq 1
+if wait "$FLEET_PID"; then
+    echo "fleet run with a dead shard must fail" >&2
+    exit 1
+fi
+grep -q "shard 1" "$FLEET/stderr.txt"
 
 echo "==> bench report regeneration (fast mode)"
 YINYANG_BENCH_FAST=1 cargo bench --offline -p yinyang-bench --bench throughput

@@ -20,11 +20,12 @@
 //! and the driver merges the deltas in job order.
 
 use crate::config::{fast_solver_config, Behavior, CampaignConfig, CampaignOutcome, RawFinding};
+use crate::fleet::{Execution, PartialJob, RoundPartial};
 use crate::solve_cache::{key_text, SolveCache};
 use crate::telemetry::CoverageRound;
 use std::collections::BTreeSet;
 use yinyang_core::{concat_fuzz, run_catching, Fuser, Oracle, SolverAnswer};
-use yinyang_coverage::ProbeKind;
+use yinyang_coverage::{CoverageMap, ProbeKind};
 use yinyang_faults::{BugClass, BugStatus, FaultySolver, SolverId};
 use yinyang_rt::cache::CacheStatsView;
 use yinyang_rt::trace::{self, TraceEvent};
@@ -110,35 +111,89 @@ pub fn run_campaign_full_with_cache(
     solver_id: SolverId,
     cache: Option<&SolveCache>,
 ) -> CampaignRun {
+    run_campaign_full_exec(config, solver_id, cache, &Execution::Local)
+        .expect("local campaigns have no fleet I/O to fail on")
+}
+
+/// [`run_campaign_full_with_cache`] parameterized by an [`Execution`]:
+/// the same driver loop runs single-process (`Local`), as a fleet shard
+/// (`Worker`), or as the fleet's merging supervisor (`Supervisor`). Every
+/// mode regenerates rounds and job seeds identically; only *who executes
+/// a job* differs, which is the heart of the fleet determinism argument —
+/// the merged supervisor report is byte-identical to a `Local` run of the
+/// same config. `Err` carries fleet exchange failures (a dead shard, a
+/// barrier timeout, a malformed partial); `Local` never fails.
+pub fn run_campaign_full_exec(
+    config: &CampaignConfig,
+    solver_id: SolverId,
+    cache: Option<&SolveCache>,
+    exec: &Execution<'_>,
+) -> Result<CampaignRun, String> {
     let mut run = CampaignRun::default();
     let mut fixed: BTreeSet<u32> = BTreeSet::new();
     let watch = Stopwatch::start();
     let coverage_start =
         if config.coverage_trajectory { Some(yinyang_coverage::snapshot()) } else { None };
+    // The supervisor reconstructs the single-process coverage trajectory
+    // from two additive pieces: its own probe deltas (seedgen + triage,
+    // bracketed per round with no gaps) and each round's worker job
+    // deltas from the partials. Per-site hit counts are additive across
+    // processes, so the sum equals what one process would have counted.
+    let mut supervisor_prev =
+        matches!(exec, Execution::Supervisor(_)).then(yinyang_coverage::snapshot);
+    let mut fleet_coverage = CoverageMap::default();
     for round in 0..config.rounds {
-        let (round_outcome, mut round_metrics, mut events, round_forensics) =
-            run_round(config, solver_id, round, &fixed, cache);
-        // Fix-and-retest: deactivate fixed confirmed bugs for later rounds.
-        let before = metrics::local_snapshot();
-        {
-            let _span = yinyang_rt::span!("triage", round = round);
-            for f in &round_outcome.findings {
-                if let Some(id) = f.bug_id {
-                    let bug = yinyang_faults::registry()
-                        .into_iter()
-                        .find(|b| b.id == id)
-                        .expect("triaged ids come from the registry");
-                    if matches!(bug.status, BugStatus::Confirmed { fixed: true }) {
-                        fixed.insert(id);
+        let mut round_out = run_round(config, solver_id, round, &fixed, cache, exec)?;
+        match exec {
+            Execution::Worker(worker) => {
+                // Triage needs every shard's findings, so it belongs to
+                // the supervisor; this shard discards its driver-thread
+                // trace leftovers and takes the merged fix-and-retest set
+                // from the barrier file before the next round.
+                let _ = trace::take_events();
+                if round + 1 < config.rounds {
+                    fixed = worker.await_fixed(solver_id.name(), round)?;
+                }
+            }
+            Execution::Local | Execution::Supervisor(_) => {
+                // Fix-and-retest: deactivate fixed confirmed bugs for
+                // later rounds.
+                let before = metrics::local_snapshot();
+                {
+                    let _span = yinyang_rt::span!("triage", round = round);
+                    for f in &round_out.outcome.findings {
+                        if let Some(id) = f.bug_id {
+                            let bug = yinyang_faults::registry()
+                                .into_iter()
+                                .find(|b| b.id == id)
+                                .expect("triaged ids come from the registry");
+                            if matches!(bug.status, BugStatus::Confirmed { fixed: true }) {
+                                fixed.insert(id);
+                            }
+                        }
                     }
+                }
+                round_out.events.extend(trace::take_events());
+                round_out.metrics.merge(&metrics::local_snapshot().delta(&before));
+                trace::emit_events(&round_out.events);
+                if let Execution::Supervisor(collector) = exec {
+                    collector.publish_fixed(solver_id.name(), round, &fixed)?;
                 }
             }
         }
-        events.extend(trace::take_events());
-        round_metrics.merge(&metrics::local_snapshot().delta(&before));
-        trace::emit_events(&events);
-        if let Some(start) = &coverage_start {
-            let cumulative = yinyang_coverage::snapshot().delta(start);
+        if config.coverage_trajectory {
+            let cumulative = if let Some(prev) = supervisor_prev.as_mut() {
+                let now = yinyang_coverage::snapshot();
+                fleet_coverage.merge(&CoverageMap::from_snapshot(&now.delta(prev)));
+                *prev = now;
+                if let Some(workers) = round_out.worker_coverage.take() {
+                    fleet_coverage.merge(&workers);
+                }
+                fleet_coverage.clone()
+            } else {
+                let start = coverage_start.as_ref().expect("trajectory implies a start snapshot");
+                CoverageMap::from_snapshot(&yinyang_coverage::snapshot().delta(start))
+            };
             run.coverage_rounds.push(CoverageRound {
                 solver: solver_id.name().to_owned(),
                 round,
@@ -150,19 +205,19 @@ pub fn run_campaign_full_with_cache(
                 branches_hits: cumulative.count_of_kind(ProbeKind::Branch),
             });
         }
-        run.outcome.findings.extend(round_outcome.findings);
-        run.forensics.extend(round_forensics);
-        run.outcome.stats.tests += round_outcome.stats.tests;
-        run.outcome.stats.unknowns += round_outcome.stats.unknowns;
-        run.outcome.stats.fusion_failures += round_outcome.stats.fusion_failures;
-        run.metrics.merge(&round_metrics);
+        run.outcome.findings.extend(round_out.outcome.findings);
+        run.forensics.extend(round_out.forensics);
+        run.outcome.stats.tests += round_out.outcome.stats.tests;
+        run.outcome.stats.unknowns += round_out.outcome.stats.unknowns;
+        run.outcome.stats.fusion_failures += round_out.outcome.stats.fusion_failures;
+        run.metrics.merge(&round_out.metrics);
         publish_progress(solver_id, config, round, &run.outcome, cache);
         if config.heartbeat {
             heartbeat(solver_id, config, round, &run.outcome, &run.metrics, &watch, cache);
         }
     }
     run.cache_stats = cache.map(SolveCache::stats);
-    run
+    Ok(run)
 }
 
 /// Publishes this persona's cumulative progress to the shared
@@ -291,15 +346,37 @@ pub(crate) fn mix64(mut x: u64) -> u64 {
     x
 }
 
+/// One round's output, mode-independent in shape: the `Local` and
+/// `Supervisor` paths fill everything; the `Worker` path reports only its
+/// own share (and no forensics — global job indices belong to the
+/// supervisor).
+struct RoundOutput {
+    outcome: CampaignOutcome,
+    metrics: MetricsSnapshot,
+    events: Vec<TraceEvent>,
+    forensics: Vec<FindingForensics>,
+    /// The round's merged worker coverage delta (`Supervisor` only).
+    worker_coverage: Option<CoverageMap>,
+}
+
 /// One round over all Fig. 7 benchmarks: seed pools are generated on the
-/// driver, then every fused test runs as an independent job.
+/// driver, then every fused test runs as an independent job. Every
+/// [`Execution`] mode generates the pools and the job list identically —
+/// a job's RNG stream depends only on its flat index, never on who runs
+/// it — and then:
+///
+/// * `Local` runs all jobs here;
+/// * `Worker` runs the shard's own jobs and writes the round partial;
+/// * `Supervisor` runs none, splicing the shards' partials back into
+///   global job order before the usual in-order merge loop.
 fn run_round(
     config: &CampaignConfig,
     solver_id: SolverId,
     round: usize,
     fixed: &BTreeSet<u32>,
     cache: Option<&SolveCache>,
-) -> (CampaignOutcome, MetricsSnapshot, Vec<TraceEvent>, Vec<FindingForensics>) {
+    exec: &Execution<'_>,
+) -> Result<RoundOutput, String> {
     let round_seed = config.rng_seed ^ (round as u64).wrapping_mul(0x9E37_79B9);
     let driver_before = metrics::local_snapshot();
     let pools = {
@@ -328,28 +405,100 @@ fn run_round(
             rng_seed: mix64(round_seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
         })
         .collect();
+    let job_count = jobs.len();
     let rng_seeds: Vec<u64> = jobs.iter().map(|j| j.rng_seed).collect();
     let fuser = Fuser::new();
     let progress = yinyang_rt::serve::progress();
-    progress.add_jobs(jobs.len() as u64);
-    let results = yinyang_rt::pool::parallel_map(config.threads, jobs, |job| {
-        let result = run_test(solver_id, round, fixed, &fuser, &pools, job, cache);
-        // One relaxed atomic bump for the live `/status` job counter —
-        // no locks, metrics, or spans, so the job's telemetry bracket
-        // and the report bytes are untouched.
-        progress.job_done();
-        result
-    });
+    let (results, worker_coverage): (Vec<JobResult>, Option<CoverageMap>) = match exec {
+        Execution::Local => {
+            progress.add_jobs(job_count as u64);
+            let results = yinyang_rt::pool::parallel_map(config.threads, jobs, |job| {
+                let result = run_test(solver_id, round, fixed, &fuser, &pools, job, cache);
+                // One relaxed atomic bump for the live `/status` job
+                // counter — no locks, metrics, or spans, so the job's
+                // telemetry bracket and the report bytes are untouched.
+                progress.job_done();
+                result
+            });
+            (results, None)
+        }
+        Execution::Worker(worker) => {
+            let base = worker.begin_round(job_count);
+            let owned: Vec<(usize, TestJob)> = jobs
+                .into_iter()
+                .enumerate()
+                .filter(|(index, _)| worker.owns(base + index))
+                .collect();
+            progress.add_jobs(owned.len() as u64);
+            // Bracket only the jobs: the duplicated seedgen above must
+            // not reach the partial's coverage delta, or the supervisor
+            // would count it once per shard.
+            let coverage_before = yinyang_coverage::snapshot();
+            let results = yinyang_rt::pool::parallel_map(config.threads, owned, |(index, job)| {
+                let result = run_test(solver_id, round, fixed, &fuser, &pools, job, cache);
+                progress.job_done();
+                (index, result)
+            });
+            let coverage =
+                CoverageMap::from_snapshot(&yinyang_coverage::snapshot().delta(&coverage_before));
+            let partial = RoundPartial {
+                solver: solver_id.name().to_owned(),
+                round,
+                shard: worker.shard(),
+                shards: worker.shards(),
+                seed: config.rng_seed,
+                job_count,
+                jobs: results
+                    .iter()
+                    .map(|(index, r)| PartialJob {
+                        index: base + index,
+                        tests: r.tests,
+                        unknowns: r.unknowns,
+                        fusion_failures: r.fusion_failures,
+                        finding: r.finding.clone(),
+                        metrics: r.metrics.clone(),
+                        events: r.events.clone(),
+                    })
+                    .collect(),
+                coverage,
+            };
+            worker.write_round_partial(&partial)?;
+            (results.into_iter().map(|(_, r)| r).collect(), None)
+        }
+        Execution::Supervisor(collector) => {
+            let base = collector.begin_round(job_count);
+            progress.add_jobs(job_count as u64);
+            let (partial_jobs, coverage) =
+                collector.collect_round(solver_id.name(), round, job_count, base)?;
+            let results = partial_jobs
+                .into_iter()
+                .map(|p| {
+                    progress.job_done();
+                    JobResult {
+                        tests: p.tests,
+                        unknowns: p.unknowns,
+                        fusion_failures: p.fusion_failures,
+                        finding: p.finding,
+                        events: p.events,
+                        metrics: p.metrics,
+                    }
+                })
+                .collect();
+            (results, Some(coverage))
+        }
+    };
 
     let mut outcome = CampaignOutcome::default();
     let mut forensics = Vec::new();
     // `parallel_map` preserves input order, so `job_index` here is the
-    // flat index the job's `rng_seed` was derived from.
+    // flat index the job's `rng_seed` was derived from. (In worker mode
+    // the enumeration is shard-local, so forensics — which need global
+    // indices — are left to the supervisor.)
     for (job_index, r) in results.into_iter().enumerate() {
         outcome.stats.tests += r.tests;
         outcome.stats.unknowns += r.unknowns;
         outcome.stats.fusion_failures += r.fusion_failures;
-        if r.finding.is_some() {
+        if r.finding.is_some() && !matches!(exec, Execution::Worker(_)) {
             forensics.push(FindingForensics {
                 round,
                 job_index,
@@ -363,7 +512,7 @@ fn run_round(
         events.extend(r.events);
         round_metrics.merge(&r.metrics);
     }
-    (outcome, round_metrics, events, forensics)
+    Ok(RoundOutput { outcome, metrics: round_metrics, events, forensics, worker_coverage })
 }
 
 /// One fused test: pick a pair, fuse, solve, check against the oracle.

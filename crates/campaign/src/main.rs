@@ -19,6 +19,12 @@ commands:
   exp <which>                     regenerate an evaluation figure; <which> is one of
                                   fig7 fig8 fig9 fig10 fig11 fig12 rq4 throughput fp all
   fuzz                            run the bug-finding campaign, print findings
+  fleet                           run the fuzz campaign sharded over --shards
+                                  worker processes; the merged report (and
+                                  --trace file) is byte-identical to a
+                                  single-process fuzz with the same seed, and
+                                  --status-addr serves a federated view of
+                                  every worker's /metrics + /status
   regress <bundle-dir>...         replay fuzz --bundle-dir reproduction bundles
                                   against a solver build (--release) and classify
                                   each as still-broken / fixed / flaky / stale;
@@ -76,6 +82,17 @@ options:
                    (export) write collapsed flamegraph stacks
   --lanes N        (export) virtual worker lanes for --chrome-trace; root
                    spans are scheduled greedily across them [default 1]
+  --shards N       (fleet) worker process count                [default 2]
+  --partial-dir DIR
+                   (fleet) exchange directory for worker partial reports
+                   and fix-and-retest barrier files [default under temp]
+  --shard I/N      (fuzz, internal) run as fleet shard I of N: execute only
+                   the jobs whose global index i satisfies i % N == I and
+                   write per-round partials instead of a report
+  --partial-out DIR
+                   (fuzz, internal) where a --shard worker writes partials
+  --capture-events (fuzz, internal) buffer trace events into partials so
+                   the fleet supervisor can write the merged --trace file
   --bench-report FILE
                    (experiments-md) also regenerate the bench block from an
                    rt::bench report.json — machine-dependent, never CI-diffed
@@ -161,6 +178,22 @@ fn main() -> ExitCode {
             "--lanes" => {
                 opts.lanes = parse_num(&args, &mut i);
             }
+            "--shards" => {
+                opts.shards = parse_num(&args, &mut i);
+            }
+            "--partial-dir" => match parse_path(&args, &mut i) {
+                Some(dir) => opts.partial_dir = Some(dir),
+                None => return ExitCode::FAILURE,
+            },
+            "--shard" => match parse_path(&args, &mut i) {
+                Some(spec) => opts.shard = Some(spec),
+                None => return ExitCode::FAILURE,
+            },
+            "--partial-out" => match parse_path(&args, &mut i) {
+                Some(dir) => opts.partial_out = Some(dir),
+                None => return ExitCode::FAILURE,
+            },
+            "--capture-events" => opts.capture_events = true,
             other => positional.push(other.to_owned()),
         }
         i += 1;
@@ -198,6 +231,11 @@ struct CliOpts {
     chrome_trace: Option<String>,
     flamegraph: Option<String>,
     lanes: usize,
+    shards: usize,
+    partial_dir: Option<String>,
+    shard: Option<String>,
+    partial_out: Option<String>,
+    capture_events: bool,
 }
 
 impl Default for CliOpts {
@@ -215,6 +253,11 @@ impl Default for CliOpts {
             chrome_trace: None,
             flamegraph: None,
             lanes: 1,
+            shards: 2,
+            partial_dir: None,
+            shard: None,
+            partial_out: None,
+            capture_events: false,
         }
     }
 }
@@ -228,6 +271,7 @@ fn dispatch(positional: &[String], config: &CampaignConfig, opts: &CliOpts) -> E
         }
         Some("exp") => run_exp(positional.get(1).map(String::as_str), config, json),
         Some("fuzz") => run_fuzz(config, opts),
+        Some("fleet") => run_fleet_cmd(config, opts),
         Some("regress") => run_regress_cmd(&positional[1..], config, opts),
         Some("profile") => {
             let Some(path) = positional.get(1) else {
@@ -251,7 +295,14 @@ fn dispatch(positional: &[String], config: &CampaignConfig, opts: &CliOpts) -> E
                 eprintln!("usage: yinyang fetch <host:port> <path>");
                 return ExitCode::FAILURE;
             };
-            match yinyang_rt::serve::http_get(addr, path) {
+            // Bounded connect retry: a just-announced server may not be
+            // accepting yet, and CI polls this command in a tight loop.
+            match yinyang_rt::serve::http_get_retry(
+                addr,
+                path,
+                10,
+                std::time::Duration::from_millis(50),
+            ) {
                 Ok((200, body)) => {
                     print!("{body}");
                     ExitCode::SUCCESS
@@ -473,6 +524,9 @@ fn finish_status_server(server: Option<yinyang_rt::StatusServer>) {
 /// here), plus the forensic outputs behind `--bundle-dir` /
 /// `--metrics-out`.
 fn run_fuzz(config: &CampaignConfig, opts: &CliOpts) -> ExitCode {
+    if opts.shard.is_some() {
+        return run_fuzz_worker(config, opts);
+    }
     let server = match start_status_server(opts, "fuzz") {
         Ok(server) => server,
         Err(code) => return code,
@@ -480,17 +534,32 @@ fn run_fuzz(config: &CampaignConfig, opts: &CliOpts) -> ExitCode {
     let mut config = config.clone();
     config.coverage_trajectory = true;
     let run = experiments::fig8_campaign_full(&config);
-    let cache_stats = run.cache_stats;
-    let mut result = run.result;
     // Coverage gauges live outside the replay-safe per-job deltas
     // (coverage state is process-global); attach them here, at the
     // report boundary. Totals are scheduling-independent.
     yinyang_coverage::export_metrics(&yinyang_coverage::snapshot());
+    match emit_fuzz_run(run, opts) {
+        Ok(()) => {
+            finish_status_server(server);
+            ExitCode::SUCCESS
+        }
+        Err(code) => code,
+    }
+}
+
+/// The report tail shared by `fuzz` and `fleet`: telemetry gauges from
+/// the (already exported) global registry, `--metrics-out`, bundles, the
+/// stdout report, and stderr cache stats. Everything here is a pure
+/// function of the [`experiments::Fig8Run`], which is why the fleet
+/// supervisor's output is byte-identical to a single-process run's.
+fn emit_fuzz_run(run: experiments::Fig8Run, opts: &CliOpts) -> Result<(), ExitCode> {
+    let cache_stats = run.cache_stats;
+    let mut result = run.result;
     result.telemetry.gauges.extend(yinyang_rt::metrics::snapshot().gauges);
     if let Some(path) = &opts.metrics_out {
         if let Err(e) = std::fs::write(path, run.metrics.to_json().pretty() + "\n") {
             eprintln!("cannot write metrics to {path}: {e}");
-            return ExitCode::FAILURE;
+            return Err(ExitCode::FAILURE);
         }
     }
     let mut bundles = Vec::new();
@@ -503,7 +572,7 @@ fn run_fuzz(config: &CampaignConfig, opts: &CliOpts) -> ExitCode {
             Ok(s) => bundles = s,
             Err(e) => {
                 eprintln!("cannot write bundles to {dir}: {e}");
-                return ExitCode::FAILURE;
+                return Err(ExitCode::FAILURE);
             }
         }
     }
@@ -540,8 +609,137 @@ fn run_fuzz(config: &CampaignConfig, opts: &CliOpts) -> ExitCode {
             eprintln!("solve cache: {}", stats.render());
         }
     }
-    finish_status_server(server);
-    ExitCode::SUCCESS
+    Ok(())
+}
+
+/// A fleet worker (`fuzz --shard I/N --partial-out DIR`): runs the shard's
+/// share of the campaign, writes per-round partials, and prints no report
+/// — the supervisor owns stdout. The worker still serves its own
+/// `--status-addr`, which is what the supervisor federates.
+fn run_fuzz_worker(config: &CampaignConfig, opts: &CliOpts) -> ExitCode {
+    let spec = opts.shard.as_deref().expect("run_fuzz_worker is gated on --shard");
+    let (shard, shards) = match parse_shard_spec(spec) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(dir) = &opts.partial_out else {
+        eprintln!("--shard needs --partial-out DIR to exchange partial reports");
+        return ExitCode::FAILURE;
+    };
+    if opts.capture_events {
+        // The supervisor wants a merged --trace file; buffer this shard's
+        // span events into the partials (there is no local writer, so
+        // nothing is emitted here).
+        trace::set_capture(true);
+    }
+    let server = match start_status_server(opts, "fuzz") {
+        Ok(server) => server,
+        Err(code) => return code,
+    };
+    // Test hook: stall before the campaign so a harness can kill this
+    // worker mid-run deterministically (degraded-health coverage).
+    if let Some(ms) =
+        std::env::var("YINYANG_FLEET_STALL_MS").ok().and_then(|v| v.parse::<u64>().ok())
+    {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+    let worker = yinyang_campaign::ShardWorker::new(shard, shards, dir.clone(), config.rng_seed);
+    match experiments::fig8_campaign_full_exec(
+        config,
+        &yinyang_campaign::Execution::Worker(&worker),
+    ) {
+        Ok(_) => {
+            finish_status_server(server);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fleet worker {shard}/{shards}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The `fleet` command: spawn `--shards` worker processes, run the
+/// supervisor merge loop over their partials, and serve the federated
+/// observability endpoints. The merged report and `--trace` file are
+/// byte-identical to a single-process `fuzz` with the same seed.
+fn run_fleet_cmd(config: &CampaignConfig, opts: &CliOpts) -> ExitCode {
+    if opts.shards == 0 {
+        eprintln!("--shards must be at least 1");
+        return ExitCode::FAILURE;
+    }
+    if config.cache {
+        // Per-worker caches would skip solves (and their coverage probes)
+        // differently than one shared cache, so coverage trajectories
+        // would diverge from the single-process run.
+        eprintln!("fleet does not support --cache; run fuzz --cache single-process instead");
+        return ExitCode::FAILURE;
+    }
+    if trace::time_mode() == yinyang_rt::TimeMode::Wall {
+        eprintln!(
+            "fleet does not support --wallclock: wall-clock durations are not comparable \
+                   across processes, so the merged report would not replay"
+        );
+        return ExitCode::FAILURE;
+    }
+    let fleet_opts = yinyang_campaign::FleetOptions {
+        shards: opts.shards,
+        partial_dir: opts.partial_dir.clone(),
+        capture_events: opts.trace_path.is_some(),
+        status_addr: opts.status_addr.clone(),
+    };
+    let mut fleet = match yinyang_campaign::Fleet::launch(config, &fleet_opts) {
+        Ok(fleet) => fleet,
+        Err(e) => {
+            eprintln!("fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let collector = fleet.collector();
+    let mut config = config.clone();
+    config.coverage_trajectory = true;
+    let outcome = experiments::fig8_campaign_full_exec(
+        &config,
+        &yinyang_campaign::Execution::Supervisor(&collector),
+    );
+    let code = match outcome {
+        Ok(run) => {
+            // The single-process run exports its own process-global
+            // coverage here; the supervisor's equivalent is its own
+            // probes (seedgen, triage) plus every worker's job deltas.
+            let mut coverage =
+                yinyang_coverage::CoverageMap::from_snapshot(&yinyang_coverage::snapshot());
+            coverage.merge(&collector.worker_coverage());
+            coverage.export_metrics();
+            match emit_fuzz_run(run, opts) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(code) => code,
+            }
+        }
+        Err(e) => {
+            eprintln!("fleet: {e}");
+            ExitCode::FAILURE
+        }
+    };
+    // Keep the federated endpoints probeable through the hold window even
+    // on failure — a degraded /healthz is exactly what a harness wants to
+    // observe after killing a shard.
+    finish_status_server(fleet.take_server());
+    fleet.shutdown();
+    code
+}
+
+/// Parses a `--shard I/N` spec.
+fn parse_shard_spec(spec: &str) -> Result<(usize, usize), String> {
+    let parsed = spec.split_once('/').and_then(|(i, n)| {
+        let shard: usize = i.parse().ok()?;
+        let shards: usize = n.parse().ok()?;
+        (shards >= 1 && shard < shards).then_some((shard, shards))
+    });
+    parsed.ok_or_else(|| format!("--shard expects I/N with I < N (e.g. 0/2), got {spec}"))
 }
 
 /// The `regress` command: replay reproduction bundles from one or more

@@ -73,6 +73,7 @@ fn help_lists_every_subcommand_and_flag() {
     for cmd in [
         "exp",
         "fuzz",
+        "fleet",
         "regress",
         "profile",
         "experiments-md",
@@ -107,6 +108,11 @@ fn help_lists_every_subcommand_and_flag() {
         "--chrome-trace",
         "--flamegraph",
         "--lanes",
+        "--shards",
+        "--partial-dir",
+        "--shard",
+        "--partial-out",
+        "--capture-events",
     ] {
         assert!(text.contains(flag), "help is missing the `{flag}` option");
     }

@@ -15,6 +15,14 @@
 //!   and solve-cache hit rate.
 //! * `GET /healthz` — liveness probe, `ok`.
 //!
+//! A fleet supervisor serves the same three endpoints with federated
+//! content instead: it scrapes each worker's `/metrics` (parsed back
+//! into a [`MetricsSnapshot`] by [`parse_prometheus`]) and renders the
+//! lot with a `shard` label per worker series plus unlabeled totals via
+//! [`render_prometheus_fleet`]. [`StatusServer::start_with_handler`]
+//! is the hook that lets it swap the endpoint bodies without owning a
+//! second HTTP implementation.
+//!
 //! ## Off the determinism path
 //!
 //! The server is strictly read-only: it renders snapshots of state the
@@ -26,26 +34,33 @@
 //! of it is ever byte-compared. See DESIGN §8.
 //!
 //! The accept loop is bounded by construction — one request at a time,
-//! handled inline on the server's own thread with read/write timeouts —
-//! which is all a low-frequency scrape endpoint needs and keeps the
-//! surface auditable. [`StatusServer::shutdown`] (or drop) stops it
+//! handled inline on the server's own thread with read/write timeouts
+//! and hard caps on request-line and header sizes — which is all a
+//! low-frequency scrape endpoint needs and keeps the surface auditable.
+//! Hostile input gets a 4xx (414 for an oversized request line, 431 for
+//! runaway headers, 400 for a blank request line) or a clean drop (a
+//! client that connects and closes without writing); none of it wedges
+//! the accept loop. [`StatusServer::shutdown`] (or drop) stops it
 //! promptly: the accept loop re-checks a stop flag after every
 //! connection, and shutdown wakes it with a loopback connection.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::json::Json;
-use crate::metrics::{self, bucket_upper, MetricsSnapshot, BUCKETS};
+use crate::metrics::{self, bucket_upper, Histogram, MetricsSnapshot, BUCKETS};
 
 // ---------------------------------------------------------------------------
 // Prometheus text exposition
 // ---------------------------------------------------------------------------
+
+/// The version stamped into the `yinyang_build_info` gauge.
+const BUILD_VERSION: &str = env!("CARGO_PKG_VERSION");
 
 /// Maps a metric name onto the Prometheus charset: every character
 /// outside `[a-zA-Z0-9_:]` becomes `_` (so `span.solve` → `span_solve`),
@@ -62,44 +77,257 @@ pub fn sanitize_metric_name(name: &str) -> String {
     out
 }
 
+/// Writes the `# HELP` / `# TYPE` metadata pair for one metric.
+fn write_meta(out: &mut String, name: &str, kind: &str, help: &str) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Writes the fixed exposition header: the `yinyang_up` liveness marker
+/// (so scrapes of a freshly started process are non-empty) and the
+/// constant `yinyang_build_info` version gauge.
+fn write_header(out: &mut String) {
+    use std::fmt::Write as _;
+    write_meta(out, "yinyang_up", "gauge", "1 while the process is up and serving.");
+    let _ = writeln!(out, "yinyang_up 1");
+    write_meta(
+        out,
+        "yinyang_build_info",
+        "gauge",
+        "Constant 1; the version label identifies the build.",
+    );
+    let _ = writeln!(out, "yinyang_build_info{{version=\"{BUILD_VERSION}\"}} 1");
+}
+
+/// Writes one histogram as a cumulative `_bucket{le="..."}` series plus
+/// `_sum`/`_count`, optionally carrying an extra label pair (the fleet
+/// renderer passes `shard="i"`).
+fn write_histogram_series(out: &mut String, name: &str, label: Option<&str>, h: &Histogram) {
+    use std::fmt::Write as _;
+    let mut cumulative = 0u64;
+    for (i, count) in h.bucket_counts().iter().enumerate() {
+        cumulative += count;
+        let le = if i == BUCKETS - 1 { "+Inf".to_owned() } else { bucket_upper(i).to_string() };
+        let _ = match label {
+            Some(l) => writeln!(out, "{name}_bucket{{{l},le=\"{le}\"}} {cumulative}"),
+            None => writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}"),
+        };
+    }
+    let _ = match label {
+        Some(l) => writeln!(out, "{name}_sum{{{l}}} {}", h.sum()),
+        None => writeln!(out, "{name}_sum {}", h.sum()),
+    };
+    let _ = match label {
+        Some(l) => writeln!(out, "{name}_count{{{l}}} {}", h.count()),
+        None => writeln!(out, "{name}_count {}", h.count()),
+    };
+}
+
 /// Renders a [`MetricsSnapshot`] in the Prometheus text exposition
 /// format (version 0.0.4): counters and gauges one sample each,
 /// histograms as a cumulative `_bucket{le="..."}` series over the fixed
-/// base-2 bounds plus `_sum`/`_count`. Iteration order is the
-/// snapshot's own (sorted), so equal snapshots render identical bytes.
+/// base-2 bounds plus `_sum`/`_count`, every metric preceded by
+/// `# HELP`/`# TYPE` metadata. Iteration order is the snapshot's own
+/// (sorted), so equal snapshots render identical bytes.
 pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    // Liveness marker first, so scrapes of a freshly started process
-    // (nothing merged into the global registry yet) are still non-empty.
-    let _ = writeln!(out, "# TYPE yinyang_up gauge");
-    let _ = writeln!(out, "yinyang_up 1");
+    write_header(&mut out);
     for (name, value) in &snapshot.counters {
-        let name = sanitize_metric_name(name);
-        let _ = writeln!(out, "# TYPE {name} counter");
-        let _ = writeln!(out, "{name} {value}");
+        let prom = sanitize_metric_name(name);
+        write_meta(&mut out, &prom, "counter", &format!("Registry counter `{name}`."));
+        let _ = writeln!(out, "{prom} {value}");
     }
     for (name, value) in &snapshot.gauges {
-        let name = sanitize_metric_name(name);
-        let _ = writeln!(out, "# TYPE {name} gauge");
-        let _ = writeln!(out, "{name} {value}");
+        let prom = sanitize_metric_name(name);
+        write_meta(&mut out, &prom, "gauge", &format!("Registry gauge `{name}`."));
+        let _ = writeln!(out, "{prom} {value}");
     }
     for (name, histogram) in &snapshot.histograms {
-        let name = sanitize_metric_name(name);
-        let _ = writeln!(out, "# TYPE {name} histogram");
-        let mut cumulative = 0u64;
-        for (i, count) in histogram.bucket_counts().iter().enumerate() {
-            cumulative += count;
-            if i == BUCKETS - 1 {
-                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
-            } else {
-                let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cumulative}", bucket_upper(i));
-            }
-        }
-        let _ = writeln!(out, "{name}_sum {}", histogram.sum());
-        let _ = writeln!(out, "{name}_count {}", histogram.count());
+        let prom = sanitize_metric_name(name);
+        write_meta(&mut out, &prom, "histogram", &format!("Registry histogram `{name}`."));
+        write_histogram_series(&mut out, &prom, None, histogram);
     }
     out
+}
+
+/// Renders the federated fleet exposition: one `yinyang_shard_up`
+/// sample per scraped worker, then every metric as per-shard series
+/// carrying a `shard="i"` label plus — for counters and histograms,
+/// whose merge is a plain sum — an unlabeled fleet total. Gauges are
+/// per-process levels (coverage site counts, build info), so they stay
+/// per-shard only; summing them would fabricate a number no process
+/// ever reported.
+pub fn render_prometheus_fleet(shards: &[(String, MetricsSnapshot)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    write_header(&mut out);
+    if !shards.is_empty() {
+        write_meta(
+            &mut out,
+            "yinyang_shard_up",
+            "gauge",
+            "1 for every worker shard the supervisor has scraped.",
+        );
+        for (shard, _) in shards {
+            let _ = writeln!(out, "yinyang_shard_up{{shard=\"{shard}\"}} 1");
+        }
+    }
+    let mut total = MetricsSnapshot::default();
+    for (_, snapshot) in shards {
+        total.merge(snapshot);
+    }
+    for (name, total_value) in &total.counters {
+        let prom = sanitize_metric_name(name);
+        write_meta(
+            &mut out,
+            &prom,
+            "counter",
+            &format!("Fleet counter `{name}`: per-shard series plus unlabeled total."),
+        );
+        for (shard, snapshot) in shards {
+            if let Some(value) = snapshot.counters.get(name) {
+                let _ = writeln!(out, "{prom}{{shard=\"{shard}\"}} {value}");
+            }
+        }
+        let _ = writeln!(out, "{prom} {total_value}");
+    }
+    let gauge_names: BTreeSet<&String> = shards.iter().flat_map(|(_, s)| s.gauges.keys()).collect();
+    for name in gauge_names {
+        let prom = sanitize_metric_name(name);
+        write_meta(
+            &mut out,
+            &prom,
+            "gauge",
+            &format!("Fleet gauge `{name}`: per-shard series (per-process level, not summed)."),
+        );
+        for (shard, snapshot) in shards {
+            if let Some(value) = snapshot.gauges.get(name) {
+                let _ = writeln!(out, "{prom}{{shard=\"{shard}\"}} {value}");
+            }
+        }
+    }
+    for (name, total_histogram) in &total.histograms {
+        let prom = sanitize_metric_name(name);
+        write_meta(
+            &mut out,
+            &prom,
+            "histogram",
+            &format!("Fleet histogram `{name}`: per-shard series plus unlabeled total."),
+        );
+        for (shard, snapshot) in shards {
+            if let Some(histogram) = snapshot.histograms.get(name) {
+                write_histogram_series(
+                    &mut out,
+                    &prom,
+                    Some(&format!("shard=\"{shard}\"")),
+                    histogram,
+                );
+            }
+        }
+        write_histogram_series(&mut out, &prom, None, total_histogram);
+    }
+    out
+}
+
+/// Parses a Prometheus text exposition produced by [`render_prometheus`]
+/// back into a [`MetricsSnapshot`] — the supervisor side of the fleet
+/// scrape. Histogram buckets arrive cumulative and come back as
+/// per-bucket counts (the series must be monotone and carry all
+/// [`BUCKETS`] entries); `yinyang_up`, `yinyang_build_info`, and
+/// `yinyang_shard_up` are exposition furniture, not registry metrics,
+/// and are skipped. Names come back sanitized (`span_solve`, not
+/// `span.solve`): the result feeds the federated re-render, never a
+/// report merge, and [`sanitize_metric_name`] is idempotent on it.
+pub fn parse_prometheus(text: &str) -> Result<MetricsSnapshot, String> {
+    struct HistAcc {
+        cumulative: Vec<u64>,
+        sum: u64,
+    }
+    let mut kinds: BTreeMap<String, String> = BTreeMap::new();
+    let mut hists: BTreeMap<String, HistAcc> = BTreeMap::new();
+    let mut snapshot = MetricsSnapshot::default();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let err = |what: &str| format!("line {}: {what}: `{raw}`", lineno + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            match (it.next(), it.next()) {
+                (Some(name), Some(kind)) => {
+                    kinds.insert(name.to_owned(), kind.to_owned());
+                }
+                _ => return Err(err("malformed TYPE line")),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP and comments
+        }
+        let (series, value) = line.rsplit_once(' ').ok_or_else(|| err("malformed sample"))?;
+        let name = match series.split_once('{') {
+            Some((name, labels)) if labels.ends_with('}') => name,
+            Some(_) => return Err(err("unterminated label set")),
+            None => series,
+        };
+        if matches!(name, "yinyang_up" | "yinyang_build_info" | "yinyang_shard_up") {
+            continue;
+        }
+        let is_hist = |base: &str| kinds.get(base).map(String::as_str) == Some("histogram");
+        if let Some(base) = name.strip_suffix("_bucket").filter(|b| is_hist(b)) {
+            let count: u64 = value.parse().map_err(|_| err("non-integer bucket count"))?;
+            let acc = hists
+                .entry(base.to_owned())
+                .or_insert_with(|| HistAcc { cumulative: Vec::new(), sum: 0 });
+            if acc.cumulative.len() >= BUCKETS {
+                return Err(err("too many bucket entries"));
+            }
+            acc.cumulative.push(count);
+            continue;
+        }
+        if let Some(base) = name.strip_suffix("_sum").filter(|b| is_hist(b)) {
+            let sum: u64 = value.parse().map_err(|_| err("non-integer histogram sum"))?;
+            hists
+                .entry(base.to_owned())
+                .or_insert_with(|| HistAcc { cumulative: Vec::new(), sum: 0 })
+                .sum = sum;
+            continue;
+        }
+        if name.strip_suffix("_count").filter(|b| is_hist(b)).is_some() {
+            continue; // implied by the bucket series
+        }
+        match kinds.get(name).map(String::as_str) {
+            Some("gauge") => {
+                let v: i64 = value.parse().map_err(|_| err("non-integer gauge value"))?;
+                snapshot.gauges.insert(name.to_owned(), v);
+            }
+            _ => {
+                let v: u64 = value.parse().map_err(|_| err("non-integer counter value"))?;
+                snapshot.counters.insert(name.to_owned(), v);
+            }
+        }
+    }
+    for (name, acc) in hists {
+        if acc.cumulative.len() != BUCKETS {
+            return Err(format!(
+                "histogram `{name}` has {} bucket entries, want {BUCKETS}",
+                acc.cumulative.len()
+            ));
+        }
+        let mut buckets = [0u64; BUCKETS];
+        let mut last = 0u64;
+        for (i, cumulative) in acc.cumulative.iter().enumerate() {
+            buckets[i] = cumulative
+                .checked_sub(last)
+                .ok_or_else(|| format!("histogram `{name}` bucket series is not monotone"))?;
+            last = *cumulative;
+        }
+        snapshot.histograms.insert(name, Histogram::from_parts(buckets, acc.sum));
+    }
+    Ok(snapshot)
 }
 
 // ---------------------------------------------------------------------------
@@ -267,24 +495,44 @@ impl CampaignProgress {
 // ---------------------------------------------------------------------------
 
 const IO_TIMEOUT: Duration = Duration::from_secs(5);
+/// Longest request line accepted before the server answers 414.
+const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Longest single header line accepted before the server answers 431.
+const MAX_HEADER_LINE: usize = 8 * 1024;
+/// Most header lines accepted before the server answers 431.
+const MAX_HEADERS: usize = 128;
+
+/// An endpoint handler: maps `(method, target)` onto
+/// `(status line, content type, body)`. [`StatusServer::start`] uses the
+/// built-in campaign endpoints; a fleet supervisor passes its own via
+/// [`StatusServer::start_with_handler`] to serve federated content over
+/// the same (hardened) HTTP loop.
+pub type Handler = Arc<dyn Fn(&str, &str) -> (&'static str, &'static str, String) + Send + Sync>;
 
 /// Handle to a running status server. Dropping it (or calling
 /// [`StatusServer::shutdown`]) stops the accept loop and joins the
 /// server thread.
 pub struct StatusServer {
     addr: SocketAddr,
-    stop: std::sync::Arc<AtomicBool>,
+    stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
 }
 
 impl StatusServer {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
-    /// starts serving on a dedicated thread.
+    /// starts serving the built-in campaign endpoints on a dedicated
+    /// thread.
     pub fn start(addr: &str) -> std::io::Result<StatusServer> {
+        StatusServer::start_with_handler(addr, Arc::new(respond))
+    }
+
+    /// Like [`StatusServer::start`], but with a caller-supplied endpoint
+    /// handler (the fleet supervisor's federated view).
+    pub fn start_with_handler(addr: &str, handler: Handler) -> std::io::Result<StatusServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let stop = std::sync::Arc::new(AtomicBool::new(false));
-        let thread_stop = std::sync::Arc::clone(&stop);
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
         let handle =
             std::thread::Builder::new().name("yinyang-status".to_owned()).spawn(move || {
                 for stream in listener.incoming() {
@@ -292,7 +540,7 @@ impl StatusServer {
                         break;
                     }
                     if let Ok(stream) = stream {
-                        let _ = handle_client(stream);
+                        let _ = handle_client(stream, &handler);
                     }
                 }
             })?;
@@ -325,23 +573,119 @@ impl Drop for StatusServer {
     }
 }
 
-fn handle_client(stream: TcpStream) -> std::io::Result<()> {
+/// Reads one CRLF/LF-terminated line of at most `limit` bytes, without
+/// the terminator. `Ok(None)` means the line ran past the limit (the
+/// rest of the line is discarded, bounded, so the 4xx response isn't
+/// reset away by unread input at close); `Ok(Some(""))` covers both a
+/// blank line and a clean EOF (the caller distinguishes by position:
+/// EOF before any request bytes is a client that connected and closed,
+/// which gets a silent drop).
+fn read_line_limited(reader: &mut impl BufRead, limit: usize) -> std::io::Result<Option<String>> {
+    const OVERFLOW_DRAIN: usize = 1 << 20;
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match reader.read(&mut byte)? {
+            0 => break,
+            _ => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                line.push(byte[0]);
+                if line.len() > limit {
+                    let mut drained = 0usize;
+                    while drained < OVERFLOW_DRAIN {
+                        match reader.read(&mut byte) {
+                            Ok(0) | Err(_) => break,
+                            Ok(_) if byte[0] == b'\n' => break,
+                            Ok(_) => drained += 1,
+                        }
+                    }
+                    return Ok(None);
+                }
+            }
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    Ok(Some(String::from_utf8_lossy(&line).into_owned()))
+}
+
+/// Consumes buffered request lines up to the blank separator (bounded),
+/// so an error response written right before close isn't clobbered by a
+/// TCP reset over unread input.
+fn drain_request(reader: &mut impl BufRead) {
+    for _ in 0..MAX_HEADERS {
+        match read_line_limited(reader, MAX_HEADER_LINE) {
+            Ok(Some(line)) if !line.is_empty() => {}
+            _ => break,
+        }
+    }
+}
+
+fn handle_client(stream: TcpStream, handler: &Handler) -> std::io::Result<()> {
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
     let mut reader = BufReader::new(stream);
-    let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
-    loop {
-        let mut header = String::new();
-        if reader.read_line(&mut header)? == 0 || header == "\r\n" || header == "\n" {
-            break;
+    let request_line = match read_line_limited(&mut reader, MAX_REQUEST_LINE)? {
+        None => {
+            drain_request(&mut reader);
+            return write_response(
+                reader.into_inner(),
+                "414 URI Too Long",
+                "text/plain; charset=utf-8",
+                "request line too long\n",
+            );
         }
+        Some(line) => line,
+    };
+    if request_line.is_empty() {
+        // Connected and closed (or sent a bare newline) without a
+        // request: nothing to answer, drop cleanly.
+        return Ok(());
+    }
+    let mut headers_done = false;
+    for _ in 0..MAX_HEADERS {
+        match read_line_limited(&mut reader, MAX_HEADER_LINE)? {
+            None => break,
+            Some(header) if header.is_empty() => {
+                headers_done = true;
+                break;
+            }
+            Some(_) => {}
+        }
+    }
+    if !headers_done {
+        drain_request(&mut reader);
+        return write_response(
+            reader.into_inner(),
+            "431 Request Header Fields Too Large",
+            "text/plain; charset=utf-8",
+            "too many or too large headers\n",
+        );
     }
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or("");
     let target = parts.next().unwrap_or("");
-    let (status, content_type, body) = respond(method, target);
-    let mut stream = reader.into_inner();
+    if method.is_empty() {
+        return write_response(
+            reader.into_inner(),
+            "400 Bad Request",
+            "text/plain; charset=utf-8",
+            "malformed request line\n",
+        );
+    }
+    let (status, content_type, body) = handler(method, target);
+    write_response(reader.into_inner(), status, content_type, &body)
+}
+
+fn write_response(
+    mut stream: TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
     write!(
         stream,
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\
@@ -372,10 +716,41 @@ fn respond(method: &str, target: &str) -> (&'static str, &'static str, String) {
 
 /// A plain-`TcpStream` HTTP/1.1 GET (the `yinyang fetch` subcommand and
 /// the CI smoke gate use this instead of curl). Returns the status code
-/// and body.
+/// and body. One connect attempt; see [`http_get_retry`] for the
+/// backoff variant used against just-spawned servers.
 pub fn http_get(addr: &str, path: &str) -> Result<(u16, String), String> {
-    let mut stream =
-        TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    http_get_retry(addr, path, 1, Duration::ZERO)
+}
+
+/// [`http_get`] with a bounded connect retry: up to `attempts` connects,
+/// sleeping `backoff` between them, retrying *only* connection-refused
+/// (the port isn't listening yet — the one transient failure a
+/// just-spawned server produces). Any other error, and any failure after
+/// a connect succeeds, is returned immediately.
+pub fn http_get_retry(
+    addr: &str,
+    path: &str,
+    attempts: u32,
+    backoff: Duration,
+) -> Result<(u16, String), String> {
+    let attempts = attempts.max(1);
+    let mut last = String::new();
+    for attempt in 0..attempts {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return http_get_on(stream, addr, path),
+            Err(e) => {
+                last = format!("cannot connect to {addr}: {e}");
+                if e.kind() != std::io::ErrorKind::ConnectionRefused || attempt + 1 == attempts {
+                    return Err(last);
+                }
+                std::thread::sleep(backoff);
+            }
+        }
+    }
+    Err(last)
+}
+
+fn http_get_on(mut stream: TcpStream, addr: &str, path: &str) -> Result<(u16, String), String> {
     stream.set_read_timeout(Some(IO_TIMEOUT)).map_err(|e| e.to_string())?;
     stream.set_write_timeout(Some(IO_TIMEOUT)).map_err(|e| e.to_string())?;
     write!(stream, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
@@ -419,6 +794,46 @@ mod tests {
         let text = render_prometheus(&snap);
         assert!(text.contains("# TYPE fusion_attempts counter\nfusion_attempts 42\n"), "{text}");
         assert!(text.contains("# TYPE coverage_lines gauge\ncoverage_lines -3\n"), "{text}");
+    }
+
+    #[test]
+    fn every_type_line_is_preceded_by_a_help_line() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("fusion.attempts".into(), 42);
+        snap.gauges.insert("coverage.lines".into(), -3);
+        snap.histograms.insert("span.solve".into(), Histogram::new());
+        let text = render_prometheus(&snap);
+        let lines: Vec<&str> = text.lines().collect();
+        let mut type_lines = 0;
+        for (i, line) in lines.iter().enumerate() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                type_lines += 1;
+                let name = rest.split_whitespace().next().unwrap();
+                assert!(i > 0, "{line}");
+                assert!(
+                    lines[i - 1].starts_with(&format!("# HELP {name} ")),
+                    "TYPE without preceding HELP: {line} (before: {})",
+                    lines[i - 1]
+                );
+            }
+        }
+        // up + build_info + the three registry metrics.
+        assert_eq!(type_lines, 5, "{text}");
+        // The HELP text keeps the original dotted name visible.
+        assert!(text.contains("# HELP span_solve Registry histogram `span.solve`."), "{text}");
+    }
+
+    #[test]
+    fn build_info_carries_the_crate_version() {
+        let text = render_prometheus(&MetricsSnapshot::default());
+        assert!(text.contains("# TYPE yinyang_build_info gauge\n"), "{text}");
+        assert!(
+            text.contains(&format!(
+                "yinyang_build_info{{version=\"{}\"}} 1\n",
+                env!("CARGO_PKG_VERSION")
+            )),
+            "{text}"
+        );
     }
 
     #[test]
@@ -478,6 +893,81 @@ mod tests {
         let text = render_prometheus(&snap);
         assert_eq!(text, render_prometheus(&snap.clone()));
         assert!(text.find("# TYPE a counter").unwrap() < text.find("# TYPE b counter").unwrap());
+    }
+
+    #[test]
+    fn parse_prometheus_roundtrips_a_rendered_snapshot() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 7, 7, 300, 1 << 20] {
+            h.record(v);
+        }
+        let mut snap = MetricsSnapshot::default();
+        // Names already on the Prometheus charset, so sanitize is a
+        // no-op and the roundtrip is exact.
+        snap.counters.insert("fusion_attempts".into(), 42);
+        snap.counters.insert("tests_total".into(), 9001);
+        snap.gauges.insert("coverage_lines".into(), -3);
+        snap.gauges.insert("pool_threads".into(), 8);
+        snap.histograms.insert("span_solve".into(), h);
+        let parsed = parse_prometheus(&render_prometheus(&snap)).expect("parse");
+        assert_eq!(parsed, snap);
+        // And the reparse of the re-render too (idempotence).
+        assert_eq!(parse_prometheus(&render_prometheus(&parsed)).expect("reparse"), parsed);
+    }
+
+    #[test]
+    fn parse_prometheus_rejects_garbage() {
+        assert!(parse_prometheus("not a metric at all").is_err());
+        assert!(parse_prometheus("x{unterminated 3").is_err());
+        // A declared histogram with a short bucket series is an error.
+        let text = "# TYPE h histogram\nh_bucket{le=\"0\"} 1\nh_sum 0\nh_count 1\n";
+        assert!(parse_prometheus(text).unwrap_err().contains("bucket entries"));
+        // Non-monotone cumulative series.
+        let mut text = String::from("# TYPE h histogram\n");
+        for i in 0..BUCKETS {
+            let le = if i == BUCKETS - 1 { "+Inf".to_owned() } else { bucket_upper(i).to_string() };
+            let count = if i == 5 { 0 } else { 10 };
+            text.push_str(&format!("h_bucket{{le=\"{le}\"}} {count}\n"));
+        }
+        assert!(parse_prometheus(&text).unwrap_err().contains("monotone"));
+    }
+
+    #[test]
+    fn fleet_rendering_labels_shards_and_sums_totals() {
+        let mut h0 = Histogram::new();
+        h0.record(1);
+        let mut h1 = Histogram::new();
+        h1.record(1);
+        h1.record(100);
+        let mut s0 = MetricsSnapshot::default();
+        s0.counters.insert("tests.total".into(), 4);
+        s0.gauges.insert("coverage.lines".into(), 7);
+        s0.histograms.insert("span.solve".into(), h0);
+        let mut s1 = MetricsSnapshot::default();
+        s1.counters.insert("tests.total".into(), 6);
+        s1.gauges.insert("coverage.lines".into(), 9);
+        s1.histograms.insert("span.solve".into(), h1);
+        let text = render_prometheus_fleet(&[("0".to_owned(), s0), ("1".to_owned(), s1)]);
+        // Liveness per shard.
+        assert!(text.contains("yinyang_shard_up{shard=\"0\"} 1\n"), "{text}");
+        assert!(text.contains("yinyang_shard_up{shard=\"1\"} 1\n"), "{text}");
+        // Counters: labeled series plus unlabeled sum.
+        assert!(text.contains("tests_total{shard=\"0\"} 4\n"), "{text}");
+        assert!(text.contains("tests_total{shard=\"1\"} 6\n"), "{text}");
+        assert!(text.contains("\ntests_total 10\n"), "{text}");
+        // Gauges: per-shard only, never summed.
+        assert!(text.contains("coverage_lines{shard=\"0\"} 7\n"), "{text}");
+        assert!(text.contains("coverage_lines{shard=\"1\"} 9\n"), "{text}");
+        assert!(!text.contains("\ncoverage_lines 16\n"), "{text}");
+        // Histograms: labeled bucket series plus an unlabeled merged one.
+        assert!(text.contains("span_solve_bucket{shard=\"1\",le=\"+Inf\"} 2\n"), "{text}");
+        assert!(text.contains("span_solve_bucket{le=\"+Inf\"} 3\n"), "{text}");
+        assert!(text.contains("span_solve_count{shard=\"0\"} 1\n"), "{text}");
+        assert!(text.contains("\nspan_solve_count 3\n"), "{text}");
+        assert!(text.contains("\nspan_solve_sum 102\n"), "{text}");
+        // Metadata renders once per metric, not per shard.
+        assert_eq!(text.matches("# TYPE tests_total counter").count(), 1, "{text}");
+        assert_eq!(text.matches("# TYPE span_solve histogram").count(), 1, "{text}");
     }
 
     #[test]
@@ -546,5 +1036,69 @@ mod tests {
         // bind an ephemeral port again immediately.
         let again = StatusServer::start("127.0.0.1:0").expect("rebind");
         again.shutdown();
+    }
+
+    /// Sends raw bytes and returns the status line (empty on EOF).
+    fn raw_request(addr: &str, bytes: &[u8]) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(IO_TIMEOUT)).unwrap();
+        stream.write_all(bytes).expect("write");
+        let mut response = String::new();
+        let _ = stream.read_to_string(&mut response);
+        response.lines().next().unwrap_or("").to_owned()
+    }
+
+    #[test]
+    fn hostile_requests_get_4xx_without_wedging_the_accept_loop() {
+        let server = StatusServer::start("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr().to_string();
+
+        // Bad method.
+        assert_eq!(
+            raw_request(&addr, b"POST /metrics HTTP/1.1\r\n\r\n"),
+            "HTTP/1.1 405 Method Not Allowed"
+        );
+        // Oversized request line.
+        let mut huge = vec![b'A'; MAX_REQUEST_LINE + 100];
+        huge.extend_from_slice(b"\r\n\r\n");
+        assert_eq!(raw_request(&addr, &huge), "HTTP/1.1 414 URI Too Long");
+        // Runaway headers.
+        let mut many = b"GET /healthz HTTP/1.1\r\n".to_vec();
+        for _ in 0..(MAX_HEADERS + 10) {
+            many.extend_from_slice(b"X-Spam: 1\r\n");
+        }
+        many.extend_from_slice(b"\r\n");
+        assert_eq!(raw_request(&addr, &many), "HTTP/1.1 431 Request Header Fields Too Large");
+        // Blank request line (bare CRLF) is a 400-free clean drop...
+        assert_eq!(raw_request(&addr, b"\r\n"), "");
+        // ...while whitespace garbage without a method still errors.
+        assert_eq!(raw_request(&addr, b"GET\r\n\r\n"), "HTTP/1.1 404 Not Found");
+        // Connect-and-close without writing a byte: clean drop.
+        drop(TcpStream::connect(&addr).expect("connect"));
+
+        // After all of the above, the accept loop still answers.
+        let (code, body) = http_get(&addr, "/healthz").unwrap();
+        assert_eq!((code, body.as_str()), (200, "ok\n"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn http_get_retry_rides_out_connection_refused() {
+        // Grab an ephemeral port, release it, and bind it back after a
+        // delay: the first connects are refused, the retry succeeds.
+        let probe = TcpListener::bind("127.0.0.1:0").expect("probe bind");
+        let addr = probe.local_addr().unwrap().to_string();
+        drop(probe);
+        // Single attempt fails fast while nothing listens.
+        assert!(http_get(&addr, "/healthz").is_err());
+        let bind_addr = addr.clone();
+        let server = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            StatusServer::start(&bind_addr).expect("delayed bind")
+        });
+        let (code, body) =
+            http_get_retry(&addr, "/healthz", 40, Duration::from_millis(50)).expect("retry");
+        assert_eq!((code, body.as_str()), (200, "ok\n"));
+        server.join().expect("join").shutdown();
     }
 }

@@ -1,0 +1,111 @@
+//! Property: the fleet merge law for metrics snapshots.
+//!
+//! `yinyang fleet` partitions a round's job list over worker processes by
+//! `index % shards` and each worker accumulates its own jobs' metric
+//! deltas in job order. The supervisor's report is only byte-identical to
+//! the single-process run if merging those shard-local snapshots — in
+//! shard order — reproduces the snapshot a single process builds by
+//! merging every job delta in global job order: every counter, every
+//! gauge, and every histogram bucket. Counters and histogram buckets are
+//! additive (order-free); gauges are last-write-wins and therefore only
+//! merge-order-safe when applied identically on both sides, which is how
+//! the campaign uses them (set once at the report boundary, never inside
+//! job deltas).
+
+use yinyang_rt::{props, MetricsSnapshot, Rng, StdRng};
+
+const COUNTERS: &[&str] = &["tests.total", "solver.sat.decisions", "solver.simplex.pivots"];
+const HISTOGRAMS: &[&str] = &["span.solve", "span.fusion", "span.oracle"];
+
+/// One job's private metrics delta, as `run_test` would return it.
+fn random_job_delta(rng: &mut StdRng) -> MetricsSnapshot {
+    let mut delta = MetricsSnapshot::default();
+    for name in COUNTERS {
+        if rng.random_range(0u32..4) > 0 {
+            delta.counters.insert((*name).to_owned(), rng.random_range(0u64..1000));
+        }
+    }
+    for name in HISTOGRAMS {
+        if rng.random_range(0u32..4) > 0 {
+            let h = delta.histograms.entry((*name).to_owned()).or_default();
+            for _ in 0..rng.random_range(1usize..8) {
+                // Spread samples across many base-2 buckets, including the
+                // zero bucket and values past the 2^30 saturation point.
+                let magnitude = rng.random_range(1u32..34);
+                h.record(rng.random_range(0u64..1 << magnitude));
+            }
+        }
+    }
+    delta
+}
+
+/// Gauges are applied at the report boundary, identically in fleet and
+/// single-process mode; they must survive the merge unchanged.
+fn apply_report_gauges(snapshot: &mut MetricsSnapshot) {
+    snapshot.gauges.insert("coverage.lines.sites".to_owned(), 123);
+    snapshot.gauges.insert("coverage.branches.hits".to_owned(), -7);
+}
+
+fn merge_law_holds(seed: u64, jobs: usize, shards: usize) {
+    let deltas: Vec<MetricsSnapshot> = {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..jobs).map(|_| random_job_delta(&mut rng)).collect()
+    };
+
+    // Single process: every job delta merged in global job order.
+    let mut sequential = MetricsSnapshot::default();
+    for delta in &deltas {
+        sequential.merge(delta);
+    }
+    apply_report_gauges(&mut sequential);
+
+    // Fleet: shard k owns the jobs with index % shards == k and merges
+    // them in job order; the supervisor then merges the shard-local
+    // snapshots in shard order.
+    let mut fleet = MetricsSnapshot::default();
+    for shard in 0..shards {
+        let mut local = MetricsSnapshot::default();
+        for (index, delta) in deltas.iter().enumerate() {
+            if index % shards == shard {
+                local.merge(delta);
+            }
+        }
+        fleet.merge(&local);
+    }
+    apply_report_gauges(&mut fleet);
+
+    // Structural equality covers counters, gauges, and histogram
+    // count/sum; compare raw per-bucket counts explicitly as well so a
+    // bucket-level regression cannot hide behind matching totals.
+    assert_eq!(sequential, fleet, "seed {seed}, {jobs} jobs over {shards} shards");
+    assert_eq!(
+        sequential.histograms.keys().collect::<Vec<_>>(),
+        fleet.histograms.keys().collect::<Vec<_>>()
+    );
+    for (name, h) in &sequential.histograms {
+        assert_eq!(
+            h.bucket_counts(),
+            fleet.histograms[name].bucket_counts(),
+            "histogram {name} buckets diverged (seed {seed}, {shards} shards)"
+        );
+    }
+}
+
+props! {
+    cases: 32;
+
+    fn shard_merge_in_shard_order_equals_sequential_merge(
+        seed in |r: &mut StdRng| r.random_range(0u64..1 << 32),
+        jobs in |r: &mut StdRng| r.random_range(1usize..48),
+        shards in |r: &mut StdRng| r.random_range(1usize..7)
+    ) {
+        merge_law_holds(seed, jobs, shards);
+    }
+
+    fn single_shard_fleet_is_the_identity(
+        seed in |r: &mut StdRng| r.random_range(0u64..1 << 32),
+        jobs in |r: &mut StdRng| r.random_range(1usize..32)
+    ) {
+        merge_law_holds(seed, jobs, 1);
+    }
+}

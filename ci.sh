@@ -20,16 +20,39 @@ echo "==> telemetry smoke gate"
 # must be byte-identical replays across thread counts.
 SMOKE=target/telemetry-smoke
 mkdir -p "$SMOKE"
-target/release/yinyang fuzz --iterations 2 --rounds 1 --seed 7 --threads 1 \
-    --json --trace "$SMOKE/seq.jsonl" > "$SMOKE/seq.json"
-target/release/yinyang fuzz --iterations 2 --rounds 1 --seed 7 --threads 3 \
-    --json --trace "$SMOKE/par.jsonl" > "$SMOKE/par.json"
+# These runs use the staged fuse/solve pipeline (the fuzz default); the
+# timeout is the reorder-buffer watchdog — a deadlocked collector hangs
+# forever rather than finishing slowly, so a hard cap is the right gate.
+timeout 300 target/release/yinyang fuzz --iterations 2 --rounds 1 --seed 7 \
+    --threads 1 --json --trace "$SMOKE/seq.jsonl" > "$SMOKE/seq.json"
+timeout 300 target/release/yinyang fuzz --iterations 2 --rounds 1 --seed 7 \
+    --threads 3 --json --trace "$SMOKE/par.jsonl" > "$SMOKE/par.json"
 cmp "$SMOKE/seq.json" "$SMOKE/par.json"
 cmp "$SMOKE/seq.jsonl" "$SMOKE/par.jsonl"
 target/release/yinyang trace-check "$SMOKE/seq.jsonl" > /dev/null
 grep -q '"telemetry"' "$SMOKE/seq.json"
 grep -q '"stages"' "$SMOKE/seq.json"
 grep -q '"solver.sat.decisions"' "$SMOKE/seq.json"
+
+echo "==> pipeline differential gate"
+# The pipelined executor may only change job *timing*, never report or
+# trace bytes: the lockstep fork/join reference (--no-pipeline) must
+# reproduce the telemetry gate's pipelined outputs exactly, at both
+# thread counts. This is the executor's end-to-end differential — the
+# in-process version lives in crates/campaign/tests/pipeline_props.rs.
+PIPE=target/pipeline-smoke
+rm -rf "$PIPE"
+mkdir -p "$PIPE"
+timeout 300 target/release/yinyang fuzz --iterations 2 --rounds 1 --seed 7 \
+    --threads 1 --no-pipeline --json --trace "$PIPE/lockstep1.jsonl" \
+    > "$PIPE/lockstep1.json"
+timeout 300 target/release/yinyang fuzz --iterations 2 --rounds 1 --seed 7 \
+    --threads 3 --no-pipeline --json --trace "$PIPE/lockstep3.jsonl" \
+    > "$PIPE/lockstep3.json"
+cmp "$SMOKE/seq.json" "$PIPE/lockstep1.json"
+cmp "$SMOKE/seq.jsonl" "$PIPE/lockstep1.jsonl"
+cmp "$SMOKE/par.json" "$PIPE/lockstep3.json"
+cmp "$SMOKE/par.jsonl" "$PIPE/lockstep3.jsonl"
 
 echo "==> forensics smoke gate"
 # A faulted campaign must yield at least one reproduction bundle whose
@@ -154,6 +177,14 @@ grep -q '^yinyang_build_info{version="' "$STATUS/metrics.txt"
 grep -q '^# TYPE span_solve histogram$' "$STATUS/metrics.txt"
 grep -q 'span_solve_bucket{le="+Inf"}' "$STATUS/metrics.txt"
 grep -q '^span_solve_count ' "$STATUS/metrics.txt"
+# The staged executor's own telemetry: queue/occupancy gauges and the
+# per-stage wall-time histograms (global-registry only — they never
+# appear in reports, which stay byte-identical to lockstep runs).
+grep -q '^# HELP pipeline_queue_depth ' "$STATUS/metrics.txt"
+grep -q '^# TYPE pipeline_queue_depth gauge$' "$STATUS/metrics.txt"
+grep -q '^pipeline_stage2_workers 3$' "$STATUS/metrics.txt"
+grep -q '^# TYPE span_pipeline_stage1 histogram$' "$STATUS/metrics.txt"
+grep -q 'span_pipeline_stage2_bucket{le="+Inf"}' "$STATUS/metrics.txt"
 kill "$FUZZ_PID" 2>/dev/null || true
 wait "$FUZZ_PID" 2>/dev/null || true
 # Exporters: valid outputs, byte-identical across reruns.
@@ -177,11 +208,45 @@ echo "==> fleet smoke gate"
 FLEET=target/fleet-smoke
 rm -rf "$FLEET"
 mkdir -p "$FLEET"
-target/release/yinyang fleet --shards 2 --iterations 2 --rounds 1 --seed 7 \
-    --threads 1 --partial-dir "$FLEET/parts" \
-    --json --trace "$FLEET/merged.jsonl" > "$FLEET/merged.json"
+# Healthy leg, backgrounded with a post-run hold: the supervisor emits
+# the merged report, then keeps the federated endpoints (and the held
+# workers) up long enough to scrape the per-shard series.
+YINYANG_STATUS_HOLD_MS=20000 target/release/yinyang fleet --shards 2 \
+    --iterations 2 --rounds 1 --seed 7 --threads 1 \
+    --partial-dir "$FLEET/parts" --status-addr 127.0.0.1:0 \
+    --json --trace "$FLEET/merged.jsonl" > "$FLEET/merged.json" \
+    2> "$FLEET/healthy-stderr.txt" &
+HEALTHY_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's|.*fleet status server listening on http://\([0-9.:]*\).*|\1|p' \
+        "$FLEET/healthy-stderr.txt" | head -n 1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+test -n "$ADDR"
+# Wait for the merged report, then check it replays the single-process
+# bytes exactly.
+for _ in $(seq 1 300); do
+    cmp -s "$SMOKE/seq.json" "$FLEET/merged.json" && break
+    sleep 0.1
+done
 cmp "$SMOKE/seq.json" "$FLEET/merged.json"
 cmp "$SMOKE/seq.jsonl" "$FLEET/merged.jsonl"
+# During the hold the workers are still scrapeable: the federated
+# /metrics must re-export their staged-executor gauges and per-stage
+# histograms as shard-labeled series with HELP metadata.
+for _ in $(seq 1 100); do
+    target/release/yinyang fetch "$ADDR" /metrics > "$FLEET/metrics-healthy.txt" || true
+    grep -q 'pipeline_queue_depth{shard="1"}' "$FLEET/metrics-healthy.txt" && break
+    sleep 0.1
+done
+grep -q '^# HELP pipeline_queue_depth ' "$FLEET/metrics-healthy.txt"
+grep -q 'pipeline_queue_depth{shard="0"}' "$FLEET/metrics-healthy.txt"
+grep -q 'pipeline_queue_depth{shard="1"}' "$FLEET/metrics-healthy.txt"
+grep -q 'span_pipeline_stage2_count{shard="0"}' "$FLEET/metrics-healthy.txt"
+kill "$HEALTHY_PID" 2>/dev/null || true
+wait "$HEALTHY_PID" 2>/dev/null || true
 # Degraded leg: stall the workers so the kill lands before their round-0
 # partials exist, forcing the supervisor down the dead-shard path.
 YINYANG_FLEET_STALL_MS=6000 target/release/yinyang fleet --shards 2 \
@@ -227,5 +292,15 @@ grep -q "shard 1" "$FLEET/stderr.txt"
 echo "==> bench report regeneration (fast mode)"
 YINYANG_BENCH_FAST=1 cargo bench --offline -p yinyang-bench --bench throughput
 test -s crates/bench/target/yinyang-bench/report.json
+
+echo "==> pipeline bench smoke (fast mode)"
+# Fast-mode sanity only — the committed BENCH_pipeline.json comes from a
+# full run of the command documented in crates/bench/benches/pipeline.rs.
+# Absolute output path: cargo runs benches from the package directory.
+YINYANG_BENCH_FAST=1 YINYANG_BENCH_PIPELINE_OUT="$PWD/$PIPE/BENCH_pipeline.json" \
+    cargo bench --offline -p yinyang-bench --bench pipeline
+test -s "$PIPE/BENCH_pipeline.json"
+grep -q '"mixed_fuse_solve"' "$PIPE/BENCH_pipeline.json"
+grep -q '"speedup"' "$PIPE/BENCH_pipeline.json"
 
 echo "CI green."

@@ -1,0 +1,225 @@
+//! Campaign throughput: the staged fuse/solve pipeline executor
+//! (`rt::pipeline`, the `fuzz` default) against the lockstep fork/join
+//! reference (`--no-pipeline`).
+//!
+//! Two workloads, both recorded into `BENCH_pipeline.json`:
+//!
+//! * **mixed fuse/solve** — real `Fuser` fusion feeding a solve stage
+//!   that blocks on a fixed latency, modelling the paper's production
+//!   deployment where the solver under test is an external process and
+//!   the campaign thread *waits* rather than computes. This is where
+//!   pipelining structurally wins: lockstep couples every worker's cycle
+//!   to `fuse + solve`, the pipeline dedicates all `--threads` workers to
+//!   solving and oversubscribes fusion onto a feeder thread, so per-item
+//!   cost drops from `(fuse + solve) / threads` to `solve / threads`.
+//! * **in-process campaign** — the repo's own Fig. 8 campaign, where the
+//!   "solver" is an in-process simulation and the workload is pure CPU.
+//!   Reported for honesty: on a machine with fewer free cores than
+//!   `--threads` the two executors are CPU-bound to the same rate, so
+//!   expect parity there and the structural win on the mixed workload.
+//!
+//! Reproduce the committed numbers with:
+//!
+//! ```sh
+//! YINYANG_BENCH_PIPELINE_OUT=$PWD/BENCH_pipeline.json \
+//!     cargo bench --offline -p yinyang-bench --bench pipeline
+//! ```
+//!
+//! (`YINYANG_BENCH_FAST=1` shrinks item counts and sample counts for the
+//! CI smoke run.)
+
+use std::time::{Duration, Instant};
+use yinyang_campaign::config::CampaignConfig;
+use yinyang_campaign::run_campaign;
+use yinyang_core::{Fuser, Oracle};
+use yinyang_faults::SolverId;
+use yinyang_rt::json::Json;
+use yinyang_rt::pipeline::{pipeline_map, PipelineConfig};
+use yinyang_rt::pool::parallel_map;
+use yinyang_rt::{criterion_group, criterion_main, Criterion, Rng, StdRng};
+use yinyang_seedgen::{Seed, SeedGenerator};
+use yinyang_smtlib::Logic;
+
+/// Stage-2 width both executors get; the pipeline oversubscribes its
+/// feeder thread on top, exactly as `fuzz --threads 4` would.
+const THREADS: usize = 4;
+/// Simulated external-solver latency for the mixed workload.
+const SOLVE_LATENCY: Duration = Duration::from_millis(4);
+
+fn fast() -> bool {
+    std::env::var_os("YINYANG_BENCH_FAST").is_some()
+}
+
+fn mixed_items() -> usize {
+    if fast() {
+        16
+    } else {
+        64
+    }
+}
+
+fn samples() -> usize {
+    if fast() {
+        1
+    } else {
+        3
+    }
+}
+
+/// The mixed workload's fuse stage: draw a decorrelated pair and fuse it
+/// (real CPU work on real formulas).
+fn fuse_stage(fuser: &Fuser, seeds: &[Seed], index: usize) -> String {
+    let mut rng = StdRng::seed_from_u64(index as u64 + 1);
+    let a = rng.random_range(0..seeds.len());
+    let b = rng.random_range(0..seeds.len());
+    match fuser.fuse(&mut rng, Oracle::Sat, &seeds[a].script, &seeds[b].script) {
+        Ok(fused) => fused.script.to_string(),
+        Err(_) => String::new(),
+    }
+}
+
+/// The mixed workload's solve stage: block for the simulated solver
+/// round-trip, then digest the script as the "answer".
+fn solve_stage(script: String) -> u64 {
+    std::thread::sleep(SOLVE_LATENCY);
+    script
+        .bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100_0000_01b3))
+}
+
+fn mixed_lockstep(fuser: &Fuser, seeds: &[Seed], n: usize) -> u64 {
+    parallel_map(THREADS, (0..n).collect(), |i| solve_stage(fuse_stage(fuser, seeds, i)))
+        .into_iter()
+        .fold(0, u64::wrapping_add)
+}
+
+fn mixed_pipelined(fuser: &Fuser, seeds: &[Seed], n: usize) -> u64 {
+    let config = PipelineConfig::for_threads(THREADS);
+    pipeline_map(&config, (0..n).collect(), |i| fuse_stage(fuser, seeds, i), solve_stage)
+        .into_iter()
+        .fold(0, u64::wrapping_add)
+}
+
+fn campaign_config(pipeline: bool) -> CampaignConfig {
+    CampaignConfig {
+        scale: 400,
+        iterations: if fast() { 2 } else { 6 },
+        rounds: 1,
+        rng_seed: 53710,
+        threads: THREADS,
+        pipeline,
+        ..CampaignConfig::default()
+    }
+}
+
+/// Best-of-`samples()` wall time for `work`, with the work's test count.
+fn measure(mut work: impl FnMut() -> usize) -> (usize, f64) {
+    let mut best = f64::INFINITY;
+    let mut tests = 0;
+    for _ in 0..samples() {
+        let started = Instant::now();
+        tests = work();
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    (tests, best)
+}
+
+fn leg_json(tests: usize, secs: f64) -> Json {
+    Json::obj([
+        ("tests", Json::Int(tests as i64)),
+        ("secs", Json::Float((secs * 1e6).round() / 1e6)),
+        ("tests_per_sec", Json::Float((tests as f64 / secs * 10.0).round() / 10.0)),
+    ])
+}
+
+fn write_report(mixed: [(usize, f64); 2], campaign: [(usize, f64); 2]) {
+    let speedup = |pair: &[(usize, f64); 2]| {
+        let lockstep = pair[0].0 as f64 / pair[0].1;
+        let pipelined = pair[1].0 as f64 / pair[1].1;
+        Json::Float((pipelined / lockstep * 1000.0).round() / 1000.0)
+    };
+    let report = Json::obj([
+        ("benchmark", Json::Str("pipeline-throughput".into())),
+        (
+            "command",
+            Json::Str(
+                "YINYANG_BENCH_PIPELINE_OUT=$PWD/BENCH_pipeline.json \
+                 cargo bench --offline -p yinyang-bench --bench pipeline"
+                    .into(),
+            ),
+        ),
+        ("threads", Json::Int(THREADS as i64)),
+        ("samples_best_of", Json::Int(samples() as i64)),
+        (
+            "mixed_fuse_solve",
+            Json::obj([
+                ("items", Json::Int(mixed_items() as i64)),
+                ("solve_latency_ms", Json::Int(SOLVE_LATENCY.as_millis() as i64)),
+                ("lockstep", leg_json(mixed[0].0, mixed[0].1)),
+                ("pipelined", leg_json(mixed[1].0, mixed[1].1)),
+                ("speedup", speedup(&mixed)),
+            ]),
+        ),
+        (
+            "campaign_inprocess",
+            Json::obj([
+                ("scale", Json::Int(campaign_config(true).scale as i64)),
+                ("iterations", Json::Int(campaign_config(true).iterations as i64)),
+                ("rounds", Json::Int(campaign_config(true).rounds as i64)),
+                ("seed", Json::Int(campaign_config(true).rng_seed as i64)),
+                ("lockstep", leg_json(campaign[0].0, campaign[0].1)),
+                ("pipelined", leg_json(campaign[1].0, campaign[1].1)),
+                ("speedup", speedup(&campaign)),
+            ]),
+        ),
+    ]);
+    let path = std::env::var("YINYANG_BENCH_PIPELINE_OUT")
+        .unwrap_or_else(|_| "target/yinyang-bench/BENCH_pipeline.json".to_string());
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&path, report.pretty() + "\n") {
+        Ok(()) => eprintln!("pipeline throughput report written to {path}"),
+        Err(e) => eprintln!("cannot write pipeline throughput report to {path}: {e}"),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let generator = SeedGenerator::new(Logic::QfNra);
+    let seeds: Vec<Seed> = (0..10).map(|_| generator.generate_sat(&mut rng)).collect();
+    let fuser = Fuser::new();
+    let n = mixed_items();
+
+    // The tracked lockstep-vs-pipelined numbers (best-of-N wall clock).
+    let mixed = [
+        measure(|| {
+            std::hint::black_box(mixed_lockstep(&fuser, &seeds, n));
+            n
+        }),
+        measure(|| {
+            std::hint::black_box(mixed_pipelined(&fuser, &seeds, n));
+            n
+        }),
+    ];
+    let campaign = [
+        measure(|| run_campaign(&campaign_config(false), SolverId::Zirkon).stats.tests),
+        measure(|| run_campaign(&campaign_config(true), SolverId::Zirkon).stats.tests),
+    ];
+    write_report(mixed, campaign);
+
+    // Criterion samples of the mixed workload for report.json, alongside
+    // the other per-figure benches.
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(if fast() { 3 } else { 10 });
+    group.bench_function("mixed_lockstep", |b| {
+        b.iter(|| std::hint::black_box(mixed_lockstep(&fuser, &seeds, n)))
+    });
+    group.bench_function("mixed_pipelined", |b| {
+        b.iter(|| std::hint::black_box(mixed_pipelined(&fuser, &seeds, n)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -24,7 +24,7 @@ use crate::fleet::{Execution, PartialJob, RoundPartial};
 use crate::solve_cache::{key_text, SolveCache};
 use crate::telemetry::CoverageRound;
 use std::collections::BTreeSet;
-use yinyang_core::{concat_fuzz, run_catching, Fuser, Oracle, SolverAnswer};
+use yinyang_core::{concat_fuzz, run_catching, Fused, Fuser, Oracle, SolverAnswer};
 use yinyang_coverage::{CoverageMap, ProbeKind};
 use yinyang_faults::{BugClass, BugStatus, FaultySolver, SolverId};
 use yinyang_rt::cache::CacheStatsView;
@@ -409,36 +409,52 @@ fn run_round(
     let rng_seeds: Vec<u64> = jobs.iter().map(|j| j.rng_seed).collect();
     let fuser = Fuser::new();
     let progress = yinyang_rt::serve::progress();
+    // Both executors return results in input order over any job slice, so
+    // `Local` and `Worker` share one dispatcher: the pipeline overlaps the
+    // cheap fuse stage with straggling solves, the lockstep fork/join
+    // (`--no-pipeline`) is the byte-identical differential reference.
+    let run_jobs = |jobs: Vec<TestJob>| -> Vec<JobResult> {
+        if config.pipeline {
+            let pipe = yinyang_rt::pipeline::PipelineConfig::for_threads(config.threads);
+            yinyang_rt::pipeline::pipeline_map(
+                &pipe,
+                jobs,
+                |job| fuse_test(&fuser, &pools, job),
+                |prep| {
+                    let result = solve_test(solver_id, round, fixed, &pools, prep, cache);
+                    // One relaxed atomic bump for the live `/status` job
+                    // counter — no locks, metrics, or spans, so the job's
+                    // telemetry bracket and the report bytes are untouched.
+                    progress.job_done();
+                    result
+                },
+            )
+        } else {
+            yinyang_rt::pool::parallel_map(config.threads, jobs, |job| {
+                let result = run_test(solver_id, round, fixed, &fuser, &pools, job, cache);
+                progress.job_done();
+                result
+            })
+        }
+    };
     let (results, worker_coverage): (Vec<JobResult>, Option<CoverageMap>) = match exec {
         Execution::Local => {
             progress.add_jobs(job_count as u64);
-            let results = yinyang_rt::pool::parallel_map(config.threads, jobs, |job| {
-                let result = run_test(solver_id, round, fixed, &fuser, &pools, job, cache);
-                // One relaxed atomic bump for the live `/status` job
-                // counter — no locks, metrics, or spans, so the job's
-                // telemetry bracket and the report bytes are untouched.
-                progress.job_done();
-                result
-            });
-            (results, None)
+            (run_jobs(jobs), None)
         }
         Execution::Worker(worker) => {
             let base = worker.begin_round(job_count);
-            let owned: Vec<(usize, TestJob)> = jobs
-                .into_iter()
-                .enumerate()
-                .filter(|(index, _)| worker.owns(base + index))
-                .collect();
-            progress.add_jobs(owned.len() as u64);
+            // Shard ownership partitions the flat job list *before* the
+            // executor runs, so each shard pipelines only its own jobs and
+            // the merged fleet report stays byte-identical.
+            let (owned_indices, owned_jobs): (Vec<usize>, Vec<TestJob>) =
+                jobs.into_iter().enumerate().filter(|(index, _)| worker.owns(base + index)).unzip();
+            progress.add_jobs(owned_jobs.len() as u64);
             // Bracket only the jobs: the duplicated seedgen above must
             // not reach the partial's coverage delta, or the supervisor
             // would count it once per shard.
             let coverage_before = yinyang_coverage::snapshot();
-            let results = yinyang_rt::pool::parallel_map(config.threads, owned, |(index, job)| {
-                let result = run_test(solver_id, round, fixed, &fuser, &pools, job, cache);
-                progress.job_done();
-                (index, result)
-            });
+            let results = run_jobs(owned_jobs);
             let coverage =
                 CoverageMap::from_snapshot(&yinyang_coverage::snapshot().delta(&coverage_before));
             let partial = RoundPartial {
@@ -448,9 +464,10 @@ fn run_round(
                 shards: worker.shards(),
                 seed: config.rng_seed,
                 job_count,
-                jobs: results
+                jobs: owned_indices
                     .iter()
-                    .map(|(index, r)| PartialJob {
+                    .zip(&results)
+                    .map(|(&index, r)| PartialJob {
                         index: base + index,
                         tests: r.tests,
                         unknowns: r.unknowns,
@@ -463,7 +480,7 @@ fn run_round(
                 coverage,
             };
             worker.write_round_partial(&partial)?;
-            (results.into_iter().map(|(_, r)| r).collect(), None)
+            (results, None)
         }
         Execution::Supervisor(collector) => {
             let base = collector.begin_round(job_count);
@@ -515,10 +532,140 @@ fn run_round(
     Ok(RoundOutput { outcome, metrics: round_metrics, events, forensics, worker_coverage })
 }
 
-/// One fused test: pick a pair, fuse, solve, check against the oracle.
-/// The job brackets itself with thread-local metric snapshots and drains
-/// its own trace events, so its telemetry contribution is identical no
-/// matter which pool thread runs it.
+/// Stage-1 output of the staged executor: one job's fusion attempt, plus
+/// the private telemetry slice it produced. Carrying the stage's trace
+/// events and metrics delta across the inter-stage queue is what keeps
+/// the pipelined report byte-identical: [`solve_test`] concatenates them
+/// with its own in the fixed fuse-then-solve order, exactly what the
+/// one-thread composition produces, no matter which threads the stages
+/// actually ran on.
+struct FusedTest {
+    /// Pool index of the job (stage 2 needs the pool for solving and the
+    /// finding record).
+    pool: usize,
+    /// Seed-pool indices of the drawn pair, for the finding's ancestry.
+    s1: usize,
+    s2: usize,
+    tests: usize,
+    fusion_failures: usize,
+    /// The fused formula, or `None` when the pair wasn't fusible.
+    fused: Option<Fused>,
+    events: Vec<TraceEvent>,
+    metrics: MetricsSnapshot,
+}
+
+/// The cheap stage: draw the job's seed pair and fuse it. Consumes the
+/// job's entire RNG stream, so scheduling the expensive stage elsewhere
+/// can't perturb any draw.
+fn fuse_test(fuser: &Fuser, pools: &[RoundPool], job: TestJob) -> FusedTest {
+    let before = metrics::local_snapshot();
+    let pool = &pools[job.pool];
+    let mut rng = StdRng::seed_from_u64(job.rng_seed);
+    let s1 = rng.random_range(0..pool.seeds.len());
+    let s2 = rng.random_range(0..pool.seeds.len());
+    let fused = {
+        let _span = yinyang_rt::span!("fusion", benchmark = pool.benchmark, oracle = pool.oracle);
+        fuser.fuse(&mut rng, pool.oracle, &pool.seeds[s1].script, &pool.seeds[s2].script)
+    };
+    let (tests, fusion_failures, fused) = match fused {
+        Err(_) => (0, 1, None),
+        Ok(fused) => (1, 0, Some(fused)),
+    };
+    FusedTest {
+        pool: job.pool,
+        s1,
+        s2,
+        tests,
+        fusion_failures,
+        fused,
+        events: trace::take_events(),
+        metrics: metrics::local_snapshot().delta(&before),
+    }
+}
+
+/// The expensive stage: run the persona on the fused formula and check it
+/// against the construction oracle. The persona is rebuilt here even for
+/// failed fusions — the lockstep executor always constructs it, and the
+/// two paths must stay probe-for-probe identical for the coverage
+/// trajectory to match.
+fn solve_test(
+    solver_id: SolverId,
+    round: usize,
+    fixed: &BTreeSet<u32>,
+    pools: &[RoundPool],
+    prep: FusedTest,
+    cache: Option<&SolveCache>,
+) -> JobResult {
+    let before = metrics::local_snapshot();
+    let pool = &pools[prep.pool];
+    let mut solver = FaultySolver::trunk(solver_id);
+    solver.set_base_config(fast_solver_config());
+    for &id in fixed {
+        solver.apply_fix(id);
+    }
+    let mut result = JobResult {
+        tests: prep.tests,
+        unknowns: 0,
+        fusion_failures: prep.fusion_failures,
+        finding: None,
+        events: prep.events,
+        metrics: MetricsSnapshot::default(),
+    };
+    if let Some(fused) = prep.fused {
+        let answer = {
+            // The enclosing span stays *outside* the cached unit: its
+            // fields (benchmark) vary per call site and must not leak
+            // into cache keys or stored events.
+            let _span = yinyang_rt::span!("solve", benchmark = pool.benchmark);
+            match cache {
+                None => run_catching(&solver, &fused.script),
+                Some(cache) => {
+                    let fixed_ids: Vec<u32> = fixed.iter().copied().collect();
+                    let key = key_text(
+                        &yinyang_core::SolverUnderTest::name(&solver),
+                        &fixed_ids,
+                        &fast_solver_config(),
+                        "solve",
+                        &fused.script,
+                    );
+                    cache.solve(&solver, &key, &fused.script)
+                }
+            }
+        };
+        let behavior = {
+            let _span = yinyang_rt::span!("oracle");
+            classify(&solver, &fused.script, pool.oracle, &answer, &mut result)
+        };
+        if let Some(behavior) = behavior {
+            let bug_id = solver.triggered_bug(&fused.script).map(|b| b.id);
+            result.finding = Some(RawFinding {
+                solver: yinyang_core::SolverUnderTest::name(&solver),
+                bug_id,
+                behavior,
+                logic: fused.script.logic().unwrap_or("ALL").to_owned(),
+                benchmark: pool.benchmark.to_owned(),
+                round,
+                script: fused.script.to_string(),
+                seeds: (
+                    pool.seeds[prep.s1].script.to_string(),
+                    pool.seeds[prep.s2].script.to_string(),
+                ),
+                oracle: pool.oracle.to_string(),
+            });
+        }
+    }
+    result.events.extend(trace::take_events());
+    result.metrics = prep.metrics;
+    result.metrics.merge(&metrics::local_snapshot().delta(&before));
+    result
+}
+
+/// One fused test: pick a pair, fuse, solve, check against the oracle —
+/// [`fuse_test`] composed with [`solve_test`] on one thread, which is the
+/// lockstep executor's unit of work. The job brackets itself with
+/// thread-local metric snapshots and drains its own trace events, so its
+/// telemetry contribution is identical no matter which pool thread (or
+/// pipeline stage) runs it.
 fn run_test(
     solver_id: SolverId,
     round: usize,
@@ -528,75 +675,7 @@ fn run_test(
     job: TestJob,
     cache: Option<&SolveCache>,
 ) -> JobResult {
-    let before = metrics::local_snapshot();
-    let pool = &pools[job.pool];
-    let mut rng = StdRng::seed_from_u64(job.rng_seed);
-    let mut solver = FaultySolver::trunk(solver_id);
-    solver.set_base_config(fast_solver_config());
-    for &id in fixed {
-        solver.apply_fix(id);
-    }
-    let mut result = JobResult {
-        tests: 0,
-        unknowns: 0,
-        fusion_failures: 0,
-        finding: None,
-        events: Vec::new(),
-        metrics: MetricsSnapshot::default(),
-    };
-    let s1 = &pool.seeds[rng.random_range(0..pool.seeds.len())];
-    let s2 = &pool.seeds[rng.random_range(0..pool.seeds.len())];
-    let fused = {
-        let _span = yinyang_rt::span!("fusion", benchmark = pool.benchmark, oracle = pool.oracle);
-        fuser.fuse(&mut rng, pool.oracle, &s1.script, &s2.script)
-    };
-    match fused {
-        Err(_) => result.fusion_failures = 1,
-        Ok(fused) => {
-            result.tests = 1;
-            let answer = {
-                // The enclosing span stays *outside* the cached unit: its
-                // fields (benchmark) vary per call site and must not leak
-                // into cache keys or stored events.
-                let _span = yinyang_rt::span!("solve", benchmark = pool.benchmark);
-                match cache {
-                    None => run_catching(&solver, &fused.script),
-                    Some(cache) => {
-                        let fixed_ids: Vec<u32> = fixed.iter().copied().collect();
-                        let key = key_text(
-                            &yinyang_core::SolverUnderTest::name(&solver),
-                            &fixed_ids,
-                            &fast_solver_config(),
-                            "solve",
-                            &fused.script,
-                        );
-                        cache.solve(&solver, &key, &fused.script)
-                    }
-                }
-            };
-            let behavior = {
-                let _span = yinyang_rt::span!("oracle");
-                classify(&solver, &fused.script, pool.oracle, &answer, &mut result)
-            };
-            if let Some(behavior) = behavior {
-                let bug_id = solver.triggered_bug(&fused.script).map(|b| b.id);
-                result.finding = Some(RawFinding {
-                    solver: yinyang_core::SolverUnderTest::name(&solver),
-                    bug_id,
-                    behavior,
-                    logic: fused.script.logic().unwrap_or("ALL").to_owned(),
-                    benchmark: pool.benchmark.to_owned(),
-                    round,
-                    script: fused.script.to_string(),
-                    seeds: (s1.script.to_string(), s2.script.to_string()),
-                    oracle: pool.oracle.to_string(),
-                });
-            }
-        }
-    }
-    result.events = trace::take_events();
-    result.metrics = metrics::local_snapshot().delta(&before);
-    result
+    solve_test(solver_id, round, fixed, pools, fuse_test(fuser, pools, job), cache)
 }
 
 /// Compares the solver's answer to the construction oracle, mirroring the

@@ -36,6 +36,13 @@ pub struct CampaignConfig {
     /// Solve-cache entry bound (`--cache-capacity`); oldest entries are
     /// evicted first. Ignored unless [`CampaignConfig::cache`] is set.
     pub cache_capacity: usize,
+    /// Run rounds through the staged fuse/solve pipeline
+    /// ([`yinyang_rt::pipeline`]) instead of the lockstep fork/join
+    /// executor. Replay-safe either way: both executors produce
+    /// byte-identical reports, traces, and bundles for the same seed at
+    /// any thread count, so this only trades scheduling (`--no-pipeline`
+    /// keeps the lockstep path as the differential reference).
+    pub pipeline: bool,
 }
 
 impl Default for CampaignConfig {
@@ -50,6 +57,7 @@ impl Default for CampaignConfig {
             coverage_trajectory: false,
             cache: false,
             cache_capacity: 4096,
+            pipeline: true,
         }
     }
 }
@@ -137,6 +145,7 @@ impl_json_struct!(CampaignConfig {
     coverage_trajectory,
     cache,
     cache_capacity,
+    pipeline,
 });
 impl_json_struct!(RawFinding {
     solver,

@@ -52,7 +52,14 @@ options:
   --iterations N   fused tests per (benchmark, oracle) round   [default 30]
   --rounds N       fix-and-retest rounds                       [default 3]
   --seed N         RNG seed; same seed replays byte-identically [default 53710]
-  --threads N      worker threads (replay-safe at any count)   [default 1]
+  --threads N      worker threads (replay-safe at any count);
+                   0 = auto-detect from the machine's available
+                   parallelism                                  [default 1]
+  --no-pipeline    (fuzz, fleet, regress) run jobs on the lockstep
+                   fork/join executor instead of the staged fuse/solve
+                   pipeline; reports, --trace files, and bundles are
+                   byte-identical either way — this is the differential
+                   reference path
   --cache          (fuzz, regress) reuse solve results across identical
                    canonical scripts; reports stay byte-identical with the
                    cache on or off, hit/miss stats go to stderr
@@ -134,6 +141,7 @@ fn main() -> ExitCode {
             "--threads" => {
                 config.threads = parse_num(&args, &mut i);
             }
+            "--no-pipeline" => config.pipeline = false,
             "--cache" => config.cache = true,
             "--cache-capacity" => {
                 config.cache_capacity = parse_num(&args, &mut i);
@@ -197,6 +205,11 @@ fn main() -> ExitCode {
             other => positional.push(other.to_owned()),
         }
         i += 1;
+    }
+    if config.threads == 0 {
+        // `--threads 0`: size the pool to the machine. The count feeds
+        // nothing byte-compared — reports are identical at any width.
+        config.threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     }
     config.heartbeat = verbose && !opts.quiet;
     if let Some(path) = &opts.trace_path {
@@ -308,7 +321,11 @@ fn dispatch(positional: &[String], config: &CampaignConfig, opts: &CliOpts) -> E
                     ExitCode::SUCCESS
                 }
                 Ok((code, body)) => {
-                    eprint!("HTTP {code}\n{body}");
+                    // An HTTP error status is a failed scrape: keep the
+                    // body off stdout so pipelines can't mistake an error
+                    // page for metrics, and exit non-zero.
+                    eprintln!("fetch http://{addr}{path}: HTTP {code}");
+                    eprint!("{body}");
                     ExitCode::FAILURE
                 }
                 Err(e) => {
@@ -555,7 +572,16 @@ fn run_fuzz(config: &CampaignConfig, opts: &CliOpts) -> ExitCode {
 fn emit_fuzz_run(run: experiments::Fig8Run, opts: &CliOpts) -> Result<(), ExitCode> {
     let cache_stats = run.cache_stats;
     let mut result = run.result;
-    result.telemetry.gauges.extend(yinyang_rt::metrics::snapshot().gauges);
+    // `pipeline.*` gauges are scheduling-dependent executor introspection
+    // (queue depth, stage occupancy) and only exist when the pipeline ran:
+    // they belong on `/metrics`, never in the byte-compared report, which
+    // must be identical with and without `--no-pipeline`.
+    result.telemetry.gauges.extend(
+        yinyang_rt::metrics::snapshot()
+            .gauges
+            .into_iter()
+            .filter(|(name, _)| !name.starts_with("pipeline.")),
+    );
     if let Some(path) = &opts.metrics_out {
         if let Err(e) = std::fs::write(path, run.metrics.to_json().pretty() + "\n") {
             eprintln!("cannot write metrics to {path}: {e}");
@@ -760,6 +786,7 @@ fn run_regress_cmd(dirs: &[String], config: &CampaignConfig, opts: &CliOpts) -> 
         rng_seed: config.rng_seed,
         cache: config.cache,
         cache_capacity: config.cache_capacity,
+        pipeline: config.pipeline,
     };
     match yinyang_campaign::run_regress_full(&roots, &regress_config) {
         Ok(run) => {

@@ -92,6 +92,7 @@ fn help_lists_every_subcommand_and_flag() {
         "--rounds",
         "--seed",
         "--threads",
+        "--no-pipeline",
         "--cache",
         "--cache-capacity",
         "--json",
@@ -552,9 +553,19 @@ fn fetch_serves_metrics_status_and_healthz_from_a_live_campaign() {
     assert_eq!(status.get("phase").and_then(|v| v.as_str()), Some("fuzz"));
     assert!(status.get("jobs").is_some());
 
-    // Unknown paths 404 (fetch exits nonzero on non-200).
+    // Regression: an HTTP status >= 400 must exit non-zero with a clear
+    // stderr message naming the target, and must NOT print the error body
+    // to stdout as if it were a successful scrape.
     let missing = yinyang().args(["fetch", &addr, "/nope"]).output().expect("spawn fetch");
-    assert!(!missing.status.success());
+    assert!(!missing.status.success(), "fetch of a 404 path must exit non-zero");
+    assert!(
+        missing.stdout.is_empty(),
+        "fetch must keep an HTTP error body off stdout: {}",
+        String::from_utf8_lossy(&missing.stdout)
+    );
+    let err = String::from_utf8_lossy(&missing.stderr);
+    assert!(err.contains("HTTP 404"), "stderr must name the HTTP status: {err}");
+    assert!(err.contains("/nope"), "stderr must name the failing path: {err}");
 
     child.kill().ok();
     child.wait().ok();

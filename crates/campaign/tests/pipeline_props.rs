@@ -1,0 +1,91 @@
+//! Property: the staged fuse/solve pipeline is invisible in every report
+//! byte.
+//!
+//! The pipeline executor may only change *when* a job's stages run, never
+//! what they compute or where their telemetry lands: each job's RNG
+//! stream is fully consumed in the fuse stage, and both stages' private
+//! metric/trace deltas are concatenated in fuse-then-solve order before
+//! the driver's in-order merge. So the JSON report, the rendered markdown
+//! tables, and `--trace` files must be byte-identical between the
+//! pipelined executor and the lockstep fork/join reference
+//! (`--no-pipeline`) at any `--threads` — and the PR 6 cache
+//! differential must keep holding when the cache runs *inside* the
+//! pipelined solve stage.
+
+use yinyang_campaign::experiments::{fig8_campaign_full, render_fig8};
+use yinyang_campaign::CampaignConfig;
+use yinyang_rt::json::ToJson;
+use yinyang_rt::{props, Rng, StdRng};
+
+fn campaign_reports(seed: u64, threads: usize, pipeline: bool, cache: bool) -> (String, String) {
+    let config = CampaignConfig {
+        scale: 400,
+        iterations: 3,
+        rounds: 2,
+        rng_seed: seed,
+        threads,
+        pipeline,
+        cache,
+        ..CampaignConfig::default()
+    };
+    let run = fig8_campaign_full(&config);
+    (run.result.to_json().pretty(), render_fig8(&run.result))
+}
+
+props! {
+    cases: 3;
+
+    fn pipelined_reports_identical_at_1_2_4_threads(seed in |r: &mut StdRng| r.random_range(0u64..1 << 20)) {
+        let (json_ref, md_ref) = campaign_reports(seed, 1, false, false);
+        for threads in [1usize, 2, 4] {
+            let (json, md) = campaign_reports(seed, threads, true, false);
+            assert_eq!(json, json_ref, "pipeline changed the JSON report (seed {seed}, {threads} threads)");
+            assert_eq!(md, md_ref, "pipeline changed the markdown report (seed {seed}, {threads} threads)");
+        }
+    }
+
+    fn pipelined_cache_on_matches_lockstep_cache_off(seed in |r: &mut StdRng| r.random_range(0u64..1 << 20)) {
+        // The PR 6 cache differential, with the cache now running inside
+        // the pipelined solve stage: hits must still replay the skipped
+        // solve's telemetry byte-exactly.
+        let (json_ref, md_ref) = campaign_reports(seed, 2, false, false);
+        let (json, md) = campaign_reports(seed, 4, true, true);
+        assert_eq!(json, json_ref, "cache-on pipelined run changed the JSON report (seed {seed})");
+        assert_eq!(md, md_ref, "cache-on pipelined run changed the markdown report (seed {seed})");
+    }
+}
+
+/// `--trace` files carry every span the stages emit; the CLI is the only
+/// layer that writes them, so drive the real binary: the pipelined trace
+/// must match the lockstep reference byte for byte at 1, 2, and 4
+/// threads.
+#[test]
+fn cli_trace_files_identical_pipelined_vs_lockstep() {
+    let dir = std::env::temp_dir().join(format!("yinyang-pipeline-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let run = |label: &str, threads: usize, pipeline: bool| -> (String, Vec<u8>) {
+        let trace = dir.join(format!("{label}.jsonl"));
+        let mut cmd = std::process::Command::new(env!("CARGO_BIN_EXE_yinyang"));
+        cmd.args(["fuzz", "--iterations", "2", "--rounds", "1", "--seed", "11", "--json"])
+            .args(["--threads", &threads.to_string()])
+            .args(["--trace", &trace.display().to_string()]);
+        if !pipeline {
+            cmd.arg("--no-pipeline");
+        }
+        let out = cmd.output().expect("run yinyang fuzz");
+        assert!(
+            out.status.success(),
+            "fuzz {label} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let events = std::fs::read(&trace).expect("trace file written");
+        (String::from_utf8(out.stdout).expect("utf8 report"), events)
+    };
+    let (report_ref, trace_ref) = run("lockstep", 1, false);
+    for threads in [1usize, 2, 4] {
+        let (report, trace) = run(&format!("pipelined-{threads}"), threads, true);
+        assert_eq!(report, report_ref, "pipelined report diverged at {threads} threads");
+        assert_eq!(trace, trace_ref, "pipelined trace diverged at {threads} threads");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -11,6 +11,7 @@
 //! | [`bench`] | `criterion` | wall-clock micro-bench runner (median/p95, JSON) |
 //! | [`json`] | `serde`/`serde_json` | hand-rolled JSON writer/reader |
 //! | [`pool`] | `crossbeam` | `std::thread` + `mpsc` worker pools |
+//! | [`pipeline`] | `rayon`-style stage graphs | bounded fuse/solve pipeline with a reorder buffer |
 //! | [`metrics`] | `prometheus`-alikes | sharded counters/gauges/histograms |
 //! | [`trace`] | `tracing` | replay-safe spans + JSON-lines events |
 //! | [`cache`] | `moka`/`lru`-alikes | sharded bounded result cache with a collision guard |
@@ -30,6 +31,7 @@ pub mod cache;
 pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod pipeline;
 pub mod pool;
 pub mod profile;
 pub mod prop;

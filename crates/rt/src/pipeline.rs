@@ -1,0 +1,467 @@
+//! Bounded multi-stage pipeline executor with a deterministic reorder
+//! buffer, replacing the fork/join shape of [`crate::pool::parallel_map`]
+//! for workloads whose items decompose into a cheap *produce* stage and an
+//! expensive *consume* stage.
+//!
+//! [`pipeline_map`] runs every item through `stage1` then `stage2` on
+//! separate worker groups connected by a [`BoundedQueue`]: stage-1 workers
+//! block when the queue is full (backpressure, so a fast producer can't
+//! buffer the whole campaign in memory), stage-2 workers block when it is
+//! empty, and finished results flow back to the caller tagged with their
+//! input index where a [`ReorderBuffer`] restores input order. The output
+//! is therefore element-for-element identical to
+//! `items.map(|t| stage2(stage1(t)))` — scheduling can change *when* a
+//! stage runs, never *what* it computes or where its result lands.
+//!
+//! ## Determinism contract
+//!
+//! The executor adds no randomness of its own: stage functions receive
+//! exactly one item each and must derive any RNG state from the item
+//! (the campaign seeds each job's stream from its flat index). Pipeline
+//! telemetry is observability-only: `pipeline.*` gauges and
+//! `span.pipeline.*` wall-clock histograms go to the process-global
+//! metrics registry (the `/metrics` endpoint) and are excluded from every
+//! byte-compared report surface.
+
+use crate::metrics;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Worker counts and queue sizing for one [`pipeline_map`] run.
+///
+/// The campaign treats `--threads N` as *stage-2* (solve) parallelism and
+/// oversubscribes a small number of extra stage-1 (fuse) feeder threads on
+/// top: the expensive stage keeps every configured worker busy while the
+/// cheap stage rides along, so the pipeline can only gain on the fork/join
+/// baseline, never starve it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Worker threads for the cheap first stage.
+    pub stage1_workers: usize,
+    /// Worker threads for the expensive second stage.
+    pub stage2_workers: usize,
+    /// Capacity of the bounded inter-stage queue. Stage-1 workers block
+    /// (backpressure) once this many intermediates are waiting.
+    pub queue_capacity: usize,
+}
+
+impl PipelineConfig {
+    /// The campaign's policy for a `--threads N` setting: `N` stage-2
+    /// workers, one oversubscribed stage-1 feeder (two once `N > 4`), and
+    /// a queue bounded at twice the stage-2 width (at least 4) so a burst
+    /// of cheap stage-1 output can't outrun memory.
+    pub fn for_threads(threads: usize) -> PipelineConfig {
+        let threads = threads.max(1);
+        PipelineConfig {
+            stage1_workers: if threads > 4 { 2 } else { 1 },
+            stage2_workers: threads,
+            queue_capacity: (2 * threads).max(4),
+        }
+    }
+}
+
+/// A blocking bounded MPMC queue on `Mutex` + `Condvar` — the inter-stage
+/// buffer of [`pipeline_map`]. `push` blocks while the queue is full
+/// (backpressure), `pop` blocks while it is empty, and [`close`] wakes
+/// everyone so both stages drain and exit cleanly.
+///
+/// [`close`]: BoundedQueue::close
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    readable: Condvar,
+    writable: Condvar,
+    capacity: usize,
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (at least one).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            state: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Blocks until there is room, then enqueues `item`. Returns `false`
+    /// (dropping the item) if the queue was closed first.
+    pub fn push(&self, item: T) -> bool {
+        let mut state = self.state.lock().expect("queue lock");
+        while state.items.len() >= self.capacity && !state.closed {
+            state = self.writable.wait(state).expect("queue lock");
+        }
+        if state.closed {
+            return false;
+        }
+        state.items.push_back(item);
+        self.readable.notify_one();
+        true
+    }
+
+    /// Blocks until an item is available and dequeues it, or returns
+    /// `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.writable.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.readable.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Closes the queue: pending and future `pop`s drain what is buffered
+    /// then return `None`; blocked and future `push`es give up.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.readable.notify_all();
+        self.writable.notify_all();
+    }
+
+    /// Items currently buffered (snapshot; for gauges only).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    /// Whether the buffer is currently empty (snapshot; for gauges only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Restores input order from sequence-numbered results arriving in any
+/// order: `push(seq, value)` buffers out-of-order values and releases the
+/// contiguous prefix as it completes.
+pub struct ReorderBuffer<R> {
+    next: usize,
+    pending: BTreeMap<usize, R>,
+    ordered: Vec<R>,
+}
+
+impl<R> ReorderBuffer<R> {
+    /// An empty buffer expecting sequence numbers from `0`.
+    pub fn new() -> ReorderBuffer<R> {
+        ReorderBuffer { next: 0, pending: BTreeMap::new(), ordered: Vec::new() }
+    }
+
+    /// Accepts the result for sequence number `seq`, then moves every
+    /// newly contiguous result into the ordered output.
+    pub fn push(&mut self, seq: usize, value: R) {
+        self.pending.insert(seq, value);
+        while let Some(value) = self.pending.remove(&self.next) {
+            self.ordered.push(value);
+            self.next += 1;
+        }
+    }
+
+    /// Results buffered out of order, still waiting for a predecessor.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Results already released in input order.
+    pub fn completed(&self) -> usize {
+        self.ordered.len()
+    }
+
+    /// Consumes the buffer, returning the in-order results. Panics if any
+    /// sequence number below the highest pushed one never arrived.
+    pub fn into_ordered(self) -> Vec<R> {
+        assert!(
+            self.pending.is_empty(),
+            "reorder buffer gap: {} results stuck behind missing seq {}",
+            self.pending.len(),
+            self.next
+        );
+        self.ordered
+    }
+}
+
+impl<R> Default for ReorderBuffer<R> {
+    fn default() -> Self {
+        ReorderBuffer::new()
+    }
+}
+
+/// Decrements the live stage-1 worker count on drop and closes the
+/// inter-stage queue when the last one exits — including by panic, so a
+/// crashed producer can never leave stage-2 workers blocked forever.
+struct ProducerGuard<'a, T> {
+    live: &'a AtomicUsize,
+    queue: &'a BoundedQueue<T>,
+}
+
+impl<T> Drop for ProducerGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.live.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.queue.close();
+        }
+    }
+}
+
+/// Publishes the pipeline's observability gauges. Called from both the
+/// threaded and inline paths so `/metrics` exposes the same series at any
+/// `--threads`, including single-threaded fleet shards.
+fn publish_gauges(config: &PipelineConfig, depth: usize, s1_busy: usize, s2_busy: usize) {
+    metrics::gauge_set("pipeline.stage1_workers", config.stage1_workers as i64);
+    metrics::gauge_set("pipeline.stage2_workers", config.stage2_workers as i64);
+    metrics::gauge_set("pipeline.queue_depth", depth as i64);
+    metrics::gauge_set("pipeline.stage1_busy", s1_busy as i64);
+    metrics::gauge_set("pipeline.stage2_busy", s2_busy as i64);
+}
+
+/// Records one stage execution's wall-clock cost. These land in the
+/// process-global registry under `span.pipeline.*` (micros, wall clock —
+/// *not* the replay-safe tick clock), so they surface on `/metrics` but
+/// never inside byte-compared reports, which only aggregate per-job
+/// deltas.
+fn record_stage(name: &str, started: Instant) {
+    metrics::histogram_record(name, started.elapsed().as_micros() as u64);
+}
+
+/// Runs every item through `stage1` then `stage2`, returning results in
+/// input order.
+///
+/// Stage-1 workers pull `(index, item)` off a shared feed, push
+/// intermediates into the bounded inter-stage queue (blocking when it is
+/// full), and stage-2 workers drain it concurrently; a [`ReorderBuffer`]
+/// on the caller's thread re-sequences finished results. With one worker
+/// per stage configured — or at most one item — the stages run fused
+/// inline on the caller's thread, which is trivially the same computation.
+///
+/// Panics in either stage propagate to the caller after all workers stop;
+/// the producer-side close-on-drop guard guarantees the queue closes even
+/// then, so no stage can deadlock on a dead peer.
+pub fn pipeline_map<T, M, R, F1, F2>(
+    config: &PipelineConfig,
+    items: Vec<T>,
+    stage1: F1,
+    stage2: F2,
+) -> Vec<R>
+where
+    T: Send,
+    M: Send,
+    R: Send,
+    F1: Fn(T) -> M + Sync,
+    F2: Fn(M) -> R + Sync,
+{
+    let n = items.len();
+    if (config.stage1_workers <= 1 && config.stage2_workers <= 1) || n <= 1 {
+        publish_gauges(config, 0, 0, 0);
+        metrics::gauge_set("pipeline.reorder_pending", 0);
+        return items
+            .into_iter()
+            .map(|item| {
+                let t1 = Instant::now();
+                let mid = stage1(item);
+                record_stage("span.pipeline.stage1", t1);
+                let t2 = Instant::now();
+                let out = stage2(mid);
+                record_stage("span.pipeline.stage2", t2);
+                out
+            })
+            .collect();
+    }
+
+    let stage1_workers = config.stage1_workers.clamp(1, n);
+    let stage2_workers = config.stage2_workers.clamp(1, n);
+    let (feed_tx, feed_rx) = mpsc::channel::<(usize, T)>();
+    for pair in items.into_iter().enumerate() {
+        feed_tx.send(pair).expect("receiver alive");
+    }
+    drop(feed_tx); // producers drain until the feed closes
+    let feed_rx = Mutex::new(feed_rx);
+    let queue: BoundedQueue<(usize, M)> = BoundedQueue::new(config.queue_capacity);
+    let (result_tx, result_rx) = mpsc::channel::<(usize, R)>();
+    let producers_live = AtomicUsize::new(stage1_workers);
+    let s1_busy = AtomicUsize::new(0);
+    let s2_busy = AtomicUsize::new(0);
+    publish_gauges(config, 0, 0, 0);
+
+    let buffer = std::thread::scope(|scope| {
+        for _ in 0..stage1_workers {
+            scope.spawn(|| {
+                let _guard = ProducerGuard { live: &producers_live, queue: &queue };
+                loop {
+                    // Lock only to receive; fuse outside the lock.
+                    let job = feed_rx.lock().expect("feed lock").try_recv();
+                    let Ok((index, item)) = job else { return };
+                    s1_busy.fetch_add(1, Ordering::Relaxed);
+                    let started = Instant::now();
+                    let mid = stage1(item);
+                    record_stage("span.pipeline.stage1", started);
+                    s1_busy.fetch_sub(1, Ordering::Relaxed);
+                    if !queue.push((index, mid)) {
+                        return; // closed early: the run is being torn down
+                    }
+                    publish_gauges(
+                        config,
+                        queue.len(),
+                        s1_busy.load(Ordering::Relaxed),
+                        s2_busy.load(Ordering::Relaxed),
+                    );
+                }
+            });
+        }
+        for _ in 0..stage2_workers {
+            let result_tx = result_tx.clone();
+            let (queue, stage2) = (&queue, &stage2);
+            let (s1_busy, s2_busy) = (&s1_busy, &s2_busy);
+            scope.spawn(move || {
+                while let Some((index, mid)) = queue.pop() {
+                    s2_busy.fetch_add(1, Ordering::Relaxed);
+                    let started = Instant::now();
+                    let out = stage2(mid);
+                    record_stage("span.pipeline.stage2", started);
+                    s2_busy.fetch_sub(1, Ordering::Relaxed);
+                    if result_tx.send((index, out)).is_err() {
+                        return;
+                    }
+                    publish_gauges(
+                        config,
+                        queue.len(),
+                        s1_busy.load(Ordering::Relaxed),
+                        s2_busy.load(Ordering::Relaxed),
+                    );
+                }
+            });
+        }
+        drop(result_tx);
+        // Collect on the caller's thread so results stream through the
+        // reorder buffer as they finish instead of piling up unsorted.
+        let mut buffer = ReorderBuffer::new();
+        for (index, out) in result_rx {
+            buffer.push(index, out);
+            metrics::gauge_set("pipeline.reorder_pending", buffer.pending() as i64);
+        }
+        buffer
+        // Scope exit joins all workers and re-raises any stage panic
+        // *before* the completeness assert below can fire on a gap.
+    });
+    publish_gauges(config, 0, 0, 0);
+    buffer.into_ordered()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn reorder_buffer_releases_contiguous_prefix() {
+        let mut buf = ReorderBuffer::new();
+        buf.push(2, "c");
+        buf.push(0, "a");
+        assert_eq!(buf.completed(), 1);
+        assert_eq!(buf.pending(), 1);
+        buf.push(1, "b");
+        assert_eq!(buf.completed(), 3);
+        assert_eq!(buf.pending(), 0);
+        assert_eq!(buf.into_ordered(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reorder buffer gap")]
+    fn reorder_buffer_panics_on_gap() {
+        let mut buf = ReorderBuffer::new();
+        buf.push(1, "b");
+        let _ = buf.into_ordered();
+    }
+
+    #[test]
+    fn bounded_queue_drains_after_close() {
+        let queue = BoundedQueue::new(4);
+        assert!(queue.push(1));
+        assert!(queue.push(2));
+        queue.close();
+        assert!(!queue.push(3), "push after close must fail");
+        assert_eq!(queue.pop(), Some(1));
+        assert_eq!(queue.pop(), Some(2));
+        assert_eq!(queue.pop(), None);
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure() {
+        let queue = BoundedQueue::new(2);
+        let produced = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for i in 0..10 {
+                    assert!(queue.push(i));
+                    produced.fetch_add(1, Ordering::SeqCst);
+                }
+                queue.close();
+            });
+            // Give the producer time to run ahead; the bound must stop it.
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            assert!(produced.load(Ordering::SeqCst) <= 3, "producer outran the bound");
+            let mut seen = Vec::new();
+            while let Some(item) = queue.pop() {
+                seen.push(item);
+            }
+            assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn pipeline_map_preserves_order() {
+        let config = PipelineConfig::for_threads(4);
+        let out = pipeline_map(&config, (0..100).collect(), |i: i32| i * 2, |m| m + 1);
+        assert_eq!(out, (0..100).map(|i| i * 2 + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pipeline_map_single_thread_is_inline() {
+        let config = PipelineConfig::for_threads(1);
+        assert_eq!(config.stage2_workers, 1);
+        let out = pipeline_map(&config, vec![1, 2, 3], |i: i32| i * 10, |m| m + 1);
+        assert_eq!(out, vec![11, 21, 31]);
+    }
+
+    #[test]
+    fn pipeline_map_matches_sequential_composition() {
+        let items: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = items.iter().map(|&i| (i * i) ^ 0xABCD).collect();
+        for threads in [2, 3, 8] {
+            let config = PipelineConfig::for_threads(threads);
+            let out = pipeline_map(&config, items.clone(), |i: u64| i * i, |m| m ^ 0xABCD);
+            assert_eq!(out, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pipeline_map_handles_more_workers_than_items() {
+        let config = PipelineConfig::for_threads(16);
+        let out = pipeline_map(&config, vec![5u32, 6], |i| i, |m| m);
+        assert_eq!(out, vec![5, 6]);
+    }
+
+    #[test]
+    fn pipeline_map_borrows_environment() {
+        let base = 100i64;
+        let config = PipelineConfig::for_threads(2);
+        let out = pipeline_map(&config, vec![1i64, 2, 3], |i| i + base, |m| m * 2);
+        assert_eq!(out, vec![202, 204, 206]);
+    }
+
+    #[test]
+    fn for_threads_oversubscribes_one_feeder() {
+        assert_eq!(PipelineConfig::for_threads(0).stage2_workers, 1);
+        assert_eq!(PipelineConfig::for_threads(3).stage1_workers, 1);
+        assert_eq!(PipelineConfig::for_threads(8).stage1_workers, 2);
+        assert_eq!(PipelineConfig::for_threads(8).stage2_workers, 8);
+        assert!(PipelineConfig::for_threads(1).queue_capacity >= 4);
+    }
+}
